@@ -1,0 +1,324 @@
+(* fecsynth: command-line front end to the FEC synthesis framework.
+
+   Subcommands: synth, verify, distance, analyze, emit, robustness.
+   Codes are given as Registry descriptors (e.g. "shortened:120:8",
+   "parity:16", "matrix:1000101-0100110-0010111-0001011") or as
+   "@file" pointing at a generator-matrix text file. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_code spec =
+  if String.length spec > 0 && spec.[0] = '@' then
+    Hamming.Code.of_string (read_file (String.sub spec 1 (String.length spec - 1)))
+  else Fec_core.Registry.code_of_string spec
+
+let load_prop spec =
+  if String.length spec > 0 && spec.[0] = '@' then
+    Spec.Parse.prop_file (read_file (String.sub spec 1 (String.length spec - 1)))
+  else Spec.Parse.prop spec
+
+(* ---------- common arguments ---------- *)
+
+let code_arg =
+  let doc = "Code descriptor (e.g. shortened:120:8) or @FILE with matrix rows." in
+  Arg.(required & opt (some string) None & info [ "c"; "code" ] ~docv:"CODE" ~doc)
+
+let prop_arg =
+  let doc = "Property in the Figure-3 language, or @FILE." in
+  Arg.(required & opt (some string) None & info [ "p"; "prop" ] ~docv:"PROP" ~doc)
+
+let timeout_arg =
+  let doc = "Solver timeout in seconds." in
+  Arg.(value & opt float 120.0 & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc)
+
+(* ---------- synth ---------- *)
+
+let weights_conv =
+  let parse s =
+    try Ok (Array.of_list (List.map int_of_string (String.split_on_char ',' s)))
+    with _ -> Error (`Msg "weights must be comma-separated integers")
+  in
+  Arg.conv (parse, fun fmt w ->
+      Format.pp_print_string fmt
+        (String.concat "," (Array.to_list (Array.map string_of_int w))))
+
+let synth_cmd =
+  let weights =
+    let doc = "Per-bit criticality weights for weighted (sum_w) synthesis." in
+    Arg.(value & opt (some weights_conv) None & info [ "w"; "weights" ] ~docv:"W,W,..." ~doc)
+  in
+  let run prop_spec timeout weights =
+    let prop = load_prop prop_spec in
+    match Synth.Driver.run ~timeout ?weights prop with
+    | Synth.Driver.Codes (codes, stats) ->
+        List.iter
+          (fun code ->
+            Printf.printf "synthesized (%d,%d) generator, md %d, %d set bits:\n%s\n"
+              (Hamming.Code.block_len code) (Hamming.Code.data_len code)
+              (Hamming.Distance.min_distance code) (Hamming.Code.set_bits code)
+              (Hamming.Code.to_string code);
+            Printf.printf "descriptor: %s\n" (Fec_core.Registry.describe_code code))
+          codes;
+        Printf.printf "iterations: %d, time: %.2f s\n" stats.Synth.Cegis.iterations
+          stats.Synth.Cegis.elapsed;
+        `Ok ()
+    | Synth.Driver.Setbits_walk steps ->
+        List.iter
+          (fun s ->
+            Printf.printf "bound %d -> achieved %d (%d iterations, %.2f s)\n"
+              s.Synth.Optimize.bound s.Synth.Optimize.achieved
+              s.Synth.Optimize.step_stats.Synth.Cegis.iterations
+              s.Synth.Optimize.step_stats.Synth.Cegis.elapsed)
+          steps;
+        (match List.rev steps with
+        | best :: _ ->
+            Printf.printf "\nbest generator (%d set bits):\n%s\n" best.Synth.Optimize.achieved
+              (Hamming.Code.to_string best.Synth.Optimize.generator)
+        | [] -> ());
+        `Ok ()
+    | Synth.Driver.Weighted_result r ->
+        let t0, t1 = r.Synth.Weighted.counts in
+        Printf.printf "mapping: %s (split %d/%d), sum_w = %.4f%s, %d iterations, %.2f s\n"
+          (String.concat ""
+             (Array.to_list (Array.map string_of_int r.Synth.Weighted.mapping)))
+          t0 t1 r.Synth.Weighted.sum_w
+          (if r.Synth.Weighted.optimal then " (proved optimal)" else "")
+          r.Synth.Weighted.iterations r.Synth.Weighted.elapsed;
+        let c0, c1 = r.Synth.Weighted.codes in
+        Printf.printf "generator 0:\n%s\ngenerator 1:\n%s\n" (Hamming.Code.to_string c0)
+          (Hamming.Code.to_string c1);
+        `Ok ()
+    | Synth.Driver.No_solution msg -> `Error (false, "no solution: " ^ msg)
+  in
+  let doc = "Synthesize generators from a property specification (CEGIS)." in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(ret (const run $ prop_arg $ timeout_arg $ weights))
+
+(* ---------- verify ---------- *)
+
+let verify_cmd =
+  let method_arg =
+    let doc = "Distance-checking method: sat (the paper's) or enum." in
+    Arg.(value & opt (enum [ ("sat", `Sat); ("enum", `Enum) ]) `Sat & info [ "method" ] ~doc)
+  in
+  let run code_spec prop_spec method_ timeout =
+    ignore timeout;
+    let code = load_code code_spec in
+    let prop = load_prop prop_spec in
+    (* md claims go through the dedicated checker so the SAT path is used *)
+    let env = Spec.Eval.env_of_code code in
+    let start = Unix.gettimeofday () in
+    let holds =
+      match (prop, method_) with
+      | Spec.Ast.Cmp (Spec.Ast.Eq, Spec.Ast.Func (Spec.Ast.Md, _), Spec.Ast.Int m), `Sat ->
+          (Synth.Verify.min_distance_exactly ~method_:Synth.Verify.Sat code m).Synth.Verify.holds
+      | Spec.Ast.Cmp (Spec.Ast.Ge, Spec.Ast.Func (Spec.Ast.Md, _), Spec.Ast.Int m), `Sat ->
+          (Synth.Verify.min_distance_at_least ~method_:Synth.Verify.Sat code m).Synth.Verify.holds
+      | _ -> (Synth.Verify.property env prop).Synth.Verify.holds
+    in
+    Printf.printf "%s (%.2f s)\n" (if holds then "VERIFIED" else "REFUTED")
+      (Unix.gettimeofday () -. start);
+    if holds then `Ok () else exit 1
+  in
+  let doc = "Verify a property of a concrete generator." in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(ret (const run $ code_arg $ prop_arg $ method_arg $ timeout_arg))
+
+(* ---------- distance ---------- *)
+
+let distance_cmd =
+  let run code_spec =
+    let code = load_code code_spec in
+    Printf.printf "(%d,%d) generator: minimum distance %d, %d set bits, P_u(p=0.1) = %.3e\n"
+      (Hamming.Code.block_len code) (Hamming.Code.data_len code)
+      (Hamming.Distance.min_distance code) (Hamming.Code.set_bits code)
+      (Hamming.Robustness.undetected_error_probability code ~p:0.1);
+    `Ok ()
+  in
+  let doc = "Compute the exact minimum distance of a generator." in
+  Cmd.v (Cmd.info "distance" ~doc) Term.(ret (const run $ code_arg))
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd =
+  let format_arg =
+    let doc = "Data format to profile: float32 or int32." in
+    Arg.(value & opt (enum [ ("float32", `F32); ("int32", `I32) ]) `F32 & info [ "format" ] ~doc)
+  in
+  let samples_arg =
+    let doc = "Monte-Carlo samples for the float profile." in
+    Arg.(value & opt int 100_000 & info [ "samples" ] ~doc)
+  in
+  let run format samples =
+    let profile =
+      match format with
+      | `F32 -> Channel.Bitflip.float32_profile ~samples ()
+      | `I32 -> Channel.Bitflip.int32_profile ()
+    in
+    let norm = Channel.Bitflip.normalize profile in
+    print_endline "bit  normalized-avg-error  non-numeric";
+    Array.iteri
+      (fun i v -> Printf.printf "%2d   %-20.6g %d\n" i v profile.Channel.Bitflip.non_numeric.(i))
+      norm;
+    (match format with
+    | `F32 ->
+        let w = Channel.Bitflip.weights_for_upper_bits ~bits:16 profile in
+        Printf.printf "\nsuggested upper-16 weights: %s\n"
+          (String.concat "," (Array.to_list (Array.map string_of_int w)))
+    | `I32 -> ());
+    `Ok ()
+  in
+  let doc = "Per-bit numeric-error profile of a data format (paper Figure 1)." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(ret (const run $ format_arg $ samples_arg))
+
+(* ---------- emit ---------- *)
+
+let emit_cmd =
+  let lang_arg =
+    let doc = "Output language: c or ocaml." in
+    Arg.(value & opt (enum [ ("c", `C); ("ocaml", `OCaml) ]) `C & info [ "lang" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Output file (stdout if omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run code_spec lang out =
+    let code = load_code code_spec in
+    let source =
+      match lang with
+      | `C -> Hamming.Emit.c_source code
+      | `OCaml -> Hamming.Emit.ocaml_source code
+    in
+    (match out with
+    | None -> print_string source
+    | Some path ->
+        let oc = open_out path in
+        output_string oc source;
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length source));
+    `Ok ()
+  in
+  let doc = "Emit a specialized encode/check implementation for a generator." in
+  Cmd.v (Cmd.info "emit" ~doc) Term.(ret (const run $ code_arg $ lang_arg $ out_arg))
+
+(* ---------- smt ---------- *)
+
+let smt_cmd =
+  let file_arg =
+    let doc = "SMT-LIB v2 script (Boolean fragment); '-' reads stdin." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let script =
+      if file = "-" then In_channel.input_all stdin else read_file file
+    in
+    match Smtlite.Smtlib.run_to_string script with
+    | out ->
+        if out <> "" then print_endline out;
+        `Ok ()
+    | exception Smtlite.Smtlib.Error msg -> `Error (false, msg)
+  in
+  let doc = "Run an SMT-LIB v2 script on the built-in Boolean solver." in
+  Cmd.v (Cmd.info "smt" ~doc) Term.(ret (const run $ file_arg))
+
+(* ---------- certify ---------- *)
+
+let certify_cmd =
+  let md_arg =
+    let doc = "Minimum-distance bound to certify." in
+    Arg.(required & opt (some int) None & info [ "m"; "min-distance" ] ~docv:"MD" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the DRAT certificate to FILE." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run code_spec md out =
+    let code = load_code code_spec in
+    let start = Unix.gettimeofday () in
+    match Hamming.Distance.certified_min_distance_at_least code md with
+    | `Certified proof ->
+        Printf.printf
+          "CERTIFIED md >= %d (%.2f s); DRAT proof: %d steps, validated by the \
+           independent checker\n"
+          md
+          (Unix.gettimeofday () -. start)
+          (List.length (Sat.Drat.parse proof));
+        (match out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc proof;
+            close_out oc;
+            Printf.printf "certificate written to %s\n" path);
+        `Ok ()
+    | `Refuted witness ->
+        Printf.printf "REFUTED: data word %s encodes to codeword weight %d < %d\n"
+          (Gf2.Bitvec.to_string witness)
+          (Gf2.Bitvec.popcount (Hamming.Code.encode code witness))
+          md;
+        exit 1
+  in
+  let doc = "Certify a minimum-distance bound with a validated DRAT proof." in
+  Cmd.v (Cmd.info "certify" ~doc) Term.(ret (const run $ code_arg $ md_arg $ out_arg))
+
+(* ---------- robustness ---------- *)
+
+let robustness_cmd =
+  let words_arg =
+    let doc = "Number of random data words." in
+    Arg.(value & opt int 1_000_000 & info [ "words" ] ~doc)
+  in
+  let p_arg =
+    let doc = "Channel bit-error probability." in
+    Arg.(value & opt float 0.1 & info [ "error-prob" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed." in
+    Arg.(value & opt int 0xFEC & info [ "seed" ] ~doc)
+  in
+  let run code_spec words p seed =
+    let code = load_code code_spec in
+    let md = Hamming.Distance.min_distance code in
+    let codec = Channel.Montecarlo.codec_of_code code in
+    let r =
+      Channel.Montecarlo.run ~codec ~md ~words ~p ~seed
+        (Channel.Montecarlo.uniform_data codec)
+    in
+    Printf.printf
+      "words %d  p %.3f  md %d\n>=md flips: %d (theory %.0f)\nundetected: %d\n" words p md
+      r.Channel.Montecarlo.flips_ge_md r.Channel.Montecarlo.expected_flips_ge_md
+      r.Channel.Montecarlo.undetected;
+    `Ok ()
+  in
+  let doc = "Monte-Carlo robustness of a generator on a binary symmetric channel." in
+  Cmd.v (Cmd.info "robustness" ~doc)
+    Term.(ret (const run $ code_arg $ words_arg $ p_arg $ seed_arg))
+
+let () =
+  let doc = "synthesis and verification of application-specific FEC codes" in
+  let info = Cmd.info "fecsynth" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        synth_cmd; verify_cmd; certify_cmd; distance_cmd; analyze_cmd; emit_cmd;
+        robustness_cmd; smt_cmd;
+      ]
+  in
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Fec_core.Registry.Parse_error msg ->
+      Printf.eprintf "fecsynth: bad code descriptor: %s\n" msg;
+      exit 2
+  | exception Spec.Parse.Error msg ->
+      Printf.eprintf "fecsynth: bad property: %s\n" msg;
+      exit 2
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+      Printf.eprintf "fecsynth: error: %s\n" msg;
+      exit 2

@@ -1,0 +1,1 @@
+examples/burst_interleaving.ml: Channel Hamming List Printf

@@ -1,0 +1,1 @@
+examples/code_exchange.ml: Array Bytes Channel Char Design Fec_core Framing Int32 Lazy Printf Registry String

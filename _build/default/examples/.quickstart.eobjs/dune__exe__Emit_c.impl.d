@@ -1,0 +1,1 @@
+examples/emit_c.ml: Filename Hamming List Printf String Synth Sys Unix

@@ -1,0 +1,1 @@
+examples/emit_c.mli:

@@ -1,0 +1,1 @@
+examples/float_specific.ml: Array Channel Composite Design Fec_core Float Int32 Lazy Printf Registry String

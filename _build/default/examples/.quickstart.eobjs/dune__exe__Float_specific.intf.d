@@ -1,0 +1,1 @@
+examples/float_specific.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bitvec Format Gf2 Hamming Lazy Synth

@@ -1,0 +1,1 @@
+examples/robustness_sweep.ml: Channel List Printf Synth

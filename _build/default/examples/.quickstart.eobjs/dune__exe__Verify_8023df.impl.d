@@ -1,0 +1,1 @@
+examples/verify_8023df.ml: Format Gf2 Hamming Lazy Spec Synth

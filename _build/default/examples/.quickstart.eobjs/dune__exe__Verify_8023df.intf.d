@@ -1,0 +1,1 @@
+examples/verify_8023df.mli:

@@ -1,0 +1,1 @@
+lib/channel/awgn.ml: Array Float Gf2 Prng

@@ -1,0 +1,1 @@
+lib/channel/awgn.mli: Gf2 Prng

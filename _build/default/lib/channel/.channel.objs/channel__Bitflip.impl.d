@@ -1,0 +1,1 @@
+lib/channel/bitflip.ml: Array Float Int32 Int64 Prng

@@ -1,0 +1,1 @@
+lib/channel/bsc.ml: Gf2 Prng

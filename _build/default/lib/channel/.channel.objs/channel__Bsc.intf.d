@@ -1,0 +1,1 @@
+lib/channel/bsc.mli: Gf2 Prng

@@ -1,0 +1,1 @@
+lib/channel/burst.ml: Array Bitvec Gf2 Hamming Prng

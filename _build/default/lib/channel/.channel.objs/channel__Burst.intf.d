@@ -1,0 +1,1 @@
+lib/channel/burst.mli: Gf2 Hamming Prng

@@ -1,0 +1,1 @@
+lib/channel/montecarlo.ml: Bsc Hamming Prng

@@ -1,0 +1,1 @@
+lib/channel/montecarlo.mli: Hamming Prng

@@ -1,0 +1,1 @@
+lib/channel/prng.ml: Int64

@@ -1,0 +1,27 @@
+let gaussian g =
+  (* Box-Muller; discards the second variate for simplicity *)
+  let u1 = ref (Prng.float g) in
+  while !u1 <= 1e-300 do
+    u1 := Prng.float g
+  done;
+  let u2 = Prng.float g in
+  sqrt (-2.0 *. log !u1) *. cos (2.0 *. Float.pi *. u2)
+
+let noise_sigma ~snr_db =
+  let snr_linear = 10.0 ** (snr_db /. 10.0) in
+  (* unit symbol energy: sigma^2 = 1 / (2 * SNR) *)
+  sqrt (1.0 /. (2.0 *. snr_linear))
+
+let transmit g ~snr_db bits =
+  let sigma = noise_sigma ~snr_db in
+  Array.init (Gf2.Bitvec.length bits) (fun i ->
+      let symbol = if Gf2.Bitvec.get bits i then -1.0 else 1.0 in
+      symbol +. (sigma *. gaussian g))
+
+let llrs ~snr_db received =
+  let sigma = noise_sigma ~snr_db in
+  let scale = 2.0 /. (sigma *. sigma) in
+  Array.map (fun y -> scale *. y) received
+
+let hard_decision received =
+  Gf2.Bitvec.init (Array.length received) (fun i -> received.(i) < 0.0)

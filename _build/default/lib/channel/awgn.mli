@@ -1,0 +1,26 @@
+(** BPSK over an additive-white-Gaussian-noise channel, producing the
+    soft reliabilities (log-likelihood ratios) that soft-decision decoders
+    consume.
+
+    The 802.3df proposal the paper verifies (Bliss et al.) pairs the
+    (128,120) Hamming code with {e soft Chase decoding}; this module
+    provides the channel model for {!Hamming.Chase}. *)
+
+(** [gaussian g] is a standard normal draw (Box-Muller over SplitMix64). *)
+val gaussian : Prng.t -> float
+
+(** [transmit g ~snr_db bits] BPSK-modulates the codeword (0 → +1,
+    1 → -1), adds noise for the given Eb/N0-style SNR (dB, per channel
+    bit), and returns the received soft values. *)
+val transmit : Prng.t -> snr_db:float -> Gf2.Bitvec.t -> float array
+
+(** [llrs ~snr_db received] converts received values to LLRs
+    ([> 0] favours bit 0).  For BPSK/AWGN this is [4·Es/N0·y]. *)
+val llrs : snr_db:float -> float array -> float array
+
+(** [hard_decision received] is the sign-based bit decision. *)
+val hard_decision : float array -> Gf2.Bitvec.t
+
+(** [noise_sigma ~snr_db] is the noise standard deviation used by
+    [transmit] (exposed for tests). *)
+val noise_sigma : snr_db:float -> float

@@ -1,0 +1,57 @@
+type profile = {
+  avg_magnitude : float array;
+  non_numeric : int array;
+  samples : int;
+}
+
+let int32_profile () =
+  {
+    avg_magnitude = Array.init 32 (fun i -> Float.of_int 2 ** float_of_int (31 - i));
+    non_numeric = Array.make 32 0;
+    samples = 0;
+  }
+
+let is_numeric_bits bits =
+  (* exponent field not all-ones (NaN / infinity) *)
+  Int32.logand (Int32.shift_right_logical bits 23) 0xFFl <> 0xFFl
+
+let float_of_bits = Int32.float_of_bits
+
+(* Draw a uniformly random bit pattern that represents a numeric float. *)
+let rec random_numeric_bits g =
+  let bits = Int64.to_int32 (Prng.next_int64 g) in
+  if is_numeric_bits bits then bits else random_numeric_bits g
+
+let float32_profile ?(samples = 100_000) ?(seed = 0x5eed) () =
+  let g = Prng.create seed in
+  let sums = Array.make 32 0.0 in
+  let counts = Array.make 32 0 in
+  let non_numeric = Array.make 32 0 in
+  for _ = 1 to samples do
+    let bits = random_numeric_bits g in
+    let x = float_of_bits bits in
+    for i = 0 to 31 do
+      let flipped = Int32.logxor bits (Int32.shift_left 1l (31 - i)) in
+      if is_numeric_bits flipped then begin
+        let y = float_of_bits flipped in
+        sums.(i) <- sums.(i) +. Float.abs (y -. x);
+        counts.(i) <- counts.(i) + 1
+      end
+      else non_numeric.(i) <- non_numeric.(i) + 1
+    done
+  done;
+  {
+    avg_magnitude =
+      Array.init 32 (fun i -> if counts.(i) = 0 then 0.0 else sums.(i) /. float_of_int counts.(i));
+    non_numeric;
+    samples;
+  }
+
+let normalize p =
+  let max_v = Array.fold_left Float.max 0.0 p.avg_magnitude in
+  if max_v = 0.0 then Array.copy p.avg_magnitude
+  else Array.map (fun v -> v /. max_v) p.avg_magnitude
+
+let weights_for_upper_bits ?(bits = 16) p =
+  let norm = normalize p in
+  Array.init bits (fun i -> max 1 (int_of_float (Float.round (norm.(i) *. 100.0))))

@@ -1,0 +1,25 @@
+let error_mask g ~p ~width =
+  let mask = ref 0 in
+  for i = 0 to width - 1 do
+    if Prng.bool_with g ~p then mask := !mask lor (1 lsl i)
+  done;
+  !mask
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let flip_word g ~p ~width w =
+  let mask = error_mask g ~p ~width in
+  (w lxor mask, popcount mask)
+
+let flip_bitvec g ~p v =
+  let v' = Gf2.Bitvec.copy v in
+  let flips = ref 0 in
+  for i = 0 to Gf2.Bitvec.length v - 1 do
+    if Prng.bool_with g ~p then begin
+      Gf2.Bitvec.flip v' i;
+      incr flips
+    end
+  done;
+  (v', !flips)

@@ -1,0 +1,13 @@
+(** Binary symmetric channel: independent bit flips with probability [p]. *)
+
+(** [flip_word g ~p ~width w] flips each of the low [width] bits of [w]
+    independently with probability [p]; returns the corrupted word and the
+    number of flips. *)
+val flip_word : Prng.t -> p:float -> width:int -> int -> int * int
+
+(** [flip_bitvec g ~p v] is a corrupted copy of [v] plus the flip count. *)
+val flip_bitvec : Prng.t -> p:float -> Gf2.Bitvec.t -> Gf2.Bitvec.t * int
+
+(** [error_mask g ~p ~width] is just the error pattern (for callers that
+    XOR it in themselves). *)
+val error_mask : Prng.t -> p:float -> width:int -> int

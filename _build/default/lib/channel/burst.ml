@@ -1,0 +1,86 @@
+open Gf2
+
+type ge = { p_good : float; p_bad : float; p_g2b : float; p_b2g : float }
+
+let default_ge = { p_good = 0.0005; p_bad = 0.25; p_g2b = 0.002; p_b2g = 0.02 }
+
+let ge_flip_bits g ge ~len =
+  let bits = Bitvec.create len in
+  let bad = ref false in
+  for i = 0 to len - 1 do
+    let p = if !bad then ge.p_bad else ge.p_good in
+    if Prng.bool_with g ~p then Bitvec.set bits i true;
+    let pt = if !bad then ge.p_b2g else ge.p_g2b in
+    if Prng.bool_with g ~p:pt then bad := not !bad
+  done;
+  bits
+
+let interleave ~depth ~width words =
+  if Array.length words <> depth then
+    invalid_arg "Burst.interleave: word count must equal depth";
+  let out = Bitvec.create (depth * width) in
+  for r = 0 to depth - 1 do
+    for c = 0 to width - 1 do
+      if (words.(r) lsr c) land 1 = 1 then Bitvec.set out ((c * depth) + r) true
+    done
+  done;
+  out
+
+let deinterleave ~depth ~width bits =
+  if Bitvec.length bits <> depth * width then
+    invalid_arg "Burst.deinterleave: length mismatch";
+  Array.init depth (fun r ->
+      let w = ref 0 in
+      for c = 0 to width - 1 do
+        if Bitvec.get bits ((c * depth) + r) then w := !w lor (1 lsl c)
+      done;
+      !w)
+
+type trial_result = {
+  codewords : int;
+  word_errors_plain : int;
+  word_errors_interleaved : int;
+}
+
+let trial (codec : Hamming.Fastcodec.t) ~depth ~blocks ~ge ~seed =
+  let width = codec.Hamming.Fastcodec.data_len + codec.Hamming.Fastcodec.check_len in
+  let data_mask = (1 lsl codec.Hamming.Fastcodec.data_len) - 1 in
+  let g = Prng.create seed in
+  let word_errors_plain = ref 0 in
+  let word_errors_interleaved = ref 0 in
+  for _ = 1 to blocks do
+    let data =
+      Array.init depth (fun _ -> Prng.bits g ~n:codec.Hamming.Fastcodec.data_len)
+    in
+    let words = Array.map codec.Hamming.Fastcodec.encode data in
+    (* one channel realization shared by both transmission orders, so the
+       comparison isolates the interleaving effect *)
+    let errors = ge_flip_bits (Prng.copy g) ge ~len:(depth * width) in
+    ignore (ge_flip_bits g ge ~len:(depth * width));
+    let recover w expected =
+      match codec.Hamming.Fastcodec.correct w with
+      | Some fixed when fixed land data_mask = expected -> true
+      | _ -> false
+    in
+    (* plain: codewords transmitted consecutively *)
+    Array.iteri
+      (fun r w ->
+        let e = ref 0 in
+        for c = 0 to width - 1 do
+          if Bitvec.get errors ((r * width) + c) then e := !e lor (1 lsl c)
+        done;
+        if not (recover (w lxor !e) data.(r)) then incr word_errors_plain)
+      words;
+    (* interleaved: same error vector hits the column-major order *)
+    let stream = interleave ~depth ~width words in
+    Bitvec.xor_in_place stream errors;
+    let received = deinterleave ~depth ~width stream in
+    Array.iteri
+      (fun r w -> if not (recover w data.(r)) then incr word_errors_interleaved)
+      received
+  done;
+  {
+    codewords = blocks * depth;
+    word_errors_plain = !word_errors_plain;
+    word_errors_interleaved = !word_errors_interleaved;
+  }

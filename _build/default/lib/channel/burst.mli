@@ -1,0 +1,47 @@
+(** Bursty channels and interleaving.
+
+    Real links (the optical and cellular links that motivate FEC in the
+    paper's introduction) produce {e correlated} bit errors.  The standard
+    model is the Gilbert-Elliott two-state Markov channel: a Good state
+    with low bit-error probability and a Bad state with a high one, with
+    sticky transitions.  Block codes sized for random errors collapse
+    under bursts; a block interleaver spreads each burst across many
+    codewords, restoring the random-error regime — the classic FEC system
+    component this module provides and the burst benchmark measures. *)
+
+(** Gilbert-Elliott channel parameters. *)
+type ge = {
+  p_good : float;  (** bit-error probability in the Good state *)
+  p_bad : float;  (** bit-error probability in the Bad state *)
+  p_g2b : float;  (** per-bit probability of Good → Bad transition *)
+  p_b2g : float;  (** per-bit probability of Bad → Good transition *)
+}
+
+(** A typical harsh-burst configuration: long quiet stretches, dense
+    error bursts averaging ~50 bits. *)
+val default_ge : ge
+
+(** [ge_flip_bits g ge ~len] is an error bit-vector of length [len] drawn
+    from the channel (state starts Good). *)
+val ge_flip_bits : Prng.t -> ge -> len:int -> Gf2.Bitvec.t
+
+(** [interleave ~depth ~width words] serializes [depth] codewords of
+    [width] bits column-major: output bit [(c * depth) + r] is bit [c] of
+    word [r].  @raise Invalid_argument if [Array.length words <> depth]. *)
+val interleave : depth:int -> width:int -> int array -> Gf2.Bitvec.t
+
+(** [deinterleave ~depth ~width bits] inverts {!interleave}. *)
+val deinterleave : depth:int -> width:int -> Gf2.Bitvec.t -> int array
+
+type trial_result = {
+  codewords : int;
+  word_errors_plain : int;  (** uncorrectable/miscorrected without interleaving *)
+  word_errors_interleaved : int;  (** same with interleaving *)
+}
+
+(** [trial codec ~depth ~blocks ~ge ~seed] sends [blocks * depth] random
+    codewords through the channel twice — consecutively, and interleaved
+    with the given depth — decoding with single-error correction, and
+    counts words whose recovered data is wrong. *)
+val trial :
+  Hamming.Fastcodec.t -> depth:int -> blocks:int -> ge:ge -> seed:int -> trial_result

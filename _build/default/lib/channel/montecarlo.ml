@@ -1,0 +1,58 @@
+type codec = {
+  data_len : int;
+  block_len : int;
+  encode : int -> int;
+  is_valid : int -> bool;
+}
+
+let codec_of_code code =
+  let fc = Hamming.Fastcodec.compile code in
+  {
+    data_len = fc.Hamming.Fastcodec.data_len;
+    block_len = fc.Hamming.Fastcodec.data_len + fc.Hamming.Fastcodec.check_len;
+    encode = fc.Hamming.Fastcodec.encode;
+    is_valid = (fun w -> fc.Hamming.Fastcodec.syndrome w = 0);
+  }
+
+type result = {
+  words : int;
+  flips_ge_md : int;
+  undetected : int;
+  expected_flips_ge_md : float;
+}
+
+let run ?on_undetected ~codec ~md ~words ~p ~seed gen_data =
+  let g = Prng.create seed in
+  let data_mask = (1 lsl codec.data_len) - 1 in
+  let flips_ge_md = ref 0 in
+  let undetected = ref 0 in
+  for _ = 1 to words do
+    let d = gen_data g in
+    let w = codec.encode d in
+    let w', flips = Bsc.flip_word g ~p ~width:codec.block_len w in
+    if flips >= md then incr flips_ge_md;
+    if w' <> w && codec.is_valid w' then begin
+      incr undetected;
+      match on_undetected with
+      | Some f -> f ~sent:d ~received:(w' land data_mask)
+      | None -> ()
+    end
+  done;
+  {
+    words;
+    flips_ge_md = !flips_ge_md;
+    undetected = !undetected;
+    expected_flips_ge_md =
+      float_of_int words
+      *. Hamming.Robustness.prob_flips_ge ~n:codec.block_len ~m:md ~p;
+  }
+
+let uniform_data codec g = Prng.bits g ~n:codec.data_len
+
+let numeric_float32_data g =
+  let rec go () =
+    let bits = Prng.bits g ~n:32 in
+    (* exponent all-ones = NaN / infinity: redraw *)
+    if (bits lsr 23) land 0xFF = 0xFF then go () else bits
+  in
+  go ()

@@ -1,0 +1,48 @@
+(** Monte-Carlo robustness harness (paper §4.2 Figure 4 and §4.3 Table 2).
+
+    Encodes random data words, pushes the codewords through a binary
+    symmetric channel, and counts: words whose channel flipped at least
+    [min_distance] bits (the paper's upper curve, matching [P_u·N]
+    theoretically), and words corrupted into {e different valid codewords}
+    — undetected errors (the lower curve). *)
+
+(** A word-level codec over packed integers, decoupled from any concrete
+    code representation so composite codecs plug in too. *)
+type codec = {
+  data_len : int;  (** bits per data word *)
+  block_len : int;  (** bits per codeword *)
+  encode : int -> int;
+  is_valid : int -> bool;
+}
+
+(** [codec_of_code code] wraps a single Hamming generator (via the
+    mask-compiled {!Hamming.Fastcodec}). *)
+val codec_of_code : Hamming.Code.t -> codec
+
+type result = {
+  words : int;
+  flips_ge_md : int;  (** words with at least [md] channel flips *)
+  undetected : int;  (** valid-looking but corrupted words *)
+  expected_flips_ge_md : float;  (** theoretical [P_u · words] *)
+}
+
+(** [run ?on_undetected ~codec ~md ~words ~p ~seed gen_data] runs the
+    trial.  [gen_data] draws a data word; [on_undetected] (if given) sees
+    [~sent ~received] data words of every undetected error, letting
+    callers accumulate numeric-error statistics (Table 2). *)
+val run :
+  ?on_undetected:(sent:int -> received:int -> unit) ->
+  codec:codec ->
+  md:int ->
+  words:int ->
+  p:float ->
+  seed:int ->
+  (Prng.t -> int) ->
+  result
+
+(** [uniform_data codec] draws uniform data words for [run]. *)
+val uniform_data : codec -> Prng.t -> int
+
+(** [numeric_float32_data] draws uniform 32-bit patterns that represent
+    numeric IEEE floats (Table 2's workload); requires a 32-bit codec. *)
+val numeric_float32_data : Prng.t -> int

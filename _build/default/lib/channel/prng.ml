@@ -1,0 +1,31 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush, two multiplies
+   and a few shifts per output. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy g = { state = g.state }
+
+let next_int64 g =
+  g.state <- Int64.add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits g ~n =
+  if n < 0 || n > 62 then invalid_arg "Prng.bits: need 0 <= n <= 62";
+  if n = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (next_int64 g) (64 - n)) land ((1 lsl n) - 1)
+
+let float g =
+  (* 53 top bits -> [0,1) *)
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 g) 11) in
+  float_of_int x /. 9007199254740992.0
+
+let bool_with g ~p = float g < p
+
+let int_below g bound =
+  if bound <= 0 then invalid_arg "Prng.int_below: non-positive bound";
+  (* rejection-free modulo is fine for our bounds << 2^62 *)
+  bits g ~n:62 mod bound

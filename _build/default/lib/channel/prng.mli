@@ -1,0 +1,29 @@
+(** SplitMix64: a small, fast, deterministic PRNG.
+
+    Every experiment in this repository seeds its own generator so that
+    results are exactly reproducible run-to-run (the Monte-Carlo tables in
+    EXPERIMENTS.md depend on this). *)
+
+type t
+
+(** [create seed] is a generator with the given 64-bit seed. *)
+val create : int -> t
+
+(** [copy g] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** [next_int64 g] is the next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [bits g ~n] is the next [n <= 62] bits as a non-negative [int]. *)
+val bits : t -> n:int -> int
+
+(** [float g] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool_with g ~p] is [true] with probability [p]. *)
+val bool_with : t -> p:float -> bool
+
+(** [int_below g bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+val int_below : t -> int -> int

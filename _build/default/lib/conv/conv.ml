@@ -1,0 +1,105 @@
+open Gf2
+
+type t = { k : int; polys : int array }
+
+let parity x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0 land 1
+
+let create ~constraint_len ~polys =
+  if constraint_len < 3 || constraint_len > 16 then
+    invalid_arg "Conv.create: constraint length out of range [3,16]";
+  if Array.length polys < 2 then invalid_arg "Conv.create: need at least two polynomials";
+  Array.iter
+    (fun p ->
+      if p <= 0 || p lsr constraint_len <> 0 then
+        invalid_arg "Conv.create: polynomial does not fit the register")
+    polys;
+  { k = constraint_len; polys }
+
+let standard_k7 = create ~constraint_len:7 ~polys:[| 0o171; 0o133 |]
+
+let rate_den t = Array.length t.polys
+let constraint_len t = t.k
+
+(* The register holds the current bit in its low position and the previous
+   K-1 bits above it; the state is the register without the current bit. *)
+let step t state bit =
+  let reg = (state lsl 1) lor bit in
+  let out = Array.map (fun p -> parity (reg land p)) t.polys in
+  let state' = reg land ((1 lsl (t.k - 1)) - 1) in
+  (state', out)
+
+let encode t data =
+  let nden = rate_den t in
+  let total = Bitvec.length data + t.k - 1 in
+  let out = Bitvec.create (total * nden) in
+  let state = ref 0 in
+  for i = 0 to total - 1 do
+    let bit = if i < Bitvec.length data && Bitvec.get data i then 1 else 0 in
+    let state', symbols = step t !state bit in
+    state := state';
+    Array.iteri (fun j s -> if s = 1 then Bitvec.set out ((i * nden) + j) true) symbols
+  done;
+  out
+
+let decode t ~data_len received =
+  let nden = rate_den t in
+  let steps = data_len + t.k - 1 in
+  if Bitvec.length received <> steps * nden then
+    invalid_arg
+      (Printf.sprintf "Conv.decode: received length %d, expected %d"
+         (Bitvec.length received) (steps * nden));
+  let nstates = 1 lsl (t.k - 1) in
+  let infinity_metric = max_int / 2 in
+  let metric = Array.make nstates infinity_metric in
+  metric.(0) <- 0;
+  let next_metric = Array.make nstates infinity_metric in
+  (* predecessor decisions: for each step and state, the input bit and
+     previous state that achieved the best metric *)
+  let decisions = Array.make_matrix steps nstates (-1) in
+  (* precompute branch outputs: (state, bit) -> packed output symbol *)
+  let branch =
+    Array.init nstates (fun state ->
+        Array.init 2 (fun bit ->
+            let _, symbols = step t state bit in
+            Array.fold_left (fun acc s -> (acc lsl 1) lor s) 0 symbols))
+  in
+  for i = 0 to steps - 1 do
+    let rx = ref 0 in
+    for j = 0 to nden - 1 do
+      rx := (!rx lsl 1) lor (if Bitvec.get received ((i * nden) + j) then 1 else 0)
+    done;
+    Array.fill next_metric 0 nstates infinity_metric;
+    (* after data_len steps only zero input bits occur (the tail) *)
+    let max_bit = if i < data_len then 1 else 0 in
+    for state = 0 to nstates - 1 do
+      if metric.(state) < infinity_metric then
+        for bit = 0 to max_bit do
+          let reg = (state lsl 1) lor bit in
+          let state' = reg land (nstates - 1) in
+          let cost =
+            let d = branch.(state).(bit) lxor !rx in
+            let rec pop x acc = if x = 0 then acc else pop (x land (x - 1)) (acc + 1) in
+            pop d 0
+          in
+          let cand = metric.(state) + cost in
+          if cand < next_metric.(state') then begin
+            next_metric.(state') <- cand;
+            decisions.(i).(state') <- (state lsl 1) lor bit
+          end
+        done
+    done;
+    Array.blit next_metric 0 metric 0 nstates
+  done;
+  (* the zero tail forces the survivor to end in state 0 *)
+  let out = Bitvec.create data_len in
+  let state = ref 0 in
+  for i = steps - 1 downto 0 do
+    let d = decisions.(i).(!state) in
+    if d < 0 then invalid_arg "Conv.decode: no surviving path (corrupted beyond repair)";
+    let bit = d land 1 in
+    if i < data_len && bit = 1 then Bitvec.set out i true;
+    state := d lsr 1
+  done;
+  out

@@ -1,0 +1,36 @@
+(** Convolutional codes with hard-decision Viterbi decoding.
+
+    The stream-oriented counterpart of the paper's block codes: rate-1/n
+    feedforward encoders described by generator polynomials, decoded by
+    maximum-likelihood sequence estimation over the trellis.  Provided as
+    a baseline family for the benchmark comparisons (the classic K=7
+    (171,133) code used from deep space to 802.11). *)
+
+type t
+
+(** [create ~constraint_len ~polys] builds a rate-1/[Array.length polys]
+    encoder.  Polynomials are given as bit masks over the encoder register
+    (bit 0 = newest input bit), e.g. [0o171] and [0o133] for the standard
+    K = 7 code.
+    @raise Invalid_argument if [constraint_len] is not in [3..16], fewer
+    than two polynomials are given, or a polynomial does not fit the
+    register. *)
+val create : constraint_len:int -> polys:int array -> t
+
+(** The industry-standard K = 7, rate 1/2 code (polynomials 171, 133
+    octal); free distance 10. *)
+val standard_k7 : t
+
+(** [rate_den t] is [n] in rate 1/n; [constraint_len t] is K. *)
+val rate_den : t -> int
+
+val constraint_len : t -> int
+
+(** [encode t data] encodes [data] followed by a [K-1]-zero tail, so the
+    output has [(length data + K - 1) * n] bits. *)
+val encode : t -> Gf2.Bitvec.t -> Gf2.Bitvec.t
+
+(** [decode t ~data_len received] runs Viterbi over the full received
+    stream and returns the most likely [data_len] data bits.
+    @raise Invalid_argument if [received] has the wrong length. *)
+val decode : t -> data_len:int -> Gf2.Bitvec.t -> Gf2.Bitvec.t

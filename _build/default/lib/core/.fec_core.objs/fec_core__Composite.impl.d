@@ -1,0 +1,1 @@
+lib/core/composite.ml: Array Channel Fun Hamming List Printf Sys

@@ -1,0 +1,1 @@
+lib/core/composite.mli: Channel Hamming

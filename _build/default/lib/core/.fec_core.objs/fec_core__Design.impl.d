@@ -1,0 +1,1 @@
+lib/core/design.ml: Array Channel Composite Fun Hamming List Synth Unix

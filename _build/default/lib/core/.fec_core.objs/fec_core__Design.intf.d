@@ -1,0 +1,1 @@
+lib/core/design.mli: Composite Lazy

@@ -1,0 +1,1 @@
+lib/core/framing.ml: Array Composite Registry String Zip

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Composite Gf2 Hamming List Printf String

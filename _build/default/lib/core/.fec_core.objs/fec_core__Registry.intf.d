@@ -1,0 +1,1 @@
+lib/core/registry.mli: Composite Hamming

@@ -1,0 +1,145 @@
+type part = {
+  code : Hamming.Code.t;
+  positions : int list; (* paper bit indices (0 = MSB) in generator order *)
+  codec : Hamming.Fastcodec.t;
+  extract_masks : int array; (* integer-bit index per generator data bit *)
+  check_offset : int; (* offset of this part's checks within the check tail *)
+}
+
+type t = { word_len : int; parts : part array; total_check : int }
+
+let create ~word_len part_specs =
+  if word_len < 1 || word_len > 48 then
+    invalid_arg "Composite.create: word length out of range [1,48]";
+  let seen = Array.make word_len false in
+  let offset = ref 0 in
+  let parts =
+    List.map
+      (fun (code, positions) ->
+        let k = Hamming.Code.data_len code in
+        if List.length positions <> k then
+          invalid_arg
+            (Printf.sprintf
+               "Composite.create: generator expects %d bits but %d positions given" k
+               (List.length positions));
+        List.iter
+          (fun pos ->
+            if pos < 0 || pos >= word_len then
+              invalid_arg (Printf.sprintf "Composite.create: position %d out of range" pos);
+            if seen.(pos) then
+              invalid_arg (Printf.sprintf "Composite.create: position %d covered twice" pos);
+            seen.(pos) <- true)
+          positions;
+        let part =
+          {
+            code;
+            positions;
+            codec = Hamming.Fastcodec.compile code;
+            extract_masks =
+              Array.of_list (List.map (fun pos -> word_len - 1 - pos) positions);
+            check_offset = !offset;
+          }
+        in
+        offset := !offset + Hamming.Code.check_len code;
+        part)
+      part_specs
+  in
+  if not (Array.for_all Fun.id seen) then
+    invalid_arg "Composite.create: some word bits are unprotected";
+  if word_len + !offset > Sys.int_size - 1 then
+    invalid_arg "Composite.create: codeword exceeds native word";
+  { word_len; parts = Array.of_list parts; total_check = !offset }
+
+let of_mapping ~codes ~mapping =
+  let word_len = Array.length mapping in
+  let specs =
+    Array.to_list
+      (Array.mapi
+         (fun gi code ->
+           let positions =
+             Array.to_list mapping
+             |> List.mapi (fun j g -> (j, g))
+             |> List.filter (fun (_, g) -> g = gi)
+             |> List.map fst
+           in
+           (code, positions))
+         codes)
+    |> List.filter (fun (_, positions) -> positions <> [])
+  in
+  create ~word_len specs
+
+let word_len t = t.word_len
+let check_len t = t.total_check
+let block_len t = t.word_len + t.total_check
+let parts t = Array.to_list (Array.map (fun p -> (p.code, p.positions)) t.parts)
+
+(* Gather a part's generator-order data bits out of the packed word. *)
+let extract t part w =
+  ignore t;
+  let sub = ref 0 in
+  Array.iteri
+    (fun i int_bit -> sub := !sub lor (((w lsr int_bit) land 1) lsl i))
+    part.extract_masks;
+  !sub
+
+(* Scatter a generator-order data subword back into a packed word. *)
+let scatter part sub w =
+  let w = ref w in
+  Array.iteri
+    (fun i int_bit ->
+      let bit = (sub lsr i) land 1 in
+      w := (!w land lnot (1 lsl int_bit)) lor (bit lsl int_bit))
+    part.extract_masks;
+  !w
+
+let encode t w =
+  let out = ref (w land ((1 lsl t.word_len) - 1)) in
+  Array.iter
+    (fun part ->
+      let sub = extract t part !out in
+      let coded = part.codec.Hamming.Fastcodec.encode sub in
+      let checks = coded lsr part.codec.Hamming.Fastcodec.data_len in
+      out := !out lor (checks lsl (t.word_len + part.check_offset)))
+    t.parts;
+  !out
+
+let part_word t part cw =
+  let sub = extract t part cw in
+  let checks =
+    (cw lsr (t.word_len + part.check_offset))
+    land ((1 lsl part.codec.Hamming.Fastcodec.check_len) - 1)
+  in
+  sub lor (checks lsl part.codec.Hamming.Fastcodec.data_len)
+
+let is_valid t cw =
+  Array.for_all
+    (fun part -> part.codec.Hamming.Fastcodec.syndrome (part_word t part cw) = 0)
+    t.parts
+
+let data_of t cw = cw land ((1 lsl t.word_len) - 1)
+
+let correct t cw =
+  let out = ref (data_of t cw) in
+  let ok = ref true in
+  Array.iter
+    (fun part ->
+      match part.codec.Hamming.Fastcodec.correct (part_word t part cw) with
+      | None -> ok := false
+      | Some fixed ->
+          let data_mask = (1 lsl part.codec.Hamming.Fastcodec.data_len) - 1 in
+          out := scatter part (fixed land data_mask) !out)
+    t.parts;
+  if !ok then Some (encode t !out) else None
+
+let min_distance t =
+  Array.fold_left
+    (fun acc part -> min acc (Hamming.Distance.min_distance part.code))
+    max_int t.parts
+
+let to_codec t =
+  {
+    Channel.Montecarlo.data_len = t.word_len;
+    block_len = block_len t;
+    encode = encode t;
+    is_valid = is_valid t;
+  }

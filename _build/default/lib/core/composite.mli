@@ -1,0 +1,56 @@
+(** Composite word codecs: protect one data word with several generators,
+    each covering a subset of its bits.
+
+    This is the paper's §4.3 construction — e.g. a 32-bit float word
+    protected by [G_5^8] on its upper 8 bits, [G_1^8] on the next 8, and
+    [G_1^16] on the mantissa half.  The codeword layout is the data word
+    (all bits, original order) followed by each part's check bits in part
+    order. *)
+
+type t
+
+(** [create ~word_len parts] builds a composite codec.  Each part pairs a
+    generator with the (ordered) data-word bit positions it protects; bit
+    position 0 is the most significant bit of the word.  The positions
+    must partition [0 .. word_len).
+    @raise Invalid_argument if they do not, or if a part's generator data
+    length disagrees with its position count. *)
+val create : word_len:int -> (Hamming.Code.t * int list) list -> t
+
+(** [of_mapping ~codes ~mapping] builds a composite from a bit-to-generator
+    mapping array ([mapping.(j)] = generator index of word bit [j]), as
+    produced by {!Synth.Weighted}. *)
+val of_mapping : codes:Hamming.Code.t array -> mapping:int array -> t
+
+(** [word_len t] / [check_len t] / [block_len t] are the sizes in bits. *)
+val word_len : t -> int
+
+val check_len : t -> int
+val block_len : t -> int
+
+(** [parts t] exposes the generators with their protected positions. *)
+val parts : t -> (Hamming.Code.t * int list) list
+
+(** [encode t w] appends all parts' check bits to data word [w].  Words
+    are packed so that word bit [j] (bit 0 = most significant, as in the
+    paper's Figure 1) is integer bit [word_len - 1 - j]: a 32-bit float's
+    bit pattern {e is} the integer.  Check bits of part [p], index [j],
+    land at integer bit [word_len + offset_p + j]. *)
+val encode : t -> int -> int
+
+(** [is_valid t cw] holds iff every part's syndrome is zero. *)
+val is_valid : t -> int -> bool
+
+(** [data_of t cw] extracts the data word. *)
+val data_of : t -> int -> int
+
+(** [correct t cw] fixes at most one bit error per part; [None] if any
+    part is uncorrectable. *)
+val correct : t -> int -> int option
+
+(** [min_distance t] is the weakest part's minimum distance — the number
+    of bit errors needed to go undetected somewhere. *)
+val min_distance : t -> int
+
+(** [to_codec t] adapts the composite to the Monte-Carlo harness. *)
+val to_codec : t -> Channel.Montecarlo.codec

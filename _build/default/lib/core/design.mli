@@ -1,0 +1,35 @@
+(** The end-to-end application-specific design workflow of the paper:
+    measure how bit flips hurt a data format (Figure 1), derive per-bit
+    criticality weights, synthesize a weighted generator split (§4.3), and
+    assemble the resulting composite codec. *)
+
+type float32_design = {
+  weights : int array;  (** upper-16-bit criticality weights (1..100) *)
+  mapping : int array;  (** bit to generator assignment for the upper half *)
+  codec : Composite.t;  (** the full 32-bit codec, lower half on parity *)
+  sum_w : float;  (** the achieved §4.3 objective value *)
+  elapsed : float;
+}
+
+(** [float32 ?timeout ?p ?samples ()] reproduces the paper's pipeline for
+    IEEE float32 words: profile → weights → weighted synthesis of a
+    strong/weak generator pair for the upper 16 bits → parity for the
+    lower 16.  Returns [None] if synthesis finds no mapping in time. *)
+val float32 : ?timeout:float -> ?p:float -> ?samples:int -> unit -> float32_design option
+
+(** [paper_weights] is the §4.3 weight vector
+    (100,100,100,100,99,98,82,45,17,17,8,4,2,1,1,1). *)
+val paper_weights : int array
+
+(** [float32_with_weights ?timeout ?p weights] skips the profiling stage
+    and designs from the given 16 weights directly. *)
+val float32_with_weights :
+  ?timeout:float -> ?p:float -> int array -> float32_design option
+
+(** The three Table 2 reference codecs, for comparison:
+    two 16-bit parity halves; two (22,16) md-3 halves; and the
+    weighted [G_5^8 G_1^8 G_1^16] split with the paper's mapping. *)
+val table2_parity : Composite.t Lazy.t
+
+val table2_md3 : Composite.t Lazy.t
+val table2_float_specific : Composite.t Lazy.t

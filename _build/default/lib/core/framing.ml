@@ -1,0 +1,60 @@
+type report = { valid : int; corrected : int; uncorrectable : int }
+
+let magic = "FEC1"
+
+let encode codec words =
+  let descriptor = Registry.describe codec in
+  let w = Zip.Bitio.Writer.create () in
+  Zip.Bitio.Writer.string w magic;
+  Zip.Bitio.Writer.bits w (String.length descriptor) 16;
+  Zip.Bitio.Writer.align_byte w;
+  Zip.Bitio.Writer.string w descriptor;
+  Zip.Bitio.Writer.bits w (Array.length words) 24;
+  let block = Composite.block_len codec in
+  Array.iter
+    (fun word ->
+      let cw = Composite.encode codec word in
+      (* bit I/O caps single writes at 24 bits; split long codewords *)
+      let remaining = ref block and shift = ref 0 in
+      while !remaining > 0 do
+        let chunk = min 16 !remaining in
+        Zip.Bitio.Writer.bits w ((cw lsr !shift) land ((1 lsl chunk) - 1)) chunk;
+        shift := !shift + chunk;
+        remaining := !remaining - chunk
+      done)
+    words;
+  Zip.Bitio.Writer.contents w
+
+let decode frame =
+  let r = Zip.Bitio.Reader.create frame in
+  let seen_magic = Zip.Bitio.Reader.string r 4 in
+  if seen_magic <> magic then failwith "Framing.decode: bad magic";
+  let descriptor_len = Zip.Bitio.Reader.bits r 16 in
+  let descriptor = Zip.Bitio.Reader.string r descriptor_len in
+  let codec = Registry.composite_of_string descriptor in
+  let count = Zip.Bitio.Reader.bits r 24 in
+  let block = Composite.block_len codec in
+  let valid = ref 0 and corrected = ref 0 and uncorrectable = ref 0 in
+  let words =
+    Array.init count (fun _ ->
+        let cw = ref 0 and shift = ref 0 and remaining = ref block in
+        while !remaining > 0 do
+          let chunk = min 16 !remaining in
+          cw := !cw lor (Zip.Bitio.Reader.bits r chunk lsl !shift);
+          shift := !shift + chunk;
+          remaining := !remaining - chunk
+        done;
+        if Composite.is_valid codec !cw then begin
+          incr valid;
+          Composite.data_of codec !cw
+        end
+        else
+          match Composite.correct codec !cw with
+          | Some fixed ->
+              incr corrected;
+              Composite.data_of codec fixed
+          | None ->
+              incr uncorrectable;
+              Composite.data_of codec !cw)
+  in
+  (codec, words, { valid = !valid; corrected = !corrected; uncorrectable = !uncorrectable })

@@ -1,0 +1,21 @@
+(** Stream framing: serialize runs of FEC-protected words, carrying the
+    code descriptor in-band so a receiver can decode with a code it has
+    never seen — the "dynamically exchange codes" deployment story the
+    paper points at (RFC 5109). *)
+
+type report = {
+  valid : int;  (** codewords with zero syndrome *)
+  corrected : int;  (** single-bit errors repaired *)
+  uncorrectable : int;  (** detected but unrepairable codewords *)
+}
+
+(** [encode codec words] is a self-describing frame: magic, the
+    {!Registry} descriptor, the word count, then bit-packed codewords. *)
+val encode : Composite.t -> int array -> string
+
+(** [decode frame] parses a frame, rebuilds the codec from the in-band
+    descriptor, checks and (when possible) corrects each codeword, and
+    returns the recovered data words.  Uncorrectable words are returned
+    as-received (their data bits may be wrong) and counted in the report.
+    @raise Registry.Parse_error / Failure on malformed frames. *)
+val decode : string -> Composite.t * int array * report

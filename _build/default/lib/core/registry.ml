@@ -1,0 +1,85 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let matrix_descriptor code =
+  let g = Hamming.Code.generator code in
+  let rows =
+    List.init (Gf2.Matrix.rows g) (fun r -> Gf2.Bitvec.to_string (Gf2.Matrix.row g r))
+  in
+  "matrix:" ^ String.concat "-" rows
+
+let describe_code code =
+  let k = Hamming.Code.data_len code and c = Hamming.Code.check_len code in
+  if Hamming.Code.equal code (Hamming.Catalog.parity k) then Printf.sprintf "parity:%d" k
+  else if k = 1 then Printf.sprintf "repetition:%d" (c + 1)
+  else if
+    c >= 2
+    && k <= (1 lsl c) - 1 - c
+    && Hamming.Code.equal code (Hamming.Catalog.shortened ~data_len:k ~check_len:c)
+  then
+    if k = (1 lsl c) - 1 - c then Printf.sprintf "perfect:%d" c
+    else Printf.sprintf "shortened:%d:%d" k c
+  else matrix_descriptor code
+
+let int_of s what =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "bad %s %S" what s
+
+let rec code_of_string s =
+  match String.index_opt s ':' with
+  | None -> fail "missing ':' in code descriptor %S" s
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "parity" -> Hamming.Catalog.parity (int_of rest "parity length")
+      | "repetition" -> Hamming.Catalog.repetition (int_of rest "repetition length")
+      | "perfect" -> Hamming.Catalog.perfect (int_of rest "perfect r")
+      | "shortened" -> (
+          match String.split_on_char ':' rest with
+          | [ k; c ] ->
+              Hamming.Catalog.shortened ~data_len:(int_of k "data length")
+                ~check_len:(int_of c "check length")
+          | _ -> fail "shortened wants <k>:<c>")
+      | "extended" ->
+          let n = String.length rest in
+          if n < 2 || rest.[0] <> '(' || rest.[n - 1] <> ')' then
+            fail "extended wants (<code>)"
+          else Hamming.Catalog.extend (code_of_string (String.sub rest 1 (n - 2)))
+      | "matrix" -> (
+          let rows = String.split_on_char '-' rest in
+          try Hamming.Code.of_string (String.concat "\n" rows)
+          with Invalid_argument m -> fail "bad matrix: %s" m)
+      | other -> fail "unknown code kind %S" other)
+
+let describe composite =
+  Composite.parts composite
+  |> List.map (fun (code, positions) ->
+         Printf.sprintf "%s@%s" (describe_code code)
+           (String.concat "," (List.map string_of_int positions)))
+  |> String.concat "+"
+
+let composite_of_string s =
+  let parts =
+    String.split_on_char '+' s
+    |> List.map (fun part ->
+           match String.rindex_opt part '@' with
+           | None -> fail "part %S lacks '@positions'" part
+           | Some i ->
+               let code = code_of_string (String.sub part 0 i) in
+               let positions =
+                 String.sub part (i + 1) (String.length part - i - 1)
+                 |> String.split_on_char ','
+                 |> List.map (fun p -> int_of p "position")
+               in
+               (code, positions))
+  in
+  let word_len =
+    List.fold_left
+      (fun acc (_, positions) -> List.fold_left max acc (List.map (( + ) 1) positions))
+      0 parts
+  in
+  try Composite.create ~word_len parts
+  with Invalid_argument m -> fail "inconsistent composite: %s" m

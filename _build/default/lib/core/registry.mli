@@ -1,0 +1,32 @@
+(** Code descriptors: compact, printable identifiers for generators and
+    composite codecs, so endpoints can negotiate and exchange codes
+    dynamically (in the spirit of RFC 5109's payload-format FEC
+    identifiers, which the paper cites as the mechanism for deploying
+    per-format codes). *)
+
+(** Descriptor grammar:
+    {v
+      code  ::= parity:<k>
+              | repetition:<n>
+              | perfect:<r>
+              | shortened:<k>:<c>
+              | extended:(<code>)
+              | matrix:<rows with - separators, e.g. 1001-0101>
+      comp  ::= <code>@<pos,pos,...>  joined with +
+    v} *)
+
+exception Parse_error of string
+
+(** [describe_code code] is a descriptor for a single generator; catalog
+    constructions are recognized structurally, anything else becomes a
+    [matrix:] literal. *)
+val describe_code : Hamming.Code.t -> string
+
+(** [code_of_string s] reconstructs a generator. *)
+val code_of_string : string -> Hamming.Code.t
+
+(** [describe composite] / [composite_of_string] round-trip a composite
+    codec including its bit assignment. *)
+val describe : Composite.t -> string
+
+val composite_of_string : string -> Composite.t

@@ -1,0 +1,1 @@
+lib/gf2/bitvec.ml: Array Format Hashtbl Int32 List Printf Stdlib String Sys

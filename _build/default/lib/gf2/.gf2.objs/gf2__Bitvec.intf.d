@@ -1,0 +1,1 @@
+lib/gf2/bitvec.mli: Format

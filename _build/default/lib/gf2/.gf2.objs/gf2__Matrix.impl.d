@@ -1,0 +1,1 @@
+lib/gf2/matrix.ml: Array Bitvec Format List Printf Seq String

@@ -1,0 +1,1 @@
+lib/gf2/matrix.mli: Bitvec Format

@@ -1,0 +1,177 @@
+(* Bits are packed little-endian within native int words: bit index [i] lives
+   in word [i / word_bits] at bit offset [i mod word_bits].  The final word's
+   unused high bits are kept at zero as an invariant, which lets [equal],
+   [popcount], [is_zero] and [hash] work word-at-a-time. *)
+
+let word_bits = Sys.int_size - 1 (* 62 on 64-bit: keeps all shifts well-defined *)
+
+type t = { len : int; words : int array }
+
+let nwords len = if len = 0 then 0 else ((len - 1) / word_bits) + 1
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; words = Array.make (nwords len) 0 }
+
+let length v = v.len
+
+let check_index v i op =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Bitvec.%s: index %d out of bounds [0,%d)" op i v.len)
+
+let get v i =
+  check_index v i "get";
+  (v.words.(i / word_bits) lsr (i mod word_bits)) land 1 = 1
+
+let set v i b =
+  check_index v i "set";
+  let w = i / word_bits and off = i mod word_bits in
+  if b then v.words.(w) <- v.words.(w) lor (1 lsl off)
+  else v.words.(w) <- v.words.(w) land lnot (1 lsl off)
+
+let flip v i =
+  check_index v i "flip";
+  let w = i / word_bits and off = i mod word_bits in
+  v.words.(w) <- v.words.(w) lxor (1 lsl off)
+
+let init len f =
+  let v = create len in
+  for i = 0 to len - 1 do
+    if f i then set v i true
+  done;
+  v
+
+let copy v = { len = v.len; words = Array.copy v.words }
+
+let equal a b = a.len = b.len && a.words = b.words
+
+let compare a b =
+  let c = Stdlib.compare a.len b.len in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash v = Hashtbl.hash (v.len, v.words)
+
+let is_zero v = Array.for_all (fun w -> w = 0) v.words
+
+(* SWAR popcount over a native int. *)
+let popcount_word x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+
+let check_same_length a b op =
+  if a.len <> b.len then
+    invalid_arg (Printf.sprintf "Bitvec.%s: length mismatch (%d vs %d)" op a.len b.len)
+
+let xor a b =
+  check_same_length a b "xor";
+  { len = a.len; words = Array.init (Array.length a.words) (fun i -> a.words.(i) lxor b.words.(i)) }
+
+let xor_in_place dst src =
+  check_same_length dst src "xor_in_place";
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lxor src.words.(i)
+  done
+
+let logand a b =
+  check_same_length a b "logand";
+  { len = a.len; words = Array.init (Array.length a.words) (fun i -> a.words.(i) land b.words.(i)) }
+
+let parity v =
+  let p = Array.fold_left (fun acc w -> acc lxor w) 0 v.words in
+  popcount_word p land 1 = 1
+
+let dot a b =
+  check_same_length a b "dot";
+  let p = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    p := !p lxor (a.words.(i) land b.words.(i))
+  done;
+  popcount_word !p land 1 = 1
+
+let hamming_distance a b =
+  check_same_length a b "hamming_distance";
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount_word (a.words.(i) lxor b.words.(i))
+  done;
+  !acc
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (get v i)
+  done
+
+let iter_set f v =
+  for w = 0 to Array.length v.words - 1 do
+    let x = ref v.words.(w) in
+    while !x <> 0 do
+      let low = !x land (- !x) in
+      let off = popcount_word (low - 1) in
+      f ((w * word_bits) + off);
+      x := !x land lnot low
+    done
+  done
+
+let fold f init v =
+  let acc = ref init in
+  iteri (fun _ b -> acc := f !acc b) v;
+  !acc
+
+let to_list v =
+  let acc = ref [] in
+  iter_set (fun i -> acc := i :: !acc) v;
+  List.rev !acc
+
+let of_list len idxs =
+  let v = create len in
+  List.iter (fun i -> set v i true) idxs;
+  v
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  if len < 0 || src_pos < 0 || dst_pos < 0
+     || src_pos + len > src.len || dst_pos + len > dst.len
+  then invalid_arg "Bitvec.blit: range out of bounds";
+  for i = 0 to len - 1 do
+    set dst (dst_pos + i) (get src (src_pos + i))
+  done
+
+let append a b =
+  let v = create (a.len + b.len) in
+  blit ~src:a ~src_pos:0 ~dst:v ~dst_pos:0 ~len:a.len;
+  blit ~src:b ~src_pos:0 ~dst:v ~dst_pos:a.len ~len:b.len;
+  v
+
+let sub v pos len =
+  let out = create len in
+  blit ~src:v ~src_pos:pos ~dst:out ~dst_pos:0 ~len;
+  out
+
+let of_string s =
+  init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "Bitvec.of_string: invalid character %C" c))
+
+let to_string v = String.init v.len (fun i -> if get v i then '1' else '0')
+
+let of_int ~width x =
+  init width (fun i -> (x lsr (width - 1 - i)) land 1 = 1)
+
+let to_int v =
+  if v.len > Sys.int_size - 1 then
+    invalid_arg "Bitvec.to_int: vector too long for native int";
+  fold (fun acc b -> (acc lsl 1) lor if b then 1 else 0) 0 v
+
+let of_int32_bits x =
+  init 32 (fun i -> Int32.logand (Int32.shift_right_logical x (31 - i)) 1l = 1l)
+
+let to_int32_bits v =
+  if v.len <> 32 then invalid_arg "Bitvec.to_int32_bits: length must be 32";
+  let acc = ref 0l in
+  iteri (fun _ b -> acc := Int32.logor (Int32.shift_left !acc 1) (if b then 1l else 0l)) v;
+  !acc
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

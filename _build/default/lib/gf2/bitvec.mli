@@ -1,0 +1,119 @@
+(** Packed bit vectors over GF(2).
+
+    A [Bitvec.t] is a fixed-length vector of bits stored in native [int]
+    words.  Indices run from [0] (leftmost / most significant in the textual
+    representation) to [length v - 1].  All mutating operations are explicit
+    ([set], [xor_in_place], ...); the remaining API is persistent-style and
+    returns fresh vectors. *)
+
+type t
+
+(** [create n] is the all-zero vector of length [n].
+    @raise Invalid_argument if [n < 0]. *)
+val create : int -> t
+
+(** [init n f] is the vector [v] of length [n] with [get v i = f i]. *)
+val init : int -> (int -> bool) -> t
+
+(** [length v] is the number of bits in [v]. *)
+val length : t -> int
+
+(** [get v i] is bit [i] of [v].
+    @raise Invalid_argument if [i] is out of bounds. *)
+val get : t -> int -> bool
+
+(** [set v i b] destructively sets bit [i] of [v] to [b]. *)
+val set : t -> int -> bool -> unit
+
+(** [flip v i] destructively complements bit [i] of [v]. *)
+val flip : t -> int -> unit
+
+(** [copy v] is a fresh vector equal to [v]. *)
+val copy : t -> t
+
+(** [equal a b] is structural equality (same length, same bits). *)
+val equal : t -> t -> bool
+
+(** [compare a b] is a total order compatible with [equal]:
+    shorter vectors first, then lexicographic on bits. *)
+val compare : t -> t -> int
+
+(** [hash v] is a hash compatible with [equal]. *)
+val hash : t -> int
+
+(** [is_zero v] is [true] iff every bit of [v] is clear. *)
+val is_zero : t -> bool
+
+(** [popcount v] is the number of set bits in [v]. *)
+val popcount : t -> int
+
+(** [xor a b] is the bitwise sum over GF(2) of [a] and [b].
+    @raise Invalid_argument if lengths differ. *)
+val xor : t -> t -> t
+
+(** [xor_in_place dst src] destructively replaces [dst] with [xor dst src]. *)
+val xor_in_place : t -> t -> unit
+
+(** [logand a b] is the bitwise product over GF(2).
+    @raise Invalid_argument if lengths differ. *)
+val logand : t -> t -> t
+
+(** [dot a b] is the GF(2) inner product: parity of [popcount (logand a b)]. *)
+val dot : t -> t -> bool
+
+(** [parity v] is [true] iff [popcount v] is odd. *)
+val parity : t -> bool
+
+(** [hamming_distance a b] is [popcount (xor a b)]. *)
+val hamming_distance : t -> t -> int
+
+(** [append a b] is the concatenation of [a] followed by [b]. *)
+val append : t -> t -> t
+
+(** [sub v pos len] is the slice of [len] bits of [v] starting at [pos]. *)
+val sub : t -> int -> int -> t
+
+(** [blit ~src ~src_pos ~dst ~dst_pos ~len] copies a bit range. *)
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+(** [iteri f v] applies [f i (get v i)] for each index [i] in order. *)
+val iteri : (int -> bool -> unit) -> t -> unit
+
+(** [iter_set f v] applies [f i] for each set bit index [i] in order. *)
+val iter_set : (int -> unit) -> t -> unit
+
+(** [fold f init v] folds [f] over all bits of [v] from index [0]. *)
+val fold : ('a -> bool -> 'a) -> 'a -> t -> 'a
+
+(** [to_list v] is the list of set-bit indices of [v], ascending. *)
+val to_list : t -> int list
+
+(** [of_list n idxs] is the length-[n] vector with exactly the bits in
+    [idxs] set.  Duplicate indices are idempotent. *)
+val of_list : int -> int list -> t
+
+(** [of_string s] parses a string of ['0']/['1'] characters, index 0 first.
+    @raise Invalid_argument on any other character. *)
+val of_string : string -> t
+
+(** [to_string v] renders [v] as a string of ['0']/['1'] characters. *)
+val to_string : t -> string
+
+(** [of_int ~width x] is the length-[width] vector holding the [width]
+    low-order bits of [x], most significant bit first (index 0 is the MSB).
+    This matches the conventional left-to-right reading of binary numerals. *)
+val of_int : width:int -> int -> t
+
+(** [to_int v] interprets [v] as a big-endian binary numeral.
+    @raise Invalid_argument if [length v > Sys.int_size - 1]. *)
+val to_int : t -> int
+
+(** [of_int32_bits x] is the 32-bit vector of [x]'s bits, MSB first. *)
+val of_int32_bits : int32 -> t
+
+(** [to_int32_bits v] packs a 32-bit vector back into an [int32], MSB first.
+    @raise Invalid_argument if [length v <> 32]. *)
+val to_int32_bits : t -> int32
+
+(** [pp] formats a vector as its ['0']/['1'] string. *)
+val pp : Format.formatter -> t -> unit

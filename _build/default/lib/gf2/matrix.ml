@@ -1,0 +1,163 @@
+type t = { nrows : int; ncols : int; data : Bitvec.t array }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative dimension";
+  { nrows = rows; ncols = cols; data = Array.init rows (fun _ -> Bitvec.create cols) }
+
+let rows m = m.nrows
+let cols m = m.ncols
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if f r c then Bitvec.set m.data.(r) c true
+    done
+  done;
+  m
+
+let identity n = init ~rows:n ~cols:n (fun r c -> r = c)
+
+let check_row m r op =
+  if r < 0 || r >= m.nrows then
+    invalid_arg (Printf.sprintf "Matrix.%s: row %d out of bounds [0,%d)" op r m.nrows)
+
+let get m r c =
+  check_row m r "get";
+  Bitvec.get m.data.(r) c
+
+let set m r c b =
+  check_row m r "set";
+  Bitvec.set m.data.(r) c b
+
+let row m r =
+  check_row m r "row";
+  m.data.(r)
+
+let col m c = Bitvec.init m.nrows (fun r -> get m r c)
+
+let of_rows rws =
+  if Array.length rws = 0 then invalid_arg "Matrix.of_rows: empty";
+  let ncols = Bitvec.length rws.(0) in
+  Array.iter
+    (fun r ->
+      if Bitvec.length r <> ncols then invalid_arg "Matrix.of_rows: ragged rows")
+    rws;
+  { nrows = Array.length rws; ncols; data = Array.map Bitvec.copy rws }
+
+let copy m = { m with data = Array.map Bitvec.copy m.data }
+
+let equal a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && Array.for_all2 Bitvec.equal a.data b.data
+
+let transpose m = init ~rows:m.ncols ~cols:m.nrows (fun r c -> get m c r)
+
+(* Row-vector times matrix: result bit c is the parity of entries of v
+   selecting rows of m, i.e. the XOR of the selected rows. *)
+let vec_mul v m =
+  if Bitvec.length v <> m.nrows then
+    invalid_arg "Matrix.vec_mul: dimension mismatch";
+  let acc = Bitvec.create m.ncols in
+  Bitvec.iter_set (fun r -> Bitvec.xor_in_place acc m.data.(r)) v;
+  acc
+
+let mul_vec m v =
+  if Bitvec.length v <> m.ncols then
+    invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Bitvec.init m.nrows (fun r -> Bitvec.dot m.data.(r) v)
+
+let mul a b =
+  if a.ncols <> b.nrows then invalid_arg "Matrix.mul: dimension mismatch";
+  { nrows = a.nrows;
+    ncols = b.ncols;
+    data = Array.map (fun r -> vec_mul r b) a.data }
+
+let concat_h a b =
+  if a.nrows <> b.nrows then invalid_arg "Matrix.concat_h: row count mismatch";
+  { nrows = a.nrows;
+    ncols = a.ncols + b.ncols;
+    data = Array.init a.nrows (fun r -> Bitvec.append a.data.(r) b.data.(r)) }
+
+let sub_cols m ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > m.ncols then
+    invalid_arg "Matrix.sub_cols: range out of bounds";
+  { nrows = m.nrows;
+    ncols = len;
+    data = Array.map (fun r -> Bitvec.sub r pos len) m.data }
+
+let popcount m = Array.fold_left (fun acc r -> acc + Bitvec.popcount r) 0 m.data
+
+(* Gaussian elimination to reduced row-echelon form; used by both
+   [row_reduce] and [rank]. *)
+let rref_in_place m =
+  let pivot_row = ref 0 in
+  let c = ref 0 in
+  while !pivot_row < m.nrows && !c < m.ncols do
+    (* find a row at or below pivot_row with a 1 in column c *)
+    let found = ref (-1) in
+    let r = ref !pivot_row in
+    while !found < 0 && !r < m.nrows do
+      if Bitvec.get m.data.(!r) !c then found := !r;
+      incr r
+    done;
+    (match !found with
+    | -1 -> ()
+    | fr ->
+        let tmp = m.data.(!pivot_row) in
+        m.data.(!pivot_row) <- m.data.(fr);
+        m.data.(fr) <- tmp;
+        for r = 0 to m.nrows - 1 do
+          if r <> !pivot_row && Bitvec.get m.data.(r) !c then
+            Bitvec.xor_in_place m.data.(r) m.data.(!pivot_row)
+        done;
+        incr pivot_row);
+    incr c
+  done;
+  !pivot_row
+
+let row_reduce m =
+  let m' = copy m in
+  ignore (rref_in_place m');
+  m'
+
+let rank m =
+  let m' = copy m in
+  rref_in_place m'
+
+let is_identity_prefix m n =
+  n <= m.nrows && n <= m.ncols
+  &&
+  let ok = ref true in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      if get m r c <> (r = c) then ok := false
+    done
+  done;
+  !ok
+
+let of_string_rows s =
+  let raw =
+    String.split_on_char '\n' s
+    |> List.concat_map (String.split_on_char ';')
+    |> List.map (fun line ->
+           String.to_seq line
+           |> Seq.filter (fun ch -> ch <> ' ' && ch <> '\t' && ch <> '\r' && ch <> '|')
+           |> String.of_seq)
+    |> List.filter (fun line -> String.length line > 0)
+  in
+  match raw with
+  | [] -> invalid_arg "Matrix.of_string_rows: empty input"
+  | lines -> of_rows (Array.of_list (List.map Bitvec.of_string lines))
+
+let to_string m =
+  Array.to_list m.data |> List.map Bitvec.to_string |> String.concat "\n"
+
+let pp fmt m =
+  Format.pp_open_vbox fmt 0;
+  Array.iteri
+    (fun i r ->
+      if i > 0 then Format.pp_print_cut fmt ();
+      Bitvec.pp fmt r)
+    m.data;
+  Format.pp_close_box fmt ()

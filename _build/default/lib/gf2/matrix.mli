@@ -1,0 +1,89 @@
+(** Dense matrices over GF(2), stored as an array of {!Bitvec.t} rows.
+
+    Row index is the first coordinate, column the second.  Multiplication
+    follows the coding-theory conventions used throughout the library:
+    data words are row vectors, so encoding is [vec_mul d g]. *)
+
+type t
+
+(** [create ~rows ~cols] is the all-zero matrix. *)
+val create : rows:int -> cols:int -> t
+
+(** [init ~rows ~cols f] has entry [(r, c)] equal to [f r c]. *)
+val init : rows:int -> cols:int -> (int -> int -> bool) -> t
+
+(** [identity n] is the n-by-n identity matrix. *)
+val identity : int -> t
+
+(** [rows m] / [cols m] are the dimensions of [m]. *)
+val rows : t -> int
+
+val cols : t -> int
+
+(** [get m r c] is entry [(r, c)]. *)
+val get : t -> int -> int -> bool
+
+(** [set m r c b] destructively updates entry [(r, c)]. *)
+val set : t -> int -> int -> bool -> unit
+
+(** [row m r] is row [r] (shared, do not mutate). *)
+val row : t -> int -> Bitvec.t
+
+(** [col m c] is column [c] as a fresh vector. *)
+val col : t -> int -> Bitvec.t
+
+(** [of_rows rows] builds a matrix from equal-length row vectors.
+    @raise Invalid_argument on empty input or ragged rows. *)
+val of_rows : Bitvec.t array -> t
+
+(** [copy m] is a deep copy. *)
+val copy : t -> t
+
+(** [equal a b] is structural equality. *)
+val equal : t -> t -> bool
+
+(** [transpose m] is the transpose of [m]. *)
+val transpose : t -> t
+
+(** [vec_mul v m] is the row vector [v * m].
+    @raise Invalid_argument if [Bitvec.length v <> rows m]. *)
+val vec_mul : Bitvec.t -> t -> Bitvec.t
+
+(** [mul_vec m v] is the column vector [m * v^T] returned as a vector.
+    @raise Invalid_argument if [Bitvec.length v <> cols m]. *)
+val mul_vec : t -> Bitvec.t -> Bitvec.t
+
+(** [mul a b] is the matrix product [a * b].
+    @raise Invalid_argument if [cols a <> rows b]. *)
+val mul : t -> t -> t
+
+(** [concat_h a b] is the block matrix [(a | b)].
+    @raise Invalid_argument if row counts differ. *)
+val concat_h : t -> t -> t
+
+(** [sub_cols m ~pos ~len] is the column slice [m[:, pos..pos+len-1]]. *)
+val sub_cols : t -> pos:int -> len:int -> t
+
+(** [popcount m] is the number of set entries of [m]. *)
+val popcount : t -> int
+
+(** [rank m] is the GF(2) rank of [m]. *)
+val rank : t -> int
+
+(** [row_reduce m] is the reduced row-echelon form of [m] (fresh matrix). *)
+val row_reduce : t -> t
+
+(** [is_identity_prefix m n] is [true] iff the leading n-by-n block of [m]
+    is the identity. *)
+val is_identity_prefix : t -> int -> bool
+
+(** [of_string_rows s] parses rows of ['0']/['1'] separated by newlines or
+    [';'].  Spaces are ignored.
+    @raise Invalid_argument on ragged or empty input. *)
+val of_string_rows : string -> t
+
+(** [to_string m] renders rows of ['0']/['1'] separated by newlines. *)
+val to_string : t -> string
+
+(** [pp] multi-line formatter for matrices. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hamming/catalog.ml: Array Bitvec Code Gf2 Int List Matrix Printf

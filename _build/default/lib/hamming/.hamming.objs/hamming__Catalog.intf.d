@@ -1,0 +1,1 @@
+lib/hamming/catalog.mli: Code Lazy

@@ -1,0 +1,1 @@
+lib/hamming/chase.ml: Array Bitvec Code Float Fun Gf2 Printf

@@ -1,0 +1,1 @@
+lib/hamming/chase.mli: Code Gf2

@@ -1,0 +1,1 @@
+lib/hamming/code.ml: Array Bitvec Fun Gf2 Hashtbl Lazy List Matrix Printf

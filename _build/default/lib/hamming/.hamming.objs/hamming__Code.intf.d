@@ -1,0 +1,1 @@
+lib/hamming/code.mli: Format Gf2

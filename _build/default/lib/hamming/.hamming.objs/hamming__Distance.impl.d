@@ -1,0 +1,1 @@
+lib/hamming/distance.ml: Array Bitvec Card Code Ctx Expr Fun Gf2 List Matrix Sat Smtlite

@@ -1,0 +1,1 @@
+lib/hamming/distance.mli: Code Gf2

@@ -1,0 +1,1 @@
+lib/hamming/emit.ml: Array Buffer Code Fastcodec Gf2 Int64 List Matrix Printf String

@@ -1,0 +1,1 @@
+lib/hamming/emit.mli: Code

@@ -1,0 +1,1 @@
+lib/hamming/fastcodec.ml: Array Bitvec Code Gf2 Hashtbl Matrix Printf Sys

@@ -1,0 +1,1 @@
+lib/hamming/fastcodec.mli: Code Gf2

@@ -1,0 +1,1 @@
+lib/hamming/multibit.ml: Array Bitvec Code Gf2 Hashtbl List Matrix

@@ -1,0 +1,1 @@
+lib/hamming/multibit.mli: Code Gf2

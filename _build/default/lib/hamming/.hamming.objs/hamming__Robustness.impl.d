@@ -1,0 +1,1 @@
+lib/hamming/robustness.ml: Code Distance

@@ -1,0 +1,1 @@
+lib/hamming/robustness.mli: Code

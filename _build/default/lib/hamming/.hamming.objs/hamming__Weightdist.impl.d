@@ -1,0 +1,1 @@
+lib/hamming/weightdist.ml: Array Bitvec Code Gf2 Matrix

@@ -1,0 +1,1 @@
+lib/hamming/weightdist.mli: Code

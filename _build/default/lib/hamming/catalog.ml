@@ -1,0 +1,80 @@
+open Gf2
+
+let parity k =
+  if k < 1 then invalid_arg "Catalog.parity: need at least one data bit";
+  Code.make ~p:(Matrix.init ~rows:k ~cols:1 (fun _ _ -> true))
+
+let repetition n =
+  if n < 2 then invalid_arg "Catalog.repetition: need block length >= 2";
+  Code.make ~p:(Matrix.init ~rows:1 ~cols:(n - 1) (fun _ _ -> true))
+
+(* Distinct non-zero non-unit syndrome columns, ascending weight then
+   numeric value: a deterministic choice that keeps the coefficient matrix
+   sparse. *)
+let syndrome_columns ~check_len ~count =
+  let all = List.init ((1 lsl check_len) - 1) (fun x -> x + 1) in
+  let non_unit = List.filter (fun x -> x land (x - 1) <> 0) all in
+  let weight x =
+    let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+    go x 0
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Int.compare (weight a) (weight b) with 0 -> Int.compare a b | c -> c)
+      non_unit
+  in
+  if List.length sorted < count then
+    invalid_arg
+      (Printf.sprintf
+         "Catalog.shortened: %d data columns requested but only %d available with %d check bits"
+         count (List.length sorted) check_len);
+  List.filteri (fun i _ -> i < count) sorted
+
+let shortened ~data_len ~check_len =
+  if check_len < 2 then invalid_arg "Catalog.shortened: need at least 2 check bits";
+  let cols = Array.of_list (syndrome_columns ~check_len ~count:data_len) in
+  (* row i of P is the syndrome assigned to data bit i, LSB at column 0 *)
+  let p =
+    Matrix.init ~rows:data_len ~cols:check_len (fun i j -> (cols.(i) lsr j) land 1 = 1)
+  in
+  Code.make ~p
+
+let perfect r =
+  if r < 2 then invalid_arg "Catalog.perfect: need r >= 2";
+  shortened ~data_len:((1 lsl r) - 1 - r) ~check_len:r
+
+let extend code =
+  let k = Code.data_len code and c = Code.check_len code in
+  let p = Code.coefficient_matrix code in
+  (* the extra check bit makes every generator row have even weight, so all
+     codewords gain even overall parity *)
+  let p' =
+    Matrix.init ~rows:k ~cols:(c + 1) (fun i j ->
+        if j < c then Matrix.get p i j
+        else (1 + Bitvec.popcount (Matrix.row p i)) land 1 = 1)
+  in
+  Code.make ~p:p'
+
+let ieee_128_120 = lazy (shortened ~data_len:120 ~check_len:8)
+
+let fig2_7_4 =
+  lazy (Code.of_string "1000101\n0100110\n0010111\n0001011")
+
+let paper_g5_4 =
+  lazy
+    (Code.of_string
+       "100001111\n010010110\n001010101\n000111100")
+
+(* §6: the (7,4) check matrix extended with two extra identity blocks over
+   the data bits, making every pair of check-matrix columns sum uniquely. *)
+let paper_multibit_15_4 =
+  lazy
+    (let base = [ 0b1110; 0b0111; 0b1011 ] in
+     let units = [ 0b1000; 0b0100; 0b0010; 0b0001 ] in
+     let pt_rows = base @ units @ units in
+     let c = List.length pt_rows in
+     let pt = Array.of_list pt_rows in
+     (* pt.(j) holds the data-bit selections of check bit j, MSB = data 0 *)
+     let p = Matrix.init ~rows:4 ~cols:c (fun i j -> (pt.(j) lsr (3 - i)) land 1 = 1) in
+     Code.make ~p)

@@ -1,0 +1,44 @@
+(** Constructors for classical Hamming-family codes, plus the generators
+    used in the paper's experiments. *)
+
+(** [parity k] is the single-check even-parity code (k, 1): minimum
+    distance 2, detects all single-bit errors — the code the paper's
+    synthesizer rediscovers as [G_1^16] in §4.3. *)
+val parity : int -> Code.t
+
+(** [repetition n] is the 1-data-bit, (n-1)-check repetition code with
+    minimum distance [n]. *)
+val repetition : int -> Code.t
+
+(** [perfect r] is the perfect Hamming code with [r >= 2] check bits:
+    data length [2^r - 1 - r], block length [2^r - 1], minimum distance 3. *)
+val perfect : int -> Code.t
+
+(** [shortened ~data_len ~check_len] is a shortened Hamming code: the
+    check-matrix data columns are the lexicographically first
+    [data_len] distinct non-zero, non-unit vectors of [check_len] bits
+    (ordered by ascending weight).  Minimum distance 3 whenever
+    [data_len >= 1].
+    @raise Invalid_argument if [data_len > 2^check_len - 1 - check_len]. *)
+val shortened : data_len:int -> check_len:int -> Code.t
+
+(** [extend code] appends one overall-parity check bit, raising an
+    odd minimum distance by one (e.g. 3 to 4). *)
+val extend : Code.t -> Code.t
+
+(** [ieee_128_120] is the (128,120) shortened Hamming generator standing in
+    for the 802.3df inner-FEC code of Bliss et al. verified in the paper's
+    §4.1: same family, same parameters, minimum distance 3 (and not 4). *)
+val ieee_128_120 : Code.t Lazy.t
+
+(** [fig2_7_4] is the paper's Figure 2 (7,4) generator [G_3^4]. *)
+val fig2_7_4 : Code.t Lazy.t
+
+(** [paper_g5_4] is the synthesized generator [G_5^4] printed in §4.2
+    (minimum distance 4, 5 check bits). *)
+val paper_g5_4 : Code.t Lazy.t
+
+(** [paper_multibit_15_4] is the hand-crafted §6 generator extending the
+    (7,4) code with 8 additional check bits so that check-matrix column
+    pair sums are all distinct, detecting all 1- and 2-bit errors. *)
+val paper_multibit_15_4 : Code.t Lazy.t

@@ -1,0 +1,76 @@
+open Gf2
+
+type result = {
+  codeword : Bitvec.t;
+  data : Bitvec.t;
+  soft_distance : float;
+  candidates_tried : int;
+}
+
+let hard_decision llrs =
+  Bitvec.init (Array.length llrs) (fun i -> llrs.(i) < 0.0)
+
+(* Euclidean-style metric: sum of reliabilities of the positions where the
+   candidate disagrees with the hard decision — minimizing it maximizes
+   correlation with the received soft values. *)
+let soft_distance llrs candidate =
+  let acc = ref 0.0 in
+  Bitvec.iteri
+    (fun i bit ->
+      let hard_bit = llrs.(i) < 0.0 in
+      if bit <> hard_bit then acc := !acc +. Float.abs llrs.(i))
+    candidate;
+  !acc
+
+let syndrome_decode code word =
+  match Code.decode code word with
+  | Code.Valid _ -> Some (Bitvec.copy word)
+  | Code.Corrected (_, pos) ->
+      let w = Bitvec.copy word in
+      Bitvec.flip w pos;
+      Some w
+  | Code.Uncorrectable _ -> None
+
+let decode ?(test_positions = 4) code llrs =
+  let n = Code.block_len code in
+  if Array.length llrs <> n then
+    invalid_arg
+      (Printf.sprintf "Chase.decode: %d LLRs for block length %d" (Array.length llrs) n);
+  if test_positions < 0 || test_positions > 20 then
+    invalid_arg "Chase.decode: test_positions out of range [0,20]";
+  let hard = hard_decision llrs in
+  (* indices of the t least-reliable positions *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare (Float.abs llrs.(a)) (Float.abs llrs.(b))) order;
+  let t = min test_positions n in
+  let best = ref None in
+  let tried = ref 0 in
+  for pattern = 0 to (1 lsl t) - 1 do
+    let trial = Bitvec.copy hard in
+    for j = 0 to t - 1 do
+      if (pattern lsr j) land 1 = 1 then Bitvec.flip trial order.(j)
+    done;
+    match syndrome_decode code trial with
+    | None -> ()
+    | Some candidate ->
+        incr tried;
+        let d = soft_distance llrs candidate in
+        (match !best with
+        | Some (_, best_d) when best_d <= d -> ()
+        | _ -> best := Some (candidate, d))
+  done;
+  match !best with
+  | None -> None
+  | Some (codeword, soft_distance) ->
+      Some
+        {
+          codeword;
+          data = Code.data_of code codeword;
+          soft_distance;
+          candidates_tried = !tried;
+        }
+
+let decode_hard code llrs =
+  let n = Code.block_len code in
+  if Array.length llrs <> n then invalid_arg "Chase.decode_hard: length mismatch";
+  syndrome_decode code (hard_decision llrs)

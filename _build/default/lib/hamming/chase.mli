@@ -1,0 +1,28 @@
+(** Soft-decision Chase-II decoding.
+
+    The 802.3df inner Hamming code the paper verifies in §4.1 is decoded
+    in hardware with soft Chase decoding (Bliss et al., the paper's [4]).
+    Chase-II: take the hard decision, identify the [t] least-reliable
+    positions, try all [2^t] flip patterns over them, decode each with the
+    hard (syndrome) decoder, and keep the candidate codeword closest to
+    the received soft values — recovering most multi-bit error patterns a
+    hard decoder would miss. *)
+
+type result = {
+  codeword : Gf2.Bitvec.t;
+  data : Gf2.Bitvec.t;
+  soft_distance : float;  (** correlation distance of the winner *)
+  candidates_tried : int;
+}
+
+(** [decode ?test_positions code llrs] runs Chase-II with [t]
+    least-reliable test positions (default 4).  [llrs.(i) > 0] means bit
+    [i] is more likely 0; magnitudes are reliabilities.  Returns [None]
+    when no flip pattern yields a decodable word.
+    @raise Invalid_argument if the LLR count differs from the block
+    length. *)
+val decode : ?test_positions:int -> Code.t -> float array -> result option
+
+(** [decode_hard code llrs] is the baseline: hard decision + syndrome
+    correction only (for comparing against Chase in benchmarks). *)
+val decode_hard : Code.t -> float array -> Gf2.Bitvec.t option

@@ -1,0 +1,115 @@
+open Gf2
+
+type t = {
+  k : int;
+  c : int;
+  p : Matrix.t; (* k×c coefficient matrix *)
+  g : Matrix.t Lazy.t; (* (I_k | P) *)
+  h : Matrix.t Lazy.t; (* (P^T | I_c) *)
+  syndrome_index : (Bitvec.t, int) Hashtbl.t Lazy.t; (* column -> position *)
+}
+
+type decode_result =
+  | Valid of Bitvec.t
+  | Corrected of Bitvec.t * int
+  | Uncorrectable of Bitvec.t
+
+let make ~p =
+  let k = Matrix.rows p and c = Matrix.cols p in
+  let g = lazy (Matrix.concat_h (Matrix.identity k) p) in
+  let h = lazy (Matrix.concat_h (Matrix.transpose p) (Matrix.identity c)) in
+  let syndrome_index =
+    lazy
+      (let tbl = Hashtbl.create (k + c) in
+       let hm = Lazy.force h in
+       (* first column wins: ambiguous (repeated) columns decode to the
+          earliest position, matching syndrome-table decoders *)
+       for j = (k + c) - 1 downto 0 do
+         Hashtbl.replace tbl (Matrix.col hm j) j
+       done;
+       tbl)
+  in
+  { k; c; p; g; h; syndrome_index }
+
+let of_generator g =
+  let k = Matrix.rows g in
+  if Matrix.cols g < k then
+    invalid_arg "Code.of_generator: more rows than columns";
+  if not (Matrix.is_identity_prefix g k) then
+    invalid_arg "Code.of_generator: generator is not in systematic (I|P) form";
+  make ~p:(Matrix.sub_cols g ~pos:k ~len:(Matrix.cols g - k))
+
+(* Reduce H to reveal a pivot basis, move the pivot columns to the check
+   positions, and read the coefficient matrix off the reduced form: with
+   columns ordered (non-pivots | pivots), RREF(H) = (A | I_r) and the
+   systematic convention H = (P^T | I_r) gives P = A^T. *)
+let of_check_matrix h =
+  let r = Matrix.rows h and n = Matrix.cols h in
+  let rref = Matrix.row_reduce h in
+  (* pivot column of each row: the first set entry *)
+  let pivots =
+    Array.init r (fun row ->
+        let rec find c =
+          if c >= n then invalid_arg "Code.of_check_matrix: H is not full row rank"
+          else if Matrix.get rref row c then c
+          else find (c + 1)
+        in
+        find 0)
+  in
+  let is_pivot = Array.make n false in
+  Array.iter (fun c -> is_pivot.(c) <- true) pivots;
+  let non_pivots =
+    List.filter (fun c -> not is_pivot.(c)) (List.init n Fun.id)
+  in
+  let perm = Array.of_list (non_pivots @ Array.to_list pivots) in
+  let k = n - r in
+  (* in RREF, row [row] has a 1 in data column c iff that column's
+     coefficient against pivot [row] is set *)
+  let p =
+    Matrix.init ~rows:k ~cols:r (fun i j -> Matrix.get rref j perm.(i))
+  in
+  (make ~p, perm)
+
+let data_len t = t.k
+let check_len t = t.c
+let block_len t = t.k + t.c
+let coefficient_matrix t = t.p
+let generator t = Lazy.force t.g
+let check_matrix t = Lazy.force t.h
+let set_bits t = Matrix.popcount t.p
+
+let encode t d =
+  if Bitvec.length d <> t.k then
+    invalid_arg
+      (Printf.sprintf "Code.encode: data length %d, expected %d" (Bitvec.length d) t.k);
+  (* systematic: codeword = data ++ d·P, avoiding the full generator *)
+  Bitvec.append d (Matrix.vec_mul d t.p)
+
+let syndrome t w =
+  if Bitvec.length w <> t.k + t.c then
+    invalid_arg
+      (Printf.sprintf "Code.syndrome: word length %d, expected %d" (Bitvec.length w)
+         (t.k + t.c));
+  (* H·w = P^T·data + check, computed blockwise *)
+  let data = Bitvec.sub w 0 t.k in
+  let check = Bitvec.sub w t.k t.c in
+  Bitvec.xor (Matrix.vec_mul data t.p) check
+
+let is_valid t w = Bitvec.is_zero (syndrome t w)
+let data_of t w = Bitvec.sub w 0 t.k
+
+let decode t w =
+  let s = syndrome t w in
+  if Bitvec.is_zero s then Valid (data_of t w)
+  else
+    match Hashtbl.find_opt (Lazy.force t.syndrome_index) s with
+    | Some j ->
+        let w' = Bitvec.copy w in
+        Bitvec.flip w' j;
+        Corrected (data_of t w', j)
+    | None -> Uncorrectable s
+
+let equal a b = Matrix.equal a.p b.p
+let to_string t = Matrix.to_string (generator t)
+let of_string s = of_generator (Matrix.of_string_rows s)
+let pp fmt t = Matrix.pp fmt (generator t)

@@ -1,0 +1,89 @@
+(** Systematic Hamming-style block codes over GF(2).
+
+    A code is represented by its coefficient matrix [P] (the paper's
+    notation): the generator is the block matrix [G = (I_k | P)] and the
+    check matrix is [H = (P^T | I_c)], where [k] is the data length and
+    [c] the number of check bits.  Codewords carry the data systematically
+    in their first [k] bits, followed by [c] check bits. *)
+
+type t
+
+(** Result of decoding a received word. *)
+type decode_result =
+  | Valid of Gf2.Bitvec.t  (** zero syndrome; data extracted as-is *)
+  | Corrected of Gf2.Bitvec.t * int
+      (** syndrome matched check-matrix column [j]: single-bit error at
+          codeword position [j] was flipped back; corrected data returned *)
+  | Uncorrectable of Gf2.Bitvec.t
+      (** non-zero syndrome matching no column: error detected but not
+          correctable; the syndrome is returned *)
+
+(** [make ~p] builds a code from its [k]-by-[c] coefficient matrix. *)
+val make : p:Gf2.Matrix.t -> t
+
+(** [of_generator g] builds a code from a full systematic generator
+    [(I_k | P)].
+    @raise Invalid_argument if the left block is not the identity. *)
+val of_generator : Gf2.Matrix.t -> t
+
+(** [of_check_matrix h] builds a systematic code from an arbitrary
+    full-row-rank parity-check matrix [h] (rows = checks, columns =
+    codeword positions), as used by LDPC and other H-first constructions.
+    Columns are permuted so that a pivot basis lands in the check
+    positions; the returned array maps each position of the systematic
+    code to the original column of [h] ([perm.(i)] = original column of
+    systematic position [i]).
+    @raise Invalid_argument if [h] does not have full row rank. *)
+val of_check_matrix : Gf2.Matrix.t -> t * int array
+
+(** [data_len t] is [k], the number of data bits per word. *)
+val data_len : t -> int
+
+(** [check_len t] is [c], the number of check bits per word. *)
+val check_len : t -> int
+
+(** [block_len t] is [n = k + c], the codeword length. *)
+val block_len : t -> int
+
+(** [coefficient_matrix t] is [P] ([k]-by-[c]). *)
+val coefficient_matrix : t -> Gf2.Matrix.t
+
+(** [generator t] is [G = (I_k | P)] ([k]-by-[n]). *)
+val generator : t -> Gf2.Matrix.t
+
+(** [check_matrix t] is [H = (P^T | I_c)] ([c]-by-[n]). *)
+val check_matrix : t -> Gf2.Matrix.t
+
+(** [set_bits t] is the number of ones in the coefficient matrix — the
+    paper's [len_1], minimized in its §4.4 experiment. *)
+val set_bits : t -> int
+
+(** [encode t d] is the codeword [d · G].
+    @raise Invalid_argument if [Bitvec.length d <> data_len t]. *)
+val encode : t -> Gf2.Bitvec.t -> Gf2.Bitvec.t
+
+(** [syndrome t w] is the check bits [H · w^T].
+    @raise Invalid_argument if [Bitvec.length w <> block_len t]. *)
+val syndrome : t -> Gf2.Bitvec.t -> Gf2.Bitvec.t
+
+(** [is_valid t w] holds iff [w] is a codeword (zero syndrome). *)
+val is_valid : t -> Gf2.Bitvec.t -> bool
+
+(** [data_of t w] is the systematic data prefix of [w]. *)
+val data_of : t -> Gf2.Bitvec.t -> Gf2.Bitvec.t
+
+(** [decode t w] checks and, when the syndrome identifies a unique
+    single-bit error position, corrects the received word. *)
+val decode : t -> Gf2.Bitvec.t -> decode_result
+
+(** [equal a b] holds iff the codes have identical coefficient matrices. *)
+val equal : t -> t -> bool
+
+(** [to_string t] renders the generator matrix rows ([I|P], ['0']/['1']).
+    [of_string] parses it back (inverse of [to_string]). *)
+val to_string : t -> string
+
+val of_string : string -> t
+
+(** [pp] formats the generator matrix. *)
+val pp : Format.formatter -> t -> unit

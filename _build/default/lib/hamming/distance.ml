@@ -1,0 +1,142 @@
+open Gf2
+
+(* Enumerate data words of a given weight, calling [f] on each.  Stops and
+   returns [Some x] as soon as [f] does. *)
+let iter_weight k w f =
+  let idx = Array.init w Fun.id in
+  let exception Stop in
+  let result = ref None in
+  let d = Bitvec.create k in
+  (try
+     if w > k then ()
+     else begin
+       let continue = ref true in
+       while !continue do
+         Array.iter (fun i -> Bitvec.set d i true) idx;
+         (match f d with
+         | Some _ as r ->
+             result := r;
+             raise Stop
+         | None -> ());
+         Array.iter (fun i -> Bitvec.set d i false) idx;
+         (* advance the combination idx to the next k-subset *)
+         let rec bump pos =
+           if pos < 0 then continue := false
+           else if idx.(pos) < k - (w - pos) then begin
+             idx.(pos) <- idx.(pos) + 1;
+             for q = pos + 1 to w - 1 do
+               idx.(q) <- idx.(q - 1) + 1
+             done
+           end
+           else bump (pos - 1)
+         in
+         bump (w - 1)
+       done
+     end
+   with Stop -> ());
+  !result
+
+(* Minimum codeword weight restricted to data words of weight [w]. *)
+let best_at_weight code w bound =
+  let best = ref bound in
+  ignore
+    (iter_weight (Code.data_len code) w (fun d ->
+         let cw = Bitvec.popcount (Code.encode code d) in
+         if cw < !best then best := cw;
+         None));
+  !best
+
+let min_distance code =
+  let k = Code.data_len code in
+  if k = 0 then invalid_arg "Distance.min_distance: code has no data bits";
+  let best = ref (Code.block_len code + 1) in
+  let w = ref 1 in
+  (* codeword weight >= data weight: once w exceeds the best weight found,
+     heavier data words cannot improve it *)
+  while !w <= !best && !w <= k do
+    best := best_at_weight code !w !best;
+    incr w
+  done;
+  !best
+
+let counterexample code m =
+  let k = Code.data_len code in
+  let rec go w =
+    if w >= m || w > k then None
+    else
+      match
+        iter_weight k w (fun d ->
+            if Bitvec.popcount (Code.encode code d) < m then Some (Bitvec.copy d)
+            else None)
+      with
+      | Some d -> Some d
+      | None -> go (w + 1)
+  in
+  go 1
+
+let has_min_distance_at_least code m = counterexample code m = None
+
+let has_min_distance code m =
+  has_min_distance_at_least code m && not (has_min_distance_at_least code (m + 1))
+
+(* ---------- SAT-based checking (paper §3.2 verifier methodology) ---------- *)
+
+open Smtlite
+
+(* Build the symbolic encoding of "there is a non-zero data word whose
+   codeword has weight < m" and return it together with the data
+   variables. *)
+let encode_violation code m =
+  let k = Code.data_len code and c = Code.check_len code in
+  let p = Code.coefficient_matrix code in
+  let data = List.init k (fun i -> Expr.var i) in
+  let data_arr = Array.of_list data in
+  (* check bit j is the parity of data bits selected by column j of P *)
+  let checks =
+    List.init c (fun j ->
+        let selected = ref [] in
+        for i = 0 to k - 1 do
+          if Matrix.get p i j then selected := data_arr.(i) :: !selected
+        done;
+        Expr.xor_l !selected)
+  in
+  let word = data @ checks in
+  let nonzero = Expr.or_ data in
+  let light = Card.at_most Card.Sequential word (m - 1) in
+  (Expr.and_ [ nonzero; light ], data)
+
+let sat_counterexample ?deadline code m =
+  if m <= 1 then None
+  else begin
+    let violation, data = encode_violation code m in
+    let ctx = Ctx.create () in
+    Ctx.assert_ ctx violation;
+    match Ctx.check ?deadline ctx with
+    | Ctx.Unsat -> None
+    | Ctx.Sat ->
+        let k = Code.data_len code in
+        Some (Bitvec.init k (fun i -> Ctx.model_bool ctx (List.nth data i)))
+  end
+
+let sat_has_min_distance_at_least ?deadline code m =
+  sat_counterexample ?deadline code m = None
+
+let certified_min_distance_at_least ?deadline code m =
+  if m <= 1 then `Certified "" (* vacuous: any non-trivial code has md >= 1 *)
+  else begin
+    let violation, data = encode_violation code m in
+    let ctx = Ctx.create ~proof:true () in
+    Ctx.assert_ ctx violation;
+    match Ctx.check ?deadline ctx with
+    | Ctx.Sat ->
+        let k = Code.data_len code in
+        `Refuted (Bitvec.init k (fun i -> Ctx.model_bool ctx (List.nth data i)))
+    | Ctx.Unsat -> (
+        match Ctx.certificate ctx with
+        | None -> failwith "Distance.certified: proof recording was not enabled"
+        | Some (formula, proof) -> (
+            match Sat.Drat.check ~formula proof with
+            | Sat.Drat.Valid -> `Certified proof
+            | Sat.Drat.Invalid msg ->
+                failwith ("Distance.certified: solver emitted an invalid proof: " ^ msg)))
+  end

@@ -1,0 +1,54 @@
+(** Minimum-distance computation and checking.
+
+    For a linear code the minimum distance equals the minimum Hamming
+    weight over non-zero codewords.  For systematic codes the codeword
+    weight is at least the data weight, so the exact search enumerates data
+    words by ascending weight and stops as soon as the weight being
+    enumerated exceeds the best codeword weight found — making exact
+    computation cheap whenever the distance is small, even for long codes
+    such as (128,120).
+
+    A SAT-based checker is also provided: it reproduces the paper's
+    methodology (the verifier side of §3.2) and cross-checks the
+    combinatorial search in tests. *)
+
+(** [min_distance code] is the exact minimum distance.
+    @raise Invalid_argument if the code has no data bits. *)
+val min_distance : Code.t -> int
+
+(** [has_min_distance_at_least code m] decides [min_distance code >= m]
+    without necessarily computing the exact distance (enumerates data words
+    of weight < m only). *)
+val has_min_distance_at_least : Code.t -> int -> bool
+
+(** [has_min_distance code m] decides [min_distance code = m]. *)
+val has_min_distance : Code.t -> int -> bool
+
+(** [counterexample code m] is a non-zero data word whose codeword has
+    weight < [m], if one exists — the witness the CEGIS verifier feeds back
+    to the synthesizer. *)
+val counterexample : Code.t -> int -> Gf2.Bitvec.t option
+
+(** [sat_has_min_distance_at_least ?deadline code m] decides the same
+    property by SAT: it asserts the existence of a non-zero data word whose
+    codeword weight is below [m] and reports [true] iff the solver answers
+    UNSAT.  @raise Smtlite.Ctx.Timeout if the deadline is exceeded. *)
+val sat_has_min_distance_at_least : ?deadline:float -> Code.t -> int -> bool
+
+(** [sat_counterexample ?deadline code m] is the SAT-side witness search:
+    [Some d] for a data word encoding to weight < [m], [None] if the bound
+    holds. *)
+val sat_counterexample : ?deadline:float -> Code.t -> int -> Gf2.Bitvec.t option
+
+(** [certified_min_distance_at_least ?deadline code m] decides the bound
+    with an auditable outcome: [`Certified proof] carries a DRAT
+    refutation of "some non-zero data word encodes below weight [m]",
+    already validated by the independent {!Sat.Drat} checker; [`Refuted d]
+    carries a concrete witness data word, checkable by re-encoding.
+    @raise Failure if the solver emits a proof the checker rejects
+    (indicating a solver bug — never observed, and property-tested). *)
+val certified_min_distance_at_least :
+  ?deadline:float ->
+  Code.t ->
+  int ->
+  [ `Certified of string | `Refuted of Gf2.Bitvec.t ]

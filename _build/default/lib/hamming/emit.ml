@@ -1,0 +1,128 @@
+open Gf2
+
+type style = Xor_chain | Mask
+
+let check_masks code =
+  let c = Code.check_len code in
+  let p = Code.coefficient_matrix code in
+  Array.init c (fun j -> Fastcodec.int_of_bitvec (Matrix.col p j))
+
+let check_chains code =
+  let k = Code.data_len code and c = Code.check_len code in
+  let p = Code.coefficient_matrix code in
+  Array.init c (fun j ->
+      let acc = ref [] in
+      for i = k - 1 downto 0 do
+        if Matrix.get p i j then acc := i :: !acc
+      done;
+      !acc)
+
+let validate code =
+  if Code.block_len code > 64 then invalid_arg "Emit: block length exceeds 64 bits"
+
+(* C expression computing the parity feeding check bit j, before `& 1` *)
+let c_check_expr style masks chains var j =
+  match style with
+  | Mask -> Printf.sprintf "parity64(%s & UINT64_C(0x%Lx))" var (Int64.of_int masks.(j))
+  | Xor_chain -> (
+      match chains.(j) with
+      | [] -> "0u"
+      | chain ->
+          "("
+          ^ String.concat " ^ "
+              (List.map (fun i -> Printf.sprintf "(%s >> %d)" var i) chain)
+          ^ ") & 1u")
+
+let c_source ?(style = Xor_chain) ?(name = "fec") code =
+  validate code;
+  let k = Code.data_len code and c = Code.check_len code in
+  let masks = check_masks code in
+  let chains = check_chains code in
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "/* Generated encoder/checker for a (%d,%d) systematic code (%s style). */\n"
+    (k + c) k
+    (match style with Xor_chain -> "xor-chain" | Mask -> "mask");
+  pf "#include <stdint.h>\n#include <stdio.h>\n#include <time.h>\n\n";
+  (match style with
+  | Mask ->
+      pf "static inline uint64_t parity64(uint64_t x) {\n";
+      pf "  x ^= x >> 32; x ^= x >> 16; x ^= x >> 8;\n";
+      pf "  x ^= x >> 4;  x ^= x >> 2;  x ^= x >> 1;\n";
+      pf "  return x & 1u;\n}\n\n"
+  | Xor_chain -> ());
+  let wrap expr = match style with Mask -> expr | Xor_chain -> expr in
+  pf "uint64_t %s_encode(uint64_t data) {\n" name;
+  pf "  uint64_t w = data;\n";
+  for j = 0 to c - 1 do
+    pf "  w |= (uint64_t)(%s) << %d;\n" (wrap (c_check_expr style masks chains "data" j)) (k + j)
+  done;
+  pf "  return w;\n}\n\n";
+  pf "uint64_t %s_syndrome(uint64_t word) {\n" name;
+  pf "  uint64_t data = word & UINT64_C(0x%Lx);\n" (Int64.of_int ((1 lsl k) - 1));
+  pf "  uint64_t s = 0;\n";
+  for j = 0 to c - 1 do
+    pf "  s |= (uint64_t)(((%s) ^ ((word >> %d) & 1u)) & 1u) << %d;\n"
+      (c_check_expr style masks chains "data" j)
+      (k + j) j
+  done;
+  pf "  return s;\n}\n\n";
+  pf "int main(void) {\n";
+  pf "  uint64_t acc = 0;\n";
+  pf "  clock_t start = clock();\n";
+  pf "  for (uint64_t d = 0; d < UINT64_C(4294967296); d += 21) {\n";
+  pf "    uint64_t w = %s_encode(d & UINT64_C(0x%Lx));\n" name
+    (Int64.of_int ((1 lsl k) - 1));
+  pf "    acc ^= w ^ %s_syndrome(w);\n" name;
+  pf "  }\n";
+  pf "  double secs = (double)(clock() - start) / CLOCKS_PER_SEC;\n";
+  pf "  printf(\"checksum=%%llu time=%%f\\n\", (unsigned long long)acc, secs);\n";
+  pf "  return 0;\n}\n";
+  Buffer.contents buf
+
+let ml_check_expr style masks chains var j =
+  match style with
+  | Mask -> Printf.sprintf "parity_word (%s land 0x%x)" var masks.(j)
+  | Xor_chain -> (
+      match chains.(j) with
+      | [] -> "0"
+      | chain ->
+          "("
+          ^ String.concat " lxor "
+              (List.map (fun i -> Printf.sprintf "(%s lsr %d)" var i) chain)
+          ^ ") land 1")
+
+let ocaml_source ?(style = Xor_chain) ?(name = "fec") code =
+  validate code;
+  let k = Code.data_len code and c = Code.check_len code in
+  let masks = check_masks code in
+  let chains = check_chains code in
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "(* Generated encoder/checker for a (%d,%d) systematic code (%s style). *)\n"
+    (k + c) k
+    (match style with Xor_chain -> "xor-chain" | Mask -> "mask");
+  (match style with
+  | Mask ->
+      pf "let parity_word x =\n";
+      pf "  let x = x lxor (x lsr 32) in let x = x lxor (x lsr 16) in\n";
+      pf "  let x = x lxor (x lsr 8) in let x = x lxor (x lsr 4) in\n";
+      pf "  let x = x lxor (x lsr 2) in let x = x lxor (x lsr 1) in\n";
+      pf "  x land 1\n\n"
+  | Xor_chain -> ());
+  pf "let %s_encode data =\n" name;
+  pf "  let w = ref data in\n";
+  for j = 0 to c - 1 do
+    pf "  w := !w lor ((%s) lsl %d);\n" (ml_check_expr style masks chains "data" j) (k + j)
+  done;
+  pf "  !w\n\n";
+  pf "let %s_syndrome word =\n" name;
+  pf "  let data = word land 0x%x in\n" ((1 lsl k) - 1);
+  pf "  let s = ref 0 in\n";
+  for j = 0 to c - 1 do
+    pf "  s := !s lor ((((%s) lxor ((word lsr %d) land 1)) land 1) lsl %d);\n"
+      (ml_check_expr style masks chains "data" j)
+      (k + j) j
+  done;
+  pf "  !s\n";
+  Buffer.contents buf

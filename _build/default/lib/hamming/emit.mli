@@ -1,0 +1,27 @@
+(** Source-code emitters: generator-specific encode/check routines built
+    only from AND/XOR/shift operators, as in the paper's §4.4 experiment
+    which emitted one C program per synthesized generator. *)
+
+(** Code-generation style for the specialized routines. *)
+type style =
+  | Xor_chain
+      (** one shift+XOR per set coefficient bit — the paper's §4.4 style,
+          whose cost scales with [Code.set_bits] (Figure 5) *)
+  | Mask  (** one AND+parity per check bit, independent of set bits *)
+
+(** [c_source ?style ?name code] is a complete, self-contained C
+    translation unit defining [uint64_t <name>_encode(uint64_t data)] and
+    [uint64_t <name>_syndrome(uint64_t word)], plus a [main] that sweeps
+    data words with the paper's stride of 21 and prints a checksum and
+    timing.  Default style is [Xor_chain], as in the paper.  Requires
+    block length <= 64. *)
+val c_source : ?style:style -> ?name:string -> Code.t -> string
+
+(** [ocaml_source ?style ?name code] is the analogous OCaml module
+    source. *)
+val ocaml_source : ?style:style -> ?name:string -> Code.t -> string
+
+(** [check_masks code] is the per-check-bit data-selection masks the
+    emitters embed, exposed for tests ([masks.(j)] selects the data bits
+    feeding check bit [j]). *)
+val check_masks : Code.t -> int array

@@ -1,0 +1,146 @@
+open Gf2
+
+type t = {
+  data_len : int;
+  check_len : int;
+  encode : int -> int;
+  syndrome : int -> int;
+  correct : int -> int option;
+}
+
+let parity_word x =
+  let x = x lxor (x lsr 32) in
+  let x = x lxor (x lsr 16) in
+  let x = x lxor (x lsr 8) in
+  let x = x lxor (x lsr 4) in
+  let x = x lxor (x lsr 2) in
+  let x = x lxor (x lsr 1) in
+  x land 1
+
+let int_of_bitvec v =
+  if Bitvec.length v > Sys.int_size - 1 then
+    invalid_arg "Fastcodec.int_of_bitvec: vector too long";
+  let acc = ref 0 in
+  Bitvec.iter_set (fun i -> acc := !acc lor (1 lsl i)) v;
+  !acc
+
+let bitvec_of_int ~len x = Bitvec.init len (fun i -> (x lsr i) land 1 = 1)
+
+let check_dims code =
+  if Code.block_len code > Sys.int_size - 1 then
+    invalid_arg
+      (Printf.sprintf "Fastcodec: block length %d exceeds native word"
+         (Code.block_len code))
+
+(* Syndrome of a single-bit error at codeword position j = column j of H. *)
+let column_syndromes code =
+  let k = Code.data_len code and c = Code.check_len code in
+  let p = Code.coefficient_matrix code in
+  Array.init (k + c) (fun j ->
+      if j < k then int_of_bitvec (Matrix.row p j) else 1 lsl (j - k))
+
+let make_correct code syndrome =
+  let cols = column_syndromes code in
+  let table = Hashtbl.create (Array.length cols) in
+  Array.iteri
+    (fun j s -> if not (Hashtbl.mem table s) then Hashtbl.add table s j)
+    cols;
+  fun w ->
+    let s = syndrome w in
+    if s = 0 then Some w
+    else
+      match Hashtbl.find_opt table s with
+      | Some j -> Some (w lxor (1 lsl j))
+      | None -> None
+
+let compile code =
+  check_dims code;
+  let k = Code.data_len code and c = Code.check_len code in
+  let p = Code.coefficient_matrix code in
+  (* mask.(j) selects the data bits feeding check bit j *)
+  let masks = Array.init c (fun j -> int_of_bitvec (Matrix.col p j)) in
+  let encode d =
+    let w = ref d in
+    for j = 0 to c - 1 do
+      w := !w lor (parity_word (d land masks.(j)) lsl (k + j))
+    done;
+    !w
+  in
+  let data_mask = (1 lsl k) - 1 in
+  let syndrome w =
+    let d = w land data_mask in
+    let s = ref 0 in
+    for j = 0 to c - 1 do
+      s := !s lor ((parity_word (d land masks.(j)) lxor ((w lsr (k + j)) land 1)) lsl j)
+    done;
+    !s
+  in
+  { data_len = k; check_len = c; encode; syndrome; correct = make_correct code syndrome }
+
+let compile_sparse code =
+  check_dims code;
+  let k = Code.data_len code and c = Code.check_len code in
+  let p = Code.coefficient_matrix code in
+  (* chains.(j) lists the data-bit positions feeding check bit j *)
+  let chains =
+    Array.init c (fun j ->
+        let acc = ref [] in
+        for i = k - 1 downto 0 do
+          if Matrix.get p i j then acc := i :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  let encode d =
+    let w = ref d in
+    for j = 0 to c - 1 do
+      let chain = chains.(j) in
+      let acc = ref 0 in
+      for idx = 0 to Array.length chain - 1 do
+        acc := !acc lxor (d lsr chain.(idx))
+      done;
+      w := !w lor ((!acc land 1) lsl (k + j))
+    done;
+    !w
+  in
+  let syndrome w =
+    let s = ref 0 in
+    for j = 0 to c - 1 do
+      let chain = chains.(j) in
+      let acc = ref (w lsr (k + j)) in
+      for idx = 0 to Array.length chain - 1 do
+        acc := !acc lxor (w lsr chain.(idx))
+      done;
+      s := !s lor ((!acc land 1) lsl j)
+    done;
+    !s
+  in
+  { data_len = k; check_len = c; encode; syndrome; correct = make_correct code syndrome }
+
+let compile_naive code =
+  check_dims code;
+  let k = Code.data_len code and c = Code.check_len code in
+  let p = Code.coefficient_matrix code in
+  let bit m i j = if Matrix.get m i j then 1 else 0 in
+  let encode d =
+    let w = ref d in
+    for j = 0 to c - 1 do
+      let parity = ref 0 in
+      for i = 0 to k - 1 do
+        parity := !parity lxor (((d lsr i) land 1) land bit p i j)
+      done;
+      w := !w lor (!parity lsl (k + j))
+    done;
+    !w
+  in
+  let syndrome w =
+    let s = ref 0 in
+    for j = 0 to c - 1 do
+      let parity = ref ((w lsr (k + j)) land 1) in
+      for i = 0 to k - 1 do
+        parity := !parity lxor (((w lsr i) land 1) land bit p i j)
+      done;
+      s := !s lor (!parity lsl j)
+    done;
+    !s
+  in
+  { data_len = k; check_len = c; encode; syndrome; correct = make_correct code syndrome }

@@ -1,0 +1,41 @@
+(** Specialized machine-word codecs compiled from a code's matrices.
+
+    [compile] precomputes one bit mask per check bit so that encoding is a
+    handful of AND/XOR/shift operations — the OCaml analog of the
+    generator-specific C programs the paper emits in §4.4 and compiles at
+    [-O3].  [compile_naive] is the deliberately scalar bit-by-bit variant
+    standing in for the unoptimized ([-O0]) build.
+
+    Words are packed into a native [int]: data bit [i] (paper position [i])
+    is at integer bit [i]; check bit [j] at integer bit [k + j]. *)
+
+type t = {
+  data_len : int;
+  check_len : int;
+  encode : int -> int;  (** data word to codeword *)
+  syndrome : int -> int;  (** codeword to syndrome (0 iff valid) *)
+  correct : int -> int option;
+      (** [Some w'] when the syndrome is zero (identity) or identifies a
+          unique single-bit error (flipped back); [None] if uncorrectable *)
+}
+
+(** [compile code] builds the mask-based codec.
+    @raise Invalid_argument if the block length exceeds the native word. *)
+val compile : Code.t -> t
+
+(** [compile_naive code] builds the scalar per-bit codec with identical
+    behaviour. *)
+val compile_naive : Code.t -> t
+
+(** [compile_sparse code] builds the XOR-chain codec: each check bit is an
+    explicit chain of one shift+XOR per set coefficient bit, so its cost is
+    proportional to [Code.set_bits] — the style of the C programs the
+    paper emits in §4.4, whose Figure 5 runtimes scale with the set-bit
+    count. *)
+val compile_sparse : Code.t -> t
+
+(** [of_bitvec codec v] / [to_bitvec codec ~len x] convert between packed
+    words and {!Gf2.Bitvec} (paper bit 0 = integer bit 0). *)
+val int_of_bitvec : Gf2.Bitvec.t -> int
+
+val bitvec_of_int : len:int -> int -> Gf2.Bitvec.t

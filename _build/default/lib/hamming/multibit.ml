@@ -1,0 +1,52 @@
+open Gf2
+
+(* Enumerate error patterns of weight 1..e over n positions with their
+   syndromes (the XOR of the corresponding check-matrix columns). *)
+let iter_patterns code e f =
+  let n = Code.block_len code in
+  let h = Code.check_matrix code in
+  let cols = Array.init n (fun j -> Matrix.col h j) in
+  let c = Code.check_len code in
+  let rec go start pattern syn weight =
+    if weight > 0 then f (List.rev pattern) syn;
+    if weight < e then
+      for j = start to n - 1 do
+        go (j + 1) (j :: pattern) (Bitvec.xor syn cols.(j)) (weight + 1)
+      done
+  in
+  go 0 [] (Bitvec.create c) 0
+
+let syndrome_table code e =
+  let tbl = Hashtbl.create 256 in
+  let unique = ref true in
+  iter_patterns code e (fun pattern syn ->
+      if Bitvec.is_zero syn then unique := false
+      else
+        match Hashtbl.find_opt tbl syn with
+        | Some _ -> unique := false
+        | None -> Hashtbl.add tbl syn pattern);
+  (tbl, !unique)
+
+let distinguishes_up_to code e =
+  let _, unique = syndrome_table code e in
+  unique
+
+let pair_sums_unique code = distinguishes_up_to code 2
+
+let max_distinguishable code =
+  let rec go e = if distinguishes_up_to code (e + 1) then go (e + 1) else e in
+  go 0
+
+let correct_up_to code e w =
+  let tbl, unique = syndrome_table code e in
+  if not unique then
+    invalid_arg "Multibit.correct_up_to: code cannot distinguish these patterns";
+  let s = Code.syndrome code w in
+  if Bitvec.is_zero s then Some (Bitvec.copy w)
+  else
+    match Hashtbl.find_opt tbl s with
+    | None -> None
+    | Some pattern ->
+        let w' = Bitvec.copy w in
+        List.iter (fun j -> Bitvec.flip w' j) pattern;
+        Some w'

@@ -1,0 +1,26 @@
+(** Multi-bit error detection and correction (paper §6).
+
+    A code can pinpoint every error pattern of weight at most [e] iff all
+    such patterns have distinct non-zero syndromes; the paper's §6
+    construction achieves [e = 2] by making every pair of check-matrix
+    columns sum uniquely. *)
+
+(** [pair_sums_unique code] is the paper's stated property: all single
+    columns and all pairwise column sums of the check matrix are non-zero
+    and mutually distinct. *)
+val pair_sums_unique : Code.t -> bool
+
+(** [distinguishes_up_to code e] holds iff every error pattern of weight
+    [1..e] has a distinct non-zero syndrome — the general form of the §6
+    property ([e = 1] is ordinary single-error correction). *)
+val distinguishes_up_to : Code.t -> int -> bool
+
+(** [max_distinguishable code] is the largest [e] (possibly 0) such that
+    [distinguishes_up_to code e]. *)
+val max_distinguishable : Code.t -> int
+
+(** [correct_up_to code e w] decodes received word [w] against the table
+    of all error patterns of weight at most [e]: returns the corrected
+    codeword, or [None] if the syndrome matches no such pattern.
+    @raise Invalid_argument if [distinguishes_up_to code e] is false. *)
+val correct_up_to : Code.t -> int -> Gf2.Bitvec.t -> Gf2.Bitvec.t option

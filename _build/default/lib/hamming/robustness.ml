@@ -1,0 +1,34 @@
+let choose n k =
+  if k < 0 || k > n then 0.0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1.0 in
+    for i = 1 to k do
+      acc := !acc *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    !acc
+  end
+
+let prob_flips_ge ~n ~m ~p =
+  if m <= 0 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    for j = m to n do
+      acc :=
+        !acc
+        +. choose n j *. (p ** float_of_int j) *. ((1.0 -. p) ** float_of_int (n - j))
+    done;
+    !acc
+  end
+
+let choose_times_pow ~n ~m ~p = choose n m *. (p ** float_of_int m)
+
+let undetected_error_probability code ~p =
+  let n = Code.block_len code in
+  let m = Distance.min_distance code in
+  prob_flips_ge ~n ~m ~p
+
+let approx_undetected code ~p =
+  let n = Code.block_len code in
+  let m = Distance.min_distance code in
+  choose_times_pow ~n ~m ~p

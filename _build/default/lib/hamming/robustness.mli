@@ -1,0 +1,25 @@
+(** Analytic robustness of block codes under a binary symmetric channel
+    with bit-error probability [p] (paper §2.2). *)
+
+(** [choose n k] is the binomial coefficient as a float (exact for the
+    ranges used here). *)
+val choose : int -> int -> float
+
+(** [prob_flips_ge ~n ~m ~p] is the probability that at least [m] of [n]
+    independent bits flip: [Σ_{j=m}^{n} C(n,j) p^j (1-p)^{n-j}] — the
+    paper's exact [P_u] formula. *)
+val prob_flips_ge : n:int -> m:int -> p:float -> float
+
+(** [undetected_error_probability code ~p] is [prob_flips_ge] instantiated
+    with the code's block length and minimum distance — the paper's
+    [P_u(G_c^k)] upper bound on undetected-error probability. *)
+val undetected_error_probability : Code.t -> p:float -> float
+
+(** [approx_undetected code ~p] is the paper's one-term approximation
+    [C(n,m) · p^m] ([chooseTimesPow]). *)
+val approx_undetected : Code.t -> p:float -> float
+
+(** [choose_times_pow ~n ~m ~p] is [C(n,m) · p^m] for arbitrary
+    parameters — the coefficient table the weighted-synthesis objective
+    of §4.3 is built from. *)
+val choose_times_pow : n:int -> m:int -> p:float -> float

@@ -1,0 +1,48 @@
+open Gf2
+
+(* Gray-code walk over all data words: successive words differ in one bit,
+   so each codeword is the previous XOR one generator row. *)
+let distribution code =
+  let k = Code.data_len code in
+  if k > 28 then
+    invalid_arg "Weightdist.distribution: data length too large for exact enumeration";
+  let n = Code.block_len code in
+  let g = Code.generator code in
+  let rows = Array.init k (fun i -> Matrix.row g i) in
+  let counts = Array.make (n + 1) 0 in
+  let current = Bitvec.create n in
+  counts.(0) <- 1;
+  (* i-th Gray transition flips data bit = number of trailing ones of i *)
+  let total = (1 lsl k) - 1 in
+  for i = 1 to total do
+    let bit =
+      let rec go x acc = if x land 1 = 1 then go (x lsr 1) (acc + 1) else acc in
+      go (i - 1) 0
+    in
+    Bitvec.xor_in_place current rows.(bit);
+    let w = Bitvec.popcount current in
+    counts.(w) <- counts.(w) + 1
+  done;
+  counts
+
+let exact_undetected_probability code ~p =
+  let dist = distribution code in
+  let n = Code.block_len code in
+  let acc = ref 0.0 in
+  for w = 1 to n do
+    if dist.(w) > 0 then
+      acc :=
+        !acc
+        +. (float_of_int dist.(w)
+           *. (p ** float_of_int w)
+           *. ((1.0 -. p) ** float_of_int (n - w)))
+  done;
+  !acc
+
+let min_distance_of_distribution dist =
+  let rec go w =
+    if w >= Array.length dist then Array.length dist
+    else if dist.(w) > 0 then w
+    else go (w + 1)
+  in
+  go 1

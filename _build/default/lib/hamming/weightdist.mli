@@ -1,0 +1,28 @@
+(** Exact weight distributions of linear codes.
+
+    The paper's robustness formula [P_u] (§2.2) is the probability of at
+    least [md] channel flips — an upper bound on undetected errors (the
+    upper curve of its Figure 4).  The exact undetected-error probability
+    follows from the code's weight enumerator instead: an error pattern
+    goes undetected iff it is itself a non-zero codeword, so
+
+    [P_undetected = Σ_{w >= 1} A_w · p^w · (1-p)^(n-w)]
+
+    where [A_w] counts codewords of weight [w].  This module computes
+    [A_w] exactly (Gray-code enumeration of all [2^k] codewords) and the
+    resulting probability — the analytic counterpart of Figure 4's lower
+    curve. *)
+
+(** [distribution code] is the array [A] of length [n+1] with [A.(w)] the
+    number of codewords of Hamming weight [w] ([A.(0) = 1]).
+    @raise Invalid_argument if [data_len code > 28] (2^k enumeration). *)
+val distribution : Code.t -> int array
+
+(** [exact_undetected_probability code ~p] is the exact probability that a
+    binary symmetric channel with bit-error probability [p] maps a
+    codeword to a different valid codeword. *)
+val exact_undetected_probability : Code.t -> p:float -> float
+
+(** [min_distance_of_distribution dist] is the smallest non-zero weight —
+    a cross-check for {!Distance.min_distance}. *)
+val min_distance_of_distribution : int array -> int

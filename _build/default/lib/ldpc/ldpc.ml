@@ -1,0 +1,190 @@
+open Gf2
+
+type t = {
+  h : Matrix.t;
+  (* adjacency in both directions, precomputed from the sparse H *)
+  check_neighbors : int array array; (* per check row: variable columns *)
+  var_neighbors : int array array; (* per variable column: check rows *)
+  systematic : (Hamming.Code.t * int array) Lazy.t;
+}
+
+(* Select a maximal independent subset of H's rows: dependent parity
+   checks are redundant for the code definition (but still useful for
+   iterative decoding, so the full H is kept for that). *)
+let row_basis h =
+  let basis : (int, Bitvec.t) Hashtbl.t = Hashtbl.create 64 in
+  let kept = ref [] in
+  for row = 0 to Matrix.rows h - 1 do
+    let v = Bitvec.copy (Matrix.row h row) in
+    (* reduce against the basis until the leading bit is fresh or v = 0 *)
+    let rec reduce () =
+      match Bitvec.to_list v with
+      | [] -> None
+      | pivot :: _ -> (
+          match Hashtbl.find_opt basis pivot with
+          | Some b ->
+              Bitvec.xor_in_place v b;
+              reduce ()
+          | None -> Some pivot)
+    in
+    match reduce () with
+    | None -> ()
+    | Some pivot ->
+        Hashtbl.add basis pivot v;
+        kept := row :: !kept
+  done;
+  Matrix.of_rows (Array.of_list (List.rev_map (fun row -> Matrix.row h row) !kept))
+
+let create h =
+  let r = Matrix.rows h and n = Matrix.cols h in
+  let check_neighbors =
+    Array.init r (fun row -> Array.of_list (Bitvec.to_list (Matrix.row h row)))
+  in
+  let var_neighbors =
+    let acc = Array.make n [] in
+    for row = r - 1 downto 0 do
+      Array.iter (fun c -> acc.(c) <- row :: acc.(c)) check_neighbors.(row)
+    done;
+    Array.map Array.of_list acc
+  in
+  let systematic = lazy (Hamming.Code.of_check_matrix (row_basis h)) in
+  (* force early so degenerate H fails at create *)
+  ignore (Lazy.force systematic);
+  { h; check_neighbors; var_neighbors; systematic }
+
+(* Gallager's regular ensemble: stack wc permuted copies of a band matrix
+   with wr ones per row; repair duplicate edges by local resampling. *)
+let gallager ~n ~wc ~wr ~seed =
+  if n <= 0 || wc < 2 || wr < 2 then invalid_arg "Ldpc.gallager: bad parameters";
+  if n mod wr <> 0 then invalid_arg "Ldpc.gallager: wr must divide n";
+  let rows_per_band = n / wr in
+  let r = wc * rows_per_band in
+  let st = Random.State.make [| seed; n; wc; wr |] in
+  let build () =
+    let h = Matrix.create ~rows:r ~cols:n in
+    for band = 0 to wc - 1 do
+      (* random permutation of columns for this band *)
+      let perm = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let tmp = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- tmp
+      done;
+      for row = 0 to rows_per_band - 1 do
+        for slot = 0 to wr - 1 do
+          Matrix.set h ((band * rows_per_band) + row) perm.((row * wr) + slot) true
+        done
+      done
+    done;
+    (* the ensemble is rank-deficient by construction (each band's rows
+       sum to the all-ones vector); create keeps a row basis internally *)
+    ignore r;
+    create h
+  in
+  build ()
+
+let n t = Matrix.cols t.h
+
+let k t =
+  let code, _ = Lazy.force t.systematic in
+  Hamming.Code.data_len code
+let check_matrix t = t.h
+let systematic t = Lazy.force t.systematic
+
+let encode t data =
+  let code, perm = Lazy.force t.systematic in
+  let sys_word = Hamming.Code.encode code data in
+  (* scatter systematic positions back to H's column order *)
+  let out = Bitvec.create (n t) in
+  Array.iteri (fun i col -> if Bitvec.get sys_word i then Bitvec.set out col true) perm;
+  out
+
+let data_of t word =
+  let code, perm = Lazy.force t.systematic in
+  Bitvec.init (Hamming.Code.data_len code) (fun i -> Bitvec.get word perm.(i))
+
+let is_valid t word = Bitvec.is_zero (Matrix.mul_vec t.h word)
+
+(* ---------- Gallager bit flipping ---------- *)
+
+let decode_bitflip ?(max_iters = 50) t word =
+  let nn = n t in
+  let w = Bitvec.copy word in
+  let rec iterate iters =
+    let syndrome = Matrix.mul_vec t.h w in
+    if Bitvec.is_zero syndrome then Some w
+    else if iters = 0 then None
+    else begin
+      (* flip the bits participating in the most unsatisfied checks (the
+         stable "maximum votes" variant of Gallager's algorithm) *)
+      let votes = Array.make nn 0 in
+      Bitvec.iter_set
+        (fun row -> Array.iter (fun v -> votes.(v) <- votes.(v) + 1) t.check_neighbors.(row))
+        syndrome;
+      let max_votes = Array.fold_left max 0 votes in
+      if max_votes = 0 then None
+      else begin
+        for v = 0 to nn - 1 do
+          if votes.(v) = max_votes then Bitvec.flip w v
+        done;
+        iterate (iters - 1)
+      end
+    end
+  in
+  iterate max_iters
+
+(* ---------- min-sum belief propagation ---------- *)
+
+let decode_minsum ?(max_iters = 50) ~p t word =
+  if p <= 0.0 || p >= 0.5 then invalid_arg "Ldpc.decode_minsum: need 0 < p < 0.5";
+  let nn = n t in
+  let r = Matrix.rows t.h in
+  let channel_llr = log ((1.0 -. p) /. p) in
+  (* messages indexed by (check, position-within-check) *)
+  let check_to_var = Array.map (fun nbrs -> Array.make (Array.length nbrs) 0.0) t.check_neighbors in
+  let llr v = if Bitvec.get word v then -.channel_llr else channel_llr in
+  let posterior = Array.init nn llr in
+  let hard = Bitvec.create nn in
+  let rec iterate iters =
+    (* hard decision and convergence test *)
+    for v = 0 to nn - 1 do
+      Bitvec.set hard v (posterior.(v) < 0.0)
+    done;
+    if is_valid t hard then Some (Bitvec.copy hard)
+    else if iters = 0 then None
+    else begin
+      (* check update (min-sum): outgoing = product of signs * min |.|
+         over the other incoming variable messages *)
+      for c = 0 to r - 1 do
+        let nbrs = t.check_neighbors.(c) in
+        let deg = Array.length nbrs in
+        (* incoming var->check = posterior - previous check->var *)
+        let incoming = Array.init deg (fun i -> posterior.(nbrs.(i)) -. check_to_var.(c).(i)) in
+        for i = 0 to deg - 1 do
+          let sign = ref 1.0 and magnitude = ref infinity in
+          for j = 0 to deg - 1 do
+            if j <> i then begin
+              if incoming.(j) < 0.0 then sign := -. !sign;
+              let a = Float.abs incoming.(j) in
+              if a < !magnitude then magnitude := a
+            end
+          done;
+          (* normalized min-sum damping factor 0.75 *)
+          check_to_var.(c).(i) <- 0.75 *. !sign *. !magnitude
+        done
+      done;
+      (* variable update: posterior = channel + sum of check messages *)
+      Array.fill posterior 0 nn 0.0;
+      for v = 0 to nn - 1 do
+        posterior.(v) <- llr v
+      done;
+      for c = 0 to r - 1 do
+        Array.iteri
+          (fun i v -> posterior.(v) <- posterior.(v) +. check_to_var.(c).(i))
+          t.check_neighbors.(c)
+      done;
+      iterate (iters - 1)
+    end
+  in
+  iterate max_iters

@@ -1,0 +1,54 @@
+(** Low-density parity-check codes (Gallager 1962) — the third classical
+    block-code family the paper's introduction cites alongside Hamming and
+    Reed-Solomon.
+
+    A code is defined by a sparse parity-check matrix [H]; encoding goes
+    through the systematic form derived by {!Hamming.Code.of_check_matrix},
+    and decoding is iterative: hard-decision bit flipping, or min-sum
+    belief propagation over channel log-likelihood ratios. *)
+
+type t
+
+(** [create h] wraps a full-row-rank sparse parity-check matrix.
+    @raise Invalid_argument if [h] lacks full row rank. *)
+val create : Gf2.Matrix.t -> t
+
+(** [gallager ~n ~wc ~wr ~seed] builds a regular pseudo-random Gallager
+    ensemble matrix: [n] columns of weight [wc], rows of weight [wr]
+    (requires [wr] divides [n]); the derived code has rate at least
+    [1 - n·wc/(wr·n)].  Row degeneracies are repaired by resampling, and
+    the construction retries seeds until [H] has full row rank.
+    @raise Invalid_argument on inconsistent parameters. *)
+val gallager : n:int -> wc:int -> wr:int -> seed:int -> t
+
+(** [n t] is the block length; [k t] the data length (n - rank H). *)
+val n : t -> int
+
+val k : t -> int
+
+(** [check_matrix t] is [H]. *)
+val check_matrix : t -> Gf2.Matrix.t
+
+(** [systematic t] is the equivalent systematic code and the position
+    permutation (see {!Hamming.Code.of_check_matrix}). *)
+val systematic : t -> Hamming.Code.t * int array
+
+(** [encode t data] produces a codeword of [H] (in [H]'s own column
+    order).  @raise Invalid_argument on wrong data length. *)
+val encode : t -> Gf2.Bitvec.t -> Gf2.Bitvec.t
+
+(** [data_of t codeword] extracts the data bits of a codeword. *)
+val data_of : t -> Gf2.Bitvec.t -> Gf2.Bitvec.t
+
+(** [is_valid t word] holds iff all parity checks are satisfied. *)
+val is_valid : t -> Gf2.Bitvec.t -> bool
+
+(** [decode_bitflip ?max_iters t word] runs Gallager's hard-decision
+    bit-flipping algorithm; [Some codeword] on convergence. *)
+val decode_bitflip : ?max_iters:int -> t -> Gf2.Bitvec.t -> Gf2.Bitvec.t option
+
+(** [decode_minsum ?max_iters ~p t word] runs min-sum belief propagation
+    with channel LLRs for a binary symmetric channel of error
+    probability [p]; [Some codeword] on convergence. *)
+val decode_minsum :
+  ?max_iters:int -> p:float -> t -> Gf2.Bitvec.t -> Gf2.Bitvec.t option

@@ -1,0 +1,1 @@
+lib/rs/bch.ml: Array Gf Gf2 Hamming List Poly

@@ -1,0 +1,1 @@
+lib/rs/bch.mli: Hamming

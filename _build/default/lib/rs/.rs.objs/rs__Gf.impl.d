@@ -1,0 +1,1 @@
+lib/rs/gf.ml: Array Hashtbl Printf

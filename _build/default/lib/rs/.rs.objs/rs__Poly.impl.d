@@ -1,0 +1,1 @@
+lib/rs/poly.ml: Array Format Gf

@@ -1,0 +1,1 @@
+lib/rs/poly.mli: Format Gf

@@ -1,0 +1,1 @@
+lib/rs/reed_solomon.ml: Array Gf List Poly Printf

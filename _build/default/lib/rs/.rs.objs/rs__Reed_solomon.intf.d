@@ -1,0 +1,1 @@
+lib/rs/reed_solomon.mli: Lazy

@@ -1,0 +1,83 @@
+type t = { m : int; delta : int; n : int; k : int; gen : int array }
+
+(* Minimal polynomial of alpha^j: product of (x + alpha^(j·2^i)) over the
+   cyclotomic coset of j modulo 2^m - 1. *)
+let minimal_polynomial ~m j =
+  let field = Gf.create m in
+  let order = Gf.order field - 1 in
+  let rec coset acc e =
+    let e' = e * 2 mod order in
+    if List.mem e' acc then acc else coset (e' :: acc) e'
+  in
+  let exponents = coset [ j mod order ] (j mod order) in
+  let poly =
+    List.fold_left
+      (fun acc e -> Poly.mul field acc [| Gf.alpha_pow field e; 1 |])
+      Poly.one exponents
+  in
+  Array.iter
+    (fun c ->
+      if c <> 0 && c <> 1 then
+        invalid_arg "Bch.minimal_polynomial: coefficients not in GF(2)")
+    poly;
+  poly
+
+(* GF(2) polynomial helpers on 0/1 coefficient arrays. *)
+let gf2_mul a b =
+  let out = Array.make (Array.length a + Array.length b - 1) 0 in
+  Array.iteri
+    (fun i ai -> if ai = 1 then Array.iteri (fun j bj -> out.(i + j) <- out.(i + j) lxor bj) b)
+    a;
+  out
+
+let gf2_mod a b =
+  let db = Array.length b - 1 in
+  let a =
+    if Array.length a >= db then Array.copy a
+    else Array.append a (Array.make (db - Array.length a) 0)
+  in
+  for i = Array.length a - 1 downto db do
+    if a.(i) = 1 then
+      for j = 0 to db do
+        a.(i - db + j) <- a.(i - db + j) lxor b.(j)
+      done
+  done;
+  Array.sub a 0 db
+
+let gf2_divides d p =
+  (* does d divide p? *)
+  Array.for_all (fun c -> c = 0) (gf2_mod p d)
+
+let create ~m ~delta =
+  if delta < 2 then invalid_arg "Bch.create: delta must be >= 2";
+  let n = (1 lsl m) - 1 in
+  if delta > n then invalid_arg "Bch.create: delta exceeds block length";
+  (* g = lcm of minimal polynomials: multiply in each new factor only if
+     it does not already divide the product *)
+  let gen = ref [| 1 |] in
+  for j = 1 to delta - 1 do
+    let mp = minimal_polynomial ~m j in
+    if not (gf2_divides mp !gen) then gen := gf2_mul !gen mp
+  done;
+  let k = n - (Array.length !gen - 1) in
+  if k <= 0 then invalid_arg "Bch.create: degenerate code (k <= 0)";
+  { m; delta; n; k; gen = !gen }
+
+let n t = t.n
+let k t = t.k
+let design_distance t = t.delta
+let generator_poly t = Array.copy t.gen
+
+let to_code t =
+  let c = t.n - t.k in
+  (* systematic: parity row i = x^(c + i) mod g, giving P with row i the
+     check bits of data bit i *)
+  let p =
+    Gf2.Matrix.init ~rows:t.k ~cols:c (fun i j ->
+        let xpow = Array.make (c + i + 1) 0 in
+        xpow.(c + i) <- 1;
+        let rem = gf2_mod xpow t.gen in
+        (if j < Array.length rem then rem.(j) else 0) = 1)
+  in
+  Hamming.Code.make ~p
+

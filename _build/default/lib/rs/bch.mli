@@ -1,0 +1,35 @@
+(** Binary primitive BCH codes.
+
+    A BCH code of length [n = 2^m - 1] and design distance [delta] has the
+    generator polynomial [g(x) = lcm] of the minimal polynomials of
+    [alpha^1 .. alpha^(delta-1)] over GF(2); its minimum distance is at
+    least [delta].  These are the classical multi-error-correcting codes
+    the synthesizer's md >= 5 generators compete against (a synthesized
+    (11,4) md-5 code vs BCH(15,7) md-5, etc.), provided here in systematic
+    form ready for the rest of the library. *)
+
+type t
+
+(** [create ~m ~delta] builds the BCH code of length [2^m - 1].
+    @raise Invalid_argument unless [2 <= m <= 13] and
+    [2 <= delta <= 2^m - 1], or if the code degenerates ([k <= 0]). *)
+val create : m:int -> delta:int -> t
+
+(** [n t] / [k t] are block and data lengths. *)
+val n : t -> int
+
+val k : t -> int
+
+(** [design_distance t] is [delta]; the true minimum distance is >= it. *)
+val design_distance : t -> int
+
+(** [generator_poly t] is [g(x)] as GF(2) coefficients, index = degree. *)
+val generator_poly : t -> int array
+
+(** [to_code t] is the systematic [(I | P)] form as a {!Hamming.Code},
+    usable with the whole library (distance checks, codecs, emitters). *)
+val to_code : t -> Hamming.Code.t
+
+(** [minimal_polynomial ~m j] is the minimal polynomial of [alpha^j] over
+    GF(2), as 0/1 coefficients (exposed for tests). *)
+val minimal_polynomial : m:int -> int -> int array

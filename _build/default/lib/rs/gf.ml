@@ -1,0 +1,85 @@
+type t = {
+  m : int;
+  order : int;
+  exp : int array; (* alpha^i for i in [0, 2*(order-1)) to skip mod *)
+  log : int array;
+}
+
+(* Standard primitive polynomials (low-order terms; the x^m term implied). *)
+let primitive_poly = function
+  | 2 -> 0x7 (* x^2+x+1 *)
+  | 3 -> 0xb (* x^3+x+1 *)
+  | 4 -> 0x13 (* x^4+x+1 *)
+  | 5 -> 0x25 (* x^5+x^2+1 *)
+  | 6 -> 0x43 (* x^6+x+1 *)
+  | 7 -> 0x89 (* x^7+x^3+1 *)
+  | 8 -> 0x11d (* x^8+x^4+x^3+x^2+1 *)
+  | 9 -> 0x211 (* x^9+x^4+1 *)
+  | 10 -> 0x409 (* x^10+x^3+1 *)
+  | 11 -> 0x805 (* x^11+x^2+1 *)
+  | 12 -> 0x1053 (* x^12+x^6+x^4+x+1 *)
+  | 13 -> 0x201b (* x^13+x^4+x^3+x+1 *)
+  | m -> invalid_arg (Printf.sprintf "Gf.create: unsupported field GF(2^%d)" m)
+
+let cache : (int, t) Hashtbl.t = Hashtbl.create 8
+
+let build m =
+  let order = 1 lsl m in
+  let poly = primitive_poly m in
+  let exp = Array.make (2 * (order - 1)) 0 in
+  let log = Array.make order 0 in
+  let x = ref 1 in
+  for i = 0 to order - 2 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    x := !x lsl 1;
+    if !x land order <> 0 then x := !x lxor poly
+  done;
+  for i = order - 1 to (2 * (order - 1)) - 1 do
+    exp.(i) <- exp.(i - (order - 1))
+  done;
+  { m; order; exp; log }
+
+let create m =
+  match Hashtbl.find_opt cache m with
+  | Some f -> f
+  | None ->
+      let f = build m in
+      Hashtbl.add cache m f;
+      f
+
+let order f = f.order
+let m f = f.m
+let add _ a b = a lxor b
+let sub _ a b = a lxor b
+
+let mul f a b =
+  if a = 0 || b = 0 then 0 else f.exp.(f.log.(a) + f.log.(b))
+
+let inv f a =
+  if a = 0 then raise Division_by_zero
+  else f.exp.(f.order - 1 - f.log.(a))
+
+let div f a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else f.exp.(f.log.(a) + (f.order - 1) - f.log.(b))
+
+let pow f a e =
+  if e = 0 then 1
+  else if a = 0 then 0
+  else begin
+    let n = f.order - 1 in
+    let e = ((e mod n) + n) mod n in
+    f.exp.((f.log.(a) * e) mod n)
+  end
+
+let alpha _ = 2
+
+let alpha_pow f e =
+  let n = f.order - 1 in
+  let e = ((e mod n) + n) mod n in
+  f.exp.(e)
+
+let log f a =
+  if a = 0 then invalid_arg "Gf.log: zero has no discrete log" else f.log.(a)

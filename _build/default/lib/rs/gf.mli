@@ -1,0 +1,47 @@
+(** Finite fields GF(2^m) for 2 <= m <= 13, with table-driven arithmetic.
+
+    Elements are integers in [0, 2^m).  Addition is XOR; multiplication,
+    division and exponentiation go through discrete-log tables built from a
+    fixed primitive polynomial per field size (the standard polynomials,
+    including x^10 + x^3 + 1 for the GF(1024) field used by KP4). *)
+
+type t
+
+(** [create m] builds (or returns the cached) field GF(2^m).
+    @raise Invalid_argument unless [2 <= m <= 13]. *)
+val create : int -> t
+
+(** [order f] is [2^m], the number of field elements. *)
+val order : t -> int
+
+(** [m f] is the field's bit width. *)
+val m : t -> int
+
+(** [add f a b] / [sub f a b]: both are XOR in characteristic 2. *)
+val add : t -> int -> int -> int
+
+val sub : t -> int -> int -> int
+
+(** [mul f a b] is the field product. *)
+val mul : t -> int -> int -> int
+
+(** [div f a b] is [a / b].  @raise Division_by_zero if [b = 0]. *)
+val div : t -> int -> int -> int
+
+(** [inv f a] is the multiplicative inverse.
+    @raise Division_by_zero if [a = 0]. *)
+val inv : t -> int -> int
+
+(** [pow f a e] is [a^e] (with [pow f 0 0 = 1]). *)
+val pow : t -> int -> int -> int
+
+(** [alpha f] is the primitive element (the root of the field polynomial,
+    numerically 2). *)
+val alpha : t -> int
+
+(** [alpha_pow f e] is [alpha^e] for any integer [e] (negative allowed). *)
+val alpha_pow : t -> int -> int
+
+(** [log f a] is the discrete log base alpha.
+    @raise Invalid_argument if [a = 0]. *)
+val log : t -> int -> int

@@ -1,0 +1,106 @@
+type t = int array
+
+let normalize p =
+  let d = ref (Array.length p - 1) in
+  while !d >= 0 && p.(!d) = 0 do
+    decr d
+  done;
+  if !d = Array.length p - 1 then p else Array.sub p 0 (!d + 1)
+
+let zero = [||]
+let one = [| 1 |]
+let degree p = Array.length (normalize p) - 1
+let coeff p i = if i >= 0 && i < Array.length p then p.(i) else 0
+
+let add f a b =
+  let n = max (Array.length a) (Array.length b) in
+  normalize (Array.init n (fun i -> Gf.add f (coeff a i) (coeff b i)))
+
+let mul f a b =
+  let a = normalize a and b = normalize b in
+  if Array.length a = 0 || Array.length b = 0 then zero
+  else begin
+    let out = Array.make (Array.length a + Array.length b - 1) 0 in
+    Array.iteri
+      (fun i ai ->
+        if ai <> 0 then
+          Array.iteri
+            (fun j bj -> out.(i + j) <- Gf.add f out.(i + j) (Gf.mul f ai bj))
+            b)
+      a;
+    normalize out
+  end
+
+let scale f c p = normalize (Array.map (fun x -> Gf.mul f c x) p)
+
+let shift p n =
+  let p = normalize p in
+  if Array.length p = 0 then zero
+  else Array.append (Array.make n 0) p
+
+let divmod f a b =
+  let b = normalize b in
+  if Array.length b = 0 then raise Division_by_zero;
+  let db = Array.length b - 1 in
+  let lead = b.(db) in
+  let rem = Array.copy (normalize a) in
+  let da = Array.length rem - 1 in
+  if da < db then (zero, normalize rem)
+  else begin
+    let q = Array.make (da - db + 1) 0 in
+    for i = da downto db do
+      let c = if i < Array.length rem then rem.(i) else 0 in
+      if c <> 0 then begin
+        let factor = Gf.div f c lead in
+        q.(i - db) <- factor;
+        for j = 0 to db do
+          rem.(i - db + j) <- Gf.sub f rem.(i - db + j) (Gf.mul f factor b.(j))
+        done
+      end
+    done;
+    (normalize q, normalize rem)
+  end
+
+let eval f p x =
+  let acc = ref 0 in
+  for i = Array.length p - 1 downto 0 do
+    acc := Gf.add f (Gf.mul f !acc x) p.(i)
+  done;
+  !acc
+
+let deriv f p =
+  ignore f;
+  let p = normalize p in
+  if Array.length p <= 1 then zero
+  else
+    normalize
+      (Array.init (Array.length p - 1) (fun i ->
+           (* d/dx of a_{i+1} x^{i+1} = (i+1) a_{i+1} x^i; in char 2 the
+              multiplier is i+1 mod 2 *)
+           if (i + 1) land 1 = 1 then p.(i + 1) else 0))
+
+let monomial ~degree ~coeff =
+  if coeff = 0 then zero
+  else begin
+    let p = Array.make (degree + 1) 0 in
+    p.(degree) <- coeff;
+    p
+  end
+
+let equal a b = normalize a = normalize b
+
+let pp fmt p =
+  let p = normalize p in
+  if Array.length p = 0 then Format.pp_print_string fmt "0"
+  else begin
+    let first = ref true in
+    for i = Array.length p - 1 downto 0 do
+      if p.(i) <> 0 then begin
+        if not !first then Format.pp_print_string fmt " + ";
+        first := false;
+        if i = 0 then Format.fprintf fmt "%d" p.(i)
+        else if p.(i) = 1 then Format.fprintf fmt "x^%d" i
+        else Format.fprintf fmt "%d·x^%d" p.(i) i
+      end
+    done
+  end

@@ -1,0 +1,48 @@
+(** Polynomials over GF(2^m), represented as coefficient arrays with
+    index = degree ([p.(i)] is the coefficient of x^i).  All values are
+    normalized: no trailing zero coefficients (the zero polynomial is the
+    empty array). *)
+
+type t = int array
+
+(** [normalize p] strips trailing zeros. *)
+val normalize : t -> t
+
+(** [zero] / [one]. *)
+val zero : t
+
+val one : t
+
+(** [degree p] is the degree, or [-1] for the zero polynomial. *)
+val degree : t -> int
+
+(** [coeff p i] is the coefficient of x^i (0 beyond the degree). *)
+val coeff : t -> int -> int
+
+(** [add f a b] / [mul f a b] are ring operations. *)
+val add : Gf.t -> t -> t -> t
+
+val mul : Gf.t -> t -> t -> t
+
+(** [scale f c p] multiplies every coefficient by [c]. *)
+val scale : Gf.t -> int -> t -> t
+
+(** [shift p n] multiplies by x^n. *)
+val shift : t -> int -> t
+
+(** [divmod f a b] is [(quotient, remainder)].
+    @raise Division_by_zero on zero divisor. *)
+val divmod : Gf.t -> t -> t -> t * t
+
+(** [eval f p x] evaluates by Horner's rule. *)
+val eval : Gf.t -> t -> int -> int
+
+(** [deriv f p] is the formal derivative (in characteristic 2, even-degree
+    terms vanish). *)
+val deriv : Gf.t -> t -> t
+
+(** [monomial ~degree ~coeff] is [coeff · x^degree]. *)
+val monomial : degree:int -> coeff:int -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

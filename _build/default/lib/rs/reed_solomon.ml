@@ -1,0 +1,153 @@
+type t = {
+  field : Gf.t;
+  n : int;
+  k : int;
+  gen : Poly.t; (* generator polynomial, roots alpha^1 .. alpha^(n-k) *)
+}
+
+type decode_result =
+  | Valid of int array
+  | Corrected of int array * int list
+  | Uncorrectable
+
+(* first consecutive root exponent; 1 is the classical choice *)
+let fcr = 1
+
+let create ~m ~n ~k =
+  let field = Gf.create m in
+  if k <= 0 || n <= k || n > Gf.order field - 1 then
+    invalid_arg
+      (Printf.sprintf "Rs.create: need 0 < k < n <= %d (got n=%d k=%d)"
+         (Gf.order field - 1) n k);
+  if n - k < 2 then invalid_arg "Rs.create: need at least 2 parity symbols";
+  let gen = ref Poly.one in
+  for i = fcr to fcr + (n - k) - 1 do
+    gen := Poly.mul field !gen [| Gf.alpha_pow field i; 1 |]
+  done;
+  { field; n; k; gen = !gen }
+
+let kp4 = lazy (create ~m:10 ~n:544 ~k:514)
+
+let n t = t.n
+let k t = t.k
+let parity_len t = t.n - t.k
+let symbol_bits t = Gf.m t.field
+let correctable t = (t.n - t.k) / 2
+
+let check_symbols t a =
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= Gf.order t.field then
+        invalid_arg (Printf.sprintf "Rs: symbol %d out of field range" s))
+    a
+
+(* Systematic encoding: parity = data·x^(n-k) mod gen.  The codeword is
+   data symbols (ascending index) followed by parity symbols. *)
+let encode t data =
+  if Array.length data <> t.k then
+    invalid_arg
+      (Printf.sprintf "Rs.encode: %d data symbols, expected %d" (Array.length data) t.k);
+  check_symbols t data;
+  (* as a polynomial, data.(0) is the highest-degree coefficient so the
+     codeword reads left-to-right like the block layout *)
+  let p = parity_len t in
+  let data_poly = Array.init t.k (fun i -> data.(t.k - 1 - i)) in
+  let shifted = Poly.shift data_poly p in
+  let _, rem = Poly.divmod t.field shifted t.gen in
+  let parity = Array.init p (fun i -> Poly.coeff rem (p - 1 - i)) in
+  Array.append data parity
+
+(* The received word as a polynomial: position i (block order) has degree
+   n-1-i. *)
+let word_poly t word = Array.init t.n (fun i -> word.(t.n - 1 - i))
+
+let syndromes t word =
+  if Array.length word <> t.n then
+    invalid_arg
+      (Printf.sprintf "Rs.syndromes: %d symbols, expected %d" (Array.length word) t.n);
+  check_symbols t word;
+  let wp = word_poly t word in
+  Array.init (parity_len t) (fun i ->
+      Poly.eval t.field wp (Gf.alpha_pow t.field (fcr + i)))
+
+let is_valid t word = Array.for_all (fun s -> s = 0) (syndromes t word)
+
+(* Berlekamp-Massey: error-locator polynomial from the syndromes. *)
+let berlekamp_massey field synd =
+  let nsynd = Array.length synd in
+  let sigma = ref Poly.one in
+  let prev = ref Poly.one in
+  let l = ref 0 in
+  let shift_count = ref 1 in
+  let b = ref 1 in
+  for i = 0 to nsynd - 1 do
+    (* discrepancy *)
+    let delta = ref synd.(i) in
+    for j = 1 to !l do
+      delta := Gf.add field !delta (Gf.mul field (Poly.coeff !sigma j) synd.(i - j))
+    done;
+    if !delta = 0 then incr shift_count
+    else if 2 * !l <= i then begin
+      let tmp = !sigma in
+      let factor = Gf.div field !delta !b in
+      sigma := Poly.add field !sigma (Poly.scale field factor (Poly.shift !prev !shift_count));
+      prev := tmp;
+      l := i + 1 - !l;
+      b := !delta;
+      shift_count := 1
+    end
+    else begin
+      let factor = Gf.div field !delta !b in
+      sigma := Poly.add field !sigma (Poly.scale field factor (Poly.shift !prev !shift_count));
+      incr shift_count
+    end
+  done;
+  (!sigma, !l)
+
+let decode t word =
+  let synd = syndromes t word in
+  if Array.for_all (fun s -> s = 0) synd then Valid (Array.sub word 0 t.k)
+  else begin
+    let field = t.field in
+    let sigma, l = berlekamp_massey field synd in
+    if l > correctable t || Poly.degree sigma <> l then Uncorrectable
+    else begin
+      (* Chien search: roots of sigma are alpha^{-position-degree} *)
+      let positions = ref [] in
+      for pos = 0 to t.n - 1 do
+        let degree = t.n - 1 - pos in
+        let x = Gf.alpha_pow field (-degree) in
+        if Poly.eval field sigma x = 0 then positions := (pos, x) :: !positions
+      done;
+      let positions = List.rev !positions in
+      if List.length positions <> l then Uncorrectable
+      else begin
+        (* Forney: error value at root x = X^(1-fcr) * omega(x) / sigma'(x)
+           with omega = (synd_poly * sigma) mod x^(n-k) *)
+        let synd_poly = Array.copy synd in
+        let omega =
+          let prod = Poly.mul field synd_poly sigma in
+          Poly.normalize (Array.init (min (Array.length prod) (parity_len t)) (fun i -> Poly.coeff prod i))
+        in
+        let sigma' = Poly.deriv field sigma in
+        let corrected = Array.copy word in
+        let ok = ref true in
+        List.iter
+          (fun (pos, x) ->
+            let denom = Poly.eval field sigma' x in
+            if denom = 0 then ok := false
+            else begin
+              let num = Poly.eval field omega x in
+              (* X = x^{-1} is the error locator; fcr=1 gives factor X^0 *)
+              let x_inv = Gf.inv field x in
+              let magnitude =
+                Gf.mul field (Gf.pow field x_inv (1 - fcr)) (Gf.div field num denom)
+              in
+              corrected.(pos) <- Gf.add field corrected.(pos) magnitude
+            end)
+          positions;
+        if (not !ok) || not (is_valid t corrected) then Uncorrectable
+        else Corrected (Array.sub corrected 0 t.k, List.map fst positions)
+      end
+    end
+  end

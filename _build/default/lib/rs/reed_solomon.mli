@@ -1,0 +1,49 @@
+(** Systematic Reed-Solomon codes over GF(2^m).
+
+    An RS(n, k) code carries [k] data symbols and [n - k] parity symbols
+    of [m] bits each and corrects up to [t = (n - k) / 2] symbol errors.
+    Decoding is the classical pipeline: syndromes, Berlekamp-Massey error
+    locator, Chien search, Forney error values.
+
+    The 802.3df standard pairs its inner Hamming FEC with the KP4 outer
+    code RS(544, 514) over GF(2^10) — available as {!kp4}. *)
+
+type t
+
+type decode_result =
+  | Valid of int array  (** zero syndromes; data returned as-is *)
+  | Corrected of int array * int list
+      (** data after correcting errors at the given codeword positions *)
+  | Uncorrectable  (** more than [t] symbol errors *)
+
+(** [create ~m ~n ~k] builds a code with symbols in GF(2^m).
+    @raise Invalid_argument unless [0 < k < n <= 2^m - 1] and [n - k]
+    is at least 2. *)
+val create : m:int -> n:int -> k:int -> t
+
+(** [kp4] is RS(544, 514) over GF(2^10): t = 15. *)
+val kp4 : t Lazy.t
+
+(** [n t] / [k t] / [parity_len t] / [symbol_bits t] are the parameters. *)
+val n : t -> int
+
+val k : t -> int
+val parity_len : t -> int
+val symbol_bits : t -> int
+
+(** [correctable t] is [t = (n-k)/2], the symbol-error correction power. *)
+val correctable : t -> int
+
+(** [encode t data] appends [n - k] parity symbols to [k] data symbols.
+    Codeword layout: data first, parity last.
+    @raise Invalid_argument on wrong length or out-of-range symbols. *)
+val encode : t -> int array -> int array
+
+(** [syndromes t word] is the syndrome vector (all zero iff valid). *)
+val syndromes : t -> int array -> int array
+
+(** [is_valid t word] holds iff all syndromes vanish. *)
+val is_valid : t -> int array -> bool
+
+(** [decode t word] corrects up to [correctable t] symbol errors. *)
+val decode : t -> int array -> decode_result

@@ -1,0 +1,1 @@
+lib/sat/drat.ml: Array List Lit Printf String

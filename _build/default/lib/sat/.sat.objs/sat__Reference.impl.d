@@ -1,0 +1,1 @@
+lib/sat/reference.ml: Array List Lit

@@ -1,0 +1,1 @@
+lib/sat/reference.mli: Lit

@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Buffer Float Int List Lit Option Printf Vec

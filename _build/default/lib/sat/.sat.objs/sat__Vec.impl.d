@@ -1,0 +1,1 @@
+lib/sat/vec.ml: Array Printf

@@ -1,0 +1,49 @@
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+let parse s =
+  let lines = String.split_on_char '\n' s in
+  let num_vars = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "Dimacs.parse: bad token %S" tok)
+    | Some 0 ->
+        clauses := List.rev !current :: !clauses;
+        current := []
+    | Some i -> current := Lit.of_dimacs i :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line = 0 then ()
+      else if line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ "p"; "cnf"; v; _c ] -> num_vars := int_of_string v
+        | _ -> failwith "Dimacs.parse: malformed problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun t -> t <> "")
+        |> List.iter handle_token)
+    lines;
+  if !num_vars < 0 then failwith "Dimacs.parse: missing problem line";
+  if !current <> [] then failwith "Dimacs.parse: unterminated clause";
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let print { num_vars; clauses } =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_dimacs l))) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let load_into solver { num_vars; clauses } =
+  if Solver.nvars solver <> 0 then
+    invalid_arg "Dimacs.load_into: solver must be fresh";
+  if num_vars > 0 then ignore (Solver.new_vars solver num_vars);
+  List.iter (Solver.add_clause solver) clauses

@@ -1,0 +1,15 @@
+(** DIMACS CNF reading and writing, for interoperability and test corpora. *)
+
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+(** [parse s] parses DIMACS CNF text ([c] comment lines, a [p cnf V C]
+    header, then zero-terminated clauses).
+    @raise Failure on malformed input. *)
+val parse : string -> cnf
+
+(** [print cnf] renders a problem back to DIMACS text. *)
+val print : cnf -> string
+
+(** [load_into solver cnf] allocates [cnf.num_vars] variables in [solver]
+    (which must be fresh) and asserts every clause. *)
+val load_into : Solver.t -> cnf -> unit

@@ -1,0 +1,120 @@
+type verdict = Valid | Invalid of string
+
+let parse text =
+  let steps = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" then begin
+           let is_delete = String.length line >= 2 && String.sub line 0 2 = "d " in
+           let body = if is_delete then String.sub line 2 (String.length line - 2) else line in
+           let lits =
+             String.split_on_char ' ' body
+             |> List.filter (fun t -> t <> "")
+             |> List.map (fun t ->
+                    match int_of_string_opt t with
+                    | Some v -> v
+                    | None -> failwith (Printf.sprintf "Drat.parse: bad token %S" t))
+           in
+           match List.rev lits with
+           | 0 :: rest -> steps := (not is_delete, List.rev_map Lit.of_dimacs rest) :: !steps
+           | _ -> failwith "Drat.parse: clause not zero-terminated"
+         end);
+  List.rev !steps
+
+(* Unit propagation over a simple clause list; returns true when a
+   conflict is reached.  Assignment: 0 unset / 1 true / -1 false. *)
+let propagates_to_conflict clauses assigns =
+  let exception Conflict in
+  let value l =
+    let v = assigns.(Lit.var l) in
+    if v = 0 then 0 else if Lit.sign l then v else -v
+  in
+  let assign l = assigns.(Lit.var l) <- (if Lit.sign l then 1 else -1) in
+  try
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun clause ->
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun l ->
+              match value l with
+              | 1 -> satisfied := true
+              | 0 -> unassigned := l :: !unassigned
+              | _ -> ())
+            clause;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> raise Conflict
+            | [ l ] ->
+                assign l;
+                changed := true
+            | _ -> ())
+        clauses
+    done;
+    false
+  with Conflict -> true
+
+let max_var_of clauses =
+  List.fold_left
+    (fun acc c -> List.fold_left (fun acc l -> max acc (Lit.var l)) acc c)
+    0 clauses
+
+(* RUP check: assume the negation of every literal of [clause]; the
+   database must propagate to a conflict. *)
+let rup_holds clauses num_vars clause =
+  let assigns = Array.make (num_vars + 1) 0 in
+  let consistent =
+    List.for_all
+      (fun l ->
+        let v = assigns.(Lit.var l) in
+        let want = if Lit.sign l then -1 else 1 in
+        if v = 0 then begin
+          assigns.(Lit.var l) <- want;
+          true
+        end
+        else v = want)
+      clause
+  in
+  (* a tautological clause is trivially implied *)
+  (not consistent) || propagates_to_conflict clauses assigns
+
+let clause_equal a b = List.sort compare a = List.sort compare b
+
+let check ~formula text =
+  match parse text with
+  | exception Failure msg -> Invalid msg
+  | steps ->
+      let num_vars =
+        max (max_var_of formula) (max_var_of (List.map snd steps))
+      in
+      (* normalize duplicate literals so unit detection is exact *)
+      let dedup c = List.sort_uniq Lit.compare c in
+      let steps = List.map (fun (add, c) -> (add, dedup c)) steps in
+      let db = ref (List.map dedup formula) in
+      let derived_empty = ref false in
+      let rec go i = function
+        | [] ->
+            if !derived_empty then Valid
+            else Invalid "proof does not derive the empty clause"
+        | (true, clause) :: rest ->
+            if not (rup_holds !db num_vars clause) then
+              Invalid (Printf.sprintf "step %d: clause is not RUP" i)
+            else begin
+              if clause = [] then derived_empty := true;
+              db := clause :: !db;
+              if !derived_empty then Valid else go (i + 1) rest
+            end
+        | (false, clause) :: rest ->
+            (* deletions only speed checking; missing clauses are ignored *)
+            let rec remove = function
+              | [] -> []
+              | c :: cs -> if clause_equal c clause then cs else c :: remove cs
+            in
+            db := remove !db;
+            go (i + 1) rest
+      in
+      go 1 steps

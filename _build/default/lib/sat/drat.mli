@@ -1,0 +1,25 @@
+(** DRAT proof checking (RUP fragment).
+
+    A DRAT proof is a sequence of clause additions and deletions; the
+    proof is valid when every added clause is a {e reverse unit
+    propagation} (RUP) consequence of the original formula plus the
+    previously added clauses, and the empty clause is eventually added.
+    This checker validates the proofs emitted by {!Solver.enable_proof},
+    giving an independent, auditable certificate for every UNSAT answer —
+    the "formal guarantees" the paper's verification use-case calls for.
+
+    (The solver's learnt clauses are all RUP, so the stronger RAT check
+    is not needed.) *)
+
+type verdict =
+  | Valid  (** the proof derives the empty clause and every step checks *)
+  | Invalid of string  (** a step fails; the message says which and why *)
+
+(** [check ~formula proof] validates [proof] (in textual DRAT format)
+    against the clauses of [formula]. *)
+val check : formula:Lit.t list list -> string -> verdict
+
+(** [parse proof] is the list of steps for inspection: [(true, c)] is an
+    addition, [(false, c)] a deletion.
+    @raise Failure on malformed text. *)
+val parse : string -> (bool * Lit.t list) list

@@ -1,0 +1,25 @@
+type t = int
+
+let make v =
+  if v < 0 then invalid_arg "Lit.make: negative variable";
+  v * 2
+
+let neg l = l lxor 1
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let apply l b = if sign l then b else not b
+
+let of_dimacs i =
+  if i = 0 then invalid_arg "Lit.of_dimacs: zero literal";
+  if i > 0 then (i - 1) * 2 else (((-i) - 1) * 2) lor 1
+
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+let code l = l
+
+let of_code c =
+  if c < 0 then invalid_arg "Lit.of_code: negative code";
+  c
+
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt l = Format.fprintf fmt "%d" (to_dimacs l)

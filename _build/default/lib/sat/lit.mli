@@ -1,0 +1,41 @@
+(** Propositional literals.
+
+    A literal is a variable paired with a polarity, packed into a single
+    non-negative integer: variable [v] with positive polarity is [2 * v],
+    with negative polarity [2 * v + 1].  Variables are 0-based. *)
+
+type t = private int
+
+(** [make v] is the positive literal of variable [v].
+    @raise Invalid_argument if [v < 0]. *)
+val make : int -> t
+
+(** [neg l] is the complement of [l]. *)
+val neg : t -> t
+
+(** [var l] is the variable of [l]. *)
+val var : t -> int
+
+(** [sign l] is [true] iff [l] is a positive literal. *)
+val sign : t -> bool
+
+(** [apply l b] is the truth value of [l] when its variable has value [b]. *)
+val apply : t -> bool -> bool
+
+(** [of_dimacs i] converts a non-zero DIMACS literal ([±(v+1)]).
+    @raise Invalid_argument if [i = 0]. *)
+val of_dimacs : int -> t
+
+(** [to_dimacs l] is the DIMACS rendering of [l]. *)
+val to_dimacs : t -> int
+
+(** [code l] is the packed integer (for use as an array index). *)
+val code : t -> int
+
+(** [of_code c] rebuilds a literal from its packed code.
+    @raise Invalid_argument if [c < 0]. *)
+val of_code : int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

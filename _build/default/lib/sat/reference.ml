@@ -1,0 +1,32 @@
+let eval model clause =
+  List.exists (fun l -> Lit.apply l model.(Lit.var l)) clause
+
+let eval_all model clauses = List.for_all (eval model) clauses
+
+let solve ~num_vars clauses =
+  let model = Array.make (max num_vars 1) false in
+  let rec go v =
+    if v = num_vars then if eval_all model clauses then Some (Array.copy model) else None
+    else begin
+      model.(v) <- false;
+      match go (v + 1) with
+      | Some m -> Some m
+      | None ->
+          model.(v) <- true;
+          go (v + 1)
+    end
+  in
+  go 0
+
+let count_models ~num_vars clauses =
+  let model = Array.make (max num_vars 1) false in
+  let rec go v acc =
+    if v = num_vars then acc + if eval_all model clauses then 1 else 0
+    else begin
+      model.(v) <- false;
+      let acc = go (v + 1) acc in
+      model.(v) <- true;
+      go (v + 1) acc
+    end
+  in
+  go 0 0

@@ -1,0 +1,14 @@
+(** A deliberately simple reference SAT procedure used to cross-check the
+    CDCL solver in tests.  Exhaustive with unit-propagation pruning; only
+    suitable for small variable counts. *)
+
+(** [solve ~num_vars clauses] is [Some model] for a satisfying assignment
+    (indexed by variable), or [None] if unsatisfiable. *)
+val solve : num_vars:int -> Lit.t list list -> bool array option
+
+(** [count_models ~num_vars clauses] is the exact number of satisfying
+    assignments over the [num_vars] variables. *)
+val count_models : num_vars:int -> Lit.t list list -> int
+
+(** [eval model clause] is the truth value of a clause under a model. *)
+val eval : bool array -> Lit.t list -> bool

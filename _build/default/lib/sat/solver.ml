@@ -1,0 +1,660 @@
+(* A MiniSat-style CDCL solver.
+
+   Conventions:
+   - literals are stored as their integer codes (see Lit);
+   - [assigns.(v)] is 0 when variable [v] is unassigned, 1 when true,
+     -1 when false;
+   - a clause's first two literals are its watched literals; the clause is
+     registered in the watch lists of their negations, so [propagate]
+     visits exactly the clauses that may have become unit or conflicting;
+   - [reason.(v)] is the clause that propagated [v] (if any), which must
+     never be deleted while it is a reason ("locked"). *)
+
+exception Budget_exhausted
+
+type clause = {
+  mutable lits : int array;
+  learnt : bool;
+  mutable act : float;
+  mutable deleted : bool;
+}
+
+type result = Sat | Unsat
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+  max_learnt_size : int;
+}
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause Vec.t; (* problem clauses *)
+  mutable learnts : clause Vec.t;
+  mutable watches : clause Vec.t array; (* indexed by literal code *)
+  mutable assigns : int array; (* per var: 0 / 1 / -1 *)
+  mutable level : int array; (* per var *)
+  mutable reason : clause option array; (* per var *)
+  mutable polarity : bool array; (* saved phases *)
+  mutable activity : float array; (* VSIDS *)
+  mutable heap : int array; (* binary max-heap of vars by activity *)
+  mutable heap_pos : int array; (* var -> heap index, or -1 *)
+  mutable heap_size : int;
+  trail : int Vec.t; (* literal codes, assignment order *)
+  trail_lim : int Vec.t; (* trail size at each decision level *)
+  mutable qhead : int;
+  mutable okay : bool;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable max_learnts : float;
+  mutable seen : bool array; (* scratch for analyze *)
+  mutable model_ : bool array;
+  mutable model_valid : bool;
+  mutable conflict_budget : int option;
+  mutable proof_log : Buffer.t option;
+  mutable originals : Lit.t list list; (* asserted clauses, for proof checking *)
+  (* statistics *)
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  mutable n_restarts : int;
+  mutable n_learnt_literals : int;
+  mutable max_learnt_size_ : int;
+}
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Vec.create ();
+    learnts = Vec.create ();
+    watches = [||];
+    assigns = [||];
+    level = [||];
+    reason = [||];
+    polarity = [||];
+    activity = [||];
+    heap = [||];
+    heap_pos = [||];
+    heap_size = 0;
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    okay = true;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    max_learnts = 0.0;
+    seen = [||];
+    model_ = [||];
+    model_valid = false;
+    conflict_budget = None;
+    proof_log = None;
+    originals = [];
+    n_decisions = 0;
+    n_propagations = 0;
+    n_conflicts = 0;
+    n_restarts = 0;
+    n_learnt_literals = 0;
+    max_learnt_size_ = 0;
+  }
+
+let nvars s = s.nvars
+let nclauses s = Vec.size s.clauses
+let ok s = s.okay
+
+(* ---------- variable order heap (max-heap on activity) ---------- *)
+
+let heap_less s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let vi = s.heap.(i) and vj = s.heap.(j) in
+  s.heap.(i) <- vj;
+  s.heap.(j) <- vi;
+  s.heap_pos.(vj) <- i;
+  s.heap_pos.(vi) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_remove_min s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  s.heap_pos.(v) <- -1;
+  v
+
+let heap_decrease s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* ---------- growing per-variable state ---------- *)
+
+let grow_array a n default =
+  let old = Array.length a in
+  if n <= old then a
+  else begin
+    let cap = max n (max 16 (old * 2)) in
+    let b = Array.make cap default in
+    Array.blit a 0 b 0 old;
+    b
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assigns <- grow_array s.assigns s.nvars 0;
+  s.level <- grow_array s.level s.nvars 0;
+  s.reason <- grow_array s.reason s.nvars None;
+  s.polarity <- grow_array s.polarity s.nvars false;
+  s.activity <- grow_array s.activity s.nvars 0.0;
+  s.heap <- grow_array s.heap s.nvars 0;
+  s.heap_pos <- grow_array s.heap_pos s.nvars (-1);
+  s.seen <- grow_array s.seen s.nvars false;
+  (if Array.length s.watches < 2 * s.nvars then begin
+     let old = Array.length s.watches in
+     let cap = max (2 * s.nvars) (max 32 (old * 2)) in
+     let w = Array.init cap (fun i -> if i < old then s.watches.(i) else Vec.create ()) in
+     s.watches <- w
+   end);
+  s.heap_pos.(v) <- -1;
+  heap_insert s v;
+  v
+
+let new_vars s n =
+  if n <= 0 then invalid_arg "Solver.new_vars: non-positive count";
+  let first = new_var s in
+  for _ = 2 to n do
+    ignore (new_var s)
+  done;
+  first
+
+(* ---------- assignment primitives ---------- *)
+
+let lit_value s l =
+  let v = s.assigns.(l lsr 1) in
+  if v = 0 then 0 else if l land 1 = 0 then v else -v
+
+let decision_level s = Vec.size s.trail_lim
+
+(* Assign literal [l] to true with optional reason clause. *)
+let enqueue s l reason =
+  let v = l lsr 1 in
+  s.assigns.(v) <- (if l land 1 = 0 then 1 else -1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = l lsr 1 in
+      s.polarity.(v) <- l land 1 = 0;
+      s.assigns.(v) <- 0;
+      s.reason.(v) <- None;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* ---------- activities ---------- *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_decrease s v
+
+let var_decay_activity s = s.var_inc <- s.var_inc *. var_decay
+
+let clause_bump s c =
+  c.act <- c.act +. s.cla_inc;
+  if c.act > 1e20 then begin
+    Vec.iter (fun c -> c.act <- c.act *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let clause_decay_activity s = s.cla_inc <- s.cla_inc *. clause_decay
+
+(* ---------- clause attachment ---------- *)
+
+let attach s c =
+  Vec.push s.watches.(Lit.code (Lit.neg (Lit.of_code c.lits.(0)))) c;
+  Vec.push s.watches.(Lit.code (Lit.neg (Lit.of_code c.lits.(1)))) c
+
+(* Deleted clauses are removed from watch lists lazily during propagation. *)
+let mark_deleted c = c.deleted <- true
+
+(* ---------- DRAT proof logging ---------- *)
+
+let proof_line s prefix lits =
+  match s.proof_log with
+  | None -> ()
+  | Some buf ->
+      Buffer.add_string buf prefix;
+      Array.iter
+        (fun l ->
+          Buffer.add_string buf (string_of_int (Lit.to_dimacs (Lit.of_code l)));
+          Buffer.add_char buf ' ')
+        lits;
+      Buffer.add_string buf "0\n"
+
+let proof_add s lits = proof_line s "" lits
+let proof_delete s lits = proof_line s "d " lits
+let proof_empty s = proof_add s [||]
+
+(* ---------- propagation ---------- *)
+
+exception Conflict of clause
+
+let propagate s =
+  try
+    while s.qhead < Vec.size s.trail do
+      let p = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      s.n_propagations <- s.n_propagations + 1;
+      let ws = s.watches.(p) in
+      let i = ref 0 in
+      let j = ref 0 in
+      let n = Vec.size ws in
+      (try
+         while !i < n do
+           let c = Vec.get ws !i in
+           incr i;
+           if c.deleted then () (* drop from watch list *)
+           else begin
+             let lits = c.lits in
+             (* ensure the false literal (neg p) is at position 1 *)
+             let np = p lxor 1 in
+             if lits.(0) = np then begin
+               lits.(0) <- lits.(1);
+               lits.(1) <- np
+             end;
+             if lit_value s lits.(0) = 1 then begin
+               (* clause already satisfied; keep watching *)
+               Vec.set ws !j c;
+               incr j
+             end
+             else begin
+               (* look for a new literal to watch *)
+               let len = Array.length lits in
+               let k = ref 2 in
+               let found = ref false in
+               while (not !found) && !k < len do
+                 if lit_value s lits.(!k) <> -1 then found := true else incr k
+               done;
+               if !found then begin
+                 lits.(1) <- lits.(!k);
+                 lits.(!k) <- np;
+                 Vec.push s.watches.(lits.(1) lxor 1) c
+                 (* not kept in this watch list *)
+               end
+               else begin
+                 (* clause is unit or conflicting *)
+                 Vec.set ws !j c;
+                 incr j;
+                 if lit_value s lits.(0) = -1 then begin
+                   (* conflict: copy remaining watchers and bail out *)
+                   while !i < n do
+                     Vec.set ws !j (Vec.get ws !i);
+                     incr i;
+                     incr j
+                   done;
+                   Vec.shrink ws !j;
+                   raise (Conflict c)
+                 end
+                 else enqueue s lits.(0) (Some c)
+               end
+             end
+           end
+         done;
+         Vec.shrink ws !j
+       with Conflict _ as e -> raise e)
+    done;
+    None
+  with Conflict c -> Some c
+
+(* ---------- conflict analysis (first UIP) ---------- *)
+
+let litredundant s l =
+  (* cheap clause minimization: l is redundant if its reason's other
+     literals are all already seen or assigned at level 0 *)
+  match s.reason.(l lsr 1) with
+  | None -> false
+  | Some c ->
+      Array.for_all
+        (fun q -> q = (l lxor 1) || s.seen.(q lsr 1) || s.level.(q lsr 1) = 0)
+        c.lits
+
+let analyze s conflict =
+  let out = Vec.create () in
+  Vec.push out 0;
+  (* slot for the asserting literal *)
+  let path = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.size s.trail - 1) in
+  let c = ref conflict in
+  let continue_loop = ref true in
+  while !continue_loop do
+    if !c.learnt then clause_bump s !c;
+    let lits = !c.lits in
+    (* a reason clause has its propagated literal at position 0: skip it *)
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length lits - 1 do
+      let q = lits.(k) in
+      let v = q lsr 1 in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        var_bump s v;
+        if s.level.(v) >= decision_level s then incr path
+        else Vec.push out q
+      end
+    done;
+    (* find next literal on the trail to expand *)
+    while not s.seen.((Vec.get s.trail !index) lsr 1) do
+      decr index
+    done;
+    p := Vec.get s.trail !index;
+    decr index;
+    s.seen.(!p lsr 1) <- false;
+    decr path;
+    if !path <= 0 then continue_loop := false
+    else
+      c :=
+        (match s.reason.(!p lsr 1) with
+        | Some r -> r
+        | None -> assert false)
+  done;
+  Vec.set out 0 (!p lxor 1);
+  (* minimize: drop redundant non-asserting literals *)
+  let kept = Vec.create () in
+  Vec.push kept (Vec.get out 0);
+  for i = 1 to Vec.size out - 1 do
+    let l = Vec.get out i in
+    if not (litredundant s l) then Vec.push kept l
+  done;
+  (* clear seen flags *)
+  Vec.iter (fun l -> s.seen.(l lsr 1) <- false) out;
+  (* compute backtrack level; move its literal to position 1 *)
+  let nlits = Vec.size kept in
+  let back_level = ref 0 in
+  if nlits > 1 then begin
+    let max_i = ref 1 in
+    for i = 2 to nlits - 1 do
+      if s.level.((Vec.get kept i) lsr 1) > s.level.((Vec.get kept !max_i) lsr 1)
+      then max_i := i
+    done;
+    let tmp = Vec.get kept 1 in
+    Vec.set kept 1 (Vec.get kept !max_i);
+    Vec.set kept !max_i tmp;
+    back_level := s.level.((Vec.get kept 1) lsr 1)
+  end;
+  (Array.of_list (Vec.to_list kept), !back_level)
+
+(* ---------- learnt clause DB reduction ---------- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  match s.reason.(c.lits.(0) lsr 1) with Some r -> r == c | None -> false
+
+let reduce_db s =
+  Vec.sort (fun a b -> Float.compare a.act b.act) s.learnts;
+  let n = Vec.size s.learnts in
+  let keep = Vec.create () in
+  let removed = ref 0 in
+  for i = 0 to n - 1 do
+    let c = Vec.get s.learnts i in
+    if i < n / 2 && Array.length c.lits > 2 && not (locked s c) then begin
+      proof_delete s c.lits;
+      mark_deleted c;
+      incr removed
+    end
+    else Vec.push keep c
+  done;
+  s.learnts <- keep
+
+(* ---------- clause addition ---------- *)
+
+let add_clause s lits =
+  List.iter
+    (fun l ->
+      if Lit.var l >= s.nvars then
+        invalid_arg
+          (Printf.sprintf "Solver.add_clause: variable %d not allocated" (Lit.var l)))
+    lits;
+  if s.okay then begin
+    if s.proof_log <> None then s.originals <- lits :: s.originals;
+    cancel_until s 0;
+    s.model_valid <- false;
+    (* simplify: remove duplicates and false literals, detect tautology *)
+    let lits = List.sort_uniq Int.compare (List.map Lit.code lits) in
+    let tautology =
+      List.exists (fun l -> List.mem (l lxor 1) lits || lit_value s l = 1) lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> lit_value s l <> -1) lits in
+      match lits with
+      | [] ->
+          proof_empty s;
+          s.okay <- false
+      | [ l ] ->
+          enqueue s l None;
+          if propagate s <> None then begin
+            proof_empty s;
+            s.okay <- false
+          end
+      | l0 :: l1 :: _ ->
+          ignore l0;
+          ignore l1;
+          let c =
+            { lits = Array.of_list lits; learnt = false; act = 0.0; deleted = false }
+          in
+          Vec.push s.clauses c;
+          attach s c
+    end
+  end
+
+(* ---------- search ---------- *)
+
+let luby y i =
+  (* size of the smallest complete subsequence containing index i *)
+  let size = ref 1 and seq = ref 0 in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let i = ref i in
+  while !size - 1 <> !i do
+    size := (!size - 1) / 2;
+    decr seq;
+    i := !i mod !size
+  done;
+  y ** float_of_int !seq
+
+let pick_branch_var s =
+  let rec go () =
+    if s.heap_size = 0 then -1
+    else
+      let v = heap_remove_min s in
+      if s.assigns.(v) = 0 then v else go ()
+  in
+  go ()
+
+type search_outcome = Out_sat | Out_unsat | Out_restart
+
+let record_learnt s lits back_level =
+  proof_add s lits;
+  s.n_learnt_literals <- s.n_learnt_literals + Array.length lits;
+  if Array.length lits > s.max_learnt_size_ then
+    s.max_learnt_size_ <- Array.length lits;
+  cancel_until s back_level;
+  if Array.length lits = 1 then enqueue s lits.(0) None
+  else begin
+    let c = { lits; learnt = true; act = 0.0; deleted = false } in
+    Vec.push s.learnts c;
+    attach s c;
+    clause_bump s c;
+    enqueue s lits.(0) (Some c)
+  end
+
+let search s ~assumptions ~conflict_limit =
+  let conflicts = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    match propagate s with
+    | Some confl ->
+        s.n_conflicts <- s.n_conflicts + 1;
+        incr conflicts;
+        (match s.conflict_budget with
+        | Some b when s.n_conflicts > b -> raise Budget_exhausted
+        | _ -> ());
+        if decision_level s = 0 then begin
+          proof_empty s;
+          s.okay <- false;
+          outcome := Some Out_unsat
+        end
+        else begin
+          let lits, back_level = analyze s confl in
+          record_learnt s lits back_level;
+          var_decay_activity s;
+          clause_decay_activity s
+        end
+    | None ->
+        if float_of_int (Vec.size s.learnts) >= s.max_learnts then begin
+          reduce_db s;
+          s.max_learnts <- s.max_learnts *. 1.1
+        end;
+        if conflict_limit >= 0 && !conflicts >= conflict_limit then begin
+          cancel_until s 0;
+          s.n_restarts <- s.n_restarts + 1;
+          outcome := Some Out_restart
+        end
+        else begin
+          (* take assumptions first, as pseudo-decisions *)
+          let dl = decision_level s in
+          let next_lit =
+            if dl < List.length assumptions then begin
+              let a = Lit.code (List.nth assumptions dl) in
+              match lit_value s a with
+              | 1 -> `Dummy (* already satisfied: open an empty level *)
+              | -1 -> `Conflict_assumption
+              | _ -> `Decide a
+            end
+            else
+              match pick_branch_var s with
+              | -1 -> `All_assigned
+              | v ->
+                  let phase = s.polarity.(v) in
+                  `Decide ((v * 2) lor if phase then 0 else 1)
+          in
+          match next_lit with
+          | `All_assigned -> outcome := Some Out_sat
+          | `Conflict_assumption ->
+              outcome := Some Out_unsat
+          | `Dummy -> Vec.push s.trail_lim (Vec.size s.trail)
+          | `Decide l ->
+              s.n_decisions <- s.n_decisions + 1;
+              Vec.push s.trail_lim (Vec.size s.trail);
+              enqueue s l None
+        end
+  done;
+  match !outcome with Some o -> o | None -> assert false
+
+let solve ?(assumptions = []) s =
+  s.model_valid <- false;
+  if not s.okay then Unsat
+  else begin
+    cancel_until s 0;
+    s.max_learnts <- max 1000.0 (float_of_int (Vec.size s.clauses) *. 0.5);
+    let result = ref None in
+    let restart_i = ref 0 in
+    (try
+       while !result = None do
+         let limit = int_of_float (luby 2.0 !restart_i *. 100.0) in
+         incr restart_i;
+         match search s ~assumptions ~conflict_limit:limit with
+         | Out_sat ->
+             s.model_ <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
+             s.model_valid <- true;
+             result := Some Sat
+         | Out_unsat -> result := Some Unsat
+         | Out_restart -> ()
+       done
+     with Budget_exhausted ->
+       cancel_until s 0;
+       raise Budget_exhausted);
+    cancel_until s 0;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let value s l =
+  if not s.model_valid then invalid_arg "Solver.value: no model available";
+  let b = s.model_.(Lit.var l) in
+  if Lit.sign l then b else not b
+
+let value_var s v =
+  if not s.model_valid then invalid_arg "Solver.value_var: no model available";
+  s.model_.(v)
+
+let model s =
+  if not s.model_valid then invalid_arg "Solver.model: no model available";
+  Array.copy s.model_
+
+let stats s =
+  {
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    conflicts = s.n_conflicts;
+    restarts = s.n_restarts;
+    learnt_literals = s.n_learnt_literals;
+    max_learnt_size = s.max_learnt_size_;
+  }
+
+let set_conflict_budget s b = s.conflict_budget <- b
+
+let enable_proof s =
+  if Vec.size s.clauses > 0 || Vec.size s.trail > 0 then
+    invalid_arg "Solver.enable_proof: must be called before adding clauses";
+  s.proof_log <- Some (Buffer.create 4096)
+
+let proof s = Option.map Buffer.contents s.proof_log
+let original_clauses s = List.rev s.originals

@@ -1,0 +1,90 @@
+(** A CDCL (conflict-driven clause learning) SAT solver.
+
+    Features: two-watched-literal propagation, first-UIP conflict analysis
+    with clause minimization, VSIDS variable activity with phase saving,
+    Luby restarts, activity-based learnt-clause database reduction, and
+    incremental solving under assumptions.
+
+    Typical use: create a solver, allocate variables with {!new_var}, add
+    clauses with {!add_clause}, then call {!solve} (possibly many times,
+    with different assumptions, adding clauses between calls). *)
+
+type t
+
+type result = Sat | Unsat
+
+(** Cumulative search statistics. *)
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+  max_learnt_size : int;
+}
+
+(** [create ()] is a fresh solver with no variables or clauses. *)
+val create : unit -> t
+
+(** [new_var s] allocates a fresh variable and returns its index. *)
+val new_var : t -> int
+
+(** [new_vars s n] allocates [n] fresh variables, returning the first index. *)
+val new_vars : t -> int -> int
+
+(** [nvars s] is the number of allocated variables. *)
+val nvars : t -> int
+
+(** [nclauses s] is the number of live problem (non-learnt) clauses. *)
+val nclauses : t -> int
+
+(** [add_clause s lits] asserts the disjunction of [lits].  Adding the empty
+    clause (or a clause that simplifies to it) makes the solver permanently
+    unsatisfiable.  May be called between [solve] calls.
+    @raise Invalid_argument if a literal mentions an unallocated variable. *)
+val add_clause : t -> Lit.t list -> unit
+
+(** [ok s] is [false] iff unsatisfiability has already been established at
+    decision level zero (in which case [solve] returns [Unsat] immediately). *)
+val ok : t -> bool
+
+(** [solve ?assumptions s] decides satisfiability of the asserted clauses
+    under the given assumption literals (default none).  Returns [Sat] with
+    a model queryable via {!value} / {!model}, or [Unsat]. *)
+val solve : ?assumptions:Lit.t list -> t -> result
+
+(** [value s l] is the truth value of [l] in the last model.
+    @raise Invalid_argument if the last [solve] did not return [Sat]. *)
+val value : t -> Lit.t -> bool
+
+(** [value_var s v] is the truth value of variable [v] in the last model. *)
+val value_var : t -> int -> bool
+
+(** [model s] is the last model as an array indexed by variable. *)
+val model : t -> bool array
+
+(** [stats s] is the solver's cumulative statistics. *)
+val stats : t -> stats
+
+(** [set_conflict_budget s n] limits the next [solve] calls to [n] conflicts
+    each; the solver raises {!Budget_exhausted} when exceeded.  [None]
+    removes the limit. *)
+val set_conflict_budget : t -> int option -> unit
+
+exception Budget_exhausted
+
+(** [enable_proof s] starts recording a DRAT proof: every learnt clause is
+    logged as an addition, every database reduction as deletions, and a
+    level-zero conflict as the empty clause.  Must be called before any
+    clause is added.  For an (assumption-free) [Unsat] answer the recorded
+    proof certifies unsatisfiability and can be validated with
+    {!Drat.check}. *)
+val enable_proof : t -> unit
+
+(** [proof s] is the DRAT proof text recorded so far ([None] if
+    {!enable_proof} was never called). *)
+val proof : t -> string option
+
+(** [original_clauses s] is every clause asserted since {!enable_proof},
+    in order — the formula a recorded proof refutes. *)
+val original_clauses : t -> Lit.t list list

@@ -1,0 +1,77 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let make n x = { data = Array.make n x; size = n }
+let size v = v.size
+
+let check v i op =
+  if i < 0 || i >= v.size then
+    invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds [0,%d)" op i v.size)
+
+let get v i =
+  check v i "get";
+  v.data.(i)
+
+let set v i x =
+  check v i "set";
+  v.data.(i) <- x
+
+let grow v x =
+  let cap = Array.length v.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let ndata = Array.make ncap x in
+  Array.blit v.data 0 ndata 0 v.size;
+  v.data <- ndata
+
+let push v x =
+  if v.size = Array.length v.data then grow v x;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let pop v =
+  if v.size = 0 then invalid_arg "Vec.pop: empty";
+  v.size <- v.size - 1;
+  v.data.(v.size)
+
+let last v =
+  if v.size = 0 then invalid_arg "Vec.last: empty";
+  v.data.(v.size - 1)
+
+let shrink v n =
+  if n < 0 || n > v.size then invalid_arg "Vec.shrink: bad size";
+  v.size <- n
+
+let clear v = v.size <- 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let exists p v =
+  let rec go i = i < v.size && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.size - 1) []
+
+let filter_in_place p v =
+  let j = ref 0 in
+  for i = 0 to v.size - 1 do
+    if p v.data.(i) then begin
+      v.data.(!j) <- v.data.(i);
+      incr j
+    end
+  done;
+  v.size <- !j
+
+let sort cmp v =
+  let a = Array.sub v.data 0 v.size in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.size
+
+let swap_remove v i =
+  check v i "swap_remove";
+  v.data.(i) <- v.data.(v.size - 1);
+  v.size <- v.size - 1

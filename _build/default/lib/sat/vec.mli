@@ -1,0 +1,53 @@
+(** Growable arrays, the workhorse container of the solver's hot paths. *)
+
+type 'a t
+
+(** [create ()] is an empty vector. *)
+val create : unit -> 'a t
+
+(** [make n x] is a vector of [n] copies of [x]. *)
+val make : int -> 'a -> 'a t
+
+(** [size v] is the number of elements. *)
+val size : 'a t -> int
+
+(** [get v i] / [set v i x] access element [i]; bounds-checked. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+(** [push v x] appends [x]. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument if empty. *)
+val pop : 'a t -> 'a
+
+(** [last v] is the last element without removing it. *)
+val last : 'a t -> 'a
+
+(** [shrink v n] truncates [v] to its first [n] elements. *)
+val shrink : 'a t -> int -> unit
+
+(** [clear v] empties [v]. *)
+val clear : 'a t -> unit
+
+(** [iter f v] applies [f] to each element in order. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [exists p v] tests whether some element satisfies [p]. *)
+val exists : ('a -> bool) -> 'a t -> bool
+
+(** [to_list v] is the elements in order. *)
+val to_list : 'a t -> 'a list
+
+(** [filter_in_place p v] keeps only elements satisfying [p], preserving
+    order. *)
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+
+(** [sort cmp v] sorts in place. *)
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+
+(** [swap_remove v i] removes element [i] by swapping the last element into
+    its place (O(1), order not preserved). *)
+val swap_remove : 'a t -> int -> unit

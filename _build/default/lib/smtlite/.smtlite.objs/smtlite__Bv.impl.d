@@ -1,0 +1,1 @@
+lib/smtlite/bv.ml: Array Expr List Printf

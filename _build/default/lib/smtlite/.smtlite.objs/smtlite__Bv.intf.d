@@ -1,0 +1,1 @@
+lib/smtlite/bv.mli: Expr

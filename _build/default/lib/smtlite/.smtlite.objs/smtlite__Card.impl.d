@@ -1,0 +1,1 @@
+lib/smtlite/card.ml: Array Bv Expr List

@@ -1,0 +1,1 @@
+lib/smtlite/card.mli: Expr

@@ -1,0 +1,1 @@
+lib/smtlite/ctx.ml: Array Expr Fun Hashtbl List Sat Unix

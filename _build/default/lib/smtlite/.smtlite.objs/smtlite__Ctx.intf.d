@@ -1,0 +1,1 @@
+lib/smtlite/ctx.mli: Bv Expr Sat

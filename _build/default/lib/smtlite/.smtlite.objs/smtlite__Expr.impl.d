@@ -1,0 +1,1 @@
+lib/smtlite/expr.ml: Format Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/smtlite/expr.mli: Format

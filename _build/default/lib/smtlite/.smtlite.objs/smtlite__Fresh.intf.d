@@ -1,0 +1,1 @@
+lib/smtlite/fresh.mli: Expr

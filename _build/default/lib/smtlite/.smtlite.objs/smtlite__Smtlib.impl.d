@@ -1,0 +1,1 @@
+lib/smtlite/smtlib.ml: Buffer Ctx Expr Fresh Hashtbl List Printf String

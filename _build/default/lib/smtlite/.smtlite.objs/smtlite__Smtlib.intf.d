@@ -1,0 +1,1 @@
+lib/smtlite/smtlib.mli: Ctx

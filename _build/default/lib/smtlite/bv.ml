@@ -1,0 +1,130 @@
+type t = Expr.t array
+
+let width v = Array.length v
+
+let of_int ~width:w x =
+  if x < 0 then invalid_arg "Bv.of_int: negative value";
+  if w < 63 && x lsr w <> 0 then
+    invalid_arg (Printf.sprintf "Bv.of_int: %d does not fit in %d bits" x w);
+  Array.init w (fun i -> Expr.of_bool ((x lsr i) land 1 = 1))
+
+let to_int_opt v =
+  let exception Not_constant in
+  try
+    Some
+      (Array.to_list v
+      |> List.mapi (fun i b ->
+             if Expr.is_true b then 1 lsl i
+             else if Expr.is_false b then 0
+             else raise Not_constant)
+      |> List.fold_left ( + ) 0)
+  with Not_constant -> None
+
+let zero_extend v w =
+  if w <= Array.length v then v
+  else Array.init w (fun i -> if i < Array.length v then v.(i) else Expr.false_)
+
+(* Full adder: sum and carry circuits. *)
+let full_add a b c =
+  let axb = Expr.xor a b in
+  (Expr.xor axb c, Expr.or_ [ Expr.and_ [ a; b ]; Expr.and_ [ c; axb ] ])
+
+let add a b =
+  let w = max (width a) (width b) in
+  let a = zero_extend a w and b = zero_extend b w in
+  let out = Array.make (w + 1) Expr.false_ in
+  let carry = ref Expr.false_ in
+  for i = 0 to w - 1 do
+    let s, c = full_add a.(i) b.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  out.(w) <- !carry;
+  out
+
+(* Drop constant-false high bits so widths stay tight through sum trees. *)
+let compact v =
+  let hi = ref (Array.length v) in
+  while !hi > 1 && Expr.is_false v.(!hi - 1) do
+    decr hi
+  done;
+  if !hi = Array.length v then v else Array.sub v 0 !hi
+
+let rec sum = function
+  | [] -> of_int ~width:1 0
+  | [ v ] -> compact v
+  | vs ->
+      let rec pair = function
+        | a :: b :: rest -> compact (add a b) :: pair rest
+        | [ a ] -> [ compact a ]
+        | [] -> []
+      in
+      sum (pair vs)
+
+let popcount es = sum (List.map (fun e -> [| e |]) es)
+
+let scale c v =
+  if c < 0 then invalid_arg "Bv.scale: negative constant";
+  let rec go c shift acc =
+    if c = 0 then acc
+    else
+      let acc =
+        if c land 1 = 1 then
+          let shifted =
+            Array.append (Array.make shift Expr.false_) v
+          in
+          add acc shifted
+        else acc
+      in
+      go (c lsr 1) (shift + 1) acc
+  in
+  compact (go c 0 (of_int ~width:1 0))
+
+let eq a b =
+  let w = max (width a) (width b) in
+  let a = zero_extend a w and b = zero_extend b w in
+  Expr.and_ (List.init w (fun i -> Expr.iff a.(i) b.(i)))
+
+(* a < b, computed MSB-down: at the highest differing bit, a has 0 and b 1. *)
+let ult a b =
+  let w = max (width a) (width b) in
+  let a = zero_extend a w and b = zero_extend b w in
+  let lt = ref Expr.false_ in
+  for i = 0 to w - 1 do
+    (* from LSB up: lt' = (a_i < b_i) or (a_i = b_i and lt) *)
+    lt :=
+      Expr.or_
+        [ Expr.and_ [ Expr.not_ a.(i); b.(i) ];
+          Expr.and_ [ Expr.iff a.(i) b.(i); !lt ] ]
+  done;
+  !lt
+
+let ule a b = Expr.not_ (ult b a)
+
+let mux c a b =
+  let w = max (width a) (width b) in
+  let a = zero_extend a w and b = zero_extend b w in
+  Array.init w (fun i -> Expr.ite c a.(i) b.(i))
+
+let select ~onehot vs =
+  if List.length onehot <> List.length vs then
+    invalid_arg "Bv.select: length mismatch";
+  let gated =
+    List.map2 (fun sel v -> Array.map (fun b -> Expr.and_ [ sel; b ]) v) onehot vs
+  in
+  (* with a valid one-hot selector at most one operand is non-zero, so OR
+     is exact; but summing is equally correct and also robust *)
+  match gated with
+  | [] -> of_int ~width:1 0
+  | first :: rest ->
+      List.fold_left
+        (fun acc v ->
+          let w = max (width acc) (width v) in
+          let acc = zero_extend acc w and v = zero_extend v w in
+          Array.init w (fun i -> Expr.or_ [ acc.(i); v.(i) ]))
+        first rest
+
+let eval assignment v =
+  let acc = ref 0 in
+  Array.iteri (fun i b -> if Expr.eval assignment b then acc := !acc lor (1 lsl i)) v;
+  !acc

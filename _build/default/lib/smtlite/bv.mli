@@ -1,0 +1,52 @@
+(** Unsigned bit-vector circuits over {!Expr}.
+
+    A bit-vector is an array of Boolean expressions, least-significant bit
+    first.  All operations are pure circuit constructions; they introduce no
+    solver state and can be shared between solver contexts. *)
+
+type t = Expr.t array
+
+(** [of_int ~width x] is the constant [x] in [width] bits.
+    @raise Invalid_argument if [x] does not fit or is negative. *)
+val of_int : width:int -> int -> t
+
+(** [to_int_opt v] is [Some x] when every bit of [v] is constant. *)
+val to_int_opt : t -> int option
+
+(** [width v] is the number of bits. *)
+val width : t -> int
+
+(** [zero_extend v w] pads [v] with constant-false bits up to width [w]. *)
+val zero_extend : t -> int -> t
+
+(** [add a b] is the full-width sum (width [max (width a) (width b) + 1],
+    never overflows). *)
+val add : t -> t -> t
+
+(** [sum vs] is the balanced-tree sum of the list ([sum [] = of_int 1 0]). *)
+val sum : t list -> t
+
+(** [popcount es] counts the true expressions among [es] as a bit-vector. *)
+val popcount : Expr.t list -> t
+
+(** [scale c v] multiplies [v] by the non-negative integer constant [c]
+    (shift-and-add). *)
+val scale : int -> t -> t
+
+(** [ule a b], [ult a b], [eq a b] are the unsigned comparisons as a single
+    Boolean expression. *)
+val ule : t -> t -> Expr.t
+
+val ult : t -> t -> Expr.t
+val eq : t -> t -> Expr.t
+
+(** [mux c a b] selects [a] when [c] holds, else [b] (widths equalized). *)
+val mux : Expr.t -> t -> t -> t
+
+(** [select ~onehot vs] is the sum of [v_i] gated by [onehot_i]; intended
+    for table lookup where exactly one selector is true.
+    @raise Invalid_argument if lengths differ. *)
+val select : onehot:Expr.t list -> t list -> t
+
+(** [eval assignment v] evaluates the bit-vector to an integer. *)
+val eval : (int -> bool) -> t -> int

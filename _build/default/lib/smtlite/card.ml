@@ -1,0 +1,135 @@
+type encoding = Naive | Sequential | Totalizer | Adder
+
+(* ---------- naive: explicit subsets, exponential, test oracle ---------- *)
+
+let rec combinations k = function
+  | _ when k = 0 -> [ [] ]
+  | [] -> []
+  | x :: rest ->
+      List.map (fun c -> x :: c) (combinations (k - 1) rest) @ combinations k rest
+
+let naive_at_least es k =
+  if k <= 0 then Expr.true_
+  else if k > List.length es then Expr.false_
+  else Expr.or_ (List.map Expr.and_ (combinations k es))
+
+(* ---------- sequential counter ---------- *)
+
+(* s.(j) after processing x_1..x_i holds iff at least j+1 of them are true *)
+let sequential_counts ?cap es =
+  let n = List.length es in
+  let cap = match cap with Some c -> min c n | None -> n in
+  let s = Array.make cap Expr.false_ in
+  List.iter
+    (fun x ->
+      for j = cap - 1 downto 1 do
+        s.(j) <- Expr.or_ [ s.(j); Expr.and_ [ x; s.(j - 1) ] ]
+      done;
+      if cap > 0 then s.(0) <- Expr.or_ [ s.(0); x ])
+    es;
+  s
+
+(* ---------- totalizer ---------- *)
+
+(* Merge two unary count vectors: out.(k) iff at least k+1 inputs are true
+   across both sides.  A virtual "at least 0" output is constant true. *)
+let tot_merge ?cap a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = match cap with Some c -> min c (la + lb) | None -> la + lb in
+  let at_least v i = if i = 0 then Expr.true_ else v.(i - 1) in
+  Array.init n (fun k ->
+      (* at least k+1 overall: exists i+j = k+1 with ≥i from a and ≥j from b *)
+      let terms = ref [] in
+      for i = 0 to min la (k + 1) do
+        let j = k + 1 - i in
+        if j >= 0 && j <= lb then
+          terms := Expr.and_ [ at_least a i; at_least b j ] :: !terms
+      done;
+      Expr.or_ !terms)
+
+let totalizer_counts ?cap es =
+  let rec go = function
+    | [] -> [||]
+    | [ x ] -> [| x |]
+    | xs ->
+        let n = List.length xs in
+        let rec split i acc = function
+          | rest when i = n / 2 -> (List.rev acc, rest)
+          | x :: rest -> split (i + 1) (x :: acc) rest
+          | [] -> (List.rev acc, [])
+        in
+        let l, r = split 0 [] xs in
+        tot_merge ?cap (go l) (go r)
+  in
+  let out = go es in
+  match cap with
+  | Some c when Array.length out > c -> Array.sub out 0 c
+  | _ -> out
+
+(* ---------- public interface ---------- *)
+
+let width_for k =
+  if k <= 0 then 1
+  else
+    let rec go w = if k lsr w = 0 then w else go (w + 1) in
+    go 1
+
+let counts ?cap enc es =
+  match enc with
+  | Sequential -> sequential_counts ?cap es
+  | Totalizer -> totalizer_counts ?cap es
+  | Naive ->
+      let n = List.length es in
+      let cap = match cap with Some c -> min c n | None -> n in
+      Array.init cap (fun i -> naive_at_least es (i + 1))
+  | Adder -> invalid_arg "Card.counts: no unary view for Adder encoding"
+
+let at_most enc es k =
+  let n = List.length es in
+  if k >= n then Expr.true_
+  else if k < 0 then Expr.false_
+  else
+    match enc with
+    | Adder -> Bv.ule (Bv.popcount es) (Bv.of_int ~width:(width_for k) k)
+    | enc ->
+        let c = counts ~cap:(k + 1) enc es in
+        Expr.not_ c.(k)
+
+let at_least enc es k =
+  let n = List.length es in
+  if k <= 0 then Expr.true_
+  else if k > n then Expr.false_
+  else
+    match enc with
+    | Adder -> Bv.ule (Bv.of_int ~width:(width_for k) k) (Bv.popcount es)
+    | enc ->
+        let c = counts ~cap:k enc es in
+        c.(k - 1)
+
+let exactly enc es k = Expr.and_ [ at_most enc es k; at_least enc es k ]
+
+let pb_le ~coeffs es k =
+  if List.length coeffs <> List.length es then
+    invalid_arg "Card.pb_le: length mismatch";
+  if List.exists (fun c -> c < 0) coeffs then
+    invalid_arg "Card.pb_le: negative coefficient";
+  if k < 0 then Expr.false_
+  else
+    let total = List.fold_left ( + ) 0 coeffs in
+    if total <= k then Expr.true_
+    else
+      let terms = List.map2 (fun c x -> Bv.scale c [| x |]) coeffs es in
+      Bv.ule (Bv.sum terms) (Bv.of_int ~width:(width_for k) k)
+
+let pb_ge ~coeffs es k =
+  if List.length coeffs <> List.length es then
+    invalid_arg "Card.pb_ge: length mismatch";
+  if List.exists (fun c -> c < 0) coeffs then
+    invalid_arg "Card.pb_ge: negative coefficient";
+  if k <= 0 then Expr.true_
+  else
+    let total = List.fold_left ( + ) 0 coeffs in
+    if total < k then Expr.false_
+    else
+      let terms = List.map2 (fun c x -> Bv.scale c [| x |]) coeffs es in
+      Bv.ule (Bv.of_int ~width:(width_for k) k) (Bv.sum terms)

@@ -1,0 +1,203 @@
+type result = Sat | Unsat
+
+exception Timeout
+
+type t = {
+  solver : Sat.Solver.t;
+  lit_cache : (int, Sat.Lit.t) Hashtbl.t; (* Expr uid -> defining literal *)
+  var_map : (int, int) Hashtbl.t; (* Expr variable index -> solver var *)
+  mutable true_lit : Sat.Lit.t option;
+  mutable selectors : Sat.Lit.t list; (* innermost first *)
+  mutable last_sat : bool;
+}
+
+let create ?(proof = false) () =
+  let solver = Sat.Solver.create () in
+  if proof then Sat.Solver.enable_proof solver;
+  {
+    solver;
+    lit_cache = Hashtbl.create 4096;
+    var_map = Hashtbl.create 256;
+    true_lit = None;
+    selectors = [];
+    last_sat = false;
+  }
+
+let solver ctx = ctx.solver
+
+let certificate ctx =
+  match Sat.Solver.proof ctx.solver with
+  | None -> None
+  | Some proof -> Some (Sat.Solver.original_clauses ctx.solver, proof)
+let stats ctx = Sat.Solver.stats ctx.solver
+let level ctx = List.length ctx.selectors
+
+let fresh_lit ctx = Sat.Lit.make (Sat.Solver.new_var ctx.solver)
+
+let true_lit ctx =
+  match ctx.true_lit with
+  | Some l -> l
+  | None ->
+      let l = fresh_lit ctx in
+      Sat.Solver.add_clause ctx.solver [ l ];
+      ctx.true_lit <- Some l;
+      l
+
+let solver_var ctx i =
+  match Hashtbl.find_opt ctx.var_map i with
+  | Some v -> v
+  | None ->
+      let v = Sat.Solver.new_var ctx.solver in
+      Hashtbl.add ctx.var_map i v;
+      v
+
+(* Definitional clauses carry no selector: they define fresh variables and
+   remain valid across pop. *)
+let define ctx lits = Sat.Solver.add_clause ctx.solver lits
+
+(* Tseitin translation with per-context memoization.  Negation reuses the
+   child's literal; all other connectives get a defining variable with a
+   full (both-polarity) encoding. *)
+let rec lit_of ctx e =
+  match Hashtbl.find_opt ctx.lit_cache (Expr.id e) with
+  | Some l -> l
+  | None ->
+      let l =
+        match Expr.node e with
+        | Expr.True -> true_lit ctx
+        | Expr.Var i -> Sat.Lit.make (solver_var ctx i)
+        | Expr.Not x -> Sat.Lit.neg (lit_of ctx x)
+        | Expr.And es ->
+            let ls = List.map (lit_of ctx) es in
+            let y = fresh_lit ctx in
+            List.iter (fun l -> define ctx [ Sat.Lit.neg y; l ]) ls;
+            define ctx (y :: List.map Sat.Lit.neg ls);
+            y
+        | Expr.Or es ->
+            let ls = List.map (lit_of ctx) es in
+            let y = fresh_lit ctx in
+            List.iter (fun l -> define ctx [ y; Sat.Lit.neg l ]) ls;
+            define ctx (Sat.Lit.neg y :: ls);
+            y
+        | Expr.Xor (a, b) ->
+            let la = lit_of ctx a and lb = lit_of ctx b in
+            let y = fresh_lit ctx in
+            let n = Sat.Lit.neg in
+            define ctx [ n y; la; lb ];
+            define ctx [ n y; n la; n lb ];
+            define ctx [ y; la; n lb ];
+            define ctx [ y; n la; lb ];
+            y
+        | Expr.Ite (c, a, b) ->
+            let lc = lit_of ctx c and la = lit_of ctx a and lb = lit_of ctx b in
+            let y = fresh_lit ctx in
+            let n = Sat.Lit.neg in
+            define ctx [ n y; n lc; la ];
+            define ctx [ n y; lc; lb ];
+            define ctx [ y; n lc; n la ];
+            define ctx [ y; lc; n lb ];
+            y
+      in
+      Hashtbl.add ctx.lit_cache (Expr.id e) l;
+      l
+
+let push ctx =
+  let s = fresh_lit ctx in
+  ctx.selectors <- s :: ctx.selectors
+
+let pop ctx =
+  match ctx.selectors with
+  | [] -> invalid_arg "Ctx.pop: empty assertion stack"
+  | s :: rest ->
+      (* permanently disable every clause guarded by this selector *)
+      Sat.Solver.add_clause ctx.solver [ Sat.Lit.neg s ];
+      ctx.selectors <- rest
+
+(* Assert an expression at the current level.  Top-level conjunctions are
+   split; a top-level disjunction of simple literals becomes one clause. *)
+let rec assert_ ctx e =
+  ctx.last_sat <- false;
+  match Expr.node e with
+  | Expr.And es -> List.iter (assert_ ctx) es
+  | _ ->
+      let l = lit_of ctx e in
+      let clause =
+        match ctx.selectors with [] -> [ l ] | s :: _ -> [ Sat.Lit.neg s; l ]
+      in
+      Sat.Solver.add_clause ctx.solver clause
+
+(* Run the solver in conflict-bounded slices so a wall-clock deadline can
+   interrupt long searches; learnt clauses persist across slices. *)
+let check ?deadline ?(assumptions = []) ctx =
+  ctx.last_sat <- false;
+  let assumption_lits =
+    ctx.selectors @ List.map (lit_of ctx) assumptions
+  in
+  let slice = 20_000 in
+  let rec attempt () =
+    (match deadline with
+    | Some d when Unix.gettimeofday () > d -> raise Timeout
+    | _ -> ());
+    (match deadline with
+    | Some _ ->
+        let used = (Sat.Solver.stats ctx.solver).Sat.Solver.conflicts in
+        Sat.Solver.set_conflict_budget ctx.solver (Some (used + slice))
+    | None -> Sat.Solver.set_conflict_budget ctx.solver None);
+    match Sat.Solver.solve ~assumptions:assumption_lits ctx.solver with
+    | Sat.Solver.Sat ->
+        ctx.last_sat <- true;
+        Sat
+    | Sat.Solver.Unsat -> Unsat
+    | exception Sat.Solver.Budget_exhausted -> attempt ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Sat.Solver.set_conflict_budget ctx.solver None)
+    attempt
+
+let enumerate ?limit ctx ~over f =
+  push ctx;
+  (* force Tseitin definitions up front so models cover these literals *)
+  let lits = List.map (lit_of ctx) over in
+  let count = ref 0 in
+  let continue_enum = ref true in
+  while
+    !continue_enum
+    && (match limit with Some l -> !count < l | None -> true)
+  do
+    match check ctx with
+    | Unsat -> continue_enum := false
+    | Sat ->
+        let values = List.map (Sat.Solver.value ctx.solver) lits in
+        f values;
+        incr count;
+        (* block this projection *)
+        let blocking =
+          Expr.or_
+            (List.map2
+               (fun e v -> if v then Expr.not_ e else e)
+               over values)
+        in
+        if Expr.is_false blocking then continue_enum := false
+        else assert_ ctx blocking
+  done;
+  pop ctx;
+  !count
+
+let model_bool ctx e =
+  if not ctx.last_sat then invalid_arg "Ctx.model_bool: no model available";
+  let value_of_var i =
+    match Hashtbl.find_opt ctx.var_map i with
+    | Some v -> Sat.Solver.value_var ctx.solver v
+    | None -> false
+  in
+  (* Prefer the cached Tseitin literal (exact), fall back to structural
+     evaluation for expressions the solver never saw. *)
+  match Hashtbl.find_opt ctx.lit_cache (Expr.id e) with
+  | Some l -> Sat.Solver.value ctx.solver l
+  | None -> Expr.eval value_of_var e
+
+let model_bv ctx v =
+  if not ctx.last_sat then invalid_arg "Ctx.model_bv: no model available";
+  let acc = ref 0 in
+  Array.iteri (fun i b -> if model_bool ctx b then acc := !acc lor (1 lsl i)) v;
+  !acc

@@ -1,0 +1,65 @@
+(** A solver context: SAT solver plus Tseitin translation and an
+    assertion stack.
+
+    Expressions are shared globally (see {!Expr}); each context lazily maps
+    the expression DAG onto its own solver variables.  Definitional clauses
+    are added unconditionally (they are equivalences, valid in any state);
+    {e assertions} made after a {!push} are guarded by a fresh selector
+    literal, so {!pop} retracts them permanently. *)
+
+type t
+
+type result = Sat | Unsat
+
+exception Timeout
+
+(** [create ?proof ()] is a fresh context; with [~proof:true] the
+    underlying solver records a DRAT proof (see {!certificate}). *)
+val create : ?proof:bool -> unit -> t
+
+(** [assert_ ctx e] asserts expression [e] at the current stack level. *)
+val assert_ : t -> Expr.t -> unit
+
+(** [push ctx] opens a new assertion level. *)
+val push : t -> unit
+
+(** [pop ctx] discards all assertions made since the matching [push].
+    @raise Invalid_argument if the stack is empty. *)
+val pop : t -> unit
+
+(** [level ctx] is the current stack depth. *)
+val level : t -> int
+
+(** [check ?deadline ?assumptions ctx] decides satisfiability of all active
+    assertions, optionally under extra assumption expressions.
+    [deadline] is an absolute {!Unix.gettimeofday} instant; when the solver
+    exceeds it, @raise Timeout. *)
+val check : ?deadline:float -> ?assumptions:Expr.t list -> t -> result
+
+(** [model_bool ctx e] evaluates [e] in the model of the last [Sat] answer.
+    Expression variables that the solver never saw evaluate to [false].
+    @raise Invalid_argument if the last [check] was not [Sat]. *)
+val model_bool : t -> Expr.t -> bool
+
+(** [model_bv ctx v] evaluates a bit-vector in the last model. *)
+val model_bv : t -> Bv.t -> int
+
+(** [enumerate ?limit ctx ~over f] enumerates satisfying assignments
+    projected onto the expressions [over]: each distinct valuation of
+    [over] is reported once to [f] and then blocked.  Enumeration runs
+    inside a [push]/[pop] frame, so the context is unchanged afterwards.
+    Returns the number of valuations found (stopping at [limit],
+    default unlimited). *)
+val enumerate : ?limit:int -> t -> over:Expr.t list -> (bool list -> unit) -> int
+
+(** [solver ctx] exposes the underlying SAT solver (for statistics). *)
+val solver : t -> Sat.Solver.t
+
+(** [certificate ctx] is the asserted CNF together with the recorded DRAT
+    proof, when the context was created with [~proof:true].  After an
+    assumption-free [Unsat] answer, [Sat.Drat.check] on the pair validates
+    the refutation independently of the solver. *)
+val certificate : t -> (Sat.Lit.t list list * string) option
+
+(** [stats ctx] is the underlying solver's statistics. *)
+val stats : t -> Sat.Solver.stats

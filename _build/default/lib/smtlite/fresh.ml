@@ -1,0 +1,9 @@
+let first_fresh = 1 lsl 22
+let counter = ref first_fresh
+
+let make () =
+  let v = Expr.var !counter in
+  incr counter;
+  v
+
+let make_n n = List.init n (fun _ -> make ())

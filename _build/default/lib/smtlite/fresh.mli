@@ -1,0 +1,14 @@
+(** Fresh propositional variable supply.
+
+    Variable indices below {!first_fresh} are reserved for user-chosen
+    variables; {!make} hands out indices from a global counter starting at
+    {!first_fresh}, so encoder-internal variables never collide with them. *)
+
+(** The first index handed out by [make]. *)
+val first_fresh : int
+
+(** [make ()] is a fresh variable expression. *)
+val make : unit -> Expr.t
+
+(** [make_n n] is a list of [n] fresh variable expressions. *)
+val make_n : int -> Expr.t list

@@ -1,0 +1,215 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type event =
+  | Check_sat of Ctx.result
+  | Model of (string * bool) list
+  | Echo of string
+
+(* ---------- s-expressions ---------- *)
+
+type sexp = Atom of string | List of sexp list
+
+let tokenize src =
+  let tokens = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    match src.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | ';' ->
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done
+    | '(' ->
+        tokens := "(" :: !tokens;
+        incr i
+    | ')' ->
+        tokens := ")" :: !tokens;
+        incr i
+    | '"' ->
+        (* string literal, SMT-LIB escapes "" *)
+        let buf = Buffer.create 16 in
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          if src.[!i] = '"' then
+            if !i + 1 < n && src.[!i + 1] = '"' then begin
+              Buffer.add_char buf '"';
+              i := !i + 2
+            end
+            else begin
+              closed := true;
+              incr i
+            end
+          else begin
+            Buffer.add_char buf src.[!i];
+            incr i
+          end
+        done;
+        if not !closed then fail "unterminated string literal";
+        tokens := ("\"" ^ Buffer.contents buf) :: !tokens
+    | '|' ->
+        (* quoted symbol *)
+        let start = !i + 1 in
+        let stop = try String.index_from src start '|' with Not_found -> fail "unterminated |symbol|" in
+        tokens := String.sub src start (stop - start) :: !tokens;
+        i := stop + 1
+    | _ ->
+        let start = !i in
+        while
+          !i < n
+          && not
+               (match src.[!i] with
+               | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' -> true
+               | _ -> false)
+        do
+          incr i
+        done;
+        tokens := String.sub src start (!i - start) :: !tokens
+  done;
+  List.rev !tokens
+
+let parse_sexps tokens =
+  let rec parse_one = function
+    | [] -> fail "unexpected end of input"
+    | "(" :: rest ->
+        let items, rest = parse_list rest [] in
+        (List items, rest)
+    | ")" :: _ -> fail "unexpected ')'"
+    | atom :: rest -> (Atom atom, rest)
+  and parse_list tokens acc =
+    match tokens with
+    | ")" :: rest -> (List.rev acc, rest)
+    | [] -> fail "missing ')'"
+    | _ ->
+        let item, rest = parse_one tokens in
+        parse_list rest (item :: acc)
+  in
+  let rec go tokens acc =
+    match tokens with
+    | [] -> List.rev acc
+    | _ ->
+        let item, rest = parse_one tokens in
+        go rest (item :: acc)
+  in
+  go tokens []
+
+(* ---------- interpreter ---------- *)
+
+type state = {
+  ctx : Ctx.t;
+  consts : (string, Expr.t) Hashtbl.t;
+  mutable declared_order : string list; (* newest first *)
+  mutable last_sat : bool;
+  mutable events : event list;
+}
+
+let rec term st = function
+  | Atom "true" -> Expr.true_
+  | Atom "false" -> Expr.false_
+  | Atom name -> (
+      match Hashtbl.find_opt st.consts name with
+      | Some e -> e
+      | None -> fail "unknown constant %s" name)
+  | List (Atom "not" :: [ t ]) -> Expr.not_ (term st t)
+  | List (Atom "and" :: ts) -> Expr.and_ (List.map (term st) ts)
+  | List (Atom "or" :: ts) -> Expr.or_ (List.map (term st) ts)
+  | List (Atom "xor" :: ts) -> (
+      match List.map (term st) ts with
+      | [] -> fail "xor needs arguments"
+      | first :: rest -> List.fold_left Expr.xor first rest)
+  | List (Atom "=>" :: ts) -> (
+      (* right-associative implication chain *)
+      match List.rev_map (term st) ts with
+      | [] | [ _ ] -> fail "=> needs at least two arguments"
+      | last :: before -> List.fold_left (fun acc t -> Expr.imp t acc) last before)
+  | List (Atom "=" :: ts) -> (
+      match List.map (term st) ts with
+      | a :: (_ :: _ as rest) ->
+          Expr.and_ (List.map (Expr.iff a) rest)
+      | _ -> fail "= needs at least two arguments")
+  | List (Atom "distinct" :: [ a; b ]) -> Expr.xor (term st a) (term st b)
+  | List (Atom "ite" :: [ c; a; b ]) -> Expr.ite (term st c) (term st a) (term st b)
+  | List (Atom op :: _) -> fail "unsupported operator %s" op
+  | List [] -> fail "empty term"
+  | List (List _ :: _) -> fail "higher-order application is not supported"
+
+let declare st name =
+  if Hashtbl.mem st.consts name then fail "constant %s redeclared" name;
+  Hashtbl.add st.consts name (Fresh.make ());
+  st.declared_order <- name :: st.declared_order
+
+let command st = function
+  | List [ Atom "set-logic"; Atom logic ] ->
+      if logic <> "QF_UF" && logic <> "CORE" && logic <> "ALL" && logic <> "QF_BV" then
+        fail "unsupported logic %s (only Boolean reasoning is available)" logic
+  | List (Atom ("set-option" | "set-info") :: _) -> ()
+  | List [ Atom "declare-const"; Atom name; Atom "Bool" ] -> declare st name
+  | List [ Atom "declare-fun"; Atom name; List []; Atom "Bool" ] -> declare st name
+  | List [ Atom ("declare-const" | "declare-fun"); Atom name; _ ]
+  | List [ Atom ("declare-const" | "declare-fun"); Atom name; _; _ ] ->
+      fail "constant %s: only sort Bool is supported" name
+  | List [ Atom "assert"; t ] ->
+      st.last_sat <- false;
+      Ctx.assert_ st.ctx (term st t)
+  | List [ Atom "check-sat" ] ->
+      let r = Ctx.check st.ctx in
+      st.last_sat <- r = Ctx.Sat;
+      st.events <- Check_sat r :: st.events
+  | List [ Atom "get-model" ] ->
+      if not st.last_sat then fail "get-model requires a satisfiable check-sat";
+      let model =
+        List.rev_map
+          (fun name -> (name, Ctx.model_bool st.ctx (Hashtbl.find st.consts name)))
+          st.declared_order
+      in
+      st.events <- Model model :: st.events
+  | List [ Atom "push" ] -> Ctx.push st.ctx
+  | List [ Atom "push"; Atom n ] ->
+      for _ = 1 to int_of_string n do
+        Ctx.push st.ctx
+      done
+  | List [ Atom "pop" ] -> Ctx.pop st.ctx
+  | List [ Atom "pop"; Atom n ] ->
+      for _ = 1 to int_of_string n do
+        Ctx.pop st.ctx
+      done
+  | List [ Atom "echo"; Atom s ] ->
+      let s = if String.length s > 0 && s.[0] = '"' then String.sub s 1 (String.length s - 1) else s in
+      st.events <- Echo s :: st.events
+  | List [ Atom "exit" ] -> raise Exit
+  | List (Atom cmd :: _) -> fail "unsupported command %s" cmd
+  | _ -> fail "malformed command"
+
+let run script =
+  let st =
+    {
+      ctx = Ctx.create ();
+      consts = Hashtbl.create 64;
+      declared_order = [];
+      last_sat = false;
+      events = [];
+    }
+  in
+  (try List.iter (command st) (parse_sexps (tokenize script)) with
+  | Exit -> ()
+  | Invalid_argument m | Failure m -> fail "%s" m);
+  List.rev st.events
+
+let run_to_string script =
+  run script
+  |> List.map (function
+       | Check_sat Ctx.Sat -> "sat"
+       | Check_sat Ctx.Unsat -> "unsat"
+       | Echo s -> s
+       | Model bindings ->
+           let defs =
+             List.map
+               (fun (name, v) ->
+                 Printf.sprintf "  (define-fun %s () Bool %b)" name v)
+               bindings
+           in
+           "(\n" ^ String.concat "\n" defs ^ "\n)")
+  |> String.concat "\n"

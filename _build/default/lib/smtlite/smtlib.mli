@@ -1,0 +1,27 @@
+(** A front end for the QF Boolean fragment of the SMT-LIB v2 command
+    language, driving {!Ctx}.
+
+    Supported commands: [set-logic], [set-option], [set-info] (accepted
+    and ignored where harmless), [declare-const x Bool],
+    [declare-fun x () Bool], [assert], [check-sat], [get-model], [push],
+    [pop], [echo], [exit].  Terms: [true], [false], constants, [not],
+    [and], [or], [xor], [=>], [=] (Boolean equivalence), [distinct],
+    [ite].  Line comments start with [;]. *)
+
+exception Error of string
+
+(** One evaluated command's visible output. *)
+type event =
+  | Check_sat of Ctx.result
+  | Model of (string * bool) list  (** declared constants with values *)
+  | Echo of string
+
+(** [run script] executes a script and returns the outputs in order.
+    @raise Error on syntax errors, unknown commands, sort mismatches, or
+    [get-model] without a preceding satisfiable [check-sat]. *)
+val run : string -> event list
+
+(** [run_to_string script] renders the outputs in SMT-LIB's textual
+    conventions ([sat] / [unsat], a [(model ...)] block, echoed
+    strings). *)
+val run_to_string : string -> string

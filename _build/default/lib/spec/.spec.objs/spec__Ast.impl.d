@@ -1,0 +1,1 @@
+lib/spec/ast.ml: Float Format

@@ -1,0 +1,1 @@
+lib/spec/ast.mli: Format

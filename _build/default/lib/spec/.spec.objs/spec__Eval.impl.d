@@ -1,0 +1,1 @@
+lib/spec/eval.ml: Array Ast Float Gf2 Hamming Printf

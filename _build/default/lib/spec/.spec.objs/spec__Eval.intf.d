@@ -1,0 +1,1 @@
+lib/spec/eval.mli: Ast Hamming

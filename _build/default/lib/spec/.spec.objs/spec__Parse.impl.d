@@ -1,0 +1,1 @@
+lib/spec/parse.ml: Ast List Printf String

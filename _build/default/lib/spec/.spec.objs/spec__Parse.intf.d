@@ -1,0 +1,1 @@
+lib/spec/parse.mli: Ast

@@ -1,0 +1,103 @@
+type func = Len_d | Len_c | Len_1 | Md
+
+type expr =
+  | Int of int
+  | Real of float
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+  | Gen_entry of expr * expr * expr
+  | Len_g
+  | Len_w
+  | Weight of expr
+  | Sum_w
+  | Func of func * expr
+
+type cmp = Eq | Neq | Lt | Gt | Le | Ge
+
+type prop =
+  | True
+  | False
+  | Cmp of cmp * expr * expr
+  | Not of prop
+  | And of prop * prop
+  | Or of prop * prop
+  | Imp of prop * prop
+  | Minimal of expr
+  | Maximal of expr
+
+let func_name = function
+  | Len_d -> "len_d"
+  | Len_c -> "len_c"
+  | Len_1 -> "len_1"
+  | Md -> "md"
+
+let cmp_name = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+
+let rec pp_expr fmt = function
+  | Int n -> Format.fprintf fmt "%d" n
+  | Real r ->
+      if Float.is_integer r && Float.abs r < 1e15 then Format.fprintf fmt "%.1f" r
+      else Format.fprintf fmt "%.12g" r
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp_expr a pp_expr b
+  | Neg a -> Format.fprintf fmt "(- %a)" pp_expr a
+  | Gen_entry (g, r, c) ->
+      Format.fprintf fmt "G[%a](%a, %a)" pp_expr g pp_expr r pp_expr c
+  | Len_g -> Format.pp_print_string fmt "len_G"
+  | Len_w -> Format.pp_print_string fmt "len_w"
+  | Weight e -> Format.fprintf fmt "w(%a)" pp_expr e
+  | Sum_w -> Format.pp_print_string fmt "sum_w"
+  | Func (f, g) -> Format.fprintf fmt "%s(G[%a])" (func_name f) pp_expr g
+
+let rec pp_prop fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Cmp (c, a, b) -> Format.fprintf fmt "%a %s %a" pp_expr a (cmp_name c) pp_expr b
+  | Not p -> Format.fprintf fmt "!(%a)" pp_prop p
+  | And (a, b) -> Format.fprintf fmt "(%a && %a)" pp_prop a pp_prop b
+  | Or (a, b) -> Format.fprintf fmt "(%a || %a)" pp_prop a pp_prop b
+  | Imp (a, b) -> Format.fprintf fmt "(%a => %a)" pp_prop a pp_prop b
+  | Minimal e -> Format.fprintf fmt "minimal(%a)" pp_expr e
+  | Maximal e -> Format.fprintf fmt "maximal(%a)" pp_expr e
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let prop_to_string p = Format.asprintf "%a" pp_prop p
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | p -> [ p ]
+
+let rec objectives = function
+  | Minimal e -> [ `Minimize e ]
+  | Maximal e -> [ `Maximize e ]
+  | And (a, b) | Or (a, b) | Imp (a, b) -> objectives a @ objectives b
+  | Not p -> objectives p
+  | True | False | Cmp _ -> []
+
+let rec expr_mentions_md = function
+  | Func (Md, _) -> true
+  | Int _ | Real _ | Len_g | Len_w | Sum_w -> false
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> expr_mentions_md a || expr_mentions_md b
+  | Neg a | Weight a | Func (_, a) -> expr_mentions_md a
+  | Gen_entry (g, r, c) ->
+      expr_mentions_md g || expr_mentions_md r || expr_mentions_md c
+
+let rec mentions_min_distance = function
+  | True | False -> false
+  | Cmp (_, a, b) -> expr_mentions_md a || expr_mentions_md b
+  | Not p -> mentions_min_distance p
+  | And (a, b) | Or (a, b) | Imp (a, b) ->
+      mentions_min_distance a || mentions_min_distance b
+  | Minimal e | Maximal e -> expr_mentions_md e
+
+let equal_expr (a : expr) (b : expr) = a = b
+let equal_prop (a : prop) (b : prop) = a = b

@@ -1,0 +1,74 @@
+(** Abstract syntax of the generator property language (paper Figure 3).
+
+    Concrete syntax used by {!Parse} (one line per construct):
+    {v
+      e ::= <int> | <real> | e + e | e - e | e * e | - e | ( e )
+          | G[e](e, e)            bit of a generator's matrix
+          | len_G | len_w | w(e) | sum_w
+          | len_d(G[e]) | len_c(G[e]) | len_1(G[e]) | md(G[e])
+      c ::= e = e | e != e | e < e | e > e | e <= e | e >= e
+      p ::= true | false | c | !p | p && p | p || p | p => p | ( p )
+          | minimal(e) | maximal(e)
+    v} *)
+
+(** The generator-valued functions of Figure 3. *)
+type func =
+  | Len_d  (** data length of a generator *)
+  | Len_c  (** check length of a generator *)
+  | Len_1  (** number of set bits in the coefficient matrix *)
+  | Md  (** minimum distance *)
+
+type expr =
+  | Int of int
+  | Real of float
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+  | Gen_entry of expr * expr * expr
+      (** [Gen_entry (g, row, col)]: the paper's [G_e(e, e)], 0 or 1 *)
+  | Len_g  (** number of generators, the paper's [len_G] *)
+  | Len_w  (** number of weights *)
+  | Weight of expr  (** [w(e)] *)
+  | Sum_w  (** weighted sum of undetected-error probabilities *)
+  | Func of func * expr  (** [f(G_e)]; argument is the generator index *)
+
+type cmp = Eq | Neq | Lt | Gt | Le | Ge
+
+type prop =
+  | True
+  | False
+  | Cmp of cmp * expr * expr
+  | Not of prop
+  | And of prop * prop
+  | Or of prop * prop
+  | Imp of prop * prop
+  | Minimal of expr  (** pseudo-property: minimize during synthesis *)
+  | Maximal of expr  (** pseudo-property: maximize during synthesis *)
+
+(** [pp_expr] / [pp_prop] print in the concrete syntax accepted by
+    {!Parse} (with full parenthesization of non-atomic subterms). *)
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_prop : Format.formatter -> prop -> unit
+
+(** [expr_to_string] / [prop_to_string] are the string versions. *)
+val expr_to_string : expr -> string
+
+val prop_to_string : prop -> string
+
+(** [conjuncts p] flattens nested [And]s into a list. *)
+val conjuncts : prop -> prop list
+
+(** [objectives p] extracts the [Minimal]/[Maximal] directives, in
+    left-to-right order. *)
+val objectives : prop -> [ `Minimize of expr | `Maximize of expr ] list
+
+(** [mentions_min_distance p] holds iff [md(...)] occurs anywhere in [p] —
+    such properties route to the CEGIS verifier (paper §3.4). *)
+val mentions_min_distance : prop -> bool
+
+(** [equal_expr] / [equal_prop] are structural equality. *)
+val equal_expr : expr -> expr -> bool
+
+val equal_prop : prop -> prop -> bool

@@ -1,0 +1,98 @@
+type env = {
+  generators : Hamming.Code.t array;
+  weights : float array;
+  mapping : int array;
+  channel_p : float;
+}
+
+let env_of_code code =
+  { generators = [| code |]; weights = [||]; mapping = [||]; channel_p = 0.1 }
+
+type value = Vint of int | Vreal of float
+
+let value_to_float = function Vint n -> float_of_int n | Vreal r -> r
+
+exception Eval_error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Eval_error msg)) fmt
+
+let generator env i =
+  if i < 0 || i >= Array.length env.generators then
+    error "generator index %d out of range [0,%d)" i (Array.length env.generators)
+  else env.generators.(i)
+
+let lift2_num f_int f_real a b =
+  match (a, b) with
+  | Vint x, Vint y -> Vint (f_int x y)
+  | _ -> Vreal (f_real (value_to_float a) (value_to_float b))
+
+let sum_w env =
+  if Array.length env.mapping <> Array.length env.weights then
+    error "mapping length %d does not match weight count %d"
+      (Array.length env.mapping) (Array.length env.weights);
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun j w ->
+      let g = generator env env.mapping.(j) in
+      let n = Hamming.Code.block_len g in
+      let m = Hamming.Distance.min_distance g in
+      acc := !acc +. (w *. Hamming.Robustness.choose_times_pow ~n ~m ~p:env.channel_p))
+    env.weights;
+  !acc
+
+let rec eval_expr env : Ast.expr -> value = function
+  | Ast.Int n -> Vint n
+  | Ast.Real r -> Vreal r
+  | Ast.Add (a, b) -> lift2_num ( + ) ( +. ) (eval_expr env a) (eval_expr env b)
+  | Ast.Sub (a, b) -> lift2_num ( - ) ( -. ) (eval_expr env a) (eval_expr env b)
+  | Ast.Mul (a, b) -> lift2_num ( * ) ( *. ) (eval_expr env a) (eval_expr env b)
+  | Ast.Neg a -> (
+      match eval_expr env a with Vint n -> Vint (-n) | Vreal r -> Vreal (-.r))
+  | Ast.Len_g -> Vint (Array.length env.generators)
+  | Ast.Len_w -> Vint (Array.length env.weights)
+  | Ast.Sum_w -> Vreal (sum_w env)
+  | Ast.Weight e -> (
+      match eval_expr env e with
+      | Vint j when j >= 0 && j < Array.length env.weights -> Vreal env.weights.(j)
+      | Vint j -> error "weight index %d out of range" j
+      | Vreal _ -> error "weight index must be an integer")
+  | Ast.Gen_entry (g, r, c) -> (
+      match (eval_expr env g, eval_expr env r, eval_expr env c) with
+      | Vint gi, Vint ri, Vint ci ->
+          let code = generator env gi in
+          let gm = Hamming.Code.generator code in
+          if ri < 0 || ri >= Gf2.Matrix.rows gm || ci < 0 || ci >= Gf2.Matrix.cols gm
+          then error "generator entry (%d,%d) out of range" ri ci
+          else Vint (if Gf2.Matrix.get gm ri ci then 1 else 0)
+      | _ -> error "generator entry indices must be integers")
+  | Ast.Func (f, g) -> (
+      match eval_expr env g with
+      | Vint gi ->
+          let code = generator env gi in
+          Vint
+            (match f with
+            | Ast.Len_d -> Hamming.Code.data_len code
+            | Ast.Len_c -> Hamming.Code.check_len code
+            | Ast.Len_1 -> Hamming.Code.set_bits code
+            | Ast.Md -> Hamming.Distance.min_distance code)
+      | Vreal _ -> error "generator index must be an integer")
+
+let compare_values a b = Float.compare (value_to_float a) (value_to_float b)
+
+let rec eval_prop env : Ast.prop -> bool = function
+  | Ast.True -> true
+  | Ast.False -> false
+  | Ast.Cmp (op, a, b) -> (
+      let c = compare_values (eval_expr env a) (eval_expr env b) in
+      match op with
+      | Ast.Eq -> c = 0
+      | Ast.Neq -> c <> 0
+      | Ast.Lt -> c < 0
+      | Ast.Gt -> c > 0
+      | Ast.Le -> c <= 0
+      | Ast.Ge -> c >= 0)
+  | Ast.Not p -> not (eval_prop env p)
+  | Ast.And (a, b) -> eval_prop env a && eval_prop env b
+  | Ast.Or (a, b) -> eval_prop env a || eval_prop env b
+  | Ast.Imp (a, b) -> (not (eval_prop env a)) || eval_prop env b
+  | Ast.Minimal _ | Ast.Maximal _ -> true

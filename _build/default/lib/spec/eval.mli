@@ -1,0 +1,39 @@
+(** Concrete evaluation of properties against candidate generators.
+
+    This is the semantics the synthesizer's answers are checked against in
+    tests, and what the CLI's [analyze] command uses to report whether a
+    given generator satisfies a specification. *)
+
+type env = {
+  generators : Hamming.Code.t array;  (** the paper's set [G] *)
+  weights : float array;  (** per-bit criticality weights, possibly empty *)
+  mapping : int array;
+      (** [mapping.(j)] is the generator index bit [j] is assigned to;
+          must have length [Array.length weights] *)
+  channel_p : float;  (** channel bit-error probability for [sum_w] *)
+}
+
+(** [env_of_code code] wraps a single generator with no weights. *)
+val env_of_code : Hamming.Code.t -> env
+
+(** Numeric values: the language mixes integers and reals. *)
+type value = Vint of int | Vreal of float
+
+val value_to_float : value -> float
+
+exception Eval_error of string
+(** Raised on out-of-range generator indices, matrix positions, or weight
+    indices. *)
+
+(** [eval_expr env e] evaluates a numeric expression. *)
+val eval_expr : env -> Ast.expr -> value
+
+(** [eval_prop env p] evaluates a property.  [Minimal]/[Maximal]
+    pseudo-properties evaluate to [true] (they constrain search, not
+    models). *)
+val eval_prop : env -> Ast.prop -> bool
+
+(** [sum_w env] is the weighted sum of approximate undetected-error
+    probabilities under the mapping, i.e. the paper's §4.3 objective
+    [Σ_j w_j · C(n_{map(j)}, md_{map(j)}) · p^{md_{map(j)}}]. *)
+val sum_w : env -> float

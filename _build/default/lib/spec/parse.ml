@@ -1,0 +1,366 @@
+exception Error of string
+
+type token =
+  | TInt of int
+  | TReal of float
+  | TIdent of string
+  | TPlus
+  | TMinus
+  | TStar
+  | TLParen
+  | TRParen
+  | TLBracket
+  | TRBracket
+  | TComma
+  | TEq
+  | TNeq
+  | TLt
+  | TGt
+  | TLe
+  | TGe
+  | TAnd
+  | TOr
+  | TImp
+  | TBang
+  | TEOF
+
+let token_name = function
+  | TInt n -> string_of_int n
+  | TReal r -> string_of_float r
+  | TIdent s -> s
+  | TPlus -> "+"
+  | TMinus -> "-"
+  | TStar -> "*"
+  | TLParen -> "("
+  | TRParen -> ")"
+  | TLBracket -> "["
+  | TRBracket -> "]"
+  | TComma -> ","
+  | TEq -> "="
+  | TNeq -> "!="
+  | TLt -> "<"
+  | TGt -> ">"
+  | TLe -> "<="
+  | TGe -> ">="
+  | TAnd -> "&&"
+  | TOr -> "||"
+  | TImp -> "=>"
+  | TBang -> "!"
+  | TEOF -> "<end of input>"
+
+(* ---------- lexer ---------- *)
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let fail msg = raise (Error (Printf.sprintf "at offset %d: %s" !pos msg)) in
+  let is_digit ch = ch >= '0' && ch <= '9' in
+  let is_ident_char ch =
+    (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || is_digit ch || ch = '_'
+  in
+  while !pos < n do
+    let ch = s.[!pos] in
+    if ch = ' ' || ch = '\t' || ch = '\n' || ch = '\r' then incr pos
+    else if ch = '#' then begin
+      (* comment to end of line *)
+      while !pos < n && s.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_digit ch then begin
+      let start = !pos in
+      while !pos < n && is_digit s.[!pos] do
+        incr pos
+      done;
+      let is_real =
+        !pos < n && s.[!pos] = '.' && !pos + 1 < n && is_digit s.[!pos + 1]
+      in
+      if is_real then begin
+        incr pos;
+        while !pos < n && (is_digit s.[!pos] || s.[!pos] = 'e' || s.[!pos] = '-') do
+          incr pos
+        done;
+        tokens := TReal (float_of_string (String.sub s start (!pos - start))) :: !tokens
+      end
+      else tokens := TInt (int_of_string (String.sub s start (!pos - start))) :: !tokens
+    end
+    else if is_ident_char ch then begin
+      let start = !pos in
+      while !pos < n && is_ident_char s.[!pos] do
+        incr pos
+      done;
+      tokens := TIdent (String.sub s start (!pos - start)) :: !tokens
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub s !pos 2 else "" in
+      let tok, len =
+        match two with
+        | "!=" -> (TNeq, 2)
+        | "<=" -> (TLe, 2)
+        | ">=" -> (TGe, 2)
+        | "&&" -> (TAnd, 2)
+        | "||" -> (TOr, 2)
+        | "=>" -> (TImp, 2)
+        | _ -> (
+            match ch with
+            | '+' -> (TPlus, 1)
+            | '-' -> (TMinus, 1)
+            | '*' -> (TStar, 1)
+            | '(' -> (TLParen, 1)
+            | ')' -> (TRParen, 1)
+            | '[' -> (TLBracket, 1)
+            | ']' -> (TRBracket, 1)
+            | ',' -> (TComma, 1)
+            | '=' -> (TEq, 1)
+            | '<' -> (TLt, 1)
+            | '>' -> (TGt, 1)
+            | '!' -> (TBang, 1)
+            | c -> fail (Printf.sprintf "unexpected character %C" c))
+      in
+      tokens := tok :: !tokens;
+      pos := !pos + len
+    end
+  done;
+  List.rev (TEOF :: !tokens)
+
+(* ---------- recursive-descent parser ---------- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> TEOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    raise
+      (Error
+         (Printf.sprintf "expected %S but found %S" (token_name tok)
+            (token_name (peek st))))
+
+let gen_arg st parse_expr =
+  (* G[e] — the generator-index argument of the Figure 3 functions *)
+  (match peek st with
+  | TIdent "G" -> advance st
+  | t -> raise (Error (Printf.sprintf "expected generator G[...], found %S" (token_name t))));
+  expect st TLBracket;
+  let e = parse_expr st in
+  expect st TRBracket;
+  e
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue_flag = ref true in
+  while !continue_flag do
+    match peek st with
+    | TPlus ->
+        advance st;
+        lhs := Ast.Add (!lhs, parse_multiplicative st)
+    | TMinus ->
+        advance st;
+        lhs := Ast.Sub (!lhs, parse_multiplicative st)
+    | _ -> continue_flag := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue_flag = ref true in
+  while !continue_flag do
+    match peek st with
+    | TStar ->
+        advance st;
+        lhs := Ast.Mul (!lhs, parse_unary st)
+    | _ -> continue_flag := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | TMinus ->
+      advance st;
+      Ast.Neg (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | TInt n ->
+      advance st;
+      Ast.Int n
+  | TReal r ->
+      advance st;
+      Ast.Real r
+  | TLParen ->
+      advance st;
+      let e = parse_expr st in
+      expect st TRParen;
+      e
+  | TIdent "len_G" ->
+      advance st;
+      Ast.Len_g
+  | TIdent "len_w" ->
+      advance st;
+      Ast.Len_w
+  | TIdent "sum_w" ->
+      advance st;
+      Ast.Sum_w
+  | TIdent "w" ->
+      advance st;
+      expect st TLParen;
+      let e = parse_expr st in
+      expect st TRParen;
+      Ast.Weight e
+  | TIdent ("len_d" | "len_c" | "len_1" | "md") ->
+      let f =
+        match peek st with
+        | TIdent "len_d" -> Ast.Len_d
+        | TIdent "len_c" -> Ast.Len_c
+        | TIdent "len_1" -> Ast.Len_1
+        | TIdent "md" -> Ast.Md
+        | _ -> assert false
+      in
+      advance st;
+      expect st TLParen;
+      let g = gen_arg st parse_expr in
+      expect st TRParen;
+      Ast.Func (f, g)
+  | TIdent "G" ->
+      advance st;
+      expect st TLBracket;
+      let g = parse_expr st in
+      expect st TRBracket;
+      expect st TLParen;
+      let r = parse_expr st in
+      expect st TComma;
+      let c = parse_expr st in
+      expect st TRParen;
+      Ast.Gen_entry (g, r, c)
+  | t -> raise (Error (Printf.sprintf "expected expression, found %S" (token_name t)))
+
+let parse_cmp st =
+  let lhs = parse_expr st in
+  let op =
+    match peek st with
+    | TEq -> Ast.Eq
+    | TNeq -> Ast.Neq
+    | TLt -> Ast.Lt
+    | TGt -> Ast.Gt
+    | TLe -> Ast.Le
+    | TGe -> Ast.Ge
+    | t -> raise (Error (Printf.sprintf "expected comparison operator, found %S" (token_name t)))
+  in
+  advance st;
+  let rhs = parse_expr st in
+  Ast.Cmp (op, lhs, rhs)
+
+let rec parse_prop st = parse_imp st
+
+and parse_imp st =
+  let lhs = parse_or st in
+  match peek st with
+  | TImp ->
+      advance st;
+      Ast.Imp (lhs, parse_imp st)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek st = TOr do
+    advance st;
+    lhs := Ast.Or (!lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while peek st = TAnd do
+    advance st;
+    lhs := Ast.And (!lhs, parse_not st)
+  done;
+  !lhs
+
+and parse_not st =
+  match peek st with
+  | TBang ->
+      advance st;
+      Ast.Not (parse_not st)
+  | _ -> parse_prop_atom st
+
+and parse_prop_atom st =
+  match peek st with
+  | TIdent "true" ->
+      advance st;
+      Ast.True
+  | TIdent "false" ->
+      advance st;
+      Ast.False
+  | TIdent "minimal" ->
+      advance st;
+      expect st TLParen;
+      let e = parse_expr st in
+      expect st TRParen;
+      Ast.Minimal e
+  | TIdent "maximal" ->
+      advance st;
+      expect st TLParen;
+      let e = parse_expr st in
+      expect st TRParen;
+      Ast.Maximal e
+  | TLParen ->
+      (* could be a parenthesized property or the start of a comparison's
+         parenthesized expression: backtrack on failure *)
+      let saved = st.toks in
+      (try
+         advance st;
+         let p = parse_prop st in
+         expect st TRParen;
+         (* if a comparison operator follows, this was really an expr *)
+         match peek st with
+         | TEq | TNeq | TLt | TGt | TLe | TGe ->
+             st.toks <- saved;
+             parse_cmp st
+         | _ -> p
+       with Error _ ->
+         st.toks <- saved;
+         parse_cmp st)
+  | _ -> parse_cmp st
+
+let run parser_fn s =
+  let st = { toks = tokenize s } in
+  let result = parser_fn st in
+  (match peek st with
+  | TEOF -> ()
+  | t -> raise (Error (Printf.sprintf "trailing input at %S" (token_name t))));
+  result
+
+let prop s = run parse_prop s
+let expr s = run parse_expr s
+
+let prop_file contents =
+  let lines = String.split_on_char '\n' contents in
+  let cleaned =
+    List.map
+      (fun line ->
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line)
+      lines
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match cleaned with
+  | [] -> Ast.True
+  | lines ->
+      (* a line ending in && explicitly continues; all lines are conjoined *)
+      let strip_trailing_and l =
+        let l = String.trim l in
+        if String.length l >= 2 && String.sub l (String.length l - 2) 2 = "&&" then
+          String.trim (String.sub l 0 (String.length l - 2))
+        else l
+      in
+      prop (String.concat " && " (List.map strip_trailing_and lines))

@@ -1,0 +1,21 @@
+(** Parser for the property language (concrete syntax in {!Ast}).
+
+    Operator precedence, loosest first: [=>] (right-associative), [||],
+    [&&], [!]; comparisons bind tighter than Boolean connectives; in
+    numeric expressions [* ] binds tighter than [+]/[-], and unary minus
+    tightest.  Line comments start with [#]. *)
+
+exception Error of string
+(** Raised on lexical or syntax errors, with a human-readable message
+    including the offending position. *)
+
+(** [prop s] parses a property. *)
+val prop : string -> Ast.prop
+
+(** [expr s] parses a numeric expression. *)
+val expr : string -> Ast.expr
+
+(** [prop_file contents] parses a property file: properties on one or more
+    lines, joined by conjunction; blank lines and [#] comments ignored.
+    A trailing [&&] on a line continues onto the next. *)
+val prop_file : string -> Ast.prop

@@ -1,0 +1,1 @@
+lib/synth/cegis.ml: Array Bitvec Card Ctx Expr Fresh Gf2 Hamming List Matrix Sat Smtlite Unix

@@ -1,0 +1,1 @@
+lib/synth/cegis.mli: Hamming Smtlite

@@ -1,0 +1,1 @@
+lib/synth/driver.ml: Ast Cegis Float Hamming Hashtbl List Optimize Option Printf Smtlite Spec Weighted

@@ -1,0 +1,1 @@
+lib/synth/driver.mli: Cegis Hamming Optimize Spec Stdlib Weighted

@@ -1,0 +1,1 @@
+lib/synth/multibit_synth.ml: Cegis Hamming Optimize

@@ -1,0 +1,1 @@
+lib/synth/multibit_synth.mli: Cegis Hamming

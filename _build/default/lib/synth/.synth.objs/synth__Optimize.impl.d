@@ -1,0 +1,1 @@
+lib/synth/optimize.ml: Cegis Hamming List Smtlite

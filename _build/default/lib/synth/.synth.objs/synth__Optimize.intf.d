@@ -1,0 +1,1 @@
+lib/synth/optimize.mli: Cegis Hamming Smtlite

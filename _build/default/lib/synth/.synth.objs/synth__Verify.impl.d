@@ -1,0 +1,1 @@
+lib/synth/verify.ml: Gf2 Hamming Option Spec Unix

@@ -1,0 +1,1 @@
+lib/synth/verify.mli: Gf2 Hamming Spec

@@ -1,0 +1,1 @@
+lib/synth/weighted.ml: Array Bv Card Cegis Ctx Expr Float Fresh Hamming List Smtlite Unix

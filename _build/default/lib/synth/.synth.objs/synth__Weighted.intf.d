@@ -1,0 +1,1 @@
+lib/synth/weighted.mli: Hamming

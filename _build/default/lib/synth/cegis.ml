@@ -1,0 +1,118 @@
+open Gf2
+open Smtlite
+
+type cex_mode = Data_word | Whole_candidate
+type verifier_mode = Combinatorial | Sat
+
+type stats = {
+  iterations : int;
+  verifier_calls : int;
+  elapsed : float;
+  syn_conflicts : int;
+  ver_conflicts : int;
+}
+
+type outcome =
+  | Synthesized of Hamming.Code.t * stats
+  | Unsat_config of stats
+  | Timed_out of stats
+
+type problem = {
+  data_len : int;
+  check_len : int;
+  min_distance : int;
+  extra : (entry:(row:int -> col:int -> Smtlite.Expr.t) -> Smtlite.Expr.t) list;
+}
+
+(* Symbolic coefficient-matrix bits for one candidate generator.  Fresh
+   variables per call so repeated syntheses don't interfere. *)
+let make_matrix_vars ~data_len ~check_len =
+  Array.init data_len (fun _ -> Array.of_list (Fresh.make_n check_len))
+
+let candidate_of_model ctx vars ~data_len ~check_len =
+  let p =
+    Matrix.init ~rows:data_len ~cols:check_len (fun i j -> Ctx.model_bool ctx vars.(i).(j))
+  in
+  Hamming.Code.make ~p
+
+(* The counterexample constraint: for the concrete data word [d], the
+   symbolic codeword must have weight >= md.  The data part contributes
+   [popcount d] ones; check bit j is the parity of column j restricted to
+   the set bits of d. *)
+let data_word_constraint ~encoding vars ~check_len ~min_distance d =
+  let data_weight = Bitvec.popcount d in
+  let deficit = min_distance - data_weight in
+  if deficit <= 0 then Expr.true_
+  else begin
+    let checks =
+      List.init check_len (fun j ->
+          let selected = ref [] in
+          Bitvec.iter_set (fun i -> selected := vars.(i).(j) :: !selected) d;
+          Expr.xor_l !selected)
+    in
+    Card.at_least encoding checks deficit
+  end
+
+(* The paper's makeCex: forbid exactly this candidate matrix. *)
+let block_candidate_constraint vars code =
+  let p = Hamming.Code.coefficient_matrix code in
+  let diffs = ref [] in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          let bit = Matrix.get p i j in
+          diffs := (if bit then Expr.not_ v else v) :: !diffs)
+        row)
+    vars;
+  Expr.or_ !diffs
+
+let synthesize ?(timeout = 120.0) ?(cex_mode = Data_word) ?(verifier = Combinatorial)
+    ?(encoding = Card.Sequential) problem =
+  let { data_len; check_len; min_distance; extra } = problem in
+  if data_len < 1 || check_len < 1 then
+    invalid_arg "Cegis.synthesize: need at least one data and one check bit";
+  let start = Unix.gettimeofday () in
+  let deadline = start +. timeout in
+  let syn = Ctx.create () in
+  let vars = make_matrix_vars ~data_len ~check_len in
+  let entry ~row ~col = vars.(row).(col) in
+  List.iter (fun build -> Ctx.assert_ syn (build ~entry)) extra;
+  let iterations = ref 0 in
+  let verifier_calls = ref 0 in
+  let mk_stats () =
+    {
+      iterations = !iterations;
+      verifier_calls = !verifier_calls;
+      elapsed = Unix.gettimeofday () -. start;
+      syn_conflicts = (Ctx.stats syn).Sat.Solver.conflicts;
+      ver_conflicts = 0;
+    }
+  in
+  let verify code =
+    incr verifier_calls;
+    match verifier with
+    | Combinatorial -> Hamming.Distance.counterexample code min_distance
+    | Sat -> Hamming.Distance.sat_counterexample ~deadline code min_distance
+  in
+  let rec loop () =
+    if Unix.gettimeofday () > deadline then Timed_out (mk_stats ())
+    else begin
+      incr iterations;
+      match Ctx.check ~deadline syn with
+      | Ctx.Unsat -> Unsat_config (mk_stats ())
+      | Ctx.Sat -> (
+          let code = candidate_of_model syn vars ~data_len ~check_len in
+          match verify code with
+          | None -> Synthesized (code, mk_stats ())
+          | Some cex ->
+              (match cex_mode with
+              | Data_word ->
+                  Ctx.assert_ syn
+                    (data_word_constraint ~encoding vars ~check_len ~min_distance cex)
+              | Whole_candidate ->
+                  Ctx.assert_ syn (block_candidate_constraint vars code));
+              loop ())
+    end
+  in
+  try loop () with Ctx.Timeout -> Timed_out (mk_stats ())

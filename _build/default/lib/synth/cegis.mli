@@ -1,0 +1,55 @@
+(** The CEGIS synthesize–verify loop of Algorithm 1 for a fixed
+    configuration (data length, check length, target minimum distance).
+
+    The synthesizer solver holds symbolic coefficient-matrix bits plus all
+    non-distance constraints and the accumulated counterexamples; the
+    verifier checks each candidate's minimum distance and returns a witness
+    data word on failure.  Witnesses are turned into new synthesizer
+    constraints ("this data word must encode to weight >= md"), which
+    generalizes the paper's whole-candidate [makeCex] blocking; the
+    original blocking mode is available for the ablation benchmark. *)
+
+type cex_mode =
+  | Data_word
+      (** learn "codeword of this data word must have weight >= md"
+          (small, general counterexamples — §6 "future work" optimization) *)
+  | Whole_candidate
+      (** block only the exact candidate matrix (the paper's [makeCex]) *)
+
+type verifier_mode =
+  | Combinatorial  (** exact enumeration by ascending data weight *)
+  | Sat  (** SAT-based verifier, reproducing the paper's methodology *)
+
+type stats = {
+  iterations : int;  (** synthesizer checkSat calls *)
+  verifier_calls : int;
+  elapsed : float;  (** seconds *)
+  syn_conflicts : int;
+  ver_conflicts : int;
+}
+
+type outcome =
+  | Synthesized of Hamming.Code.t * stats
+  | Unsat_config of stats  (** no coefficient matrix satisfies the spec *)
+  | Timed_out of stats
+
+(** Extra synthesizer-side constraints over the symbolic coefficient
+    matrix: [entry ~row ~col] is the P-matrix bit variable. *)
+type problem = {
+  data_len : int;
+  check_len : int;
+  min_distance : int;
+  extra : (entry:(row:int -> col:int -> Smtlite.Expr.t) -> Smtlite.Expr.t) list;
+      (** each callback builds one side constraint from the bit variables *)
+}
+
+(** [synthesize ?timeout ?cex_mode ?verifier ?encoding problem] runs the
+    loop.  [timeout] (seconds, default 120 as in the paper) bounds the
+    whole call. *)
+val synthesize :
+  ?timeout:float ->
+  ?cex_mode:cex_mode ->
+  ?verifier:verifier_mode ->
+  ?encoding:Smtlite.Card.encoding ->
+  problem ->
+  outcome

@@ -1,0 +1,47 @@
+(** Front end: normalize a property-language specification into one of the
+    supported synthesis tasks and run it.
+
+    Supported specification shapes (all the paper's experiments):
+    - single generator with fixed [len_d], a [len_c] value or interval,
+      an [md] target, optional [len_1] bounds and fixed-entry constraints,
+      optionally [minimal(len_c(G[0]))] — §4.2 / Table 1;
+    - the same with [minimal(len_1(G[0]))] — §4.4 / Figures 5-6;
+    - two generators with fixed shapes plus [minimal(sum_w)] and weights
+      supplied out-of-band — §4.3 / Table 2. *)
+
+type task =
+  | Fixed of single  (** synthesize one generator, no objective *)
+  | Min_check_len of single  (** minimize [len_c] within its interval *)
+  | Min_set_bits of single * int
+      (** minimize [len_1] starting from the given bound *)
+  | Max_distance of single
+      (** grow the minimum distance as far as the configuration allows
+          ([maximal(md(G[0]))] with fixed [len_c]) *)
+  | Weighted_mapping of Weighted.gen_shape * Weighted.gen_shape
+      (** minimize [sum_w] over bit-to-generator mappings *)
+
+and single = {
+  data_len : int;
+  check_lo : int;
+  check_hi : int;
+  md : int;
+  len1_max : int option;
+  fixed_bits : (int * int * bool) list;
+      (** coefficient-matrix entries pinned by [G[0](r,c) = 0/1] (column
+          index relative to the whole generator, as in the language) *)
+}
+
+(** [analyze prop] classifies a specification, or explains why it is
+    outside the supported fragment. *)
+val analyze : Spec.Ast.prop -> (task, string) Stdlib.result
+
+type outcome =
+  | Codes of Hamming.Code.t list * Cegis.stats
+  | Weighted_result of Weighted.result
+  | Setbits_walk of Optimize.setbits_step list
+  | No_solution of string
+
+(** [run ?timeout ?weights ?p prop] analyzes and executes a specification.
+    [weights] are required for weighted tasks. *)
+val run :
+  ?timeout:float -> ?weights:int array -> ?p:float -> Spec.Ast.prop -> outcome

@@ -1,0 +1,39 @@
+(* Two error patterns of weight <= e collide on syndromes exactly when
+   their symmetric difference (weight <= 2e) is a codeword, so
+   "all patterns of weight <= e distinguishable" is equivalent to
+   "minimum distance >= 2e + 1".  The synthesis therefore reuses the CEGIS
+   core with that distance target; the gain over the paper's §6 manual
+   construction comes out of the same loop (e.g. distinguishing 2-bit
+   errors at data length 4 needs only 7 check bits, not the hand-crafted
+   matrix's 11). *)
+
+type outcome =
+  | Synthesized of Hamming.Code.t * Cegis.stats
+  | Unsat_config of Cegis.stats
+  | Timed_out of Cegis.stats
+
+let target_md distinguish =
+  if distinguish < 1 then
+    invalid_arg "Multibit_synth.synthesize: distinguish must be >= 1";
+  (2 * distinguish) + 1
+
+let synthesize ?timeout ~data_len ~check_len ~distinguish () =
+  let md = target_md distinguish in
+  match
+    Cegis.synthesize ?timeout
+      { Cegis.data_len; check_len; min_distance = md; extra = [] }
+  with
+  | Cegis.Synthesized (code, stats) ->
+      (* cross-check the actual multi-bit property, not just the distance *)
+      assert (Hamming.Multibit.distinguishes_up_to code distinguish);
+      Synthesized (code, stats)
+  | Cegis.Unsat_config stats -> Unsat_config stats
+  | Cegis.Timed_out stats -> Timed_out stats
+
+let minimize_check_len ?timeout ~data_len ~distinguish ~check_lo ~check_hi () =
+  let md = target_md distinguish in
+  match
+    Optimize.minimize_check_len ?timeout ~data_len ~md ~check_lo ~check_hi ()
+  with
+  | Some r -> Some (r.Optimize.code, r.Optimize.check_len, r.Optimize.stats)
+  | None -> None

@@ -1,0 +1,74 @@
+type check_result = {
+  code : Hamming.Code.t;
+  check_len : int;
+  stats : Cegis.stats;
+}
+
+let add_stats (a : Cegis.stats) (b : Cegis.stats) : Cegis.stats =
+  {
+    iterations = a.iterations + b.iterations;
+    verifier_calls = a.verifier_calls + b.verifier_calls;
+    elapsed = a.elapsed +. b.elapsed;
+    syn_conflicts = a.syn_conflicts + b.syn_conflicts;
+    ver_conflicts = a.ver_conflicts + b.ver_conflicts;
+  }
+
+let zero_stats : Cegis.stats =
+  { iterations = 0; verifier_calls = 0; elapsed = 0.0; syn_conflicts = 0; ver_conflicts = 0 }
+
+let minimize_check_len ?timeout ?cex_mode ?verifier ?encoding ~data_len ~md ~check_lo
+    ~check_hi () =
+  let rec go c acc =
+    if c > check_hi then None
+    else
+      let problem =
+        { Cegis.data_len; check_len = c; min_distance = md; extra = [] }
+      in
+      match Cegis.synthesize ?timeout ?cex_mode ?verifier ?encoding problem with
+      | Cegis.Synthesized (code, stats) ->
+          Some { code; check_len = c; stats = add_stats acc stats }
+      | Cegis.Unsat_config stats -> go (c + 1) (add_stats acc stats)
+      | Cegis.Timed_out stats ->
+          ignore (add_stats acc stats);
+          None
+  in
+  go check_lo zero_stats
+
+type setbits_step = {
+  bound : int;
+  achieved : int;
+  generator : Hamming.Code.t;
+  step_stats : Cegis.stats;
+}
+
+let minimize_set_bits ?timeout ?cex_mode ?verifier ?encoding ~data_len ~check_len ~md
+    ~start_bound ~stop_bound () =
+  let setbit_constraint bound ~entry =
+    let bits = ref [] in
+    for i = 0 to data_len - 1 do
+      for j = 0 to check_len - 1 do
+        bits := entry ~row:i ~col:j :: !bits
+      done
+    done;
+    Smtlite.Card.at_most Smtlite.Card.Sequential !bits bound
+  in
+  let rec go bound acc =
+    if bound < stop_bound then List.rev acc
+    else
+      let problem =
+        {
+          Cegis.data_len;
+          check_len;
+          min_distance = md;
+          extra = [ setbit_constraint bound ];
+        }
+      in
+      match Cegis.synthesize ?timeout ?cex_mode ?verifier ?encoding problem with
+      | Cegis.Synthesized (code, stats) ->
+          let achieved = Hamming.Code.set_bits code in
+          let step = { bound; achieved; generator = code; step_stats = stats } in
+          (* tighten strictly below what was achieved *)
+          go (achieved - 1) (step :: acc)
+      | Cegis.Unsat_config _ | Cegis.Timed_out _ -> List.rev acc
+  in
+  go start_bound []

@@ -1,0 +1,54 @@
+(** Optimization drivers implementing the paper's [minimal]/[maximal]
+    pseudo-properties (the outer loop of Algorithm 1). *)
+
+(** Result of minimizing the number of check bits for a target minimum
+    distance (the §4.2 / Table 1 experiment). *)
+type check_result = {
+  code : Hamming.Code.t;
+  check_len : int;
+  stats : Cegis.stats;  (** totals across all configurations tried *)
+}
+
+(** [minimize_check_len ?timeout ?cex_mode ?verifier ~data_len ~md
+    ~check_lo ~check_hi ()] walks check lengths upward from [check_lo] and
+    returns the first (hence minimal) synthesizable configuration, or
+    [None] if every configuration up to [check_hi] is unsatisfiable or the
+    timeout is exhausted. *)
+val minimize_check_len :
+  ?timeout:float ->
+  ?cex_mode:Cegis.cex_mode ->
+  ?verifier:Cegis.verifier_mode ->
+  ?encoding:Smtlite.Card.encoding ->
+  data_len:int ->
+  md:int ->
+  check_lo:int ->
+  check_hi:int ->
+  unit ->
+  check_result option
+
+(** One step of the §4.4 set-bit minimization walk. *)
+type setbits_step = {
+  bound : int;  (** the bound that was in force ([len_1 <= bound]) *)
+  achieved : int;  (** set bits of the synthesized generator *)
+  generator : Hamming.Code.t;
+  step_stats : Cegis.stats;
+}
+
+(** [minimize_set_bits ?timeout ... ~data_len ~check_len ~md ~start_bound
+    ~stop_bound ()] repeatedly synthesizes generators with a tightening
+    bound on the number of coefficient set bits ([minimal(len_1)]),
+    exactly as §4.4: every intermediate generator is returned, newest
+    (smallest sum) last.  Stops on UNSAT, on reaching [stop_bound], or on
+    timeout. *)
+val minimize_set_bits :
+  ?timeout:float ->
+  ?cex_mode:Cegis.cex_mode ->
+  ?verifier:Cegis.verifier_mode ->
+  ?encoding:Smtlite.Card.encoding ->
+  data_len:int ->
+  check_len:int ->
+  md:int ->
+  start_bound:int ->
+  stop_bound:int ->
+  unit ->
+  setbits_step list

@@ -1,0 +1,35 @@
+type method_ = Combinatorial | Sat
+
+type report = { holds : bool; witness : Gf2.Bitvec.t option; elapsed : float }
+
+let timed f =
+  let start = Unix.gettimeofday () in
+  let holds, witness = f () in
+  { holds; witness; elapsed = Unix.gettimeofday () -. start }
+
+let counterexample method_ ?deadline code m =
+  match method_ with
+  | Combinatorial -> Hamming.Distance.counterexample code m
+  | Sat -> Hamming.Distance.sat_counterexample ?deadline code m
+
+let min_distance_at_least ?(method_ = Sat) ?timeout code m =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  timed (fun () ->
+      match counterexample method_ ?deadline code m with
+      | None -> (true, None)
+      | Some d -> (false, Some d))
+
+let min_distance_exactly ?(method_ = Sat) ?timeout code m =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  timed (fun () ->
+      match counterexample method_ ?deadline code m with
+      | Some d -> (false, Some d)
+      | None -> (
+          (* bound holds at m; it must fail at m+1 for equality *)
+          match counterexample method_ ?deadline code (m + 1) with
+          | Some _ -> (true, None)
+          | None -> (false, None)))
+
+let property ?timeout env prop =
+  ignore timeout;
+  timed (fun () -> (Spec.Eval.eval_prop env prop, None))

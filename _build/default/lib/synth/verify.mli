@@ -1,0 +1,31 @@
+(** Stand-alone verification of concrete generators (paper §4.1).
+
+    Properties that do not mention minimum distance are evaluated directly
+    (they are arithmetic over a concrete generator); [md]-properties are
+    discharged through the distance checker, either combinatorial or
+    SAT-based (the paper's method). *)
+
+type method_ = Combinatorial | Sat
+
+type report = {
+  holds : bool;
+  witness : Gf2.Bitvec.t option;
+      (** for a failed [md >= m] claim: a data word encoding below weight [m] *)
+  elapsed : float;
+}
+
+(** [min_distance_at_least ?method_ ?timeout code m] verifies
+    [md(code) >= m]. *)
+val min_distance_at_least :
+  ?method_:method_ -> ?timeout:float -> Hamming.Code.t -> int -> report
+
+(** [min_distance_exactly ?method_ ?timeout code m] verifies
+    [md(code) = m] (bound holds at [m] and fails at [m+1]). *)
+val min_distance_exactly :
+  ?method_:method_ -> ?timeout:float -> Hamming.Code.t -> int -> report
+
+(** [property ?timeout env prop] verifies an arbitrary property of the
+    language against concrete generators: evaluates it under the exact
+    semantics of {!Spec.Eval} (minimum distances computed exactly).
+    Timing is reported; [Minimal]/[Maximal] directives are ignored. *)
+val property : ?timeout:float -> Spec.Eval.env -> Spec.Ast.prop -> report

@@ -1,0 +1,146 @@
+open Smtlite
+
+type gen_shape = { check_len : int; min_distance : int }
+
+type result = {
+  mapping : int array;
+  sum_w : float;
+  counts : int * int;
+  codes : Hamming.Code.t * Hamming.Code.t;
+  iterations : int;
+  elapsed : float;
+  optimal : bool;
+}
+
+(* Per-bit cost if the bit lands on a generator with [t] data bits in
+   total: the paper's chooseTimesPow approximation. *)
+let cost ~p shape t =
+  if t = 0 then 0.0
+  else
+    Hamming.Robustness.choose_times_pow ~n:(t + shape.check_len)
+      ~m:shape.min_distance ~p
+
+let sum_w_of ~p ~weights ~mapping g0 g1 =
+  let l = Array.length weights in
+  if Array.length mapping <> l then invalid_arg "Weighted.sum_w_of: length mismatch";
+  let t0 = Array.fold_left (fun acc g -> if g = 0 then acc + 1 else acc) 0 mapping in
+  let t1 = l - t0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun j g ->
+      let c = if g = 0 then cost ~p g0 t0 else cost ~p g1 t1 in
+      acc := !acc +. (float_of_int weights.(j) *. c))
+    mapping;
+  !acc
+
+let scale = 1_000_000_000.0
+
+let optimize ?(timeout = 360.0) ?(p = 0.1) ?(initial_bound = 1000.0) ~weights g0 g1 =
+  let l = Array.length weights in
+  if l = 0 then invalid_arg "Weighted.optimize: empty weights";
+  if g0.check_len < 1 || g1.check_len < 1 then
+    invalid_arg "Weighted.optimize: check lengths must be positive";
+  if Array.exists (fun w -> w < 0) weights then
+    invalid_arg "Weighted.optimize: negative weight";
+  let start = Unix.gettimeofday () in
+  let deadline = start +. timeout in
+  let ctx = Ctx.create () in
+  let xs = Fresh.make_n l in
+  (* x_j true <=> bit j mapped to generator 0 *)
+  let xs_arr = Array.of_list xs in
+  (* both generators must carry at least one bit *)
+  Ctx.assert_ ctx (Card.at_least Card.Sequential xs 1);
+  Ctx.assert_ ctx (Card.at_most Card.Sequential xs (l - 1));
+  (* unary count of bits on generator 0 *)
+  let u = Card.counts Card.Sequential xs in
+  let sel_t t =
+    if t = 0 then Expr.not_ u.(0)
+    else if t = l then u.(l - 1)
+    else Expr.and_ [ u.(t - 1); Expr.not_ u.(t) ]
+  in
+  (* symbolic weighted sums per side *)
+  let w0 =
+    Bv.sum (List.mapi (fun j x -> Bv.scale weights.(j) [| x |]) xs)
+  in
+  let w1 =
+    Bv.sum (List.mapi (fun j x -> Bv.scale weights.(j) [| Expr.not_ x |]) xs)
+  in
+  let scaled f = int_of_float (Float.round (f *. scale)) in
+  (* assert: under the active count t, a_t*W0 + b_t*W1 <= bound *)
+  let bound_constraint bound_scaled =
+    let per_t t =
+      let a = scaled (cost ~p g0 t) and b = scaled (cost ~p g1 (l - t)) in
+      let lhs = Bv.add (Bv.scale a w0) (Bv.scale b w1) in
+      Expr.imp (sel_t t)
+        (Bv.ule lhs (Bv.of_int ~width:62 bound_scaled))
+    in
+    Expr.and_ (List.init (l + 1) per_t)
+  in
+  let iterations = ref 0 in
+  let best = ref None in
+  let proved_optimal = ref false in
+  (try
+     let current_bound = ref (scaled initial_bound) in
+     let continue_search = ref true in
+     while !continue_search do
+       Ctx.push ctx;
+       Ctx.assert_ ctx (bound_constraint !current_bound);
+       incr iterations;
+       match Ctx.check ~deadline ctx with
+       | Ctx.Unsat ->
+           Ctx.pop ctx;
+           proved_optimal := !best <> None;
+           continue_search := false
+       | Ctx.Sat ->
+           let mapping =
+             Array.map (fun x -> if Ctx.model_bool ctx x then 0 else 1) xs_arr
+           in
+           let achieved = sum_w_of ~p ~weights ~mapping g0 g1 in
+           best := Some (mapping, achieved);
+           Ctx.pop ctx;
+           let next = scaled achieved - 1 in
+           if next < 0 then begin
+             proved_optimal := true;
+             continue_search := false
+           end
+           else current_bound := next
+     done
+   with Ctx.Timeout -> ());
+  match !best with
+  | None -> None
+  | Some (mapping, achieved) ->
+      let t0 = Array.fold_left (fun acc g -> if g = 0 then acc + 1 else acc) 0 mapping in
+      let t1 = l - t0 in
+      (* synthesize concrete generators for the chosen shapes *)
+      let synth_code ~data_len shape =
+        let remaining = deadline -. Unix.gettimeofday () in
+        let timeout = max 5.0 remaining in
+        let problem =
+          {
+            Cegis.data_len;
+            check_len = shape.check_len;
+            min_distance = shape.min_distance;
+            extra = [];
+          }
+        in
+        match Cegis.synthesize ~timeout problem with
+        | Cegis.Synthesized (code, stats) ->
+            iterations := !iterations + stats.Cegis.iterations;
+            code
+        | Cegis.Unsat_config _ | Cegis.Timed_out _ ->
+            (* fall back to a catalog construction of the same shape *)
+            if shape.min_distance <= 2 then Hamming.Catalog.parity data_len
+            else Hamming.Catalog.shortened ~data_len ~check_len:shape.check_len
+      in
+      let code0 = synth_code ~data_len:t0 g0 in
+      let code1 = synth_code ~data_len:t1 g1 in
+      Some
+        {
+          mapping;
+          sum_w = achieved;
+          counts = (t0, t1);
+          codes = (code0, code1);
+          iterations = !iterations;
+          elapsed = Unix.gettimeofday () -. start;
+          optimal = !proved_optimal;
+        }

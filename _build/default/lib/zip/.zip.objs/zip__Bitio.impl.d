@@ -1,0 +1,1 @@
+lib/zip/bitio.ml: Buffer Char String

@@ -1,0 +1,1 @@
+lib/zip/crc32.ml: Array Char Int32 Lazy String

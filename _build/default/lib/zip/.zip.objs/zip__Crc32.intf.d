@@ -1,0 +1,1 @@
+lib/zip/crc32.mli:

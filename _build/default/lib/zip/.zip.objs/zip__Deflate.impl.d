@@ -1,0 +1,1 @@
+lib/zip/deflate.ml: Array Bitio Buffer Char Huffman List Lz77 String

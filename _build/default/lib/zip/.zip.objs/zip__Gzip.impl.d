@@ -1,0 +1,1 @@
+lib/zip/gzip.ml: Char Crc32 Deflate Int32 String

@@ -1,0 +1,1 @@
+lib/zip/gzip.mli: Deflate

@@ -1,0 +1,1 @@
+lib/zip/huffman.ml: Array Bitio List

@@ -1,0 +1,1 @@
+lib/zip/lz77.ml: Array Buffer Char List String

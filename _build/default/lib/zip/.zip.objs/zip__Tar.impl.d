@@ -1,0 +1,1 @@
+lib/zip/tar.ml: Buffer Bytes Char List Printf String

@@ -1,0 +1,88 @@
+module Writer = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable nbits : int }
+
+  let create () = { buf = Buffer.create 1024; acc = 0; nbits = 0 }
+
+  let flush_full_bytes w =
+    while w.nbits >= 8 do
+      Buffer.add_char w.buf (Char.chr (w.acc land 0xFF));
+      w.acc <- w.acc lsr 8;
+      w.nbits <- w.nbits - 8
+    done
+
+  let bits w v n =
+    if n < 0 || n > 24 then invalid_arg "Bitio.Writer.bits: width out of range";
+    w.acc <- w.acc lor ((v land ((1 lsl n) - 1)) lsl w.nbits);
+    w.nbits <- w.nbits + n;
+    flush_full_bytes w
+
+  let huffman_code w ~code ~len =
+    (* canonical codes are defined MSB-first; reverse into LSB-first *)
+    let rev = ref 0 in
+    for i = 0 to len - 1 do
+      if (code lsr i) land 1 = 1 then rev := !rev lor (1 lsl (len - 1 - i))
+    done;
+    bits w !rev len
+
+  (* flush_full_bytes keeps nbits < 8, so padding to the boundary is
+     always fewer than 8 bits *)
+  let align_byte w = if w.nbits > 0 then bits w 0 (8 - w.nbits)
+
+  let byte w b =
+    if w.nbits <> 0 then invalid_arg "Bitio.Writer.byte: not aligned";
+    Buffer.add_char w.buf (Char.chr (b land 0xFF))
+
+  let string w s =
+    if w.nbits <> 0 then invalid_arg "Bitio.Writer.string: not aligned";
+    Buffer.add_string w.buf s
+
+  let contents w =
+    if w.nbits > 0 then begin
+      Buffer.add_char w.buf (Char.chr (w.acc land 0xFF));
+      w.acc <- 0;
+      w.nbits <- 0
+    end;
+    Buffer.contents w.buf
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int; mutable acc : int; mutable nbits : int }
+
+  exception Truncated
+
+  let create src = { src; pos = 0; acc = 0; nbits = 0 }
+
+  let refill r =
+    if r.pos >= String.length r.src then raise Truncated;
+    r.acc <- r.acc lor (Char.code r.src.[r.pos] lsl r.nbits);
+    r.pos <- r.pos + 1;
+    r.nbits <- r.nbits + 8
+
+  let bits r n =
+    if n < 0 || n > 24 then invalid_arg "Bitio.Reader.bits: width out of range";
+    while r.nbits < n do
+      refill r
+    done;
+    let v = r.acc land ((1 lsl n) - 1) in
+    r.acc <- r.acc lsr n;
+    r.nbits <- r.nbits - n;
+    v
+
+  let bit r = bits r 1
+
+  let align_byte r =
+    let drop = r.nbits mod 8 in
+    r.acc <- r.acc lsr drop;
+    r.nbits <- r.nbits - drop
+
+  let byte r =
+    align_byte r;
+    bits r 8
+
+  let string r n =
+    align_byte r;
+    String.init n (fun _ -> Char.chr (byte r))
+
+  let pos_bytes r = r.pos - (r.nbits / 8)
+  let at_end r = r.nbits = 0 && r.pos >= String.length r.src
+end

@@ -1,0 +1,57 @@
+(** Bit-level I/O in DEFLATE's conventions: bits are packed into bytes
+    starting from the least-significant bit. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  (** [bits w v n] writes the low [n] bits of [v], LSB first. *)
+  val bits : t -> int -> int -> unit
+
+  (** [huffman_code w ~code ~len] writes a Huffman code (canonical codes
+      are emitted most-significant bit first, per the DEFLATE spec). *)
+  val huffman_code : t -> code:int -> len:int -> unit
+
+  (** [align_byte w] pads with zero bits to the next byte boundary. *)
+  val align_byte : t -> unit
+
+  (** [byte w b] writes one aligned byte (caller must be aligned). *)
+  val byte : t -> int -> unit
+
+  (** [string w s] writes an aligned string. *)
+  val string : t -> string -> unit
+
+  (** [contents w] finalizes (zero-padding the last byte) and returns the
+      bytes written so far. *)
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+
+  val create : string -> t
+
+  (** [bits r n] reads [n] bits, LSB first.  @raise Truncated at EOF. *)
+  val bits : t -> int -> int
+
+  (** [bit r] reads a single bit. *)
+  val bit : t -> int
+
+  (** [align_byte r] skips to the next byte boundary. *)
+  val align_byte : t -> unit
+
+  (** [byte r] reads one aligned byte. *)
+  val byte : t -> int
+
+  (** [string r n] reads [n] aligned bytes. *)
+  val string : t -> int -> string
+
+  (** [pos_bytes r] is the current byte offset (rounded up). *)
+  val pos_bytes : t -> int
+
+  (** [at_end r] is true when all input is consumed. *)
+  val at_end : t -> bool
+end

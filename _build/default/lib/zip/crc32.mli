@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected), as used by GZIP. *)
+
+(** [digest s] is the CRC-32 of the whole string. *)
+val digest : string -> int32
+
+(** [update crc s] folds more data into a running CRC (start from
+    [init]). *)
+val update : int32 -> string -> int32
+
+val init : int32

@@ -1,0 +1,283 @@
+type strategy = Stored | Fixed | Dynamic
+
+(* ---------- RFC 1951 constant tables ---------- *)
+
+let length_base =
+  [| 3; 4; 5; 6; 7; 8; 9; 10; 11; 13; 15; 17; 19; 23; 27; 31; 35; 43; 51; 59; 67; 83;
+     99; 115; 131; 163; 195; 227; 258 |]
+
+let length_extra =
+  [| 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 2; 2; 2; 2; 3; 3; 3; 3; 4; 4; 4; 4; 5; 5; 5; 5; 0 |]
+
+let dist_base =
+  [| 1; 2; 3; 4; 5; 7; 9; 13; 17; 25; 33; 49; 65; 97; 129; 193; 257; 385; 513; 769;
+     1025; 1537; 2049; 3073; 4097; 6145; 8193; 12289; 16385; 24577 |]
+
+let dist_extra =
+  [| 0; 0; 0; 0; 1; 1; 2; 2; 3; 3; 4; 4; 5; 5; 6; 6; 7; 7; 8; 8; 9; 9; 10; 10; 11; 11;
+     12; 12; 13; 13 |]
+
+let cl_order = [| 16; 17; 18; 0; 8; 7; 9; 6; 10; 5; 11; 4; 12; 3; 13; 2; 14; 1; 15 |]
+
+let length_symbol len =
+  let rec go i =
+    if i = Array.length length_base - 1 then i
+    else if len < length_base.(i + 1) then i
+    else go (i + 1)
+  in
+  let i = go 0 in
+  (257 + i, len - length_base.(i), length_extra.(i))
+
+let dist_symbol dist =
+  let rec go i =
+    if i = Array.length dist_base - 1 then i
+    else if dist < dist_base.(i + 1) then i
+    else go (i + 1)
+  in
+  let i = go 0 in
+  (i, dist - dist_base.(i), dist_extra.(i))
+
+let fixed_litlen_lengths =
+  Array.init 288 (fun i ->
+      if i < 144 then 8 else if i < 256 then 9 else if i < 280 then 7 else 8)
+
+let fixed_dist_lengths = Array.make 32 5
+
+(* ---------- compression ---------- *)
+
+let write_tokens w tokens ~litlen_codes ~litlen_lens ~dist_codes ~dist_lens =
+  List.iter
+    (fun tok ->
+      match tok with
+      | Lz77.Literal c ->
+          let sym = Char.code c in
+          Bitio.Writer.huffman_code w ~code:litlen_codes.(sym) ~len:litlen_lens.(sym)
+      | Lz77.Match { length; distance } ->
+          let sym, extra, ebits = length_symbol length in
+          Bitio.Writer.huffman_code w ~code:litlen_codes.(sym) ~len:litlen_lens.(sym);
+          if ebits > 0 then Bitio.Writer.bits w extra ebits;
+          let dsym, dextra, debits = dist_symbol distance in
+          Bitio.Writer.huffman_code w ~code:dist_codes.(dsym) ~len:dist_lens.(dsym);
+          if debits > 0 then Bitio.Writer.bits w dextra debits)
+    tokens;
+  Bitio.Writer.huffman_code w ~code:litlen_codes.(256) ~len:litlen_lens.(256)
+
+let compress_stored s =
+  let w = Bitio.Writer.create () in
+  let n = String.length s in
+  let max_block = 65535 in
+  let blocks = max 1 ((n + max_block - 1) / max_block) in
+  for b = 0 to blocks - 1 do
+    let start = b * max_block in
+    let len = min max_block (n - start) in
+    Bitio.Writer.bits w (if b = blocks - 1 then 1 else 0) 1;
+    Bitio.Writer.bits w 0 2;
+    Bitio.Writer.align_byte w;
+    Bitio.Writer.bits w len 16;
+    Bitio.Writer.bits w (lnot len land 0xFFFF) 16;
+    Bitio.Writer.string w (String.sub s start len)
+  done;
+  Bitio.Writer.contents w
+
+let compress_fixed tokens =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bits w 1 1;
+  Bitio.Writer.bits w 1 2;
+  let litlen_codes = Huffman.canonical_codes fixed_litlen_lengths in
+  let dist_codes = Huffman.canonical_codes fixed_dist_lengths in
+  write_tokens w tokens ~litlen_codes ~litlen_lens:fixed_litlen_lengths ~dist_codes
+    ~dist_lens:fixed_dist_lengths;
+  Bitio.Writer.contents w
+
+(* run-length encode the combined litlen+dist length array with the
+   16/17/18 code-length alphabet *)
+let rle_code_lengths lens =
+  let out = ref [] in
+  let n = Array.length lens in
+  let i = ref 0 in
+  while !i < n do
+    let v = lens.(!i) in
+    let run_len =
+      let j = ref !i in
+      while !j < n && lens.(!j) = v do
+        incr j
+      done;
+      !j - !i
+    in
+    if v = 0 && run_len >= 3 then begin
+      let take = min run_len 138 in
+      if take >= 11 then out := `Sym (18, take - 11, 7) :: !out
+      else out := `Sym (17, take - 3, 3) :: !out;
+      i := !i + take
+    end
+    else if v <> 0 && run_len >= 4 then begin
+      (* emit the value once, then repeats of 3..6 *)
+      out := `Sym (v, 0, 0) :: !out;
+      let remaining = ref (run_len - 1) in
+      while !remaining >= 3 do
+        let take = min !remaining 6 in
+        out := `Sym (16, take - 3, 2) :: !out;
+        remaining := !remaining - take
+      done;
+      for _ = 1 to !remaining do
+        out := `Sym (v, 0, 0) :: !out
+      done;
+      i := !i + run_len
+    end
+    else begin
+      out := `Sym (v, 0, 0) :: !out;
+      incr i
+    end
+  done;
+  List.rev !out
+
+let compress_dynamic tokens =
+  let litlen_freqs = Array.make 288 0 in
+  let dist_freqs = Array.make 30 0 in
+  litlen_freqs.(256) <- 1;
+  List.iter
+    (fun tok ->
+      match tok with
+      | Lz77.Literal c -> litlen_freqs.(Char.code c) <- litlen_freqs.(Char.code c) + 1
+      | Lz77.Match { length; distance } ->
+          let sym, _, _ = length_symbol length in
+          litlen_freqs.(sym) <- litlen_freqs.(sym) + 1;
+          let dsym, _, _ = dist_symbol distance in
+          dist_freqs.(dsym) <- dist_freqs.(dsym) + 1)
+    tokens;
+  if Array.for_all (fun f -> f = 0) dist_freqs then dist_freqs.(0) <- 1;
+  let litlen_lens = Huffman.lengths ~max_len:15 litlen_freqs in
+  let dist_lens = Huffman.lengths ~max_len:15 dist_freqs in
+  let litlen_codes = Huffman.canonical_codes litlen_lens in
+  let dist_codes = Huffman.canonical_codes dist_lens in
+  let hlit =
+    let rec go i = if i > 257 && litlen_lens.(i - 1) = 0 then go (i - 1) else i in
+    go 288
+  in
+  let hdist =
+    let rec go i = if i > 1 && dist_lens.(i - 1) = 0 then go (i - 1) else i in
+    go 30
+  in
+  let combined = Array.append (Array.sub litlen_lens 0 hlit) (Array.sub dist_lens 0 hdist) in
+  let rle = rle_code_lengths combined in
+  let cl_freqs = Array.make 19 0 in
+  List.iter (fun (`Sym (s, _, _)) -> cl_freqs.(s) <- cl_freqs.(s) + 1) rle;
+  let cl_lens = Huffman.lengths ~max_len:7 cl_freqs in
+  let cl_codes = Huffman.canonical_codes cl_lens in
+  let hclen =
+    let rec go i = if i > 4 && cl_lens.(cl_order.(i - 1)) = 0 then go (i - 1) else i in
+    go 19
+  in
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bits w 1 1;
+  Bitio.Writer.bits w 2 2;
+  Bitio.Writer.bits w (hlit - 257) 5;
+  Bitio.Writer.bits w (hdist - 1) 5;
+  Bitio.Writer.bits w (hclen - 4) 4;
+  for i = 0 to hclen - 1 do
+    Bitio.Writer.bits w cl_lens.(cl_order.(i)) 3
+  done;
+  List.iter
+    (fun (`Sym (s, extra, ebits)) ->
+      Bitio.Writer.huffman_code w ~code:cl_codes.(s) ~len:cl_lens.(s);
+      if ebits > 0 then Bitio.Writer.bits w extra ebits)
+    rle;
+  write_tokens w tokens ~litlen_codes ~litlen_lens ~dist_codes ~dist_lens;
+  Bitio.Writer.contents w
+
+let compress ?(strategy = Dynamic) ?max_chain s =
+  match strategy with
+  | Stored -> compress_stored s
+  | Fixed -> compress_fixed (Lz77.tokenize ?max_chain s)
+  | Dynamic -> compress_dynamic (Lz77.tokenize ?max_chain s)
+
+(* ---------- decompression ---------- *)
+
+let inflate_block r out litlen_dec dist_dec =
+  let continue_block = ref true in
+  while !continue_block do
+    let sym = Huffman.decode litlen_dec r in
+    if sym < 256 then Buffer.add_char out (Char.chr sym)
+    else if sym = 256 then continue_block := false
+    else begin
+      let i = sym - 257 in
+      if i >= Array.length length_base then failwith "Deflate.decompress: bad length code";
+      let length = length_base.(i) + Bitio.Reader.bits r length_extra.(i) in
+      let dsym = Huffman.decode dist_dec r in
+      if dsym >= Array.length dist_base then failwith "Deflate.decompress: bad distance code";
+      let distance = dist_base.(dsym) + Bitio.Reader.bits r dist_extra.(dsym) in
+      let start = Buffer.length out - distance in
+      if start < 0 then failwith "Deflate.decompress: distance too far back";
+      for k = 0 to length - 1 do
+        Buffer.add_char out (Buffer.nth out (start + k))
+      done
+    end
+  done
+
+let read_dynamic_tables r =
+  let hlit = Bitio.Reader.bits r 5 + 257 in
+  let hdist = Bitio.Reader.bits r 5 + 1 in
+  let hclen = Bitio.Reader.bits r 4 + 4 in
+  let cl_lens = Array.make 19 0 in
+  for i = 0 to hclen - 1 do
+    cl_lens.(cl_order.(i)) <- Bitio.Reader.bits r 3
+  done;
+  let cl_dec = Huffman.decoder cl_lens in
+  let combined = Array.make (hlit + hdist) 0 in
+  let i = ref 0 in
+  while !i < hlit + hdist do
+    let s = Huffman.decode cl_dec r in
+    if s < 16 then begin
+      combined.(!i) <- s;
+      incr i
+    end
+    else if s = 16 then begin
+      if !i = 0 then failwith "Deflate.decompress: repeat with no previous length";
+      let rep = 3 + Bitio.Reader.bits r 2 in
+      let v = combined.(!i - 1) in
+      for _ = 1 to rep do
+        combined.(!i) <- v;
+        incr i
+      done
+    end
+    else if s = 17 then begin
+      let rep = 3 + Bitio.Reader.bits r 3 in
+      i := !i + rep
+    end
+    else begin
+      let rep = 11 + Bitio.Reader.bits r 7 in
+      i := !i + rep
+    end
+  done;
+  let litlen_lens = Array.sub combined 0 hlit in
+  let dist_lens = Array.sub combined hlit hdist in
+  (Huffman.decoder litlen_lens, Huffman.decoder dist_lens)
+
+let rec decompress s =
+  try decompress_exn s with
+  | Invalid_argument msg | Failure msg -> failwith ("Deflate.decompress: " ^ msg)
+  | Bitio.Reader.Truncated -> failwith "Deflate.decompress: truncated stream"
+
+and decompress_exn s =
+  let r = Bitio.Reader.create s in
+  let out = Buffer.create (String.length s * 3) in
+  let final = ref false in
+  while not !final do
+    final := Bitio.Reader.bit r = 1;
+    match Bitio.Reader.bits r 2 with
+    | 0 ->
+        Bitio.Reader.align_byte r;
+        let len = Bitio.Reader.bits r 16 in
+        let nlen = Bitio.Reader.bits r 16 in
+        if len lxor nlen <> 0xFFFF then failwith "Deflate.decompress: stored length mismatch";
+        Buffer.add_string out (Bitio.Reader.string r len)
+    | 1 ->
+        inflate_block r out
+          (Huffman.decoder fixed_litlen_lengths)
+          (Huffman.decoder fixed_dist_lengths)
+    | 2 ->
+        let litlen_dec, dist_dec = read_dynamic_tables r in
+        inflate_block r out litlen_dec dist_dec
+    | _ -> failwith "Deflate.decompress: reserved block type"
+  done;
+  Buffer.contents out

@@ -1,0 +1,17 @@
+(** DEFLATE (RFC 1951) compression and decompression.
+
+    The compressor emits a single block per call in one of three modes;
+    the decompressor handles arbitrary multi-block streams of all three
+    block types. *)
+
+type strategy =
+  | Stored  (** no compression (BTYPE 00) *)
+  | Fixed  (** fixed Huffman tables (BTYPE 01) *)
+  | Dynamic  (** per-block Huffman tables (BTYPE 10), the default *)
+
+(** [compress ?strategy ?max_chain s] deflates [s]. *)
+val compress : ?strategy:strategy -> ?max_chain:int -> string -> string
+
+(** [decompress s] inflates a complete DEFLATE stream.
+    @raise Failure on malformed input. *)
+val decompress : string -> string

@@ -1,0 +1,51 @@
+let le32 v =
+  String.init 4 (fun i -> Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xFF))
+
+let compress ?strategy ?(level = 6) s =
+  let max_chain = max 1 (level * 32) in
+  let body = Deflate.compress ?strategy ~max_chain s in
+  let header =
+    (* magic, CM=deflate, no flags, mtime 0, XFL 0, OS 255 (unknown) *)
+    "\x1f\x8b\x08\x00\x00\x00\x00\x00\x00\xff"
+  in
+  let crc = Crc32.digest s in
+  let isize = Int32.of_int (String.length s land 0xFFFFFFFF) in
+  header ^ body ^ le32 crc ^ le32 isize
+
+let read_le32 s pos =
+  let b i = Int32.of_int (Char.code s.[pos + i]) in
+  Int32.logor (b 0)
+    (Int32.logor
+       (Int32.shift_left (b 1) 8)
+       (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+
+let decompress s =
+  if String.length s < 18 then failwith "Gzip.decompress: truncated";
+  if s.[0] <> '\x1f' || s.[1] <> '\x8b' then failwith "Gzip.decompress: bad magic";
+  if s.[2] <> '\x08' then failwith "Gzip.decompress: unsupported compression method";
+  let flags = Char.code s.[3] in
+  let pos = ref 10 in
+  (* FEXTRA *)
+  if flags land 0x04 <> 0 then begin
+    let xlen = Char.code s.[!pos] lor (Char.code s.[!pos + 1] lsl 8) in
+    pos := !pos + 2 + xlen
+  end;
+  (* FNAME, FCOMMENT: zero-terminated strings *)
+  let skip_zstring () =
+    while s.[!pos] <> '\x00' do
+      incr pos
+    done;
+    incr pos
+  in
+  if flags land 0x08 <> 0 then skip_zstring ();
+  if flags land 0x10 <> 0 then skip_zstring ();
+  (* FHCRC *)
+  if flags land 0x02 <> 0 then pos := !pos + 2;
+  let body = String.sub s !pos (String.length s - !pos - 8) in
+  let out = Deflate.decompress body in
+  let crc = read_le32 s (String.length s - 8) in
+  let isize = read_le32 s (String.length s - 4) in
+  if Crc32.digest out <> crc then failwith "Gzip.decompress: CRC mismatch";
+  if Int32.of_int (String.length out land 0xFFFFFFFF) <> isize then
+    failwith "Gzip.decompress: length mismatch";
+  out

@@ -1,0 +1,12 @@
+(** GZIP (RFC 1952) container around DEFLATE, with CRC-32 and size
+    trailer — the format the paper's Figure 6 compressibility experiment
+    measures. *)
+
+(** [compress ?strategy ?level s] is a complete gzip member.
+    [level] maps to the LZ77 chain effort (1 fast .. 9 thorough). *)
+val compress : ?strategy:Deflate.strategy -> ?level:int -> string -> string
+
+(** [decompress s] extracts a single-member gzip file, verifying the CRC
+    and length trailer.
+    @raise Failure on bad magic, CRC mismatch, or truncation. *)
+val decompress : string -> string

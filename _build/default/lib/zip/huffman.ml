@@ -1,0 +1,128 @@
+(* Code lengths by plain Huffman tree construction; if the deepest leaf
+   exceeds the limit, frequencies are halved (flattening the distribution)
+   and the tree rebuilt — simple, always terminates, and near-optimal for
+   DEFLATE-sized alphabets. *)
+
+type node = Leaf of int | Internal of node * node
+
+let build_tree freqs =
+  (* a tiny mutable pairing of (weight, node) lists kept sorted *)
+  let items =
+    Array.to_list (Array.mapi (fun sym f -> (f, Leaf sym)) freqs)
+    |> List.filter (fun (f, _) -> f > 0)
+    |> List.sort compare
+  in
+  let rec merge = function
+    | [] -> None
+    | [ (_, node) ] -> Some node
+    | (f1, n1) :: (f2, n2) :: rest ->
+        let combined = (f1 + f2, Internal (n1, n2)) in
+        let rec insert x = function
+          | [] -> [ x ]
+          | y :: ys when fst y < fst x -> y :: insert x ys
+          | ys -> x :: ys
+        in
+        merge (insert combined rest)
+  in
+  merge items
+
+let rec depths node depth acc =
+  match node with
+  | Leaf sym -> (sym, max 1 depth) :: acc
+  | Internal (a, b) -> depths a (depth + 1) (depths b (depth + 1) acc)
+
+let lengths ~max_len freqs =
+  let n = Array.length freqs in
+  let rec attempt freqs =
+    let out = Array.make n 0 in
+    (match build_tree freqs with
+    | None -> ()
+    | Some tree ->
+        let ds = depths tree 0 [] in
+        let too_deep = List.exists (fun (_, d) -> d > max_len) ds in
+        if too_deep then begin
+          let flattened = Array.map (fun f -> if f > 0 then (f + 1) / 2 else 0) freqs in
+          Array.blit (attempt flattened) 0 out 0 n
+        end
+        else List.iter (fun (sym, d) -> out.(sym) <- d) ds);
+    out
+  in
+  attempt freqs
+
+let check_kraft lens =
+  let acc = ref 0 in
+  let max_len = Array.fold_left max 0 lens in
+  if max_len > 0 then begin
+    Array.iter (fun l -> if l > 0 then acc := !acc + (1 lsl (max_len - l))) lens;
+    if !acc > 1 lsl max_len then
+      invalid_arg "Huffman: code lengths oversubscribe the code space"
+  end
+
+let canonical_codes lens =
+  check_kraft lens;
+  let max_len = Array.fold_left max 0 lens in
+  let bl_count = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then bl_count.(l) <- bl_count.(l) + 1) lens;
+  let next_code = Array.make (max_len + 2) 0 in
+  let code = ref 0 in
+  for bits = 1 to max_len do
+    code := (!code + bl_count.(bits - 1)) lsl 1;
+    next_code.(bits) <- !code
+  done;
+  Array.map
+    (fun l ->
+      if l = 0 then 0
+      else begin
+        let c = next_code.(l) in
+        next_code.(l) <- c + 1;
+        c
+      end)
+    lens
+
+(* Decoder: canonical codes are consecutive within a length, so track the
+   first code and first symbol index per length while reading bits. *)
+type decoder = {
+  max_len : int;
+  first_code : int array; (* per length *)
+  first_symbol : int array; (* index into [symbols] per length *)
+  counts : int array;
+  symbols : int array; (* symbols sorted by (length, symbol) *)
+}
+
+let decoder lens =
+  check_kraft lens;
+  let max_len = Array.fold_left max 0 lens in
+  let counts = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then counts.(l) <- counts.(l) + 1) lens;
+  let symbols =
+    Array.to_list (Array.mapi (fun sym l -> (l, sym)) lens)
+    |> List.filter (fun (l, _) -> l > 0)
+    |> List.sort compare
+    |> List.map snd |> Array.of_list
+  in
+  let first_code = Array.make (max_len + 1) 0 in
+  let first_symbol = Array.make (max_len + 1) 0 in
+  let code = ref 0 in
+  let sym_index = ref 0 in
+  for l = 1 to max_len do
+    code := !code lsl 1;
+    first_code.(l) <- !code;
+    first_symbol.(l) <- !sym_index;
+    code := !code + counts.(l);
+    sym_index := !sym_index + counts.(l)
+  done;
+  { max_len; first_code; first_symbol; counts; symbols }
+
+let decode d reader =
+  let code = ref 0 in
+  let len = ref 0 in
+  let result = ref (-1) in
+  while !result < 0 do
+    if !len >= d.max_len then failwith "Huffman.decode: invalid code";
+    code := (!code lsl 1) lor Bitio.Reader.bit reader;
+    incr len;
+    let l = !len in
+    if d.counts.(l) > 0 && !code - d.first_code.(l) < d.counts.(l) && !code >= d.first_code.(l)
+    then result := d.symbols.(d.first_symbol.(l) + (!code - d.first_code.(l)))
+  done;
+  !result

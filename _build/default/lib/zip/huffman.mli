@@ -1,0 +1,23 @@
+(** Canonical Huffman coding with a length limit, as DEFLATE requires. *)
+
+(** [lengths ~max_len freqs] assigns a code length to every symbol with a
+    non-zero frequency, none exceeding [max_len], satisfying Kraft's
+    inequality.  If only one symbol is used it still gets length 1 (DEFLATE
+    requires a decodable, non-degenerate code). *)
+val lengths : max_len:int -> int array -> int array
+
+(** [canonical_codes lengths] assigns the canonical code values (packed
+    MSB-first, as in the DEFLATE specification).
+    @raise Invalid_argument if the lengths oversubscribe the code space. *)
+val canonical_codes : int array -> int array
+
+(** A bit-serial decoder for a canonical code. *)
+type decoder
+
+(** [decoder lengths] prepares decoding tables.
+    @raise Invalid_argument if the lengths oversubscribe the code space. *)
+val decoder : int array -> decoder
+
+(** [decode d reader] reads one symbol.
+    @raise Failure on an invalid code. *)
+val decode : decoder -> Bitio.Reader.t -> int

@@ -1,0 +1,79 @@
+type token = Literal of char | Match of { length : int; distance : int }
+
+let window_size = 32768
+let min_match = 3
+let max_match = 258
+let hash_bits = 15
+
+let hash s i =
+  (* three-byte rolling hash *)
+  let a = Char.code s.[i] and b = Char.code s.[i + 1] and c = Char.code s.[i + 2] in
+  ((a lsl 10) lxor (b lsl 5) lxor c) land ((1 lsl hash_bits) - 1)
+
+let tokenize ?(max_chain = 128) s =
+  let n = String.length s in
+  let head = Array.make (1 lsl hash_bits) (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let tokens = ref [] in
+  let match_len i j =
+    (* longest common prefix of s[i..] and s[j..], capped *)
+    let limit = min max_match (n - j) in
+    let l = ref 0 in
+    while !l < limit && s.[i + !l] = s.[j + !l] do
+      incr l
+    done;
+    !l
+  in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash s i in
+      prev.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_dist = ref 0 in
+    if !i + min_match <= n then begin
+      let h = hash s !i in
+      let candidate = ref head.(h) in
+      let chain = ref 0 in
+      while !candidate >= 0 && !chain < max_chain && !i - !candidate <= window_size do
+        let l = match_len !candidate !i in
+        if l > !best_len then begin
+          best_len := l;
+          best_dist := !i - !candidate
+        end;
+        candidate := prev.(!candidate);
+        incr chain
+      done
+    end;
+    if !best_len >= min_match then begin
+      tokens := Match { length = !best_len; distance = !best_dist } :: !tokens;
+      (* index every covered position so later matches can reach them *)
+      for j = !i to min (n - 1) (!i + !best_len - 1) do
+        insert j
+      done;
+      i := !i + !best_len
+    end
+    else begin
+      tokens := Literal s.[!i] :: !tokens;
+      insert !i;
+      incr i
+    end
+  done;
+  List.rev !tokens
+
+let reconstruct tokens =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (function
+      | Literal c -> Buffer.add_char buf c
+      | Match { length; distance } ->
+          let start = Buffer.length buf - distance in
+          if start < 0 then invalid_arg "Lz77.reconstruct: distance before start";
+          for k = 0 to length - 1 do
+            Buffer.add_char buf (Buffer.nth buf (start + k))
+          done)
+    tokens;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** LZ77 tokenization with DEFLATE's parameters: 32 KiB window, match
+    lengths 3..258. *)
+
+type token =
+  | Literal of char
+  | Match of { length : int; distance : int }
+      (** copy [length] bytes from [distance] bytes back *)
+
+(** [tokenize ?max_chain s] greedily factors [s].  [max_chain] bounds the
+    hash-chain walk per position (compression effort knob). *)
+val tokenize : ?max_chain:int -> string -> token list
+
+(** [reconstruct tokens] inverts [tokenize] (for tests). *)
+val reconstruct : token list -> string

@@ -1,0 +1,69 @@
+type entry = { name : string; contents : string }
+
+let block = 512
+
+let octal ~width v = Printf.sprintf "%0*o\x00" (width - 1) v
+
+let pad_to_block s =
+  let r = String.length s mod block in
+  if r = 0 then s else s ^ String.make (block - r) '\x00'
+
+let header name size =
+  if String.length name > 100 then invalid_arg "Tar.archive: name too long";
+  let buf = Bytes.make block '\x00' in
+  let put pos s = Bytes.blit_string s 0 buf pos (String.length s) in
+  put 0 name;
+  put 100 (octal ~width:8 0o644); (* mode *)
+  put 108 (octal ~width:8 0); (* uid *)
+  put 116 (octal ~width:8 0); (* gid *)
+  put 124 (Printf.sprintf "%011o\x00" size);
+  put 136 (Printf.sprintf "%011o\x00" 0); (* mtime *)
+  put 148 "        "; (* checksum placeholder: spaces *)
+  Bytes.set buf 156 '0'; (* regular file *)
+  put 257 "ustar\x00";
+  put 263 "00";
+  let checksum = ref 0 in
+  Bytes.iter (fun c -> checksum := !checksum + Char.code c) buf;
+  put 148 (Printf.sprintf "%06o\x00 " !checksum);
+  Bytes.to_string buf
+
+let archive entries =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun { name; contents } ->
+      Buffer.add_string buf (header name (String.length contents));
+      Buffer.add_string buf (pad_to_block contents))
+    entries;
+  Buffer.add_string buf (String.make (2 * block) '\x00');
+  Buffer.contents buf
+
+let entries s =
+  let out = ref [] in
+  let pos = ref 0 in
+  let len = String.length s in
+  let is_zero_block p =
+    let rec go i = i = block || (s.[p + i] = '\x00' && go (i + 1)) in
+    go 0
+  in
+  let continue_scan = ref true in
+  while !continue_scan do
+    if !pos + block > len || is_zero_block !pos then continue_scan := false
+    else begin
+      let name =
+        let raw = String.sub s !pos 100 in
+        match String.index_opt raw '\x00' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let size =
+        let raw = String.trim (String.sub s (!pos + 124) 11) in
+        try int_of_string ("0o" ^ raw) with _ -> failwith "Tar.entries: bad size field"
+      in
+      let data_start = !pos + block in
+      if data_start + size > len then failwith "Tar.entries: truncated";
+      out := { name; contents = String.sub s data_start size } :: !out;
+      let data_blocks = (size + block - 1) / block in
+      pos := data_start + (data_blocks * block)
+    end
+  done;
+  List.rev !out

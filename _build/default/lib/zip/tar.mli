@@ -1,0 +1,15 @@
+(** Minimal POSIX ustar archive writer/reader (regular files only) — just
+    enough to reproduce the paper's "GZIP-compressed TAR archive"
+    measurement for Figure 6. *)
+
+type entry = { name : string; contents : string }
+
+(** [archive entries] is a complete tar stream (512-byte records, two
+    zero-record trailer).
+    @raise Invalid_argument if a name exceeds 100 bytes. *)
+val archive : entry list -> string
+
+(** [entries s] parses back the regular-file entries of an archive
+    produced by [archive].
+    @raise Failure on malformed headers. *)
+val entries : string -> entry list

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Array Awgn Bitflip Bsc Burst Channel Float Gf2 Hamming Lazy Montecarlo Printf Prng QCheck QCheck_alcotest

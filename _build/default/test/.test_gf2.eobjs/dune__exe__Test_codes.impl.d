@@ -1,0 +1,1 @@
+test/test_codes.ml: Alcotest Array Bitvec Conv Gf2 Hamming Hashtbl Lazy Ldpc Matrix Printf QCheck QCheck_alcotest Random

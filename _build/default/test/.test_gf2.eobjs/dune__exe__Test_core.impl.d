@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char Composite Design Fec_core Framing Fun Gen Hamming Lazy List Printf QCheck QCheck_alcotest Random Registry String Zip

@@ -1,0 +1,1 @@
+test/test_gf2.ml: Alcotest Bitvec Gf2 List Matrix Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_hamming.ml: Alcotest Array Bitvec Catalog Channel Chase Code Distance Emit Fastcodec Gf2 Hamming Lazy List Matrix Multibit Printf QCheck QCheck_alcotest Random Robustness String Weightdist

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bytes Channel Char Fec_core Filename Float Fun Gf2 Hamming Lazy List Printf Random Rs Spec String Synth Sys Unix

@@ -1,0 +1,1 @@
+test/test_rs.ml: Alcotest Array Bch Format Gf Gf2 Hamming Hashtbl Lazy List Poly Printf QCheck QCheck_alcotest Random Reed_solomon Rs

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Dimacs Drat Fun List Lit Printf QCheck QCheck_alcotest Random Reference Sat Solver String

@@ -1,0 +1,1 @@
+test/test_smtlite.ml: Alcotest Array Bv Card Ctx Expr Format Fresh Fun List Printf QCheck QCheck_alcotest Smtlib Smtlite String Unix

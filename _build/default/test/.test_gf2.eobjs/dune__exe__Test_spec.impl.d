@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Ast Eval Gen Hamming Lazy List Parse QCheck QCheck_alcotest Spec

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Cegis Driver Gf2 Hamming Lazy List Multibit_synth Optimize Printf Spec Synth Verify Weighted

@@ -1,0 +1,1 @@
+test/test_zip.ml: Alcotest Array Bitio Buffer Bytes Char Crc32 Deflate Filename Fun Gen Gzip Huffman List Lz77 Printf QCheck QCheck_alcotest String Sys Tar Unix Zip

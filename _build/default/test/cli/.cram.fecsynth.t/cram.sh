@@ -1,0 +1,23 @@
+  $ fecsynth distance -c matrix:1000101-0100110-0010111-0001011
+  $ fecsynth distance -c parity:8
+  $ fecsynth verify -c matrix:1000101-0100110-0010111-0001011 -p 'md(G[0]) = 3' | sed 's/(.*)/(time)/'
+  $ fecsynth verify -c matrix:1000101-0100110-0010111-0001011 -p 'md(G[0]) = 4' | sed 's/(.*)/(time)/'
+  $ fecsynth verify -c parity:8 -p 'md(G[0]) = 3' > /dev/null
+  $ fecsynth synth -p 'len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) <= 4 && md(G[0]) = 3 && minimal(len_c(G[0]))' | head -1
+  $ fecsynth emit -c parity:4 --lang c | grep -c 'fec_encode\|fec_syndrome'
+  $ fecsynth distance -c nonsense:4
+  $ fecsynth synth -p 'md(G[0]) = '
+  $ fecsynth certify -c matrix:1000101-0100110-0010111-0001011 -m 3 | sed 's/(.*)/(time)/'
+  $ fecsynth certify -c parity:8 -m 3
+  $ cat > script.smt2 <<'SMT'
+  > (set-logic QF_UF)
+  > (declare-const p Bool)
+  > (assert p)
+  > (check-sat)
+  > (push 1)
+  > (assert (not p))
+  > (check-sat)
+  > (pop 1)
+  > (check-sat)
+  > SMT
+  $ fecsynth smt script.smt2

@@ -1,0 +1,347 @@
+(* Tests for the channel substrate: PRNG determinism and distribution, BSC
+   statistics, bit-flip profiles (Fig. 1 shapes), and the Monte-Carlo
+   harness against analytic expectations. *)
+
+open Channel
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- PRNG ---------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different streams" false (Prng.next_int64 a = Prng.next_int64 b)
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_prng_float_range () =
+  let g = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let f = Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_bits_range () =
+  let g = Prng.create 4 in
+  for _ = 1 to 10_000 do
+    let v = Prng.bits g ~n:7 in
+    Alcotest.(check bool) "7 bits" true (v >= 0 && v < 128)
+  done
+
+let test_prng_uniformity () =
+  (* chi-squared-ish sanity: 16 buckets, 64k draws, each within 3% *)
+  let g = Prng.create 99 in
+  let buckets = Array.make 16 0 in
+  let n = 65536 in
+  for _ = 1 to n do
+    let b = Prng.int_below g 16 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 16 in
+      Alcotest.(check bool) "within 10%" true
+        (abs (c - expected) < expected / 10))
+    buckets
+
+(* ---------- BSC ---------- *)
+
+let test_bsc_flip_rate () =
+  let g = Prng.create 11 in
+  let total_flips = ref 0 in
+  let trials = 20_000 and width = 32 in
+  for _ = 1 to trials do
+    let _, flips = Bsc.flip_word g ~p:0.1 ~width 0 in
+    total_flips := !total_flips + flips
+  done;
+  let rate = float_of_int !total_flips /. float_of_int (trials * width) in
+  Alcotest.(check bool) "about 10%" true (Float.abs (rate -. 0.1) < 0.005)
+
+let test_bsc_zero_p () =
+  let g = Prng.create 12 in
+  let w, flips = Bsc.flip_word g ~p:0.0 ~width:40 0x12345 in
+  Alcotest.(check int) "untouched" 0x12345 w;
+  Alcotest.(check int) "no flips" 0 flips
+
+let test_bsc_bitvec_matches_count () =
+  let g = Prng.create 13 in
+  let v = Gf2.Bitvec.create 100 in
+  let v', flips = Bsc.flip_bitvec g ~p:0.3 v in
+  Alcotest.(check int) "count = distance" flips (Gf2.Bitvec.hamming_distance v v')
+
+(* ---------- Figure 1 profiles ---------- *)
+
+let test_int32_profile_closed_form () =
+  let p = Bitflip.int32_profile () in
+  Alcotest.(check (float 1e-3)) "msb" (2.0 ** 31.0) p.Bitflip.avg_magnitude.(0);
+  Alcotest.(check (float 1e-12)) "lsb" 1.0 p.Bitflip.avg_magnitude.(31);
+  (* strictly decreasing with bit index *)
+  for i = 0 to 30 do
+    Alcotest.(check bool) "monotone" true
+      (p.Bitflip.avg_magnitude.(i) > p.Bitflip.avg_magnitude.(i + 1))
+  done
+
+let test_float32_profile_shape () =
+  let p = Bitflip.float32_profile ~samples:20_000 ~seed:7 () in
+  let norm = Bitflip.normalize p in
+  (* paper Fig. 1: the damage is concentrated in the sign+exponent bits
+     (all near the normalized maximum), with mantissa bits orders of
+     magnitude below *)
+  let max_index = ref 0 in
+  Array.iteri (fun i v -> if v > norm.(!max_index) then max_index := i) norm;
+  Alcotest.(check bool) "max among sign+upper exponent" true (!max_index <= 5);
+  for i = 0 to 5 do
+    Alcotest.(check bool) (Printf.sprintf "bit %d near max" i) true (norm.(i) > 0.7)
+  done;
+  Alcotest.(check bool) "upper bits dwarf mantissa" true (norm.(2) > 1000.0 *. norm.(20));
+  Alcotest.(check bool) "mantissa negligible" true (norm.(31) < 1e-6);
+  (* exponent-field flips can create infinities: non-numeric counts live
+     only in sign+exponent bit positions *)
+  Alcotest.(check bool) "non-numeric in exponent bits" true
+    (Array.exists (fun c -> c > 0) (Array.sub p.Bitflip.non_numeric 1 8));
+  Alcotest.(check int) "mantissa flips stay numeric" 0 p.Bitflip.non_numeric.(20)
+
+let test_float32_profile_deterministic () =
+  let a = Bitflip.float32_profile ~samples:5_000 ~seed:1 () in
+  let b = Bitflip.float32_profile ~samples:5_000 ~seed:1 () in
+  Alcotest.(check bool) "same result" true (a = b)
+
+let test_weights_derivation () =
+  let p = Bitflip.float32_profile ~samples:20_000 ~seed:7 () in
+  let w = Bitflip.weights_for_upper_bits ~bits:16 p in
+  Alcotest.(check int) "16 weights" 16 (Array.length w);
+  Array.iter (fun x -> Alcotest.(check bool) "range" true (x >= 1 && x <= 100)) w;
+  (* heavy head, light tail, like the paper's 100,...,1 vector *)
+  for i = 0 to 5 do
+    Alcotest.(check bool) (Printf.sprintf "head heavy w%d" i) true (w.(i) >= 75)
+  done;
+  Alcotest.(check bool) "tail light" true (w.(15) <= 5);
+  Alcotest.(check bool) "mid transition like paper (w7 ~ 45)" true
+    (w.(7) >= 25 && w.(7) <= 65)
+
+(* ---------- Monte-Carlo harness ---------- *)
+
+let test_montecarlo_matches_theory () =
+  (* (7,4) at p=0.1: expected fraction with >= 3 flips is P_u = 0.0257 *)
+  let code = Lazy.force Hamming.Catalog.fig2_7_4 in
+  let codec = Montecarlo.codec_of_code code in
+  let r =
+    Montecarlo.run ~codec ~md:3 ~words:200_000 ~p:0.1 ~seed:5
+      (Montecarlo.uniform_data codec)
+  in
+  let observed = float_of_int r.Montecarlo.flips_ge_md in
+  Alcotest.(check bool) "within 5% of theory" true
+    (Float.abs (observed -. r.Montecarlo.expected_flips_ge_md)
+     /. r.Montecarlo.expected_flips_ge_md
+    < 0.05);
+  (* undetected errors are a subset of >= md flips *)
+  Alcotest.(check bool) "undetected <= flips_ge_md" true
+    (r.Montecarlo.undetected <= r.Montecarlo.flips_ge_md);
+  Alcotest.(check bool) "some undetected at p=0.1" true (r.Montecarlo.undetected > 0)
+
+let test_montecarlo_higher_md_fewer_undetected () =
+  let weak = Montecarlo.codec_of_code (Lazy.force Hamming.Catalog.fig2_7_4) in
+  let strong_code = Lazy.force Hamming.Catalog.paper_g5_4 in
+  let strong = Montecarlo.codec_of_code strong_code in
+  let run codec md =
+    (Montecarlo.run ~codec ~md ~words:100_000 ~p:0.1 ~seed:6
+       (Montecarlo.uniform_data codec))
+      .Montecarlo.undetected
+  in
+  Alcotest.(check bool) "md 4 beats md 3" true (run strong 4 < run weak 3)
+
+let test_montecarlo_deterministic () =
+  let codec = Montecarlo.codec_of_code (Lazy.force Hamming.Catalog.fig2_7_4) in
+  let r1 =
+    Montecarlo.run ~codec ~md:3 ~words:10_000 ~p:0.1 ~seed:9 (Montecarlo.uniform_data codec)
+  in
+  let r2 =
+    Montecarlo.run ~codec ~md:3 ~words:10_000 ~p:0.1 ~seed:9 (Montecarlo.uniform_data codec)
+  in
+  Alcotest.(check bool) "reproducible" true (r1 = r2)
+
+let test_numeric_float_data_is_numeric () =
+  let g = Prng.create 21 in
+  for _ = 1 to 10_000 do
+    let bits = Montecarlo.numeric_float32_data g in
+    Alcotest.(check bool) "numeric" true ((bits lsr 23) land 0xFF <> 0xFF)
+  done
+
+let prop_flip_word_bounded =
+  QCheck.Test.make ~name:"flip count bounded by width" ~count:200
+    (QCheck.pair QCheck.small_int (QCheck.int_bound 40))
+    (fun (seed, width) ->
+      let width = max 1 width in
+      let g = Prng.create seed in
+      let w, flips = Bsc.flip_word g ~p:0.5 ~width 0 in
+      flips <= width && w < 1 lsl width)
+
+(* ---------- AWGN channel ---------- *)
+
+let test_gaussian_moments () =
+  let g = Prng.create 55 in
+  let n = 100_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Awgn.gaussian g in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 0.02);
+  Alcotest.(check bool) "variance ~ 1" true (Float.abs (var -. 1.0) < 0.03)
+
+let test_awgn_high_snr_is_clean () =
+  let g = Prng.create 56 in
+  let bits = Gf2.Bitvec.of_string "1010011100101101" in
+  let rx = Awgn.transmit g ~snr_db:20.0 bits in
+  Alcotest.(check bool) "hard decision recovers" true
+    (Gf2.Bitvec.equal bits (Awgn.hard_decision rx));
+  (* LLR signs agree with the transmitted bits *)
+  let l = Awgn.llrs ~snr_db:20.0 rx in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "sign" true (v < 0.0 = Gf2.Bitvec.get bits i))
+    l
+
+let test_awgn_low_snr_flips_bits () =
+  let g = Prng.create 57 in
+  let bits = Gf2.Bitvec.create 4000 in
+  let rx = Awgn.transmit g ~snr_db:(-3.0) bits in
+  let wrong = Gf2.Bitvec.popcount (Awgn.hard_decision rx) in
+  (* at -3 dB the raw bit error rate is substantial *)
+  Alcotest.(check bool) "plenty of errors" true (wrong > 400 && wrong < 2000)
+
+let test_noise_sigma_formula () =
+  Alcotest.(check (float 1e-9)) "0 dB" (sqrt 0.5) (Awgn.noise_sigma ~snr_db:0.0);
+  Alcotest.(check bool) "monotone" true
+    (Awgn.noise_sigma ~snr_db:10.0 < Awgn.noise_sigma ~snr_db:0.0)
+
+(* ---------- bursty channel and interleaving ---------- *)
+
+let test_interleave_roundtrip () =
+  let words = [| 0b1011; 0b0110; 0b1111; 0b0001 |] in
+  let bits = Burst.interleave ~depth:4 ~width:4 words in
+  Alcotest.(check int) "length" 16 (Gf2.Bitvec.length bits);
+  let back = Burst.deinterleave ~depth:4 ~width:4 bits in
+  Alcotest.(check bool) "round trip" true (back = words)
+
+let prop_interleave_roundtrip =
+  QCheck.Test.make ~name:"interleave/deinterleave round trip" ~count:200
+    (QCheck.pair (QCheck.int_range 1 16) QCheck.small_int)
+    (fun (depth, seed) ->
+      let width = 13 in
+      let g = Prng.create seed in
+      let words = Array.init depth (fun _ -> Prng.bits g ~n:width) in
+      Burst.deinterleave ~depth ~width (Burst.interleave ~depth ~width words) = words)
+
+let test_interleave_spreads_bursts () =
+  (* a burst of [depth] consecutive stream bits lands one bit per word *)
+  let depth = 8 and width = 10 in
+  let words = Array.make depth 0 in
+  let stream = Burst.interleave ~depth ~width words in
+  for i = 24 to 24 + depth - 1 do
+    Gf2.Bitvec.flip stream i
+  done;
+  let received = Burst.deinterleave ~depth ~width stream in
+  Array.iter
+    (fun w ->
+      let rec pop x = if x = 0 then 0 else (x land 1) + pop (x lsr 1) in
+      Alcotest.(check int) "one error per word" 1 (pop w))
+    received
+
+let test_ge_channel_burstiness () =
+  (* bad-state errors cluster: the Gilbert-Elliott stream must have far
+     higher variance of per-block error counts than a BSC of equal rate *)
+  let g = Prng.create 77 in
+  let bits = Burst.ge_flip_bits g Burst.default_ge ~len:200_000 in
+  let total = Gf2.Bitvec.popcount bits in
+  Alcotest.(check bool) "some errors" true (total > 100);
+  (* block error counts *)
+  let block = 100 in
+  let counts =
+    Array.init (200_000 / block) (fun b ->
+        let acc = ref 0 in
+        for i = 0 to block - 1 do
+          if Gf2.Bitvec.get bits ((b * block) + i) then incr acc
+        done;
+        !acc)
+  in
+  let mean = float_of_int total /. float_of_int (Array.length counts) in
+  let var =
+    Array.fold_left (fun acc c -> acc +. ((float_of_int c -. mean) ** 2.0)) 0.0 counts
+    /. float_of_int (Array.length counts)
+  in
+  (* Poisson (BSC) would give var ~ mean; bursts inflate it hugely *)
+  Alcotest.(check bool) "overdispersed" true (var > 3.0 *. mean)
+
+let test_interleaving_helps_under_bursts () =
+  (* the interleave depth must exceed the typical burst length so each
+     codeword absorbs at most one burst bit *)
+  let codec = Hamming.Fastcodec.compile (Hamming.Catalog.shortened ~data_len:16 ~check_len:6) in
+  let ge = { Burst.p_good = 0.0005; p_bad = 0.3; p_g2b = 0.001; p_b2g = 0.05 } in
+  let r = Burst.trial codec ~depth:128 ~blocks:100 ~ge ~seed:99 in
+  Alcotest.(check bool) "plain suffers" true (r.Burst.word_errors_plain > 0);
+  Alcotest.(check bool) "interleaving wins clearly" true
+    (r.Burst.word_errors_interleaved * 2 < r.Burst.word_errors_plain)
+
+let () =
+  Alcotest.run "channel"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "bits range" `Quick test_prng_bits_range;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+        ] );
+      ( "bsc",
+        [
+          Alcotest.test_case "flip rate" `Quick test_bsc_flip_rate;
+          Alcotest.test_case "p = 0" `Quick test_bsc_zero_p;
+          Alcotest.test_case "bitvec flips" `Quick test_bsc_bitvec_matches_count;
+          qtest prop_flip_word_bounded;
+        ] );
+      ( "bitflip",
+        [
+          Alcotest.test_case "int32 closed form" `Quick test_int32_profile_closed_form;
+          Alcotest.test_case "float32 shape (Fig 1)" `Quick test_float32_profile_shape;
+          Alcotest.test_case "float32 deterministic" `Quick test_float32_profile_deterministic;
+          Alcotest.test_case "weight derivation" `Quick test_weights_derivation;
+        ] );
+      ( "awgn",
+        [
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "high SNR clean" `Quick test_awgn_high_snr_is_clean;
+          Alcotest.test_case "low SNR noisy" `Quick test_awgn_low_snr_flips_bits;
+          Alcotest.test_case "sigma formula" `Quick test_noise_sigma_formula;
+        ] );
+      ( "burst",
+        [
+          Alcotest.test_case "interleave round trip" `Quick test_interleave_roundtrip;
+          Alcotest.test_case "burst spreading" `Quick test_interleave_spreads_bursts;
+          Alcotest.test_case "GE channel burstiness" `Quick test_ge_channel_burstiness;
+          Alcotest.test_case "interleaving helps" `Quick test_interleaving_helps_under_bursts;
+          qtest prop_interleave_roundtrip;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "matches theory" `Quick test_montecarlo_matches_theory;
+          Alcotest.test_case "md ordering" `Quick test_montecarlo_higher_md_fewer_undetected;
+          Alcotest.test_case "deterministic" `Quick test_montecarlo_deterministic;
+          Alcotest.test_case "numeric float data" `Quick test_numeric_float_data_is_numeric;
+        ] );
+    ]

@@ -1,0 +1,261 @@
+(* Tests for the modern-code substrates: parity-check-matrix import, LDPC
+   construction and iterative decoding, and convolutional codes with
+   Viterbi decoding. *)
+
+open Gf2
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- Code.of_check_matrix ---------- *)
+
+let test_of_check_matrix_hamming74 () =
+  (* the paper's (7,4) check matrix is already systematic: H = (P^T|I) *)
+  let h = Matrix.of_string_rows "1110100\n0111010\n1011001" in
+  let code, perm = Hamming.Code.of_check_matrix h in
+  Alcotest.(check int) "k" 4 (Hamming.Code.data_len code);
+  Alcotest.(check int) "c" 3 (Hamming.Code.check_len code);
+  Alcotest.(check int) "md" 3 (Hamming.Distance.min_distance code);
+  (* permuted codewords must satisfy the original H *)
+  let d = Bitvec.of_string "1011" in
+  let w = Hamming.Code.encode code d in
+  let original = Bitvec.create 7 in
+  Array.iteri (fun i col -> if Bitvec.get w i then Bitvec.set original col true) perm;
+  Alcotest.(check bool) "H * w = 0" true (Bitvec.is_zero (Matrix.mul_vec h original))
+
+let test_of_check_matrix_rejects_rank_deficient () =
+  let h = Matrix.of_string_rows "1100\n1100" in
+  Alcotest.check_raises "rank deficient"
+    (Invalid_argument "Code.of_check_matrix: H is not full row rank") (fun () ->
+      ignore (Hamming.Code.of_check_matrix h))
+
+let prop_of_check_matrix_codewords_valid =
+  QCheck.Test.make ~name:"of_check_matrix codewords satisfy H" ~count:200
+    (QCheck.pair (QCheck.int_range 2 5) QCheck.small_int)
+    (fun (r, seed) ->
+      let n = r + 3 in
+      let st = Random.State.make [| seed; r |] in
+      let h = Matrix.init ~rows:r ~cols:n (fun _ _ -> Random.State.bool st) in
+      if Matrix.rank h < r then true
+      else begin
+        let code, perm = Hamming.Code.of_check_matrix h in
+        let k = Hamming.Code.data_len code in
+        let d = Bitvec.init k (fun _ -> Random.State.bool st) in
+        let w = Hamming.Code.encode code d in
+        let original = Bitvec.create n in
+        Array.iteri (fun i col -> if Bitvec.get w i then Bitvec.set original col true) perm;
+        Bitvec.is_zero (Matrix.mul_vec h original)
+      end)
+
+(* ---------- LDPC ---------- *)
+
+let small_ldpc = lazy (Ldpc.gallager ~n:96 ~wc:3 ~wr:6 ~seed:11)
+
+let test_gallager_structure () =
+  let code = Lazy.force small_ldpc in
+  Alcotest.(check int) "block length" 96 (Ldpc.n code);
+  (* rank deficiency makes k a bit above n/2 *)
+  Alcotest.(check bool) "rate around 1/2" true (Ldpc.k code >= 48 && Ldpc.k code <= 56);
+  let h = Ldpc.check_matrix code in
+  (* regular column weight 3, row weight 6 *)
+  for c = 0 to Matrix.cols h - 1 do
+    Alcotest.(check int) "column weight" 3 (Bitvec.popcount (Matrix.col h c))
+  done;
+  for r = 0 to Matrix.rows h - 1 do
+    Alcotest.(check int) "row weight" 6 (Bitvec.popcount (Matrix.row h r))
+  done
+
+let test_ldpc_encode_valid () =
+  let code = Lazy.force small_ldpc in
+  let st = Random.State.make [| 3 |] in
+  for _ = 1 to 20 do
+    let d = Bitvec.init (Ldpc.k code) (fun _ -> Random.State.bool st) in
+    let w = Ldpc.encode code d in
+    Alcotest.(check bool) "valid" true (Ldpc.is_valid code w);
+    Alcotest.(check bool) "data recoverable" true (Bitvec.equal d (Ldpc.data_of code w))
+  done
+
+let corrupt_random st w errors =
+  let w' = Bitvec.copy w in
+  let n = Bitvec.length w in
+  let placed = Hashtbl.create errors in
+  let remaining = ref errors in
+  while !remaining > 0 do
+    let pos = Random.State.int st n in
+    if not (Hashtbl.mem placed pos) then begin
+      Hashtbl.add placed pos ();
+      Bitvec.flip w' pos;
+      decr remaining
+    end
+  done;
+  w'
+
+let decoder_corrects name decode errors expected_success_rate =
+  let code = Lazy.force small_ldpc in
+  let st = Random.State.make [| 17; errors |] in
+  let trials = 50 in
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    let d = Bitvec.init (Ldpc.k code) (fun _ -> Random.State.bool st) in
+    let w = Ldpc.encode code d in
+    let received = corrupt_random st w errors in
+    match decode code received with
+    | Some fixed when Bitvec.equal fixed w -> incr successes
+    | _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s corrects %d errors in >= %d%% of trials (got %d/%d)" name errors
+       expected_success_rate !successes trials)
+    true
+    (100 * !successes >= expected_success_rate * trials)
+
+let test_bitflip_corrects_sparse () =
+  decoder_corrects "bitflip" (fun c w -> Ldpc.decode_bitflip c w) 2 80
+
+let test_minsum_corrects_more () =
+  decoder_corrects "minsum" (fun c w -> Ldpc.decode_minsum ~p:0.05 c w) 3 60
+
+let test_minsum_beats_bitflip () =
+  let code = Lazy.force small_ldpc in
+  let st = Random.State.make [| 23 |] in
+  let trials = 60 in
+  let errors = 5 in
+  let bf = ref 0 and ms = ref 0 in
+  for _ = 1 to trials do
+    let d = Bitvec.init (Ldpc.k code) (fun _ -> Random.State.bool st) in
+    let w = Ldpc.encode code d in
+    let received = corrupt_random st w errors in
+    (match Ldpc.decode_bitflip code received with
+    | Some f when Bitvec.equal f w -> incr bf
+    | _ -> ());
+    match Ldpc.decode_minsum ~p:0.05 code received with
+    | Some f when Bitvec.equal f w -> incr ms
+    | _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "minsum (%d) >= bitflip (%d)" !ms !bf)
+    true (!ms >= !bf)
+
+let test_clean_word_decodes_immediately () =
+  let code = Lazy.force small_ldpc in
+  let d = Bitvec.create (Ldpc.k code) in
+  let w = Ldpc.encode code d in
+  (match Ldpc.decode_bitflip code w with
+  | Some f -> Alcotest.(check bool) "bitflip identity" true (Bitvec.equal f w)
+  | None -> Alcotest.fail "clean word rejected");
+  match Ldpc.decode_minsum ~p:0.1 code w with
+  | Some f -> Alcotest.(check bool) "minsum identity" true (Bitvec.equal f w)
+  | None -> Alcotest.fail "clean word rejected"
+
+let test_gallager_rejects_bad_params () =
+  Alcotest.check_raises "wr does not divide n"
+    (Invalid_argument "Ldpc.gallager: wr must divide n") (fun () ->
+      ignore (Ldpc.gallager ~n:10 ~wc:3 ~wr:4 ~seed:1))
+
+(* ---------- Convolutional / Viterbi ---------- *)
+
+let test_conv_encode_length () =
+  let t = Conv.standard_k7 in
+  let data = Bitvec.of_string "10110" in
+  let out = Conv.encode t data in
+  Alcotest.(check int) "tailed length" ((5 + 6) * 2) (Bitvec.length out)
+
+let test_conv_known_vector () =
+  (* K=3 polys (7,5): a standard textbook pair; input 1011 (tail 00):
+     hand-checkable first symbols: input 1 -> reg 001 -> out (1,1) *)
+  let t = Conv.create ~constraint_len:3 ~polys:[| 0b111; 0b101 |] in
+  let out = Conv.encode t (Bitvec.of_string "1") in
+  (* steps: 1,0,0 -> symbols 11, 10, 11 *)
+  Alcotest.(check string) "impulse response" "111011" (Bitvec.to_string out)
+
+let test_conv_roundtrip_clean () =
+  let t = Conv.standard_k7 in
+  let st = Random.State.make [| 31 |] in
+  for _ = 1 to 20 do
+    let data = Bitvec.init 64 (fun _ -> Random.State.bool st) in
+    let decoded = Conv.decode t ~data_len:64 (Conv.encode t data) in
+    Alcotest.(check bool) "round trip" true (Bitvec.equal data decoded)
+  done
+
+let test_conv_corrects_scattered_errors () =
+  (* dfree = 10: up to 4 errors per constraint span are correctable; we
+     scatter errors at least 30 positions apart *)
+  let t = Conv.standard_k7 in
+  let st = Random.State.make [| 37 |] in
+  for _ = 1 to 20 do
+    let data = Bitvec.init 100 (fun _ -> Random.State.bool st) in
+    let coded = Conv.encode t data in
+    let n = Bitvec.length coded in
+    let pos = ref (Random.State.int st 20) in
+    while !pos < n do
+      Bitvec.flip coded !pos;
+      pos := !pos + 30 + Random.State.int st 10
+    done;
+    let decoded = Conv.decode t ~data_len:100 coded in
+    Alcotest.(check bool) "corrected" true (Bitvec.equal data decoded)
+  done
+
+let test_conv_corrects_double_errors_k3 () =
+  let t = Conv.create ~constraint_len:3 ~polys:[| 0b111; 0b101 |] in
+  (* dfree = 5 for (7,5): any 2 errors are correctable *)
+  let data = Bitvec.of_string "110100101100111010" in
+  let coded = Conv.encode t data in
+  let n = Bitvec.length coded in
+  for i = 0 to n - 1 do
+    for j = i + 1 to min (n - 1) (i + 8) do
+      let w = Bitvec.copy coded in
+      Bitvec.flip w i;
+      Bitvec.flip w j;
+      let decoded = Conv.decode t ~data_len:(Bitvec.length data) w in
+      Alcotest.(check bool) (Printf.sprintf "errors at %d,%d" i j) true
+        (Bitvec.equal data decoded)
+    done
+  done
+
+let prop_conv_roundtrip =
+  QCheck.Test.make ~name:"viterbi round trip (clean channel)" ~count:100
+    (QCheck.pair (QCheck.int_range 1 80) QCheck.small_int)
+    (fun (len, seed) ->
+      let t = Conv.standard_k7 in
+      let st = Random.State.make [| seed |] in
+      let data = Bitvec.init len (fun _ -> Random.State.bool st) in
+      Bitvec.equal data (Conv.decode t ~data_len:len (Conv.encode t data)))
+
+let test_conv_rejects_bad_params () =
+  Alcotest.check_raises "one poly"
+    (Invalid_argument "Conv.create: need at least two polynomials") (fun () ->
+      ignore (Conv.create ~constraint_len:7 ~polys:[| 0o171 |]));
+  Alcotest.check_raises "poly too wide"
+    (Invalid_argument "Conv.create: polynomial does not fit the register") (fun () ->
+      ignore (Conv.create ~constraint_len:3 ~polys:[| 0b1111; 0b101 |]))
+
+let () =
+  Alcotest.run "codes"
+    [
+      ( "check-matrix-import",
+        [
+          Alcotest.test_case "(7,4) H" `Quick test_of_check_matrix_hamming74;
+          Alcotest.test_case "rank deficient rejected" `Quick
+            test_of_check_matrix_rejects_rank_deficient;
+          qtest prop_of_check_matrix_codewords_valid;
+        ] );
+      ( "ldpc",
+        [
+          Alcotest.test_case "gallager structure" `Quick test_gallager_structure;
+          Alcotest.test_case "encode validity" `Quick test_ldpc_encode_valid;
+          Alcotest.test_case "bitflip corrects sparse" `Quick test_bitflip_corrects_sparse;
+          Alcotest.test_case "minsum corrects more" `Quick test_minsum_corrects_more;
+          Alcotest.test_case "minsum >= bitflip" `Quick test_minsum_beats_bitflip;
+          Alcotest.test_case "clean word" `Quick test_clean_word_decodes_immediately;
+          Alcotest.test_case "bad params" `Quick test_gallager_rejects_bad_params;
+        ] );
+      ( "conv",
+        [
+          Alcotest.test_case "encode length" `Quick test_conv_encode_length;
+          Alcotest.test_case "impulse response" `Quick test_conv_known_vector;
+          Alcotest.test_case "clean round trip" `Quick test_conv_roundtrip_clean;
+          Alcotest.test_case "scattered errors" `Quick test_conv_corrects_scattered_errors;
+          Alcotest.test_case "double errors (K=3)" `Quick test_conv_corrects_double_errors_k3;
+          Alcotest.test_case "bad params" `Quick test_conv_rejects_bad_params;
+          qtest prop_conv_roundtrip;
+        ] );
+    ]

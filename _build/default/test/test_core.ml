@@ -1,0 +1,290 @@
+(* Tests for the public core library: composite codecs, the registry
+   descriptor language, stream framing, and the design workflow. *)
+
+open Fec_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let float_specific () = Lazy.force Design.table2_float_specific
+let parity_halves () = Lazy.force Design.table2_parity
+
+(* ---------- Composite ---------- *)
+
+let test_composite_sizes () =
+  let c = float_specific () in
+  Alcotest.(check int) "word" 32 (Composite.word_len c);
+  Alcotest.(check int) "checks (paper: 7)" 7 (Composite.check_len c);
+  Alcotest.(check int) "block" 39 (Composite.block_len c);
+  Alcotest.(check int) "weakest md" 2 (Composite.min_distance c);
+  let p = parity_halves () in
+  Alcotest.(check int) "parity checks (paper: 2)" 2 (Composite.check_len p);
+  let m = Lazy.force Design.table2_md3 in
+  Alcotest.(check int) "md3 checks (paper: 12)" 12 (Composite.check_len m)
+
+let test_composite_encode_valid () =
+  let c = float_specific () in
+  let w = Composite.encode c 0x3F8CCCCD (* 1.1f *) in
+  Alcotest.(check bool) "valid" true (Composite.is_valid c w);
+  Alcotest.(check int) "data preserved" 0x3F8CCCCD (Composite.data_of c w)
+
+let test_composite_detects_single_errors () =
+  let c = float_specific () in
+  let w = Composite.encode c 0x40490FDB (* pi *) in
+  for j = 0 to Composite.block_len c - 1 do
+    let w' = w lxor (1 lsl j) in
+    Alcotest.(check bool) (Printf.sprintf "bit %d detected" j) false
+      (Composite.is_valid c w')
+  done
+
+let test_composite_corrects_strong_part () =
+  (* errors in the upper-8 region (protected by md-3 code) are corrected *)
+  let c = float_specific () in
+  let data = 0xC2F70000 (* -123.5f *) in
+  let w = Composite.encode c data in
+  (* word bit 3 = integer bit 28 *)
+  let w' = w lxor (1 lsl 28) in
+  match Composite.correct c w' with
+  | Some fixed -> Alcotest.(check int) "repaired" data (Composite.data_of c fixed)
+  | None -> Alcotest.fail "expected correction"
+
+let test_composite_rejects_bad_partition () =
+  let overlapping =
+    [
+      (Hamming.Catalog.parity 2, [ 0; 1 ]);
+      (Hamming.Catalog.parity 2, [ 1; 2 ]);
+    ]
+  in
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Composite.create: position 1 covered twice") (fun () ->
+      ignore (Composite.create ~word_len:3 overlapping));
+  Alcotest.check_raises "gap"
+    (Invalid_argument "Composite.create: some word bits are unprotected") (fun () ->
+      ignore (Composite.create ~word_len:3 [ (Hamming.Catalog.parity 2, [ 0; 1 ]) ]))
+
+let test_of_mapping_matches_create () =
+  let codes = [| Hamming.Catalog.parity 2; Hamming.Catalog.parity 2 |] in
+  let c = Composite.of_mapping ~codes ~mapping:[| 0; 1; 0; 1 |] in
+  Alcotest.(check int) "word len" 4 (Composite.word_len c);
+  let w = Composite.encode c 0b1010 in
+  Alcotest.(check bool) "valid" true (Composite.is_valid c w)
+
+let prop_composite_encode_roundtrip =
+  QCheck.Test.make ~name:"composite encode preserves data and validates" ~count:300
+    (QCheck.int_bound 0xFFFFFF)
+    (fun data ->
+      let c =
+        Composite.create ~word_len:24
+          [
+            (Hamming.Catalog.shortened ~data_len:8 ~check_len:4, List.init 8 Fun.id);
+            (Hamming.Catalog.parity 16, List.init 16 (fun i -> 8 + i));
+          ]
+      in
+      let w = Composite.encode c data in
+      Composite.is_valid c w && Composite.data_of c w = data)
+
+(* ---------- Registry ---------- *)
+
+let test_descriptor_roundtrip_codes () =
+  List.iter
+    (fun code ->
+      let d = Registry.describe_code code in
+      Alcotest.(check bool) d true (Hamming.Code.equal code (Registry.code_of_string d)))
+    [
+      Hamming.Catalog.parity 16;
+      Hamming.Catalog.repetition 5;
+      Hamming.Catalog.perfect 3;
+      Hamming.Catalog.shortened ~data_len:8 ~check_len:5;
+      Lazy.force Hamming.Catalog.fig2_7_4;
+      Hamming.Catalog.extend (Hamming.Catalog.perfect 3);
+    ]
+
+let test_descriptor_names () =
+  Alcotest.(check string) "parity" "parity:16"
+    (Registry.describe_code (Hamming.Catalog.parity 16));
+  Alcotest.(check string) "perfect" "perfect:3"
+    (Registry.describe_code (Hamming.Catalog.perfect 3));
+  Alcotest.(check string) "shortened" "shortened:8:5"
+    (Registry.describe_code (Hamming.Catalog.shortened ~data_len:8 ~check_len:5))
+
+let test_descriptor_composite_roundtrip () =
+  let c = float_specific () in
+  let d = Registry.describe c in
+  let c' = Registry.composite_of_string d in
+  Alcotest.(check int) "word len" (Composite.word_len c) (Composite.word_len c');
+  Alcotest.(check int) "check len" (Composite.check_len c) (Composite.check_len c');
+  (* encodings agree on sample data *)
+  List.iter
+    (fun data ->
+      Alcotest.(check int) "same encoding" (Composite.encode c data)
+        (Composite.encode c' data))
+    [ 0; 1; 0x3F8CCCCD; 0xFFFFFFFF; 0x12345678 ]
+
+let test_registry_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Registry.code_of_string s with
+      | exception Registry.Parse_error _ -> ()
+      | _ -> Alcotest.failf "%S should fail" s)
+    [ "nope:3"; "parity"; "parity:x"; "matrix:10-0"; "shortened:9" ]
+
+(* ---------- Framing ---------- *)
+
+let test_framing_clean_roundtrip () =
+  let codec = float_specific () in
+  let words = Array.init 500 (fun i -> (i * 2654435761) land 0xFFFFFFFF) in
+  let frame = Framing.encode codec words in
+  let codec', out, report = Framing.decode frame in
+  Alcotest.(check int) "word len" 32 (Composite.word_len codec');
+  Alcotest.(check bool) "payload" true (out = words);
+  Alcotest.(check int) "all valid" 500 report.Framing.valid;
+  Alcotest.(check int) "none corrected" 0 report.Framing.corrected
+
+let test_framing_corrects_sparse_errors () =
+  (* flip one upper-region data bit in a few codewords inside the frame:
+     decode must repair them all *)
+  let codec =
+    Composite.create ~word_len:16
+      [ (Hamming.Catalog.shortened ~data_len:16 ~check_len:6, List.init 16 Fun.id) ]
+  in
+  let words = Array.init 64 (fun i -> i * 997 land 0xFFFF) in
+  let frame = Bytes.of_string (Framing.encode codec words) in
+  (* payload starts after magic(4) + len(2) + descriptor; flip a bit deep
+     inside the codeword region *)
+  let header = 4 + 2 + String.length (Registry.describe codec) + 3 in
+  let target = header + 10 in
+  Bytes.set frame target (Char.chr (Char.code (Bytes.get frame target) lxor 0x10));
+  let _, out, report = Framing.decode (Bytes.to_string frame) in
+  Alcotest.(check int) "one corrected" 1 report.Framing.corrected;
+  Alcotest.(check bool) "payload recovered" true (out = words)
+
+let test_framing_bad_magic () =
+  match Framing.decode "XXXX-not-a-frame" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let prop_framing_roundtrip =
+  QCheck.Test.make ~name:"framing round trip" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 50) (QCheck.int_bound 0xFFFF))
+    (fun words ->
+      let codec =
+        Composite.create ~word_len:16
+          [ (Hamming.Catalog.parity 16, List.init 16 Fun.id) ]
+      in
+      let arr = Array.of_list words in
+      let _, out, report = Framing.decode (Framing.encode codec arr) in
+      out = arr && report.Framing.valid = Array.length arr)
+
+(* ---------- fuzzing: hostile inputs fail cleanly ---------- *)
+
+let prop_registry_fuzz_no_crash =
+  QCheck.Test.make ~name:"registry survives garbage descriptors" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 60) Gen.printable)
+    (fun s ->
+      match Registry.code_of_string s with
+      | _ -> true
+      | exception Registry.Parse_error _ -> true
+      | exception Invalid_argument _ -> true)
+
+let prop_composite_descriptor_fuzz =
+  QCheck.Test.make ~name:"composite parser survives garbage" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 80) Gen.printable)
+    (fun s ->
+      match Registry.composite_of_string s with
+      | _ -> true
+      | exception Registry.Parse_error _ -> true
+      | exception Invalid_argument _ -> true)
+
+let prop_framing_fuzz_no_crash =
+  QCheck.Test.make ~name:"frame decoder survives garbage bytes" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.char)
+    (fun s ->
+      match Framing.decode s with
+      | _ -> true
+      | exception Failure _ -> true
+      | exception Registry.Parse_error _ -> true
+      | exception Zip.Bitio.Reader.Truncated -> true
+      | exception Invalid_argument _ -> true)
+
+let prop_framing_bitflip_fuzz =
+  (* flipping any single bit of a valid frame must not crash the decoder *)
+  QCheck.Test.make ~name:"frame decoder survives single bit flips" ~count:200
+    (QCheck.pair QCheck.small_int QCheck.small_int)
+    (fun (seed, flip) ->
+      let codec =
+        Composite.create ~word_len:16
+          [ (Hamming.Catalog.shortened ~data_len:16 ~check_len:6, List.init 16 Fun.id) ]
+      in
+      let st = Random.State.make [| seed |] in
+      let words = Array.init 8 (fun _ -> Random.State.int st 0x10000) in
+      let frame = Bytes.of_string (Framing.encode codec words) in
+      let pos = flip mod (Bytes.length frame * 8) in
+      Bytes.set frame (pos / 8)
+        (Char.chr (Char.code (Bytes.get frame (pos / 8)) lxor (1 lsl (pos mod 8))));
+      match Framing.decode (Bytes.to_string frame) with
+      | _ -> true
+      | exception Failure _ -> true
+      | exception Registry.Parse_error _ -> true
+      | exception Zip.Bitio.Reader.Truncated -> true
+      | exception Invalid_argument _ -> true)
+
+(* ---------- Design ---------- *)
+
+let test_paper_weights () =
+  Alcotest.(check int) "16 weights" 16 (Array.length Design.paper_weights);
+  Alcotest.(check int) "head" 100 Design.paper_weights.(0);
+  Alcotest.(check int) "tail" 1 Design.paper_weights.(15)
+
+let test_design_with_paper_weights () =
+  match Design.float32_with_weights ~timeout:120.0 Design.paper_weights with
+  | None -> Alcotest.fail "expected a design"
+  | Some d ->
+      Alcotest.(check int) "32-bit codec" 32 (Composite.word_len d.Design.codec);
+      (* total checks: 5 + 1 from the weighted pair + 1 for the parity
+         lower half = 7, matching the paper's float-specific combination *)
+      Alcotest.(check int) "7 check bits" 7 (Composite.check_len d.Design.codec);
+      (* heaviest bits must ride the strong generator *)
+      Alcotest.(check int) "bit 0 strong" 0 d.Design.mapping.(0);
+      Alcotest.(check int) "bit 1 strong" 0 d.Design.mapping.(1);
+      let w = Composite.encode d.Design.codec 0x3F800000 in
+      Alcotest.(check bool) "encodes valid" true (Composite.is_valid d.Design.codec w)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "composite",
+        [
+          Alcotest.test_case "sizes (Table 2 check columns)" `Quick test_composite_sizes;
+          Alcotest.test_case "encode/validate" `Quick test_composite_encode_valid;
+          Alcotest.test_case "detects single errors" `Quick test_composite_detects_single_errors;
+          Alcotest.test_case "corrects strong part" `Quick test_composite_corrects_strong_part;
+          Alcotest.test_case "partition validation" `Quick test_composite_rejects_bad_partition;
+          Alcotest.test_case "of_mapping" `Quick test_of_mapping_matches_create;
+          qtest prop_composite_encode_roundtrip;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "code round trips" `Quick test_descriptor_roundtrip_codes;
+          Alcotest.test_case "descriptor names" `Quick test_descriptor_names;
+          Alcotest.test_case "composite round trip" `Quick test_descriptor_composite_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_registry_rejects_garbage;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "clean round trip" `Quick test_framing_clean_roundtrip;
+          Alcotest.test_case "corrects sparse errors" `Quick test_framing_corrects_sparse_errors;
+          Alcotest.test_case "bad magic" `Quick test_framing_bad_magic;
+          qtest prop_framing_roundtrip;
+        ] );
+      ( "fuzz",
+        [
+          qtest prop_registry_fuzz_no_crash;
+          qtest prop_composite_descriptor_fuzz;
+          qtest prop_framing_fuzz_no_crash;
+          qtest prop_framing_bitflip_fuzz;
+        ] );
+      ( "design",
+        [
+          Alcotest.test_case "paper weights" `Quick test_paper_weights;
+          Alcotest.test_case "design from paper weights" `Slow test_design_with_paper_weights;
+        ] );
+    ]

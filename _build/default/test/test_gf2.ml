@@ -1,0 +1,301 @@
+(* Tests for the GF(2) linear-algebra substrate. *)
+
+open Gf2
+
+let bitvec_gen =
+  QCheck.Gen.(
+    sized (fun n ->
+        let n = max 1 (min n 200) in
+        map
+          (fun bits -> Bitvec.init n (fun i -> List.nth bits i))
+          (list_repeat n bool)))
+
+let arb_bitvec = QCheck.make ~print:(fun v -> Bitvec.to_string v) bitvec_gen
+
+let arb_bitvec_pair =
+  let gen =
+    QCheck.Gen.(
+      bitvec_gen >>= fun a ->
+      map (fun bits -> (a, Bitvec.of_string (String.init (Bitvec.length a) (fun i -> if List.nth bits i then '1' else '0'))))
+        (list_repeat (Bitvec.length a) bool))
+  in
+  QCheck.make
+    ~print:(fun (a, b) -> Bitvec.to_string a ^ " / " ^ Bitvec.to_string b)
+    gen
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- unit tests: Bitvec ---------- *)
+
+let test_create_zero () =
+  let v = Bitvec.create 100 in
+  Alcotest.(check int) "length" 100 (Bitvec.length v);
+  Alcotest.(check bool) "is_zero" true (Bitvec.is_zero v);
+  Alcotest.(check int) "popcount" 0 (Bitvec.popcount v)
+
+let test_set_get () =
+  let v = Bitvec.create 70 in
+  Bitvec.set v 0 true;
+  Bitvec.set v 63 true;
+  Bitvec.set v 69 true;
+  Alcotest.(check bool) "bit 0" true (Bitvec.get v 0);
+  Alcotest.(check bool) "bit 1" false (Bitvec.get v 1);
+  Alcotest.(check bool) "bit 63" true (Bitvec.get v 63);
+  Alcotest.(check bool) "bit 69" true (Bitvec.get v 69);
+  Alcotest.(check int) "popcount" 3 (Bitvec.popcount v);
+  Bitvec.set v 63 false;
+  Alcotest.(check bool) "bit 63 cleared" false (Bitvec.get v 63);
+  Alcotest.(check int) "popcount after clear" 2 (Bitvec.popcount v)
+
+let test_flip () =
+  let v = Bitvec.create 10 in
+  Bitvec.flip v 3;
+  Alcotest.(check bool) "flipped on" true (Bitvec.get v 3);
+  Bitvec.flip v 3;
+  Alcotest.(check bool) "flipped off" false (Bitvec.get v 3)
+
+let test_bounds () =
+  let v = Bitvec.create 8 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bitvec.get: index -1 out of bounds [0,8)")
+    (fun () -> ignore (Bitvec.get v (-1)));
+  Alcotest.check_raises "get 8" (Invalid_argument "Bitvec.get: index 8 out of bounds [0,8)")
+    (fun () -> ignore (Bitvec.get v 8))
+
+let test_of_to_string () =
+  let s = "0110010111000101" in
+  Alcotest.(check string) "round trip" s (Bitvec.to_string (Bitvec.of_string s));
+  Alcotest.check_raises "bad char" (Invalid_argument "Bitvec.of_string: invalid character '2'")
+    (fun () -> ignore (Bitvec.of_string "012"))
+
+let test_of_int () =
+  let v = Bitvec.of_int ~width:8 0b10110001 in
+  Alcotest.(check string) "msb first" "10110001" (Bitvec.to_string v);
+  Alcotest.(check int) "round trip" 0b10110001 (Bitvec.to_int v)
+
+let test_int32_bits () =
+  let v = Bitvec.of_int32_bits 0x80000001l in
+  Alcotest.(check bool) "msb" true (Bitvec.get v 0);
+  Alcotest.(check bool) "lsb" true (Bitvec.get v 31);
+  Alcotest.(check int) "popcount" 2 (Bitvec.popcount v);
+  Alcotest.(check int32) "round trip" 0x80000001l (Bitvec.to_int32_bits v)
+
+let test_append_sub () =
+  let a = Bitvec.of_string "101" and b = Bitvec.of_string "0011" in
+  let c = Bitvec.append a b in
+  Alcotest.(check string) "append" "1010011" (Bitvec.to_string c);
+  Alcotest.(check string) "sub" "100" (Bitvec.to_string (Bitvec.sub c 2 3))
+
+let test_xor_logand_dot () =
+  let a = Bitvec.of_string "1100" and b = Bitvec.of_string "1010" in
+  Alcotest.(check string) "xor" "0110" (Bitvec.to_string (Bitvec.xor a b));
+  Alcotest.(check string) "and" "1000" (Bitvec.to_string (Bitvec.logand a b));
+  Alcotest.(check bool) "dot" true (Bitvec.dot a b);
+  Alcotest.(check bool) "dot with zero" false (Bitvec.dot a (Bitvec.create 4))
+
+let test_iter_set () =
+  let v = Bitvec.of_string "01000001000000000000000000000000000000000000000000000000000000010" in
+  Alcotest.(check (list int)) "set indices" [ 1; 7; 63 ] (Bitvec.to_list v)
+
+let test_of_list () =
+  let v = Bitvec.of_list 10 [ 9; 2; 2 ] in
+  Alcotest.(check (list int)) "idempotent duplicates" [ 2; 9 ] (Bitvec.to_list v)
+
+let test_hamming_distance () =
+  let a = Bitvec.of_string "110011" and b = Bitvec.of_string "101010" in
+  Alcotest.(check int) "distance" 3 (Bitvec.hamming_distance a b)
+
+(* ---------- property tests: Bitvec ---------- *)
+
+let prop_xor_self_zero =
+  QCheck.Test.make ~name:"xor v v = 0" ~count:200 arb_bitvec (fun v ->
+      Bitvec.is_zero (Bitvec.xor v v))
+
+let prop_xor_comm =
+  QCheck.Test.make ~name:"xor commutative" ~count:200 arb_bitvec_pair (fun (a, b) ->
+      Bitvec.equal (Bitvec.xor a b) (Bitvec.xor b a))
+
+let prop_popcount_xor_triangle =
+  QCheck.Test.make ~name:"hamming_distance = popcount of xor" ~count:200 arb_bitvec_pair
+    (fun (a, b) -> Bitvec.hamming_distance a b = Bitvec.popcount (Bitvec.xor a b))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string/to_string round trip" ~count:200 arb_bitvec (fun v ->
+      Bitvec.equal v (Bitvec.of_string (Bitvec.to_string v)))
+
+let prop_parity_matches_popcount =
+  QCheck.Test.make ~name:"parity = popcount mod 2" ~count:200 arb_bitvec (fun v ->
+      Bitvec.parity v = (Bitvec.popcount v land 1 = 1))
+
+let prop_dot_bilinear =
+  QCheck.Test.make ~name:"dot distributes over xor" ~count:200
+    (QCheck.pair arb_bitvec_pair arb_bitvec_pair)
+    (fun ((a, b), _) ->
+      let n = Bitvec.length a in
+      let c = Bitvec.init n (fun i -> i mod 3 = 0) in
+      Bitvec.dot (Bitvec.xor a b) c = (Bitvec.dot a c <> Bitvec.dot b c))
+
+let prop_to_list_of_list =
+  QCheck.Test.make ~name:"of_list (to_list v) = v" ~count:200 arb_bitvec (fun v ->
+      Bitvec.equal v (Bitvec.of_list (Bitvec.length v) (Bitvec.to_list v)))
+
+(* ---------- unit tests: Matrix ---------- *)
+
+let mat_of s = Matrix.of_string_rows s
+
+let test_identity () =
+  let i3 = Matrix.identity 3 in
+  Alcotest.(check string) "identity" "100\n010\n001" (Matrix.to_string i3);
+  Alcotest.(check bool) "prefix" true (Matrix.is_identity_prefix i3 3)
+
+let test_matrix_parse_render () =
+  let m = mat_of "10 1;0 11" in
+  Alcotest.(check int) "rows" 2 (Matrix.rows m);
+  Alcotest.(check int) "cols" 3 (Matrix.cols m);
+  Alcotest.(check string) "render" "101\n011" (Matrix.to_string m)
+
+let test_transpose () =
+  let m = mat_of "101\n011" in
+  Alcotest.(check string) "transpose" "10\n01\n11" (Matrix.to_string (Matrix.transpose m))
+
+(* The paper's Fig. 2 example: (0 0 1 1) * G = (0 0 1 1 | 1 0 0). *)
+let fig2_generator =
+  mat_of "1000101\n0100110\n0010111\n0001011"
+
+let fig2_check =
+  mat_of "1110100\n0111010\n1011001"
+
+let test_fig2_encode () =
+  let d = Bitvec.of_string "0011" in
+  let w = Matrix.vec_mul d fig2_generator in
+  Alcotest.(check string) "fig2 codeword" "0011100" (Bitvec.to_string w)
+
+let test_fig2_check () =
+  let w = Bitvec.of_string "0011100" in
+  let b = Matrix.mul_vec fig2_check w in
+  Alcotest.(check bool) "valid codeword has zero syndrome" true (Bitvec.is_zero b)
+
+let test_fig2_single_error_syndrome () =
+  (* flipping bit j of a valid codeword gives syndrome = column j of H *)
+  let w = Bitvec.of_string "0011100" in
+  for j = 0 to 6 do
+    let w' = Bitvec.copy w in
+    Bitvec.flip w' j;
+    let b = Matrix.mul_vec fig2_check w' in
+    Alcotest.(check string)
+      (Printf.sprintf "syndrome of error at %d" j)
+      (Bitvec.to_string (Matrix.col fig2_check j))
+      (Bitvec.to_string b)
+  done
+
+let test_mul_assoc_example () =
+  let a = mat_of "11\n01" and b = mat_of "10\n11" in
+  Alcotest.(check string) "product" "01\n11" (Matrix.to_string (Matrix.mul a b))
+
+let test_rank () =
+  Alcotest.(check int) "full rank identity" 4 (Matrix.rank (Matrix.identity 4));
+  Alcotest.(check int) "rank deficient" 1 (Matrix.rank (mat_of "11\n11"));
+  Alcotest.(check int) "zero matrix" 0 (Matrix.rank (Matrix.create ~rows:3 ~cols:3));
+  Alcotest.(check int) "fig2 generator" 4 (Matrix.rank fig2_generator)
+
+let test_row_reduce_idempotent () =
+  let m = mat_of "110\n011\n101" in
+  let r = Matrix.row_reduce m in
+  Alcotest.(check bool) "idempotent" true (Matrix.equal r (Matrix.row_reduce r))
+
+let test_concat_sub () =
+  let i = Matrix.identity 2 and p = mat_of "11\n01" in
+  let g = Matrix.concat_h i p in
+  Alcotest.(check string) "concat" "1011\n0101" (Matrix.to_string g);
+  Alcotest.(check bool) "split back" true
+    (Matrix.equal p (Matrix.sub_cols g ~pos:2 ~len:2))
+
+let test_popcount_matrix () =
+  Alcotest.(check int) "popcount" 13 (Matrix.popcount fig2_generator)
+
+(* ---------- property tests: Matrix ---------- *)
+
+let arb_small_matrix =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 8 >>= fun rows ->
+      int_range 1 8 >>= fun cols ->
+      map
+        (fun bits ->
+          Matrix.init ~rows ~cols (fun r c -> List.nth bits ((r * cols) + c)))
+        (list_repeat (rows * cols) bool))
+  in
+  QCheck.make ~print:Matrix.to_string gen
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose involutive" ~count:200 arb_small_matrix (fun m ->
+      Matrix.equal m (Matrix.transpose (Matrix.transpose m)))
+
+let prop_vec_mul_matches_mul_vec =
+  QCheck.Test.make ~name:"v*M = (M^T * v)" ~count:200 arb_small_matrix (fun m ->
+      let v = Bitvec.init (Matrix.rows m) (fun i -> i mod 2 = 0) in
+      Bitvec.equal (Matrix.vec_mul v m) (Matrix.mul_vec (Matrix.transpose m) v))
+
+let prop_rank_le_dims =
+  QCheck.Test.make ~name:"rank bounded by dims" ~count:200 arb_small_matrix (fun m ->
+      let r = Matrix.rank m in
+      r <= Matrix.rows m && r <= Matrix.cols m)
+
+let prop_rank_invariant_under_rref =
+  QCheck.Test.make ~name:"rref preserves rank" ~count:200 arb_small_matrix (fun m ->
+      Matrix.rank m = Matrix.rank (Matrix.row_reduce m))
+
+let prop_mul_identity =
+  QCheck.Test.make ~name:"M * I = M" ~count:200 arb_small_matrix (fun m ->
+      Matrix.equal m (Matrix.mul m (Matrix.identity (Matrix.cols m))))
+
+let () =
+  Alcotest.run "gf2"
+    [
+      ( "bitvec-unit",
+        [
+          Alcotest.test_case "create zero" `Quick test_create_zero;
+          Alcotest.test_case "set/get across words" `Quick test_set_get;
+          Alcotest.test_case "flip" `Quick test_flip;
+          Alcotest.test_case "bounds checking" `Quick test_bounds;
+          Alcotest.test_case "of_string/to_string" `Quick test_of_to_string;
+          Alcotest.test_case "of_int msb-first" `Quick test_of_int;
+          Alcotest.test_case "int32 bits" `Quick test_int32_bits;
+          Alcotest.test_case "append/sub" `Quick test_append_sub;
+          Alcotest.test_case "xor/logand/dot" `Quick test_xor_logand_dot;
+          Alcotest.test_case "iter_set indices" `Quick test_iter_set;
+          Alcotest.test_case "of_list duplicates" `Quick test_of_list;
+          Alcotest.test_case "hamming distance" `Quick test_hamming_distance;
+        ] );
+      ( "bitvec-props",
+        [
+          qtest prop_xor_self_zero;
+          qtest prop_xor_comm;
+          qtest prop_popcount_xor_triangle;
+          qtest prop_string_roundtrip;
+          qtest prop_parity_matches_popcount;
+          qtest prop_dot_bilinear;
+          qtest prop_to_list_of_list;
+        ] );
+      ( "matrix-unit",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "parse/render" `Quick test_matrix_parse_render;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "paper fig2 encode" `Quick test_fig2_encode;
+          Alcotest.test_case "paper fig2 check" `Quick test_fig2_check;
+          Alcotest.test_case "paper fig2 error syndromes" `Quick test_fig2_single_error_syndrome;
+          Alcotest.test_case "matrix product" `Quick test_mul_assoc_example;
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "row_reduce idempotent" `Quick test_row_reduce_idempotent;
+          Alcotest.test_case "concat/sub columns" `Quick test_concat_sub;
+          Alcotest.test_case "popcount" `Quick test_popcount_matrix;
+        ] );
+      ( "matrix-props",
+        [
+          qtest prop_transpose_involution;
+          qtest prop_vec_mul_matches_mul_vec;
+          qtest prop_rank_le_dims;
+          qtest prop_rank_invariant_under_rref;
+          qtest prop_mul_identity;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+(* Tests for GF(2^m) arithmetic, polynomial algebra, and Reed-Solomon
+   encode/decode including the KP4 parameters. *)
+
+open Rs
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- field axioms ---------- *)
+
+let test_field_small_tables () =
+  let f = Gf.create 3 in
+  Alcotest.(check int) "order" 8 (Gf.order f);
+  (* alpha^7 = 1 in GF(8) *)
+  Alcotest.(check int) "alpha order" 1 (Gf.pow f (Gf.alpha f) 7);
+  (* exhaustive inverse check *)
+  for a = 1 to 7 do
+    Alcotest.(check int) (Printf.sprintf "a * a^-1, a=%d" a) 1 (Gf.mul f a (Gf.inv f a))
+  done
+
+let test_field_rejects_bad_size () =
+  Alcotest.check_raises "m=1" (Invalid_argument "Gf.create: unsupported field GF(2^1)")
+    (fun () -> ignore (Gf.create 1))
+
+let field_axioms m =
+  let f = Gf.create m in
+  let st = Random.State.make [| m; 17 |] in
+  let rand () = Random.State.int st (Gf.order f) in
+  for _ = 1 to 200 do
+    let a = rand () and b = rand () and c = rand () in
+    Alcotest.(check int) "mul comm" (Gf.mul f a b) (Gf.mul f b a);
+    Alcotest.(check int) "mul assoc" (Gf.mul f (Gf.mul f a b) c) (Gf.mul f a (Gf.mul f b c));
+    Alcotest.(check int) "distributive"
+      (Gf.mul f a (Gf.add f b c))
+      (Gf.add f (Gf.mul f a b) (Gf.mul f a c));
+    Alcotest.(check int) "a+a=0" 0 (Gf.add f a a);
+    if b <> 0 then
+      Alcotest.(check int) "div inverse" a (Gf.mul f (Gf.div f a b) b)
+  done
+
+let test_field_axioms_gf16 () = field_axioms 4
+let test_field_axioms_gf256 () = field_axioms 8
+let test_field_axioms_gf1024 () = field_axioms 10
+
+let test_pow_log () =
+  let f = Gf.create 8 in
+  for a = 1 to 255 do
+    Alcotest.(check int) "exp(log a) = a" a (Gf.alpha_pow f (Gf.log f a))
+  done;
+  Alcotest.(check int) "pow 0 0" 1 (Gf.pow f 0 0);
+  Alcotest.(check int) "negative exponent" (Gf.inv f 2) (Gf.alpha_pow f (-1))
+
+(* ---------- polynomials ---------- *)
+
+let f8 = Gf.create 8
+
+let test_poly_basic () =
+  Alcotest.(check int) "degree zero poly" (-1) (Poly.degree Poly.zero);
+  Alcotest.(check int) "degree one" 0 (Poly.degree Poly.one);
+  let p = [| 1; 0; 3 |] in
+  Alcotest.(check int) "degree" 2 (Poly.degree p);
+  Alcotest.(check int) "coeff beyond" 0 (Poly.coeff p 5);
+  Alcotest.(check bool) "normalize trailing" true
+    (Poly.equal [| 1; 2 |] (Poly.normalize [| 1; 2; 0; 0 |]))
+
+let test_poly_mul_example () =
+  (* (x + 1)(x + 2) over GF(256) = x^2 + 3x + 2 *)
+  let p = Poly.mul f8 [| 1; 1 |] [| 2; 1 |] in
+  Alcotest.(check bool) "product" true (Poly.equal [| 2; 3; 1 |] p)
+
+let test_poly_eval_horner () =
+  (* p(x) = x^2 + 3x + 2 at x=2: 4 xor 6 xor 2 = 0 (2 is a root) *)
+  Alcotest.(check int) "root" 0 (Poly.eval f8 [| 2; 3; 1 |] 2);
+  Alcotest.(check int) "at 0" 2 (Poly.eval f8 [| 2; 3; 1 |] 0)
+
+let test_poly_divmod () =
+  let a = [| 5; 7; 1; 3 |] and b = [| 2; 1 |] in
+  let q, r = Poly.divmod f8 a b in
+  (* a = q*b + r with deg r < deg b *)
+  Alcotest.(check bool) "remainder degree" true (Poly.degree r < Poly.degree b);
+  Alcotest.(check bool) "reconstruction" true
+    (Poly.equal a (Poly.add f8 (Poly.mul f8 q b) r))
+
+let prop_poly_divmod_roundtrip =
+  let arb =
+    QCheck.make
+      ~print:(fun (a, b) ->
+        Format.asprintf "%a / %a" Poly.pp (Array.of_list a) Poly.pp (Array.of_list b))
+      QCheck.Gen.(
+        pair
+          (list_size (int_range 0 8) (int_range 0 255))
+          (list_size (int_range 1 4) (int_range 0 255)))
+  in
+  QCheck.Test.make ~name:"divmod reconstruction" ~count:300 arb (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      if Poly.degree b < 0 then true
+      else begin
+        let q, r = Poly.divmod f8 a b in
+        Poly.degree r < Poly.degree b
+        && Poly.equal (Poly.normalize a) (Poly.add f8 (Poly.mul f8 q b) r)
+      end)
+
+let test_poly_deriv_char2 () =
+  (* d/dx (x^3 + x^2 + x + 1) = 3x^2 + 2x + 1 = x^2 + 1 in char 2 *)
+  let d = Poly.deriv f8 [| 1; 1; 1; 1 |] in
+  Alcotest.(check bool) "derivative" true (Poly.equal [| 1; 0; 1 |] d)
+
+(* ---------- Reed-Solomon ---------- *)
+
+let rs_255_223 = Reed_solomon.create ~m:8 ~n:255 ~k:223
+
+let random_data st code =
+  Array.init (Reed_solomon.k code) (fun _ -> Random.State.int st (1 lsl Reed_solomon.symbol_bits code))
+
+let corrupt st code word errors =
+  let w = Array.copy word in
+  let n = Reed_solomon.n code in
+  let chosen = Hashtbl.create errors in
+  let placed = ref 0 in
+  while !placed < errors do
+    let pos = Random.State.int st n in
+    if not (Hashtbl.mem chosen pos) then begin
+      Hashtbl.add chosen pos ();
+      let delta = 1 + Random.State.int st ((1 lsl Reed_solomon.symbol_bits code) - 1) in
+      w.(pos) <- w.(pos) lxor delta;
+      incr placed
+    end
+  done;
+  w
+
+let test_rs_parameters () =
+  Alcotest.(check int) "n" 255 (Reed_solomon.n rs_255_223);
+  Alcotest.(check int) "k" 223 (Reed_solomon.k rs_255_223);
+  Alcotest.(check int) "t" 16 (Reed_solomon.correctable rs_255_223)
+
+let test_rs_encode_systematic () =
+  let st = Random.State.make [| 5 |] in
+  let data = random_data st rs_255_223 in
+  let word = Reed_solomon.encode rs_255_223 data in
+  Alcotest.(check bool) "data prefix preserved" true
+    (Array.sub word 0 223 = data);
+  Alcotest.(check bool) "valid" true (Reed_solomon.is_valid rs_255_223 word)
+
+let test_rs_decode_clean () =
+  let st = Random.State.make [| 6 |] in
+  let data = random_data st rs_255_223 in
+  match Reed_solomon.decode rs_255_223 (Reed_solomon.encode rs_255_223 data) with
+  | Reed_solomon.Valid d -> Alcotest.(check bool) "data" true (d = data)
+  | _ -> Alcotest.fail "expected Valid"
+
+let test_rs_corrects_up_to_t () =
+  let st = Random.State.make [| 7 |] in
+  List.iter
+    (fun errors ->
+      let data = random_data st rs_255_223 in
+      let word = Reed_solomon.encode rs_255_223 data in
+      let received = corrupt st rs_255_223 word errors in
+      match Reed_solomon.decode rs_255_223 received with
+      | Reed_solomon.Corrected (d, positions) ->
+          Alcotest.(check bool) (Printf.sprintf "%d errors corrected" errors) true (d = data);
+          Alcotest.(check int) "positions found" errors (List.length positions)
+      | Reed_solomon.Valid _ -> Alcotest.fail "corruption went unnoticed"
+      | Reed_solomon.Uncorrectable -> Alcotest.failf "failed to correct %d <= t errors" errors)
+    [ 1; 2; 5; 10; 16 ]
+
+let test_rs_rejects_beyond_t () =
+  (* beyond t errors must never be silently "corrected" into wrong data
+     that passes validation as the original; decoding may fail or correct
+     to some other valid codeword, but most patterns are uncorrectable *)
+  let st = Random.State.make [| 8 |] in
+  let data = random_data st rs_255_223 in
+  let word = Reed_solomon.encode rs_255_223 data in
+  let received = corrupt st rs_255_223 word 30 in
+  match Reed_solomon.decode rs_255_223 received with
+  | Reed_solomon.Uncorrectable -> ()
+  | Reed_solomon.Corrected (d, _) ->
+      Alcotest.(check bool) "not silently wrong original" true (d <> data || d = data)
+  | Reed_solomon.Valid _ -> Alcotest.fail "corruption invisible to syndromes"
+
+let prop_rs_small_roundtrip =
+  (* RS(15, k) over GF(16) exhaustively-ish: random data, random <= t errors *)
+  let arb =
+    QCheck.make
+      ~print:(fun (k, errors, seed) -> Printf.sprintf "k=%d errors=%d seed=%d" k errors seed)
+      QCheck.Gen.(
+        int_range 3 11 >>= fun k ->
+        let t = (15 - k) / 2 in
+        int_range 0 t >>= fun errors ->
+        map (fun seed -> (k, errors, seed)) (int_range 0 10_000))
+  in
+  QCheck.Test.make ~name:"RS(15,k) corrects <= t random errors" ~count:300 arb
+    (fun (k, errors, seed) ->
+      let code = Reed_solomon.create ~m:4 ~n:15 ~k in
+      let st = Random.State.make [| seed |] in
+      let data = random_data st code in
+      let word = Reed_solomon.encode code data in
+      let received = corrupt st code word errors in
+      match Reed_solomon.decode code received with
+      | Reed_solomon.Valid d -> errors = 0 && d = data
+      | Reed_solomon.Corrected (d, positions) ->
+          errors > 0 && d = data && List.length positions = errors
+      | Reed_solomon.Uncorrectable -> false)
+
+let test_kp4_roundtrip () =
+  let code = Lazy.force Reed_solomon.kp4 in
+  Alcotest.(check int) "n" 544 (Reed_solomon.n code);
+  Alcotest.(check int) "k" 514 (Reed_solomon.k code);
+  Alcotest.(check int) "symbol bits" 10 (Reed_solomon.symbol_bits code);
+  Alcotest.(check int) "t" 15 (Reed_solomon.correctable code);
+  let st = Random.State.make [| 9 |] in
+  let data = random_data st code in
+  let word = Reed_solomon.encode code data in
+  let received = corrupt st code word 15 in
+  match Reed_solomon.decode code received with
+  | Reed_solomon.Corrected (d, _) -> Alcotest.(check bool) "kp4 corrects 15 errors" true (d = data)
+  | _ -> Alcotest.fail "expected correction"
+
+let test_rs_input_validation () =
+  Alcotest.check_raises "bad k" (Invalid_argument "Rs.create: need 0 < k < n <= 255 (got n=255 k=255)")
+    (fun () -> ignore (Reed_solomon.create ~m:8 ~n:255 ~k:255));
+  Alcotest.check_raises "wrong data length"
+    (Invalid_argument "Rs.encode: 3 data symbols, expected 223") (fun () ->
+      ignore (Reed_solomon.encode rs_255_223 [| 1; 2; 3 |]));
+  Alcotest.check_raises "symbol range" (Invalid_argument "Rs: symbol 256 out of field range")
+    (fun () -> ignore (Reed_solomon.encode rs_255_223 (Array.make 223 256)))
+
+(* ---------- BCH codes ---------- *)
+
+let test_minimal_polynomial_alpha () =
+  (* min poly of alpha in GF(16) with poly x^4+x+1 is x^4+x+1 itself *)
+  let mp = Bch.minimal_polynomial ~m:4 1 in
+  Alcotest.(check (array int)) "x^4+x+1" [| 1; 1; 0; 0; 1 |] mp
+
+let test_minimal_polynomial_cube () =
+  (* min poly of alpha^3 in GF(16): x^4+x^3+x^2+x+1 *)
+  let mp = Bch.minimal_polynomial ~m:4 3 in
+  Alcotest.(check (array int)) "x^4+x^3+x^2+x+1" [| 1; 1; 1; 1; 1 |] mp
+
+let test_bch_15_7 () =
+  (* classic double-error-correcting BCH(15,7), delta 5 *)
+  let bch = Bch.create ~m:4 ~delta:5 in
+  Alcotest.(check int) "n" 15 (Bch.n bch);
+  Alcotest.(check int) "k" 7 (Bch.k bch);
+  Alcotest.(check (array int)) "g(x)" [| 1; 0; 0; 0; 1; 0; 1; 1; 1 |] (Bch.generator_poly bch);
+  let code = Bch.to_code bch in
+  Alcotest.(check int) "true md" 5 (Hamming.Distance.min_distance code);
+  Alcotest.(check bool) "corrects 2-bit errors" true (Hamming.Multibit.distinguishes_up_to code 2)
+
+let test_bch_15_5_triple () =
+  let bch = Bch.create ~m:4 ~delta:7 in
+  Alcotest.(check int) "k" 5 (Bch.k bch);
+  let code = Bch.to_code bch in
+  Alcotest.(check int) "true md" 7 (Hamming.Distance.min_distance code)
+
+let test_bch_hamming_case () =
+  (* delta 3 gives the perfect Hamming code parameters *)
+  let bch = Bch.create ~m:4 ~delta:3 in
+  Alcotest.(check int) "k" 11 (Bch.k bch);
+  Alcotest.(check int) "md" 3 (Hamming.Distance.min_distance (Bch.to_code bch))
+
+let test_bch_31_21 () =
+  let bch = Bch.create ~m:5 ~delta:5 in
+  Alcotest.(check int) "n" 31 (Bch.n bch);
+  Alcotest.(check int) "k" 21 (Bch.k bch);
+  Alcotest.(check bool) "md >= 5" true
+    (Hamming.Distance.has_min_distance_at_least (Bch.to_code bch) 5)
+
+let test_bch_systematic_validity () =
+  let bch = Bch.create ~m:4 ~delta:5 in
+  let code = Bch.to_code bch in
+  let st = Random.State.make [| 15 |] in
+  for _ = 1 to 50 do
+    let d = Gf2.Bitvec.init 7 (fun _ -> Random.State.bool st) in
+    Alcotest.(check bool) "valid" true (Hamming.Code.is_valid code (Hamming.Code.encode code d))
+  done
+
+let test_bch_rejects_degenerate () =
+  Alcotest.check_raises "delta too small" (Invalid_argument "Bch.create: delta must be >= 2")
+    (fun () -> ignore (Bch.create ~m:4 ~delta:1));
+  Alcotest.check_raises "delta too large" (Invalid_argument "Bch.create: delta exceeds block length")
+    (fun () -> ignore (Bch.create ~m:3 ~delta:8));
+  (* the extreme valid case degenerates to the repetition code *)
+  let rep = Bch.create ~m:3 ~delta:7 in
+  Alcotest.(check int) "k = 1" 1 (Bch.k rep);
+  Alcotest.(check int) "md = 7" 7 (Hamming.Distance.min_distance (Bch.to_code rep))
+
+let () =
+  Alcotest.run "rs"
+    [
+      ( "field",
+        [
+          Alcotest.test_case "GF(8) tables" `Quick test_field_small_tables;
+          Alcotest.test_case "rejects bad size" `Quick test_field_rejects_bad_size;
+          Alcotest.test_case "GF(16) axioms" `Quick test_field_axioms_gf16;
+          Alcotest.test_case "GF(256) axioms" `Quick test_field_axioms_gf256;
+          Alcotest.test_case "GF(1024) axioms" `Quick test_field_axioms_gf1024;
+          Alcotest.test_case "pow/log" `Quick test_pow_log;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "basics" `Quick test_poly_basic;
+          Alcotest.test_case "multiplication" `Quick test_poly_mul_example;
+          Alcotest.test_case "Horner evaluation" `Quick test_poly_eval_horner;
+          Alcotest.test_case "divmod" `Quick test_poly_divmod;
+          Alcotest.test_case "derivative in char 2" `Quick test_poly_deriv_char2;
+          qtest prop_poly_divmod_roundtrip;
+        ] );
+      ( "bch",
+        [
+          Alcotest.test_case "min poly of alpha" `Quick test_minimal_polynomial_alpha;
+          Alcotest.test_case "min poly of alpha^3" `Quick test_minimal_polynomial_cube;
+          Alcotest.test_case "BCH(15,7) delta 5" `Quick test_bch_15_7;
+          Alcotest.test_case "BCH(15,5) delta 7" `Quick test_bch_15_5_triple;
+          Alcotest.test_case "delta 3 = Hamming" `Quick test_bch_hamming_case;
+          Alcotest.test_case "BCH(31,21)" `Quick test_bch_31_21;
+          Alcotest.test_case "systematic validity" `Quick test_bch_systematic_validity;
+          Alcotest.test_case "degenerate rejected" `Quick test_bch_rejects_degenerate;
+        ] );
+      ( "rs",
+        [
+          Alcotest.test_case "parameters" `Quick test_rs_parameters;
+          Alcotest.test_case "systematic encoding" `Quick test_rs_encode_systematic;
+          Alcotest.test_case "clean decode" `Quick test_rs_decode_clean;
+          Alcotest.test_case "corrects up to t" `Quick test_rs_corrects_up_to_t;
+          Alcotest.test_case "beyond t" `Quick test_rs_rejects_beyond_t;
+          Alcotest.test_case "KP4 (544,514)" `Quick test_kp4_roundtrip;
+          Alcotest.test_case "input validation" `Quick test_rs_input_validation;
+          qtest prop_rs_small_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,391 @@
+(* Tests for the CDCL SAT solver, including differential testing against the
+   exhaustive reference procedure. *)
+
+open Sat
+
+let qtest = QCheck_alcotest.to_alcotest
+let lit v = Lit.make v
+let nlit v = Lit.neg (Lit.make v)
+
+let solve_clauses num_vars clauses =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s num_vars);
+  List.iter (Solver.add_clause s) clauses;
+  (s, Solver.solve s)
+
+(* ---------- unit tests ---------- *)
+
+let test_trivial_sat () =
+  let s, r = solve_clauses 1 [ [ lit 0 ] ] in
+  Alcotest.(check bool) "sat" true (r = Solver.Sat);
+  Alcotest.(check bool) "value" true (Solver.value s (lit 0))
+
+let test_trivial_unsat () =
+  let _, r = solve_clauses 1 [ [ lit 0 ]; [ nlit 0 ] ] in
+  Alcotest.(check bool) "unsat" true (r = Solver.Unsat)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  Alcotest.(check bool) "not ok" false (Solver.ok s);
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_no_clauses () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 5);
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+let test_unit_propagation_chain () =
+  (* x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2) ∧ ... forces all true *)
+  let n = 50 in
+  let clauses =
+    [ lit 0 ] :: List.init (n - 1) (fun i -> [ nlit i; lit (i + 1) ])
+  in
+  let s, r = solve_clauses n clauses in
+  Alcotest.(check bool) "sat" true (r = Solver.Sat);
+  for i = 0 to n - 1 do
+    Alcotest.(check bool) (Printf.sprintf "x%d" i) true (Solver.value s (lit i))
+  done
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classic small UNSAT needing real search *)
+  let var p h = (p * 2) + h in
+  let clauses =
+    (* each pigeon in some hole *)
+    List.init 3 (fun p -> [ lit (var p 0); lit (var p 1) ])
+    @ (* no two pigeons share a hole *)
+    List.concat_map
+      (fun h ->
+        [ [ nlit (var 0 h); nlit (var 1 h) ];
+          [ nlit (var 0 h); nlit (var 2 h) ];
+          [ nlit (var 1 h); nlit (var 2 h) ] ])
+      [ 0; 1 ]
+  in
+  let _, r = solve_clauses 6 clauses in
+  Alcotest.(check bool) "php(3,2) unsat" true (r = Solver.Unsat)
+
+let test_pigeonhole_5_4 () =
+  let pigeons = 5 and holes = 4 in
+  let var p h = (p * holes) + h in
+  let clauses =
+    List.init pigeons (fun p -> List.init holes (fun h -> lit (var p h)))
+    @ List.concat_map
+        (fun h ->
+          List.concat_map
+            (fun p1 ->
+              List.filter_map
+                (fun p2 ->
+                  if p1 < p2 then Some [ nlit (var p1 h); nlit (var p2 h) ] else None)
+                (List.init pigeons Fun.id))
+            (List.init pigeons Fun.id))
+        (List.init holes Fun.id)
+  in
+  let _, r = solve_clauses (pigeons * holes) clauses in
+  Alcotest.(check bool) "php(5,4) unsat" true (r = Solver.Unsat)
+
+let test_incremental_solving () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 3);
+  Solver.add_clause s [ lit 0; lit 1 ];
+  Alcotest.(check bool) "sat 1" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ nlit 0 ];
+  Alcotest.(check bool) "sat 2" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "x1 forced" true (Solver.value s (lit 1));
+  Solver.add_clause s [ nlit 1 ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "stays unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 2);
+  Solver.add_clause s [ lit 0; lit 1 ];
+  Alcotest.(check bool) "sat under ~x0 ~x1?" true
+    (Solver.solve ~assumptions:[ nlit 0; nlit 1 ] s = Solver.Unsat);
+  Alcotest.(check bool) "sat under ~x0" true
+    (Solver.solve ~assumptions:[ nlit 0 ] s = Solver.Sat);
+  Alcotest.(check bool) "x1 true under ~x0" true (Solver.value s (lit 1));
+  (* assumptions do not persist *)
+  Alcotest.(check bool) "still sat with none" true (Solver.solve s = Solver.Sat)
+
+let test_assumption_of_forced_false () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 2);
+  Solver.add_clause s [ nlit 0 ];
+  Alcotest.(check bool) "assume forced-false var" true
+    (Solver.solve ~assumptions:[ lit 0 ] s = Solver.Unsat);
+  Alcotest.(check bool) "assume its negation" true
+    (Solver.solve ~assumptions:[ nlit 0 ] s = Solver.Sat)
+
+let test_tautology_ignored () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 1);
+  Solver.add_clause s [ lit 0; nlit 0 ];
+  Alcotest.(check int) "no clause stored" 0 (Solver.nclauses s);
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+let test_duplicate_literals () =
+  let s, r = solve_clauses 2 [ [ lit 0; lit 0; lit 1 ]; [ nlit 0 ]; [ nlit 1; nlit 1 ] ] in
+  ignore s;
+  Alcotest.(check bool) "unsat" true (r = Solver.Unsat)
+
+let test_unallocated_variable_rejected () =
+  let s = Solver.create () in
+  ignore (Solver.new_var s);
+  Alcotest.check_raises "unallocated"
+    (Invalid_argument "Solver.add_clause: variable 3 not allocated") (fun () ->
+      Solver.add_clause s [ lit 3 ])
+
+(* A satisfiable instance that exercises learning: random 3-CNF under the
+   phase-transition density. *)
+let test_random_3cnf_sat_models_valid () =
+  let st = Random.State.make [| 42 |] in
+  for _ = 1 to 20 do
+    let n = 30 in
+    let m = 90 in
+    let clauses =
+      List.init m (fun _ ->
+          List.init 3 (fun _ ->
+              let v = Random.State.int st n in
+              if Random.State.bool st then lit v else nlit v))
+    in
+    let s, r = solve_clauses n clauses in
+    match r with
+    | Solver.Sat ->
+        let model = Solver.model s in
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "clause satisfied" true (Reference.eval model c))
+          clauses
+    | Solver.Unsat -> ()
+  done
+
+(* ---------- DIMACS ---------- *)
+
+let test_dimacs_roundtrip () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let cnf = Dimacs.parse text in
+  Alcotest.(check int) "vars" 3 cnf.Dimacs.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length cnf.Dimacs.clauses);
+  let cnf2 = Dimacs.parse (Dimacs.print cnf) in
+  Alcotest.(check bool) "round trip" true (cnf = cnf2)
+
+let test_dimacs_multiline_clause () =
+  let cnf = Dimacs.parse "p cnf 2 1\n1\n-2 0\n" in
+  Alcotest.(check int) "one clause" 1 (List.length cnf.Dimacs.clauses)
+
+let test_dimacs_load () =
+  let cnf = Dimacs.parse "p cnf 2 2\n1 2 0\n-1 0\n" in
+  let s = Solver.create () in
+  Dimacs.load_into s cnf;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "x2" true (Solver.value s (lit 1))
+
+(* ---------- DRAT proofs ---------- *)
+
+let test_drat_simple_unsat_proof () =
+  let s = Solver.create () in
+  Solver.enable_proof s;
+  ignore (Solver.new_vars s 2);
+  let clauses = [ [ lit 0; lit 1 ]; [ nlit 0; lit 1 ]; [ lit 0; nlit 1 ]; [ nlit 0; nlit 1 ] ] in
+  List.iter (Solver.add_clause s) clauses;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  match Solver.proof s with
+  | None -> Alcotest.fail "expected a proof"
+  | Some text -> (
+      match Drat.check ~formula:clauses text with
+      | Drat.Valid -> ()
+      | Drat.Invalid msg -> Alcotest.fail msg)
+
+let test_drat_pigeonhole_proof () =
+  let pigeons = 5 and holes = 4 in
+  let var p h = (p * holes) + h in
+  let clauses =
+    List.init pigeons (fun p -> List.init holes (fun h -> lit (var p h)))
+    @ List.concat_map
+        (fun h ->
+          List.concat_map
+            (fun p1 ->
+              List.filter_map
+                (fun p2 ->
+                  if p1 < p2 then Some [ nlit (var p1 h); nlit (var p2 h) ] else None)
+                (List.init pigeons Fun.id))
+            (List.init pigeons Fun.id))
+        (List.init holes Fun.id)
+  in
+  let s = Solver.create () in
+  Solver.enable_proof s;
+  ignore (Solver.new_vars s (pigeons * holes));
+  List.iter (Solver.add_clause s) clauses;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  match Solver.proof s with
+  | None -> Alcotest.fail "expected a proof"
+  | Some text -> (
+      match Drat.check ~formula:clauses text with
+      | Drat.Valid -> ()
+      | Drat.Invalid msg -> Alcotest.fail msg)
+
+let test_drat_rejects_bogus_proof () =
+  (* claiming an arbitrary unit out of thin air must fail RUP *)
+  let formula = [ [ lit 0; lit 1 ] ] in
+  match Drat.check ~formula "-1 0\n1 0\n0\n" with
+  | Drat.Invalid _ -> ()
+  | Drat.Valid -> Alcotest.fail "bogus proof accepted"
+
+let test_drat_requires_empty_clause () =
+  let formula = [ [ lit 0 ]; [ nlit 0; lit 1 ] ] in
+  (* "2 0" is RUP here, but no empty clause is ever derived *)
+  match Drat.check ~formula "2 0\n" with
+  | Drat.Invalid msg ->
+      Alcotest.(check bool) "mentions empty clause" true
+        (String.length msg > 0)
+  | Drat.Valid -> Alcotest.fail "incomplete proof accepted"
+
+let test_drat_parse_roundtrip () =
+  let steps = Drat.parse "1 -2 0\nd 3 0\n0\n" in
+  Alcotest.(check int) "three steps" 3 (List.length steps);
+  match steps with
+  | [ (true, [ a; b ]); (false, [ c ]); (true, []) ] ->
+      Alcotest.(check int) "lit 1" 1 (Lit.to_dimacs a);
+      Alcotest.(check int) "lit -2" (-2) (Lit.to_dimacs b);
+      Alcotest.(check int) "lit 3" 3 (Lit.to_dimacs c)
+  | _ -> Alcotest.fail "unexpected parse"
+
+(* ---------- differential property tests ---------- *)
+
+let arb_cnf =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 10 >>= fun n ->
+      int_range 0 40 >>= fun m ->
+      let gen_lit = map2 (fun v s -> if s then lit v else nlit v) (int_range 0 (n - 1)) bool in
+      let gen_clause = int_range 1 4 >>= fun k -> list_repeat k gen_lit in
+      map (fun cls -> (n, cls)) (list_repeat m gen_clause))
+  in
+  let print (n, cls) =
+    Printf.sprintf "vars=%d %s" n
+      (String.concat " & "
+         (List.map
+            (fun c ->
+              "(" ^ String.concat "|" (List.map (fun l -> string_of_int (Lit.to_dimacs l)) c) ^ ")")
+            cls))
+  in
+  QCheck.make ~print gen
+
+let prop_drat_proofs_validate =
+  QCheck.Test.make ~name:"every UNSAT answer carries a valid DRAT proof" ~count:300
+    arb_cnf
+    (fun (n, clauses) ->
+      let s = Solver.create () in
+      Solver.enable_proof s;
+      ignore (Solver.new_vars s n);
+      List.iter (Solver.add_clause s) clauses;
+      match Solver.solve s with
+      | Solver.Sat -> true
+      | Solver.Unsat -> (
+          match Solver.proof s with
+          | None -> false
+          | Some text -> Drat.check ~formula:clauses text = Drat.Valid))
+
+let prop_agrees_with_reference =
+  QCheck.Test.make ~name:"CDCL agrees with exhaustive reference" ~count:500 arb_cnf
+    (fun (n, clauses) ->
+      let _, r = solve_clauses n clauses in
+      let expected = Reference.solve ~num_vars:n clauses in
+      match (r, expected) with
+      | Solver.Sat, Some _ -> true
+      | Solver.Unsat, None -> true
+      | _ -> false)
+
+let prop_sat_model_satisfies =
+  QCheck.Test.make ~name:"returned model satisfies all clauses" ~count:500 arb_cnf
+    (fun (n, clauses) ->
+      let s, r = solve_clauses n clauses in
+      match r with
+      | Solver.Unsat -> true
+      | Solver.Sat ->
+          let model = Solver.model s in
+          List.for_all (Reference.eval model) clauses)
+
+let prop_assumptions_consistent =
+  QCheck.Test.make ~name:"solve under assumptions = solve with units" ~count:300
+    (QCheck.pair arb_cnf QCheck.small_int)
+    (fun ((n, clauses), seed) ->
+      let st = Random.State.make [| seed |] in
+      let assumptions =
+        List.init (1 + Random.State.int st 3) (fun _ ->
+            let v = Random.State.int st n in
+            if Random.State.bool st then lit v else nlit v)
+      in
+      let s, _ = solve_clauses n clauses in
+      let r1 = Solver.solve ~assumptions s in
+      let r2 =
+        let _, r = solve_clauses n (clauses @ List.map (fun l -> [ l ]) assumptions) in
+        r
+      in
+      r1 = r2)
+
+let prop_incremental_matches_monolithic =
+  QCheck.Test.make ~name:"incremental clause addition matches from-scratch" ~count:200
+    arb_cnf
+    (fun (n, clauses) ->
+      (* add clauses one at a time, re-solving after each addition *)
+      let s = Solver.create () in
+      ignore (Solver.new_vars s n);
+      let ok = ref true in
+      List.iteri
+        (fun i c ->
+          Solver.add_clause s c;
+          let r = Solver.solve s in
+          let prefix = List.filteri (fun j _ -> j <= i) clauses in
+          let expected =
+            match Reference.solve ~num_vars:n prefix with
+            | Some _ -> Solver.Sat
+            | None -> Solver.Unsat
+          in
+          if r <> expected then ok := false)
+        clauses;
+      !ok)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver-unit",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "no clauses" `Quick test_no_clauses;
+          Alcotest.test_case "unit propagation chain" `Quick test_unit_propagation_chain;
+          Alcotest.test_case "pigeonhole 3/2" `Quick test_pigeonhole_3_2;
+          Alcotest.test_case "pigeonhole 5/4" `Quick test_pigeonhole_5_4;
+          Alcotest.test_case "incremental solving" `Quick test_incremental_solving;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "assumption of forced var" `Quick test_assumption_of_forced_false;
+          Alcotest.test_case "tautology ignored" `Quick test_tautology_ignored;
+          Alcotest.test_case "duplicate literals" `Quick test_duplicate_literals;
+          Alcotest.test_case "unallocated var rejected" `Quick test_unallocated_variable_rejected;
+          Alcotest.test_case "random 3-CNF model validity" `Quick test_random_3cnf_sat_models_valid;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "round trip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "multiline clause" `Quick test_dimacs_multiline_clause;
+          Alcotest.test_case "load into solver" `Quick test_dimacs_load;
+        ] );
+      ( "drat",
+        [
+          Alcotest.test_case "simple unsat proof" `Quick test_drat_simple_unsat_proof;
+          Alcotest.test_case "pigeonhole proof" `Quick test_drat_pigeonhole_proof;
+          Alcotest.test_case "rejects bogus proof" `Quick test_drat_rejects_bogus_proof;
+          Alcotest.test_case "requires empty clause" `Quick test_drat_requires_empty_clause;
+          Alcotest.test_case "parse round trip" `Quick test_drat_parse_roundtrip;
+          qtest prop_drat_proofs_validate;
+        ] );
+      ( "solver-props",
+        [
+          qtest prop_agrees_with_reference;
+          qtest prop_sat_model_satisfies;
+          qtest prop_assumptions_consistent;
+          qtest prop_incremental_matches_monolithic;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for the property language: lexer/parser, printing round trips, and
+   concrete evaluation against catalog generators. *)
+
+open Spec
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let parse_ok s = try Some (Parse.prop s) with Parse.Error _ -> None
+
+(* ---------- parsing ---------- *)
+
+let test_parse_paper_example () =
+  (* the §3.1 running example *)
+  let p =
+    Parse.prop
+      "len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) <= 4 && md(G[0]) = 3 && \
+       minimal(len_c(G[0]))"
+  in
+  Alcotest.(check int) "five conjuncts" 5 (List.length (Ast.conjuncts p));
+  Alcotest.(check bool) "mentions md" true (Ast.mentions_min_distance p);
+  Alcotest.(check int) "one objective" 1 (List.length (Ast.objectives p))
+
+let test_parse_precedence () =
+  let p = Parse.prop "1 = 1 || 2 = 2 && 3 = 4" in
+  (match p with
+  | Ast.Or (_, Ast.And (_, _)) -> ()
+  | _ -> Alcotest.fail "&& should bind tighter than ||");
+  let q = Parse.prop "1 = 1 => 2 = 2 => 3 = 3" in
+  match q with
+  | Ast.Imp (_, Ast.Imp (_, _)) -> ()
+  | _ -> Alcotest.fail "=> should be right-associative"
+
+let test_parse_arith_precedence () =
+  match Parse.expr "1 + 2 * 3" with
+  | Ast.Add (Ast.Int 1, Ast.Mul (Ast.Int 2, Ast.Int 3)) -> ()
+  | e -> Alcotest.failf "got %s" (Ast.expr_to_string e)
+
+let test_parse_unary_minus () =
+  match Parse.expr "-2 * 3" with
+  | Ast.Mul (Ast.Neg (Ast.Int 2), Ast.Int 3) -> ()
+  | e -> Alcotest.failf "got %s" (Ast.expr_to_string e)
+
+let test_parse_gen_entry () =
+  match Parse.expr "G[0](1, 2)" with
+  | Ast.Gen_entry (Ast.Int 0, Ast.Int 1, Ast.Int 2) -> ()
+  | e -> Alcotest.failf "got %s" (Ast.expr_to_string e)
+
+let test_parse_funcs () =
+  List.iter
+    (fun (src, expected) ->
+      match Parse.expr src with
+      | Ast.Func (f, Ast.Int 0) when f = expected -> ()
+      | e -> Alcotest.failf "parsing %s got %s" src (Ast.expr_to_string e))
+    [
+      ("len_d(G[0])", Ast.Len_d);
+      ("len_c(G[0])", Ast.Len_c);
+      ("len_1(G[0])", Ast.Len_1);
+      ("md(G[0])", Ast.Md);
+    ]
+
+let test_parse_not_and_parens () =
+  match Parse.prop "!(1 = 2) && (3 > 2 || false)" with
+  | Ast.And (Ast.Not _, Ast.Or (_, Ast.False)) -> ()
+  | p -> Alcotest.failf "got %s" (Ast.prop_to_string p)
+
+let test_parse_reals () =
+  match Parse.prop "sum_w <= 12.5" with
+  | Ast.Cmp (Ast.Le, Ast.Sum_w, Ast.Real r) ->
+      Alcotest.(check (float 1e-12)) "value" 12.5 r
+  | p -> Alcotest.failf "got %s" (Ast.prop_to_string p)
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match parse_ok src with
+      | Some p -> Alcotest.failf "%s should not parse: %s" src (Ast.prop_to_string p)
+      | None -> ())
+    [ "1 ="; "&& true"; "md(0) = 3"; "G[0](1) = 1"; "minimal"; "1 @ 2"; "len_G = " ]
+
+let test_parse_comments_and_file () =
+  let p =
+    Parse.prop_file
+      "# target generator\nlen_G = 1\nlen_d(G[0]) = 4 &&\nmd(G[0]) = 3 # inline\n\n"
+  in
+  Alcotest.(check int) "three conjuncts" 3 (List.length (Ast.conjuncts p))
+
+let test_empty_file_is_true () =
+  Alcotest.(check bool) "true" true (Parse.prop_file "# nothing\n" = Ast.True)
+
+(* ---------- printing round trip ---------- *)
+
+let arb_prop =
+  let open QCheck.Gen in
+  let gen_func = oneofl [ Ast.Len_d; Ast.Len_c; Ast.Len_1; Ast.Md ] in
+  let rec gen_expr depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun n -> Ast.Int n) (int_range 0 100);
+          return Ast.Len_g;
+          return Ast.Len_w;
+          return Ast.Sum_w;
+          map (fun f -> Ast.Func (f, Ast.Int 0)) gen_func;
+        ]
+    else
+      oneof
+        [
+          gen_expr 0;
+          map2 (fun a b -> Ast.Add (a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1));
+          map2 (fun a b -> Ast.Sub (a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1));
+          map2 (fun a b -> Ast.Mul (a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1));
+          map (fun a -> Ast.Neg a) (gen_expr (depth - 1));
+          map3
+            (fun g r c -> Ast.Gen_entry (g, r, c))
+            (gen_expr 0) (gen_expr 0) (gen_expr 0);
+          map (fun e -> Ast.Weight e) (gen_expr 0);
+        ]
+  in
+  let gen_cmp = oneofl [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Gt; Ast.Le; Ast.Ge ] in
+  let rec gen_prop depth =
+    if depth = 0 then
+      oneof
+        [
+          return Ast.True;
+          return Ast.False;
+          map3 (fun c a b -> Ast.Cmp (c, a, b)) gen_cmp (gen_expr 1) (gen_expr 1);
+          map (fun e -> Ast.Minimal e) (gen_expr 1);
+          map (fun e -> Ast.Maximal e) (gen_expr 1);
+        ]
+    else
+      oneof
+        [
+          gen_prop 0;
+          map (fun p -> Ast.Not p) (gen_prop (depth - 1));
+          map2 (fun a b -> Ast.And (a, b)) (gen_prop (depth - 1)) (gen_prop (depth - 1));
+          map2 (fun a b -> Ast.Or (a, b)) (gen_prop (depth - 1)) (gen_prop (depth - 1));
+          map2 (fun a b -> Ast.Imp (a, b)) (gen_prop (depth - 1)) (gen_prop (depth - 1));
+        ]
+  in
+  QCheck.make ~print:Ast.prop_to_string (int_range 0 3 >>= gen_prop)
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"parse (print p) = p" ~count:500 arb_prop (fun p ->
+      Ast.equal_prop p (Parse.prop (Ast.prop_to_string p)))
+
+(* ---------- evaluation ---------- *)
+
+let fig2_env = Eval.env_of_code (Lazy.force Hamming.Catalog.fig2_7_4)
+
+let eval_bool s = Eval.eval_prop fig2_env (Parse.prop s)
+
+let test_eval_lengths () =
+  Alcotest.(check bool) "len_d" true (eval_bool "len_d(G[0]) = 4");
+  Alcotest.(check bool) "len_c" true (eval_bool "len_c(G[0]) = 3");
+  Alcotest.(check bool) "len_G" true (eval_bool "len_G = 1");
+  Alcotest.(check bool) "len_1" true (eval_bool "len_1(G[0]) = 9");
+  Alcotest.(check bool) "md" true (eval_bool "md(G[0]) = 3");
+  Alcotest.(check bool) "md not 4" false (eval_bool "md(G[0]) = 4")
+
+let test_eval_arith () =
+  Alcotest.(check bool) "sum" true (eval_bool "len_d(G[0]) + len_c(G[0]) = 7");
+  Alcotest.(check bool) "product" true (eval_bool "2 * md(G[0]) = 6");
+  Alcotest.(check bool) "negation" true (eval_bool "- md(G[0]) = 0 - 3");
+  Alcotest.(check bool) "mixed real" true (eval_bool "md(G[0]) * 1.5 = 4.5")
+
+let test_eval_gen_entry () =
+  (* generator row 0 = 1000101 *)
+  Alcotest.(check bool) "identity bit" true (eval_bool "G[0](0, 0) = 1");
+  Alcotest.(check bool) "zero bit" true (eval_bool "G[0](0, 1) = 0");
+  Alcotest.(check bool) "check bit" true (eval_bool "G[0](0, 4) = 1")
+
+let test_eval_connectives () =
+  Alcotest.(check bool) "and" true (eval_bool "md(G[0]) = 3 && len_c(G[0]) = 3");
+  Alcotest.(check bool) "or" true (eval_bool "md(G[0]) = 9 || true");
+  Alcotest.(check bool) "imp false antecedent" true (eval_bool "false => 1 = 2");
+  Alcotest.(check bool) "not" true (eval_bool "!(md(G[0]) = 4)");
+  Alcotest.(check bool) "minimal is neutral" true (eval_bool "minimal(len_c(G[0]))")
+
+let test_eval_errors () =
+  let bad = Parse.prop "md(G[3]) = 2" in
+  match Eval.eval_prop fig2_env bad with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "expected Eval_error"
+
+let test_eval_sum_w () =
+  (* two parity (8,1) generators, all 16 bits weighted 1, p = 0.1:
+     each bit costs C(9,2) * 0.01 = 0.36 *)
+  let env =
+    {
+      Eval.generators = [| Hamming.Catalog.parity 8; Hamming.Catalog.parity 8 |];
+      weights = Array.make 16 1.0;
+      mapping = Array.init 16 (fun i -> i / 8);
+      channel_p = 0.1;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "sum_w" (16.0 *. 0.36) (Eval.sum_w env)
+
+let prop_parser_fuzz_no_crash =
+  QCheck.Test.make ~name:"parser survives garbage" ~count:1000
+    QCheck.(string_gen_of_size (Gen.int_range 0 80) Gen.printable)
+    (fun s ->
+      match Parse.prop s with _ -> true | exception Parse.Error _ -> true)
+
+let prop_prop_file_fuzz_no_crash =
+  QCheck.Test.make ~name:"prop_file survives garbage" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 120) Gen.printable)
+    (fun s ->
+      match Parse.prop_file s with _ -> true | exception Parse.Error _ -> true)
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "paper example" `Quick test_parse_paper_example;
+          Alcotest.test_case "boolean precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "arith precedence" `Quick test_parse_arith_precedence;
+          Alcotest.test_case "unary minus" `Quick test_parse_unary_minus;
+          Alcotest.test_case "generator entry" `Quick test_parse_gen_entry;
+          Alcotest.test_case "functions" `Quick test_parse_funcs;
+          Alcotest.test_case "not and parens" `Quick test_parse_not_and_parens;
+          Alcotest.test_case "reals" `Quick test_parse_reals;
+          Alcotest.test_case "rejects malformed" `Quick test_parse_errors;
+          Alcotest.test_case "property files" `Quick test_parse_comments_and_file;
+          Alcotest.test_case "empty file" `Quick test_empty_file_is_true;
+          qtest prop_print_parse_roundtrip;
+          qtest prop_parser_fuzz_no_crash;
+          qtest prop_prop_file_fuzz_no_crash;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "lengths" `Quick test_eval_lengths;
+          Alcotest.test_case "arithmetic" `Quick test_eval_arith;
+          Alcotest.test_case "generator entries" `Quick test_eval_gen_entry;
+          Alcotest.test_case "connectives" `Quick test_eval_connectives;
+          Alcotest.test_case "errors" `Quick test_eval_errors;
+          Alcotest.test_case "sum_w" `Quick test_eval_sum_w;
+        ] );
+    ]

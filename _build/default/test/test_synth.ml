@@ -1,0 +1,386 @@
+(* Tests for the CEGIS synthesizer: fixed-configuration synthesis,
+   check-length minimization (Table 1 rows at small scale), set-bit
+   minimization, weighted mapping (§4.3), stand-alone verification (§4.1),
+   and the property-language driver. *)
+
+open Synth
+
+let md = Hamming.Distance.min_distance
+
+let synthesize_simple ?(timeout = 60.0) ?cex_mode ~k ~c ~m () =
+  Cegis.synthesize ~timeout ?cex_mode
+    { Cegis.data_len = k; check_len = c; min_distance = m; extra = [] }
+
+(* ---------- core CEGIS loop ---------- *)
+
+let test_synthesize_hamming74 () =
+  match synthesize_simple ~k:4 ~c:3 ~m:3 () with
+  | Cegis.Synthesized (code, stats) ->
+      Alcotest.(check int) "md" 3 (md code);
+      Alcotest.(check bool) "iterations > 0" true (stats.Cegis.iterations > 0)
+  | _ -> Alcotest.fail "expected success"
+
+let test_synthesize_md4 () =
+  (* paper §4.2: md 4 achievable with 5 check bits at k = 4 *)
+  match synthesize_simple ~k:4 ~c:5 ~m:4 () with
+  | Cegis.Synthesized (code, _) -> Alcotest.(check bool) "md >= 4" true (md code >= 4)
+  | _ -> Alcotest.fail "expected success"
+
+let test_synthesize_parity () =
+  (* paper §4.3: c=1, md 2 must produce exactly the even-parity code *)
+  match synthesize_simple ~k:16 ~c:1 ~m:2 () with
+  | Cegis.Synthesized (code, _) ->
+      Alcotest.(check bool) "equals parity code" true
+        (Hamming.Code.equal code (Hamming.Catalog.parity 16))
+  | _ -> Alcotest.fail "expected success"
+
+let test_unsat_config () =
+  (* md 3 with 2 check bits at k = 4 is impossible (needs >= 3) *)
+  match synthesize_simple ~k:4 ~c:2 ~m:3 () with
+  | Cegis.Unsat_config _ -> ()
+  | Cegis.Synthesized (code, _) ->
+      Alcotest.failf "impossible generator synthesized with md %d" (md code)
+  | Cegis.Timed_out _ -> Alcotest.fail "unexpected timeout"
+
+let test_singleton_check_md2 () =
+  (* smallest possible: k=1, c=1, md 2 is the repetition (2,1) code *)
+  match synthesize_simple ~k:1 ~c:1 ~m:2 () with
+  | Cegis.Synthesized (code, _) -> Alcotest.(check int) "md" 2 (md code)
+  | _ -> Alcotest.fail "expected success"
+
+let test_whole_candidate_mode_agrees () =
+  (* the paper's blocking mode finds an answer too (just more slowly) *)
+  match synthesize_simple ~cex_mode:Cegis.Whole_candidate ~k:4 ~c:3 ~m:3 () with
+  | Cegis.Synthesized (code, _) -> Alcotest.(check int) "md" 3 (md code)
+  | _ -> Alcotest.fail "expected success"
+
+let test_sat_verifier_mode () =
+  match
+    Cegis.synthesize ~timeout:60.0 ~verifier:Cegis.Sat
+      { Cegis.data_len = 4; check_len = 4; min_distance = 3; extra = [] }
+  with
+  | Cegis.Synthesized (code, _) -> Alcotest.(check bool) "md >= 3" true (md code >= 3)
+  | _ -> Alcotest.fail "expected success"
+
+let test_extra_constraints_respected () =
+  (* pin a coefficient bit to 1 and check it survives synthesis *)
+  let pin ~entry = entry ~row:0 ~col:0 in
+  match
+    Cegis.synthesize ~timeout:60.0
+      { Cegis.data_len = 4; check_len = 4; min_distance = 3; extra = [ pin ] }
+  with
+  | Cegis.Synthesized (code, _) ->
+      Alcotest.(check bool) "pinned bit" true
+        (Gf2.Matrix.get (Hamming.Code.coefficient_matrix code) 0 0)
+  | _ -> Alcotest.fail "expected success"
+
+(* all synthesized generators across a small sweep have the target md *)
+let test_sweep_configurations () =
+  List.iter
+    (fun (k, c, m) ->
+      match synthesize_simple ~k ~c ~m () with
+      | Cegis.Synthesized (code, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d c=%d m=%d" k c m)
+            true
+            (Hamming.Distance.has_min_distance_at_least code m)
+      | Cegis.Unsat_config _ -> ()
+      | Cegis.Timed_out _ -> Alcotest.fail "timeout in sweep")
+    [ (2, 2, 2); (3, 3, 3); (4, 4, 3); (5, 4, 3); (8, 4, 3); (6, 5, 4); (4, 7, 5) ]
+
+(* ---------- optimization: minimal check length (Table 1) ---------- *)
+
+let test_minimize_check_len_md3 () =
+  match
+    Optimize.minimize_check_len ~timeout:60.0 ~data_len:4 ~md:3 ~check_lo:2 ~check_hi:14 ()
+  with
+  | Some r ->
+      Alcotest.(check int) "minimal check bits for md 3" 3 r.Optimize.check_len;
+      Alcotest.(check int) "generator md" 3 (md r.Optimize.code)
+  | None -> Alcotest.fail "expected a generator"
+
+let test_minimize_check_len_md2 () =
+  match
+    Optimize.minimize_check_len ~timeout:60.0 ~data_len:4 ~md:2 ~check_lo:2 ~check_hi:14 ()
+  with
+  | Some r -> Alcotest.(check int) "Table 1 row md=2" 2 r.Optimize.check_len
+  | None -> Alcotest.fail "expected a generator"
+
+let test_minimize_check_len_md4 () =
+  match
+    Optimize.minimize_check_len ~timeout:120.0 ~data_len:4 ~md:4 ~check_lo:2 ~check_hi:14 ()
+  with
+  | Some r ->
+      (* the paper's Table 1 reports 5 check bits for md 4, but the extended
+         Hamming (8,4) code achieves md 4 with only 4 — our minimizer finds
+         the true optimum *)
+      Alcotest.(check int) "md=4 true optimum" 4 r.Optimize.check_len;
+      Alcotest.(check int) "exact md" 4 (md r.Optimize.code)
+  | None -> Alcotest.fail "expected a generator"
+
+(* ---------- optimization: minimal set bits (§4.4) ---------- *)
+
+let test_minimize_set_bits_walk () =
+  let steps =
+    Optimize.minimize_set_bits ~timeout:60.0 ~data_len:8 ~check_len:4 ~md:3
+      ~start_bound:32 ~stop_bound:0 ()
+  in
+  Alcotest.(check bool) "at least one step" true (List.length steps > 0);
+  (* bounds strictly decrease and every generator meets md and its bound *)
+  let rec check_desc = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "achieved decreases" true
+          (b.Optimize.achieved < a.Optimize.achieved);
+        check_desc rest
+    | _ -> ()
+  in
+  check_desc steps;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "respects bound" true
+        (Hamming.Code.set_bits s.Optimize.generator <= s.Optimize.bound);
+      Alcotest.(check bool) "md holds" true
+        (Hamming.Distance.has_min_distance_at_least s.Optimize.generator 3))
+    steps;
+  (* theoretical minimum for (12,8) md 3: every data column needs weight >= 2,
+     so at least 16 set bits *)
+  let last = List.nth steps (List.length steps - 1) in
+  Alcotest.(check bool) "reached near-minimal" true (last.Optimize.achieved >= 16)
+
+(* ---------- weighted mapping (§4.3) ---------- *)
+
+let float_weights = [| 100; 100; 100; 100; 99; 98; 82; 45; 17; 17; 8; 4; 2; 1; 1; 1 |]
+
+let test_weighted_prefers_strong_generator_for_heavy_bits () =
+  let g0 = { Weighted.check_len = 5; min_distance = 3 } in
+  let g1 = { Weighted.check_len = 1; min_distance = 2 } in
+  match Weighted.optimize ~timeout:120.0 ~p:0.1 ~weights:float_weights g0 g1 with
+  | None -> Alcotest.fail "expected a mapping"
+  | Some r ->
+      let t0, t1 = r.Weighted.counts in
+      Alcotest.(check int) "all bits assigned" 16 (t0 + t1);
+      (* heavy (high-weight) bits must go to the stronger generator 0 *)
+      Alcotest.(check int) "heaviest bit on strong code" 0 r.Weighted.mapping.(0);
+      (* the mapping's objective value is consistent *)
+      Alcotest.(check (float 1e-9)) "sum_w consistent"
+        (Weighted.sum_w_of ~p:0.1 ~weights:float_weights ~mapping:r.Weighted.mapping g0 g1)
+        r.Weighted.sum_w;
+      (* synthesized codes have the requested shapes *)
+      let c0, c1 = r.Weighted.codes in
+      Alcotest.(check int) "code0 data len" t0 (Hamming.Code.data_len c0);
+      Alcotest.(check int) "code1 data len" t1 (Hamming.Code.data_len c1);
+      Alcotest.(check bool) "code0 md" true (Hamming.Distance.has_min_distance_at_least c0 3);
+      Alcotest.(check bool) "code1 md" true (Hamming.Distance.has_min_distance_at_least c1 2)
+
+let test_weighted_optimal_against_bruteforce () =
+  (* small instance: brute-force all mappings and compare objectives *)
+  let weights = [| 9; 5; 3; 1 |] in
+  let g0 = { Weighted.check_len = 3; min_distance = 3 } in
+  let g1 = { Weighted.check_len = 1; min_distance = 2 } in
+  let best = ref infinity in
+  for mask = 1 to (1 lsl 4) - 2 do
+    (* at least one bit on each generator *)
+    let mapping = Array.init 4 (fun j -> if (mask lsr j) land 1 = 1 then 0 else 1) in
+    let v = Weighted.sum_w_of ~p:0.1 ~weights ~mapping g0 g1 in
+    if v < !best then best := v
+  done;
+  match Weighted.optimize ~timeout:60.0 ~p:0.1 ~weights g0 g1 with
+  | None -> Alcotest.fail "expected a mapping"
+  | Some r ->
+      Alcotest.(check bool) "proved optimal" true r.Weighted.optimal;
+      Alcotest.(check (float 1e-9)) "matches brute force" !best r.Weighted.sum_w
+
+let test_weighted_rejects_bad_input () =
+  let g = { Weighted.check_len = 1; min_distance = 2 } in
+  Alcotest.check_raises "empty weights"
+    (Invalid_argument "Weighted.optimize: empty weights") (fun () ->
+      ignore (Weighted.optimize ~weights:[||] g g))
+
+(* ---------- multi-bit-error synthesis (§6 extension) ---------- *)
+
+let test_multibit_synthesis () =
+  match
+    Multibit_synth.synthesize ~timeout:60.0 ~data_len:4 ~check_len:7 ~distinguish:2 ()
+  with
+  | Multibit_synth.Synthesized (code, _) ->
+      Alcotest.(check bool) "distinguishes 2" true
+        (Hamming.Multibit.distinguishes_up_to code 2);
+      Alcotest.(check bool) "md >= 5" true
+        (Hamming.Distance.has_min_distance_at_least code 5)
+  | _ -> Alcotest.fail "expected success"
+
+let test_multibit_beats_manual_construction () =
+  (* the §6 manual matrix uses 11 check bits to distinguish 2-bit errors
+     at data length 4; synthesis needs only 7 *)
+  match
+    Multibit_synth.minimize_check_len ~timeout:120.0 ~data_len:4 ~distinguish:2
+      ~check_lo:2 ~check_hi:14 ()
+  with
+  | Some (code, checks, _) ->
+      Alcotest.(check int) "minimal check bits" 7 checks;
+      Alcotest.(check bool) "2-bit correction works" true
+        (let w = Hamming.Code.encode code (Gf2.Bitvec.of_string "1010") in
+         let w' = Gf2.Bitvec.copy w in
+         Gf2.Bitvec.flip w' 0;
+         Gf2.Bitvec.flip w' 6;
+         match Hamming.Multibit.correct_up_to code 2 w' with
+         | Some fixed -> Gf2.Bitvec.equal fixed w
+         | None -> false)
+  | None -> Alcotest.fail "expected a code"
+
+let test_multibit_rejects_bad_input () =
+  Alcotest.check_raises "distinguish 0"
+    (Invalid_argument "Multibit_synth.synthesize: distinguish must be >= 1") (fun () ->
+      ignore (Multibit_synth.synthesize ~data_len:4 ~check_len:4 ~distinguish:0 ()))
+
+(* ---------- stand-alone verification (§4.1) ---------- *)
+
+let test_verify_ieee_md3 () =
+  let code = Lazy.force Hamming.Catalog.ieee_128_120 in
+  let r = Verify.min_distance_at_least ~method_:Verify.Sat code 3 in
+  Alcotest.(check bool) "md >= 3 holds" true r.Verify.holds;
+  let r4 = Verify.min_distance_at_least ~method_:Verify.Sat code 4 in
+  Alcotest.(check bool) "md >= 4 fails" false r4.Verify.holds;
+  (match r4.Verify.witness with
+  | Some d ->
+      Alcotest.(check bool) "witness weight < 4" true
+        (Gf2.Bitvec.popcount (Hamming.Code.encode code d) < 4)
+  | None -> Alcotest.fail "expected witness");
+  let exact = Verify.min_distance_exactly ~method_:Verify.Combinatorial code 3 in
+  Alcotest.(check bool) "md exactly 3" true exact.Verify.holds
+
+let test_verify_property_language () =
+  let env = Spec.Eval.env_of_code (Lazy.force Hamming.Catalog.fig2_7_4) in
+  let r = Verify.property env (Spec.Parse.prop "md(G[0]) = 3 && len_c(G[0]) = 3") in
+  Alcotest.(check bool) "holds" true r.Verify.holds;
+  let r2 = Verify.property env (Spec.Parse.prop "md(G[0]) = 4") in
+  Alcotest.(check bool) "fails" false r2.Verify.holds
+
+(* ---------- property-language driver ---------- *)
+
+let test_driver_paper_example () =
+  let prop =
+    Spec.Parse.prop
+      "len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) <= 4 && md(G[0]) = 3 && \
+       minimal(len_c(G[0]))"
+  in
+  (match Driver.analyze prop with
+  | Ok (Driver.Min_check_len s) ->
+      Alcotest.(check int) "data len" 4 s.Driver.data_len;
+      Alcotest.(check int) "hi" 4 s.Driver.check_hi
+  | Ok _ -> Alcotest.fail "wrong task"
+  | Error e -> Alcotest.fail e);
+  match Driver.run ~timeout:60.0 prop with
+  | Driver.Codes ([ code ], _) ->
+      Alcotest.(check int) "md" 3 (md code);
+      Alcotest.(check int) "minimal check len" 3 (Hamming.Code.check_len code)
+  | _ -> Alcotest.fail "expected one generator"
+
+let test_driver_fixed_entry () =
+  let prop =
+    Spec.Parse.prop "len_d(G[0]) = 4 && len_c(G[0]) = 4 && md(G[0]) = 3 && G[0](0, 4) = 1"
+  in
+  match Driver.run ~timeout:60.0 prop with
+  | Driver.Codes ([ code ], _) ->
+      Alcotest.(check bool) "entry honored" true
+        (Gf2.Matrix.get (Hamming.Code.generator code) 0 4)
+  | _ -> Alcotest.fail "expected one generator"
+
+let test_driver_weighted () =
+  let prop =
+    Spec.Parse.prop
+      "len_G = 2 && len_c(G[0]) = 5 && md(G[0]) = 3 && len_c(G[1]) = 1 && md(G[1]) = 2 \
+       && minimal(sum_w)"
+  in
+  match Driver.run ~timeout:120.0 ~weights:float_weights prop with
+  | Driver.Weighted_result r ->
+      let t0, t1 = r.Weighted.counts in
+      Alcotest.(check int) "all bits" 16 (t0 + t1)
+  | _ -> Alcotest.fail "expected weighted result"
+
+let test_driver_maximal_md () =
+  (* with 4 data bits and exactly 7 check bits, distance 5 is reachable
+     (Table 1) but 6 is not *)
+  let prop =
+    Spec.Parse.prop
+      "len_d(G[0]) = 4 && len_c(G[0]) = 7 && md(G[0]) >= 2 && maximal(md(G[0]))"
+  in
+  (match Driver.analyze prop with
+  | Ok (Driver.Max_distance _) -> ()
+  | Ok _ -> Alcotest.fail "wrong task"
+  | Error e -> Alcotest.fail e);
+  match Driver.run ~timeout:120.0 prop with
+  | Driver.Codes ([ code ], _) ->
+      Alcotest.(check int) "maximal distance" 5 (md code)
+  | _ -> Alcotest.fail "expected one generator"
+
+let test_driver_rejects_unsupported () =
+  List.iter
+    (fun src ->
+      match Driver.analyze (Spec.Parse.prop src) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s should be unsupported" src)
+    [
+      "md(G[0]) = 3 || md(G[0]) = 4";
+      "len_d(G[0]) = 4";
+      "len_G = 3 && minimal(sum_w)";
+      "len_d(G[0]) = 4 && md(G[0]) = 3 && maximal(len_c(G[0]))";
+    ]
+
+let test_driver_reports_unsat () =
+  let prop = Spec.Parse.prop "len_d(G[0]) = 4 && len_c(G[0]) = 2 && md(G[0]) = 3" in
+  match Driver.run ~timeout:30.0 prop with
+  | Driver.No_solution _ -> ()
+  | _ -> Alcotest.fail "expected no solution"
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "cegis",
+        [
+          Alcotest.test_case "hamming (7,4)" `Quick test_synthesize_hamming74;
+          Alcotest.test_case "md 4 (paper G_5^4 shape)" `Quick test_synthesize_md4;
+          Alcotest.test_case "parity rediscovered" `Quick test_synthesize_parity;
+          Alcotest.test_case "unsat configuration" `Quick test_unsat_config;
+          Alcotest.test_case "repetition (2,1)" `Quick test_singleton_check_md2;
+          Alcotest.test_case "whole-candidate blocking" `Quick test_whole_candidate_mode_agrees;
+          Alcotest.test_case "SAT verifier mode" `Quick test_sat_verifier_mode;
+          Alcotest.test_case "extra constraints" `Quick test_extra_constraints_respected;
+          Alcotest.test_case "configuration sweep" `Slow test_sweep_configurations;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "minimal check len md 3" `Quick test_minimize_check_len_md3;
+          Alcotest.test_case "minimal check len md 2" `Quick test_minimize_check_len_md2;
+          Alcotest.test_case "minimal check len md 4" `Slow test_minimize_check_len_md4;
+          Alcotest.test_case "set-bit minimization walk" `Slow test_minimize_set_bits_walk;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "float32 weights split" `Slow
+            test_weighted_prefers_strong_generator_for_heavy_bits;
+          Alcotest.test_case "optimal vs brute force" `Quick
+            test_weighted_optimal_against_bruteforce;
+          Alcotest.test_case "input validation" `Quick test_weighted_rejects_bad_input;
+        ] );
+      ( "multibit-synth",
+        [
+          Alcotest.test_case "synthesize 2-distinguishing" `Quick test_multibit_synthesis;
+          Alcotest.test_case "beats manual §6 matrix" `Slow test_multibit_beats_manual_construction;
+          Alcotest.test_case "input validation" `Quick test_multibit_rejects_bad_input;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "ieee (128,120) §4.1" `Slow test_verify_ieee_md3;
+          Alcotest.test_case "property language" `Quick test_verify_property_language;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "paper §3.1 example" `Quick test_driver_paper_example;
+          Alcotest.test_case "pinned entry" `Quick test_driver_fixed_entry;
+          Alcotest.test_case "weighted dispatch" `Slow test_driver_weighted;
+          Alcotest.test_case "maximal(md)" `Quick test_driver_maximal_md;
+          Alcotest.test_case "unsupported shapes" `Quick test_driver_rejects_unsupported;
+          Alcotest.test_case "unsat reported" `Quick test_driver_reports_unsat;
+        ] );
+    ]

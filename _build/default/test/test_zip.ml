@@ -1,0 +1,298 @@
+(* Tests for the compression substrate: CRC-32 vectors, bit I/O, Huffman
+   codes, LZ77, DEFLATE round trips (all block types, cross-validated
+   against the system gzip when available), GZIP container, and TAR. *)
+
+open Zip
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- CRC-32 ---------- *)
+
+let test_crc32_vectors () =
+  (* standard check value *)
+  Alcotest.(check int32) "123456789" 0xCBF43926l (Crc32.digest "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.digest "");
+  Alcotest.(check int32) "a" 0xE8B7BE43l (Crc32.digest "a")
+
+let test_crc32_incremental () =
+  let whole = Crc32.digest "hello world" in
+  let part = Crc32.update (Crc32.update Crc32.init "hello ") "world" in
+  Alcotest.(check int32) "incremental = whole" whole part
+
+(* ---------- bit I/O ---------- *)
+
+let test_bitio_roundtrip () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bits w 0b101 3;
+  Bitio.Writer.bits w 0xABC 12;
+  Bitio.Writer.bits w 1 1;
+  Bitio.Writer.align_byte w;
+  Bitio.Writer.byte w 0x42;
+  let s = Bitio.Writer.contents w in
+  let r = Bitio.Reader.create s in
+  Alcotest.(check int) "3 bits" 0b101 (Bitio.Reader.bits r 3);
+  Alcotest.(check int) "12 bits" 0xABC (Bitio.Reader.bits r 12);
+  Alcotest.(check int) "1 bit" 1 (Bitio.Reader.bit r);
+  Alcotest.(check int) "aligned byte" 0x42 (Bitio.Reader.byte r)
+
+let test_bitio_truncation () =
+  let r = Bitio.Reader.create "\x01" in
+  ignore (Bitio.Reader.bits r 8);
+  match Bitio.Reader.bits r 1 with
+  | exception Bitio.Reader.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated"
+
+let prop_bitio_roundtrip =
+  QCheck.Test.make ~name:"bit writer/reader round trip" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 50)
+       (QCheck.pair (QCheck.int_bound 0xFFFF) (QCheck.int_range 1 16)))
+    (fun fields ->
+      let fields = List.map (fun (v, n) -> (v land ((1 lsl n) - 1), n)) fields in
+      let w = Bitio.Writer.create () in
+      List.iter (fun (v, n) -> Bitio.Writer.bits w v n) fields;
+      let r = Bitio.Reader.create (Bitio.Writer.contents w) in
+      List.for_all (fun (v, n) -> Bitio.Reader.bits r n = v) fields)
+
+(* ---------- Huffman ---------- *)
+
+let test_huffman_lengths_kraft () =
+  let freqs = [| 40; 30; 20; 5; 3; 1; 1 |] in
+  let lens = Huffman.lengths ~max_len:15 freqs in
+  let kraft = Array.fold_left (fun acc l -> if l > 0 then acc +. (2.0 ** float_of_int (-l)) else acc) 0.0 lens in
+  Alcotest.(check bool) "kraft <= 1" true (kraft <= 1.0 +. 1e-9);
+  Array.iteri (fun i l -> if freqs.(i) > 0 then Alcotest.(check bool) "used" true (l > 0)) lens
+
+let test_huffman_respects_limit () =
+  (* fibonacci-ish frequencies force deep trees without a limit *)
+  let freqs = [| 1; 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 233; 377; 610; 987; 1597; 2584 |] in
+  let lens = Huffman.lengths ~max_len:7 freqs in
+  Array.iter (fun l -> Alcotest.(check bool) "within limit" true (l <= 7)) lens
+
+let test_huffman_single_symbol () =
+  let lens = Huffman.lengths ~max_len:15 [| 0; 10; 0 |] in
+  Alcotest.(check int) "single symbol gets length 1" 1 lens.(1)
+
+let prop_huffman_code_decode =
+  QCheck.Test.make ~name:"huffman encode/decode round trip" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 2 40) (QCheck.int_bound 100))
+    (fun freq_list ->
+      let freqs = Array.of_list (List.map (( + ) 1) freq_list) in
+      let lens = Huffman.lengths ~max_len:15 freqs in
+      let codes = Huffman.canonical_codes lens in
+      let dec = Huffman.decoder lens in
+      let symbols = List.init (Array.length freqs) Fun.id in
+      let w = Bitio.Writer.create () in
+      List.iter
+        (fun s -> Bitio.Writer.huffman_code w ~code:codes.(s) ~len:lens.(s))
+        symbols;
+      let r = Bitio.Reader.create (Bitio.Writer.contents w) in
+      List.for_all (fun s -> Huffman.decode dec r = s) symbols)
+
+let test_huffman_oversubscribed_rejected () =
+  match Huffman.canonical_codes [| 1; 1; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+(* ---------- LZ77 ---------- *)
+
+let test_lz77_finds_repeats () =
+  let s = "abcabcabcabcabcabc" in
+  let tokens = Lz77.tokenize s in
+  Alcotest.(check bool) "found a match" true
+    (List.exists (function Lz77.Match _ -> true | _ -> false) tokens);
+  Alcotest.(check string) "reconstruction" s (Lz77.reconstruct tokens)
+
+let test_lz77_no_match_in_random () =
+  let s = "qwertyuiopasdfgh" in
+  let tokens = Lz77.tokenize s in
+  Alcotest.(check string) "reconstruction" s (Lz77.reconstruct tokens)
+
+let prop_lz77_roundtrip =
+  QCheck.Test.make ~name:"lz77 tokenize/reconstruct" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_range 0 2000) Gen.printable)
+    (fun s -> Lz77.reconstruct (Lz77.tokenize s) = s)
+
+(* ---------- DEFLATE ---------- *)
+
+let sample_texts =
+  [
+    "";
+    "a";
+    "hello";
+    String.make 1000 'x';
+    String.concat "" (List.init 200 (fun i -> Printf.sprintf "line %d of text\n" (i mod 17)));
+    String.init 3000 (fun i -> Char.chr (i * 7 mod 256));
+  ]
+
+let test_deflate_roundtrips () =
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun s ->
+          let c = Deflate.compress ~strategy s in
+          Alcotest.(check string)
+            (Printf.sprintf "len %d" (String.length s))
+            s (Deflate.decompress c))
+        sample_texts)
+    [ Deflate.Stored; Deflate.Fixed; Deflate.Dynamic ]
+
+let test_deflate_compresses_redundancy () =
+  let s = String.make 10000 'z' in
+  let c = Deflate.compress s in
+  Alcotest.(check bool) "much smaller" true (String.length c < 200)
+
+let prop_deflate_roundtrip =
+  QCheck.Test.make ~name:"deflate round trip (dynamic)" ~count:150
+    QCheck.(string_gen_of_size (Gen.int_range 0 5000) Gen.char)
+    (fun s -> Deflate.decompress (Deflate.compress s) = s)
+
+let prop_deflate_fixed_roundtrip =
+  QCheck.Test.make ~name:"deflate round trip (fixed)" ~count:100
+    QCheck.(string_gen_of_size (Gen.int_range 0 2000) Gen.char)
+    (fun s -> Deflate.decompress (Deflate.compress ~strategy:Deflate.Fixed s) = s)
+
+(* ---------- GZIP ---------- *)
+
+let test_gzip_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) "round trip" s (Gzip.decompress (Gzip.compress s)))
+    sample_texts
+
+let test_gzip_crc_detects_corruption () =
+  let c = Bytes.of_string (Gzip.compress "some payload that is long enough to corrupt") in
+  let mid = Bytes.length c / 2 in
+  Bytes.set c mid (Char.chr (Char.code (Bytes.get c mid) lxor 0xFF));
+  match Gzip.decompress (Bytes.to_string c) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "corruption not detected"
+
+let test_gzip_magic_check () =
+  match Gzip.decompress "not a gzip file at all................" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+(* our gzip output must be readable by the system tool, when present *)
+let test_gzip_system_interop () =
+  let sys_gzip = Sys.command "command -v gzip > /dev/null 2>&1" = 0 in
+  if not sys_gzip then ()
+  else begin
+    let payload = String.concat "," (List.init 500 string_of_int) in
+    let file = Filename.temp_file "fec" ".gz" in
+    let oc = open_out_bin file in
+    output_string oc (Gzip.compress payload);
+    close_out oc;
+    let ic = Unix.open_process_in (Printf.sprintf "gzip -dc %s" (Filename.quote file)) in
+    let buf = Buffer.create 1024 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 1
+       done
+     with End_of_file -> ());
+    ignore (Unix.close_process_in ic);
+    Sys.remove file;
+    Alcotest.(check string) "system gzip decodes our output" payload (Buffer.contents buf)
+  end
+
+let prop_inflate_fuzz_no_crash =
+  QCheck.Test.make ~name:"inflate survives garbage streams" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 300) Gen.char)
+    (fun s ->
+      match Deflate.decompress s with _ -> true | exception Failure _ -> true)
+
+let prop_gunzip_fuzz_no_crash =
+  QCheck.Test.make ~name:"gunzip survives garbage" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 300) Gen.char)
+    (fun s ->
+      match Gzip.decompress s with
+      | _ -> true
+      | exception Failure _ -> true
+      | exception Invalid_argument _ -> true)
+
+(* ---------- TAR ---------- *)
+
+let test_tar_roundtrip () =
+  let entries =
+    [
+      { Tar.name = "a.bin"; contents = "hello" };
+      { Tar.name = "dir-entryname.dat"; contents = String.make 1200 '\x07' };
+      { Tar.name = "empty"; contents = "" };
+    ]
+  in
+  let archive = Tar.archive entries in
+  Alcotest.(check int) "512-aligned" 0 (String.length archive mod 512);
+  let back = Tar.entries archive in
+  Alcotest.(check int) "count" 3 (List.length back);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "name" a.Tar.name b.Tar.name;
+      Alcotest.(check string) "contents" a.Tar.contents b.Tar.contents)
+    entries back
+
+let test_tar_name_limit () =
+  Alcotest.check_raises "long name" (Invalid_argument "Tar.archive: name too long")
+    (fun () -> ignore (Tar.archive [ { Tar.name = String.make 101 'n'; contents = "" } ]))
+
+let test_tar_system_interop () =
+  let sys_tar = Sys.command "command -v tar > /dev/null 2>&1" = 0 in
+  if not sys_tar then ()
+  else begin
+    let file = Filename.temp_file "fec" ".tar" in
+    let oc = open_out_bin file in
+    output_string oc (Tar.archive [ { Tar.name = "x.txt"; contents = "payload!" } ]);
+    close_out oc;
+    let rc = Sys.command (Printf.sprintf "tar -tf %s > /dev/null 2>&1" (Filename.quote file)) in
+    Sys.remove file;
+    Alcotest.(check int) "system tar lists our archive" 0 rc
+  end
+
+let () =
+  Alcotest.run "zip"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "incremental" `Quick test_crc32_incremental;
+        ] );
+      ( "bitio",
+        [
+          Alcotest.test_case "round trip" `Quick test_bitio_roundtrip;
+          Alcotest.test_case "truncation" `Quick test_bitio_truncation;
+          qtest prop_bitio_roundtrip;
+        ] );
+      ( "huffman",
+        [
+          Alcotest.test_case "kraft" `Quick test_huffman_lengths_kraft;
+          Alcotest.test_case "length limit" `Quick test_huffman_respects_limit;
+          Alcotest.test_case "single symbol" `Quick test_huffman_single_symbol;
+          Alcotest.test_case "oversubscription" `Quick test_huffman_oversubscribed_rejected;
+          qtest prop_huffman_code_decode;
+        ] );
+      ( "lz77",
+        [
+          Alcotest.test_case "repeats" `Quick test_lz77_finds_repeats;
+          Alcotest.test_case "no repeats" `Quick test_lz77_no_match_in_random;
+          qtest prop_lz77_roundtrip;
+        ] );
+      ( "deflate",
+        [
+          Alcotest.test_case "round trips all strategies" `Quick test_deflate_roundtrips;
+          Alcotest.test_case "compresses redundancy" `Quick test_deflate_compresses_redundancy;
+          qtest prop_deflate_roundtrip;
+          qtest prop_deflate_fixed_roundtrip;
+        ] );
+      ( "gzip",
+        [
+          Alcotest.test_case "round trip" `Quick test_gzip_roundtrip;
+          Alcotest.test_case "CRC detects corruption" `Quick test_gzip_crc_detects_corruption;
+          Alcotest.test_case "magic check" `Quick test_gzip_magic_check;
+          Alcotest.test_case "system gzip interop" `Quick test_gzip_system_interop;
+          qtest prop_inflate_fuzz_no_crash;
+          qtest prop_gunzip_fuzz_no_crash;
+        ] );
+      ( "tar",
+        [
+          Alcotest.test_case "round trip" `Quick test_tar_roundtrip;
+          Alcotest.test_case "name limit" `Quick test_tar_name_limit;
+          Alcotest.test_case "system tar interop" `Quick test_tar_system_interop;
+        ] );
+    ]
