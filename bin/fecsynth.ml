@@ -54,9 +54,23 @@ let synth_cmd =
     let doc = "Per-bit criticality weights for weighted (sum_w) synthesis." in
     Arg.(value & opt (some weights_conv) None & info [ "w"; "weights" ] ~docv:"W,W,..." ~doc)
   in
-  let run prop_spec timeout weights =
+  let portfolio =
+    let doc = "Race a portfolio of differently-configured CEGIS workers." in
+    Arg.(value & flag & info [ "portfolio" ] ~doc)
+  in
+  let jobs =
+    let doc = "Number of portfolio workers (implies --portfolio for K > 1)." in
+    Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"K" ~doc)
+  in
+  let run prop_spec timeout weights portfolio jobs =
+    if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else
     let prop = load_prop prop_spec in
-    match Synth.Driver.run ~timeout ?weights prop with
+    let jobs_opt = if portfolio then Some jobs else None in
+    let on_report report =
+      Format.printf "%a" Synth.Portfolio.pp_report report
+    in
+    match Synth.Driver.run ~timeout ?weights ?jobs:jobs_opt ~on_report prop with
     | Synth.Driver.Codes (codes, stats) ->
         List.iter
           (fun code ->
@@ -99,7 +113,7 @@ let synth_cmd =
   in
   let doc = "Synthesize generators from a property specification (CEGIS)." in
   Cmd.v (Cmd.info "synth" ~doc)
-    Term.(ret (const run $ prop_arg $ timeout_arg $ weights))
+    Term.(ret (const run $ prop_arg $ timeout_arg $ weights $ portfolio $ jobs))
 
 (* ---------- verify ---------- *)
 

@@ -59,13 +59,24 @@ let min_distance code =
   done;
   !best
 
-let counterexample code m =
+let counterexample ?interrupt code m =
   let k = Code.data_len code in
+  (* cooperative cancellation: poll every 8192 enumerated words *)
+  let poll =
+    match interrupt with
+    | None -> fun () -> ()
+    | Some f ->
+        let n = ref 0 in
+        fun () ->
+          incr n;
+          if !n land 8191 = 0 && f () then raise Smtlite.Ctx.Interrupted
+  in
   let rec go w =
     if w >= m || w > k then None
     else
       match
         iter_weight k w (fun d ->
+            poll ();
             if Bitvec.popcount (Code.encode code d) < m then Some (Bitvec.copy d)
             else None)
       with
@@ -86,7 +97,7 @@ open Smtlite
 (* Build the symbolic encoding of "there is a non-zero data word whose
    codeword has weight < m" and return it together with the data
    variables. *)
-let encode_violation code m =
+let encode_violation ?(encoding = Card.Sequential) code m =
   let k = Code.data_len code and c = Code.check_len code in
   let p = Code.coefficient_matrix code in
   let data = List.init k (fun i -> Expr.var i) in
@@ -102,20 +113,29 @@ let encode_violation code m =
   in
   let word = data @ checks in
   let nonzero = Expr.or_ data in
-  let light = Card.at_most Card.Sequential word (m - 1) in
+  let light = Card.at_most encoding word (m - 1) in
   (Expr.and_ [ nonzero; light ], data)
 
-let sat_counterexample ?deadline code m =
+let sat_counterexample ?deadline ?interrupt ?encoding ?seed ?conflicts code m =
   if m <= 1 then None
   else begin
-    let violation, data = encode_violation code m in
+    let violation, data = encode_violation ?encoding code m in
     let ctx = Ctx.create () in
+    (match seed with Some s -> Ctx.set_seed ctx s | None -> ());
+    (match interrupt with Some _ -> Ctx.set_interrupt ctx interrupt | None -> ());
     Ctx.assert_ ctx violation;
-    match Ctx.check ?deadline ctx with
-    | Ctx.Unsat -> None
-    | Ctx.Sat ->
-        let k = Code.data_len code in
-        Some (Bitvec.init k (fun i -> Ctx.model_bool ctx (List.nth data i)))
+    (* account the verifier's conflicts even when the check is cut short *)
+    let record () =
+      match conflicts with
+      | Some r -> r := !r + (Ctx.stats ctx).Sat.Solver.conflicts
+      | None -> ()
+    in
+    Fun.protect ~finally:record (fun () ->
+        match Ctx.check ?deadline ctx with
+        | Ctx.Unsat -> None
+        | Ctx.Sat ->
+            let k = Code.data_len code in
+            Some (Bitvec.init k (fun i -> Ctx.model_bool ctx (List.nth data i))))
   end
 
 let sat_has_min_distance_at_least ?deadline code m =

@@ -24,10 +24,13 @@ val has_min_distance_at_least : Code.t -> int -> bool
 (** [has_min_distance code m] decides [min_distance code = m]. *)
 val has_min_distance : Code.t -> int -> bool
 
-(** [counterexample code m] is a non-zero data word whose codeword has
-    weight < [m], if one exists — the witness the CEGIS verifier feeds back
-    to the synthesizer. *)
-val counterexample : Code.t -> int -> Gf2.Bitvec.t option
+(** [counterexample ?interrupt code m] is a non-zero data word whose
+    codeword has weight < [m], if one exists — the witness the CEGIS
+    verifier feeds back to the synthesizer.  [interrupt] is polled
+    periodically during enumeration; {!Smtlite.Ctx.Interrupted} escapes
+    when it returns [true] (used by the portfolio to cancel losers). *)
+val counterexample :
+  ?interrupt:(unit -> bool) -> Code.t -> int -> Gf2.Bitvec.t option
 
 (** [sat_has_min_distance_at_least ?deadline code m] decides the same
     property by SAT: it asserts the existence of a non-zero data word whose
@@ -35,10 +38,26 @@ val counterexample : Code.t -> int -> Gf2.Bitvec.t option
     UNSAT.  @raise Smtlite.Ctx.Timeout if the deadline is exceeded. *)
 val sat_has_min_distance_at_least : ?deadline:float -> Code.t -> int -> bool
 
-(** [sat_counterexample ?deadline code m] is the SAT-side witness search:
-    [Some d] for a data word encoding to weight < [m], [None] if the bound
-    holds. *)
-val sat_counterexample : ?deadline:float -> Code.t -> int -> Gf2.Bitvec.t option
+(** [sat_counterexample ?deadline ?interrupt ?encoding ?seed ?conflicts code m]
+    is the SAT-side witness search: [Some d] for a data word encoding to
+    weight < [m], [None] if the bound holds.
+
+    [encoding] selects the cardinality encoding of the weight bound
+    (default {!Smtlite.Card.Sequential}); [seed] diversifies the solver's
+    search deterministically; [interrupt] installs a cooperative
+    cancellation callback ({!Smtlite.Ctx.Interrupted} escapes when it
+    fires); [conflicts] is incremented by the solver conflicts this call
+    spent, even when it is cut short by timeout or interruption — the
+    portfolio's per-worker verifier accounting relies on this. *)
+val sat_counterexample :
+  ?deadline:float ->
+  ?interrupt:(unit -> bool) ->
+  ?encoding:Smtlite.Card.encoding ->
+  ?seed:int ->
+  ?conflicts:int ref ->
+  Code.t ->
+  int ->
+  Gf2.Bitvec.t option
 
 (** [certified_min_distance_at_least ?deadline code m] decides the bound
     with an auditable outcome: [`Certified proof] carries a DRAT

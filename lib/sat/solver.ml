@@ -11,6 +11,7 @@
      never be deleted while it is a reason ("locked"). *)
 
 exception Budget_exhausted
+exception Interrupted
 
 type clause = {
   mutable lits : int array;
@@ -54,6 +55,8 @@ type t = {
   mutable model_ : bool array;
   mutable model_valid : bool;
   mutable conflict_budget : int option;
+  mutable interrupt : (unit -> bool) option;
+  mutable rng : int64 option; (* None = deterministic default search *)
   mutable proof_log : Buffer.t option;
   mutable originals : Lit.t list list; (* asserted clauses, for proof checking *)
   (* statistics *)
@@ -93,6 +96,8 @@ let create () =
     model_ = [||];
     model_valid = false;
     conflict_budget = None;
+    interrupt = None;
+    rng = None;
     proof_log = None;
     originals = [];
     n_decisions = 0;
@@ -106,6 +111,33 @@ let create () =
 let nvars s = s.nvars
 let nclauses s = Vec.size s.clauses
 let ok s = s.okay
+
+(* ---------- seeded randomization (SplitMix64, as in Channel.Prng) ---------- *)
+
+(* Returns 0L when no seed is installed so all call sites stay deterministic
+   by default. *)
+let rng_next s =
+  match s.rng with
+  | None -> 0L
+  | Some st ->
+      let st = Int64.add st 0x9E3779B97F4A7C15L in
+      s.rng <- Some st;
+      let z =
+        Int64.mul (Int64.logxor st (Int64.shift_right_logical st 30)) 0xBF58476D1CE4E5B9L
+      in
+      let z =
+        Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+      in
+      Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rng_bool s = Int64.logand (rng_next s) 1L = 1L
+
+(* uniform in [0, bound); bound << 2^62 here *)
+let rng_below s bound =
+  Int64.to_int (Int64.rem (Int64.logand (rng_next s) Int64.max_int) (Int64.of_int bound))
+
+let check_interrupt s =
+  match s.interrupt with Some f when f () -> raise Interrupted | _ -> ()
 
 (* ---------- variable order heap (max-heap on activity) ---------- *)
 
@@ -188,6 +220,9 @@ let new_var s =
      s.watches <- w
    end);
   s.heap_pos.(v) <- -1;
+  (* a seeded solver explores a random initial polarity per variable, so
+     differently-seeded portfolio workers search different orthants *)
+  if s.rng <> None then s.polarity.(v) <- rng_bool s;
   heap_insert s v;
   v
 
@@ -511,13 +546,27 @@ let luby y i =
   y ** float_of_int !seq
 
 let pick_branch_var s =
-  let rec go () =
-    if s.heap_size = 0 then -1
-    else
-      let v = heap_remove_min s in
-      if s.assigns.(v) = 0 then v else go ()
+  (* seeded solvers occasionally branch on a uniformly random unassigned
+     variable (a VSIDS tiebreak-style diversification, ~2% of decisions).
+     The variable is left in the heap: popping it later as an assigned
+     entry is harmless, exactly like stale entries after backtracking. *)
+  let random_pick =
+    if s.rng <> None && s.heap_size > 0 && rng_below s 50 = 0 then begin
+      let v = s.heap.(rng_below s s.heap_size) in
+      if s.assigns.(v) = 0 then Some v else None
+    end
+    else None
   in
-  go ()
+  match random_pick with
+  | Some v -> v
+  | None ->
+      let rec go () =
+        if s.heap_size = 0 then -1
+        else
+          let v = heap_remove_min s in
+          if s.assigns.(v) = 0 then v else go ()
+      in
+      go ()
 
 type search_outcome = Out_sat | Out_unsat | Out_restart
 
@@ -544,6 +593,7 @@ let search s ~assumptions ~conflict_limit =
     | Some confl ->
         s.n_conflicts <- s.n_conflicts + 1;
         incr conflicts;
+        if s.n_conflicts land 63 = 0 then check_interrupt s;
         (match s.conflict_budget with
         | Some b when s.n_conflicts > b -> raise Budget_exhausted
         | _ -> ());
@@ -584,6 +634,10 @@ let search s ~assumptions ~conflict_limit =
               | -1 -> `All_assigned
               | v ->
                   let phase = s.polarity.(v) in
+                  (* seeded solvers flip the saved phase on ~2% of decisions *)
+                  let phase =
+                    if s.rng <> None && rng_below s 50 = 0 then not phase else phase
+                  in
                   `Decide ((v * 2) lor if phase then 0 else 1)
           in
           match next_lit with
@@ -593,6 +647,7 @@ let search s ~assumptions ~conflict_limit =
           | `Dummy -> Vec.push s.trail_lim (Vec.size s.trail)
           | `Decide l ->
               s.n_decisions <- s.n_decisions + 1;
+              if s.n_decisions land 1023 = 0 then check_interrupt s;
               Vec.push s.trail_lim (Vec.size s.trail);
               enqueue s l None
         end
@@ -619,9 +674,13 @@ let solve ?(assumptions = []) s =
          | Out_unsat -> result := Some Unsat
          | Out_restart -> ()
        done
-     with Budget_exhausted ->
-       cancel_until s 0;
-       raise Budget_exhausted);
+     with
+    | Budget_exhausted ->
+        cancel_until s 0;
+        raise Budget_exhausted
+    | Interrupted ->
+        cancel_until s 0;
+        raise Interrupted);
     cancel_until s 0;
     match !result with Some r -> r | None -> assert false
   end
@@ -650,6 +709,15 @@ let stats s =
   }
 
 let set_conflict_budget s b = s.conflict_budget <- b
+let set_interrupt s f = s.interrupt <- f
+
+let set_seed s seed =
+  s.rng <- Some (Int64.of_int seed);
+  (* scramble the saved phases of already-allocated variables so the first
+     descent differs from the unseeded solver's all-false default *)
+  for v = 0 to s.nvars - 1 do
+    if s.assigns.(v) = 0 then s.polarity.(v) <- rng_bool s
+  done
 
 let enable_proof s =
   if Vec.size s.clauses > 0 || Vec.size s.trail > 0 then

@@ -73,6 +73,25 @@ val set_conflict_budget : t -> int option -> unit
 
 exception Budget_exhausted
 
+(** [set_seed s seed] installs a deterministic PRNG that diversifies the
+    search: saved phases of existing and future variables are scrambled, and
+    ~2% of decisions branch on a random unassigned variable or flip the
+    saved phase.  Two solvers with the same seed and the same clause stream
+    behave identically; solvers with different seeds explore different parts
+    of the search space — the per-worker knob of the portfolio racer.
+    Unseeded solvers are bit-for-bit unaffected. *)
+val set_seed : t -> int -> unit
+
+(** [set_interrupt s (Some f)] installs a cooperative cancellation check:
+    [f] is polled every 64 conflicts and every 1024 decisions, and when it
+    returns [true] the solver backtracks to level zero and raises
+    {!Interrupted}.  The solver remains usable afterwards (state is intact,
+    like a restart).  Used by losing portfolio workers to stop promptly
+    once a sibling has won.  [None] removes the check. *)
+val set_interrupt : t -> (unit -> bool) option -> unit
+
+exception Interrupted
+
 (** [enable_proof s] starts recording a DRAT proof: every learnt clause is
     logged as an addition, every database reduction as deletions, and a
     level-zero conflict as the empty clause.  Must be called before any

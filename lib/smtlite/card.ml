@@ -1,4 +1,4 @@
-type encoding = Naive | Sequential | Totalizer | Adder
+type encoding = Naive | Pairwise | Sequential | Totalizer | Adder
 
 (* ---------- naive: explicit subsets, exponential, test oracle ---------- *)
 
@@ -12,6 +12,12 @@ let naive_at_least es k =
   if k <= 0 then Expr.true_
   else if k > List.length es then Expr.false_
   else Expr.or_ (List.map Expr.and_ (combinations k es))
+
+(* ---------- pairwise (binomial): every (k+1)-subset has a false member ----- *)
+
+let pairwise_at_most es k =
+  Expr.and_
+    (List.map (fun c -> Expr.or_ (List.map Expr.not_ c)) (combinations (k + 1) es))
 
 (* ---------- sequential counter ---------- *)
 
@@ -82,6 +88,7 @@ let counts ?cap enc es =
       let n = List.length es in
       let cap = match cap with Some c -> min c n | None -> n in
       Array.init cap (fun i -> naive_at_least es (i + 1))
+  | Pairwise -> invalid_arg "Card.counts: no unary view for Pairwise encoding"
   | Adder -> invalid_arg "Card.counts: no unary view for Adder encoding"
 
 let at_most enc es k =
@@ -91,6 +98,7 @@ let at_most enc es k =
   else
     match enc with
     | Adder -> Bv.ule (Bv.popcount es) (Bv.of_int ~width:(width_for k) k)
+    | Pairwise -> pairwise_at_most es k
     | enc ->
         let c = counts ~cap:(k + 1) enc es in
         Expr.not_ c.(k)
@@ -102,6 +110,9 @@ let at_least enc es k =
   else
     match enc with
     | Adder -> Bv.ule (Bv.of_int ~width:(width_for k) k) (Bv.popcount es)
+    | Pairwise ->
+        (* at least k of es  ⟺  at most n-k of their negations *)
+        pairwise_at_most (List.map Expr.not_ es) (n - k)
     | enc ->
         let c = counts ~cap:k enc es in
         c.(k - 1)

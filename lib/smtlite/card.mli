@@ -7,6 +7,10 @@
 
 type encoding =
   | Naive  (** explicit combinations; only for small inputs, used in tests *)
+  | Pairwise
+      (** binomial clause set: every (k+1)-subset contains a false member.
+          No auxiliary structure, strongest propagation, exponential in
+          [k]; only for small bounds *)
   | Sequential  (** sequential counter, O(n·k) gates *)
   | Totalizer  (** totalizer merge tree, good propagation *)
   | Adder  (** binary adder tree + comparator, smallest encoding *)
@@ -14,7 +18,8 @@ type encoding =
 (** [counts ?cap enc es] is the unary count vector [o] with
     [o.(i)] true iff at least [i+1] of [es] are true.  With [~cap:c] only
     the first [c] outputs are produced (sufficient to express bounds up to
-    [c]).  Not available for [Adder] (raises [Invalid_argument]). *)
+    [c]).  Not available for [Adder] or [Pairwise] (raises
+    [Invalid_argument]). *)
 val counts : ?cap:int -> encoding -> Expr.t list -> Expr.t array
 
 (** [at_most enc es k] holds iff at most [k] of [es] are true. *)

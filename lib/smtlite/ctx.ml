@@ -1,6 +1,7 @@
 type result = Sat | Unsat
 
 exception Timeout
+exception Interrupted = Sat.Solver.Interrupted
 
 type t = {
   solver : Sat.Solver.t;
@@ -31,6 +32,8 @@ let certificate ctx =
   | Some proof -> Some (Sat.Solver.original_clauses ctx.solver, proof)
 let stats ctx = Sat.Solver.stats ctx.solver
 let level ctx = List.length ctx.selectors
+let set_seed ctx seed = Sat.Solver.set_seed ctx.solver seed
+let set_interrupt ctx f = Sat.Solver.set_interrupt ctx.solver f
 
 let fresh_lit ctx = Sat.Lit.make (Sat.Solver.new_var ctx.solver)
 

@@ -13,6 +13,12 @@ type result = Sat | Unsat
 
 exception Timeout
 
+(** Raised out of {!check} when an installed {!set_interrupt} callback
+    fires (same exception as {!Sat.Solver.Interrupted}).  The context stays
+    usable.  (The implementation rebinds {!Sat.Solver.Interrupted}, so the
+    two names denote the same exception.) *)
+exception Interrupted
+
 (** [create ?proof ()] is a fresh context; with [~proof:true] the
     underlying solver records a DRAT proof (see {!certificate}). *)
 val create : ?proof:bool -> unit -> t
@@ -54,6 +60,15 @@ val enumerate : ?limit:int -> t -> over:Expr.t list -> (bool list -> unit) -> in
 
 (** [solver ctx] exposes the underlying SAT solver (for statistics). *)
 val solver : t -> Sat.Solver.t
+
+(** [set_seed ctx seed] diversifies the underlying solver's search
+    deterministically (see {!Sat.Solver.set_seed}). *)
+val set_seed : t -> int -> unit
+
+(** [set_interrupt ctx f] installs a cooperative cancellation callback on
+    the underlying solver; a pending {!check} raises {!Interrupted} soon
+    after [f] starts returning [true] (see {!Sat.Solver.set_interrupt}). *)
+val set_interrupt : t -> (unit -> bool) option -> unit
 
 (** [certificate ctx] is the asserted CNF together with the recorded DRAT
     proof, when the context was created with [~proof:true].  After an

@@ -39,15 +39,22 @@ end
 let table : (Key.k, t) Hashtbl.t = Hashtbl.create 4096
 let counter = ref 0
 
+(* The hash-consing table is global process state; portfolio workers build
+   expressions concurrently from several domains, so every lookup+insert is
+   one critical section.  Uncontended locking costs nanoseconds and solver
+   search (which never allocates expressions) dominates wall-clock. *)
+let table_lock = Mutex.create ()
+
 let mk n =
   let key = Key.of_node n in
-  match Hashtbl.find_opt table key with
-  | Some e -> e
-  | None ->
-      let e = { uid = !counter; n } in
-      incr counter;
-      Hashtbl.add table key e;
-      e
+  Mutex.protect table_lock (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some e -> e
+      | None ->
+          let e = { uid = !counter; n } in
+          incr counter;
+          Hashtbl.add table key e;
+          e)
 
 let true_ = mk True
 let false_ = mk (Not true_)

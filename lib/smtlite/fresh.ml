@@ -1,9 +1,15 @@
 let first_fresh = 1 lsl 22
-let counter = ref first_fresh
 
-let make () =
-  let v = Expr.var !counter in
-  incr counter;
-  v
+(* Atomic so concurrent portfolio workers can allocate without racing; a
+   fetch-and-add hands out contiguous, deterministic blocks. *)
+let counter = Atomic.make first_fresh
 
-let make_n n = List.init n (fun _ -> make ())
+let reserve n =
+  if n < 0 then invalid_arg "Fresh.reserve: negative count";
+  Atomic.fetch_and_add counter n
+
+let make () = Expr.var (reserve 1)
+
+let make_n n =
+  let base = reserve n in
+  List.init n (fun i -> Expr.var (base + i))

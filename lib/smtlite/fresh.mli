@@ -2,7 +2,15 @@
 
     Variable indices below {!first_fresh} are reserved for user-chosen
     variables; {!make} hands out indices from a global counter starting at
-    {!first_fresh}, so encoder-internal variables never collide with them. *)
+    {!first_fresh}, so encoder-internal variables never collide with them.
+
+    The counter is atomic and {!make_n} reserves one contiguous block, so
+    allocation is safe from concurrent domains and the layout of a block is
+    deterministic given its base index.  This is the shared naming scheme
+    the portfolio synthesizer relies on: the driver allocates the symbolic
+    coefficient-matrix block once, every racing worker maps the {e same}
+    variable expressions into its own solver, and learned counterexample
+    constraints therefore transfer between workers unchanged. *)
 
 (** The first index handed out by [make]. *)
 val first_fresh : int
@@ -10,5 +18,11 @@ val first_fresh : int
 (** [make ()] is a fresh variable expression. *)
 val make : unit -> Expr.t
 
-(** [make_n n] is a list of [n] fresh variable expressions. *)
+(** [make_n n] is a list of [n] fresh variable expressions with contiguous
+    indices (one atomic block reservation). *)
 val make_n : int -> Expr.t list
+
+(** [reserve n] atomically reserves a block of [n] indices and returns the
+    first; [Expr.var base .. Expr.var (base+n-1)] are then owned by the
+    caller.  @raise Invalid_argument on negative [n]. *)
+val reserve : int -> int

@@ -24,6 +24,8 @@ type problem = {
   extra : (entry:(row:int -> col:int -> Smtlite.Expr.t) -> Smtlite.Expr.t) list;
 }
 
+type cex = Cex_data of Bitvec.t | Cex_candidate of Hamming.Code.t
+
 (* Symbolic coefficient-matrix bits for one candidate generator.  Fresh
    variables per call so repeated syntheses don't interfere. *)
 let make_matrix_vars ~data_len ~check_len =
@@ -67,52 +69,128 @@ let block_candidate_constraint vars code =
     vars;
   Expr.or_ !diffs
 
-let synthesize ?(timeout = 120.0) ?(cex_mode = Data_word) ?(verifier = Combinatorial)
-    ?(encoding = Card.Sequential) problem =
-  let { data_len; check_len; min_distance; extra } = problem in
+(* ---------- resumable session: one CEGIS iteration at a time ---------- *)
+
+type session = {
+  problem : problem;
+  cex_mode : cex_mode;
+  verifier : verifier_mode;
+  encoding : Card.encoding;
+  seed : int option;
+  interrupt : (unit -> bool) option;
+  syn : Ctx.t;
+  vars : Expr.t array array;
+  start : float;
+  mutable iterations : int;
+  mutable verifier_calls : int;
+  ver_conflicts : int ref;
+}
+
+type step_result =
+  | Done of Hamming.Code.t
+  | Progress of cex
+  | Exhausted
+
+let create_session ?(cex_mode = Data_word) ?(verifier = Combinatorial)
+    ?(encoding = Card.Sequential) ?seed ?interrupt ?vars problem =
+  let { data_len; check_len; min_distance = _; extra } = problem in
   if data_len < 1 || check_len < 1 then
-    invalid_arg "Cegis.synthesize: need at least one data and one check bit";
-  let start = Unix.gettimeofday () in
-  let deadline = start +. timeout in
+    invalid_arg "Cegis.create_session: need at least one data and one check bit";
   let syn = Ctx.create () in
-  let vars = make_matrix_vars ~data_len ~check_len in
+  (match seed with Some s -> Ctx.set_seed syn s | None -> ());
+  (match interrupt with Some _ -> Ctx.set_interrupt syn interrupt | None -> ());
+  let vars =
+    match vars with
+    | Some v ->
+        if
+          Array.length v <> data_len
+          || (data_len > 0 && Array.length v.(0) <> check_len)
+        then invalid_arg "Cegis.create_session: vars dimensions mismatch";
+        v
+    | None -> make_matrix_vars ~data_len ~check_len
+  in
   let entry ~row ~col = vars.(row).(col) in
   List.iter (fun build -> Ctx.assert_ syn (build ~entry)) extra;
-  let iterations = ref 0 in
-  let verifier_calls = ref 0 in
-  let mk_stats () =
-    {
-      iterations = !iterations;
-      verifier_calls = !verifier_calls;
-      elapsed = Unix.gettimeofday () -. start;
-      syn_conflicts = (Ctx.stats syn).Sat.Solver.conflicts;
-      ver_conflicts = 0;
-    }
-  in
-  let verify code =
-    incr verifier_calls;
-    match verifier with
-    | Combinatorial -> Hamming.Distance.counterexample code min_distance
-    | Sat -> Hamming.Distance.sat_counterexample ~deadline code min_distance
-  in
+  {
+    problem;
+    cex_mode;
+    verifier;
+    encoding;
+    seed;
+    interrupt;
+    syn;
+    vars;
+    start = Unix.gettimeofday ();
+    iterations = 0;
+    verifier_calls = 0;
+    ver_conflicts = ref 0;
+  }
+
+let matrix_vars s = s.vars
+
+let session_stats s =
+  {
+    iterations = s.iterations;
+    verifier_calls = s.verifier_calls;
+    elapsed = Unix.gettimeofday () -. s.start;
+    syn_conflicts = (Ctx.stats s.syn).Sat.Solver.conflicts;
+    ver_conflicts = !(s.ver_conflicts);
+  }
+
+(* Absorb a counterexample — the session's own or one imported from another
+   portfolio worker.  Raw witnesses are re-encoded with this session's own
+   cardinality encoding, so sharing across differently-configured workers
+   stays sound: both constraint forms are implied for any correct code. *)
+let learn s cex =
+  match cex with
+  | Cex_data d ->
+      Ctx.assert_ s.syn
+        (data_word_constraint ~encoding:s.encoding s.vars
+           ~check_len:s.problem.check_len ~min_distance:s.problem.min_distance
+           d)
+  | Cex_candidate code ->
+      Ctx.assert_ s.syn (block_candidate_constraint s.vars code)
+
+let verify ?deadline s code =
+  s.verifier_calls <- s.verifier_calls + 1;
+  match s.verifier with
+  | Combinatorial ->
+      Hamming.Distance.counterexample ?interrupt:s.interrupt code
+        s.problem.min_distance
+  | Sat ->
+      Hamming.Distance.sat_counterexample ?deadline ?interrupt:s.interrupt
+        ?seed:s.seed ~conflicts:s.ver_conflicts code s.problem.min_distance
+
+let step ?deadline s =
+  s.iterations <- s.iterations + 1;
+  match Ctx.check ?deadline s.syn with
+  | Ctx.Unsat -> Exhausted
+  | Ctx.Sat -> (
+      let code =
+        candidate_of_model s.syn s.vars ~data_len:s.problem.data_len
+          ~check_len:s.problem.check_len
+      in
+      match verify ?deadline s code with
+      | None -> Done code
+      | Some d ->
+          let cex =
+            match s.cex_mode with
+            | Data_word -> Cex_data d
+            | Whole_candidate -> Cex_candidate code
+          in
+          learn s cex;
+          Progress cex)
+
+let synthesize ?(timeout = 120.0) ?(cex_mode = Data_word)
+    ?(verifier = Combinatorial) ?(encoding = Card.Sequential) problem =
+  let s = create_session ~cex_mode ~verifier ~encoding problem in
+  let deadline = s.start +. timeout in
   let rec loop () =
-    if Unix.gettimeofday () > deadline then Timed_out (mk_stats ())
-    else begin
-      incr iterations;
-      match Ctx.check ~deadline syn with
-      | Ctx.Unsat -> Unsat_config (mk_stats ())
-      | Ctx.Sat -> (
-          let code = candidate_of_model syn vars ~data_len ~check_len in
-          match verify code with
-          | None -> Synthesized (code, mk_stats ())
-          | Some cex ->
-              (match cex_mode with
-              | Data_word ->
-                  Ctx.assert_ syn
-                    (data_word_constraint ~encoding vars ~check_len ~min_distance cex)
-              | Whole_candidate ->
-                  Ctx.assert_ syn (block_candidate_constraint vars code));
-              loop ())
-    end
+    if Unix.gettimeofday () > deadline then Timed_out (session_stats s)
+    else
+      match step ~deadline s with
+      | Exhausted -> Unsat_config (session_stats s)
+      | Done code -> Synthesized (code, session_stats s)
+      | Progress _ -> loop ()
   in
-  try loop () with Ctx.Timeout -> Timed_out (mk_stats ())
+  try loop () with Ctx.Timeout -> Timed_out (session_stats s)

@@ -43,9 +43,75 @@ type problem = {
       (** each callback builds one side constraint from the bit variables *)
 }
 
+(** A counterexample learned from one failed candidate, in a form that can
+    be replayed into {e any} session for the same problem (the portfolio's
+    shared pool transports these between workers): the raw witness data, not
+    an encoded constraint, so each recipient re-encodes it with its own
+    cardinality encoding. *)
+type cex =
+  | Cex_data of Gf2.Bitvec.t
+      (** witness data word whose codeword fell below the distance bound *)
+  | Cex_candidate of Hamming.Code.t  (** the blocked candidate itself *)
+
+(** [make_matrix_vars ~data_len ~check_len] draws a fresh block of symbolic
+    coefficient-matrix bits from {!Smtlite.Fresh} (whose atomic counter
+    makes allocation safe and deterministic across portfolio domains). *)
+val make_matrix_vars :
+  data_len:int -> check_len:int -> Smtlite.Expr.t array array
+
+(** A resumable CEGIS run: the synthesizer context plus counters.  One
+    {!step} call performs exactly one iteration of Algorithm 1, so callers
+    (the sequential driver, the parallel portfolio) own the loop and can
+    interleave it with counterexample exchange or cancellation checks. *)
+type session
+
+(** [create_session ?cex_mode ?verifier ?encoding ?seed ?interrupt ?vars
+    problem] prepares a session.  [seed] diversifies the synthesizer's (and
+    SAT verifier's) search deterministically; [interrupt] is polled
+    cooperatively inside solver search and aborts a pending {!step} with
+    {!Smtlite.Ctx.Interrupted} when it returns [true]; [vars] supplies the
+    symbolic coefficient-matrix bits (shared across portfolio workers so
+    candidates and counterexamples refer to the same expression variables —
+    fresh ones are drawn from {!Smtlite.Fresh} otherwise).
+    @raise Invalid_argument on an empty problem or mismatched [vars]. *)
+val create_session :
+  ?cex_mode:cex_mode ->
+  ?verifier:verifier_mode ->
+  ?encoding:Smtlite.Card.encoding ->
+  ?seed:int ->
+  ?interrupt:(unit -> bool) ->
+  ?vars:Smtlite.Expr.t array array ->
+  problem ->
+  session
+
+(** The symbolic coefficient-matrix bits of a session ([data_len] rows of
+    [check_len] columns). *)
+val matrix_vars : session -> Smtlite.Expr.t array array
+
+(** One CEGIS iteration: solve for a candidate, verify it, learn the
+    counterexample on failure. *)
+type step_result =
+  | Done of Hamming.Code.t  (** candidate passed verification *)
+  | Progress of cex  (** candidate refuted; the cex is already learned *)
+  | Exhausted  (** synthesizer context is unsatisfiable *)
+
+(** [step ?deadline session] performs one iteration.  [deadline] is an
+    absolute instant bounding the solver calls inside this step.
+    @raise Smtlite.Ctx.Timeout when the deadline passes mid-step.
+    @raise Smtlite.Ctx.Interrupted when the session's interrupt fires. *)
+val step : ?deadline:float -> session -> step_result
+
+(** [learn session cex] asserts a counterexample produced elsewhere
+    (another portfolio worker) into this session, re-encoding it with the
+    session's own cardinality encoding. *)
+val learn : session -> cex -> unit
+
+(** Statistics of the session so far. *)
+val session_stats : session -> stats
+
 (** [synthesize ?timeout ?cex_mode ?verifier ?encoding problem] runs the
     loop.  [timeout] (seconds, default 120 as in the paper) bounds the
-    whole call. *)
+    whole call.  Equivalent to driving {!step} until completion. *)
 val synthesize :
   ?timeout:float ->
   ?cex_mode:cex_mode ->

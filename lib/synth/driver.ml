@@ -218,9 +218,43 @@ let len1_constraint s =
           Smtlite.Card.at_most Smtlite.Card.Sequential !bits bound);
       ]
 
-let run_single ?timeout s =
+let run_single ?timeout ?jobs ?on_report s =
   (* walk the check-length interval upward; with a fixed length this is a
      single configuration *)
+  let synthesize problem =
+    match jobs with
+    | None -> Cegis.synthesize ?timeout problem
+    | Some jobs ->
+        (* portfolio path: race [jobs] configurations, report per-worker
+           statistics through the callback, collapse to the sequential
+           outcome shape with worker-summed statistics *)
+        let sum f =
+          List.fold_left (fun acc w -> acc + f w.Portfolio.stats) 0
+        in
+        let stats_of (report : Portfolio.report) =
+          {
+            Cegis.iterations = report.Portfolio.total_iterations;
+            verifier_calls =
+              sum (fun s -> s.Cegis.verifier_calls) report.Portfolio.workers;
+            elapsed = report.Portfolio.wall_clock;
+            syn_conflicts =
+              sum (fun s -> s.Cegis.syn_conflicts) report.Portfolio.workers;
+            ver_conflicts =
+              sum (fun s -> s.Cegis.ver_conflicts) report.Portfolio.workers;
+          }
+        in
+        let collapse report outcome =
+          (match on_report with Some f -> f report | None -> ());
+          outcome
+        in
+        (match Portfolio.synthesize ?timeout ~jobs problem with
+        | Portfolio.Synthesized (code, report) ->
+            collapse report (Cegis.Synthesized (code, stats_of report))
+        | Portfolio.Unsat_config report ->
+            collapse report (Cegis.Unsat_config (stats_of report))
+        | Portfolio.Timed_out report ->
+            collapse report (Cegis.Timed_out (stats_of report)))
+  in
   let rec go c =
     if c > s.check_hi then No_solution "no check length in range admits the spec"
     else
@@ -230,17 +264,17 @@ let run_single ?timeout s =
       let problem =
         { Cegis.data_len = s.data_len; check_len = c; min_distance = s.md; extra }
       in
-      match Cegis.synthesize ?timeout problem with
+      match synthesize problem with
       | Cegis.Synthesized (code, stats) -> Codes ([ code ], stats)
       | Cegis.Unsat_config _ -> go (c + 1)
       | Cegis.Timed_out _ -> No_solution "timeout"
   in
   go s.check_lo
 
-let run ?timeout ?weights ?p prop =
+let run ?timeout ?weights ?p ?jobs ?on_report prop =
   match analyze prop with
   | Error msg -> No_solution msg
-  | Ok (Fixed s) | Ok (Min_check_len s) -> run_single ?timeout s
+  | Ok (Fixed s) | Ok (Min_check_len s) -> run_single ?timeout ?jobs ?on_report s
   | Ok (Max_distance s) ->
       (* grow the distance target until the configuration goes UNSAT; a
          fixed check length is required so "maximal" is well-defined *)

@@ -41,7 +41,16 @@ type outcome =
   | Setbits_walk of Optimize.setbits_step list
   | No_solution of string
 
-(** [run ?timeout ?weights ?p prop] analyzes and executes a specification.
-    [weights] are required for weighted tasks. *)
+(** [run ?timeout ?weights ?p ?jobs ?on_report prop] analyzes and executes
+    a specification.  [weights] are required for weighted tasks.  [jobs]
+    switches single-generator synthesis to the {!Portfolio} racing [jobs]
+    worker configurations; [on_report] receives the portfolio report of
+    each synthesis call (other task shapes run sequentially regardless). *)
 val run :
-  ?timeout:float -> ?weights:int array -> ?p:float -> Spec.Ast.prop -> outcome
+  ?timeout:float ->
+  ?weights:int array ->
+  ?p:float ->
+  ?jobs:int ->
+  ?on_report:(Portfolio.report -> unit) ->
+  Spec.Ast.prop ->
+  outcome

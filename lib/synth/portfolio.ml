@@ -1,0 +1,459 @@
+open Gf2
+open Smtlite
+
+type config = {
+  label : string;
+  cex_mode : Cegis.cex_mode;
+  verifier : Cegis.verifier_mode;
+  encoding : Card.encoding;
+  seed : int option;
+}
+
+type worker_stats = {
+  config : config;
+  stats : Cegis.stats;
+  shared_out : int;
+  shared_in : int;
+  finished : bool;
+}
+
+type report = {
+  workers : worker_stats list;
+  winner : config option;
+  wall_clock : float;
+  rounds : int;
+  total_iterations : int;
+  total_conflicts : int;
+}
+
+type outcome =
+  | Synthesized of Hamming.Code.t * report
+  | Unsat_config of report
+  | Timed_out of report
+
+let config_to_string c =
+  let cex = match c.cex_mode with
+    | Cegis.Data_word -> "data-word"
+    | Cegis.Whole_candidate -> "whole-candidate"
+  in
+  let ver = match c.verifier with
+    | Cegis.Combinatorial -> "comb"
+    | Cegis.Sat -> "sat"
+  in
+  let enc = match c.encoding with
+    | Card.Naive -> "naive"
+    | Card.Pairwise -> "pairwise"
+    | Card.Sequential -> "seq"
+    | Card.Totalizer -> "tot"
+    | Card.Adder -> "adder"
+  in
+  let seed = match c.seed with None -> "-" | Some s -> string_of_int s in
+  Printf.sprintf "%s(cex=%s ver=%s enc=%s seed=%s)" c.label cex ver enc seed
+
+(* Worker 0 is exactly the sequential default configuration so that
+   [--jobs 1] reproduces [Cegis.synthesize] bit for bit; the rest vary the
+   cardinality encoding, counterexample mode, verifier and random seed.
+   Past the base set, additional workers recycle encodings with fresh
+   seeds. *)
+let default_configs jobs =
+  let base =
+    [|
+      { label = "w0"; cex_mode = Cegis.Data_word; verifier = Cegis.Combinatorial;
+        encoding = Card.Sequential; seed = None };
+      { label = "w1"; cex_mode = Cegis.Data_word; verifier = Cegis.Combinatorial;
+        encoding = Card.Totalizer; seed = Some 1 };
+      { label = "w2"; cex_mode = Cegis.Data_word; verifier = Cegis.Combinatorial;
+        encoding = Card.Adder; seed = Some 2 };
+      { label = "w3"; cex_mode = Cegis.Data_word; verifier = Cegis.Combinatorial;
+        encoding = Card.Sequential; seed = Some 3 };
+      { label = "w4"; cex_mode = Cegis.Data_word; verifier = Cegis.Sat;
+        encoding = Card.Totalizer; seed = Some 4 };
+      { label = "w5"; cex_mode = Cegis.Data_word; verifier = Cegis.Combinatorial;
+        encoding = Card.Pairwise; seed = Some 5 };
+      { label = "w6"; cex_mode = Cegis.Whole_candidate; verifier = Cegis.Combinatorial;
+        encoding = Card.Sequential; seed = Some 6 };
+    |]
+  in
+  List.init jobs (fun i ->
+      if i < Array.length base then base.(i)
+      else
+        let b = base.(i mod Array.length base) in
+        { b with label = Printf.sprintf "w%d" i; seed = Some (i * 7919 + 17) })
+
+(* ---------- shared counterexample pool ---------- *)
+
+(* A grow-only vector of (origin worker, cex) under a mutex.  Workers keep
+   a private cursor and drain only entries they have not seen; entries are
+   deduplicated on insertion so each distinct witness is transported once. *)
+type pool = {
+  mutex : Mutex.t;
+  mutable items : (int * Cegis.cex) array;
+  mutable len : int;
+  seen_keys : (string, unit) Hashtbl.t;
+}
+
+let pool_create () =
+  {
+    mutex = Mutex.create ();
+    items = Array.make 64 (-1, Cegis.Cex_data (Bitvec.create 0));
+    len = 0;
+    seen_keys = Hashtbl.create 64;
+  }
+
+let cex_key = function
+  | Cegis.Cex_data d -> "d:" ^ Bitvec.to_string d
+  | Cegis.Cex_candidate c -> "c:" ^ Hamming.Code.to_string c
+
+(* Returns [true] when the cex was fresh (not already pooled). *)
+let pool_publish pool origin cex =
+  Mutex.protect pool.mutex (fun () ->
+      let key = cex_key cex in
+      if Hashtbl.mem pool.seen_keys key then false
+      else begin
+        Hashtbl.add pool.seen_keys key ();
+        if pool.len = Array.length pool.items then begin
+          let bigger = Array.make (2 * pool.len) pool.items.(0) in
+          Array.blit pool.items 0 bigger 0 pool.len;
+          pool.items <- bigger
+        end;
+        pool.items.(pool.len) <- (origin, cex);
+        pool.len <- pool.len + 1;
+        true
+      end)
+
+(* Entries after the cursor that some other worker contributed. *)
+let pool_drain pool ~cursor ~self =
+  Mutex.protect pool.mutex (fun () ->
+      let fresh = ref [] in
+      for i = pool.len - 1 downto cursor do
+        let origin, cex = pool.items.(i) in
+        if origin <> self then fresh := cex :: !fresh
+      done;
+      (!fresh, pool.len))
+
+(* ---------- the race ---------- *)
+
+type decision =
+  | Winner of int * Hamming.Code.t
+  | Proved_unsat of int
+
+type worker_outcome = {
+  w_stats : Cegis.stats;
+  w_out : int;
+  w_in : int;
+  w_finished : bool;
+}
+
+(* [index] is the worker's slot within its round (who to credit in the
+   decision); [origin] is unique across rounds so a restarted worker
+   re-imports the counterexamples its previous incarnation published. *)
+let run_worker ~problem ~vars ~deadline ~stop ~decision ~pool ~origin index
+    config =
+  let interrupt () = Atomic.get stop || Unix.gettimeofday () > deadline in
+  let shared_out = ref 0 and shared_in = ref 0 in
+  let cursor = ref 0 in
+  let finished = ref false in
+  let session =
+    Cegis.create_session ~cex_mode:config.cex_mode ~verifier:config.verifier
+      ~encoding:config.encoding ?seed:config.seed ~interrupt ~vars problem
+  in
+  let decide d =
+    if Atomic.compare_and_set decision None (Some d) then begin
+      finished := true;
+      Atomic.set stop true
+    end
+  in
+  let rec loop () =
+    if Atomic.get stop || Unix.gettimeofday () > deadline then ()
+    else begin
+      (* absorb counterexamples other workers discovered since last step *)
+      let fresh, len = pool_drain pool ~cursor:!cursor ~self:origin in
+      cursor := len;
+      List.iter
+        (fun cex ->
+          incr shared_in;
+          Cegis.learn session cex)
+        fresh;
+      match Cegis.step ~deadline session with
+      | Cegis.Done code -> decide (Winner (index, code))
+      | Cegis.Exhausted ->
+          (* sound globally: every imported constraint is implied by the
+             specification, so an unsat synthesizer context refutes the
+             whole configuration, not just this worker's search *)
+          decide (Proved_unsat index)
+      | Cegis.Progress cex ->
+          if pool_publish pool origin cex then incr shared_out;
+          loop ()
+    end
+  in
+  (try loop () with Ctx.Timeout | Ctx.Interrupted -> ());
+  {
+    w_stats = Cegis.session_stats session;
+    w_out = !shared_out;
+    w_in = !shared_in;
+    w_finished = !finished;
+  }
+
+(* One domain, K workers: step the sessions round-robin, one CEGIS
+   iteration per turn.  On a host without spare cores this has the same
+   semantics and sharing behaviour as spawned domains but none of the
+   scheduler noise: pool-arrival order is fixed by the rotation, so the
+   whole race is deterministic for seeded configurations. *)
+let run_interleaved ~problem ~vars ~deadline ~decision ~pool ~origin_base
+    configs =
+  let deadline_hit () = Unix.gettimeofday () > deadline in
+  let workers =
+    List.mapi
+      (fun i config ->
+        let session =
+          Cegis.create_session ~cex_mode:config.cex_mode
+            ~verifier:config.verifier ~encoding:config.encoding
+            ?seed:config.seed ~interrupt:deadline_hit ~vars problem
+        in
+        (i, config, session, ref 0, ref 0, ref 0, ref false, ref false))
+      configs
+  in
+  let decided = ref false in
+  let rec spin () =
+    if !decided || deadline_hit () then ()
+    else begin
+      let progressed = ref false in
+      List.iter
+        (fun (i, _config, session, cursor, s_out, s_in, dead, won) ->
+          if (not !decided) && (not !dead) && not (deadline_hit ()) then begin
+            progressed := true;
+            try
+              let fresh, len =
+                pool_drain pool ~cursor:!cursor ~self:(origin_base + i)
+              in
+              cursor := len;
+              List.iter
+                (fun cex ->
+                  incr s_in;
+                  Cegis.learn session cex)
+                fresh;
+              match Cegis.step ~deadline session with
+              | Cegis.Done code ->
+                  decided := true;
+                  won := true;
+                  Atomic.set decision (Some (Winner (i, code)))
+              | Cegis.Exhausted ->
+                  decided := true;
+                  won := true;
+                  Atomic.set decision (Some (Proved_unsat i))
+              | Cegis.Progress cex ->
+                  if pool_publish pool (origin_base + i) cex then incr s_out
+            with Ctx.Timeout | Ctx.Interrupted -> dead := true
+          end)
+        workers;
+      if !progressed then spin ()
+    end
+  in
+  spin ();
+  List.map
+    (fun (_, _config, session, _cursor, s_out, s_in, _dead, won) ->
+      {
+        w_stats = Cegis.session_stats session;
+        w_out = !s_out;
+        w_in = !s_in;
+        w_finished = !won;
+      })
+    workers
+
+(* Reseeded copies of the round-0 configurations for restart round [r].
+   Every worker gets a fresh deterministic seed (8191 is coprime to the
+   default seed stride 7919) so a restarted race explores new trajectories
+   while re-importing the whole counterexample pool on its first drain. *)
+let reseed_configs r configs =
+  List.map
+    (fun c ->
+      {
+        c with
+        label = Printf.sprintf "%sr%d" c.label r;
+        seed = Some ((match c.seed with None -> 0 | Some s -> s) + (8191 * r));
+      })
+    configs
+
+let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
+    ?(scheduler = `Auto) ?configs problem =
+  if jobs < 1 then invalid_arg "Portfolio.synthesize: jobs must be >= 1";
+  let use_domains =
+    match scheduler with
+    | `Domains -> true
+    | `Interleaved -> false
+    | `Auto ->
+        (* spawning domains on a host with no spare cores buys no
+           parallelism and adds scheduler noise; step the workers
+           round-robin in this domain instead *)
+        Domain.recommended_domain_count () >= 2
+  in
+  let configs =
+    match configs with
+    | Some cs ->
+        if List.length cs <> jobs then
+          invalid_arg "Portfolio.synthesize: configs length must equal jobs";
+        cs
+    | None -> default_configs jobs
+  in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. timeout in
+  let vars =
+    Cegis.make_matrix_vars ~data_len:problem.Cegis.data_len
+      ~check_len:problem.Cegis.check_len
+  in
+  let stop = Atomic.make false in
+  let decision = Atomic.make None in
+  let pool = pool_create () in
+  (* Run restart rounds until a decision or the global deadline.  Round r
+     gets a budget of [restart_interval * 2^r] (Luby-style doubling keeps
+     total restart overhead within a constant factor of the best single
+     budget); the counterexample pool carries over, so every new round
+     starts from all accumulated refutations instead of from scratch.
+     jobs = 1 never restarts: it is the deterministic sequential replay. *)
+  let rec rounds r acc_workers round_configs =
+    let now = Unix.gettimeofday () in
+    let round_deadline =
+      if jobs = 1 || restart_interval <= 0.0 then deadline
+      else min deadline (now +. (restart_interval *. float_of_int (1 lsl r)))
+    in
+    Atomic.set stop false;
+    let run i config =
+      run_worker ~problem ~vars ~deadline:round_deadline ~stop ~decision ~pool
+        ~origin:((r * jobs) + i) i config
+    in
+    let outcomes =
+      match round_configs with
+      | [ only ] ->
+          (* jobs = 1: run inline, no domain — deterministic replay of the
+             sequential loop *)
+          [ run 0 only ]
+      | _ when not use_domains ->
+          run_interleaved ~problem ~vars ~deadline:round_deadline ~decision
+            ~pool ~origin_base:(r * jobs) round_configs
+      | _ ->
+          let domains =
+            List.mapi
+              (fun i c -> Domain.spawn (fun () -> run i c))
+              round_configs
+          in
+          List.map Domain.join domains
+    in
+    let workers =
+      List.map2
+        (fun config o ->
+          {
+            config;
+            stats = o.w_stats;
+            shared_out = o.w_out;
+            shared_in = o.w_in;
+            finished = o.w_finished;
+          })
+        round_configs outcomes
+    in
+    let acc_workers = acc_workers @ workers in
+    match Atomic.get decision with
+    | Some _ -> (acc_workers, round_configs, r + 1)
+    | None ->
+        if round_deadline >= deadline then (acc_workers, round_configs, r + 1)
+        else rounds (r + 1) acc_workers (reseed_configs (r + 1) configs)
+  in
+  let workers, last_configs, rounds_run = rounds 0 [] configs in
+  let wall_clock = Unix.gettimeofday () -. start in
+  let winner_config i = Some (List.nth last_configs i) in
+  let report winner =
+    {
+      workers;
+      winner;
+      wall_clock;
+      rounds = rounds_run;
+      total_iterations =
+        List.fold_left (fun acc w -> acc + w.stats.Cegis.iterations) 0 workers;
+      total_conflicts =
+        List.fold_left
+          (fun acc w ->
+            acc + w.stats.Cegis.syn_conflicts + w.stats.Cegis.ver_conflicts)
+          0 workers;
+    }
+  in
+  match Atomic.get decision with
+  | Some (Winner (i, code)) -> Synthesized (code, report (winner_config i))
+  | Some (Proved_unsat i) -> Unsat_config (report (winner_config i))
+  | None -> Timed_out (report None)
+
+(* ---------- verification race ---------- *)
+
+type verify_outcome = Holds | Refuted of Bitvec.t | Unknown
+
+let verify_strategies =
+  [
+    ("comb", `Comb);
+    ("sat-seq", `Sat Card.Sequential);
+    ("sat-tot", `Sat Card.Totalizer);
+    ("sat-adder", `Sat Card.Adder);
+  ]
+
+let verify_min_distance ?(timeout = 120.0) ?(jobs = 4) code m =
+  if jobs < 1 then invalid_arg "Portfolio.verify_min_distance: jobs must be >= 1";
+  let start = Unix.gettimeofday () in
+  let deadline = start +. timeout in
+  let stop = Atomic.make false in
+  let decision = Atomic.make None in
+  let strategies =
+    List.filteri (fun i _ -> i < jobs) verify_strategies
+  in
+  let interrupt () = Atomic.get stop || Unix.gettimeofday () > deadline in
+  let decide name answer =
+    if Atomic.compare_and_set decision None (Some (name, answer)) then
+      Atomic.set stop true
+  in
+  let run (name, strategy) =
+    try
+      let answer =
+        match strategy with
+        | `Comb -> (
+            match Hamming.Distance.counterexample ~interrupt code m with
+            | None -> Holds
+            | Some d -> Refuted d)
+        | `Sat encoding -> (
+            match
+              Hamming.Distance.sat_counterexample ~deadline ~interrupt
+                ~encoding code m
+            with
+            | None -> Holds
+            | Some d -> Refuted d)
+      in
+      decide name answer
+    with Ctx.Timeout | Ctx.Interrupted -> ()
+  in
+  (match strategies with
+  | [ only ] -> run only
+  | _ ->
+      let domains =
+        List.map (fun s -> Domain.spawn (fun () -> run s)) strategies
+      in
+      List.iter Domain.join domains);
+  let wall_clock = Unix.gettimeofday () -. start in
+  match Atomic.get decision with
+  | Some (name, answer) -> (answer, name, wall_clock)
+  | None -> (Unknown, "-", wall_clock)
+
+(* ---------- rendering ---------- *)
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "portfolio: %d workers, wall %.3fs, %d iterations, %d conflicts, %d round%s@."
+    (List.length r.workers) r.wall_clock r.total_iterations r.total_conflicts
+    r.rounds
+    (if r.rounds = 1 then "" else "s");
+  (match r.winner with
+  | Some c -> Format.fprintf fmt "winner: %s@." (config_to_string c)
+  | None -> Format.fprintf fmt "winner: none (timed out)@.");
+  List.iter
+    (fun w ->
+      Format.fprintf fmt
+        "  %-40s iters=%-4d vcalls=%-4d syn_cf=%-6d ver_cf=%-6d out=%-3d in=%-3d%s@."
+        (config_to_string w.config) w.stats.Cegis.iterations
+        w.stats.Cegis.verifier_calls w.stats.Cegis.syn_conflicts
+        w.stats.Cegis.ver_conflicts w.shared_out w.shared_in
+        (if w.finished then "  <- decided" else ""))
+    r.workers

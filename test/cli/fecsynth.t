@@ -25,6 +25,31 @@ for md 3 at 4 data bits):
   $ fecsynth synth -p 'len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) <= 4 && md(G[0]) = 3 && minimal(len_c(G[0]))' | head -1
   synthesized (7,4) generator, md 3, 9 set bits:
 
+Portfolio synthesis races configured workers and reports the winner; the
+generator line and the per-worker report shape are stable even though the
+winning worker is not:
+
+  $ fecsynth synth --portfolio --jobs 2 -p 'len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' > portfolio.out
+  $ grep -c '^portfolio: 2 workers' portfolio.out
+  1
+  $ grep -c '^winner: w[01](' portfolio.out
+  1
+  $ grep -c '<- decided' portfolio.out
+  1
+  $ grep -c '^synthesized (7,4) generator, md 3' portfolio.out
+  1
+
+--jobs 1 is the sequential configuration run through the portfolio path:
+
+  $ fecsynth synth --portfolio --jobs 1 -p 'len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' | grep -c '^winner: w0('
+  1
+
+Bad job counts are rejected:
+
+  $ fecsynth synth --portfolio --jobs 0 -p 'md(G[0]) = 3'
+  fecsynth: --jobs must be >= 1
+  [124]
+
 Emission produces C with the expected entry points:
 
   $ fecsynth emit -c parity:4 --lang c | grep -c 'fec_encode\|fec_syndrome'

@@ -1,0 +1,193 @@
+(* Seeded randomized cross-check harness.
+
+   Three oracles are compared on randomly generated inputs:
+   - the CDCL solver against the exhaustive reference procedure (SAT/UNSAT
+     answers must agree; models must satisfy every clause; UNSAT answers
+     must come with a DRAT proof the independent checker accepts);
+   - the seeded (diversified) solver against the unseeded one — seeds may
+     change the search, never the answer;
+   - every cardinality encoding against the popcount semantics, by
+     exhaustive circuit evaluation.
+
+   The iteration budget is small by default so [dune runtest] stays quick;
+   set FEC_FUZZ_ITERS to fuzz harder. *)
+
+open Sat
+
+let default_iters = 600
+
+let iters =
+  match Sys.getenv_opt "FEC_FUZZ_ITERS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> default_iters)
+  | None -> default_iters
+
+let lit rng n =
+  let l = Lit.make (Channel.Prng.int_below rng n) in
+  if Channel.Prng.bits rng ~n:1 = 1 then Lit.neg l else l
+
+(* Random CNF near the 3-SAT phase transition so both answers are common. *)
+let gen_cnf rng =
+  let n = 3 + Channel.Prng.int_below rng 10 in
+  let m = 1 + Channel.Prng.int_below rng (9 * n / 2) in
+  let clauses =
+    List.init m (fun _ ->
+        let len = 1 + Channel.Prng.int_below rng 3 in
+        List.init len (fun _ -> lit rng n))
+  in
+  (n, clauses)
+
+let solve_with ?seed ~proof n clauses =
+  let s = Solver.create () in
+  if proof then Solver.enable_proof s;
+  (match seed with Some x -> Solver.set_seed s x | None -> ());
+  ignore (Solver.new_vars s n);
+  List.iter (Solver.add_clause s) clauses;
+  (s, Solver.solve s)
+
+let test_cnf_cross_check () =
+  let rng = Channel.Prng.create 0xF00D in
+  let sat = ref 0 and unsat = ref 0 in
+  for i = 1 to iters do
+    let n, clauses = gen_cnf rng in
+    let reference = Reference.solve ~num_vars:n clauses in
+    let s, answer = solve_with ~proof:true n clauses in
+    (match (answer, reference) with
+    | Solver.Sat, None | Solver.Unsat, Some _ ->
+        Alcotest.failf "iteration %d: solver and reference disagree (%d vars, %d clauses)"
+          i n (List.length clauses)
+    | Solver.Sat, Some _ ->
+        incr sat;
+        let model = Solver.model s in
+        List.iteri
+          (fun j c ->
+            if not (Reference.eval model c) then
+              Alcotest.failf "iteration %d: model falsifies clause %d" i j)
+          clauses
+    | Solver.Unsat, None -> (
+        incr unsat;
+        match Solver.proof s with
+        | None -> Alcotest.fail "proof recording was enabled but no proof"
+        | Some proof -> (
+            match Drat.check ~formula:(Solver.original_clauses s) proof with
+            | Drat.Valid -> ()
+            | Drat.Invalid msg ->
+                Alcotest.failf "iteration %d: DRAT proof rejected: %s" i msg)));
+    (* a diversification seed must never change the answer *)
+    let _, seeded_answer =
+      solve_with ~seed:(i * 2654435761) ~proof:false n clauses
+    in
+    if seeded_answer <> answer then
+      Alcotest.failf "iteration %d: seeded solver changed the answer" i
+  done;
+  if !sat = 0 || !unsat = 0 then
+    Alcotest.failf "degenerate fuzz distribution: %d sat / %d unsat" !sat !unsat
+
+(* ---------- cardinality-encoding agreement ---------- *)
+
+let encodings =
+  [
+    ("naive", Smtlite.Card.Naive);
+    ("pairwise", Smtlite.Card.Pairwise);
+    ("sequential", Smtlite.Card.Sequential);
+    ("totalizer", Smtlite.Card.Totalizer);
+    ("adder", Smtlite.Card.Adder);
+  ]
+
+(* Exhaustively evaluate the constraint circuit on every assignment of the
+   [n] inputs and compare against popcount semantics. *)
+let check_card_semantics ~what ~n ~k build expected =
+  let es = List.init n Smtlite.Expr.var in
+  List.iter
+    (fun (name, enc) ->
+      let e = build enc es k in
+      for bits = 0 to (1 lsl n) - 1 do
+        let assign i = bits land (1 lsl i) <> 0 in
+        let pop = ref 0 in
+        for i = 0 to n - 1 do
+          if assign i then incr pop
+        done;
+        let got = Smtlite.Expr.eval assign e in
+        if got <> expected !pop k then
+          Alcotest.failf "%s %s: n=%d k=%d assignment %d: got %b" what name n
+            k bits got
+      done)
+    encodings
+
+let test_card_agreement () =
+  let rng = Channel.Prng.create 0xCA4D in
+  let rounds = max 20 (iters / 10) in
+  for _ = 1 to rounds do
+    let n = 1 + Channel.Prng.int_below rng 7 in
+    let k = Channel.Prng.int_below rng (n + 3) - 1 in
+    check_card_semantics ~what:"at_most" ~n ~k Smtlite.Card.at_most
+      (fun pop k -> pop <= k);
+    check_card_semantics ~what:"at_least" ~n ~k Smtlite.Card.at_least
+      (fun pop k -> pop >= k)
+  done
+
+(* The same agreement through the solver: assert the constraint with two
+   different encodings in separate contexts under a shared random partial
+   assignment; satisfiability must match. *)
+let test_card_equisat () =
+  let rng = Channel.Prng.create 0x5EED in
+  let rounds = max 20 (iters / 10) in
+  for round = 1 to rounds do
+    let n = 2 + Channel.Prng.int_below rng 8 in
+    let k = Channel.Prng.int_below rng (n + 1) in
+    let base = 1000 * round in
+    let es = List.init n (fun i -> Smtlite.Expr.var (base + i)) in
+    (* random forced literals, leaving some variables free *)
+    let forced =
+      List.filter_map
+        (fun e ->
+          match Channel.Prng.int_below rng 3 with
+          | 0 -> Some e
+          | 1 -> Some (Smtlite.Expr.not_ e)
+          | _ -> None)
+        es
+    in
+    let result enc constraint_ =
+      let ctx = Smtlite.Ctx.create () in
+      Smtlite.Ctx.assert_ ctx (constraint_ enc es k);
+      List.iter (Smtlite.Ctx.assert_ ctx) forced;
+      Smtlite.Ctx.check ctx
+    in
+    let check what constraint_ =
+      let answers =
+        List.map (fun (name, enc) -> (name, result enc constraint_)) encodings
+      in
+      match answers with
+      | [] -> ()
+      | (ref_name, ref_answer) :: rest ->
+          List.iter
+            (fun (name, answer) ->
+              if answer <> ref_answer then
+                Alcotest.failf
+                  "round %d: %s disagreement between %s and %s (n=%d k=%d)"
+                  round what ref_name name n k)
+            rest
+    in
+    check "at_most" Smtlite.Card.at_most;
+    check "at_least" Smtlite.Card.at_least
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "cross-check",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "random CNF x%d: cdcl vs reference vs drat" iters)
+            `Slow test_cnf_cross_check;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "encodings match popcount semantics" `Quick
+            test_card_agreement;
+          Alcotest.test_case "encodings equisatisfiable under the solver"
+            `Quick test_card_equisat;
+        ] );
+    ]

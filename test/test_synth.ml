@@ -233,6 +233,138 @@ let test_multibit_rejects_bad_input () =
     (Invalid_argument "Multibit_synth.synthesize: distinguish must be >= 1") (fun () ->
       ignore (Multibit_synth.synthesize ~data_len:4 ~check_len:4 ~distinguish:0 ()))
 
+(* ---------- verifier conflict accounting ---------- *)
+
+let test_ver_conflicts_reported () =
+  (* regression: ver_conflicts was hardcoded to 0.  With the SAT verifier
+     on an instance that needs several refinement rounds, the verifier
+     must do real search, so the summed conflict count is positive. *)
+  match
+    Cegis.synthesize ~timeout:60.0 ~verifier:Cegis.Sat
+      { Cegis.data_len = 6; check_len = 5; min_distance = 4; extra = [] }
+  with
+  | Cegis.Synthesized (code, stats) ->
+      Alcotest.(check bool) "md >= 4" true
+        (Hamming.Distance.has_min_distance_at_least code 4);
+      Alcotest.(check bool) "verifier found counterexamples" true
+        (stats.Cegis.verifier_calls > 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "ver_conflicts > 0 (got %d)" stats.Cegis.ver_conflicts)
+        true
+        (stats.Cegis.ver_conflicts > 0)
+  | _ -> Alcotest.fail "expected success"
+
+(* ---------- portfolio ---------- *)
+
+let simple_problem ~k ~c ~m =
+  { Cegis.data_len = k; check_len = c; min_distance = m; extra = [] }
+
+let test_portfolio_jobs1_matches_sequential () =
+  (* worker 0 of the portfolio is configured exactly like the sequential
+     defaults and runs inline, so the answers must be bit-identical *)
+  let problem = simple_problem ~k:6 ~c:5 ~m:4 in
+  match (Cegis.synthesize ~timeout:60.0 problem,
+         Portfolio.synthesize ~timeout:60.0 ~jobs:1 problem) with
+  | Cegis.Synthesized (seq_code, seq_stats),
+    Portfolio.Synthesized (par_code, report) ->
+      Alcotest.(check bool) "identical generator" true
+        (Hamming.Code.equal seq_code par_code);
+      Alcotest.(check int) "identical iteration count"
+        seq_stats.Cegis.iterations report.Portfolio.total_iterations;
+      (match report.Portfolio.winner with
+      | Some c -> Alcotest.(check string) "winner is worker 0" "w0" c.Portfolio.label
+      | None -> Alcotest.fail "expected a winner")
+  | _ -> Alcotest.fail "expected success on both paths"
+
+let test_portfolio_jobs4_no_torn_results () =
+  (* whatever worker wins and however domains interleave, the returned
+     generator must verify; force the domain scheduler so this path is
+     exercised even on single-core hosts *)
+  List.iter
+    (fun (k, c, m) ->
+      match
+        Portfolio.synthesize ~timeout:60.0 ~jobs:4 ~scheduler:`Domains
+          (simple_problem ~k ~c ~m)
+      with
+      | Portfolio.Synthesized (code, report) ->
+          Alcotest.(check int) "4 workers" 4 (List.length report.Portfolio.workers);
+          Alcotest.(check bool) "winner recorded" true
+            (report.Portfolio.winner <> None);
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d c=%d m=%d verifies" k c m)
+            true
+            (Hamming.Distance.counterexample code m = None)
+      | Portfolio.Unsat_config _ -> Alcotest.fail "unexpectedly unsat"
+      | Portfolio.Timed_out _ -> Alcotest.fail "unexpected timeout")
+    [ (4, 4, 3); (6, 5, 4); (8, 4, 3) ]
+
+let test_portfolio_unsat_is_shared () =
+  (* any single worker proving unsat decides for the whole portfolio *)
+  match Portfolio.synthesize ~timeout:60.0 ~jobs:4 (simple_problem ~k:4 ~c:2 ~m:3) with
+  | Portfolio.Unsat_config report ->
+      Alcotest.(check bool) "winner recorded" true (report.Portfolio.winner <> None)
+  | Portfolio.Synthesized (code, _) ->
+      Alcotest.failf "impossible generator synthesized with md %d" (md code)
+  | Portfolio.Timed_out _ -> Alcotest.fail "unexpected timeout"
+
+let test_portfolio_encodings_agree_on_distance () =
+  (* one single-worker portfolio per cardinality encoding: all must reach
+     the same verified minimum distance ((7,4) admits exactly md 3) *)
+  let mds =
+    List.map
+      (fun encoding ->
+        let config =
+          { Portfolio.label = "w0"; cex_mode = Cegis.Data_word;
+            verifier = Cegis.Combinatorial; encoding; seed = None }
+        in
+        match
+          Portfolio.synthesize ~timeout:60.0 ~jobs:1 ~configs:[ config ]
+            (simple_problem ~k:4 ~c:3 ~m:3)
+        with
+        | Portfolio.Synthesized (code, _) -> md code
+        | _ -> Alcotest.fail "expected success")
+      [ Smtlite.Card.Sequential; Smtlite.Card.Totalizer; Smtlite.Card.Adder;
+        Smtlite.Card.Pairwise ]
+  in
+  List.iter (fun d -> Alcotest.(check int) "verified min distance" 3 d) mds
+
+let test_portfolio_restart_rounds () =
+  (* a 10 ms restart interval forces several reseeded rounds on an
+     instance that takes hundreds of ms with four timeshared workers; the
+     pool carries over, the result must still verify and the report must
+     show the extra rounds with reseeded labels *)
+  match
+    Portfolio.synthesize ~timeout:60.0 ~jobs:4 ~restart_interval:0.01
+      (simple_problem ~k:9 ~c:10 ~m:5)
+  with
+  | Portfolio.Synthesized (code, report) ->
+      Alcotest.(check bool) "restarted at least once" true
+        (report.Portfolio.rounds >= 2);
+      Alcotest.(check int) "one stats entry per worker per round"
+        (4 * report.Portfolio.rounds)
+        (List.length report.Portfolio.workers);
+      Alcotest.(check bool) "restarted workers are relabelled" true
+        (List.exists
+           (fun w ->
+             String.contains w.Portfolio.config.Portfolio.label 'r')
+           report.Portfolio.workers);
+      Alcotest.(check bool) "result verifies" true
+        (Hamming.Distance.counterexample code 5 = None)
+  | Portfolio.Unsat_config _ -> Alcotest.fail "unexpectedly unsat"
+  | Portfolio.Timed_out _ -> Alcotest.fail "unexpected timeout"
+
+let test_portfolio_verification_race () =
+  let code = Lazy.force Hamming.Catalog.fig2_7_4 in
+  (match Portfolio.verify_min_distance ~timeout:60.0 ~jobs:4 code 3 with
+  | Portfolio.Holds, winner, _ ->
+      Alcotest.(check bool) "winner named" true (winner <> "-")
+  | _ -> Alcotest.fail "md >= 3 should hold");
+  match Portfolio.verify_min_distance ~timeout:60.0 ~jobs:4 code 4 with
+  | Portfolio.Refuted d, _, _ ->
+      Alcotest.(check bool) "witness weight < 4" true
+        (Gf2.Bitvec.popcount (Hamming.Code.encode code d) < 4)
+  | _ -> Alcotest.fail "md >= 4 should be refuted"
+
 (* ---------- stand-alone verification (§4.1) ---------- *)
 
 let test_verify_ieee_md3 () =
@@ -368,6 +500,22 @@ let () =
           Alcotest.test_case "synthesize 2-distinguishing" `Quick test_multibit_synthesis;
           Alcotest.test_case "beats manual §6 matrix" `Slow test_multibit_beats_manual_construction;
           Alcotest.test_case "input validation" `Quick test_multibit_rejects_bad_input;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "ver_conflicts reported" `Quick test_ver_conflicts_reported;
+          Alcotest.test_case "jobs=1 matches sequential" `Quick
+            test_portfolio_jobs1_matches_sequential;
+          Alcotest.test_case "jobs=4 no torn results" `Slow
+            test_portfolio_jobs4_no_torn_results;
+          Alcotest.test_case "unsat decides the race" `Quick
+            test_portfolio_unsat_is_shared;
+          Alcotest.test_case "restart rounds carry the pool" `Slow
+            test_portfolio_restart_rounds;
+          Alcotest.test_case "encodings agree on distance" `Quick
+            test_portfolio_encodings_agree_on_distance;
+          Alcotest.test_case "verification race" `Quick
+            test_portfolio_verification_race;
         ] );
       ( "verify",
         [
