@@ -1,0 +1,33 @@
+# Convenience wrapper around dune.  `make check` is the one-stop gate:
+# full build, the whole test suite (unit + property + cram), and an
+# end-to-end trace validation of the telemetry pipeline.
+
+TRACE := /tmp/fecsynth-smoke.ndjson
+SMOKE_SPEC := len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3
+
+.PHONY: all build test trace-smoke check bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# End-to-end: synthesize with tracing on, then require every trace line to
+# parse and the expected event vocabulary to be present.
+trace-smoke: build
+	dune exec -- fecsynth synth --trace $(TRACE) --stats json -p '$(SMOKE_SPEC)' > /dev/null
+	dune exec -- fecsynth trace-check $(TRACE)
+
+check: build test trace-smoke
+	@echo "check: OK"
+
+# Quick benchmark pass (shrunken workloads); writes BENCH_pr2.json.
+bench: build
+	FEC_BENCH_SCALE=100 dune exec bench/main.exe
+
+clean:
+	dune clean
+	rm -f $(TRACE)

@@ -30,6 +30,44 @@ let time_it f =
   (result, Unix.gettimeofday () -. start)
 
 (* ---------------------------------------------------------------- *)
+(* machine-readable record of the synthesis-heavy rows               *)
+(* ---------------------------------------------------------------- *)
+
+(* Every synthesis instance the harness times is also appended here and
+   dumped as one JSON object at exit, so CI and EXPERIMENTS.md can diff
+   runs without scraping the human tables.  Default path BENCH_pr2.json;
+   override with FEC_BENCH_OUT. *)
+let bench_records : (string * string * float * int * int) list ref = ref []
+
+let record_instance ~experiment ~instance ~wall_s ~iterations ~conflicts =
+  bench_records :=
+    (experiment, instance, wall_s, iterations, conflicts) :: !bench_records
+
+let write_bench_json () =
+  let path =
+    Option.value (Sys.getenv_opt "FEC_BENCH_OUT") ~default:"BENCH_pr2.json"
+  in
+  let module J = Telemetry.Json in
+  let rows =
+    List.rev_map
+      (fun (experiment, instance, wall_s, iterations, conflicts) ->
+        J.Obj
+          [ ("experiment", J.Str experiment); ("instance", J.Str instance);
+            ("wall_s", J.Float wall_s); ("iterations", J.Int iterations);
+            ("conflicts", J.Int conflicts) ])
+      !bench_records
+  in
+  let j =
+    J.Obj
+      [ ("pr", J.Str "pr2"); ("scale", J.Int scale); ("instances", J.List rows) ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark record(s) to %s\n" (List.length rows) path
+
+(* ---------------------------------------------------------------- *)
 (* FIG1: average magnitude of numeric error vs bit position          *)
 (* ---------------------------------------------------------------- *)
 
@@ -75,6 +113,12 @@ let table1 () =
       with
       | Some r ->
           Hashtbl.replace table1_results md r.Synth.Optimize.code;
+          let st = r.Synth.Optimize.stats in
+          record_instance ~experiment:"table1"
+            ~instance:(Printf.sprintf "md=%d" md)
+            ~wall_s:st.Synth.Report.Stats.elapsed
+            ~iterations:st.Synth.Report.Stats.iterations
+            ~conflicts:st.Synth.Report.Stats.syn_conflicts;
           Printf.printf "%-9d %-10d %-11d %-9.2f (%d, %d, %.2f)\n" md
             r.Synth.Optimize.check_len r.Synth.Optimize.stats.Synth.Cegis.iterations
             r.Synth.Optimize.stats.Synth.Cegis.elapsed pc pi pt
@@ -356,6 +400,11 @@ let multibit () =
       ~check_lo:2 ~check_hi:14 ()
   with
   | Some (code, checks, stats) ->
+      record_instance ~experiment:"multibit"
+        ~instance:(Printf.sprintf "distinguish=2 k=4 c=%d" checks)
+        ~wall_s:stats.Synth.Report.Stats.elapsed
+        ~iterations:stats.Synth.Report.Stats.iterations
+        ~conflicts:stats.Synth.Report.Stats.syn_conflicts;
       Printf.printf
         "found: %d check bits (manual sec.6 matrix uses 11), md=%d, %d iterations, %.2f s\n"
         checks
@@ -377,6 +426,10 @@ let ablation_card () =
       in
       match Synth.Cegis.synthesize ~timeout:120.0 ~encoding:enc problem with
       | Synth.Cegis.Synthesized (_, stats) ->
+          record_instance ~experiment:"ablation-card" ~instance:name
+            ~wall_s:stats.Synth.Report.Stats.elapsed
+            ~iterations:stats.Synth.Report.Stats.iterations
+            ~conflicts:stats.Synth.Report.Stats.syn_conflicts;
           Printf.printf "%-12s %-11d %-9.2f %-10d\n" name stats.Synth.Cegis.iterations
             stats.Synth.Cegis.elapsed stats.Synth.Cegis.syn_conflicts
       | Synth.Cegis.Unsat_config _ -> Printf.printf "%-12s UNSAT?!\n" name
@@ -398,6 +451,10 @@ let ablation_cex () =
       in
       match Synth.Cegis.synthesize ~timeout:120.0 ~cex_mode:mode problem with
       | Synth.Cegis.Synthesized (_, stats) ->
+          record_instance ~experiment:"ablation-cex" ~instance:name
+            ~wall_s:stats.Synth.Report.Stats.elapsed
+            ~iterations:stats.Synth.Report.Stats.iterations
+            ~conflicts:stats.Synth.Report.Stats.syn_conflicts;
           Printf.printf "%-18s %-11d %-9.2f\n" name stats.Synth.Cegis.iterations
             stats.Synth.Cegis.elapsed
       | Synth.Cegis.Unsat_config _ -> Printf.printf "%-18s UNSAT?!\n" name
@@ -434,11 +491,19 @@ let portfolio_bench () =
       let problem =
         { Synth.Cegis.data_len = k; check_len = c; min_distance = m; extra = [] }
       in
+      let instance = Printf.sprintf "k=%d c=%d md=%d" k c m in
       let seq_time, seq_label, seq_finished =
         match Synth.Cegis.synthesize ~timeout:budget problem with
         | Synth.Cegis.Synthesized (_, st) ->
+            record_instance ~experiment:"portfolio-seq" ~instance
+              ~wall_s:st.Synth.Report.Stats.elapsed
+              ~iterations:st.Synth.Report.Stats.iterations
+              ~conflicts:st.Synth.Report.Stats.syn_conflicts;
             (st.Synth.Cegis.elapsed, Printf.sprintf "%.2f" st.Synth.Cegis.elapsed, true)
-        | Synth.Cegis.Timed_out _ ->
+        | Synth.Cegis.Timed_out st ->
+            record_instance ~experiment:"portfolio-seq" ~instance ~wall_s:budget
+              ~iterations:st.Synth.Report.Stats.iterations
+              ~conflicts:st.Synth.Report.Stats.syn_conflicts;
             (budget, Printf.sprintf ">%.0f" budget, false)
         | Synth.Cegis.Unsat_config st ->
             (st.Synth.Cegis.elapsed, "unsat", true)
@@ -446,6 +511,11 @@ let portfolio_bench () =
       match Synth.Portfolio.synthesize ~timeout:budget ~jobs:4 problem with
       | Synth.Portfolio.Synthesized (code, report) ->
           let wall = report.Synth.Portfolio.wall_clock in
+          record_instance ~experiment:"portfolio" ~instance ~wall_s:wall
+            ~iterations:
+              report.Synth.Portfolio.totals.Synth.Report.Stats.iterations
+            ~conflicts:
+              report.Synth.Portfolio.totals.Synth.Report.Stats.syn_conflicts;
           let speedup = seq_time /. wall in
           Printf.printf "%-16s %-14s %-14.2f %s%-8.2f %s [%d round%s]\n"
             (Printf.sprintf "k=%d c=%d md=%d" k c m)
@@ -714,4 +784,5 @@ let () =
       | None ->
           Printf.printf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst all_experiments)))
-    requested
+    requested;
+  write_bench_json ()

@@ -38,6 +38,19 @@ let timeout_arg =
   let doc = "Solver timeout in seconds." in
   Arg.(value & opt float 120.0 & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc)
 
+module J = Telemetry.Json
+
+let code_json code =
+  J.Obj
+    [
+      ("descriptor", J.Str (Fec_core.Registry.describe_code code));
+      ("block_len", J.Int (Hamming.Code.block_len code));
+      ("data_len", J.Int (Hamming.Code.data_len code));
+      ("min_distance", J.Int (Hamming.Distance.min_distance code));
+      ("set_bits", J.Int (Hamming.Code.set_bits code));
+      ("matrix", J.Str (Hamming.Code.to_string code));
+    ]
+
 (* ---------- synth ---------- *)
 
 let weights_conv =
@@ -62,58 +75,134 @@ let synth_cmd =
     let doc = "Number of portfolio workers (implies --portfolio for K > 1)." in
     Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"K" ~doc)
   in
-  let run prop_spec timeout weights portfolio jobs =
+  let run prop_spec timeout weights portfolio jobs trace fmt =
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else
     let prop = load_prop prop_spec in
     let jobs_opt = if portfolio then Some jobs else None in
+    let last_report = ref None in
     let on_report report =
-      Format.printf "%a" Synth.Portfolio.pp_report report
+      last_report := Some report;
+      if fmt = Output.Text then
+        Format.printf "%a" Synth.Portfolio.pp_report report
     in
-    match Synth.Driver.run ~timeout ?weights ?jobs:jobs_opt ~on_report prop with
+    let outcome =
+      Output.with_trace trace (fun () ->
+          Synth.Driver.run ~timeout ?weights ?jobs:jobs_opt ~on_report prop)
+    in
+    let portfolio_json () =
+      match !last_report with
+      | None -> []
+      | Some r -> [ ("portfolio", Synth.Portfolio.report_to_json r) ]
+    in
+    match outcome with
     | Synth.Driver.Codes (codes, stats) ->
-        List.iter
-          (fun code ->
-            Printf.printf "synthesized (%d,%d) generator, md %d, %d set bits:\n%s\n"
-              (Hamming.Code.block_len code) (Hamming.Code.data_len code)
-              (Hamming.Distance.min_distance code) (Hamming.Code.set_bits code)
-              (Hamming.Code.to_string code);
-            Printf.printf "descriptor: %s\n" (Fec_core.Registry.describe_code code))
-          codes;
-        Printf.printf "iterations: %d, time: %.2f s\n" stats.Synth.Cegis.iterations
-          stats.Synth.Cegis.elapsed;
+        Output.result fmt
+          ~text:(fun () ->
+            List.iter
+              (fun code ->
+                Printf.printf "synthesized (%d,%d) generator, md %d, %d set bits:\n%s\n"
+                  (Hamming.Code.block_len code) (Hamming.Code.data_len code)
+                  (Hamming.Distance.min_distance code) (Hamming.Code.set_bits code)
+                  (Hamming.Code.to_string code);
+                Printf.printf "descriptor: %s\n" (Fec_core.Registry.describe_code code))
+              codes;
+            Printf.printf "iterations: %d, time: %.2f s\n"
+              stats.Synth.Cegis.iterations stats.Synth.Cegis.elapsed)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "synth");
+              ("outcome", J.Str "synthesized");
+              ("codes", J.List (List.map code_json codes));
+              ("stats", Synth.Report.Stats.to_json stats);
+            ]
+            @ portfolio_json ());
         `Ok ()
     | Synth.Driver.Setbits_walk steps ->
-        List.iter
-          (fun s ->
-            Printf.printf "bound %d -> achieved %d (%d iterations, %.2f s)\n"
-              s.Synth.Optimize.bound s.Synth.Optimize.achieved
-              s.Synth.Optimize.step_stats.Synth.Cegis.iterations
-              s.Synth.Optimize.step_stats.Synth.Cegis.elapsed)
-          steps;
-        (match List.rev steps with
-        | best :: _ ->
-            Printf.printf "\nbest generator (%d set bits):\n%s\n" best.Synth.Optimize.achieved
-              (Hamming.Code.to_string best.Synth.Optimize.generator)
-        | [] -> ());
+        Output.result fmt
+          ~text:(fun () ->
+            List.iter
+              (fun s ->
+                Printf.printf "bound %d -> achieved %d (%d iterations, %.2f s)\n"
+                  s.Synth.Optimize.bound s.Synth.Optimize.achieved
+                  s.Synth.Optimize.step_stats.Synth.Cegis.iterations
+                  s.Synth.Optimize.step_stats.Synth.Cegis.elapsed)
+              steps;
+            match List.rev steps with
+            | best :: _ ->
+                Printf.printf "\nbest generator (%d set bits):\n%s\n"
+                  best.Synth.Optimize.achieved
+                  (Hamming.Code.to_string best.Synth.Optimize.generator)
+            | [] -> ())
+          ~json:(fun () ->
+            [
+              ("command", J.Str "synth");
+              ("outcome", J.Str "setbits_walk");
+              ( "steps",
+                J.List
+                  (List.map
+                     (fun s ->
+                       J.Obj
+                         [
+                           ("bound", J.Int s.Synth.Optimize.bound);
+                           ("achieved", J.Int s.Synth.Optimize.achieved);
+                           ( "generator",
+                             J.Str
+                               (Hamming.Code.to_string s.Synth.Optimize.generator)
+                           );
+                           ( "stats",
+                             Synth.Report.Stats.to_json
+                               s.Synth.Optimize.step_stats );
+                         ])
+                     steps) );
+              ( "stats",
+                Synth.Report.Stats.to_json
+                  (Synth.Report.Stats.sum
+                     (List.map (fun s -> s.Synth.Optimize.step_stats) steps)) );
+            ]
+            @ portfolio_json ());
         `Ok ()
     | Synth.Driver.Weighted_result r ->
-        let t0, t1 = r.Synth.Weighted.counts in
-        Printf.printf "mapping: %s (split %d/%d), sum_w = %.4f%s, %d iterations, %.2f s\n"
-          (String.concat ""
-             (Array.to_list (Array.map string_of_int r.Synth.Weighted.mapping)))
-          t0 t1 r.Synth.Weighted.sum_w
-          (if r.Synth.Weighted.optimal then " (proved optimal)" else "")
-          r.Synth.Weighted.iterations r.Synth.Weighted.elapsed;
-        let c0, c1 = r.Synth.Weighted.codes in
-        Printf.printf "generator 0:\n%s\ngenerator 1:\n%s\n" (Hamming.Code.to_string c0)
-          (Hamming.Code.to_string c1);
+        Output.result fmt
+          ~text:(fun () ->
+            let t0, t1 = r.Synth.Weighted.counts in
+            Printf.printf
+              "mapping: %s (split %d/%d), sum_w = %.4f%s, %d iterations, %.2f s\n"
+              (String.concat ""
+                 (Array.to_list (Array.map string_of_int r.Synth.Weighted.mapping)))
+              t0 t1 r.Synth.Weighted.sum_w
+              (if r.Synth.Weighted.optimal then " (proved optimal)" else "")
+              r.Synth.Weighted.iterations r.Synth.Weighted.elapsed;
+            let c0, c1 = r.Synth.Weighted.codes in
+            Printf.printf "generator 0:\n%s\ngenerator 1:\n%s\n"
+              (Hamming.Code.to_string c0) (Hamming.Code.to_string c1))
+          ~json:(fun () ->
+            let t0, t1 = r.Synth.Weighted.counts in
+            let c0, c1 = r.Synth.Weighted.codes in
+            [
+              ("command", J.Str "synth");
+              ("outcome", J.Str "weighted");
+              ( "mapping",
+                J.Str
+                  (String.concat ""
+                     (Array.to_list
+                        (Array.map string_of_int r.Synth.Weighted.mapping))) );
+              ("split", J.List [ J.Int t0; J.Int t1 ]);
+              ("sum_w", J.Float r.Synth.Weighted.sum_w);
+              ("optimal", J.Bool r.Synth.Weighted.optimal);
+              ("iterations", J.Int r.Synth.Weighted.iterations);
+              ("elapsed_s", J.Float r.Synth.Weighted.elapsed);
+              ("codes", J.List [ code_json c0; code_json c1 ]);
+            ]);
         `Ok ()
     | Synth.Driver.No_solution msg -> `Error (false, "no solution: " ^ msg)
   in
   let doc = "Synthesize generators from a property specification (CEGIS)." in
   Cmd.v (Cmd.info "synth" ~doc)
-    Term.(ret (const run $ prop_arg $ timeout_arg $ weights $ portfolio $ jobs))
+    Term.(
+      ret
+        (const run $ prop_arg $ timeout_arg $ weights $ portfolio $ jobs
+       $ Output.trace_arg $ Output.stats_arg))
 
 (* ---------- verify ---------- *)
 
@@ -122,7 +211,7 @@ let verify_cmd =
     let doc = "Distance-checking method: sat (the paper's) or enum." in
     Arg.(value & opt (enum [ ("sat", `Sat); ("enum", `Enum) ]) `Sat & info [ "method" ] ~doc)
   in
-  let run code_spec prop_spec method_ timeout =
+  let run code_spec prop_spec method_ timeout trace fmt =
     ignore timeout;
     let code = load_code code_spec in
     let prop = load_prop prop_spec in
@@ -130,34 +219,63 @@ let verify_cmd =
     let env = Spec.Eval.env_of_code code in
     let start = Unix.gettimeofday () in
     let holds =
-      match (prop, method_) with
-      | Spec.Ast.Cmp (Spec.Ast.Eq, Spec.Ast.Func (Spec.Ast.Md, _), Spec.Ast.Int m), `Sat ->
-          (Synth.Verify.min_distance_exactly ~method_:Synth.Verify.Sat code m).Synth.Verify.holds
-      | Spec.Ast.Cmp (Spec.Ast.Ge, Spec.Ast.Func (Spec.Ast.Md, _), Spec.Ast.Int m), `Sat ->
-          (Synth.Verify.min_distance_at_least ~method_:Synth.Verify.Sat code m).Synth.Verify.holds
-      | _ -> (Synth.Verify.property env prop).Synth.Verify.holds
+      Output.with_trace trace (fun () ->
+          match (prop, method_) with
+          | Spec.Ast.Cmp (Spec.Ast.Eq, Spec.Ast.Func (Spec.Ast.Md, _), Spec.Ast.Int m), `Sat ->
+              (Synth.Verify.min_distance_exactly ~method_:Synth.Verify.Sat code m).Synth.Verify.holds
+          | Spec.Ast.Cmp (Spec.Ast.Ge, Spec.Ast.Func (Spec.Ast.Md, _), Spec.Ast.Int m), `Sat ->
+              (Synth.Verify.min_distance_at_least ~method_:Synth.Verify.Sat code m).Synth.Verify.holds
+          | _ -> (Synth.Verify.property env prop).Synth.Verify.holds)
     in
-    Printf.printf "%s (%.2f s)\n" (if holds then "VERIFIED" else "REFUTED")
-      (Unix.gettimeofday () -. start);
+    let elapsed = Unix.gettimeofday () -. start in
+    Output.result fmt
+      ~text:(fun () ->
+        Printf.printf "%s (%.2f s)\n" (if holds then "VERIFIED" else "REFUTED") elapsed)
+      ~json:(fun () ->
+        [
+          ("command", J.Str "verify");
+          ("holds", J.Bool holds);
+          ("elapsed_s", J.Float elapsed);
+        ]);
     if holds then `Ok () else exit 1
   in
   let doc = "Verify a property of a concrete generator." in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(ret (const run $ code_arg $ prop_arg $ method_arg $ timeout_arg))
+    Term.(
+      ret
+        (const run $ code_arg $ prop_arg $ method_arg $ timeout_arg
+       $ Output.trace_arg $ Output.stats_arg))
 
 (* ---------- distance ---------- *)
 
 let distance_cmd =
-  let run code_spec =
+  let run code_spec trace fmt =
     let code = load_code code_spec in
-    Printf.printf "(%d,%d) generator: minimum distance %d, %d set bits, P_u(p=0.1) = %.3e\n"
-      (Hamming.Code.block_len code) (Hamming.Code.data_len code)
-      (Hamming.Distance.min_distance code) (Hamming.Code.set_bits code)
-      (Hamming.Robustness.undetected_error_probability code ~p:0.1);
+    let md, pu =
+      Output.with_trace trace (fun () ->
+          ( Hamming.Distance.min_distance code,
+            Hamming.Robustness.undetected_error_probability code ~p:0.1 ))
+    in
+    Output.result fmt
+      ~text:(fun () ->
+        Printf.printf
+          "(%d,%d) generator: minimum distance %d, %d set bits, P_u(p=0.1) = %.3e\n"
+          (Hamming.Code.block_len code) (Hamming.Code.data_len code)
+          md (Hamming.Code.set_bits code) pu)
+      ~json:(fun () ->
+        [
+          ("command", J.Str "distance");
+          ("block_len", J.Int (Hamming.Code.block_len code));
+          ("data_len", J.Int (Hamming.Code.data_len code));
+          ("min_distance", J.Int md);
+          ("set_bits", J.Int (Hamming.Code.set_bits code));
+          ("p_undetected_at_0.1", J.Float pu);
+        ]);
     `Ok ()
   in
   let doc = "Compute the exact minimum distance of a generator." in
-  Cmd.v (Cmd.info "distance" ~doc) Term.(ret (const run $ code_arg))
+  Cmd.v (Cmd.info "distance" ~doc)
+    Term.(ret (const run $ code_arg $ Output.trace_arg $ Output.stats_arg))
 
 (* ---------- analyze ---------- *)
 
@@ -170,27 +288,61 @@ let analyze_cmd =
     let doc = "Monte-Carlo samples for the float profile." in
     Arg.(value & opt int 100_000 & info [ "samples" ] ~doc)
   in
-  let run format samples =
+  let run format samples trace fmt =
     let profile =
-      match format with
-      | `F32 -> Channel.Bitflip.float32_profile ~samples ()
-      | `I32 -> Channel.Bitflip.int32_profile ()
+      Output.with_trace trace (fun () ->
+          match format with
+          | `F32 -> Channel.Bitflip.float32_profile ~samples ()
+          | `I32 -> Channel.Bitflip.int32_profile ())
     in
     let norm = Channel.Bitflip.normalize profile in
-    print_endline "bit  normalized-avg-error  non-numeric";
-    Array.iteri
-      (fun i v -> Printf.printf "%2d   %-20.6g %d\n" i v profile.Channel.Bitflip.non_numeric.(i))
-      norm;
-    (match format with
-    | `F32 ->
-        let w = Channel.Bitflip.weights_for_upper_bits ~bits:16 profile in
-        Printf.printf "\nsuggested upper-16 weights: %s\n"
-          (String.concat "," (Array.to_list (Array.map string_of_int w)))
-    | `I32 -> ());
+    let weights =
+      match format with
+      | `F32 -> Some (Channel.Bitflip.weights_for_upper_bits ~bits:16 profile)
+      | `I32 -> None
+    in
+    Output.result fmt
+      ~text:(fun () ->
+        print_endline "bit  normalized-avg-error  non-numeric";
+        Array.iteri
+          (fun i v ->
+            Printf.printf "%2d   %-20.6g %d\n" i v
+              profile.Channel.Bitflip.non_numeric.(i))
+          norm;
+        match weights with
+        | Some w ->
+            Printf.printf "\nsuggested upper-16 weights: %s\n"
+              (String.concat "," (Array.to_list (Array.map string_of_int w)))
+        | None -> ())
+      ~json:(fun () ->
+        [
+          ("command", J.Str "analyze");
+          ("format", J.Str (match format with `F32 -> "float32" | `I32 -> "int32"));
+          ( "normalized_avg_error",
+            J.List (Array.to_list (Array.map (fun v -> J.Float v) norm)) );
+          ( "non_numeric",
+            J.List
+              (Array.to_list
+                 (Array.map
+                    (fun n -> J.Int n)
+                    profile.Channel.Bitflip.non_numeric)) );
+        ]
+        @
+        match weights with
+        | Some w ->
+            [
+              ( "suggested_upper16_weights",
+                J.List (Array.to_list (Array.map (fun v -> J.Int v) w)) );
+            ]
+        | None -> []);
     `Ok ()
   in
   let doc = "Per-bit numeric-error profile of a data format (paper Figure 1)." in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(ret (const run $ format_arg $ samples_arg))
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      ret
+        (const run $ format_arg $ samples_arg $ Output.trace_arg
+       $ Output.stats_arg))
 
 (* ---------- emit ---------- *)
 
@@ -203,24 +355,43 @@ let emit_cmd =
     let doc = "Output file (stdout if omitted)." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run code_spec lang out =
+  let run code_spec lang out trace fmt =
     let code = load_code code_spec in
     let source =
-      match lang with
-      | `C -> Hamming.Emit.c_source code
-      | `OCaml -> Hamming.Emit.ocaml_source code
+      Output.with_trace trace (fun () ->
+          match lang with
+          | `C -> Hamming.Emit.c_source code
+          | `OCaml -> Hamming.Emit.ocaml_source code)
     in
     (match out with
-    | None -> print_string source
+    | None -> ()
     | Some path ->
         let oc = open_out path in
         output_string oc source;
-        close_out oc;
-        Printf.printf "wrote %s (%d bytes)\n" path (String.length source));
+        close_out oc);
+    Output.result fmt
+      ~text:(fun () ->
+        match out with
+        | None -> print_string source
+        | Some path ->
+            Printf.printf "wrote %s (%d bytes)\n" path (String.length source))
+      ~json:(fun () ->
+        [
+          ("command", J.Str "emit");
+          ("lang", J.Str (match lang with `C -> "c" | `OCaml -> "ocaml"));
+          ("bytes", J.Int (String.length source));
+        ]
+        @ (match out with
+          | Some path -> [ ("output", J.Str path) ]
+          | None -> [ ("source", J.Str source) ]));
     `Ok ()
   in
   let doc = "Emit a specialized encode/check implementation for a generator." in
-  Cmd.v (Cmd.info "emit" ~doc) Term.(ret (const run $ code_arg $ lang_arg $ out_arg))
+  Cmd.v (Cmd.info "emit" ~doc)
+    Term.(
+      ret
+        (const run $ code_arg $ lang_arg $ out_arg $ Output.trace_arg
+       $ Output.stats_arg))
 
 (* ---------- smt ---------- *)
 
@@ -229,18 +400,29 @@ let smt_cmd =
     let doc = "SMT-LIB v2 script (Boolean fragment); '-' reads stdin." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file =
+  let run file trace fmt =
     let script =
       if file = "-" then In_channel.input_all stdin else read_file file
     in
-    match Smtlite.Smtlib.run_to_string script with
+    match Output.with_trace trace (fun () -> Smtlite.Smtlib.run_to_string script) with
     | out ->
-        if out <> "" then print_endline out;
+        Output.result fmt
+          ~text:(fun () -> if out <> "" then print_endline out)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "smt");
+              ( "answers",
+                J.List
+                  (List.filter_map
+                     (fun l -> if l = "" then None else Some (J.Str l))
+                     (String.split_on_char '\n' out)) );
+            ]);
         `Ok ()
     | exception Smtlite.Smtlib.Error msg -> `Error (false, msg)
   in
   let doc = "Run an SMT-LIB v2 script on the built-in Boolean solver." in
-  Cmd.v (Cmd.info "smt" ~doc) Term.(ret (const run $ file_arg))
+  Cmd.v (Cmd.info "smt" ~doc)
+    Term.(ret (const run $ file_arg $ Output.trace_arg $ Output.stats_arg))
 
 (* ---------- certify ---------- *)
 
@@ -253,34 +435,66 @@ let certify_cmd =
     let doc = "Write the DRAT certificate to FILE." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run code_spec md out =
+  let run code_spec md out trace fmt =
     let code = load_code code_spec in
     let start = Unix.gettimeofday () in
-    match Hamming.Distance.certified_min_distance_at_least code md with
+    match
+      Output.with_trace trace (fun () ->
+          Hamming.Distance.certified_min_distance_at_least code md)
+    with
     | `Certified proof ->
-        Printf.printf
-          "CERTIFIED md >= %d (%.2f s); DRAT proof: %d steps, validated by the \
-           independent checker\n"
-          md
-          (Unix.gettimeofday () -. start)
-          (List.length (Sat.Drat.parse proof));
+        let elapsed = Unix.gettimeofday () -. start in
+        let steps = List.length (Sat.Drat.parse proof) in
         (match out with
         | None -> ()
         | Some path ->
             let oc = open_out path in
             output_string oc proof;
-            close_out oc;
-            Printf.printf "certificate written to %s\n" path);
+            close_out oc);
+        Output.result fmt
+          ~text:(fun () ->
+            Printf.printf
+              "CERTIFIED md >= %d (%.2f s); DRAT proof: %d steps, validated by the \
+               independent checker\n"
+              md elapsed steps;
+            match out with
+            | None -> ()
+            | Some path -> Printf.printf "certificate written to %s\n" path)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "certify");
+              ("certified", J.Bool true);
+              ("min_distance", J.Int md);
+              ("elapsed_s", J.Float elapsed);
+              ("proof_steps", J.Int steps);
+            ]
+            @ match out with Some p -> [ ("output", J.Str p) ] | None -> []);
         `Ok ()
     | `Refuted witness ->
-        Printf.printf "REFUTED: data word %s encodes to codeword weight %d < %d\n"
-          (Gf2.Bitvec.to_string witness)
-          (Gf2.Bitvec.popcount (Hamming.Code.encode code witness))
-          md;
+        Output.result fmt
+          ~text:(fun () ->
+            Printf.printf
+              "REFUTED: data word %s encodes to codeword weight %d < %d\n"
+              (Gf2.Bitvec.to_string witness)
+              (Gf2.Bitvec.popcount (Hamming.Code.encode code witness))
+              md)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "certify");
+              ("certified", J.Bool false);
+              ("min_distance", J.Int md);
+              ("witness", J.Str (Gf2.Bitvec.to_string witness));
+              ( "witness_weight",
+                J.Int (Gf2.Bitvec.popcount (Hamming.Code.encode code witness)) );
+            ]);
         exit 1
   in
   let doc = "Certify a minimum-distance bound with a validated DRAT proof." in
-  Cmd.v (Cmd.info "certify" ~doc) Term.(ret (const run $ code_arg $ md_arg $ out_arg))
+  Cmd.v (Cmd.info "certify" ~doc)
+    Term.(
+      ret
+        (const run $ code_arg $ md_arg $ out_arg $ Output.trace_arg
+       $ Output.stats_arg))
 
 (* ---------- robustness ---------- *)
 
@@ -297,23 +511,125 @@ let robustness_cmd =
     let doc = "PRNG seed." in
     Arg.(value & opt int 0xFEC & info [ "seed" ] ~doc)
   in
-  let run code_spec words p seed =
+  let run code_spec words p seed trace fmt =
     let code = load_code code_spec in
-    let md = Hamming.Distance.min_distance code in
-    let codec = Channel.Montecarlo.codec_of_code code in
-    let r =
-      Channel.Montecarlo.run ~codec ~md ~words ~p ~seed
-        (Channel.Montecarlo.uniform_data codec)
+    let md, r =
+      Output.with_trace trace (fun () ->
+          let md = Hamming.Distance.min_distance code in
+          let codec = Channel.Montecarlo.codec_of_code code in
+          ( md,
+            Channel.Montecarlo.run ~codec ~md ~words ~p ~seed
+              (Channel.Montecarlo.uniform_data codec) ))
     in
-    Printf.printf
-      "words %d  p %.3f  md %d\n>=md flips: %d (theory %.0f)\nundetected: %d\n" words p md
-      r.Channel.Montecarlo.flips_ge_md r.Channel.Montecarlo.expected_flips_ge_md
-      r.Channel.Montecarlo.undetected;
+    Output.result fmt
+      ~text:(fun () ->
+        Printf.printf
+          "words %d  p %.3f  md %d\n>=md flips: %d (theory %.0f)\nundetected: %d\n"
+          words p md r.Channel.Montecarlo.flips_ge_md
+          r.Channel.Montecarlo.expected_flips_ge_md
+          r.Channel.Montecarlo.undetected)
+      ~json:(fun () ->
+        [
+          ("command", J.Str "robustness");
+          ("words", J.Int words);
+          ("error_prob", J.Float p);
+          ("min_distance", J.Int md);
+          ("flips_ge_md", J.Int r.Channel.Montecarlo.flips_ge_md);
+          ( "expected_flips_ge_md",
+            J.Float r.Channel.Montecarlo.expected_flips_ge_md );
+          ("undetected", J.Int r.Channel.Montecarlo.undetected);
+        ]);
     `Ok ()
   in
   let doc = "Monte-Carlo robustness of a generator on a binary symmetric channel." in
   Cmd.v (Cmd.info "robustness" ~doc)
-    Term.(ret (const run $ code_arg $ words_arg $ p_arg $ seed_arg))
+    Term.(
+      ret
+        (const run $ code_arg $ words_arg $ p_arg $ seed_arg $ Output.trace_arg
+       $ Output.stats_arg))
+
+(* ---------- trace-check ---------- *)
+
+let trace_check_cmd =
+  let file_arg =
+    let doc = "NDJSON telemetry trace (as written by --trace) to validate." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file fmt =
+    let ic = open_in file in
+    let counts : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
+    let total = ref 0 in
+    let check =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let line_no = ref 0 in
+          let rec go () =
+            match In_channel.input_line ic with
+            | None -> Ok ()
+            | Some line -> (
+                incr line_no;
+                match J.of_string line with
+                | j ->
+                    let str_field key =
+                      match Option.bind (J.member key j) J.to_string_opt with
+                      | Some s -> s
+                      | None ->
+                          raise
+                            (J.Parse_error (Printf.sprintf "missing %s" key))
+                    in
+                    let kind = str_field "kind" in
+                    let name = str_field "name" in
+                    (match Option.bind (J.member "ts" j) J.to_float with
+                    | Some _ -> ()
+                    | None -> raise (J.Parse_error "missing ts"));
+                    incr total;
+                    let key = (kind, name) in
+                    Hashtbl.replace counts key
+                      (1 + Option.value (Hashtbl.find_opt counts key) ~default:0);
+                    go ()
+                | exception J.Parse_error msg ->
+                    Error (Printf.sprintf "line %d: %s" !line_no msg))
+          in
+          go ())
+    in
+    match check with
+    | Error msg -> `Error (false, "invalid trace: " ^ msg)
+    | Ok () ->
+        let sorted =
+          List.sort compare
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+        in
+        Output.result fmt
+          ~text:(fun () ->
+            Printf.printf "ok: %d events\n" !total;
+            List.iter
+              (fun ((kind, name), n) -> Printf.printf "%-10s %-24s %d\n" kind name n)
+              sorted)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "trace-check");
+              ("events", J.Int !total);
+              ( "counts",
+                J.List
+                  (List.map
+                     (fun ((kind, name), n) ->
+                       J.Obj
+                         [
+                           ("kind", J.Str kind);
+                           ("name", J.Str name);
+                           ("count", J.Int n);
+                         ])
+                     sorted) );
+            ]);
+        `Ok ()
+  in
+  let doc =
+    "Validate an NDJSON telemetry trace: every line must parse and carry \
+     ts/kind/name; prints per-(kind, name) event counts."
+  in
+  Cmd.v (Cmd.info "trace-check" ~doc)
+    Term.(ret (const run $ file_arg $ Output.stats_arg))
 
 let () =
   let doc = "synthesis and verification of application-specific FEC codes" in
@@ -322,7 +638,7 @@ let () =
     Cmd.group info
       [
         synth_cmd; verify_cmd; certify_cmd; distance_cmd; analyze_cmd; emit_cmd;
-        robustness_cmd; smt_cmd;
+        robustness_cmd; smt_cmd; trace_check_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

@@ -1,0 +1,42 @@
+(* Shared result/trace plumbing for every fecsynth subcommand: one place
+   defines --trace and --stats, installs the NDJSON sink, and renders the
+   machine-readable result objects so the subcommands agree on shape. *)
+
+open Cmdliner
+
+type format = Text | Json
+
+let stats_arg =
+  let doc = "Result format: human-readable text or one JSON object." in
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("json", Json) ]) Text
+    & info [ "stats" ] ~docv:"text|json" ~doc)
+
+let trace_arg =
+  let doc =
+    "Write an NDJSON telemetry trace (one event per line: solver calls, \
+     encodings, CEGIS iterations, portfolio workers) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with telemetry routed to [path] (no sink when [path] is None).
+   The file is created eagerly so even an aborted run leaves a parseable
+   (possibly empty) trace. *)
+let with_trace path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Telemetry.with_sink (Telemetry.Sink.ndjson oc) f)
+
+let print_json j = print_endline (Telemetry.Json.to_string j)
+
+(* [result fmt ~text ~json] prints the subcommand result exactly once:
+   the human rendering in Text mode, a single JSON object in Json mode. *)
+let result fmt ~text ~json =
+  match fmt with
+  | Text -> text ()
+  | Json -> print_json (Telemetry.Json.Obj (json ()))

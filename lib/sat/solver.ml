@@ -66,6 +66,7 @@ type t = {
   mutable n_restarts : int;
   mutable n_learnt_literals : int;
   mutable max_learnt_size_ : int;
+  learnt_hist : int array; (* bucket i counts learnt clauses of size in [2^i, 2^(i+1)) *)
 }
 
 let var_decay = 1.0 /. 0.95
@@ -106,6 +107,7 @@ let create () =
     n_restarts = 0;
     n_learnt_literals = 0;
     max_learnt_size_ = 0;
+    learnt_hist = Array.make 16 0;
   }
 
 let nvars s = s.nvars
@@ -575,6 +577,13 @@ let record_learnt s lits back_level =
   s.n_learnt_literals <- s.n_learnt_literals + Array.length lits;
   if Array.length lits > s.max_learnt_size_ then
     s.max_learnt_size_ <- Array.length lits;
+  (let bucket = ref 0 and n = ref (Array.length lits) in
+   while !n > 1 do
+     n := !n lsr 1;
+     incr bucket
+   done;
+   let bucket = min !bucket (Array.length s.learnt_hist - 1) in
+   s.learnt_hist.(bucket) <- s.learnt_hist.(bucket) + 1);
   cancel_until s back_level;
   if Array.length lits = 1 then enqueue s lits.(0) None
   else begin
@@ -654,7 +663,7 @@ let search s ~assumptions ~conflict_limit =
   done;
   match !outcome with Some o -> o | None -> assert false
 
-let solve ?(assumptions = []) s =
+let solve_body ?(assumptions = []) s =
   s.model_valid <- false;
   if not s.okay then Unsat
   else begin
@@ -685,6 +694,78 @@ let solve ?(assumptions = []) s =
     match !result with Some r -> r | None -> assert false
   end
 
+let stats s =
+  {
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    conflicts = s.n_conflicts;
+    restarts = s.n_restarts;
+    learnt_literals = s.n_learnt_literals;
+    max_learnt_size = s.max_learnt_size_;
+  }
+
+let learnt_size_histogram s = Array.copy s.learnt_hist
+
+(* non-zero buckets as "bucket:count,..." — compact enough to ship as one
+   string field per solve event *)
+let hist_csv delta =
+  let b = Buffer.create 32 in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        if Buffer.length b > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int i);
+        Buffer.add_char b ':';
+        Buffer.add_string b (string_of_int n)
+      end)
+    delta;
+  Buffer.contents b
+
+(* Each solve call becomes a [sat.solve] span whose end event carries the
+   per-call statistics deltas (the counters themselves are cumulative). *)
+let solve ?assumptions s =
+  if not (Telemetry.enabled ()) then solve_body ?assumptions s
+  else begin
+    let before = stats s in
+    let hist0 = Array.copy s.learnt_hist in
+    let sp =
+      Telemetry.begin_span "sat.solve"
+        ~fields:
+          [
+            ("vars", Telemetry.int s.nvars);
+            ("clauses", Telemetry.int (Vec.size s.clauses));
+          ]
+    in
+    let finish result =
+      let a = stats s in
+      let delta = Array.mapi (fun i n -> n - hist0.(i)) s.learnt_hist in
+      Telemetry.end_span sp
+        ~fields:
+          [
+            ("result", Telemetry.str result);
+            ("decisions", Telemetry.int (a.decisions - before.decisions));
+            ( "propagations",
+              Telemetry.int (a.propagations - before.propagations) );
+            ("conflicts", Telemetry.int (a.conflicts - before.conflicts));
+            ("restarts", Telemetry.int (a.restarts - before.restarts));
+            ("learnt_size_hist", Telemetry.str (hist_csv delta));
+          ]
+    in
+    match solve_body ?assumptions s with
+    | Sat ->
+        finish "sat";
+        Sat
+    | Unsat ->
+        finish "unsat";
+        Unsat
+    | exception Budget_exhausted ->
+        finish "budget";
+        raise Budget_exhausted
+    | exception Interrupted ->
+        finish "interrupted";
+        raise Interrupted
+  end
+
 let value s l =
   if not s.model_valid then invalid_arg "Solver.value: no model available";
   let b = s.model_.(Lit.var l) in
@@ -697,16 +778,6 @@ let value_var s v =
 let model s =
   if not s.model_valid then invalid_arg "Solver.model: no model available";
   Array.copy s.model_
-
-let stats s =
-  {
-    decisions = s.n_decisions;
-    propagations = s.n_propagations;
-    conflicts = s.n_conflicts;
-    restarts = s.n_restarts;
-    learnt_literals = s.n_learnt_literals;
-    max_learnt_size = s.max_learnt_size_;
-  }
 
 let set_conflict_budget s b = s.conflict_budget <- b
 let set_interrupt s f = s.interrupt <- f

@@ -1,5 +1,26 @@
 type encoding = Naive | Pairwise | Sequential | Totalizer | Adder
 
+let encoding_name = function
+  | Naive -> "naive"
+  | Pairwise -> "pairwise"
+  | Sequential -> "sequential"
+  | Totalizer -> "totalizer"
+  | Adder -> "adder"
+
+(* Telemetry for constraint construction.  Aux vars/clauses are introduced
+   later by the Tseitin pass in [Ctx.check], whose [ctx.check] span reports
+   the deltas; here we record which encodings are exercised at what sizes. *)
+let encode_point enc ~op ~n ~k =
+  if Telemetry.enabled () then
+    Telemetry.point "card.encode"
+      ~fields:
+        [
+          ("encoding", Telemetry.str (encoding_name enc));
+          ("op", Telemetry.str op);
+          ("n", Telemetry.int n);
+          ("k", Telemetry.int k);
+        ]
+
 (* ---------- naive: explicit subsets, exponential, test oracle ---------- *)
 
 let rec combinations k = function
@@ -95,19 +116,22 @@ let at_most enc es k =
   let n = List.length es in
   if k >= n then Expr.true_
   else if k < 0 then Expr.false_
-  else
+  else begin
+    encode_point enc ~op:"at_most" ~n ~k;
     match enc with
     | Adder -> Bv.ule (Bv.popcount es) (Bv.of_int ~width:(width_for k) k)
     | Pairwise -> pairwise_at_most es k
     | enc ->
         let c = counts ~cap:(k + 1) enc es in
         Expr.not_ c.(k)
+  end
 
 let at_least enc es k =
   let n = List.length es in
   if k <= 0 then Expr.true_
   else if k > n then Expr.false_
-  else
+  else begin
+    encode_point enc ~op:"at_least" ~n ~k;
     match enc with
     | Adder -> Bv.ule (Bv.of_int ~width:(width_for k) k) (Bv.popcount es)
     | Pairwise ->
@@ -116,6 +140,7 @@ let at_least enc es k =
     | enc ->
         let c = counts ~cap:k enc es in
         c.(k - 1)
+  end
 
 let exactly enc es k = Expr.and_ [ at_most enc es k; at_least enc es k ]
 

@@ -15,6 +15,11 @@ type encoding =
   | Totalizer  (** totalizer merge tree, good propagation *)
   | Adder  (** binary adder tree + comparator, smallest encoding *)
 
+(** Stable lowercase wire name ("naive", "pairwise", "sequential",
+    "totalizer", "adder") used in CLI flags, [--stats json] output and
+    telemetry events. *)
+val encoding_name : encoding -> string
+
 (** [counts ?cap enc es] is the unary count vector [o] with
     [o.(i)] true iff at least [i+1] of [es] are true.  With [~cap:c] only
     the first [c] outputs are produced (sufficient to express bounds up to

@@ -131,7 +131,7 @@ let rec assert_ ctx e =
 
 (* Run the solver in conflict-bounded slices so a wall-clock deadline can
    interrupt long searches; learnt clauses persist across slices. *)
-let check ?deadline ?(assumptions = []) ctx =
+let check_body ?deadline ?(assumptions = []) ctx =
   ctx.last_sat <- false;
   let assumption_lits =
     ctx.selectors @ List.map (lit_of ctx) assumptions
@@ -156,6 +156,45 @@ let check ?deadline ?(assumptions = []) ctx =
   Fun.protect
     ~finally:(fun () -> Sat.Solver.set_conflict_budget ctx.solver None)
     attempt
+
+(* Each check becomes a [ctx.check] span; the Tseitin translation of the
+   assumption expressions happens inside it, so the reported new_vars /
+   new_clauses deltas are the encoding cost of this query (the enclosed
+   [sat.solve] spans carry the per-slice search statistics). *)
+let check ?deadline ?assumptions ctx =
+  if not (Telemetry.enabled ()) then check_body ?deadline ?assumptions ctx
+  else begin
+    let vars0 = Sat.Solver.nvars ctx.solver in
+    let clauses0 = Sat.Solver.nclauses ctx.solver in
+    let sp =
+      Telemetry.begin_span "ctx.check"
+        ~fields:[ ("level", Telemetry.int (List.length ctx.selectors)) ]
+    in
+    let finish result =
+      Telemetry.end_span sp
+        ~fields:
+          [
+            ("result", Telemetry.str result);
+            ( "new_vars",
+              Telemetry.int (Sat.Solver.nvars ctx.solver - vars0) );
+            ( "new_clauses",
+              Telemetry.int (Sat.Solver.nclauses ctx.solver - clauses0) );
+          ]
+    in
+    match check_body ?deadline ?assumptions ctx with
+    | Sat ->
+        finish "sat";
+        Sat
+    | Unsat ->
+        finish "unsat";
+        Unsat
+    | exception Timeout ->
+        finish "timeout";
+        raise Timeout
+    | exception Interrupted ->
+        finish "interrupted";
+        raise Interrupted
+  end
 
 let enumerate ?limit ctx ~over f =
   push ctx;

@@ -4,7 +4,14 @@ open Smtlite
 type cex_mode = Data_word | Whole_candidate
 type verifier_mode = Combinatorial | Sat
 
-type stats = {
+let cex_mode_name = function
+  | Data_word -> "data-word"
+  | Whole_candidate -> "whole-candidate"
+
+let verifier_name = function Combinatorial -> "comb" | Sat -> "sat"
+
+(* deprecated aliases: the one definition lives in Report *)
+type stats = Report.Stats.t = {
   iterations : int;
   verifier_calls : int;
   elapsed : float;
@@ -12,10 +19,12 @@ type stats = {
   ver_conflicts : int;
 }
 
-type outcome =
-  | Synthesized of Hamming.Code.t * stats
-  | Unsat_config of stats
-  | Timed_out of stats
+type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
+  | Synthesized of 'res * 'info
+  | Unsat_config of 'info
+  | Timed_out of 'info
+
+type outcome = (Hamming.Code.t, Report.Stats.t) report_outcome
 
 type problem = {
   data_len : int;
@@ -111,6 +120,19 @@ let create_session ?(cex_mode = Data_word) ?(verifier = Combinatorial)
   in
   let entry ~row ~col = vars.(row).(col) in
   List.iter (fun build -> Ctx.assert_ syn (build ~entry)) extra;
+  if Telemetry.enabled () then
+    Telemetry.point "cegis.session"
+      ~fields:
+        [
+          ("data_len", Telemetry.int data_len);
+          ("check_len", Telemetry.int check_len);
+          ("min_distance", Telemetry.int problem.min_distance);
+          ("encoding", Telemetry.str (Card.encoding_name encoding));
+          ("cex_mode", Telemetry.str (cex_mode_name cex_mode));
+          ("verifier", Telemetry.str (verifier_name verifier));
+          ("seed", Telemetry.int (Option.value seed ~default:(-1)));
+          ("extra_constraints", Telemetry.int (List.length extra));
+        ];
   {
     problem;
     cex_mode;
@@ -161,8 +183,10 @@ let verify ?deadline s code =
       Hamming.Distance.sat_counterexample ?deadline ?interrupt:s.interrupt
         ?seed:s.seed ~conflicts:s.ver_conflicts code s.problem.min_distance
 
-let step ?deadline s =
-  s.iterations <- s.iterations + 1;
+(* One CEGIS iteration, instrumented as a [cegis.iteration] span holding a
+   synthesizer [ctx.check] span, a [cegis.candidate] event and a
+   [cegis.verify] span with the verdict. *)
+let step_body ?deadline s =
   match Ctx.check ?deadline s.syn with
   | Ctx.Unsat -> Exhausted
   | Ctx.Sat -> (
@@ -170,16 +194,42 @@ let step ?deadline s =
         candidate_of_model s.syn s.vars ~data_len:s.problem.data_len
           ~check_len:s.problem.check_len
       in
+      if Telemetry.enabled () then
+        Telemetry.point "cegis.candidate"
+          ~fields:[ ("set_bits", Telemetry.int (Hamming.Code.set_bits code)) ];
+      let vsp =
+        Telemetry.begin_span "cegis.verify"
+          ~fields:[ ("verifier", Telemetry.str (verifier_name s.verifier)) ]
+      in
       match verify ?deadline s code with
-      | None -> Done code
+      | None ->
+          Telemetry.end_span vsp ~fields:[ ("verdict", Telemetry.str "ok") ];
+          Done code
       | Some d ->
+          Telemetry.end_span vsp
+            ~fields:
+              [
+                ("verdict", Telemetry.str "cex");
+                ("cex_weight", Telemetry.int (Bitvec.popcount d));
+              ];
           let cex =
             match s.cex_mode with
             | Data_word -> Cex_data d
             | Whole_candidate -> Cex_candidate code
           in
           learn s cex;
-          Progress cex)
+          Progress cex
+      | exception e ->
+          Telemetry.end_span vsp ~fields:[ ("verdict", Telemetry.str "aborted") ];
+          raise e)
+
+let step ?deadline s =
+  s.iterations <- s.iterations + 1;
+  if not (Telemetry.enabled ()) then step_body ?deadline s
+  else
+    Telemetry.span "cegis.iteration"
+      ~fields:[ ("iter", Telemetry.int s.iterations) ]
+      (fun () -> step_body ?deadline s)
 
 let synthesize ?(timeout = 120.0) ?(cex_mode = Data_word)
     ?(verifier = Combinatorial) ?(encoding = Card.Sequential) problem =

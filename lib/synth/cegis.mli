@@ -20,7 +20,16 @@ type verifier_mode =
   | Combinatorial  (** exact enumeration by ascending data weight *)
   | Sat  (** SAT-based verifier, reproducing the paper's methodology *)
 
-type stats = {
+(** Stable wire names ("data-word"/"whole-candidate", "comb"/"sat") used in
+    CLI flags, [--stats json] output and telemetry events. *)
+val cex_mode_name : cex_mode -> string
+
+val verifier_name : verifier_mode -> string
+
+(** Deprecated alias of {!Report.Stats.t} — the one definition now lives in
+    {!Report}; this re-export keeps existing field accesses compiling and
+    will be removed in a future release. *)
+type stats = Report.Stats.t = {
   iterations : int;  (** synthesizer checkSat calls *)
   verifier_calls : int;
   elapsed : float;  (** seconds *)
@@ -28,10 +37,17 @@ type stats = {
   ver_conflicts : int;
 }
 
-type outcome =
-  | Synthesized of Hamming.Code.t * stats
-  | Unsat_config of stats  (** no coefficient matrix satisfies the spec *)
-  | Timed_out of stats
+(** Constructor re-export of {!Report.outcome}, so legacy qualified uses
+    ([Cegis.Synthesized] etc.) keep compiling and remain interchangeable
+    with {!Report}'s constructors. *)
+type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
+  | Synthesized of 'res * 'info
+  | Unsat_config of 'info  (** no coefficient matrix satisfies the spec *)
+  | Timed_out of 'info
+
+(** Deprecated alias of {!Report.outcome} specialized to a single code and
+    {!Report.Stats.t}; will be removed in a future release. *)
+type outcome = (Hamming.Code.t, Report.Stats.t) report_outcome
 
 (** Extra synthesizer-side constraints over the symbolic coefficient
     matrix: [entry ~row ~col] is the P-matrix bit variable. *)

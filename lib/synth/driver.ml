@@ -227,20 +227,12 @@ let run_single ?timeout ?jobs ?on_report s =
     | Some jobs ->
         (* portfolio path: race [jobs] configurations, report per-worker
            statistics through the callback, collapse to the sequential
-           outcome shape with worker-summed statistics *)
-        let sum f =
-          List.fold_left (fun acc w -> acc + f w.Portfolio.stats) 0
-        in
+           outcome shape with worker-summed statistics (elapsed becomes the
+           race's wall clock rather than summed solver time) *)
         let stats_of (report : Portfolio.report) =
           {
-            Cegis.iterations = report.Portfolio.total_iterations;
-            verifier_calls =
-              sum (fun s -> s.Cegis.verifier_calls) report.Portfolio.workers;
-            elapsed = report.Portfolio.wall_clock;
-            syn_conflicts =
-              sum (fun s -> s.Cegis.syn_conflicts) report.Portfolio.workers;
-            ver_conflicts =
-              sum (fun s -> s.Cegis.ver_conflicts) report.Portfolio.workers;
+            report.Portfolio.totals with
+            Report.Stats.elapsed = report.Portfolio.wall_clock;
           }
         in
         let collapse report outcome =

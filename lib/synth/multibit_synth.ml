@@ -7,10 +7,13 @@
    errors at data length 4 needs only 7 check bits, not the hand-crafted
    matrix's 11). *)
 
-type outcome =
-  | Synthesized of Hamming.Code.t * Cegis.stats
-  | Unsat_config of Cegis.stats
-  | Timed_out of Cegis.stats
+(* deprecated aliases: the one definition lives in Report *)
+type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
+  | Synthesized of 'res * 'info
+  | Unsat_config of 'info
+  | Timed_out of 'info
+
+type outcome = (Hamming.Code.t, Report.Stats.t) report_outcome
 
 let target_md distinguish =
   if distinguish < 1 then

@@ -10,10 +10,16 @@
     syndromes (or one with a zero syndrome); the counterexample constraint
     forces the symbolic check matrix to separate them. *)
 
-type outcome =
-  | Synthesized of Hamming.Code.t * Cegis.stats
-  | Unsat_config of Cegis.stats
-  | Timed_out of Cegis.stats
+(** Constructor re-export of {!Report.outcome}, so legacy qualified uses
+    ([Multibit_synth.Synthesized] etc.) keep compiling. *)
+type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
+  | Synthesized of 'res * 'info
+  | Unsat_config of 'info
+  | Timed_out of 'info
+
+(** Deprecated alias of {!Report.outcome} specialized to a single code and
+    {!Report.Stats.t}; will be removed in a future release. *)
+type outcome = (Hamming.Code.t, Report.Stats.t) report_outcome
 
 (** [synthesize ?timeout ~data_len ~check_len ~distinguish ()] searches for
     a coefficient matrix whose code distinguishes all error patterns of

@@ -4,17 +4,19 @@ type check_result = {
   stats : Cegis.stats;
 }
 
-let add_stats (a : Cegis.stats) (b : Cegis.stats) : Cegis.stats =
-  {
-    iterations = a.iterations + b.iterations;
-    verifier_calls = a.verifier_calls + b.verifier_calls;
-    elapsed = a.elapsed +. b.elapsed;
-    syn_conflicts = a.syn_conflicts + b.syn_conflicts;
-    ver_conflicts = a.ver_conflicts + b.ver_conflicts;
-  }
-
-let zero_stats : Cegis.stats =
-  { iterations = 0; verifier_calls = 0; elapsed = 0.0; syn_conflicts = 0; ver_conflicts = 0 }
+(* One configuration attempt of an optimization walk, as a telemetry event. *)
+let step_point ~walk ~param outcome =
+  if Telemetry.enabled () then
+    Telemetry.point "optimize.step"
+      ~fields:
+        [
+          ("walk", Telemetry.str walk);
+          ("param", Telemetry.int param);
+          ("outcome", Telemetry.str (Report.outcome_kind outcome));
+          ( "iterations",
+            Telemetry.int (Report.outcome_info outcome).Report.Stats.iterations
+          );
+        ]
 
 let minimize_check_len ?timeout ?cex_mode ?verifier ?encoding ~data_len ~md ~check_lo
     ~check_hi () =
@@ -24,15 +26,17 @@ let minimize_check_len ?timeout ?cex_mode ?verifier ?encoding ~data_len ~md ~che
       let problem =
         { Cegis.data_len; check_len = c; min_distance = md; extra = [] }
       in
-      match Cegis.synthesize ?timeout ?cex_mode ?verifier ?encoding problem with
+      let outcome =
+        Cegis.synthesize ?timeout ?cex_mode ?verifier ?encoding problem
+      in
+      step_point ~walk:"check_len" ~param:c outcome;
+      match outcome with
       | Cegis.Synthesized (code, stats) ->
-          Some { code; check_len = c; stats = add_stats acc stats }
-      | Cegis.Unsat_config stats -> go (c + 1) (add_stats acc stats)
-      | Cegis.Timed_out stats ->
-          ignore (add_stats acc stats);
-          None
+          Some { code; check_len = c; stats = Report.Stats.add acc stats }
+      | Cegis.Unsat_config stats -> go (c + 1) (Report.Stats.add acc stats)
+      | Cegis.Timed_out _ -> None
   in
-  go check_lo zero_stats
+  go check_lo Report.Stats.zero
 
 type setbits_step = {
   bound : int;
@@ -63,7 +67,11 @@ let minimize_set_bits ?timeout ?cex_mode ?verifier ?encoding ~data_len ~check_le
           extra = [ setbit_constraint bound ];
         }
       in
-      match Cegis.synthesize ?timeout ?cex_mode ?verifier ?encoding problem with
+      let outcome =
+        Cegis.synthesize ?timeout ?cex_mode ?verifier ?encoding problem
+      in
+      step_point ~walk:"set_bits" ~param:bound outcome;
+      match outcome with
       | Cegis.Synthesized (code, stats) ->
           let achieved = Hamming.Code.set_bits code in
           let step = { bound; achieved; generator = code; step_stats = stats } in

@@ -22,33 +22,24 @@ type report = {
   winner : config option;
   wall_clock : float;
   rounds : int;
-  total_iterations : int;
-  total_conflicts : int;
+  totals : Report.Stats.t;
 }
 
-type outcome =
-  | Synthesized of Hamming.Code.t * report
-  | Unsat_config of report
-  | Timed_out of report
+(* deprecated aliases: the one definition lives in Report *)
+type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
+  | Synthesized of 'res * 'info
+  | Unsat_config of 'info
+  | Timed_out of 'info
+
+type outcome = (Hamming.Code.t, report) report_outcome
 
 let config_to_string c =
-  let cex = match c.cex_mode with
-    | Cegis.Data_word -> "data-word"
-    | Cegis.Whole_candidate -> "whole-candidate"
-  in
-  let ver = match c.verifier with
-    | Cegis.Combinatorial -> "comb"
-    | Cegis.Sat -> "sat"
-  in
-  let enc = match c.encoding with
-    | Card.Naive -> "naive"
-    | Card.Pairwise -> "pairwise"
-    | Card.Sequential -> "seq"
-    | Card.Totalizer -> "tot"
-    | Card.Adder -> "adder"
-  in
   let seed = match c.seed with None -> "-" | Some s -> string_of_int s in
-  Printf.sprintf "%s(cex=%s ver=%s enc=%s seed=%s)" c.label cex ver enc seed
+  Printf.sprintf "%s(cex=%s ver=%s enc=%s seed=%s)" c.label
+    (Cegis.cex_mode_name c.cex_mode)
+    (Cegis.verifier_name c.verifier)
+    (Card.encoding_name c.encoding)
+    seed
 
 (* Worker 0 is exactly the sequential default configuration so that
    [--jobs 1] reproduces [Cegis.synthesize] bit for bit; the rest vary the
@@ -146,13 +137,24 @@ type worker_outcome = {
 
 (* [index] is the worker's slot within its round (who to credit in the
    decision); [origin] is unique across rounds so a restarted worker
-   re-imports the counterexamples its previous incarnation published. *)
-let run_worker ~problem ~vars ~deadline ~stop ~decision ~pool ~origin index
-    config =
+   re-imports the counterexamples its previous incarnation published.
+   [stop_at] records when the stop flag was raised, so losing workers can
+   report how long their cooperative cancellation took. *)
+let run_worker ~problem ~vars ~deadline ~stop ~stop_at ~decision ~pool ~origin
+    index config =
   let interrupt () = Atomic.get stop || Unix.gettimeofday () > deadline in
   let shared_out = ref 0 and shared_in = ref 0 in
   let cursor = ref 0 in
   let finished = ref false in
+  let sp =
+    Telemetry.begin_span "portfolio.worker"
+      ~fields:
+        [
+          ("worker", Telemetry.str config.label);
+          ("config", Telemetry.str (config_to_string config));
+          ("origin", Telemetry.int origin);
+        ]
+  in
   let session =
     Cegis.create_session ~cex_mode:config.cex_mode ~verifier:config.verifier
       ~encoding:config.encoding ?seed:config.seed ~interrupt ~vars problem
@@ -160,6 +162,7 @@ let run_worker ~problem ~vars ~deadline ~stop ~decision ~pool ~origin index
   let decide d =
     if Atomic.compare_and_set decision None (Some d) then begin
       finished := true;
+      Atomic.set stop_at (Unix.gettimeofday ());
       Atomic.set stop true
     end
   in
@@ -169,6 +172,10 @@ let run_worker ~problem ~vars ~deadline ~stop ~decision ~pool ~origin index
       (* absorb counterexamples other workers discovered since last step *)
       let fresh, len = pool_drain pool ~cursor:!cursor ~self:origin in
       cursor := len;
+      if fresh <> [] then
+        Telemetry.counter "portfolio.consume"
+          ~fields:[ ("worker", Telemetry.str config.label) ]
+          (List.length fresh);
       List.iter
         (fun cex ->
           incr shared_in;
@@ -182,17 +189,33 @@ let run_worker ~problem ~vars ~deadline ~stop ~decision ~pool ~origin index
              whole configuration, not just this worker's search *)
           decide (Proved_unsat index)
       | Cegis.Progress cex ->
-          if pool_publish pool origin cex then incr shared_out;
+          if pool_publish pool origin cex then begin
+            incr shared_out;
+            Telemetry.counter "portfolio.publish"
+              ~fields:[ ("worker", Telemetry.str config.label) ]
+              1
+          end;
           loop ()
     end
   in
   (try loop () with Ctx.Timeout | Ctx.Interrupted -> ());
-  {
-    w_stats = Cegis.session_stats session;
-    w_out = !shared_out;
-    w_in = !shared_in;
-    w_finished = !finished;
-  }
+  if Telemetry.enabled () && (not !finished) && Atomic.get stop then begin
+    let t0 = Atomic.get stop_at in
+    if t0 > 0.0 then
+      Telemetry.gauge "portfolio.cancel_latency"
+        ~fields:[ ("worker", Telemetry.str config.label) ]
+        (Unix.gettimeofday () -. t0)
+  end;
+  let w_stats = Cegis.session_stats session in
+  Telemetry.end_span sp
+    ~fields:
+      [
+        ("iterations", Telemetry.int w_stats.Report.Stats.iterations);
+        ("published", Telemetry.int !shared_out);
+        ("consumed", Telemetry.int !shared_in);
+        ("finished", Telemetry.bool !finished);
+      ];
+  { w_stats; w_out = !shared_out; w_in = !shared_in; w_finished = !finished }
 
 (* One domain, K workers: step the sessions round-robin, one CEGIS
    iteration per turn.  On a host without spare cores this has the same
@@ -251,13 +274,20 @@ let run_interleaved ~problem ~vars ~deadline ~decision ~pool ~origin_base
   in
   spin ();
   List.map
-    (fun (_, _config, session, _cursor, s_out, s_in, _dead, won) ->
-      {
-        w_stats = Cegis.session_stats session;
-        w_out = !s_out;
-        w_in = !s_in;
-        w_finished = !won;
-      })
+    (fun (_, config, session, _cursor, s_out, s_in, _dead, won) ->
+      let w_stats = Cegis.session_stats session in
+      if Telemetry.enabled () then
+        Telemetry.point "portfolio.worker"
+          ~fields:
+            [
+              ("worker", Telemetry.str config.label);
+              ("config", Telemetry.str (config_to_string config));
+              ("iterations", Telemetry.int w_stats.Report.Stats.iterations);
+              ("published", Telemetry.int !s_out);
+              ("consumed", Telemetry.int !s_in);
+              ("finished", Telemetry.bool !won);
+            ];
+      { w_stats; w_out = !s_out; w_in = !s_in; w_finished = !won })
     workers
 
 (* Reseeded copies of the round-0 configurations for restart round [r].
@@ -302,8 +332,22 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
       ~check_len:problem.Cegis.check_len
   in
   let stop = Atomic.make false in
+  let stop_at = Atomic.make 0.0 in
   let decision = Atomic.make None in
   let pool = pool_create () in
+  if Telemetry.enabled () then
+    Telemetry.point "portfolio.start"
+      ~fields:
+        [
+          ("jobs", Telemetry.int jobs);
+          ( "scheduler",
+            Telemetry.str
+              (if jobs = 1 then "inline"
+               else if use_domains then "domains"
+               else "interleaved") );
+          ("timeout_s", Telemetry.float timeout);
+          ("restart_interval_s", Telemetry.float restart_interval);
+        ];
   (* Run restart rounds until a decision or the global deadline.  Round r
      gets a budget of [restart_interval * 2^r] (Luby-style doubling keeps
      total restart overhead within a constant factor of the best single
@@ -317,9 +361,16 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
       else min deadline (now +. (restart_interval *. float_of_int (1 lsl r)))
     in
     Atomic.set stop false;
+    if Telemetry.enabled () then
+      Telemetry.point "portfolio.round"
+        ~fields:
+          [
+            ("round", Telemetry.int r);
+            ("budget_s", Telemetry.float (round_deadline -. now));
+          ];
     let run i config =
-      run_worker ~problem ~vars ~deadline:round_deadline ~stop ~decision ~pool
-        ~origin:((r * jobs) + i) i config
+      run_worker ~problem ~vars ~deadline:round_deadline ~stop ~stop_at
+        ~decision ~pool ~origin:((r * jobs) + i) i config
     in
     let outcomes =
       match round_configs with
@@ -366,19 +417,34 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
       winner;
       wall_clock;
       rounds = rounds_run;
-      total_iterations =
-        List.fold_left (fun acc w -> acc + w.stats.Cegis.iterations) 0 workers;
-      total_conflicts =
-        List.fold_left
-          (fun acc w ->
-            acc + w.stats.Cegis.syn_conflicts + w.stats.Cegis.ver_conflicts)
-          0 workers;
+      totals = Report.Stats.sum (List.map (fun w -> w.stats) workers);
     }
   in
+  let finish outcome =
+    if Telemetry.enabled () then begin
+      let r = Report.outcome_info outcome in
+      Telemetry.point "portfolio.winner"
+        ~fields:
+          [
+            ("outcome", Telemetry.str (Report.outcome_kind outcome));
+            ( "winner",
+              Telemetry.str
+                (match r.winner with
+                | Some c -> config_to_string c
+                | None -> "-") );
+            ("rounds", Telemetry.int r.rounds);
+            ("wall_s", Telemetry.float r.wall_clock);
+            ( "iterations",
+              Telemetry.int r.totals.Report.Stats.iterations );
+          ]
+    end;
+    outcome
+  in
   match Atomic.get decision with
-  | Some (Winner (i, code)) -> Synthesized (code, report (winner_config i))
-  | Some (Proved_unsat i) -> Unsat_config (report (winner_config i))
-  | None -> Timed_out (report None)
+  | Some (Winner (i, code)) ->
+      finish (Synthesized (code, report (winner_config i)))
+  | Some (Proved_unsat i) -> finish (Unsat_config (report (winner_config i)))
+  | None -> finish (Timed_out (report None))
 
 (* ---------- verification race ---------- *)
 
@@ -442,7 +508,8 @@ let verify_min_distance ?(timeout = 120.0) ?(jobs = 4) code m =
 let pp_report fmt r =
   Format.fprintf fmt
     "portfolio: %d workers, wall %.3fs, %d iterations, %d conflicts, %d round%s@."
-    (List.length r.workers) r.wall_clock r.total_iterations r.total_conflicts
+    (List.length r.workers) r.wall_clock r.totals.Report.Stats.iterations
+    (r.totals.Report.Stats.syn_conflicts + r.totals.Report.Stats.ver_conflicts)
     r.rounds
     (if r.rounds = 1 then "" else "s");
   (match r.winner with
@@ -457,3 +524,29 @@ let pp_report fmt r =
         w.stats.Cegis.ver_conflicts w.shared_out w.shared_in
         (if w.finished then "  <- decided" else ""))
     r.workers
+
+let report_to_json r =
+  let module J = Telemetry.Json in
+  J.Obj
+    [
+      ( "workers",
+        J.List
+          (List.map
+             (fun w ->
+               J.Obj
+                 [
+                   ("config", J.Str (config_to_string w.config));
+                   ("stats", Report.Stats.to_json w.stats);
+                   ("shared_out", J.Int w.shared_out);
+                   ("shared_in", J.Int w.shared_in);
+                   ("finished", J.Bool w.finished);
+                 ])
+             r.workers) );
+      ( "winner",
+        match r.winner with
+        | Some c -> J.Str (config_to_string c)
+        | None -> J.Null );
+      ("wall_clock_s", J.Float r.wall_clock);
+      ("rounds", J.Int r.rounds);
+      ("totals", Report.Stats.to_json r.totals);
+    ]

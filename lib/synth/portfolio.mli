@@ -51,14 +51,21 @@ type report = {
   winner : config option;  (** [None] iff the portfolio timed out *)
   wall_clock : float;  (** seconds, whole race *)
   rounds : int;  (** restart rounds run (1 = no restart triggered) *)
-  total_iterations : int;  (** summed over workers and rounds *)
-  total_conflicts : int;  (** synthesizer + verifier, summed over workers *)
+  totals : Report.Stats.t;
+      (** {!Report.Stats.sum} over workers and rounds; its [elapsed] is
+          summed per-worker solver time, not wall clock *)
 }
 
-type outcome =
-  | Synthesized of Hamming.Code.t * report
-  | Unsat_config of report
-  | Timed_out of report
+(** Constructor re-export of {!Report.outcome}, so legacy qualified uses
+    ([Portfolio.Synthesized] etc.) keep compiling. *)
+type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
+  | Synthesized of 'res * 'info
+  | Unsat_config of 'info
+  | Timed_out of 'info
+
+(** Deprecated alias of {!Report.outcome} specialized to a single code and
+    {!report}; will be removed in a future release. *)
+type outcome = (Hamming.Code.t, report) report_outcome
 
 (** [default_configs jobs] is the built-in portfolio: worker 0 is exactly
     the sequential default (so [jobs = 1] reproduces {!Cegis.synthesize}
@@ -113,3 +120,7 @@ val verify_min_distance :
 
 (** [pp_report] renders a portfolio report, one line per worker. *)
 val pp_report : Format.formatter -> report -> unit
+
+(** [report_to_json] is the machine-readable rendering used by
+    [--stats json]. *)
+val report_to_json : report -> Telemetry.Json.t

@@ -1,0 +1,62 @@
+module Stats = struct
+  type t = {
+    iterations : int;
+    verifier_calls : int;
+    elapsed : float;
+    syn_conflicts : int;
+    ver_conflicts : int;
+  }
+
+  let zero =
+    {
+      iterations = 0;
+      verifier_calls = 0;
+      elapsed = 0.0;
+      syn_conflicts = 0;
+      ver_conflicts = 0;
+    }
+
+  let add a b =
+    {
+      iterations = a.iterations + b.iterations;
+      verifier_calls = a.verifier_calls + b.verifier_calls;
+      elapsed = a.elapsed +. b.elapsed;
+      syn_conflicts = a.syn_conflicts + b.syn_conflicts;
+      ver_conflicts = a.ver_conflicts + b.ver_conflicts;
+    }
+
+  let sum = List.fold_left add zero
+
+  let pp fmt t =
+    Format.fprintf fmt
+      "%d iterations, %d verifier calls, %.2f s, %d syn conflicts, %d ver conflicts"
+      t.iterations t.verifier_calls t.elapsed t.syn_conflicts t.ver_conflicts
+
+  let to_json t =
+    Telemetry.Json.Obj
+      [
+        ("iterations", Telemetry.Json.Int t.iterations);
+        ("verifier_calls", Telemetry.Json.Int t.verifier_calls);
+        ("elapsed_s", Telemetry.Json.Float t.elapsed);
+        ("syn_conflicts", Telemetry.Json.Int t.syn_conflicts);
+        ("ver_conflicts", Telemetry.Json.Int t.ver_conflicts);
+      ]
+end
+
+type ('res, 'info) outcome =
+  | Synthesized of 'res * 'info
+  | Unsat_config of 'info
+  | Timed_out of 'info
+
+let outcome_kind = function
+  | Synthesized _ -> "synthesized"
+  | Unsat_config _ -> "unsat"
+  | Timed_out _ -> "timeout"
+
+let outcome_info = function
+  | Synthesized (_, i) | Unsat_config i | Timed_out i -> i
+
+let map_outcome f g = function
+  | Synthesized (r, i) -> Synthesized (f r, g i)
+  | Unsat_config i -> Unsat_config (g i)
+  | Timed_out i -> Timed_out (g i)

@@ -1,0 +1,56 @@
+(** The single shared stats/outcome surface of the synthesis stack.
+
+    Before this module existed the same shapes were triplicated:
+    [Cegis.outcome], [Multibit_synth.outcome] and the optimize drivers each
+    re-declared [Synthesized]/[Unsat_config]/[Timed_out] around a private
+    copy of the stats record, and portfolio/optimize aggregation each
+    hand-rolled field-by-field summing.  Everything now goes through
+    {!Stats} (a commutative merge monoid under {!Stats.add} with identity
+    {!Stats.zero}) and the polymorphic {!outcome}; the old per-module type
+    names survive only as deprecated alias re-exports. *)
+
+module Stats : sig
+  (** Cumulative counters of one synthesis run (or a merge of several:
+      the optimizers sum across configurations, the portfolio across
+      workers and restart rounds). *)
+  type t = {
+    iterations : int;  (** synthesizer checkSat calls *)
+    verifier_calls : int;
+    elapsed : float;  (** seconds; under merge this is {e summed} solver
+                          time, not wall clock *)
+    syn_conflicts : int;
+    ver_conflicts : int;
+  }
+
+  (** The identity of {!add}. *)
+  val zero : t
+
+  (** Field-wise sum — associative and commutative, so merge order across
+      workers or configurations does not matter. *)
+  val add : t -> t -> t
+
+  (** [sum ts] folds {!add} over [ts] starting from {!zero}. *)
+  val sum : t list -> t
+
+  val pp : Format.formatter -> t -> unit
+  val to_json : t -> Telemetry.Json.t
+end
+
+(** The one outcome shape: ['res] is the synthesized artifact (a generator
+    for the core loop), ['info] the attached diagnostics ({!Stats.t} for
+    sequential runs, [Portfolio.report] for races). *)
+type ('res, 'info) outcome =
+  | Synthesized of 'res * 'info
+  | Unsat_config of 'info  (** no artifact satisfies the specification *)
+  | Timed_out of 'info
+
+(** ["synthesized" | "unsat" | "timeout"] — the stable wire names used in
+    [--stats json] output and telemetry events. *)
+val outcome_kind : ('res, 'info) outcome -> string
+
+(** The diagnostics carried by any outcome. *)
+val outcome_info : ('res, 'info) outcome -> 'info
+
+(** [map_outcome f g o] transforms artifact and diagnostics. *)
+val map_outcome :
+  ('a -> 'b) -> ('i -> 'j) -> ('a, 'i) outcome -> ('b, 'j) outcome

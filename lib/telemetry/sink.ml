@@ -1,0 +1,148 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+type fields = (string * value) list
+
+type event =
+  | Span_begin of {
+      ts : float;
+      id : int;
+      parent : int option;
+      name : string;
+      fields : fields;
+    }
+  | Span_end of { ts : float; id : int; name : string; dur : float; fields : fields }
+  | Counter of { ts : float; name : string; value : int; fields : fields }
+  | Gauge of { ts : float; name : string; value : float; fields : fields }
+  | Point of { ts : float; name : string; fields : fields }
+
+type t = { emit : event -> unit; flush : unit -> unit }
+
+let event_kind = function
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Point _ -> "event"
+
+let event_name = function
+  | Span_begin { name; _ }
+  | Span_end { name; _ }
+  | Counter { name; _ }
+  | Gauge { name; _ }
+  | Point { name; _ } -> name
+
+let json_of_value = function
+  | Bool b -> Json.Bool b
+  | Int n -> Json.Int n
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+
+let json_of_event ev =
+  let head ts name = [ ("ts", Json.Float ts); ("kind", Json.Str (event_kind ev)); ("name", Json.Str name) ] in
+  let custom fields = List.map (fun (k, v) -> (k, json_of_value v)) fields in
+  let entries =
+    match ev with
+    | Span_begin { ts; id; parent; name; fields } ->
+        head ts name
+        @ [ ("id", Json.Int id) ]
+        @ (match parent with None -> [] | Some p -> [ ("parent", Json.Int p) ])
+        @ custom fields
+    | Span_end { ts; id; name; dur; fields } ->
+        head ts name @ [ ("id", Json.Int id); ("dur", Json.Float dur) ] @ custom fields
+    | Counter { ts; name; value; fields } ->
+        head ts name @ [ ("value", Json.Int value) ] @ custom fields
+    | Gauge { ts; name; value; fields } ->
+        head ts name @ [ ("value", Json.Float value) ] @ custom fields
+    | Point { ts; name; fields } -> head ts name @ custom fields
+  in
+  Json.Obj entries
+
+let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+let ndjson_writer write =
+  let mutex = Mutex.create () in
+  {
+    emit =
+      (fun ev ->
+        let line = Json.to_string (json_of_event ev) ^ "\n" in
+        Mutex.protect mutex (fun () -> write line));
+    flush = (fun () -> ());
+  }
+
+let ndjson oc =
+  let s = ndjson_writer (output_string oc) in
+  { s with flush = (fun () -> flush oc) }
+
+let memory () =
+  let mutex = Mutex.create () in
+  let events = ref [] in
+  ( {
+      emit = (fun ev -> Mutex.protect mutex (fun () -> events := ev :: !events));
+      flush = (fun () -> ());
+    },
+    fun () -> Mutex.protect mutex (fun () -> List.rev !events) )
+
+type summary = {
+  spans : (string * (int * float)) list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  points : (string * int) list;
+}
+
+let summary () =
+  let mutex = Mutex.create () in
+  let spans : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let gauges : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let points : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let emit ev =
+    Mutex.protect mutex (fun () ->
+        match ev with
+        | Span_begin _ -> ()
+        | Span_end { name; dur; _ } ->
+            let c, total =
+              Option.value (Hashtbl.find_opt spans name) ~default:(0, 0.0)
+            in
+            Hashtbl.replace spans name (c + 1, total +. dur)
+        | Counter { name; value; _ } ->
+            let c = Option.value (Hashtbl.find_opt counters name) ~default:0 in
+            Hashtbl.replace counters name (c + value)
+        | Gauge { name; value; _ } -> Hashtbl.replace gauges name value
+        | Point { name; _ } ->
+            let c = Option.value (Hashtbl.find_opt points name) ~default:0 in
+            Hashtbl.replace points name (c + 1))
+  in
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let read () =
+    Mutex.protect mutex (fun () ->
+        {
+          spans = sorted spans;
+          counters = sorted counters;
+          gauges = sorted gauges;
+          points = sorted points;
+        })
+  in
+  ({ emit; flush = (fun () -> ()) }, read)
+
+let pp_summary fmt s =
+  let line pp_v (name, v) = Format.fprintf fmt "  %-32s %a@." name pp_v v in
+  if s.spans <> [] then begin
+    Format.fprintf fmt "spans (count, total seconds):@.";
+    List.iter
+      (line (fun fmt (c, t) -> Format.fprintf fmt "%8d %12.4f" c t))
+      s.spans
+  end;
+  if s.counters <> [] then begin
+    Format.fprintf fmt "counters:@.";
+    List.iter (line (fun fmt c -> Format.fprintf fmt "%8d" c)) s.counters
+  end;
+  if s.gauges <> [] then begin
+    Format.fprintf fmt "gauges (last value):@.";
+    List.iter (line (fun fmt g -> Format.fprintf fmt "%12.4f" g)) s.gauges
+  end;
+  if s.points <> [] then begin
+    Format.fprintf fmt "events:@.";
+    List.iter (line (fun fmt c -> Format.fprintf fmt "%8d" c)) s.points
+  end

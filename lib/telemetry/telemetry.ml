@@ -1,0 +1,86 @@
+module Json = Json
+module Sink = Sink
+
+(* The telemetry epoch: all timestamps are offsets from process start, so
+   they are small, readable, and unaffected by wall-clock jumps between
+   runs (within a run, gettimeofday is monotonic for all practical
+   purposes on the hosts we target; there is no monotonic clock in the
+   stdlib without C stubs, and this library is dependency-free by design). *)
+let epoch = Unix.gettimeofday ()
+let now () = Unix.gettimeofday () -. epoch
+
+let state : Sink.t option Atomic.t = Atomic.make None
+let set_sink s = Atomic.set state s
+let current_sink () = Atomic.get state
+let enabled () = Atomic.get state <> None
+
+let emit ev =
+  match Atomic.get state with None -> () | Some s -> s.Sink.emit ev
+
+let with_sink sink f =
+  let prev = Atomic.get state in
+  Atomic.set state (Some sink);
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set state prev;
+      sink.Sink.flush ())
+    f
+
+let int n = Sink.Int n
+let float f = Sink.Float f
+let str s = Sink.Str s
+let bool b = Sink.Bool b
+
+(* ---------- spans ---------- *)
+
+type span = { id : int; name : string; start : float; live : bool }
+
+let null_span = { id = 0; name = ""; start = 0.0; live = false }
+let next_id = Atomic.make 1
+
+(* per-domain stack of open span ids, for parent attribution *)
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let begin_span ?(fields = []) name =
+  if not (enabled ()) then null_span
+  else begin
+    let id = Atomic.fetch_and_add next_id 1 in
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> None | p :: _ -> Some p in
+    stack := id :: !stack;
+    let ts = now () in
+    emit (Sink.Span_begin { ts; id; parent; name; fields });
+    { id; name; start = ts; live = true }
+  end
+
+let end_span ?(fields = []) sp =
+  if sp.live then begin
+    let stack = Domain.DLS.get stack_key in
+    (* normally [sp] is the innermost open span; tolerate unbalanced
+       nesting (an escaped exception ended an outer span first) by
+       removing just this id *)
+    (match !stack with
+    | x :: rest when x = sp.id -> stack := rest
+    | xs -> stack := List.filter (fun x -> x <> sp.id) xs);
+    let ts = now () in
+    emit (Sink.Span_end { ts; id = sp.id; name = sp.name; dur = ts -. sp.start; fields })
+  end
+
+let span ?fields name f =
+  if not (enabled ()) then f ()
+  else begin
+    let sp = begin_span ?fields name in
+    Fun.protect ~finally:(fun () -> end_span sp) f
+  end
+
+(* ---------- scalar events ---------- *)
+
+let counter ?(fields = []) name value =
+  if enabled () then emit (Sink.Counter { ts = now (); name; value; fields })
+
+let gauge ?(fields = []) name value =
+  if enabled () then emit (Sink.Gauge { ts = now (); name; value; fields })
+
+let point ?(fields = []) name =
+  if enabled () then emit (Sink.Point { ts = now (); name; fields })

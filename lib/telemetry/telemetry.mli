@@ -1,0 +1,74 @@
+(** Zero-dependency structured tracing and metrics.
+
+    One process-global sink (default: none) receives {!Sink.event}s from
+    instrumented code.  The cardinal design constraint is
+    {e overhead-when-disabled}: every instrumentation entry point first
+    performs a single atomic load ({!enabled}) and returns immediately when
+    no sink is installed, so hot paths (the SAT solver, the CEGIS loop) can
+    stay instrumented unconditionally.  Field lists are only constructed
+    after that check when call sites use the [if enabled] idiom or the
+    closure-based {!span}.
+
+    Spans nest: each domain keeps its own current-span stack (domain-local
+    storage), so concurrent portfolio workers get correct parent edges
+    without cross-domain interference.  Events may interleave arbitrarily
+    across domains in sink order; ids are process-unique. *)
+
+module Json = Json
+module Sink = Sink
+
+(** {1 Sink installation} *)
+
+(** [set_sink (Some s)] routes all subsequent events to [s];
+    [set_sink None] disables telemetry (the default). *)
+val set_sink : Sink.t option -> unit
+
+val current_sink : unit -> Sink.t option
+
+(** [enabled ()] is [true] iff a sink is installed — the single-load fast
+    path guard. *)
+val enabled : unit -> bool
+
+(** [with_sink s f] installs [s] around [f ()], restores the previous sink
+    afterwards (also on exception), and flushes [s]. *)
+val with_sink : Sink.t -> (unit -> 'a) -> 'a
+
+(** {1 Field construction shorthands} *)
+
+val int : int -> Sink.value
+val float : float -> Sink.value
+val str : string -> Sink.value
+val bool : bool -> Sink.value
+
+(** {1 Instrumentation points} *)
+
+(** [now ()] is seconds since the telemetry epoch (process start). *)
+val now : unit -> float
+
+(** A span in progress.  When telemetry was disabled at {!begin_span} time
+    the span is inert and {!end_span} is a no-op. *)
+type span
+
+val null_span : span
+
+(** [begin_span ?fields name] opens a span, emits [Span_begin], and pushes
+    it on this domain's span stack (becoming the parent of nested spans). *)
+val begin_span : ?fields:Sink.fields -> string -> span
+
+(** [end_span ?fields sp] pops and emits [Span_end] with the measured
+    duration.  [fields] typically carry results computed inside the span
+    (solver result, statistics deltas). *)
+val end_span : ?fields:Sink.fields -> span -> unit
+
+(** [span ?fields name f] wraps [f ()] in a span, ending it on any exit
+    (including exceptions).  When disabled this is just [f ()]. *)
+val span : ?fields:Sink.fields -> string -> (unit -> 'a) -> 'a
+
+(** [counter ?fields name n] emits a counter increment of [n]. *)
+val counter : ?fields:Sink.fields -> string -> int -> unit
+
+(** [gauge ?fields name v] emits a point-in-time level. *)
+val gauge : ?fields:Sink.fields -> string -> float -> unit
+
+(** [point ?fields name] emits an instantaneous event. *)
+val point : ?fields:Sink.fields -> string -> unit

@@ -1,0 +1,52 @@
+Tracing and machine-readable stats across the fecsynth subcommands.
+
+A synthesis run with --trace writes an NDJSON telemetry stream; trace-check
+parses every line (failing on any malformed one) and tallies events by
+(kind, name).  The counts vary run to run, but the event vocabulary is the
+CLI's contract: solver calls, encoder invocations, CEGIS iterations.
+
+  $ fecsynth synth --trace t.ndjson -p 'len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' > /dev/null
+  $ fecsynth trace-check t.ndjson | head -1 | sed 's/[0-9]\+/N/'
+  ok: N events
+  $ fecsynth trace-check t.ndjson | tail -n +2 | awk '{print $1, $2}' | sort -u
+  event card.encode
+  event cegis.candidate
+  event cegis.session
+  span_begin cegis.iteration
+  span_begin cegis.verify
+  span_begin ctx.check
+  span_begin sat.solve
+  span_end cegis.iteration
+  span_end cegis.verify
+  span_end ctx.check
+  span_end sat.solve
+
+Every line of the trace is one JSON object with ts/kind/name, so the
+machine-readable report of trace-check can itself be parsed:
+
+  $ fecsynth trace-check --stats json t.ndjson | sed 's/"events":[0-9]*/"events":N/' | cut -c1-50
+  {"command":"trace-check","events":N,"counts":[{"ki
+
+--stats json makes synth print one JSON object carrying the outcome, the
+code, and the unified stats record (same shape for plain CEGIS, portfolio
+and optimization runs):
+
+  $ fecsynth synth --stats json -p 'len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' | tr ',' '\n' | grep -c '"iterations"'
+  1
+  $ fecsynth synth --stats json -p 'len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' | tr '{,' '\n\n' | grep -o '"outcome":"synthesized"'
+  "outcome":"synthesized"
+
+A portfolio run adds worker lifecycle events to the trace:
+
+  $ fecsynth synth --portfolio --jobs 2 --trace tp.ndjson --stats json -p 'len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' > /dev/null
+  $ fecsynth trace-check tp.ndjson | tail -n +2 | awk '{print $2}' | sort -u | grep -E '^portfolio\.(start|winner|worker|round)$'
+  portfolio.round
+  portfolio.start
+  portfolio.winner
+  portfolio.worker
+
+A malformed trace is rejected with the offending line number:
+
+  $ printf '{"ts":0.1,"kind":"event","name":"x"}\nnot json\n' > bad.ndjson
+  $ fecsynth trace-check bad.ndjson 2>&1 | grep -c 'line 2'
+  1

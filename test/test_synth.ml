@@ -270,7 +270,8 @@ let test_portfolio_jobs1_matches_sequential () =
       Alcotest.(check bool) "identical generator" true
         (Hamming.Code.equal seq_code par_code);
       Alcotest.(check int) "identical iteration count"
-        seq_stats.Cegis.iterations report.Portfolio.total_iterations;
+        seq_stats.Cegis.iterations
+        report.Portfolio.totals.Synth.Report.Stats.iterations;
       (match report.Portfolio.winner with
       | Some c -> Alcotest.(check string) "winner is worker 0" "w0" c.Portfolio.label
       | None -> Alcotest.fail "expected a winner")

@@ -1,0 +1,288 @@
+(* Tests for the telemetry subsystem: span bookkeeping, sink aggregation,
+   NDJSON well-formedness, the Report.Stats merge monoid, and the presence
+   of the instrumentation events the CLI trace contract promises. *)
+
+module T = Telemetry
+module Sink = Telemetry.Sink
+module J = Telemetry.Json
+module Stats = Synth.Report.Stats
+
+(* ---------------------------------------------------------------- *)
+(* enabled / with_sink basics                                        *)
+(* ---------------------------------------------------------------- *)
+
+let test_enabled_toggle () =
+  Alcotest.(check bool) "disabled by default" false (T.enabled ());
+  let saw = ref false in
+  T.with_sink Sink.null (fun () -> saw := T.enabled ());
+  Alcotest.(check bool) "enabled inside with_sink" true !saw;
+  Alcotest.(check bool) "restored after with_sink" false (T.enabled ())
+
+let test_with_sink_restores_on_exn () =
+  (try T.with_sink Sink.null (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "restored after exception" false (T.enabled ())
+
+let test_disabled_is_inert () =
+  (* instrumentation points must be safe no-ops with no sink installed *)
+  let sp = T.begin_span "nothing" in
+  T.end_span sp;
+  T.counter "c" 1;
+  T.gauge "g" 1.0;
+  T.point "p";
+  T.span "s" (fun () -> ())
+
+(* ---------------------------------------------------------------- *)
+(* span nesting via the memory sink                                  *)
+(* ---------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let sink, events = Sink.memory () in
+  T.with_sink sink (fun () ->
+      T.span "outer" (fun () ->
+          T.span "inner" (fun () -> T.point "leaf");
+          T.span "inner2" (fun () -> ())));
+  let evs = events () in
+  let begins =
+    List.filter_map
+      (function Sink.Span_begin b -> Some (b.name, b.id, b.parent) | _ -> None)
+      evs
+  in
+  (match begins with
+  | [ ("outer", outer_id, outer_parent); ("inner", _, p1); ("inner2", _, p2) ] ->
+      Alcotest.(check (option int)) "outer has no parent" None outer_parent;
+      Alcotest.(check (option int)) "inner nested in outer" (Some outer_id) p1;
+      Alcotest.(check (option int)) "inner2 nested in outer" (Some outer_id) p2
+  | _ -> Alcotest.failf "unexpected span_begin sequence (%d begins)"
+           (List.length begins));
+  let ends =
+    List.filter_map (function Sink.Span_end e -> Some e.name | _ -> None) evs
+  in
+  Alcotest.(check (list string))
+    "inner spans end before outer" [ "inner"; "inner2"; "outer" ] ends;
+  List.iter
+    (function
+      | Sink.Span_end e ->
+          if e.dur < 0.0 then Alcotest.failf "negative duration on %s" e.name
+      | _ -> ())
+    evs
+
+let test_span_ids_unique () =
+  let sink, events = Sink.memory () in
+  T.with_sink sink (fun () ->
+      for _ = 1 to 5 do
+        T.span "s" (fun () -> ())
+      done);
+  let ids =
+    List.filter_map
+      (function Sink.Span_begin b -> Some b.id | _ -> None)
+      (events ())
+  in
+  Alcotest.(check int) "five spans" 5 (List.length ids);
+  Alcotest.(check int) "ids all distinct" 5
+    (List.length (List.sort_uniq compare ids))
+
+let test_span_exception_still_ends () =
+  let sink, events = Sink.memory () in
+  T.with_sink sink (fun () ->
+      try T.span "failing" (fun () -> failwith "boom") with Failure _ -> ());
+  let ends =
+    List.filter_map (function Sink.Span_end e -> Some e.name | _ -> None)
+      (events ())
+  in
+  Alcotest.(check (list string)) "span ended despite exception" [ "failing" ] ends
+
+(* ---------------------------------------------------------------- *)
+(* counter/gauge merging via the summary sink                        *)
+(* ---------------------------------------------------------------- *)
+
+let test_summary_merging () =
+  let sink, read = Sink.summary () in
+  T.with_sink sink (fun () ->
+      T.counter "apples" 2;
+      T.counter "apples" 3;
+      T.counter "pears" 1;
+      T.gauge "level" 1.5;
+      T.gauge "level" 2.5;
+      T.point "tick";
+      T.point "tick";
+      T.span "work" (fun () -> ());
+      T.span "work" (fun () -> ()));
+  let s = read () in
+  Alcotest.(check (list (pair string int)))
+    "counters summed" [ ("apples", 5); ("pears", 1) ] s.Sink.counters;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauge keeps last" [ ("level", 2.5) ] s.Sink.gauges;
+  Alcotest.(check (list (pair string int)))
+    "points counted" [ ("tick", 2) ] s.Sink.points;
+  (match s.Sink.spans with
+  | [ ("work", (2, total)) ] ->
+      if total < 0.0 then Alcotest.fail "negative total span duration"
+  | _ -> Alcotest.fail "expected one span row with count 2")
+
+(* ---------------------------------------------------------------- *)
+(* NDJSON sink well-formedness                                       *)
+(* ---------------------------------------------------------------- *)
+
+let collect_ndjson f =
+  let buf = Buffer.create 4096 in
+  T.with_sink (Sink.ndjson_writer (Buffer.add_string buf)) f;
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+
+let test_ndjson_every_line_parses () =
+  let lines =
+    collect_ndjson (fun () ->
+        T.span "outer" ~fields:[ ("k", T.int 1) ] (fun () ->
+            T.counter "c" 7 ~fields:[ ("enc", T.str "seq") ];
+            T.gauge "g" 3.25;
+            T.point "p" ~fields:[ ("ok", T.bool true); ("w", T.float 0.5) ]))
+  in
+  Alcotest.(check int) "five events" 5 (List.length lines);
+  List.iteri
+    (fun i line ->
+      let j =
+        try J.of_string line
+        with J.Parse_error m -> Alcotest.failf "line %d unparseable: %s" i m
+      in
+      let str_field k =
+        match Option.bind (J.member k j) J.to_string_opt with
+        | Some s -> s
+        | None -> Alcotest.failf "line %d missing string %S" i k
+      in
+      ignore (str_field "kind");
+      ignore (str_field "name");
+      match Option.bind (J.member "ts" j) J.to_float with
+      | Some ts when ts >= 0.0 -> ()
+      | _ -> Alcotest.failf "line %d missing numeric ts" i)
+    lines
+
+let test_ndjson_roundtrips_fields () =
+  let lines =
+    collect_ndjson (fun () ->
+        T.point "probe"
+          ~fields:
+            [ ("s", T.str "a\"b\nc"); ("i", T.int (-3)); ("f", T.float 1.5);
+              ("b", T.bool false) ])
+  in
+  match lines with
+  | [ line ] ->
+      let j = J.of_string line in
+      Alcotest.(check (option string))
+        "escaped string" (Some "a\"b\nc")
+        (Option.bind (J.member "s" j) J.to_string_opt);
+      Alcotest.(check (option int))
+        "negative int" (Some (-3))
+        (Option.bind (J.member "i" j) J.to_int);
+      Alcotest.(check (option (float 1e-9)))
+        "float" (Some 1.5)
+        (Option.bind (J.member "f" j) J.to_float);
+      Alcotest.(check (option string)) "kind" (Some "event")
+        (Option.bind (J.member "kind" j) J.to_string_opt)
+  | _ -> Alcotest.fail "expected exactly one line"
+
+(* ---------------------------------------------------------------- *)
+(* Report.Stats merge monoid (property tests)                        *)
+(* ---------------------------------------------------------------- *)
+
+(* elapsed uses integral values so float addition is exact and
+   associativity can be checked with (=) *)
+let stats_gen =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d, e) ->
+        { Stats.iterations = a; verifier_calls = b; elapsed = float_of_int c;
+          syn_conflicts = d; ver_conflicts = e })
+      (tup5 (int_bound 10000) (int_bound 10000) (int_bound 10000)
+         (int_bound 10000) (int_bound 10000)))
+
+let stats_arb =
+  QCheck.make stats_gen ~print:(fun s -> Format.asprintf "%a" Stats.pp s)
+
+let test_stats_add_assoc =
+  QCheck.Test.make ~name:"Stats.add associative" ~count:200
+    (QCheck.triple stats_arb stats_arb stats_arb)
+    (fun (a, b, c) ->
+      Stats.add (Stats.add a b) c = Stats.add a (Stats.add b c))
+
+let test_stats_zero_identity =
+  QCheck.Test.make ~name:"Stats.zero identity" ~count:200 stats_arb (fun s ->
+      Stats.add Stats.zero s = s && Stats.add s Stats.zero = s)
+
+let test_stats_sum_matches_fold =
+  QCheck.Test.make ~name:"Stats.sum = fold add zero" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_bound 8) stats_arb) (fun l ->
+      Stats.sum l = List.fold_left Stats.add Stats.zero l)
+
+(* ---------------------------------------------------------------- *)
+(* CEGIS instrumentation contract                                    *)
+(* ---------------------------------------------------------------- *)
+
+let test_cegis_event_kinds () =
+  let sink, events = Sink.memory () in
+  let outcome =
+    T.with_sink sink (fun () ->
+        Synth.Cegis.synthesize ~timeout:30.0
+          { Synth.Cegis.data_len = 4; check_len = 3; min_distance = 3;
+            extra = [] })
+  in
+  (match outcome with
+  | Synth.Cegis.Synthesized _ -> ()
+  | _ -> Alcotest.fail "expected (7,4)-style instance to synthesize");
+  let names =
+    List.sort_uniq compare (List.map Sink.event_name (events ()))
+  in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then
+        Alcotest.failf "trace missing %S (got: %s)" expected
+          (String.concat ", " names))
+    [ "cegis.session"; "cegis.iteration"; "cegis.candidate"; "cegis.verify";
+      "ctx.check"; "sat.solve"; "card.encode" ];
+  (* span begin/end pairing over the whole trace *)
+  let depth = ref 0 in
+  List.iter
+    (fun e ->
+      match e with
+      | Sink.Span_begin _ -> incr depth
+      | Sink.Span_end _ ->
+          decr depth;
+          if !depth < 0 then Alcotest.fail "span_end without begin"
+      | _ -> ())
+    (events ());
+  Alcotest.(check int) "all spans closed" 0 !depth
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "telemetry"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "enabled toggle" `Quick test_enabled_toggle;
+          Alcotest.test_case "with_sink restores on exn" `Quick
+            test_with_sink_restores_on_exn;
+          Alcotest.test_case "disabled is inert" `Quick test_disabled_is_inert;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and parents" `Quick test_span_nesting;
+          Alcotest.test_case "ids unique" `Quick test_span_ids_unique;
+          Alcotest.test_case "exception still ends span" `Quick
+            test_span_exception_still_ends;
+        ] );
+      ( "summary",
+        [ Alcotest.test_case "counter/gauge/point merging" `Quick
+            test_summary_merging ] );
+      ( "ndjson",
+        [
+          Alcotest.test_case "every line parses" `Quick
+            test_ndjson_every_line_parses;
+          Alcotest.test_case "fields roundtrip" `Quick
+            test_ndjson_roundtrips_fields;
+        ] );
+      ( "stats",
+        [ qt test_stats_add_assoc; qt test_stats_zero_identity;
+          qt test_stats_sum_matches_fold ] );
+      ( "cegis",
+        [ Alcotest.test_case "event kinds present" `Quick
+            test_cegis_event_kinds ] );
+    ]
