@@ -1,11 +1,12 @@
 # Convenience wrapper around dune.  `make check` is the one-stop gate:
-# full build, the whole test suite (unit + property + cram), and an
-# end-to-end trace validation of the telemetry pipeline.
+# full build, the whole test suite (unit + property + cram), an
+# end-to-end trace validation of the telemetry pipeline, and the
+# fault-injection stress pass.
 
 TRACE := /tmp/fecsynth-smoke.ndjson
 SMOKE_SPEC := len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3
 
-.PHONY: all build test trace-smoke check bench clean
+.PHONY: all build test trace-smoke stress check bench clean
 
 all: build
 
@@ -21,7 +22,24 @@ trace-smoke: build
 	dune exec -- fecsynth synth --trace $(TRACE) --stats json -p '$(SMOKE_SPEC)' > /dev/null
 	dune exec -- fecsynth trace-check $(TRACE)
 
-check: build test trace-smoke
+# Resilience gate, three layers:
+#   1. the randomized cross-check harness under stall-only injection
+#      (stalls must never change an answer; crash/interrupt faults would
+#      break the oracles' exception contract by design);
+#   2. the resilience suite (supervisor, checkpoint, budget edges, the
+#      20-trial seeded crash matrix);
+#   3. the CLI under a crash + spurious-interrupt matrix through the
+#      supervised portfolio path — every run must still decide.
+stress: build
+	FEC_FAULT_SPEC="seed=9,stall_ms=1,sat.solve.stall=0.01" dune exec test/test_fuzz.exe
+	dune exec test/test_resilience.exe
+	for seed in 1 2 3; do \
+	  FEC_FAULT_SPEC="seed=$$seed,sat.solve.crash=0.05:max=2,worker.start.crash=0.5:max=1,ctx.check.interrupt=0.05:max=3" \
+	  dune exec -- fecsynth synth --portfolio --jobs 3 -p '$(SMOKE_SPEC)' > /dev/null || exit 1; \
+	done
+	@echo "stress: OK"
+
+check: build test trace-smoke stress
 	@echo "check: OK"
 
 # Quick benchmark pass (shrunken workloads); writes BENCH_pr2.json.

@@ -111,7 +111,7 @@ let table1 () =
         Synth.Optimize.minimize_check_len ~timeout:120.0 ~data_len:4 ~md ~check_lo:2
           ~check_hi:14 ()
       with
-      | Some r ->
+      | Synth.Report.Synthesized (r, _) ->
           Hashtbl.replace table1_results md r.Synth.Optimize.code;
           let st = r.Synth.Optimize.stats in
           record_instance ~experiment:"table1"
@@ -122,7 +122,9 @@ let table1 () =
           Printf.printf "%-9d %-10d %-11d %-9.2f (%d, %d, %.2f)\n" md
             r.Synth.Optimize.check_len r.Synth.Optimize.stats.Synth.Cegis.iterations
             r.Synth.Optimize.stats.Synth.Cegis.elapsed pc pi pt
-      | None -> Printf.printf "%-9d TIMEOUT/UNSAT within c<=14\n" md)
+      | Synth.Report.Unsat_config _ | Synth.Report.Timed_out _
+      | Synth.Report.Partial _ ->
+          Printf.printf "%-9d TIMEOUT/UNSAT within c<=14\n" md)
     [ 8; 7; 6; 5; 4; 3; 2 ];
   print_newline ();
   print_endline "note: some rows come out strictly better than the paper's prototype";
@@ -169,8 +171,9 @@ let fig4 () =
               Synth.Optimize.minimize_check_len ~timeout:120.0 ~data_len:4 ~md ~check_lo:2
                 ~check_hi:14 ()
             with
-            | Some r -> Some r.Synth.Optimize.code
-            | None -> None)
+            | Synth.Report.Synthesized (r, _) -> Some r.Synth.Optimize.code
+            | Synth.Report.Unsat_config _ | Synth.Report.Timed_out _
+            | Synth.Report.Partial _ -> None)
       in
       match code with
       | None -> Printf.printf "%-4d (no generator)\n" md
@@ -267,7 +270,8 @@ let setbit_family =
          in
          match Synth.Cegis.synthesize ~timeout:60.0 problem with
          | Synth.Cegis.Synthesized (code, _) -> Some (target, code)
-         | Synth.Cegis.Unsat_config _ | Synth.Cegis.Timed_out _ -> None)
+         | Synth.Cegis.Unsat_config _ | Synth.Cegis.Timed_out _
+         | Synth.Cegis.Partial _ -> None)
        targets)
 
 let fig5 () =
@@ -433,7 +437,8 @@ let ablation_card () =
           Printf.printf "%-12s %-11d %-9.2f %-10d\n" name stats.Synth.Cegis.iterations
             stats.Synth.Cegis.elapsed stats.Synth.Cegis.syn_conflicts
       | Synth.Cegis.Unsat_config _ -> Printf.printf "%-12s UNSAT?!\n" name
-      | Synth.Cegis.Timed_out _ -> Printf.printf "%-12s timeout\n" name)
+      | Synth.Cegis.Timed_out _ | Synth.Cegis.Partial _ ->
+          Printf.printf "%-12s timeout\n" name)
     [ ("sequential", Smtlite.Card.Sequential); ("totalizer", Smtlite.Card.Totalizer);
       ("adder", Smtlite.Card.Adder) ]
 
@@ -458,7 +463,8 @@ let ablation_cex () =
           Printf.printf "%-18s %-11d %-9.2f\n" name stats.Synth.Cegis.iterations
             stats.Synth.Cegis.elapsed
       | Synth.Cegis.Unsat_config _ -> Printf.printf "%-18s UNSAT?!\n" name
-      | Synth.Cegis.Timed_out _ -> Printf.printf "%-18s timeout\n" name)
+      | Synth.Cegis.Timed_out _ | Synth.Cegis.Partial _ ->
+          Printf.printf "%-18s timeout\n" name)
     [ ("data-word (ours)", Synth.Cegis.Data_word);
       ("whole-candidate", Synth.Cegis.Whole_candidate) ]
 
@@ -507,6 +513,11 @@ let portfolio_bench () =
             (budget, Printf.sprintf ">%.0f" budget, false)
         | Synth.Cegis.Unsat_config st ->
             (st.Synth.Cegis.elapsed, "unsat", true)
+        | Synth.Cegis.Partial (_, st) ->
+            record_instance ~experiment:"portfolio-seq" ~instance ~wall_s:budget
+              ~iterations:st.Synth.Report.Stats.iterations
+              ~conflicts:st.Synth.Report.Stats.syn_conflicts;
+            (budget, Printf.sprintf ">%.0f" budget, false)
       in
       match Synth.Portfolio.synthesize ~timeout:budget ~jobs:4 problem with
       | Synth.Portfolio.Synthesized (code, report) ->
@@ -531,7 +542,7 @@ let portfolio_bench () =
       | Synth.Portfolio.Unsat_config _ ->
           Printf.printf "%-16s %-14s UNSAT?!\n"
             (Printf.sprintf "k=%d c=%d md=%d" k c m) seq_label
-      | Synth.Portfolio.Timed_out _ ->
+      | Synth.Portfolio.Timed_out _ | Synth.Portfolio.Partial _ ->
           Printf.printf "%-16s %-14s >%-13.0f -\n"
             (Printf.sprintf "k=%d c=%d md=%d" k c m) seq_label budget)
     instances;

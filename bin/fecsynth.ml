@@ -24,6 +24,44 @@ let load_prop spec =
     Spec.Parse.prop_file (read_file (String.sub spec 1 (String.length spec - 1)))
   else Spec.Parse.prop spec
 
+(* ---------- interrupt handling and exit codes ---------- *)
+
+(* The first Ctrl-C requests a cooperative wind-down: the solvers poll the
+   flag, the run returns its partial outcome, traces and checkpoints are
+   flushed, and the process exits 130.  A second Ctrl-C aborts at once. *)
+let sigint_requested = Atomic.make false
+
+let install_sigint () =
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         if Atomic.get sigint_requested then exit 130
+         else Atomic.set sigint_requested true))
+
+let interrupted () = Atomic.get sigint_requested
+
+let exit_unsat = 3
+let exit_timeout = 4
+let exit_partial = 5
+let exit_interrupted = 130
+
+let synth_exits =
+  Cmdliner.Cmd.Exit.defaults
+  @ [
+      Cmdliner.Cmd.Exit.info exit_unsat
+        ~doc:"the specification is unsatisfiable.";
+      Cmdliner.Cmd.Exit.info exit_timeout
+        ~doc:"the time budget expired with nothing to report.";
+      Cmdliner.Cmd.Exit.info exit_partial
+        ~doc:
+          "the budget expired before verification; the best unverified \
+           candidate was reported.";
+      Cmdliner.Cmd.Exit.info exit_interrupted
+        ~doc:
+          "interrupted by SIGINT after flushing traces, checkpoints and \
+           partial results.";
+    ]
+
 (* ---------- common arguments ---------- *)
 
 let code_arg =
@@ -37,6 +75,23 @@ let prop_arg =
 let timeout_arg =
   let doc = "Solver timeout in seconds." in
   Arg.(value & opt float 120.0 & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Write a resumable checkpoint (counterexample pool, best candidate, \
+     optimization bound) to $(docv), refreshed as the search progresses. \
+     Writes are atomic: a reader or a resumed run never sees a torn file."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from a checkpoint written by $(b,--checkpoint). The pool of \
+     counterexamples is replayed before the first candidate, so the search \
+     restarts ahead of where it began. A corrupt, truncated or mismatched \
+     checkpoint is rejected, never trusted."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
 
 module J = Telemetry.Json
 
@@ -75,11 +130,70 @@ let synth_cmd =
     let doc = "Number of portfolio workers (implies --portfolio for K > 1)." in
     Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"K" ~doc)
   in
-  let run prop_spec timeout weights portfolio jobs trace fmt =
+  let run prop_spec timeout weights portfolio jobs checkpoint resume trace fmt =
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else
     let prop = load_prop prop_spec in
     let jobs_opt = if portfolio then Some jobs else None in
+    (* checkpointing needs a single-generator task so the problem shape the
+       pool belongs to is known up front *)
+    let single =
+      match Synth.Driver.analyze prop with
+      | Ok (Synth.Driver.Fixed s) | Ok (Synth.Driver.Min_check_len s) -> Some s
+      | Ok _ | Error _ -> None
+    in
+    if (checkpoint <> None || resume <> None) && single = None then
+      `Error
+        (false, "--checkpoint/--resume support single-generator tasks only")
+    else begin
+    install_sigint ();
+    let initial, resumed_iters =
+      match resume with
+      | None -> ([], 0)
+      | Some path -> (
+          match Synth.Checkpoint.load ~path with
+          | Error e ->
+              failwith ("cannot resume: " ^ Synth.Checkpoint.error_to_string e)
+          | Ok t ->
+              let s = Option.get single in
+              if
+                t.Synth.Checkpoint.data_len <> s.Synth.Driver.data_len
+                || t.Synth.Checkpoint.min_distance <> s.Synth.Driver.md
+              then
+                failwith
+                  (Printf.sprintf
+                     "cannot resume: checkpoint is for data_len %d md %d but \
+                      the specification wants data_len %d md %d"
+                     t.Synth.Checkpoint.data_len
+                     t.Synth.Checkpoint.min_distance s.Synth.Driver.data_len
+                     s.Synth.Driver.md);
+              (t.Synth.Checkpoint.cexes, t.Synth.Checkpoint.iterations))
+    in
+    let writer =
+      match (checkpoint, single) with
+      | Some path, Some s ->
+          let w =
+            Synth.Checkpoint.Writer.create ~path
+              ~data_len:s.Synth.Driver.data_len
+              ~check_len:s.Synth.Driver.check_lo
+              ~min_distance:s.Synth.Driver.md ()
+          in
+          (* carry resumed state forward so the refreshed file supersedes
+             the one we resumed from *)
+          List.iter (Synth.Checkpoint.Writer.record_cex w) initial;
+          Synth.Checkpoint.Writer.record_iterations w resumed_iters;
+          Some w
+      | _ -> None
+    in
+    let iters = Atomic.make resumed_iters in
+    let on_cex cex =
+      match writer with
+      | None -> ()
+      | Some w ->
+          Synth.Checkpoint.Writer.record_cex w cex;
+          Synth.Checkpoint.Writer.record_iterations w
+            (1 + Atomic.fetch_and_add iters 1)
+    in
     let last_report = ref None in
     let on_report report =
       last_report := Some report;
@@ -88,8 +202,15 @@ let synth_cmd =
     in
     let outcome =
       Output.with_trace trace (fun () ->
-          Synth.Driver.run ~timeout ?weights ?jobs:jobs_opt ~on_report prop)
+          Synth.Driver.run ~timeout ?weights ?jobs:jobs_opt ~on_report
+            ~interrupt:interrupted ~initial ~on_cex prop)
     in
+    (match writer with
+    | Some w -> Synth.Checkpoint.Writer.flush w
+    | None -> ());
+    if resume <> None && fmt = Output.Text then
+      Printf.printf "resumed from checkpoint: %d counterexamples, %d prior iterations\n"
+        (List.length initial) resumed_iters;
     let portfolio_json () =
       match !last_report with
       | None -> []
@@ -195,14 +316,252 @@ let synth_cmd =
               ("codes", J.List [ code_json c0; code_json c1 ]);
             ]);
         `Ok ()
+    | Synth.Driver.Partial_code (code, stats) ->
+        (* anytime result: the candidate is real but its distance target was
+           never verified — recompute the achieved bound before reporting *)
+        let achieved = Hamming.Distance.min_distance code in
+        (match writer with
+        | Some w ->
+            Synth.Checkpoint.Writer.record_best w code achieved;
+            Synth.Checkpoint.Writer.flush w
+        | None -> ());
+        Output.result fmt
+          ~text:(fun () ->
+            Printf.printf "partial: %s before verification finished\n"
+              (if interrupted () then "interrupted" else "budget expired");
+            Printf.printf
+              "best candidate so far: (%d,%d) generator, achieved md %d:\n%s\n"
+              (Hamming.Code.block_len code) (Hamming.Code.data_len code)
+              achieved (Hamming.Code.to_string code);
+            Printf.printf "iterations: %d, time: %.2f s\n"
+              stats.Synth.Cegis.iterations stats.Synth.Cegis.elapsed)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "synth");
+              ("outcome", J.Str "partial");
+              ("interrupted", J.Bool (interrupted ()));
+              ("achieved_md", J.Int achieved);
+              ("codes", J.List [ code_json code ]);
+              ("stats", Synth.Report.Stats.to_json stats);
+            ]
+            @ portfolio_json ());
+        exit (if interrupted () then exit_interrupted else exit_partial)
+    | Synth.Driver.Unsat msg ->
+        Output.result fmt
+          ~text:(fun () -> Printf.printf "unsatisfiable: %s\n" msg)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "synth");
+              ("outcome", J.Str "unsat");
+              ("reason", J.Str msg);
+            ]
+            @ portfolio_json ());
+        exit exit_unsat
+    | Synth.Driver.Timeout msg ->
+        Output.result fmt
+          ~text:(fun () ->
+            Printf.printf "%s: %s\n"
+              (if interrupted () then "interrupted" else "timeout")
+              msg)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "synth");
+              ( "outcome",
+                J.Str (if interrupted () then "interrupted" else "timeout") );
+              ("reason", J.Str msg);
+            ]
+            @ portfolio_json ());
+        exit (if interrupted () then exit_interrupted else exit_timeout)
     | Synth.Driver.No_solution msg -> `Error (false, "no solution: " ^ msg)
+    end
   in
   let doc = "Synthesize generators from a property specification (CEGIS)." in
-  Cmd.v (Cmd.info "synth" ~doc)
+  Cmd.v (Cmd.info "synth" ~doc ~exits:synth_exits)
     Term.(
       ret
         (const run $ prop_arg $ timeout_arg $ weights $ portfolio $ jobs
-       $ Output.trace_arg $ Output.stats_arg))
+       $ checkpoint_arg $ resume_arg $ Output.trace_arg $ Output.stats_arg))
+
+(* ---------- optimize ---------- *)
+
+let optimize_cmd =
+  let data_len_arg =
+    let doc = "Number of data bits." in
+    Arg.(required & opt (some int) None & info [ "k"; "data-len" ] ~docv:"K" ~doc)
+  in
+  let md_arg =
+    let doc = "Target minimum distance." in
+    Arg.(
+      required & opt (some int) None & info [ "m"; "min-distance" ] ~docv:"MD" ~doc)
+  in
+  let lo_arg =
+    let doc = "Smallest check length to try." in
+    Arg.(value & opt int 1 & info [ "check-lo" ] ~docv:"C" ~doc)
+  in
+  let hi_arg =
+    let doc = "Largest check length to try." in
+    Arg.(value & opt int 16 & info [ "check-hi" ] ~docv:"C" ~doc)
+  in
+  let run data_len md check_lo check_hi timeout checkpoint resume trace fmt =
+    if data_len < 1 || md < 1 || check_lo < 1 || check_hi < check_lo then
+      `Error
+        (false, "need data-len >= 1, min-distance >= 1, 1 <= check-lo <= check-hi")
+    else begin
+      install_sigint ();
+      let initial, start_lo, resumed_iters =
+        match resume with
+        | None -> ([], check_lo, 0)
+        | Some path -> (
+            match Synth.Checkpoint.load ~path with
+            | Error e ->
+                failwith
+                  ("cannot resume: " ^ Synth.Checkpoint.error_to_string e)
+            | Ok t ->
+                if
+                  t.Synth.Checkpoint.data_len <> data_len
+                  || t.Synth.Checkpoint.min_distance <> md
+                then
+                  failwith
+                    (Printf.sprintf
+                       "cannot resume: checkpoint is for data_len %d md %d but \
+                        the command line wants data_len %d md %d"
+                       t.Synth.Checkpoint.data_len
+                       t.Synth.Checkpoint.min_distance data_len md);
+                let lo =
+                  match t.Synth.Checkpoint.opt_bound with
+                  | Some b -> max check_lo b
+                  | None -> check_lo
+                in
+                (t.Synth.Checkpoint.cexes, lo, t.Synth.Checkpoint.iterations))
+      in
+      let writer =
+        match checkpoint with
+        | Some path ->
+            let w =
+              Synth.Checkpoint.Writer.create ~path ~data_len
+                ~check_len:check_lo ~min_distance:md ()
+            in
+            List.iter (Synth.Checkpoint.Writer.record_cex w) initial;
+            Synth.Checkpoint.Writer.record_iterations w resumed_iters;
+            Synth.Checkpoint.Writer.record_bound w start_lo;
+            Some w
+        | None -> None
+      in
+      let iters = Atomic.make resumed_iters in
+      let on_cex cex =
+        match writer with
+        | None -> ()
+        | Some w ->
+            Synth.Checkpoint.Writer.record_cex w cex;
+            Synth.Checkpoint.Writer.record_iterations w
+              (1 + Atomic.fetch_and_add iters 1)
+      in
+      let on_round c =
+        match writer with
+        | None -> ()
+        | Some w -> Synth.Checkpoint.Writer.record_bound w c
+      in
+      let outcome =
+        Output.with_trace trace (fun () ->
+            Synth.Optimize.minimize_check_len ~timeout ~interrupt:interrupted
+              ~initial ~on_round ~on_cex ~data_len ~md ~check_lo:start_lo
+              ~check_hi ())
+      in
+      (match writer with
+      | Some w -> Synth.Checkpoint.Writer.flush w
+      | None -> ());
+      if resume <> None && fmt = Output.Text then
+        Printf.printf
+          "resumed from checkpoint: %d counterexamples, %d prior iterations, \
+           starting at check length %d\n"
+          (List.length initial) resumed_iters start_lo;
+      let stats_json totals =
+        [ ("stats", Synth.Report.Stats.to_json totals) ]
+      in
+      match outcome with
+      | Synth.Report.Synthesized (r, totals) ->
+          Output.result fmt
+            ~text:(fun () ->
+              let code = r.Synth.Optimize.code in
+              Printf.printf
+                "minimal check length %d: (%d,%d) generator, md %d:\n%s\n"
+                r.Synth.Optimize.check_len (Hamming.Code.block_len code)
+                (Hamming.Code.data_len code)
+                (Hamming.Distance.min_distance code)
+                (Hamming.Code.to_string code);
+              Printf.printf "iterations: %d, time: %.2f s\n" totals.Synth.Cegis.iterations
+                totals.Synth.Cegis.elapsed)
+            ~json:(fun () ->
+              [
+                ("command", J.Str "optimize");
+                ("outcome", J.Str "synthesized");
+                ("check_len", J.Int r.Synth.Optimize.check_len);
+                ("codes", J.List [ code_json r.Synth.Optimize.code ]);
+              ]
+              @ stats_json totals);
+          `Ok ()
+      | Synth.Report.Unsat_config totals ->
+          Output.result fmt
+            ~text:(fun () ->
+              Printf.printf
+                "unsatisfiable: no check length in %d..%d reaches md %d\n"
+                start_lo check_hi md)
+            ~json:(fun () ->
+              [ ("command", J.Str "optimize"); ("outcome", J.Str "unsat") ]
+              @ stats_json totals);
+          exit exit_unsat
+      | Synth.Report.Timed_out totals ->
+          Output.result fmt
+            ~text:(fun () ->
+              Printf.printf "%s with no candidate to report\n"
+                (if interrupted () then "interrupted" else "timeout"))
+            ~json:(fun () ->
+              [
+                ("command", J.Str "optimize");
+                ( "outcome",
+                  J.Str (if interrupted () then "interrupted" else "timeout") );
+              ]
+              @ stats_json totals);
+          exit (if interrupted () then exit_interrupted else exit_timeout)
+      | Synth.Report.Partial (r, totals) ->
+          let code = r.Synth.Optimize.code in
+          let achieved = Hamming.Distance.min_distance code in
+          (match writer with
+          | Some w ->
+              Synth.Checkpoint.Writer.record_best w code achieved;
+              Synth.Checkpoint.Writer.flush w
+          | None -> ());
+          Output.result fmt
+            ~text:(fun () ->
+              Printf.printf "partial: %s at check length %d\n"
+                (if interrupted () then "interrupted" else "budget expired")
+                r.Synth.Optimize.check_len;
+              Printf.printf
+                "best candidate so far: (%d,%d) generator, achieved md %d:\n%s\n"
+                (Hamming.Code.block_len code) (Hamming.Code.data_len code)
+                achieved (Hamming.Code.to_string code))
+            ~json:(fun () ->
+              [
+                ("command", J.Str "optimize");
+                ("outcome", J.Str "partial");
+                ("interrupted", J.Bool (interrupted ()));
+                ("check_len", J.Int r.Synth.Optimize.check_len);
+                ("achieved_md", J.Int achieved);
+                ("codes", J.List [ code_json code ]);
+              ]
+              @ stats_json totals);
+          exit (if interrupted () then exit_interrupted else exit_partial)
+    end
+  in
+  let doc =
+    "Minimize the check length for a target minimum distance (the Table 1 \
+     walk), with checkpoint/resume support."
+  in
+  Cmd.v (Cmd.info "optimize" ~doc ~exits:synth_exits)
+    Term.(
+      ret
+        (const run $ data_len_arg $ md_arg $ lo_arg $ hi_arg $ timeout_arg
+       $ checkpoint_arg $ resume_arg $ Output.trace_arg $ Output.stats_arg))
 
 (* ---------- verify ---------- *)
 
@@ -556,19 +915,33 @@ let trace_check_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let run file fmt =
-    let ic = open_in file in
+    let content = read_file file in
     let counts : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
     let total = ref 0 in
+    let truncated = ref false in
+    (* a process killed mid-write leaves a final line with no newline
+       terminator: that specific damage is tolerated as a warning, so a
+       trace survives the very crash telemetry exists to explain.  Any
+       malformed line that is newline-terminated is real corruption. *)
+    let ends_with_newline =
+      String.length content = 0
+      || content.[String.length content - 1] = '\n'
+    in
+    let lines =
+      match List.rev (String.split_on_char '\n' content) with
+      | "" :: rest -> List.rev rest (* drop the split artifact after a final \n *)
+      | rest -> List.rev rest
+    in
+    let n_lines = List.length lines in
     let check =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let line_no = ref 0 in
-          let rec go () =
-            match In_channel.input_line ic with
-            | None -> Ok ()
-            | Some line -> (
-                incr line_no;
+      List.fold_left
+        (fun (acc, line_no) line ->
+          let line_no = line_no + 1 in
+          match acc with
+          | Error _ -> (acc, line_no)
+          | Ok () -> (
+              if line = "" then (Ok (), line_no)
+              else
                 match J.of_string line with
                 | j ->
                     let str_field key =
@@ -587,15 +960,24 @@ let trace_check_cmd =
                     let key = (kind, name) in
                     Hashtbl.replace counts key
                       (1 + Option.value (Hashtbl.find_opt counts key) ~default:0);
-                    go ()
+                    (Ok (), line_no)
                 | exception J.Parse_error msg ->
-                    Error (Printf.sprintf "line %d: %s" !line_no msg))
-          in
-          go ())
+                    if line_no = n_lines && not ends_with_newline then begin
+                      truncated := true;
+                      (Ok (), line_no)
+                    end
+                    else (Error (Printf.sprintf "line %d: %s" line_no msg), line_no)))
+        (Ok (), 0) lines
+      |> fst
     in
     match check with
     | Error msg -> `Error (false, "invalid trace: " ^ msg)
     | Ok () ->
+        if !truncated then
+          Printf.eprintf
+            "fecsynth: warning: final trace line is truncated (interrupted \
+             write); ignored after %d complete events\n%!"
+            !total;
         let sorted =
           List.sort compare
             (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
@@ -610,6 +992,7 @@ let trace_check_cmd =
             [
               ("command", J.Str "trace-check");
               ("events", J.Int !total);
+              ("truncated_tail", J.Bool !truncated);
               ( "counts",
                 J.List
                   (List.map
@@ -626,7 +1009,8 @@ let trace_check_cmd =
   in
   let doc =
     "Validate an NDJSON telemetry trace: every line must parse and carry \
-     ts/kind/name; prints per-(kind, name) event counts."
+     ts/kind/name; prints per-(kind, name) event counts.  A truncated final \
+     line (interrupted write) is tolerated with a warning."
   in
   Cmd.v (Cmd.info "trace-check" ~doc)
     Term.(ret (const run $ file_arg $ Output.stats_arg))
@@ -637,8 +1021,8 @@ let () =
   let group =
     Cmd.group info
       [
-        synth_cmd; verify_cmd; certify_cmd; distance_cmd; analyze_cmd; emit_cmd;
-        robustness_cmd; smt_cmd; trace_check_cmd;
+        synth_cmd; optimize_cmd; verify_cmd; certify_cmd; distance_cmd;
+        analyze_cmd; emit_cmd; robustness_cmd; smt_cmd; trace_check_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

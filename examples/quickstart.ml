@@ -44,8 +44,9 @@ let () =
     Synth.Optimize.minimize_check_len ~timeout:60.0 ~data_len:4 ~md:4 ~check_lo:2
       ~check_hi:14 ()
   with
-  | Some r ->
+  | Synth.Report.Synthesized (r, _) ->
       Format.printf "found one with %d check bits after %d CEGIS iterations:@.%a@."
         r.Synth.Optimize.check_len r.Synth.Optimize.stats.Synth.Cegis.iterations
         Hamming.Code.pp r.Synth.Optimize.code
-  | None -> print_endline "synthesis failed (unexpected)"
+  | Synth.Report.Unsat_config _ | Synth.Report.Timed_out _
+  | Synth.Report.Partial _ -> print_endline "synthesis failed (unexpected)"

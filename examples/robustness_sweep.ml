@@ -19,8 +19,10 @@ let () =
         Synth.Optimize.minimize_check_len ~timeout:120.0 ~data_len:4 ~md ~check_lo:2
           ~check_hi:14 ()
       with
-      | None -> Printf.printf "%-4d (synthesis failed)\n" md
-      | Some r ->
+      | Synth.Report.Unsat_config _ | Synth.Report.Timed_out _
+      | Synth.Report.Partial _ ->
+          Printf.printf "%-4d (synthesis failed)\n" md
+      | Synth.Report.Synthesized (r, _) ->
           let code = r.Synth.Optimize.code in
           let codec = Channel.Montecarlo.codec_of_code code in
           let mc =

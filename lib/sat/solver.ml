@@ -663,7 +663,18 @@ let search s ~assumptions ~conflict_limit =
   done;
   match !outcome with Some o -> o | None -> assert false
 
+(* Fault-injection probe: a process-global hook invoked at instrumented
+   points (here and in higher layers via [probe]).  [None] (the default)
+   costs one load and a branch; installers (Synth.Fault) must set it before
+   spawning worker domains.  The hook may raise — that is the point: an
+   injected exception propagates out of the probe site exactly as a real
+   failure would. *)
+let probe_hook : (string -> unit) option ref = ref None
+let set_probe f = probe_hook := f
+let probe site = match !probe_hook with None -> () | Some f -> f site
+
 let solve_body ?(assumptions = []) s =
+  probe "sat.solve";
   s.model_valid <- false;
   if not s.okay then Unsat
   else begin

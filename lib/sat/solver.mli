@@ -99,6 +99,22 @@ val set_interrupt : t -> (unit -> bool) option -> unit
 
 exception Interrupted
 
+(** [set_probe (Some f)] installs a process-global fault-injection probe:
+    [f] is invoked with a site name at instrumented points (["sat.solve"]
+    at every {!solve} entry; higher layers funnel their own sites — e.g.
+    ["ctx.check"] — through {!probe}).  The hook may raise, stall, or
+    return normally; exceptions it raises propagate out of the probed
+    operation exactly as a real failure would.  Install before spawning
+    worker domains; [None] (the default) makes probes free apart from one
+    load and branch.  Used by [Synth.Fault] for deterministic resilience
+    testing — production code never installs a hook. *)
+val set_probe : (string -> unit) option -> unit
+
+(** [probe site] invokes the installed probe hook, if any.  Exposed so
+    layers above the solver can add their own probe sites without a second
+    registration mechanism. *)
+val probe : string -> unit
+
 (** [enable_proof s] starts recording a DRAT proof: every learnt clause is
     logged as an addition, every database reduction as deletions, and a
     level-zero conflict as the empty clause.  Must be called before any

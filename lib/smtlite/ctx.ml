@@ -132,6 +132,7 @@ let rec assert_ ctx e =
 (* Run the solver in conflict-bounded slices so a wall-clock deadline can
    interrupt long searches; learnt clauses persist across slices. *)
 let check_body ?deadline ?(assumptions = []) ctx =
+  Sat.Solver.probe "ctx.check";
   ctx.last_sat <- false;
   let assumption_lits =
     ctx.selectors @ List.map (lit_of ctx) assumptions

@@ -17,12 +17,15 @@ type stats = Report.Stats.t = {
   elapsed : float;
   syn_conflicts : int;
   ver_conflicts : int;
+  worker_crashes : int;
+  worker_restarts : int;
 }
 
 type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
   | Synthesized of 'res * 'info
   | Unsat_config of 'info
   | Timed_out of 'info
+  | Partial of 'res * 'info
 
 type outcome = (Hamming.Code.t, Report.Stats.t) report_outcome
 
@@ -93,6 +96,11 @@ type session = {
   mutable iterations : int;
   mutable verifier_calls : int;
   ver_conflicts : int ref;
+  (* best refuted candidate so far: the generator whose refuting witness
+     had the largest codeword weight (an upper bound on the candidate's
+     minimum distance, hence "closest to the target") — the anytime result
+     returned as [Partial] when a budget expires *)
+  mutable best : (Hamming.Code.t * int) option;
 }
 
 type step_result =
@@ -100,8 +108,25 @@ type step_result =
   | Progress of cex
   | Exhausted
 
+(* Absorb a counterexample — the session's own, one imported from another
+   portfolio worker, or one replayed from a checkpoint.  Raw witnesses are
+   re-encoded with this session's own cardinality encoding, so sharing
+   across differently-configured workers stays sound: both constraint forms
+   are implied for any correct code. *)
+let learn_into s cex =
+  match cex with
+  | Cex_data d ->
+      Ctx.assert_ s.syn
+        (data_word_constraint ~encoding:s.encoding s.vars
+           ~check_len:s.problem.check_len ~min_distance:s.problem.min_distance
+           d)
+  | Cex_candidate code ->
+      Ctx.assert_ s.syn (block_candidate_constraint s.vars code)
+
 let create_session ?(cex_mode = Data_word) ?(verifier = Combinatorial)
-    ?(encoding = Card.Sequential) ?seed ?interrupt ?vars problem =
+    ?(encoding = Card.Sequential) ?seed ?interrupt ?vars ?(initial = [])
+    problem =
+  Fault.init_from_env ();
   let { data_len; check_len; min_distance = _; extra } = problem in
   if data_len < 1 || check_len < 1 then
     invalid_arg "Cegis.create_session: need at least one data and one check bit";
@@ -133,20 +158,27 @@ let create_session ?(cex_mode = Data_word) ?(verifier = Combinatorial)
           ("seed", Telemetry.int (Option.value seed ~default:(-1)));
           ("extra_constraints", Telemetry.int (List.length extra));
         ];
-  {
-    problem;
-    cex_mode;
-    verifier;
-    encoding;
-    seed;
-    interrupt;
-    syn;
-    vars;
-    start = Unix.gettimeofday ();
-    iterations = 0;
-    verifier_calls = 0;
-    ver_conflicts = ref 0;
-  }
+  let s =
+    {
+      problem;
+      cex_mode;
+      verifier;
+      encoding;
+      seed;
+      interrupt;
+      syn;
+      vars;
+      start = Unix.gettimeofday ();
+      iterations = 0;
+      verifier_calls = 0;
+      ver_conflicts = ref 0;
+      best = None;
+    }
+  in
+  (* replay counterexamples recovered from a checkpoint (or carried over
+     from a previous incarnation) before the first candidate is drawn *)
+  List.iter (learn_into s) initial;
+  s
 
 let matrix_vars s = s.vars
 
@@ -157,21 +189,13 @@ let session_stats s =
     elapsed = Unix.gettimeofday () -. s.start;
     syn_conflicts = (Ctx.stats s.syn).Sat.Solver.conflicts;
     ver_conflicts = !(s.ver_conflicts);
+    worker_crashes = 0;
+    worker_restarts = 0;
   }
 
-(* Absorb a counterexample — the session's own or one imported from another
-   portfolio worker.  Raw witnesses are re-encoded with this session's own
-   cardinality encoding, so sharing across differently-configured workers
-   stays sound: both constraint forms are implied for any correct code. *)
-let learn s cex =
-  match cex with
-  | Cex_data d ->
-      Ctx.assert_ s.syn
-        (data_word_constraint ~encoding:s.encoding s.vars
-           ~check_len:s.problem.check_len ~min_distance:s.problem.min_distance
-           d)
-  | Cex_candidate code ->
-      Ctx.assert_ s.syn (block_candidate_constraint s.vars code)
+let session_best s = s.best
+
+let learn = learn_into
 
 let verify ?deadline s code =
   s.verifier_calls <- s.verifier_calls + 1;
@@ -212,6 +236,13 @@ let step_body ?deadline s =
                 ("verdict", Telemetry.str "cex");
                 ("cex_weight", Telemetry.int (Bitvec.popcount d));
               ];
+          (* the witness codeword weight is an upper bound on this
+             candidate's minimum distance; keep the candidate that came
+             closest to the target as the anytime result *)
+          let cw = Bitvec.popcount (Hamming.Code.encode code d) in
+          (match s.best with
+          | Some (_, b) when b >= cw -> ()
+          | _ -> s.best <- Some (code, cw));
           let cex =
             match s.cex_mode with
             | Data_word -> Cex_data d
@@ -232,15 +263,39 @@ let step ?deadline s =
       (fun () -> step_body ?deadline s)
 
 let synthesize ?(timeout = 120.0) ?(cex_mode = Data_word)
-    ?(verifier = Combinatorial) ?(encoding = Card.Sequential) problem =
-  let s = create_session ~cex_mode ~verifier ~encoding problem in
+    ?(verifier = Combinatorial) ?(encoding = Card.Sequential) ?seed ?interrupt
+    ?initial ?on_progress problem =
+  let s =
+    create_session ~cex_mode ~verifier ~encoding ?seed ?interrupt ?initial
+      problem
+  in
   let deadline = s.start +. timeout in
+  (* the anytime outcome when a budget or interrupt cuts the run short *)
+  let out_of_budget () =
+    match s.best with
+    | Some (code, _) -> Partial (code, session_stats s)
+    | None -> Timed_out (session_stats s)
+  in
+  (* [Interrupted] with no genuinely-firing interrupt installed is spurious
+     (fault injection, or a stale solver hook): the solver state is intact,
+     so retry the step rather than abort the run *)
+  let genuine_interrupt () =
+    match s.interrupt with Some f -> f () | None -> false
+  in
   let rec loop () =
-    if Unix.gettimeofday () > deadline then Timed_out (session_stats s)
+    (* poll the budget here too: small instances can run whole iterations
+       without the solvers ever reaching an interrupt poll point *)
+    if Unix.gettimeofday () > deadline || genuine_interrupt () then
+      out_of_budget ()
     else
       match step ~deadline s with
       | Exhausted -> Unsat_config (session_stats s)
       | Done code -> Synthesized (code, session_stats s)
-      | Progress _ -> loop ()
+      | Progress cex ->
+          (match on_progress with Some f -> f s cex | None -> ());
+          loop ()
+      | exception Ctx.Timeout -> out_of_budget ()
+      | exception Ctx.Interrupted ->
+          if genuine_interrupt () then out_of_budget () else loop ()
   in
-  try loop () with Ctx.Timeout -> Timed_out (session_stats s)
+  loop ()

@@ -35,6 +35,8 @@ type stats = Report.Stats.t = {
   elapsed : float;  (** seconds *)
   syn_conflicts : int;
   ver_conflicts : int;
+  worker_crashes : int;
+  worker_restarts : int;
 }
 
 (** Constructor re-export of {!Report.outcome}, so legacy qualified uses
@@ -44,6 +46,9 @@ type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
   | Synthesized of 'res * 'info
   | Unsat_config of 'info  (** no coefficient matrix satisfies the spec *)
   | Timed_out of 'info
+  | Partial of 'res * 'info
+      (** best refuted candidate when the budget expired (see
+          {!session_best} for its verified distance bound) *)
 
 (** Deprecated alias of {!Report.outcome} specialized to a single code and
     {!Report.Stats.t}; will be removed in a future release. *)
@@ -97,6 +102,7 @@ val create_session :
   ?seed:int ->
   ?interrupt:(unit -> bool) ->
   ?vars:Smtlite.Expr.t array array ->
+  ?initial:cex list ->
   problem ->
   session
 
@@ -125,13 +131,33 @@ val learn : session -> cex -> unit
 (** Statistics of the session so far. *)
 val session_stats : session -> stats
 
-(** [synthesize ?timeout ?cex_mode ?verifier ?encoding problem] runs the
-    loop.  [timeout] (seconds, default 120 as in the paper) bounds the
-    whole call.  Equivalent to driving {!step} until completion. *)
+(** [session_best session] is the best refuted candidate so far together
+    with its verified distance bound: the refuting witness's codeword
+    weight, an upper bound on the candidate's minimum distance.  This is
+    the anytime result carried by a [Partial] outcome.  [None] until the
+    first candidate has been refuted. *)
+val session_best : session -> (Hamming.Code.t * int) option
+
+(** [synthesize ?timeout ?cex_mode ?verifier ?encoding ?seed ?interrupt
+    ?initial ?on_progress problem] runs the loop.  [timeout] (seconds,
+    default 120 as in the paper) bounds the whole call; when it (or a
+    genuine [interrupt]) fires and at least one candidate has been refuted,
+    the best one is returned as [Partial] rather than discarded.  A
+    spurious {!Smtlite.Ctx.Interrupted} (one raised while [interrupt] does
+    not actually return [true] — fault injection, stale hooks) retries the
+    interrupted step instead of aborting the run.  [initial]
+    counterexamples (from a checkpoint) are replayed before the first
+    candidate; [on_progress] observes every newly learned counterexample
+    (checkpoint writers hook in here).  Equivalent to driving {!step}
+    until completion. *)
 val synthesize :
   ?timeout:float ->
   ?cex_mode:cex_mode ->
   ?verifier:verifier_mode ->
   ?encoding:Smtlite.Card.encoding ->
+  ?seed:int ->
+  ?interrupt:(unit -> bool) ->
+  ?initial:cex list ->
+  ?on_progress:(session -> cex -> unit) ->
   problem ->
   outcome

@@ -20,6 +20,9 @@ type outcome =
   | Codes of Hamming.Code.t list * Cegis.stats
   | Weighted_result of Weighted.result
   | Setbits_walk of Optimize.setbits_step list
+  | Partial_code of Hamming.Code.t * Cegis.stats
+  | Unsat of string
+  | Timeout of string
   | No_solution of string
 
 (* constant folding for the config-level arithmetic of specifications *)
@@ -218,12 +221,16 @@ let len1_constraint s =
           Smtlite.Card.at_most Smtlite.Card.Sequential !bits bound);
       ]
 
-let run_single ?timeout ?jobs ?on_report s =
+let run_single ?timeout ?jobs ?on_report ?(interrupt = fun () -> false)
+    ?(initial = []) ?(on_cex = fun (_ : Cegis.cex) -> ()) s =
   (* walk the check-length interval upward; with a fixed length this is a
      single configuration *)
-  let synthesize problem =
+  let synthesize ~initial problem =
     match jobs with
-    | None -> Cegis.synthesize ?timeout problem
+    | None ->
+        Cegis.synthesize ?timeout ~interrupt ~initial
+          ~on_progress:(fun _ cex -> on_cex cex)
+          problem
     | Some jobs ->
         (* portfolio path: race [jobs] configurations, report per-worker
            statistics through the callback, collapse to the sequential
@@ -239,16 +246,31 @@ let run_single ?timeout ?jobs ?on_report s =
           (match on_report with Some f -> f report | None -> ());
           outcome
         in
-        (match Portfolio.synthesize ?timeout ~jobs problem with
+        (match
+           Portfolio.synthesize ?timeout ~jobs ~interrupt ~initial ~on_cex
+             problem
+         with
         | Portfolio.Synthesized (code, report) ->
             collapse report (Cegis.Synthesized (code, stats_of report))
         | Portfolio.Unsat_config report ->
             collapse report (Cegis.Unsat_config (stats_of report))
         | Portfolio.Timed_out report ->
-            collapse report (Cegis.Timed_out (stats_of report)))
+            collapse report (Cegis.Timed_out (stats_of report))
+        | Portfolio.Partial (code, report) ->
+            collapse report (Cegis.Partial (code, stats_of report)))
+  in
+  (* resumed counterexamples must fit the configuration they are replayed
+     into: raw data witnesses transfer to any check length, blocked
+     candidates only to their own dimensions *)
+  let fits c = function
+    | Cegis.Cex_data d -> Gf2.Bitvec.length d = s.data_len
+    | Cegis.Cex_candidate code ->
+        Hamming.Code.data_len code = s.data_len
+        && Hamming.Code.check_len code = c
   in
   let rec go c =
-    if c > s.check_hi then No_solution "no check length in range admits the spec"
+    if c > s.check_hi then Unsat "no check length in range admits the spec"
+    else if interrupt () then Timeout "interrupted"
     else
       let extra =
         fixed_bit_constraints { s with check_hi = c } @ len1_constraint { s with check_hi = c }
@@ -256,17 +278,23 @@ let run_single ?timeout ?jobs ?on_report s =
       let problem =
         { Cegis.data_len = s.data_len; check_len = c; min_distance = s.md; extra }
       in
-      match synthesize problem with
+      match synthesize ~initial:(List.filter (fits c) initial) problem with
       | Cegis.Synthesized (code, stats) -> Codes ([ code ], stats)
       | Cegis.Unsat_config _ -> go (c + 1)
-      | Cegis.Timed_out _ -> No_solution "timeout"
+      | Cegis.Timed_out _ -> Timeout "synthesis budget exhausted"
+      | Cegis.Partial (code, stats) ->
+          (* budget or interrupt fired with a refuted-but-best candidate in
+             hand: surface it instead of discarding the work *)
+          Partial_code (code, stats)
   in
   go s.check_lo
 
-let run ?timeout ?weights ?p ?jobs ?on_report prop =
+let run ?timeout ?weights ?p ?jobs ?on_report ?interrupt ?initial ?on_cex prop
+    =
   match analyze prop with
   | Error msg -> No_solution msg
-  | Ok (Fixed s) | Ok (Min_check_len s) -> run_single ?timeout ?jobs ?on_report s
+  | Ok (Fixed s) | Ok (Min_check_len s) ->
+      run_single ?timeout ?jobs ?on_report ?interrupt ?initial ?on_cex s
   | Ok (Max_distance s) ->
       (* grow the distance target until the configuration goes UNSAT; a
          fixed check length is required so "maximal" is well-defined *)
@@ -282,23 +310,23 @@ let run ?timeout ?weights ?p ?jobs ?on_report prop =
               extra = fixed_bit_constraints s @ len1_constraint s;
             }
           in
-          match Cegis.synthesize ?timeout problem with
+          match Cegis.synthesize ?timeout ?interrupt problem with
           | Cegis.Synthesized (code, stats) -> grow (md + 1) (Some (code, stats))
-          | Cegis.Unsat_config _ | Cegis.Timed_out _ -> best
+          | Cegis.Unsat_config _ | Cegis.Timed_out _ | Cegis.Partial _ -> best
         in
         match grow s.md None with
         | Some (code, stats) -> Codes ([ code ], stats)
-        | None -> No_solution "even the base distance is unsatisfiable"
+        | None -> Unsat "even the base distance is unsatisfiable"
       end
   | Ok (Min_set_bits (s, start_bound)) -> (
       if s.check_lo <> s.check_hi then
         No_solution "set-bit minimization needs a fixed len_c"
       else
         match
-          Optimize.minimize_set_bits ?timeout ~data_len:s.data_len ~check_len:s.check_lo
-            ~md:s.md ~start_bound ~stop_bound:0 ()
+          Optimize.minimize_set_bits ?timeout ?interrupt ~data_len:s.data_len
+            ~check_len:s.check_lo ~md:s.md ~start_bound ~stop_bound:0 ()
         with
-        | [] -> No_solution "no generator within the starting bound"
+        | [] -> Unsat "no generator within the starting bound"
         | steps -> Setbits_walk steps)
   | Ok (Weighted_mapping (g0, g1)) -> (
       match weights with

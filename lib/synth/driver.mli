@@ -37,20 +37,46 @@ val analyze : Spec.Ast.prop -> (task, string) Stdlib.result
 
 type outcome =
   | Codes of Hamming.Code.t list * Cegis.stats
+      (** fully verified generators meeting the specification *)
   | Weighted_result of Weighted.result
   | Setbits_walk of Optimize.setbits_step list
+  | Partial_code of Hamming.Code.t * Cegis.stats
+      (** anytime result: the budget (deadline, interrupt) expired before a
+          verified generator was found, but at least one candidate had been
+          synthesized — this is the best of them by refuting-witness
+          weight.  Its true minimum distance is below the target and must
+          be recomputed by the consumer before any use. *)
+  | Unsat of string  (** the specification is proved unsatisfiable *)
+  | Timeout of string
+      (** the budget expired with no candidate to report *)
   | No_solution of string
+      (** the specification is outside the supported fragment, or a
+          required out-of-band input (weights) is missing *)
 
-(** [run ?timeout ?weights ?p ?jobs ?on_report prop] analyzes and executes
-    a specification.  [weights] are required for weighted tasks.  [jobs]
-    switches single-generator synthesis to the {!Portfolio} racing [jobs]
-    worker configurations; [on_report] receives the portfolio report of
-    each synthesis call (other task shapes run sequentially regardless). *)
+(** [run ?timeout ?weights ?p ?jobs ?on_report ?interrupt ?initial ?on_cex
+    prop] analyzes and executes a specification.  [weights] are required
+    for weighted tasks.  [jobs] switches single-generator synthesis to the
+    {!Portfolio} racing [jobs] worker configurations; [on_report] receives
+    the portfolio report of each synthesis call (other task shapes run
+    sequentially regardless).
+
+    [interrupt] is polled cooperatively inside solver search; when it
+    returns [true] the run winds down and reports [Partial_code] if any
+    candidate was refuted, [Timeout] otherwise.  [initial] replays
+    checkpointed counterexamples before the first candidate (witnesses
+    that do not fit a configuration being attempted are skipped for that
+    configuration); [on_cex] observes every newly learned counterexample —
+    checkpoint writers hook in here.  Both are honoured by the
+    single-generator task shapes; objective walks accept [interrupt]
+    only. *)
 val run :
   ?timeout:float ->
   ?weights:int array ->
   ?p:float ->
   ?jobs:int ->
   ?on_report:(Portfolio.report -> unit) ->
+  ?interrupt:(unit -> bool) ->
+  ?initial:Cegis.cex list ->
+  ?on_cex:(Cegis.cex -> unit) ->
   Spec.Ast.prop ->
   outcome

@@ -1,0 +1,211 @@
+(* Deterministic fault injection for resilience testing.
+
+   A fault spec names probe sites (e.g. "sat.solve", "ctx.check",
+   "worker.start") and, per site, an action (crash / stall / interrupt)
+   with an injection probability.  Each (site, action) directive owns a
+   splitmix64 stream keyed on the global seed and the directive name, and
+   draws one number per probe invocation from an atomic invocation
+   counter — so the k-th probe of a site always makes the same
+   inject-or-not choice for a given seed, no matter how worker domains
+   interleave.  Disabled (the default) the probes cost one load and a
+   branch inside Sat.Solver.probe. *)
+
+type action = Crash | Stall | Interrupt
+
+let action_name = function
+  | Crash -> "crash"
+  | Stall -> "stall"
+  | Interrupt -> "interrupt"
+
+let action_of_name = function
+  | "crash" -> Some Crash
+  | "stall" -> Some Stall
+  | "interrupt" -> Some Interrupt
+  | _ -> None
+
+type directive = {
+  site : string;
+  action : action;
+  probability : float;
+  max_injections : int option;
+  injected : int Atomic.t;
+  draws : int Atomic.t;
+}
+
+type spec = {
+  seed : int;
+  stall_s : float;
+  directives : directive list;
+}
+
+exception Injected of string
+
+(* ---------- deterministic per-directive randomness ---------- *)
+
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let directive_base seed d =
+  let h = Hashtbl.hash (d.site, action_name d.action) in
+  splitmix64 (Int64.of_int (seed lxor (h * 0x9E3779B9)))
+
+(* uniform in [0, 1) from the top 53 bits of the i-th stream element *)
+let draw ~base i =
+  let bits =
+    Int64.shift_right_logical (splitmix64 (Int64.add base (Int64.of_int i))) 11
+  in
+  Int64.to_float bits /. 9007199254740992.0
+
+(* ---------- spec parsing ---------- *)
+
+let parse text =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let items =
+    List.filter (fun s -> s <> "")
+      (List.map String.trim (String.split_on_char ',' text))
+  in
+  let seed = ref 0 and stall_ms = ref 2.0 and directives = ref [] in
+  let parse_item item =
+    match String.index_opt item '=' with
+    | None -> fail "fault directive %S has no '='" item
+    | Some eq -> (
+        let key = String.sub item 0 eq in
+        let value = String.sub item (eq + 1) (String.length item - eq - 1) in
+        match key with
+        | "seed" -> (
+            match int_of_string_opt value with
+            | Some s ->
+                seed := s;
+                Ok ()
+            | None -> fail "fault seed %S is not an integer" value)
+        | "stall_ms" -> (
+            match float_of_string_opt value with
+            | Some ms when ms >= 0.0 ->
+                stall_ms := ms;
+                Ok ()
+            | _ -> fail "fault stall_ms %S is not a non-negative number" value)
+        | _ -> (
+            (* <site>.<action>=<prob>[:max=<n>] *)
+            match String.rindex_opt key '.' with
+            | None -> fail "fault directive %S is not <site>.<action>" key
+            | Some dot -> (
+                let site = String.sub key 0 dot in
+                let action_s =
+                  String.sub key (dot + 1) (String.length key - dot - 1)
+                in
+                match action_of_name action_s with
+                | None ->
+                    fail "unknown fault action %S (crash|stall|interrupt)"
+                      action_s
+                | Some action -> (
+                    let prob_s, max_injections =
+                      match String.index_opt value ':' with
+                      | None -> (value, Ok None)
+                      | Some colon -> (
+                          let p = String.sub value 0 colon in
+                          let rest =
+                            String.sub value (colon + 1)
+                              (String.length value - colon - 1)
+                          in
+                          match String.split_on_char '=' rest with
+                          | [ "max"; n ] -> (
+                              match int_of_string_opt n with
+                              | Some n when n >= 0 -> (p, Ok (Some n))
+                              | _ ->
+                                  (p, fail "fault max %S is not a count" n))
+                          | _ ->
+                              (p, fail "fault option %S is not max=<n>" rest))
+                    in
+                    match (float_of_string_opt prob_s, max_injections) with
+                    | _, (Error _ as e) -> e
+                    | Some p, Ok max_injections when p >= 0.0 && p <= 1.0 ->
+                        directives :=
+                          {
+                            site;
+                            action;
+                            probability = p;
+                            max_injections;
+                            injected = Atomic.make 0;
+                            draws = Atomic.make 0;
+                          }
+                          :: !directives;
+                        Ok ()
+                    | _ ->
+                        fail "fault probability %S is not in [0, 1]" prob_s))))
+  in
+  let rec go = function
+    | [] ->
+        Ok
+          {
+            seed = !seed;
+            stall_s = !stall_ms /. 1000.0;
+            directives = List.rev !directives;
+          }
+    | item :: rest -> ( match parse_item item with Ok () -> go rest | Error _ as e -> e)
+  in
+  go items
+
+(* ---------- the active spec and probe dispatch ---------- *)
+
+let active : spec option ref = ref None
+
+let probe site =
+  match !active with
+  | None -> ()
+  | Some spec ->
+      List.iter
+        (fun d ->
+          if String.equal d.site site then begin
+            let i = Atomic.fetch_and_add d.draws 1 in
+            let under_max =
+              match d.max_injections with
+              | None -> true
+              | Some m -> Atomic.get d.injected < m
+            in
+            if under_max && draw ~base:(directive_base spec.seed d) i < d.probability
+            then begin
+              Atomic.incr d.injected;
+              if Telemetry.enabled () then
+                Telemetry.point "fault.inject"
+                  ~fields:
+                    [
+                      ("site", Telemetry.str site);
+                      ("action", Telemetry.str (action_name d.action));
+                    ];
+              match d.action with
+              | Crash ->
+                  raise (Injected (site ^ "." ^ action_name d.action))
+              | Stall -> if spec.stall_s > 0.0 then Unix.sleepf spec.stall_s
+              | Interrupt -> raise Sat.Solver.Interrupted
+            end
+          end)
+        spec.directives
+
+let set_spec spec =
+  active := spec;
+  Sat.Solver.set_probe (match spec with None -> None | Some _ -> Some probe)
+
+let spec () = !active
+
+let injection_count () =
+  match !active with
+  | None -> 0
+  | Some spec ->
+      List.fold_left (fun acc d -> acc + Atomic.get d.injected) 0 spec.directives
+
+let initialized = ref false
+
+let init_from_env () =
+  if not !initialized then begin
+    initialized := true;
+    match Sys.getenv_opt "FEC_FAULT_SPEC" with
+    | None | Some "" -> ()
+    | Some text -> (
+        match parse text with
+        | Ok spec -> set_spec (Some spec)
+        | Error msg -> failwith ("FEC_FAULT_SPEC: " ^ msg))
+  end

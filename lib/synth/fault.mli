@@ -1,0 +1,76 @@
+(** Deterministic fault injection for resilience testing.
+
+    A fault spec enumerates {e probe sites} — named points in the stack
+    that call {!probe} (directly, or through {!Sat.Solver.probe}) — and per
+    site an action with an injection probability:
+
+    - ["sat.solve"]: entry of every {!Sat.Solver.solve} call;
+    - ["ctx.check"]: entry of every {!Smtlite.Ctx.check};
+    - ["worker.start"]: portfolio worker (re)start, before its session is
+      built.
+
+    Actions: [crash] raises {!Injected}; [stall] sleeps [stall_ms];
+    [interrupt] raises {!Sat.Solver.Interrupted} spuriously (the resilient
+    layers detect that no genuine interrupt fired and retry).
+
+    Injection decisions are deterministic: each (site, action) directive
+    draws from its own splitmix64 stream keyed on the spec seed, indexed by
+    an atomic per-directive invocation counter — the k-th probe of a site
+    makes the same choice for a given seed regardless of domain
+    interleaving.
+
+    The spec comes from the [FEC_FAULT_SPEC] environment variable
+    (production code never enables injection otherwise), a comma-separated
+    list of [seed=<n>], [stall_ms=<f>] and [<site>.<action>=<prob>[:max=<n>]]
+    items, e.g.:
+
+    {[FEC_FAULT_SPEC="seed=42,sat.solve.crash=0.02,worker.start.crash=1.0:max=1"]} *)
+
+type action = Crash | Stall | Interrupt
+
+type directive = {
+  site : string;
+  action : action;
+  probability : float;  (** in [0, 1] *)
+  max_injections : int option;  (** cap on injections; [None] = unlimited *)
+  injected : int Atomic.t;  (** injections performed so far *)
+  draws : int Atomic.t;  (** probe invocations seen (the stream index) *)
+}
+
+type spec = {
+  seed : int;  (** keys every directive's random stream (default 0) *)
+  stall_s : float;  (** stall duration in seconds ([stall_ms], default 2 ms) *)
+  directives : directive list;
+}
+
+(** Raised by a [crash] injection; the payload is ["<site>.crash"].  Never
+    raised unless a spec with a crash directive is active. *)
+exception Injected of string
+
+val action_name : action -> string
+
+(** [parse text] parses a [FEC_FAULT_SPEC]-syntax spec. *)
+val parse : string -> (spec, string) result
+
+(** [set_spec (Some s)] activates [s] and installs the probe hook into
+    {!Sat.Solver.set_probe}; [set_spec None] deactivates injection and
+    removes the hook.  Call before spawning worker domains. *)
+val set_spec : spec option -> unit
+
+(** The active spec, if any. *)
+val spec : unit -> spec option
+
+(** [probe site] runs the active spec's directives for [site] — the entry
+    point for probe sites outside the solver (e.g. ["worker.start"]).
+    No-op when injection is inactive. *)
+val probe : string -> unit
+
+(** Total injections performed by the active spec so far. *)
+val injection_count : unit -> int
+
+(** [init_from_env ()] activates the spec named by [FEC_FAULT_SPEC] (once;
+    later calls are no-ops; no-op when the variable is unset or empty).
+    Called from {!Cegis.create_session} and {!Portfolio.synthesize} so any
+    entry point honours the variable.
+    @raise Failure on a malformed spec — misconfiguration is loud. *)
+val init_from_env : unit -> unit

@@ -12,6 +12,7 @@ type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
   | Synthesized of 'res * 'info
   | Unsat_config of 'info
   | Timed_out of 'info
+  | Partial of 'res * 'info
 
 type outcome = (Hamming.Code.t, Report.Stats.t) report_outcome
 
@@ -32,11 +33,16 @@ let synthesize ?timeout ~data_len ~check_len ~distinguish () =
       Synthesized (code, stats)
   | Cegis.Unsat_config stats -> Unsat_config stats
   | Cegis.Timed_out stats -> Timed_out stats
+  | Cegis.Partial (code, stats) ->
+      (* anytime candidate: the multi-bit property is not verified for it,
+         so no cross-check here — callers must treat it as unproven *)
+      Partial (code, stats)
 
 let minimize_check_len ?timeout ~data_len ~distinguish ~check_lo ~check_hi () =
   let md = target_md distinguish in
   match
     Optimize.minimize_check_len ?timeout ~data_len ~md ~check_lo ~check_hi ()
   with
-  | Some r -> Some (r.Optimize.code, r.Optimize.check_len, r.Optimize.stats)
-  | None -> None
+  | Report.Synthesized (r, _) ->
+      Some (r.Optimize.code, r.Optimize.check_len, r.Optimize.stats)
+  | Report.Unsat_config _ | Report.Timed_out _ | Report.Partial _ -> None

@@ -16,6 +16,7 @@ type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
   | Synthesized of 'res * 'info
   | Unsat_config of 'info
   | Timed_out of 'info
+  | Partial of 'res * 'info
 
 (** Deprecated alias of {!Report.outcome} specialized to a single code and
     {!Report.Stats.t}; will be removed in a future release. *)

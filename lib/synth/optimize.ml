@@ -18,23 +18,42 @@ let step_point ~walk ~param outcome =
           );
         ]
 
-let minimize_check_len ?timeout ?cex_mode ?verifier ?encoding ~data_len ~md ~check_lo
-    ~check_hi () =
+(* Only raw data witnesses transfer across configurations: the weight
+   constraint a data word induces is implied by the specification for any
+   check length, whereas a candidate-shaped counterexample is tied to the
+   dimensions it was found at. *)
+let transferable_cexes cexes =
+  List.filter (function Cegis.Cex_data _ -> true | Cegis.Cex_candidate _ -> false)
+    cexes
+
+let minimize_check_len ?timeout ?cex_mode ?verifier ?encoding ?interrupt
+    ?(initial = []) ?on_round ?on_cex ~data_len ~md ~check_lo ~check_hi () =
+  let initial = transferable_cexes initial in
+  let on_progress = Option.map (fun f _session cex -> f cex) on_cex in
   let rec go c acc =
-    if c > check_hi then None
-    else
+    if c > check_hi then Report.Unsat_config acc
+    else begin
+      (match on_round with Some f -> f c | None -> ());
       let problem =
         { Cegis.data_len; check_len = c; min_distance = md; extra = [] }
       in
       let outcome =
-        Cegis.synthesize ?timeout ?cex_mode ?verifier ?encoding problem
+        Cegis.synthesize ?timeout ?cex_mode ?verifier ?encoding ?interrupt
+          ?on_progress ~initial problem
       in
       step_point ~walk:"check_len" ~param:c outcome;
       match outcome with
       | Cegis.Synthesized (code, stats) ->
-          Some { code; check_len = c; stats = Report.Stats.add acc stats }
+          let acc = Report.Stats.add acc stats in
+          Report.Synthesized ({ code; check_len = c; stats = acc }, acc)
       | Cegis.Unsat_config stats -> go (c + 1) (Report.Stats.add acc stats)
-      | Cegis.Timed_out _ -> None
+      | Cegis.Timed_out stats -> Report.Timed_out (Report.Stats.add acc stats)
+      | Cegis.Partial (code, stats) ->
+          (* the walk's budget died at check length [c], but its session
+             saw a near-miss candidate: surface it as the anytime result *)
+          let acc = Report.Stats.add acc stats in
+          Report.Partial ({ code; check_len = c; stats = acc }, acc)
+    end
   in
   go check_lo Report.Stats.zero
 
@@ -45,8 +64,8 @@ type setbits_step = {
   step_stats : Cegis.stats;
 }
 
-let minimize_set_bits ?timeout ?cex_mode ?verifier ?encoding ~data_len ~check_len ~md
-    ~start_bound ~stop_bound () =
+let minimize_set_bits ?timeout ?cex_mode ?verifier ?encoding ?interrupt
+    ~data_len ~check_len ~md ~start_bound ~stop_bound () =
   let setbit_constraint bound ~entry =
     let bits = ref [] in
     for i = 0 to data_len - 1 do
@@ -68,7 +87,8 @@ let minimize_set_bits ?timeout ?cex_mode ?verifier ?encoding ~data_len ~check_le
         }
       in
       let outcome =
-        Cegis.synthesize ?timeout ?cex_mode ?verifier ?encoding problem
+        Cegis.synthesize ?timeout ?cex_mode ?verifier ?encoding ?interrupt
+          problem
       in
       step_point ~walk:"set_bits" ~param:bound outcome;
       match outcome with
@@ -77,6 +97,9 @@ let minimize_set_bits ?timeout ?cex_mode ?verifier ?encoding ~data_len ~check_le
           let step = { bound; achieved; generator = code; step_stats = stats } in
           (* tighten strictly below what was achieved *)
           go (achieved - 1) (step :: acc)
-      | Cegis.Unsat_config _ | Cegis.Timed_out _ -> List.rev acc
+      | Cegis.Unsat_config _ | Cegis.Timed_out _ | Cegis.Partial _ ->
+          (* the steps already collected are the anytime result of this
+             walk: every intermediate generator is returned *)
+          List.rev acc
   in
   go start_bound []

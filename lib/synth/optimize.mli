@@ -10,21 +10,40 @@ type check_result = {
 }
 
 (** [minimize_check_len ?timeout ?cex_mode ?verifier ~data_len ~md
-    ~check_lo ~check_hi ()] walks check lengths upward from [check_lo] and
-    returns the first (hence minimal) synthesizable configuration, or
-    [None] if every configuration up to [check_hi] is unsatisfiable or the
-    timeout is exhausted. *)
+    ~check_lo ~check_hi ()] walks check lengths upward from [check_lo]:
+
+    - [Synthesized (r, totals)]: [r.check_len] is the first — hence
+      minimal — synthesizable check length;
+    - [Unsat_config totals]: every length up to [check_hi] is refuted;
+    - [Timed_out totals]: the budget died with nothing to show;
+    - [Partial (r, totals)]: the budget died at [r.check_len], but the
+      search saw the near-miss candidate [r.code] — its true minimum
+      distance is {e not} verified to reach [md] (callers recompute it to
+      report the achieved bound).
+
+    [interrupt] is polled cooperatively by the underlying CEGIS loops; an
+    interrupted walk returns [Partial]/[Timed_out] like an exhausted one.
+    [initial] transfers counterexamples from a previous run (only raw data
+    witnesses are configuration-independent; candidate-shaped entries are
+    dropped).  [on_round] fires with each check length just before it is
+    attempted — the checkpoint hook for resuming the walk where it
+    stopped; [on_cex] observes every counterexample learned in any round
+    (the checkpoint hook for the pool itself). *)
 val minimize_check_len :
   ?timeout:float ->
   ?cex_mode:Cegis.cex_mode ->
   ?verifier:Cegis.verifier_mode ->
   ?encoding:Smtlite.Card.encoding ->
+  ?interrupt:(unit -> bool) ->
+  ?initial:Cegis.cex list ->
+  ?on_round:(int -> unit) ->
+  ?on_cex:(Cegis.cex -> unit) ->
   data_len:int ->
   md:int ->
   check_lo:int ->
   check_hi:int ->
   unit ->
-  check_result option
+  (check_result, Report.Stats.t) Report.outcome
 
 (** One step of the §4.4 set-bit minimization walk. *)
 type setbits_step = {
@@ -38,13 +57,15 @@ type setbits_step = {
     ~stop_bound ()] repeatedly synthesizes generators with a tightening
     bound on the number of coefficient set bits ([minimal(len_1)]),
     exactly as §4.4: every intermediate generator is returned, newest
-    (smallest sum) last.  Stops on UNSAT, on reaching [stop_bound], or on
-    timeout. *)
+    (smallest sum) last — the walk is anytime by construction.  Stops on
+    UNSAT, on reaching [stop_bound], on timeout, or when [interrupt]
+    fires. *)
 val minimize_set_bits :
   ?timeout:float ->
   ?cex_mode:Cegis.cex_mode ->
   ?verifier:Cegis.verifier_mode ->
   ?encoding:Smtlite.Card.encoding ->
+  ?interrupt:(unit -> bool) ->
   data_len:int ->
   check_len:int ->
   md:int ->

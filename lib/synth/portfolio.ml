@@ -30,6 +30,7 @@ type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
   | Synthesized of 'res * 'info
   | Unsat_config of 'info
   | Timed_out of 'info
+  | Partial of 'res * 'info
 
 type outcome = (Hamming.Code.t, report) report_outcome
 
@@ -122,6 +123,31 @@ let pool_drain pool ~cursor ~self =
       done;
       (!fresh, pool.len))
 
+(* ---------- shared best-so-far candidate ---------- *)
+
+(* Anytime result: the candidate whose refuting witness had the highest
+   codeword weight.  Witness weight upper-bounds the candidate's true
+   minimum distance, so maximizing it is the natural ranking for "closest
+   miss"; the exact distance of the reported candidate is recomputed by the
+   caller.  Shared across workers, rounds and restarts under a mutex. *)
+type best = {
+  b_mutex : Mutex.t;
+  mutable b_val : (Hamming.Code.t * int) option;
+}
+
+let best_create () = { b_mutex = Mutex.create (); b_val = None }
+
+let best_offer best candidate =
+  match candidate with
+  | None -> ()
+  | Some (_, weight) ->
+      Mutex.protect best.b_mutex (fun () ->
+          match best.b_val with
+          | Some (_, w) when w >= weight -> ()
+          | _ -> best.b_val <- candidate)
+
+let best_get best = Mutex.protect best.b_mutex (fun () -> best.b_val)
+
 (* ---------- the race ---------- *)
 
 type decision =
@@ -135,29 +161,50 @@ type worker_outcome = {
   w_finished : bool;
 }
 
+(* Incarnation [attempt] of a supervised worker diversifies its solver
+   seed so a crashed search does not replay the trajectory that crashed
+   (or stalled) it. *)
+let reseed_for_attempt config ~attempt =
+  if attempt = 0 then config
+  else
+    {
+      config with
+      seed =
+        Some
+          ((match config.seed with None -> 0 | Some s -> s)
+          + (104729 * attempt));
+    }
+
+let supervisor_policy config =
+  {
+    Supervisor.default_policy with
+    Supervisor.seed = (match config.seed with None -> 0 | Some s -> s);
+  }
+
 (* [index] is the worker's slot within its round (who to credit in the
-   decision); [origin] is unique across rounds so a restarted worker
-   re-imports the counterexamples its previous incarnation published.
-   [stop_at] records when the stop flag was raised, so losing workers can
-   report how long their cooperative cancellation took. *)
-let run_worker ~problem ~vars ~deadline ~stop ~stop_at ~decision ~pool ~origin
-    index config =
-  let interrupt () = Atomic.get stop || Unix.gettimeofday () > deadline in
+   decision); each incarnation takes a fresh [origin] from the shared
+   counter, unique across rounds and restarts, so a restarted worker
+   re-imports everything the pool holds — including what its previous
+   incarnation published.  [stop_at] records when the stop flag was
+   raised, so losing workers can report how long cooperative cancellation
+   took.  The body runs under {!Supervisor.run}: any exception that is not
+   cooperative cancellation (and not a genuine interrupt) is a crash,
+   answered by a backoff restart with a fresh seed. *)
+let run_worker ~problem ~vars ~deadline ~stop ~stop_at ~decision ~pool ~best
+    ~origin_counter ~ext_interrupt ~on_cex index config =
+  let interrupt () =
+    Atomic.get stop || ext_interrupt () || Unix.gettimeofday () > deadline
+  in
   let shared_out = ref 0 and shared_in = ref 0 in
-  let cursor = ref 0 in
   let finished = ref false in
+  let acc = ref Report.Stats.zero in
   let sp =
     Telemetry.begin_span "portfolio.worker"
       ~fields:
         [
           ("worker", Telemetry.str config.label);
           ("config", Telemetry.str (config_to_string config));
-          ("origin", Telemetry.int origin);
         ]
-  in
-  let session =
-    Cegis.create_session ~cex_mode:config.cex_mode ~verifier:config.verifier
-      ~encoding:config.encoding ?seed:config.seed ~interrupt ~vars problem
   in
   let decide d =
     if Atomic.compare_and_set decision None (Some d) then begin
@@ -166,39 +213,75 @@ let run_worker ~problem ~vars ~deadline ~stop ~stop_at ~decision ~pool ~origin
       Atomic.set stop true
     end
   in
-  let rec loop () =
-    if Atomic.get stop || Unix.gettimeofday () > deadline then ()
-    else begin
-      (* absorb counterexamples other workers discovered since last step *)
-      let fresh, len = pool_drain pool ~cursor:!cursor ~self:origin in
-      cursor := len;
-      if fresh <> [] then
-        Telemetry.counter "portfolio.consume"
-          ~fields:[ ("worker", Telemetry.str config.label) ]
-          (List.length fresh);
-      List.iter
-        (fun cex ->
-          incr shared_in;
-          Cegis.learn session cex)
-        fresh;
-      match Cegis.step ~deadline session with
-      | Cegis.Done code -> decide (Winner (index, code))
-      | Cegis.Exhausted ->
-          (* sound globally: every imported constraint is implied by the
-             specification, so an unsat synthesizer context refutes the
-             whole configuration, not just this worker's search *)
-          decide (Proved_unsat index)
-      | Cegis.Progress cex ->
-          if pool_publish pool origin cex then begin
-            incr shared_out;
-            Telemetry.counter "portfolio.publish"
-              ~fields:[ ("worker", Telemetry.str config.label) ]
-              1
-          end;
-          loop ()
-    end
+  let body ~attempt =
+    Fault.probe "worker.start";
+    let config = reseed_for_attempt config ~attempt in
+    let origin = Atomic.fetch_and_add origin_counter 1 in
+    let cursor = ref 0 in
+    let session =
+      Cegis.create_session ~cex_mode:config.cex_mode ~verifier:config.verifier
+        ~encoding:config.encoding ?seed:config.seed ~interrupt ~vars problem
+    in
+    (* fold this incarnation's learning into the worker totals exactly
+       once, on every exit path — cancellation, crash, or victory *)
+    let merge () =
+      best_offer best (Cegis.session_best session);
+      acc := Report.Stats.add !acc (Cegis.session_stats session)
+    in
+    let rec loop () =
+      if interrupt () then ()
+      else begin
+        (* absorb counterexamples other workers discovered since last step *)
+        let fresh, len = pool_drain pool ~cursor:!cursor ~self:origin in
+        cursor := len;
+        if fresh <> [] then
+          Telemetry.counter "portfolio.consume"
+            ~fields:[ ("worker", Telemetry.str config.label) ]
+            (List.length fresh);
+        List.iter
+          (fun cex ->
+            incr shared_in;
+            Cegis.learn session cex)
+          fresh;
+        match Cegis.step ~deadline session with
+        | Cegis.Done code -> decide (Winner (index, code))
+        | Cegis.Exhausted ->
+            (* sound globally: every imported constraint is implied by the
+               specification, so an unsat synthesizer context refutes the
+               whole configuration, not just this worker's search *)
+            decide (Proved_unsat index)
+        | Cegis.Progress cex ->
+            if pool_publish pool origin cex then begin
+              incr shared_out;
+              on_cex cex;
+              Telemetry.counter "portfolio.publish"
+                ~fields:[ ("worker", Telemetry.str config.label) ]
+                1
+            end;
+            loop ()
+        | exception Ctx.Interrupted when not (interrupt ()) ->
+            (* the solver reported an interrupt no one requested (an
+               injected fault): the session is intact, so retry the step *)
+            loop ()
+      end
+    in
+    match loop () with
+    | () -> merge ()
+    | exception (Ctx.Timeout | Ctx.Interrupted) -> merge ()
+    | exception e ->
+        merge ();
+        raise e
   in
-  (try loop () with Ctx.Timeout | Ctx.Interrupted -> ());
+  let sup =
+    Supervisor.run ~policy:(supervisor_policy config) ~label:config.label body
+  in
+  (match sup.Supervisor.result with
+  | Ok () -> ()
+  | Error _ ->
+      (* gave up after repeated crashes: this worker drops out of the
+         race; its learning is already merged and the crash totals are
+         reported below *)
+      ());
   if Telemetry.enabled () && (not !finished) && Atomic.get stop then begin
     let t0 = Atomic.get stop_at in
     if t0 > 0.0 then
@@ -206,7 +289,13 @@ let run_worker ~problem ~vars ~deadline ~stop ~stop_at ~decision ~pool ~origin
         ~fields:[ ("worker", Telemetry.str config.label) ]
         (Unix.gettimeofday () -. t0)
   end;
-  let w_stats = Cegis.session_stats session in
+  let w_stats =
+    {
+      !acc with
+      Report.Stats.worker_crashes = sup.Supervisor.crashes;
+      worker_restarts = sup.Supervisor.restarts;
+    }
+  in
   Telemetry.end_span sp
     ~fields:
       [
@@ -214,6 +303,7 @@ let run_worker ~problem ~vars ~deadline ~stop ~stop_at ~decision ~pool ~origin
         ("published", Telemetry.int !shared_out);
         ("consumed", Telemetry.int !shared_in);
         ("finished", Telemetry.bool !finished);
+        ("crashes", Telemetry.int sup.Supervisor.crashes);
       ];
   { w_stats; w_out = !shared_out; w_in = !shared_in; w_finished = !finished }
 
@@ -221,52 +311,155 @@ let run_worker ~problem ~vars ~deadline ~stop ~stop_at ~decision ~pool ~origin
    iteration per turn.  On a host without spare cores this has the same
    semantics and sharing behaviour as spawned domains but none of the
    scheduler noise: pool-arrival order is fixed by the rotation, so the
-   whole race is deterministic for seeded configurations. *)
-let run_interleaved ~problem ~vars ~deadline ~decision ~pool ~origin_base
-    configs =
-  let deadline_hit () = Unix.gettimeofday () > deadline in
+   whole race is deterministic for seeded configurations.  Crash
+   supervision follows the same policy as the domains path, minus the
+   backoff sleep — a sleeping rotation would stall every worker, and
+   skipping it keeps the interleave deterministic. *)
+type iworker = {
+  iw_index : int;
+  iw_config : config;
+  mutable iw_session : Cegis.session option;  (** [None] = start-up crashed *)
+  mutable iw_origin : int;
+  mutable iw_cursor : int;
+  mutable iw_out : int;
+  mutable iw_in : int;
+  mutable iw_dead : bool;
+  mutable iw_won : bool;
+  mutable iw_crashes : int;
+  mutable iw_restarts : int;
+  mutable iw_attempt : int;
+  mutable iw_acc : Report.Stats.t;  (** stats of finished incarnations *)
+}
+
+let run_interleaved ~problem ~vars ~deadline ~decision ~pool ~best
+    ~origin_counter ~ext_interrupt ~on_cex configs =
+  let cancelled () = ext_interrupt () || Unix.gettimeofday () > deadline in
+  let max_restarts = Supervisor.default_policy.Supervisor.max_restarts in
+  let new_session w =
+    Fault.probe "worker.start";
+    let config = reseed_for_attempt w.iw_config ~attempt:w.iw_attempt in
+    w.iw_origin <- Atomic.fetch_and_add origin_counter 1;
+    w.iw_cursor <- 0;
+    Cegis.create_session ~cex_mode:config.cex_mode ~verifier:config.verifier
+      ~encoding:config.encoding ?seed:config.seed ~interrupt:cancelled ~vars
+      problem
+  in
+  let record_crash w e =
+    w.iw_crashes <- w.iw_crashes + 1;
+    if Telemetry.enabled () then
+      Telemetry.point "supervisor.crash"
+        ~fields:
+          [
+            ("worker", Telemetry.str w.iw_config.label);
+            ("attempt", Telemetry.int w.iw_attempt);
+            ("exn", Telemetry.str (Printexc.to_string e));
+          ]
+  in
+  (* retire the current incarnation's learning into the accumulator *)
+  let merge w =
+    match w.iw_session with
+    | None -> ()
+    | Some s ->
+        best_offer best (Cegis.session_best s);
+        w.iw_acc <- Report.Stats.add w.iw_acc (Cegis.session_stats s);
+        w.iw_session <- None
+  in
+  (* (re)start a worker, counting start-up crashes against its budget *)
+  let rec start w =
+    if w.iw_crashes > max_restarts then w.iw_dead <- true
+    else
+      match new_session w with
+      | s -> w.iw_session <- Some s
+      | exception ((Ctx.Timeout | Ctx.Interrupted) as _e) -> w.iw_dead <- true
+      | exception e ->
+          record_crash w e;
+          w.iw_attempt <- w.iw_attempt + 1;
+          if w.iw_crashes <= max_restarts then begin
+            w.iw_restarts <- w.iw_restarts + 1;
+            start w
+          end
+          else w.iw_dead <- true
+  in
   let workers =
     List.mapi
       (fun i config ->
-        let session =
-          Cegis.create_session ~cex_mode:config.cex_mode
-            ~verifier:config.verifier ~encoding:config.encoding
-            ?seed:config.seed ~interrupt:deadline_hit ~vars problem
+        let w =
+          {
+            iw_index = i;
+            iw_config = config;
+            iw_session = None;
+            iw_origin = -1;
+            iw_cursor = 0;
+            iw_out = 0;
+            iw_in = 0;
+            iw_dead = false;
+            iw_won = false;
+            iw_crashes = 0;
+            iw_restarts = 0;
+            iw_attempt = 0;
+            iw_acc = Report.Stats.zero;
+          }
         in
-        (i, config, session, ref 0, ref 0, ref 0, ref false, ref false))
+        start w;
+        w)
       configs
   in
   let decided = ref false in
+  let step_worker w =
+    match w.iw_session with
+    | None -> w.iw_dead <- true
+    | Some session -> (
+        try
+          let fresh, len =
+            pool_drain pool ~cursor:w.iw_cursor ~self:w.iw_origin
+          in
+          w.iw_cursor <- len;
+          List.iter
+            (fun cex ->
+              w.iw_in <- w.iw_in + 1;
+              Cegis.learn session cex)
+            fresh;
+          match Cegis.step ~deadline session with
+          | Cegis.Done code ->
+              decided := true;
+              w.iw_won <- true;
+              Atomic.set decision (Some (Winner (w.iw_index, code)))
+          | Cegis.Progress cex ->
+              if pool_publish pool w.iw_origin cex then begin
+                w.iw_out <- w.iw_out + 1;
+                on_cex cex
+              end
+          | Cegis.Exhausted ->
+              decided := true;
+              w.iw_won <- true;
+              Atomic.set decision (Some (Proved_unsat w.iw_index))
+          | exception Ctx.Interrupted when not (cancelled ()) ->
+              (* spurious injected interrupt: session intact, step again
+                 next turn *)
+              ()
+        with
+        | Ctx.Timeout | Ctx.Interrupted ->
+            merge w;
+            w.iw_dead <- true
+        | e ->
+            record_crash w e;
+            merge w;
+            w.iw_attempt <- w.iw_attempt + 1;
+            if w.iw_crashes <= max_restarts then begin
+              w.iw_restarts <- w.iw_restarts + 1;
+              start w
+            end
+            else w.iw_dead <- true)
+  in
   let rec spin () =
-    if !decided || deadline_hit () then ()
+    if !decided || cancelled () then ()
     else begin
       let progressed = ref false in
       List.iter
-        (fun (i, _config, session, cursor, s_out, s_in, dead, won) ->
-          if (not !decided) && (not !dead) && not (deadline_hit ()) then begin
+        (fun w ->
+          if (not !decided) && (not w.iw_dead) && not (cancelled ()) then begin
             progressed := true;
-            try
-              let fresh, len =
-                pool_drain pool ~cursor:!cursor ~self:(origin_base + i)
-              in
-              cursor := len;
-              List.iter
-                (fun cex ->
-                  incr s_in;
-                  Cegis.learn session cex)
-                fresh;
-              match Cegis.step ~deadline session with
-              | Cegis.Done code ->
-                  decided := true;
-                  won := true;
-                  Atomic.set decision (Some (Winner (i, code)))
-              | Cegis.Exhausted ->
-                  decided := true;
-                  won := true;
-                  Atomic.set decision (Some (Proved_unsat i))
-              | Cegis.Progress cex ->
-                  if pool_publish pool (origin_base + i) cex then incr s_out
-            with Ctx.Timeout | Ctx.Interrupted -> dead := true
+            step_worker w
           end)
         workers;
       if !progressed then spin ()
@@ -274,20 +467,28 @@ let run_interleaved ~problem ~vars ~deadline ~decision ~pool ~origin_base
   in
   spin ();
   List.map
-    (fun (_, config, session, _cursor, s_out, s_in, _dead, won) ->
-      let w_stats = Cegis.session_stats session in
+    (fun w ->
+      merge w;
+      let w_stats =
+        {
+          w.iw_acc with
+          Report.Stats.worker_crashes = w.iw_crashes;
+          worker_restarts = w.iw_restarts;
+        }
+      in
       if Telemetry.enabled () then
         Telemetry.point "portfolio.worker"
           ~fields:
             [
-              ("worker", Telemetry.str config.label);
-              ("config", Telemetry.str (config_to_string config));
+              ("worker", Telemetry.str w.iw_config.label);
+              ("config", Telemetry.str (config_to_string w.iw_config));
               ("iterations", Telemetry.int w_stats.Report.Stats.iterations);
-              ("published", Telemetry.int !s_out);
-              ("consumed", Telemetry.int !s_in);
-              ("finished", Telemetry.bool !won);
+              ("published", Telemetry.int w.iw_out);
+              ("consumed", Telemetry.int w.iw_in);
+              ("finished", Telemetry.bool w.iw_won);
+              ("crashes", Telemetry.int w.iw_crashes);
             ];
-      { w_stats; w_out = !s_out; w_in = !s_in; w_finished = !won })
+      { w_stats; w_out = w.iw_out; w_in = w.iw_in; w_finished = w.iw_won })
     workers
 
 (* Reseeded copies of the round-0 configurations for restart round [r].
@@ -305,8 +506,10 @@ let reseed_configs r configs =
     configs
 
 let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
-    ?(scheduler = `Auto) ?configs problem =
+    ?(scheduler = `Auto) ?configs ?(interrupt = fun () -> false)
+    ?(initial = []) ?(on_cex = fun _ -> ()) problem =
   if jobs < 1 then invalid_arg "Portfolio.synthesize: jobs must be >= 1";
+  Fault.init_from_env ();
   let use_domains =
     match scheduler with
     | `Domains -> true
@@ -335,6 +538,11 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
   let stop_at = Atomic.make 0.0 in
   let decision = Atomic.make None in
   let pool = pool_create () in
+  let best = best_create () in
+  (* origins are unique across rounds, workers and supervised restarts;
+     -1 marks resumed counterexamples so every worker imports them *)
+  let origin_counter = Atomic.make 0 in
+  List.iter (fun cex -> ignore (pool_publish pool (-1) cex)) initial;
   if Telemetry.enabled () then
     Telemetry.point "portfolio.start"
       ~fields:
@@ -347,6 +555,7 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
                else "interleaved") );
           ("timeout_s", Telemetry.float timeout);
           ("restart_interval_s", Telemetry.float restart_interval);
+          ("resumed_cexes", Telemetry.int (List.length initial));
         ];
   (* Run restart rounds until a decision or the global deadline.  Round r
      gets a budget of [restart_interval * 2^r] (Luby-style doubling keeps
@@ -370,7 +579,8 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
           ];
     let run i config =
       run_worker ~problem ~vars ~deadline:round_deadline ~stop ~stop_at
-        ~decision ~pool ~origin:((r * jobs) + i) i config
+        ~decision ~pool ~best ~origin_counter ~ext_interrupt:interrupt ~on_cex
+        i config
     in
     let outcomes =
       match round_configs with
@@ -380,7 +590,8 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
           [ run 0 only ]
       | _ when not use_domains ->
           run_interleaved ~problem ~vars ~deadline:round_deadline ~decision
-            ~pool ~origin_base:(r * jobs) round_configs
+            ~pool ~best ~origin_counter ~ext_interrupt:interrupt ~on_cex
+            round_configs
       | _ ->
           let domains =
             List.mapi
@@ -405,7 +616,8 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
     match Atomic.get decision with
     | Some _ -> (acc_workers, round_configs, r + 1)
     | None ->
-        if round_deadline >= deadline then (acc_workers, round_configs, r + 1)
+        if round_deadline >= deadline || interrupt () then
+          (acc_workers, round_configs, r + 1)
         else rounds (r + 1) acc_workers (reseed_configs (r + 1) configs)
   in
   let workers, last_configs, rounds_run = rounds 0 [] configs in
@@ -444,7 +656,10 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
   | Some (Winner (i, code)) ->
       finish (Synthesized (code, report (winner_config i)))
   | Some (Proved_unsat i) -> finish (Unsat_config (report (winner_config i)))
-  | None -> finish (Timed_out (report None))
+  | None -> (
+      match best_get best with
+      | Some (code, _) -> finish (Partial (code, report None))
+      | None -> finish (Timed_out (report None)))
 
 (* ---------- verification race ---------- *)
 
@@ -518,10 +733,15 @@ let pp_report fmt r =
   List.iter
     (fun w ->
       Format.fprintf fmt
-        "  %-40s iters=%-4d vcalls=%-4d syn_cf=%-6d ver_cf=%-6d out=%-3d in=%-3d%s@."
+        "  %-40s iters=%-4d vcalls=%-4d syn_cf=%-6d ver_cf=%-6d out=%-3d in=%-3d%s%s@."
         (config_to_string w.config) w.stats.Cegis.iterations
         w.stats.Cegis.verifier_calls w.stats.Cegis.syn_conflicts
         w.stats.Cegis.ver_conflicts w.shared_out w.shared_in
+        (if w.stats.Report.Stats.worker_crashes > 0 then
+           Printf.sprintf " crashes=%d restarts=%d"
+             w.stats.Report.Stats.worker_crashes
+             w.stats.Report.Stats.worker_restarts
+         else "")
         (if w.finished then "  <- decided" else ""))
     r.workers
 

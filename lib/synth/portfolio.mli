@@ -62,6 +62,7 @@ type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
   | Synthesized of 'res * 'info
   | Unsat_config of 'info
   | Timed_out of 'info
+  | Partial of 'res * 'info
 
 (** Deprecated alias of {!Report.outcome} specialized to a single code and
     {!report}; will be removed in a future release. *)
@@ -90,6 +91,32 @@ val config_to_string : config -> string
     shared counterexample pool carries over, so later rounds start warm.
     [configs], when given, must have exactly [jobs] entries and seeds its
     round 0; restart rounds derive reseeded copies.
+
+    {b Supervision.} Worker bodies run under {!Supervisor.run}: an
+    exception that is not cooperative cancellation — a crash, including
+    injected {!Fault.Injected} faults — is answered by restarting that
+    worker with a fresh seed and solver state (jittered backoff on the
+    domains path; immediate and deterministic on the interleaved path).
+    A solver interrupt that no one requested (an injected fault) is
+    detected by re-checking the genuine interrupt condition and answered
+    by retrying the step.  Crash/restart totals surface in
+    {!Report.Stats.worker_crashes} / [worker_restarts].  The active
+    {!Fault} spec (from [FEC_FAULT_SPEC]) is installed on entry.
+
+    {b Anytime results.} When the race ends without a decision, the
+    candidate whose refuting witness had the highest codeword weight — the
+    closest miss seen by any worker, round or incarnation — is returned as
+    [Partial (code, report)] instead of [Timed_out].  The witness weight
+    upper-bounds that candidate's true minimum distance; callers wanting
+    the exact distance recompute it.
+
+    [interrupt], polled cooperatively by every worker, ends the whole race
+    early (partial results still apply) — this is how Ctrl-C is wired.
+    [initial] seeds the shared pool with counterexamples from a previous
+    run (see {!Checkpoint}); every worker imports them before its first
+    candidate.  [on_cex] fires once per {e distinct} counterexample
+    published to the pool, from whichever domain discovered it — it must
+    be thread-safe (used for incremental checkpointing).
     @raise Invalid_argument on [jobs < 1] or a length mismatch. *)
 val synthesize :
   ?timeout:float ->
@@ -97,6 +124,9 @@ val synthesize :
   ?restart_interval:float ->
   ?scheduler:[ `Auto | `Domains | `Interleaved ] ->
   ?configs:config list ->
+  ?interrupt:(unit -> bool) ->
+  ?initial:Cegis.cex list ->
+  ?on_cex:(Cegis.cex -> unit) ->
   Cegis.problem ->
   outcome
 

@@ -5,6 +5,8 @@ module Stats = struct
     elapsed : float;
     syn_conflicts : int;
     ver_conflicts : int;
+    worker_crashes : int;
+    worker_restarts : int;
   }
 
   let zero =
@@ -14,6 +16,8 @@ module Stats = struct
       elapsed = 0.0;
       syn_conflicts = 0;
       ver_conflicts = 0;
+      worker_crashes = 0;
+      worker_restarts = 0;
     }
 
   let add a b =
@@ -23,6 +27,8 @@ module Stats = struct
       elapsed = a.elapsed +. b.elapsed;
       syn_conflicts = a.syn_conflicts + b.syn_conflicts;
       ver_conflicts = a.ver_conflicts + b.ver_conflicts;
+      worker_crashes = a.worker_crashes + b.worker_crashes;
+      worker_restarts = a.worker_restarts + b.worker_restarts;
     }
 
   let sum = List.fold_left add zero
@@ -30,7 +36,10 @@ module Stats = struct
   let pp fmt t =
     Format.fprintf fmt
       "%d iterations, %d verifier calls, %.2f s, %d syn conflicts, %d ver conflicts"
-      t.iterations t.verifier_calls t.elapsed t.syn_conflicts t.ver_conflicts
+      t.iterations t.verifier_calls t.elapsed t.syn_conflicts t.ver_conflicts;
+    if t.worker_crashes > 0 || t.worker_restarts > 0 then
+      Format.fprintf fmt ", %d worker crashes, %d restarts" t.worker_crashes
+        t.worker_restarts
 
   let to_json t =
     Telemetry.Json.Obj
@@ -40,6 +49,8 @@ module Stats = struct
         ("elapsed_s", Telemetry.Json.Float t.elapsed);
         ("syn_conflicts", Telemetry.Json.Int t.syn_conflicts);
         ("ver_conflicts", Telemetry.Json.Int t.ver_conflicts);
+        ("worker_crashes", Telemetry.Json.Int t.worker_crashes);
+        ("worker_restarts", Telemetry.Json.Int t.worker_restarts);
       ]
 end
 
@@ -47,16 +58,19 @@ type ('res, 'info) outcome =
   | Synthesized of 'res * 'info
   | Unsat_config of 'info
   | Timed_out of 'info
+  | Partial of 'res * 'info
 
 let outcome_kind = function
   | Synthesized _ -> "synthesized"
   | Unsat_config _ -> "unsat"
   | Timed_out _ -> "timeout"
+  | Partial _ -> "partial"
 
 let outcome_info = function
-  | Synthesized (_, i) | Unsat_config i | Timed_out i -> i
+  | Synthesized (_, i) | Unsat_config i | Timed_out i | Partial (_, i) -> i
 
 let map_outcome f g = function
   | Synthesized (r, i) -> Synthesized (f r, g i)
   | Unsat_config i -> Unsat_config (g i)
   | Timed_out i -> Timed_out (g i)
+  | Partial (r, i) -> Partial (f r, g i)

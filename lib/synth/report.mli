@@ -20,6 +20,11 @@ module Stats : sig
                           time, not wall clock *)
     syn_conflicts : int;
     ver_conflicts : int;
+    worker_crashes : int;
+        (** unexpected worker exceptions captured by {!Supervisor} (zero
+            for sequential runs without fault injection) *)
+    worker_restarts : int;
+        (** supervised worker restarts performed after crashes *)
   }
 
   (** The identity of {!add}. *)
@@ -43,9 +48,15 @@ type ('res, 'info) outcome =
   | Synthesized of 'res * 'info
   | Unsat_config of 'info  (** no artifact satisfies the specification *)
   | Timed_out of 'info
+  | Partial of 'res * 'info
+      (** anytime result: the budget (deadline, conflict budget or an
+          external interrupt) expired before full success, but the search
+          had already produced a best-so-far artifact worth returning —
+          for the CEGIS loop, the refuted candidate whose verified
+          distance bound came closest to the target *)
 
-(** ["synthesized" | "unsat" | "timeout"] — the stable wire names used in
-    [--stats json] output and telemetry events. *)
+(** ["synthesized" | "unsat" | "timeout" | "partial"] — the stable wire
+    names used in [--stats json] output and telemetry events. *)
 val outcome_kind : ('res, 'info) outcome -> string
 
 (** The diagnostics carried by any outcome. *)

@@ -1,0 +1,107 @@
+(* Crash supervision for synthesis workers.
+
+   A supervised body may raise anything: cooperative-cancellation
+   exceptions (Ctx.Timeout / Ctx.Interrupted by default) pass through
+   untouched — they are the normal way a losing portfolio worker stops —
+   while every other exception is captured as a crash, recorded in
+   telemetry, and answered by restarting the body after a jittered
+   exponential backoff.  The attempt index is handed to the body so each
+   incarnation can reseed itself.  Crash/restart totals feed the new
+   Report.Stats counters, so a degraded run is visible in --stats. *)
+
+type policy = {
+  max_restarts : int;
+  backoff_base : float;
+  backoff_max : float;
+  jitter : float;
+  seed : int;
+}
+
+let default_policy =
+  {
+    max_restarts = 3;
+    backoff_base = 0.01;
+    backoff_max = 0.5;
+    jitter = 0.5;
+    seed = 0;
+  }
+
+type 'a run = {
+  result : ('a, exn) Stdlib.result;
+  crashes : int;
+  restarts : int;
+}
+
+let default_cancellation = function
+  | Smtlite.Ctx.Timeout | Smtlite.Ctx.Interrupted -> true
+  | _ -> false
+
+(* splitmix64, as in Fault: backoff jitter must be deterministic per
+   (seed, label, attempt) so seeded resilience trials are reproducible *)
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let unit_draw ~seed ~label ~attempt =
+  let h = Hashtbl.hash (label, attempt) in
+  let bits =
+    Int64.shift_right_logical
+      (splitmix64 (Int64.of_int (seed lxor (h * 0x9E3779B9))))
+      11
+  in
+  Int64.to_float bits /. 9007199254740992.0
+
+let backoff_delay policy ~label ~attempt =
+  let base =
+    Float.min policy.backoff_max
+      (policy.backoff_base *. Float.pow 2.0 (float_of_int attempt))
+  in
+  let u = unit_draw ~seed:policy.seed ~label ~attempt in
+  Float.max 0.0 (base *. (1.0 +. (policy.jitter *. (u -. 0.5))))
+
+let run ?(policy = default_policy) ?(label = "worker")
+    ?(is_cancellation = default_cancellation) body =
+  let crashes = ref 0 in
+  let restarts = ref 0 in
+  let rec attempt i =
+    match body ~attempt:i with
+    | v -> { result = Ok v; crashes = !crashes; restarts = !restarts }
+    | exception e when not (is_cancellation e) ->
+        incr crashes;
+        if Telemetry.enabled () then
+          Telemetry.point "supervisor.crash"
+            ~fields:
+              [
+                ("worker", Telemetry.str label);
+                ("attempt", Telemetry.int i);
+                ("exn", Telemetry.str (Printexc.to_string e));
+              ];
+        if !crashes > policy.max_restarts then begin
+          if Telemetry.enabled () then
+            Telemetry.point "supervisor.giveup"
+              ~fields:
+                [
+                  ("worker", Telemetry.str label);
+                  ("crashes", Telemetry.int !crashes);
+                ];
+          { result = Error e; crashes = !crashes; restarts = !restarts }
+        end
+        else begin
+          let delay = backoff_delay policy ~label ~attempt:i in
+          if Telemetry.enabled () then
+            Telemetry.point "supervisor.restart"
+              ~fields:
+                [
+                  ("worker", Telemetry.str label);
+                  ("attempt", Telemetry.int (i + 1));
+                  ("delay_s", Telemetry.float delay);
+                ];
+          if delay > 0.0 then Unix.sleepf delay;
+          incr restarts;
+          attempt (i + 1)
+        end
+  in
+  attempt 0

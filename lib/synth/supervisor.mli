@@ -1,0 +1,48 @@
+(** Crash supervision for synthesis workers.
+
+    Production SAT portfolios treat solver workers as crashable; this
+    module gives the portfolio the same failure model.  {!run} executes a
+    worker body and converts unexpected exceptions — a [Stack_overflow], a
+    logic bug, an injected {!Fault.Injected} — into supervised restarts
+    with jittered exponential backoff, instead of letting them escape
+    through [Domain.join] and destroy the whole race.  Cooperative
+    cancellation ({!Smtlite.Ctx.Timeout} / {!Smtlite.Ctx.Interrupted} by
+    default) passes through untouched.
+
+    Backoff jitter is deterministic in [(policy.seed, label, attempt)], so
+    seeded resilience trials reproduce exactly. *)
+
+type policy = {
+  max_restarts : int;  (** crashes beyond this give up (default 3) *)
+  backoff_base : float;  (** first-restart delay, seconds (default 0.01) *)
+  backoff_max : float;  (** delay ceiling, seconds (default 0.5) *)
+  jitter : float;
+      (** relative jitter width: delay is scaled by
+          [1 + jitter * (u - 0.5)], [u] uniform in [0, 1) (default 0.5) *)
+  seed : int;  (** jitter determinism key (default 0) *)
+}
+
+val default_policy : policy
+
+(** Outcome of a supervised run: the body's value (or, after giving up,
+    the last captured exception) plus crash/restart totals — these feed
+    {!Report.Stats.worker_crashes} / [worker_restarts]. *)
+type 'a run = {
+  result : ('a, exn) Stdlib.result;
+  crashes : int;  (** unexpected exceptions captured *)
+  restarts : int;  (** restarts performed ([crashes - 1] when giving up) *)
+}
+
+(** [run ?policy ?label ?is_cancellation body] calls [body ~attempt:0] and
+    restarts it with an incremented attempt index after each captured
+    crash, sleeping the backoff delay in between; gives up after
+    [policy.max_restarts] restarts.  Exceptions for which
+    [is_cancellation] holds are re-raised to the caller unchanged.
+    Telemetry: [supervisor.crash] / [supervisor.restart] /
+    [supervisor.giveup] points, labelled with [label]. *)
+val run :
+  ?policy:policy ->
+  ?label:string ->
+  ?is_cancellation:(exn -> bool) ->
+  (attempt:int -> 'a) ->
+  'a run

@@ -127,8 +127,9 @@ let optimize ?(timeout = 360.0) ?(p = 0.1) ?(initial_bound = 1000.0) ~weights g0
         | Cegis.Synthesized (code, stats) ->
             iterations := !iterations + stats.Cegis.iterations;
             code
-        | Cegis.Unsat_config _ | Cegis.Timed_out _ ->
-            (* fall back to a catalog construction of the same shape *)
+        | Cegis.Unsat_config _ | Cegis.Timed_out _ | Cegis.Partial _ ->
+            (* fall back to a catalog construction of the same shape
+               (a partial candidate is unverified, so it does not count) *)
             if shape.min_distance <= 2 then Hamming.Catalog.parity data_len
             else Hamming.Catalog.shortened ~data_len ~check_len:shape.check_len
       in

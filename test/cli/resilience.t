@@ -1,0 +1,90 @@
+Resilience features: anytime results, checkpoint/resume, graceful
+interruption, fault injection, and distinct exit codes for every way a
+run can stop (0 ok, 1 refuted, 2 error, 3 unsat, 4 timeout, 5 partial,
+130 interrupted).
+
+An unsatisfiable configuration exits 3:
+
+  $ fecsynth synth -p 'len_d(G[0]) = 4 && len_c(G[0]) = 2 && md(G[0]) = 4'
+  unsatisfiable: no check length in range admits the spec
+  [3]
+
+--checkpoint persists the learned counterexample pool as the search runs;
+the format is a small versioned text file guarded by a CRC trailer:
+
+  $ fecsynth synth -p 'len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' --checkpoint easy.ck | head -1
+  synthesized (7,4) generator, md 3, 9 set bits:
+  $ head -2 easy.ck
+  fecsynth-checkpoint 1
+  problem 4 3 3
+  $ grep -c '^cex ' easy.ck
+  10
+  $ tail -1 easy.ck | sed 's/ .*/ (hex)/'
+  crc (hex)
+
+--resume replays the recovered pool before the first candidate is drawn,
+so the warm run needs one iteration where the cold run needed ten:
+
+  $ fecsynth synth -p 'len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' --resume easy.ck | sed 's/time: .*/(time)/' | sed -n '1p;2p;$p'
+  resumed from checkpoint: 10 counterexamples, 10 prior iterations
+  synthesized (7,4) generator, md 3, 9 set bits:
+  iterations: 1, (time)
+
+A corrupt or truncated checkpoint is detected and never trusted:
+
+  $ printf 'garbage\n' > bad.ck
+  $ fecsynth synth -p 'len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' --resume bad.ck
+  fecsynth: error: cannot resume: corrupt checkpoint: missing crc trailer (truncated?)
+  [2]
+
+Ctrl-C mid-search exits 130 after flushing the checkpoint and printing
+the best candidate found so far (the anytime result):
+
+  $ HARD='len_d(G[0]) = 14 && len_c(G[0]) = 15 && md(G[0]) = 7'
+  $ timeout --preserve-status -s INT 2 fecsynth synth -p "$HARD" --checkpoint hard.ck > interrupted.out
+  [130]
+  $ head -1 interrupted.out
+  partial: interrupted before verification finished
+  $ head -2 hard.ck
+  fecsynth-checkpoint 1
+  problem 14 15 7
+  $ test "$(grep -c '^cex ' hard.ck)" -ge 1 && echo pool recovered
+  pool recovered
+
+The interrupted run resumes from the recovered pool (a short budget keeps
+this test fast; exit 5 marks a partial result with a best-so-far candidate):
+
+  $ fecsynth synth -p "$HARD" --resume hard.ck --checkpoint hard2.ck --timeout 2 > resumed.out
+  [5]
+  $ sed -n 's/resumed from checkpoint: [0-9]* counterexamples, [0-9]* prior iterations/resumed (counts elided)/p' resumed.out
+  resumed (counts elided)
+  $ grep -c '^partial: budget expired' resumed.out
+  1
+
+optimize walks check lengths downward-constrained and checkpoints the
+proven lower bound alongside the pool, so resume restarts at the bound:
+
+  $ fecsynth optimize -k 4 -m 3 --checkpoint opt.ck | head -1
+  minimal check length 3: (7,4) generator, md 3:
+  $ grep '^bound ' opt.ck
+  bound 3
+  $ fecsynth optimize -k 4 -m 3 --resume opt.ck | sed 's/time: .*/(time)/' | sed -n '1p;2p;$p'
+  resumed from checkpoint: 16 counterexamples, 16 prior iterations, starting at check length 3
+  minimal check length 3: (7,4) generator, md 3:
+  iterations: 1, (time)
+
+Fault injection is enabled only through FEC_FAULT_SPEC.  An injected
+worker-startup crash is supervised, restarted, and the run still decides;
+the per-worker report shows the crash/restart counters:
+
+  $ FEC_FAULT_SPEC='seed=5,worker.start.crash=1.0:max=1' fecsynth synth --portfolio --jobs 2 -p 'len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' > faulty.out
+  $ grep -c '^synthesized (7,4) generator, md 3' faulty.out
+  1
+  $ grep -c 'crashes=[1-9]' faulty.out
+  1
+
+A malformed fault spec is rejected up front rather than half-applied:
+
+  $ FEC_FAULT_SPEC='sat.solve.explode=1' fecsynth synth -p 'len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3'
+  fecsynth: error: FEC_FAULT_SPEC: unknown fault action "explode" (crash|stall|interrupt)
+  [2]

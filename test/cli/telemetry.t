@@ -25,7 +25,7 @@ Every line of the trace is one JSON object with ts/kind/name, so the
 machine-readable report of trace-check can itself be parsed:
 
   $ fecsynth trace-check --stats json t.ndjson | sed 's/"events":[0-9]*/"events":N/' | cut -c1-50
-  {"command":"trace-check","events":N,"counts":[{"ki
+  {"command":"trace-check","events":N,"truncated_tai
 
 --stats json makes synth print one JSON object carrying the outcome, the
 code, and the unified stats record (same shape for plain CEGIS, portfolio

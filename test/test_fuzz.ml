@@ -14,6 +14,11 @@
 
 open Sat
 
+(* honour FEC_FAULT_SPEC so `make stress` can fuzz under (stall-only)
+   fault injection; crash/interrupt faults would break the oracles'
+   exception contract, stalls must not change any answer *)
+let () = Synth.Fault.init_from_env ()
+
 let default_iters = 600
 
 let iters =

@@ -41,6 +41,7 @@ let test_unsat_config () =
   | Cegis.Synthesized (code, _) ->
       Alcotest.failf "impossible generator synthesized with md %d" (md code)
   | Cegis.Timed_out _ -> Alcotest.fail "unexpected timeout"
+  | Cegis.Partial _ -> Alcotest.fail "unexpected partial result"
 
 let test_singleton_check_md2 () =
   (* smallest possible: k=1, c=1, md 2 is the repetition (2,1) code *)
@@ -85,7 +86,7 @@ let test_sweep_configurations () =
             true
             (Hamming.Distance.has_min_distance_at_least code m)
       | Cegis.Unsat_config _ -> ()
-      | Cegis.Timed_out _ -> Alcotest.fail "timeout in sweep")
+      | Cegis.Timed_out _ | Cegis.Partial _ -> Alcotest.fail "timeout in sweep")
     [ (2, 2, 2); (3, 3, 3); (4, 4, 3); (5, 4, 3); (8, 4, 3); (6, 5, 4); (4, 7, 5) ]
 
 (* ---------- optimization: minimal check length (Table 1) ---------- *)
@@ -94,29 +95,30 @@ let test_minimize_check_len_md3 () =
   match
     Optimize.minimize_check_len ~timeout:60.0 ~data_len:4 ~md:3 ~check_lo:2 ~check_hi:14 ()
   with
-  | Some r ->
+  | Report.Synthesized (r, _) ->
       Alcotest.(check int) "minimal check bits for md 3" 3 r.Optimize.check_len;
       Alcotest.(check int) "generator md" 3 (md r.Optimize.code)
-  | None -> Alcotest.fail "expected a generator"
+  | _ -> Alcotest.fail "expected a generator"
 
 let test_minimize_check_len_md2 () =
   match
     Optimize.minimize_check_len ~timeout:60.0 ~data_len:4 ~md:2 ~check_lo:2 ~check_hi:14 ()
   with
-  | Some r -> Alcotest.(check int) "Table 1 row md=2" 2 r.Optimize.check_len
-  | None -> Alcotest.fail "expected a generator"
+  | Report.Synthesized (r, _) ->
+      Alcotest.(check int) "Table 1 row md=2" 2 r.Optimize.check_len
+  | _ -> Alcotest.fail "expected a generator"
 
 let test_minimize_check_len_md4 () =
   match
     Optimize.minimize_check_len ~timeout:120.0 ~data_len:4 ~md:4 ~check_lo:2 ~check_hi:14 ()
   with
-  | Some r ->
+  | Report.Synthesized (r, _) ->
       (* the paper's Table 1 reports 5 check bits for md 4, but the extended
          Hamming (8,4) code achieves md 4 with only 4 — our minimizer finds
          the true optimum *)
       Alcotest.(check int) "md=4 true optimum" 4 r.Optimize.check_len;
       Alcotest.(check int) "exact md" 4 (md r.Optimize.code)
-  | None -> Alcotest.fail "expected a generator"
+  | _ -> Alcotest.fail "expected a generator"
 
 (* ---------- optimization: minimal set bits (§4.4) ---------- *)
 
@@ -296,7 +298,8 @@ let test_portfolio_jobs4_no_torn_results () =
             true
             (Hamming.Distance.counterexample code m = None)
       | Portfolio.Unsat_config _ -> Alcotest.fail "unexpectedly unsat"
-      | Portfolio.Timed_out _ -> Alcotest.fail "unexpected timeout")
+      | Portfolio.Timed_out _ | Portfolio.Partial _ ->
+          Alcotest.fail "unexpected timeout")
     [ (4, 4, 3); (6, 5, 4); (8, 4, 3) ]
 
 let test_portfolio_unsat_is_shared () =
@@ -306,7 +309,8 @@ let test_portfolio_unsat_is_shared () =
       Alcotest.(check bool) "winner recorded" true (report.Portfolio.winner <> None)
   | Portfolio.Synthesized (code, _) ->
       Alcotest.failf "impossible generator synthesized with md %d" (md code)
-  | Portfolio.Timed_out _ -> Alcotest.fail "unexpected timeout"
+  | Portfolio.Timed_out _ | Portfolio.Partial _ ->
+      Alcotest.fail "unexpected timeout"
 
 let test_portfolio_encodings_agree_on_distance () =
   (* one single-worker portfolio per cardinality encoding: all must reach
@@ -352,7 +356,8 @@ let test_portfolio_restart_rounds () =
       Alcotest.(check bool) "result verifies" true
         (Hamming.Distance.counterexample code 5 = None)
   | Portfolio.Unsat_config _ -> Alcotest.fail "unexpectedly unsat"
-  | Portfolio.Timed_out _ -> Alcotest.fail "unexpected timeout"
+  | Portfolio.Timed_out _ | Portfolio.Partial _ ->
+      Alcotest.fail "unexpected timeout"
 
 let test_portfolio_verification_race () =
   let code = Lazy.force Hamming.Catalog.fig2_7_4 in
@@ -463,8 +468,8 @@ let test_driver_rejects_unsupported () =
 let test_driver_reports_unsat () =
   let prop = Spec.Parse.prop "len_d(G[0]) = 4 && len_c(G[0]) = 2 && md(G[0]) = 3" in
   match Driver.run ~timeout:30.0 prop with
-  | Driver.No_solution _ -> ()
-  | _ -> Alcotest.fail "expected no solution"
+  | Driver.Unsat _ -> ()
+  | _ -> Alcotest.fail "expected unsat"
 
 let () =
   Alcotest.run "synth"

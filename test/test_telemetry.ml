@@ -189,11 +189,14 @@ let test_ndjson_roundtrips_fields () =
 let stats_gen =
   QCheck.Gen.(
     map
-      (fun (a, b, c, d, e) ->
+      (fun ((a, b, c, d, e), (f, g)) ->
         { Stats.iterations = a; verifier_calls = b; elapsed = float_of_int c;
-          syn_conflicts = d; ver_conflicts = e })
-      (tup5 (int_bound 10000) (int_bound 10000) (int_bound 10000)
-         (int_bound 10000) (int_bound 10000)))
+          syn_conflicts = d; ver_conflicts = e; worker_crashes = f;
+          worker_restarts = g })
+      (pair
+         (tup5 (int_bound 10000) (int_bound 10000) (int_bound 10000)
+            (int_bound 10000) (int_bound 10000))
+         (pair (int_bound 100) (int_bound 100))))
 
 let stats_arb =
   QCheck.make stats_gen ~print:(fun s -> Format.asprintf "%a" Stats.pp s)
