@@ -6,7 +6,13 @@
 TRACE := /tmp/fecsynth-smoke.ndjson
 SMOKE_SPEC := len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3
 
-.PHONY: all build test trace-smoke stress check bench clean
+# Bench regression gate: the current PR's baseline file, the (fast,
+# deterministic) experiment subset it runs, and the tolerated drift.
+BENCH_OUT := BENCH_pr4.json
+BENCH_GATE_EXPERIMENTS := ablation-card ablation-cex multibit
+BENCH_GATE_THRESHOLD := 25
+
+.PHONY: all build test trace-smoke stress check bench bench-gate clean
 
 all: build
 
@@ -39,12 +45,30 @@ stress: build
 	done
 	@echo "stress: OK"
 
-check: build test trace-smoke stress
+check: build test trace-smoke stress bench-gate
 	@echo "check: OK"
 
-# Quick benchmark pass (shrunken workloads); writes BENCH_pr2.json.
+# Quick benchmark pass (shrunken workloads); writes $(BENCH_OUT).
 bench: build
 	FEC_BENCH_SCALE=100 dune exec bench/main.exe
+
+# Regression gate: rerun the deterministic bench subset, write
+# $(BENCH_OUT), and diff it against the newest *prior* committed
+# baseline.  Wall-clock metrics are excluded (sub-millisecond instances
+# make them pure noise); iteration and conflict counts must stay within
+# $(BENCH_GATE_THRESHOLD)%.  With no prior baseline the run itself
+# becomes the baseline and the gate passes.
+bench-gate: build
+	@prev=$$(ls BENCH_*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -V | tail -1); \
+	FEC_BENCH_SCALE=100 FEC_BENCH_OUT=$(BENCH_OUT) \
+	  dune exec -- bench/main.exe $(BENCH_GATE_EXPERIMENTS) > /dev/null; \
+	if [ -n "$$prev" ]; then \
+	  echo "bench-gate: diffing $$prev -> $(BENCH_OUT)"; \
+	  dune exec -- fecsynth trace diff --threshold $(BENCH_GATE_THRESHOLD) \
+	    --ignore wall_s "$$prev" $(BENCH_OUT); \
+	else \
+	  echo "bench-gate: no prior BENCH_*.json; $(BENCH_OUT) is the new baseline"; \
+	fi
 
 clean:
 	dune clean

@@ -35,8 +35,9 @@ let time_it f =
 
 (* Every synthesis instance the harness times is also appended here and
    dumped as one JSON object at exit, so CI and EXPERIMENTS.md can diff
-   runs without scraping the human tables.  Default path BENCH_pr2.json;
-   override with FEC_BENCH_OUT. *)
+   runs without scraping the human tables ([fecsynth trace diff] consumes
+   these files; `make bench-gate` turns that diff into a regression gate).
+   Default path BENCH_pr4.json; override with FEC_BENCH_OUT. *)
 let bench_records : (string * string * float * int * int) list ref = ref []
 
 let record_instance ~experiment ~instance ~wall_s ~iterations ~conflicts =
@@ -45,7 +46,7 @@ let record_instance ~experiment ~instance ~wall_s ~iterations ~conflicts =
 
 let write_bench_json () =
   let path =
-    Option.value (Sys.getenv_opt "FEC_BENCH_OUT") ~default:"BENCH_pr2.json"
+    Option.value (Sys.getenv_opt "FEC_BENCH_OUT") ~default:"BENCH_pr4.json"
   in
   let module J = Telemetry.Json in
   let rows =
@@ -59,7 +60,7 @@ let write_bench_json () =
   in
   let j =
     J.Obj
-      [ ("pr", J.Str "pr2"); ("scale", J.Int scale); ("instances", J.List rows) ]
+      [ ("pr", J.Str "pr4"); ("scale", J.Int scale); ("instances", J.List rows) ]
   in
   let oc = open_out path in
   output_string oc (J.to_string j);

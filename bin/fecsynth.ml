@@ -130,7 +130,8 @@ let synth_cmd =
     let doc = "Number of portfolio workers (implies --portfolio for K > 1)." in
     Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"K" ~doc)
   in
-  let run prop_spec timeout weights portfolio jobs checkpoint resume trace fmt =
+  let run prop_spec timeout weights portfolio jobs checkpoint resume trace
+      metrics progress fmt =
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else
     let prop = load_prop prop_spec in
@@ -201,7 +202,7 @@ let synth_cmd =
         Format.printf "%a" Synth.Portfolio.pp_report report
     in
     let outcome =
-      Output.with_trace trace (fun () ->
+      Output.with_observability ~trace ~metrics ~progress (fun () ->
           Synth.Driver.run ~timeout ?weights ?jobs:jobs_opt ~on_report
             ~interrupt:interrupted ~initial ~on_cex prop)
     in
@@ -380,7 +381,8 @@ let synth_cmd =
     Term.(
       ret
         (const run $ prop_arg $ timeout_arg $ weights $ portfolio $ jobs
-       $ checkpoint_arg $ resume_arg $ Output.trace_arg $ Output.stats_arg))
+       $ checkpoint_arg $ resume_arg $ Output.trace_arg $ Output.metrics_arg
+       $ Output.progress_arg $ Output.stats_arg))
 
 (* ---------- optimize ---------- *)
 
@@ -402,7 +404,8 @@ let optimize_cmd =
     let doc = "Largest check length to try." in
     Arg.(value & opt int 16 & info [ "check-hi" ] ~docv:"C" ~doc)
   in
-  let run data_len md check_lo check_hi timeout checkpoint resume trace fmt =
+  let run data_len md check_lo check_hi timeout checkpoint resume trace metrics
+      progress fmt =
     if data_len < 1 || md < 1 || check_lo < 1 || check_hi < check_lo then
       `Error
         (false, "need data-len >= 1, min-distance >= 1, 1 <= check-lo <= check-hi")
@@ -462,7 +465,7 @@ let optimize_cmd =
         | Some w -> Synth.Checkpoint.Writer.record_bound w c
       in
       let outcome =
-        Output.with_trace trace (fun () ->
+        Output.with_observability ~trace ~metrics ~progress (fun () ->
             Synth.Optimize.minimize_check_len ~timeout ~interrupt:interrupted
               ~initial ~on_round ~on_cex ~data_len ~md ~check_lo:start_lo
               ~check_hi ())
@@ -561,7 +564,8 @@ let optimize_cmd =
     Term.(
       ret
         (const run $ data_len_arg $ md_arg $ lo_arg $ hi_arg $ timeout_arg
-       $ checkpoint_arg $ resume_arg $ Output.trace_arg $ Output.stats_arg))
+       $ checkpoint_arg $ resume_arg $ Output.trace_arg $ Output.metrics_arg
+       $ Output.progress_arg $ Output.stats_arg))
 
 (* ---------- verify ---------- *)
 
@@ -907,113 +911,302 @@ let robustness_cmd =
         (const run $ code_arg $ words_arg $ p_arg $ seed_arg $ Output.trace_arg
        $ Output.stats_arg))
 
-(* ---------- trace-check ---------- *)
+(* ---------- trace family: check / report / flame / diff ---------- *)
 
-let trace_check_cmd =
-  let file_arg =
-    let doc = "NDJSON telemetry trace (as written by --trace) to validate." in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+module An = Telemetry.Analyze
+
+let load_parsed file =
+  match An.of_string (read_file file) with
+  | Ok p -> Ok p
+  | Error msg -> Error ("invalid trace: " ^ msg)
+
+let trace_file_arg =
+  let doc = "NDJSON telemetry trace (as written by --trace)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+(* One implementation behind both [fecsynth trace check] and the
+   original [fecsynth trace-check] spelling, byte-identical output. *)
+let trace_check_run file fmt =
+  match load_parsed file with
+  | Error msg -> `Error (false, msg)
+  | Ok p ->
+      let c = An.check p in
+      if c.An.check_truncated then
+        Printf.eprintf
+          "fecsynth: warning: final trace line is truncated (interrupted \
+           write); ignored after %d complete events\n%!"
+          c.An.total;
+      if c.An.unbalanced_spans > 0 then
+        Printf.eprintf
+          "fecsynth: warning: %d unbalanced span(s) (begin without end, or \
+           end without begin)\n%!"
+          c.An.unbalanced_spans;
+      if c.An.out_of_order > 0 then
+        Printf.eprintf
+          "fecsynth: warning: %d event(s) go back in time within their \
+           worker stream\n%!"
+          c.An.out_of_order;
+      Output.result fmt
+        ~text:(fun () ->
+          Printf.printf "ok: %d events\n" c.An.total;
+          List.iter
+            (fun ((kind, name), n) ->
+              Printf.printf "%-10s %-24s %d\n" kind name n)
+            c.An.counts)
+        ~json:(fun () ->
+          [
+            ("command", J.Str "trace-check");
+            ("events", J.Int c.An.total);
+            ("truncated_tail", J.Bool c.An.check_truncated);
+            ("unbalanced_spans", J.Int c.An.unbalanced_spans);
+            ("out_of_order", J.Int c.An.out_of_order);
+            ( "counts",
+              J.List
+                (List.map
+                   (fun ((kind, name), n) ->
+                     J.Obj
+                       [
+                         ("kind", J.Str kind);
+                         ("name", J.Str name);
+                         ("count", J.Int n);
+                       ])
+                   c.An.counts) );
+          ]);
+      `Ok ()
+
+let trace_check_doc =
+  "Validate an NDJSON telemetry trace: every line must parse and carry \
+   ts/kind/name; prints per-(kind, name) event counts.  Warns about a \
+   truncated final line (interrupted write), unbalanced spans and \
+   out-of-order timestamps."
+
+let trace_check_term = Term.(ret (const trace_check_run $ trace_file_arg $ Output.stats_arg))
+
+(* legacy spelling, kept as a hidden-in-docs-but-working alias *)
+let trace_check_cmd = Cmd.v (Cmd.info "trace-check" ~doc:trace_check_doc) trace_check_term
+
+let trace_check_sub = Cmd.v (Cmd.info "check" ~doc:trace_check_doc) trace_check_term
+
+let trace_report_cmd =
+  let top_arg =
+    let doc = "Detail the $(docv) slowest CEGIS iterations." in
+    Arg.(value & opt int 3 & info [ "top" ] ~docv:"N" ~doc)
   in
-  let run file fmt =
-    let content = read_file file in
-    let counts : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
-    let total = ref 0 in
-    let truncated = ref false in
-    (* a process killed mid-write leaves a final line with no newline
-       terminator: that specific damage is tolerated as a warning, so a
-       trace survives the very crash telemetry exists to explain.  Any
-       malformed line that is newline-terminated is real corruption. *)
-    let ends_with_newline =
-      String.length content = 0
-      || content.[String.length content - 1] = '\n'
-    in
-    let lines =
-      match List.rev (String.split_on_char '\n' content) with
-      | "" :: rest -> List.rev rest (* drop the split artifact after a final \n *)
-      | rest -> List.rev rest
-    in
-    let n_lines = List.length lines in
-    let check =
-      List.fold_left
-        (fun (acc, line_no) line ->
-          let line_no = line_no + 1 in
-          match acc with
-          | Error _ -> (acc, line_no)
-          | Ok () -> (
-              if line = "" then (Ok (), line_no)
-              else
-                match J.of_string line with
-                | j ->
-                    let str_field key =
-                      match Option.bind (J.member key j) J.to_string_opt with
-                      | Some s -> s
-                      | None ->
-                          raise
-                            (J.Parse_error (Printf.sprintf "missing %s" key))
-                    in
-                    let kind = str_field "kind" in
-                    let name = str_field "name" in
-                    (match Option.bind (J.member "ts" j) J.to_float with
-                    | Some _ -> ()
-                    | None -> raise (J.Parse_error "missing ts"));
-                    incr total;
-                    let key = (kind, name) in
-                    Hashtbl.replace counts key
-                      (1 + Option.value (Hashtbl.find_opt counts key) ~default:0);
-                    (Ok (), line_no)
-                | exception J.Parse_error msg ->
-                    if line_no = n_lines && not ends_with_newline then begin
-                      truncated := true;
-                      (Ok (), line_no)
-                    end
-                    else (Error (Printf.sprintf "line %d: %s" line_no msg), line_no)))
-        (Ok (), 0) lines
-      |> fst
-    in
-    match check with
-    | Error msg -> `Error (false, "invalid trace: " ^ msg)
-    | Ok () ->
-        if !truncated then
-          Printf.eprintf
-            "fecsynth: warning: final trace line is truncated (interrupted \
-             write); ignored after %d complete events\n%!"
-            !total;
-        let sorted =
-          List.sort compare
-            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
-        in
+  let run file top fmt =
+    match load_parsed file with
+    | Error msg -> `Error (false, msg)
+    | Ok p ->
+        let r = An.report ~top p in
         Output.result fmt
           ~text:(fun () ->
-            Printf.printf "ok: %d events\n" !total;
-            List.iter
-              (fun ((kind, name), n) -> Printf.printf "%-10s %-24s %d\n" kind name n)
-              sorted)
+            Printf.printf "events:      %d\n" r.An.events;
+            Printf.printf "wall:        %.3fs\n" r.An.wall_s;
+            Printf.printf "busy:        %.3fs\n" r.An.busy_s;
+            Printf.printf "attributed:  %.1f%% (%.3fs unattributed)\n"
+              r.An.attributed_pct r.An.unattributed_s;
+            Printf.printf "iterations:  %d\n" r.An.iterations;
+            if r.An.phases <> [] then begin
+              Printf.printf "\n%-24s %12s %8s\n" "phase" "total_s" "calls";
+              List.iter
+                (fun ph ->
+                  Printf.printf "%-24s %12.4f %8d\n" ph.An.phase ph.An.total_s
+                    ph.An.calls)
+                r.An.phases
+            end;
+            (match r.An.sat_totals with
+            | [] -> ()
+            | totals ->
+                Printf.printf "\nsat:";
+                List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) totals;
+                print_newline ());
+            match r.An.slowest with
+            | [] -> ()
+            | slow ->
+                Printf.printf "\nslowest iterations:\n";
+                List.iter
+                  (fun (it, dur, kids) ->
+                    Printf.printf "  #%-6d %8.4fs" it dur;
+                    List.iter
+                      (fun (name, d) -> Printf.printf "  %s=%.4fs" name d)
+                      kids;
+                    print_newline ())
+                  slow)
           ~json:(fun () ->
             [
-              ("command", J.Str "trace-check");
-              ("events", J.Int !total);
-              ("truncated_tail", J.Bool !truncated);
-              ( "counts",
+              ("command", J.Str "trace-report");
+              ("events", J.Int r.An.events);
+              ("wall_s", J.Float r.An.wall_s);
+              ("busy_s", J.Float r.An.busy_s);
+              ("unattributed_s", J.Float r.An.unattributed_s);
+              ("attributed_pct", J.Float r.An.attributed_pct);
+              ("iterations", J.Int r.An.iterations);
+              ( "phases",
                 J.List
                   (List.map
-                     (fun ((kind, name), n) ->
+                     (fun ph ->
                        J.Obj
                          [
-                           ("kind", J.Str kind);
-                           ("name", J.Str name);
-                           ("count", J.Int n);
+                           ("phase", J.Str ph.An.phase);
+                           ("total_s", J.Float ph.An.total_s);
+                           ("calls", J.Int ph.An.calls);
                          ])
-                     sorted) );
+                     r.An.phases) );
+              ( "sat",
+                J.Obj (List.map (fun (k, v) -> (k, J.Int v)) r.An.sat_totals)
+              );
+              ( "slowest",
+                J.List
+                  (List.map
+                     (fun (it, dur, kids) ->
+                       J.Obj
+                         [
+                           ("iter", J.Int it);
+                           ("dur_s", J.Float dur);
+                           ( "children",
+                             J.Obj
+                               (List.map (fun (n, d) -> (n, J.Float d)) kids)
+                           );
+                         ])
+                     r.An.slowest) );
             ]);
         `Ok ()
   in
   let doc =
-    "Validate an NDJSON telemetry trace: every line must parse and carry \
-     ts/kind/name; prints per-(kind, name) event counts.  A truncated final \
-     line (interrupted write) is tolerated with a warning."
+    "Per-phase wall-time attribution of a synthesis trace: where the run \
+     spent its time (SAT propagate/analyze/restart, Smtlite encoding, CEGIS \
+     verification, portfolio idle), per iteration and in total."
   in
-  Cmd.v (Cmd.info "trace-check" ~doc)
-    Term.(ret (const run $ file_arg $ Output.stats_arg))
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(ret (const run $ trace_file_arg $ top_arg $ Output.stats_arg))
+
+let trace_flame_cmd =
+  let run file =
+    match load_parsed file with
+    | Error msg -> `Error (false, msg)
+    | Ok p ->
+        print_string (An.flame_to_string p);
+        `Ok ()
+  in
+  let doc =
+    "Render the span tree as folded stacks (one \"a;b;c microseconds\" line \
+     per stack), the input format of flamegraph.pl and speedscope."
+  in
+  Cmd.v (Cmd.info "flame" ~doc) Term.(ret (const run $ trace_file_arg))
+
+let trace_diff_cmd =
+  let a_arg =
+    let doc = "Baseline: an NDJSON trace or a BENCH_*.json file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc)
+  in
+  let b_arg =
+    let doc = "Candidate to compare against the baseline." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Flag shared metrics that changed by more than $(docv) percent."
+    in
+    Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let ignore_arg =
+    let doc =
+      "Drop metrics whose key contains $(docv) before comparing \
+       (repeatable).  Lets a CI gate skip noisy wall-clock metrics while \
+       still judging deterministic counters."
+    in
+    Arg.(value & opt_all string [] & info [ "ignore" ] ~docv:"SUBSTR" ~doc)
+  in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let pct_str pct =
+    if Float.is_finite pct then Printf.sprintf "%+.1f%%" pct
+    else if pct > 0.0 then "+inf%"
+    else "-inf%"
+  in
+  let run a b threshold ignored fmt =
+    match
+      (An.metrics_of_string (read_file a), An.metrics_of_string (read_file b))
+    with
+    | Error msg, _ -> `Error (false, Printf.sprintf "%s: %s" a msg)
+    | _, Error msg -> `Error (false, Printf.sprintf "%s: %s" b msg)
+    | Ok (ma, sa), Ok (mb, sb) ->
+        let keep (key, _) =
+          not (List.exists (fun sub -> contains ~sub key) ignored)
+        in
+        let ma = List.filter keep ma and mb = List.filter keep mb in
+        let d = An.diff ~threshold ma mb in
+        let delta_json (dl : An.delta) =
+          J.Obj
+            [
+              ("key", J.Str dl.An.key);
+              ("a", J.Float dl.An.va);
+              ("b", J.Float dl.An.vb);
+              ( "pct",
+                if Float.is_finite dl.An.pct then J.Float dl.An.pct
+                else J.Str (pct_str dl.An.pct) );
+            ]
+        in
+        Output.result fmt
+          ~text:(fun () ->
+            Printf.printf "%s %s vs %s %s: %d shared metrics (%d only in \
+                           baseline, %d only in candidate)\n"
+              (An.source_name sa) a (An.source_name sb) b d.An.shared
+              d.An.only_a d.An.only_b;
+            List.iter
+              (fun (dl : An.delta) ->
+                Printf.printf "regression   %-40s %12g -> %-12g %s\n"
+                  dl.An.key dl.An.va dl.An.vb (pct_str dl.An.pct))
+              d.An.regressions;
+            List.iter
+              (fun (dl : An.delta) ->
+                Printf.printf "improvement  %-40s %12g -> %-12g %s\n"
+                  dl.An.key dl.An.va dl.An.vb (pct_str dl.An.pct))
+              d.An.improvements;
+            if d.An.regressions = [] then
+              Printf.printf "ok: no metric regressed beyond %.1f%%\n" threshold
+            else
+              Printf.printf "FAIL: %d metric(s) regressed beyond %.1f%%\n"
+                (List.length d.An.regressions)
+                threshold)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "trace-diff");
+              ("a", J.Str a);
+              ("b", J.Str b);
+              ("source_a", J.Str (An.source_name sa));
+              ("source_b", J.Str (An.source_name sb));
+              ("threshold_pct", J.Float threshold);
+              ("shared", J.Int d.An.shared);
+              ("only_a", J.Int d.An.only_a);
+              ("only_b", J.Int d.An.only_b);
+              ("regressions", J.List (List.map delta_json d.An.regressions));
+              ("improvements", J.List (List.map delta_json d.An.improvements));
+            ]);
+        if d.An.regressions <> [] then exit 1;
+        `Ok ()
+  in
+  let doc =
+    "Compare two traces or two bench baselines metric by metric; exits 1 \
+     when any shared metric regresses beyond the threshold (the bench \
+     regression gate)."
+  in
+  let exits =
+    Cmd.Exit.info 1 ~doc:"a shared metric regressed beyond the threshold."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "diff" ~doc ~exits)
+    Term.(
+      ret
+        (const run $ a_arg $ b_arg $ threshold_arg $ ignore_arg
+       $ Output.stats_arg))
+
+let trace_cmd =
+  let doc = "validate, profile and compare NDJSON telemetry traces" in
+  Cmd.group (Cmd.info "trace" ~doc)
+    [ trace_check_sub; trace_report_cmd; trace_flame_cmd; trace_diff_cmd ]
 
 let () =
   let doc = "synthesis and verification of application-specific FEC codes" in
@@ -1022,7 +1215,8 @@ let () =
     Cmd.group info
       [
         synth_cmd; optimize_cmd; verify_cmd; certify_cmd; distance_cmd;
-        analyze_cmd; emit_cmd; robustness_cmd; smt_cmd; trace_check_cmd;
+        analyze_cmd; emit_cmd; robustness_cmd; smt_cmd; trace_cmd;
+        trace_check_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

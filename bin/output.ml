@@ -1,6 +1,7 @@
 (* Shared result/trace plumbing for every fecsynth subcommand: one place
-   defines --trace and --stats, installs the NDJSON sink, and renders the
-   machine-readable result objects so the subcommands agree on shape. *)
+   defines --trace/--metrics/--progress and --stats, installs the
+   composed telemetry sink, and renders the machine-readable result
+   objects so the subcommands agree on shape. *)
 
 open Cmdliner
 
@@ -20,17 +21,60 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-(* Run [f] with telemetry routed to [path] (no sink when [path] is None).
-   The file is created eagerly so even an aborted run leaves a parseable
-   (possibly empty) trace. *)
-let with_trace path f =
-  match path with
-  | None -> f ()
+let metrics_arg =
+  let doc =
+    "Write the metrics registry (counters, gauges, histograms with \
+     quantiles) in Prometheus text format to $(docv), refreshed \
+     periodically while the run progresses and once more on exit."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Render a live one-line progress display on stderr: iteration rate, \
+     counterexample pool size, best candidate bound, portfolio worker \
+     states, restart counts.  Silently disabled when stderr is not a TTY."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* Run [f] with telemetry routed to the requested observers; no sink at
+   all when none is requested, preserving the disabled fast path.  The
+   trace file is created eagerly so even an aborted run leaves a
+   parseable (possibly empty) trace; the metrics file is rewritten whole
+   on each periodic flush so readers always see a complete exposition. *)
+let with_observability ?(trace = None) ?(metrics = None) ?(progress = false) f =
+  let cleanups = ref [] in
+  let sinks = ref [] in
+  (match trace with
   | Some path ->
       let oc = open_out path in
+      cleanups := (fun () -> close_out oc) :: !cleanups;
+      sinks := Telemetry.Sink.ndjson oc :: !sinks
+  | None -> ());
+  (match metrics with
+  | Some path ->
+      let write text =
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      in
+      sinks := Telemetry.Metrics.flush_sink write :: !sinks
+  | None -> ());
+  if progress && Unix.isatty Unix.stderr then begin
+    let write s =
+      output_string stderr s;
+      flush stderr
+    in
+    sinks := Telemetry.Progress.sink write :: !sinks
+  end;
+  match List.rev !sinks with
+  | [] -> f ()
+  | sinks ->
       Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> Telemetry.with_sink (Telemetry.Sink.ndjson oc) f)
+        ~finally:(fun () -> List.iter (fun c -> c ()) !cleanups)
+        (fun () -> Telemetry.with_sink (Telemetry.Sink.tee sinks) f)
+
+let with_trace path f = with_observability ~trace:path f
 
 let print_json j = print_endline (Telemetry.Json.to_string j)
 

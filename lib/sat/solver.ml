@@ -66,7 +66,13 @@ type t = {
   mutable n_restarts : int;
   mutable n_learnt_literals : int;
   mutable max_learnt_size_ : int;
-  learnt_hist : int array; (* bucket i counts learnt clauses of size in [2^i, 2^(i+1)) *)
+  learnt_hist : Telemetry.Metrics.Histogram.t; (* learnt clause sizes *)
+  (* inner-loop phase timing, accumulated only while a trace is live
+     ([timing]); shipped as per-solve deltas on the sat.solve span *)
+  mutable timing : bool;
+  mutable t_propagate : float;
+  mutable t_analyze : float;
+  mutable t_restart : float;
 }
 
 let var_decay = 1.0 /. 0.95
@@ -107,7 +113,11 @@ let create () =
     n_restarts = 0;
     n_learnt_literals = 0;
     max_learnt_size_ = 0;
-    learnt_hist = Array.make 16 0;
+    learnt_hist = Telemetry.Metrics.Histogram.create ();
+    timing = false;
+    t_propagate = 0.0;
+    t_analyze = 0.0;
+    t_restart = 0.0;
   }
 
 let nvars s = s.nvars
@@ -572,18 +582,22 @@ let pick_branch_var s =
 
 type search_outcome = Out_sat | Out_unsat | Out_restart
 
+(* process-wide registry metrics, fed alongside each solver's own
+   counters; updates are no-ops (one atomic load) without a live sink *)
+let m_learnt_size = Telemetry.Metrics.histogram "sat.learnt_size"
+let m_decisions = Telemetry.Metrics.counter "sat.decisions"
+let m_propagations = Telemetry.Metrics.counter "sat.propagations"
+let m_conflicts = Telemetry.Metrics.counter "sat.conflicts"
+let m_restarts = Telemetry.Metrics.counter "sat.restarts"
+let m_solve_calls = Telemetry.Metrics.counter "sat.solve_calls"
+
 let record_learnt s lits back_level =
   proof_add s lits;
   s.n_learnt_literals <- s.n_learnt_literals + Array.length lits;
   if Array.length lits > s.max_learnt_size_ then
     s.max_learnt_size_ <- Array.length lits;
-  (let bucket = ref 0 and n = ref (Array.length lits) in
-   while !n > 1 do
-     n := !n lsr 1;
-     incr bucket
-   done;
-   let bucket = min !bucket (Array.length s.learnt_hist - 1) in
-   s.learnt_hist.(bucket) <- s.learnt_hist.(bucket) + 1);
+  Telemetry.Metrics.Histogram.observe s.learnt_hist (Array.length lits);
+  Telemetry.Metrics.observe m_learnt_size (Array.length lits);
   cancel_until s back_level;
   if Array.length lits = 1 then enqueue s lits.(0) None
   else begin
@@ -598,7 +612,17 @@ let search s ~assumptions ~conflict_limit =
   let conflicts = ref 0 in
   let outcome = ref None in
   while !outcome = None do
-    match propagate s with
+    match
+      (* [timing] is only set while a trace is live, so the two clock
+         reads per propagation stay off the default path *)
+      if not s.timing then propagate s
+      else begin
+        let t0 = Telemetry.now () in
+        let r = propagate s in
+        s.t_propagate <- s.t_propagate +. (Telemetry.now () -. t0);
+        r
+      end
+    with
     | Some confl ->
         s.n_conflicts <- s.n_conflicts + 1;
         incr conflicts;
@@ -612,19 +636,31 @@ let search s ~assumptions ~conflict_limit =
           outcome := Some Out_unsat
         end
         else begin
-          let lits, back_level = analyze s confl in
+          let lits, back_level =
+            if not s.timing then analyze s confl
+            else begin
+              let t0 = Telemetry.now () in
+              let r = analyze s confl in
+              s.t_analyze <- s.t_analyze +. (Telemetry.now () -. t0);
+              r
+            end
+          in
           record_learnt s lits back_level;
           var_decay_activity s;
           clause_decay_activity s
         end
     | None ->
         if float_of_int (Vec.size s.learnts) >= s.max_learnts then begin
+          let t0 = if s.timing then Telemetry.now () else 0.0 in
           reduce_db s;
-          s.max_learnts <- s.max_learnts *. 1.1
+          s.max_learnts <- s.max_learnts *. 1.1;
+          if s.timing then s.t_restart <- s.t_restart +. (Telemetry.now () -. t0)
         end;
         if conflict_limit >= 0 && !conflicts >= conflict_limit then begin
+          let t0 = if s.timing then Telemetry.now () else 0.0 in
           cancel_until s 0;
           s.n_restarts <- s.n_restarts + 1;
+          if s.timing then s.t_restart <- s.t_restart +. (Telemetry.now () -. t0);
           outcome := Some Out_restart
         end
         else begin
@@ -715,30 +751,22 @@ let stats s =
     max_learnt_size = s.max_learnt_size_;
   }
 
-let learnt_size_histogram s = Array.copy s.learnt_hist
-
-(* non-zero buckets as "bucket:count,..." — compact enough to ship as one
-   string field per solve event *)
-let hist_csv delta =
-  let b = Buffer.create 32 in
-  Array.iteri
-    (fun i n ->
-      if n > 0 then begin
-        if Buffer.length b > 0 then Buffer.add_char b ',';
-        Buffer.add_string b (string_of_int i);
-        Buffer.add_char b ':';
-        Buffer.add_string b (string_of_int n)
-      end)
-    delta;
-  Buffer.contents b
+let learnt_size_histogram s = Telemetry.Metrics.Histogram.snapshot s.learnt_hist
 
 (* Each solve call becomes a [sat.solve] span whose end event carries the
-   per-call statistics deltas (the counters themselves are cumulative). *)
+   per-call statistics deltas (the counters themselves are cumulative),
+   including the inner-loop phase split (propagate/analyze/restart
+   seconds) that [trace report] attributes wall time with. *)
 let solve ?assumptions s =
   if not (Telemetry.enabled ()) then solve_body ?assumptions s
   else begin
     let before = stats s in
-    let hist0 = Array.copy s.learnt_hist in
+    let hist0 = learnt_size_histogram s in
+    let t_prop0 = s.t_propagate
+    and t_ana0 = s.t_analyze
+    and t_rst0 = s.t_restart in
+    let timing0 = s.timing in
+    s.timing <- true;
     let sp =
       Telemetry.begin_span "sat.solve"
         ~fields:
@@ -748,8 +776,17 @@ let solve ?assumptions s =
           ]
     in
     let finish result =
+      s.timing <- timing0;
       let a = stats s in
-      let delta = Array.mapi (fun i n -> n - hist0.(i)) s.learnt_hist in
+      let delta =
+        Telemetry.Metrics.Hist.sub (learnt_size_histogram s) hist0
+      in
+      Telemetry.Metrics.incr m_solve_calls 1;
+      Telemetry.Metrics.incr m_decisions (a.decisions - before.decisions);
+      Telemetry.Metrics.incr m_propagations
+        (a.propagations - before.propagations);
+      Telemetry.Metrics.incr m_conflicts (a.conflicts - before.conflicts);
+      Telemetry.Metrics.incr m_restarts (a.restarts - before.restarts);
       Telemetry.end_span sp
         ~fields:
           [
@@ -759,7 +796,11 @@ let solve ?assumptions s =
               Telemetry.int (a.propagations - before.propagations) );
             ("conflicts", Telemetry.int (a.conflicts - before.conflicts));
             ("restarts", Telemetry.int (a.restarts - before.restarts));
-            ("learnt_size_hist", Telemetry.str (hist_csv delta));
+            ( "learnt_size_hist",
+              Telemetry.str (Telemetry.Metrics.Hist.to_csv delta) );
+            ("propagate_s", Telemetry.float (s.t_propagate -. t_prop0));
+            ("analyze_s", Telemetry.float (s.t_analyze -. t_ana0));
+            ("restart_s", Telemetry.float (s.t_restart -. t_rst0));
           ]
     in
     match solve_body ?assumptions s with

@@ -66,12 +66,13 @@ val model : t -> bool array
 (** [stats s] is the solver's cumulative statistics. *)
 val stats : t -> stats
 
-(** [learnt_size_histogram s] is a fresh 16-bucket histogram of learnt
-    clause sizes: bucket [i] counts clauses of size in [2{^i}, 2{^i+1})
-    (the last bucket absorbs everything larger).  Cumulative over the
-    solver's lifetime; the per-call delta is emitted on every [sat.solve]
-    telemetry span. *)
-val learnt_size_histogram : t -> int array
+(** [learnt_size_histogram s] is a snapshot of the learnt-clause-size
+    histogram (log-bucketed {!Telemetry.Metrics.Hist.t} with exact
+    quantiles for sizes below 64).  Cumulative over the solver's
+    lifetime; the per-call delta is emitted on every [sat.solve]
+    telemetry span, and snapshots merge with
+    {!Telemetry.Metrics.Hist.add} (e.g. across portfolio workers). *)
+val learnt_size_histogram : t -> Telemetry.Metrics.Hist.t
 
 (** [set_conflict_budget s n] limits the next [solve] calls to [n] conflicts
     each; the solver raises {!Budget_exhausted} when exceeded.  [None]

@@ -10,8 +10,13 @@ let encoding_name = function
 (* Telemetry for constraint construction.  Aux vars/clauses are introduced
    later by the Tseitin pass in [Ctx.check], whose [ctx.check] span reports
    the deltas; here we record which encodings are exercised at what sizes. *)
+let m_encodes = Telemetry.Metrics.counter "card.encodes"
+let m_encode_n = Telemetry.Metrics.histogram "card.encode_n"
+
 let encode_point enc ~op ~n ~k =
-  if Telemetry.enabled () then
+  if Telemetry.enabled () then begin
+    Telemetry.Metrics.incr m_encodes 1;
+    Telemetry.Metrics.observe m_encode_n n;
     Telemetry.point "card.encode"
       ~fields:
         [
@@ -20,6 +25,7 @@ let encode_point enc ~op ~n ~k =
           ("n", Telemetry.int n);
           ("k", Telemetry.int k);
         ]
+  end
 
 (* ---------- naive: explicit subsets, exponential, test oracle ---------- *)
 

@@ -31,6 +31,7 @@ let certificate ctx =
   | None -> None
   | Some proof -> Some (Sat.Solver.original_clauses ctx.solver, proof)
 let stats ctx = Sat.Solver.stats ctx.solver
+let learnt_histogram ctx = Sat.Solver.learnt_size_histogram ctx.solver
 let level ctx = List.length ctx.selectors
 let set_seed ctx seed = Sat.Solver.set_seed ctx.solver seed
 let set_interrupt ctx f = Sat.Solver.set_interrupt ctx.solver f
@@ -162,6 +163,10 @@ let check_body ?deadline ?(assumptions = []) ctx =
    assumption expressions happens inside it, so the reported new_vars /
    new_clauses deltas are the encoding cost of this query (the enclosed
    [sat.solve] spans carry the per-slice search statistics). *)
+let m_checks = Telemetry.Metrics.counter "smtlite.checks"
+let m_aux_vars = Telemetry.Metrics.counter "smtlite.aux_vars"
+let m_aux_clauses = Telemetry.Metrics.counter "smtlite.aux_clauses"
+
 let check ?deadline ?assumptions ctx =
   if not (Telemetry.enabled ()) then check_body ?deadline ?assumptions ctx
   else begin
@@ -172,6 +177,10 @@ let check ?deadline ?assumptions ctx =
         ~fields:[ ("level", Telemetry.int (List.length ctx.selectors)) ]
     in
     let finish result =
+      Telemetry.Metrics.incr m_checks 1;
+      Telemetry.Metrics.incr m_aux_vars (Sat.Solver.nvars ctx.solver - vars0);
+      Telemetry.Metrics.incr m_aux_clauses
+        (Sat.Solver.nclauses ctx.solver - clauses0);
       Telemetry.end_span sp
         ~fields:
           [

@@ -78,3 +78,7 @@ val certificate : t -> (Sat.Lit.t list list * string) option
 
 (** [stats ctx] is the underlying solver's statistics. *)
 val stats : t -> Sat.Solver.stats
+
+(** [learnt_histogram ctx] is the underlying solver's learnt-clause-size
+    histogram snapshot (see {!Sat.Solver.learnt_size_histogram}). *)
+val learnt_histogram : t -> Telemetry.Metrics.Hist.t

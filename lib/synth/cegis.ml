@@ -19,6 +19,7 @@ type stats = Report.Stats.t = {
   ver_conflicts : int;
   worker_crashes : int;
   worker_restarts : int;
+  learnt_hist : Telemetry.Metrics.Hist.t;
 }
 
 type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
@@ -191,6 +192,7 @@ let session_stats s =
     ver_conflicts = !(s.ver_conflicts);
     worker_crashes = 0;
     worker_restarts = 0;
+    learnt_hist = Ctx.learnt_histogram s.syn;
   }
 
 let session_best s = s.best
@@ -230,16 +232,17 @@ let step_body ?deadline s =
           Telemetry.end_span vsp ~fields:[ ("verdict", Telemetry.str "ok") ];
           Done code
       | Some d ->
+          (* the witness codeword weight is an upper bound on this
+             candidate's minimum distance; keep the candidate that came
+             closest to the target as the anytime result *)
+          let cw = Bitvec.popcount (Hamming.Code.encode code d) in
           Telemetry.end_span vsp
             ~fields:
               [
                 ("verdict", Telemetry.str "cex");
                 ("cex_weight", Telemetry.int (Bitvec.popcount d));
+                ("cand_weight", Telemetry.int cw);
               ];
-          (* the witness codeword weight is an upper bound on this
-             candidate's minimum distance; keep the candidate that came
-             closest to the target as the anytime result *)
-          let cw = Bitvec.popcount (Hamming.Code.encode code d) in
           (match s.best with
           | Some (_, b) when b >= cw -> ()
           | _ -> s.best <- Some (code, cw));
@@ -254,8 +257,11 @@ let step_body ?deadline s =
           Telemetry.end_span vsp ~fields:[ ("verdict", Telemetry.str "aborted") ];
           raise e)
 
+let m_iterations = Telemetry.Metrics.counter "cegis.iterations"
+
 let step ?deadline s =
   s.iterations <- s.iterations + 1;
+  Telemetry.Metrics.incr m_iterations 1;
   if not (Telemetry.enabled ()) then step_body ?deadline s
   else
     Telemetry.span "cegis.iteration"

@@ -37,6 +37,7 @@ type stats = Report.Stats.t = {
   ver_conflicts : int;
   worker_crashes : int;
   worker_restarts : int;
+  learnt_hist : Telemetry.Metrics.Hist.t;
 }
 
 (** Constructor re-export of {!Report.outcome}, so legacy qualified uses

@@ -97,21 +97,31 @@ let cex_key = function
   | Cegis.Cex_candidate c -> "c:" ^ Hamming.Code.to_string c
 
 (* Returns [true] when the cex was fresh (not already pooled). *)
+let m_pool_size = Telemetry.Metrics.gauge "portfolio.pool_size"
+
 let pool_publish pool origin cex =
-  Mutex.protect pool.mutex (fun () ->
-      let key = cex_key cex in
-      if Hashtbl.mem pool.seen_keys key then false
-      else begin
-        Hashtbl.add pool.seen_keys key ();
-        if pool.len = Array.length pool.items then begin
-          let bigger = Array.make (2 * pool.len) pool.items.(0) in
-          Array.blit pool.items 0 bigger 0 pool.len;
-          pool.items <- bigger
-        end;
-        pool.items.(pool.len) <- (origin, cex);
-        pool.len <- pool.len + 1;
-        true
-      end)
+  let published =
+    Mutex.protect pool.mutex (fun () ->
+        let key = cex_key cex in
+        if Hashtbl.mem pool.seen_keys key then false
+        else begin
+          Hashtbl.add pool.seen_keys key ();
+          if pool.len = Array.length pool.items then begin
+            let bigger = Array.make (2 * pool.len) pool.items.(0) in
+            Array.blit pool.items 0 bigger 0 pool.len;
+            pool.items <- bigger
+          end;
+          pool.items.(pool.len) <- (origin, cex);
+          pool.len <- pool.len + 1;
+          true
+        end)
+  in
+  if published && Telemetry.enabled () then begin
+    let len = Mutex.protect pool.mutex (fun () -> pool.len) in
+    Telemetry.Metrics.set m_pool_size (float_of_int len);
+    Telemetry.gauge "portfolio.pool_size" (float_of_int len)
+  end;
+  published
 
 (* Entries after the cursor that some other worker contributed. *)
 let pool_drain pool ~cursor ~self =

@@ -7,6 +7,7 @@ module Stats = struct
     ver_conflicts : int;
     worker_crashes : int;
     worker_restarts : int;
+    learnt_hist : Telemetry.Metrics.Hist.t;
   }
 
   let zero =
@@ -18,6 +19,7 @@ module Stats = struct
       ver_conflicts = 0;
       worker_crashes = 0;
       worker_restarts = 0;
+      learnt_hist = Telemetry.Metrics.Hist.zero;
     }
 
   let add a b =
@@ -29,6 +31,7 @@ module Stats = struct
       ver_conflicts = a.ver_conflicts + b.ver_conflicts;
       worker_crashes = a.worker_crashes + b.worker_crashes;
       worker_restarts = a.worker_restarts + b.worker_restarts;
+      learnt_hist = Telemetry.Metrics.Hist.add a.learnt_hist b.learnt_hist;
     }
 
   let sum = List.fold_left add zero
@@ -51,6 +54,7 @@ module Stats = struct
         ("ver_conflicts", Telemetry.Json.Int t.ver_conflicts);
         ("worker_crashes", Telemetry.Json.Int t.worker_crashes);
         ("worker_restarts", Telemetry.Json.Int t.worker_restarts);
+        ("learnt_size_hist", Telemetry.Metrics.Hist.to_json t.learnt_hist);
       ]
 end
 

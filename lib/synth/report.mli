@@ -25,6 +25,10 @@ module Stats : sig
             for sequential runs without fault injection) *)
     worker_restarts : int;
         (** supervised worker restarts performed after crashes *)
+    learnt_hist : Telemetry.Metrics.Hist.t;
+        (** learnt-clause-size histogram of the synthesizer's solver;
+            merges bucket-wise under {!add} (itself a monoid), so the
+            portfolio totals aggregate worker histograms exactly *)
   }
 
   (** The identity of {!add}. *)

@@ -1,0 +1,527 @@
+(* Offline analysis of NDJSON traces (and BENCH_*.json files): the read
+   side of the telemetry layer.  Everything here works on file *content*
+   strings so it is trivially testable without touching the filesystem. *)
+
+(* ---------- NDJSON parsing ---------- *)
+
+type parsed = { events : Sink.event list; truncated : bool }
+
+let value_of_json = function
+  | Json.Bool b -> Sink.Bool b
+  | Json.Int n -> Sink.Int n
+  | Json.Float f -> Sink.Float f
+  | Json.Str s -> Sink.Str s
+  | (Json.Null | Json.List _ | Json.Obj _) as j -> Sink.Str (Json.to_string j)
+
+let event_of_json j =
+  let str_field key =
+    match Option.bind (Json.member key j) Json.to_string_opt with
+    | Some s -> s
+    | None -> raise (Json.Parse_error (Printf.sprintf "missing %s" key))
+  in
+  let kind = str_field "kind" in
+  let name = str_field "name" in
+  let ts =
+    match Option.bind (Json.member "ts" j) Json.to_float with
+    | Some ts -> ts
+    | None -> raise (Json.Parse_error "missing ts")
+  in
+  let int_field key = Option.bind (Json.member key j) Json.to_int in
+  let float_field key = Option.bind (Json.member key j) Json.to_float in
+  let structural =
+    [ "ts"; "kind"; "name"; "id"; "parent"; "dur"; "value" ]
+  in
+  let fields =
+    match j with
+    | Json.Obj entries ->
+        List.filter_map
+          (fun (k, v) ->
+            if List.mem k structural then None else Some (k, value_of_json v))
+          entries
+    | _ -> raise (Json.Parse_error "event is not an object")
+  in
+  match kind with
+  | "span_begin" ->
+      let id =
+        match int_field "id" with
+        | Some id -> id
+        | None -> raise (Json.Parse_error "span_begin: missing id")
+      in
+      Sink.Span_begin { ts; id; parent = int_field "parent"; name; fields }
+  | "span_end" ->
+      let id =
+        match int_field "id" with
+        | Some id -> id
+        | None -> raise (Json.Parse_error "span_end: missing id")
+      in
+      let dur = Option.value (float_field "dur") ~default:0.0 in
+      Sink.Span_end { ts; id; name; dur; fields }
+  | "counter" ->
+      let value = Option.value (int_field "value") ~default:0 in
+      Sink.Counter { ts; name; value; fields }
+  | "gauge" ->
+      let value = Option.value (float_field "value") ~default:0.0 in
+      Sink.Gauge { ts; name; value; fields }
+  | _ ->
+      (* "event", and any kind a future writer invents: keep the
+         ts/name/fields payload rather than failing the whole trace *)
+      Sink.Point { ts; name; fields }
+
+(* A process killed mid-write leaves a final line with no newline
+   terminator: that specific damage is tolerated ([truncated] = true), so
+   a trace survives the very crash telemetry exists to explain.  Any
+   malformed line that is newline-terminated is real corruption and an
+   [Error] naming the line. *)
+let of_string content =
+  let ends_with_newline =
+    String.length content = 0 || content.[String.length content - 1] = '\n'
+  in
+  let lines =
+    match List.rev (String.split_on_char '\n' content) with
+    | "" :: rest -> List.rev rest (* drop the split artifact after a final \n *)
+    | rest -> List.rev rest
+  in
+  let n_lines = List.length lines in
+  let truncated = ref false in
+  let rec go acc line_no = function
+    | [] -> Ok { events = List.rev acc; truncated = !truncated }
+    | "" :: rest -> go acc (line_no + 1) rest
+    | line :: rest -> (
+        match event_of_json (Json.of_string line) with
+        | ev -> go (ev :: acc) (line_no + 1) rest
+        | exception Json.Parse_error msg ->
+            if line_no = n_lines && not ends_with_newline then begin
+              truncated := true;
+              go acc (line_no + 1) rest
+            end
+            else Error (Printf.sprintf "line %d: %s" line_no msg))
+  in
+  go [] 1 lines
+
+(* ---------- validation (trace check) ---------- *)
+
+type check = {
+  total : int;
+  counts : ((string * string) * int) list;
+  check_truncated : bool;
+  unbalanced_spans : int;
+  out_of_order : int;
+}
+
+(* Cross-domain events funnel through one sink mutex, so a later-captured
+   timestamp can legitimately be written slightly before an earlier one
+   from another domain.  Only regressions beyond this slack are flagged. *)
+let reorder_slack = 0.05
+
+let stream_of_fields fields =
+  match List.assoc_opt "worker" fields with
+  | Some (Sink.Int n) -> string_of_int n
+  | Some (Sink.Str s) -> s
+  | Some (Sink.Bool b) -> string_of_bool b
+  | Some (Sink.Float f) -> string_of_float f
+  | None -> ""
+
+let event_fields = function
+  | Sink.Span_begin { fields; _ }
+  | Sink.Span_end { fields; _ }
+  | Sink.Counter { fields; _ }
+  | Sink.Gauge { fields; _ }
+  | Sink.Point { fields; _ } -> fields
+
+let event_ts = function
+  | Sink.Span_begin { ts; _ }
+  | Sink.Span_end { ts; _ }
+  | Sink.Counter { ts; _ }
+  | Sink.Gauge { ts; _ }
+  | Sink.Point { ts; _ } -> ts
+
+let check (p : parsed) =
+  let counts : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let open_spans : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let last_ts : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let unbalanced = ref 0 and out_of_order = ref 0 and total = ref 0 in
+  List.iter
+    (fun ev ->
+      incr total;
+      let key = (Sink.event_kind ev, Sink.event_name ev) in
+      Hashtbl.replace counts key
+        (1 + Option.value (Hashtbl.find_opt counts key) ~default:0);
+      (match ev with
+      | Sink.Span_begin { id; _ } -> Hashtbl.replace open_spans id ()
+      | Sink.Span_end { id; _ } ->
+          if Hashtbl.mem open_spans id then Hashtbl.remove open_spans id
+          else incr unbalanced (* end without a begin *)
+      | _ -> ());
+      let stream = stream_of_fields (event_fields ev) in
+      let ts = event_ts ev in
+      (match Hashtbl.find_opt last_ts stream with
+      | Some prev when ts < prev -. reorder_slack -> incr out_of_order
+      | _ -> ());
+      match Hashtbl.find_opt last_ts stream with
+      | Some prev when prev > ts -> ()
+      | _ -> Hashtbl.replace last_ts stream ts)
+    p.events;
+  {
+    total = !total;
+    counts =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []);
+    check_truncated = p.truncated;
+    unbalanced_spans = !unbalanced + Hashtbl.length open_spans;
+    out_of_order = !out_of_order;
+  }
+
+(* ---------- span tree and phase attribution ---------- *)
+
+type span = {
+  id : int;
+  name : string;
+  parent : int option;
+  t0 : float;
+  dur : float;
+  self : float; (* dur minus the summed durations of direct children *)
+  begin_fields : Sink.fields;
+  end_fields : Sink.fields;
+}
+
+let float_field fields key =
+  match List.assoc_opt key fields with
+  | Some (Sink.Float f) -> Some f
+  | Some (Sink.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let int_field fields key =
+  match List.assoc_opt key fields with
+  | Some (Sink.Int n) -> Some n
+  | _ -> None
+
+(* Completed spans (begin and end both present), in end order, with
+   self-times computed from direct children. *)
+let spans (p : parsed) =
+  let begins = Hashtbl.create 64 in
+  let child_time : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let acc = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Sink.Span_begin { ts; id; parent; name; fields } ->
+          Hashtbl.replace begins id (ts, parent, name, fields)
+      | Sink.Span_end { id; dur; fields; _ } -> (
+          match Hashtbl.find_opt begins id with
+          | None -> ()
+          | Some (t0, parent, name, begin_fields) ->
+              (match parent with
+              | Some pid ->
+                  Hashtbl.replace child_time pid
+                    (dur
+                    +. Option.value (Hashtbl.find_opt child_time pid)
+                         ~default:0.0)
+              | None -> ());
+              acc :=
+                {
+                  id;
+                  name;
+                  parent;
+                  t0;
+                  dur;
+                  self = 0.0;
+                  begin_fields;
+                  end_fields = fields;
+                }
+                :: !acc)
+      | _ -> ())
+    p.events;
+  List.rev !acc
+  |> List.map (fun sp ->
+         let children =
+           Option.value (Hashtbl.find_opt child_time sp.id) ~default:0.0
+         in
+         { sp with self = Float.max 0.0 (sp.dur -. children) })
+
+type phase = { phase : string; total_s : float; calls : int }
+
+type report = {
+  events : int;
+  wall_s : float;
+  busy_s : float; (* summed root-span time; > wall_s when domains overlap *)
+  unattributed_s : float;
+  attributed_pct : float;
+  iterations : int;
+  phases : phase list; (* sorted by total_s, descending *)
+  sat_totals : (string * int) list;
+  slowest : (int * float * (string * float) list) list;
+      (* (iteration number, duration, direct children by name) *)
+}
+
+(* Map one completed span's self-time onto named phases.  [sat.solve]
+   spans carry their own inner-loop split (propagate/analyze/restart
+   seconds measured by the solver when tracing is on); the remainder of
+   the solver's self-time is clause management, branching and encoding
+   walk ("sat.other"). *)
+let phases_of_span sp =
+  match sp.name with
+  | "sat.solve" -> (
+      match
+        ( float_field sp.end_fields "propagate_s",
+          float_field sp.end_fields "analyze_s",
+          float_field sp.end_fields "restart_s" )
+      with
+      | Some p, Some a, Some r ->
+          [
+            ("sat.propagate", p);
+            ("sat.analyze", a);
+            ("sat.restart", r);
+            ("sat.other", Float.max 0.0 (sp.self -. p -. a -. r));
+          ]
+      | _ -> [ ("sat.solve", sp.self) ])
+  | "ctx.check" -> [ ("smtlite.encode", sp.self) ]
+  | "cegis.iteration" -> [ ("cegis.loop", sp.self) ]
+  | "portfolio.worker" -> [ ("portfolio.idle", sp.self) ]
+  | name -> [ (name, sp.self) ]
+
+let report ?(top = 3) (p : parsed) =
+  let sps = spans p in
+  let phase_tbl : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
+  let add_phase name s count =
+    let t, c = Option.value (Hashtbl.find_opt phase_tbl name) ~default:(0.0, 0) in
+    Hashtbl.replace phase_tbl name (t +. s, c + count)
+  in
+  List.iter
+    (fun sp ->
+      match phases_of_span sp with
+      | [ (name, s) ] -> add_phase name s 1
+      | parts -> List.iter (fun (name, s) -> add_phase name s 0) parts)
+    sps;
+  (* count sat.solve calls once for the split rows *)
+  let solve_calls =
+    List.length (List.filter (fun sp -> sp.name = "sat.solve") sps)
+  in
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt phase_tbl n with
+      | Some (t, 0) -> Hashtbl.replace phase_tbl n (t, solve_calls)
+      | _ -> ())
+    [ "sat.propagate"; "sat.analyze"; "sat.restart"; "sat.other" ];
+  let wall =
+    match p.events with
+    | [] -> 0.0
+    | evs ->
+        let ts = List.map event_ts evs in
+        List.fold_left Float.max neg_infinity ts
+        -. List.fold_left Float.min infinity ts
+  in
+  let busy =
+    List.fold_left
+      (fun acc sp -> if sp.parent = None then acc +. sp.dur else acc)
+      0.0 sps
+  in
+  let unattributed = Float.max 0.0 (wall -. busy) in
+  let attributed_pct =
+    if wall <= 0.0 then 100.0 else 100.0 *. (wall -. unattributed) /. wall
+  in
+  let iterations =
+    List.length (List.filter (fun sp -> sp.name = "cegis.iteration") sps)
+  in
+  let sat_totals =
+    let keys = [ "decisions"; "propagations"; "conflicts"; "restarts" ] in
+    List.map
+      (fun k ->
+        ( k,
+          List.fold_left
+            (fun acc sp ->
+              if sp.name = "sat.solve" then
+                acc + Option.value (int_field sp.end_fields k) ~default:0
+              else acc)
+            0 sps ))
+      keys
+  in
+  let slowest =
+    let iters =
+      List.filter (fun sp -> sp.name = "cegis.iteration") sps
+      |> List.sort (fun a b -> Float.compare b.dur a.dur)
+    in
+    let take n l =
+      List.filteri (fun i _ -> i < n) l
+    in
+    List.map
+      (fun sp ->
+        let n = Option.value (int_field sp.begin_fields "iter") ~default:0 in
+        let kids = Hashtbl.create 4 in
+        List.iter
+          (fun c ->
+            if c.parent = Some sp.id then
+              Hashtbl.replace kids c.name
+                (c.dur
+                +. Option.value (Hashtbl.find_opt kids c.name) ~default:0.0))
+          sps;
+        let kid_list =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) kids []
+          |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+        in
+        (n, sp.dur, kid_list))
+      (take top iters)
+  in
+  {
+    events = List.length p.events;
+    wall_s = wall;
+    busy_s = busy;
+    unattributed_s = unattributed;
+    attributed_pct;
+    iterations;
+    phases =
+      Hashtbl.fold (fun name (t, c) acc -> { phase = name; total_s = t; calls = c } :: acc)
+        phase_tbl []
+      |> List.sort (fun a b ->
+             match Float.compare b.total_s a.total_s with
+             | 0 -> String.compare a.phase b.phase
+             | c -> c);
+    sat_totals;
+    slowest;
+  }
+
+(* ---------- folded flamegraph stacks ---------- *)
+
+(* One line per distinct span-name stack, "root;child;leaf <self µs>",
+   the folded-stack format consumed by flamegraph.pl and speedscope.
+   Output is sorted by stack for determinism. *)
+let flame (p : parsed) =
+  let sps = spans p in
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun sp -> Hashtbl.replace by_id sp.id sp) sps;
+  let rec stack sp =
+    match sp.parent with
+    | Some pid when Hashtbl.mem by_id pid ->
+        stack (Hashtbl.find by_id pid) ^ ";" ^ sp.name
+    | _ -> sp.name
+  in
+  let folded : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      let us = int_of_float ((sp.self *. 1e6) +. 0.5) in
+      let key = stack sp in
+      Hashtbl.replace folded key
+        (us + Option.value (Hashtbl.find_opt folded key) ~default:0))
+    sps;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) folded []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let flame_to_string p =
+  String.concat ""
+    (List.map (fun (stack, us) -> Printf.sprintf "%s %d\n" stack us) (flame p))
+
+(* ---------- metric extraction and diffing ---------- *)
+
+type source = Trace | Bench
+
+let source_name = function Trace -> "trace" | Bench -> "bench"
+
+let metrics_of_trace (p : parsed) =
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let bump k v = Hashtbl.replace tbl k (v +. Option.value (Hashtbl.find_opt tbl k) ~default:0.0) in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Sink.Span_end { name; dur; _ } ->
+          bump ("span." ^ name ^ ".total_s") dur;
+          bump ("span." ^ name ^ ".count") 1.0
+      | Sink.Counter { name; value; _ } ->
+          bump ("counter." ^ name) (float_of_int value)
+      | Sink.Point { name; _ } -> bump ("event." ^ name) 1.0
+      | Sink.Span_begin _ | Sink.Gauge _ -> ())
+    p.events;
+  (match p.events with
+  | [] -> ()
+  | evs ->
+      let ts = List.map event_ts evs in
+      Hashtbl.replace tbl "wall_s"
+        (List.fold_left Float.max neg_infinity ts
+        -. List.fold_left Float.min infinity ts));
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* BENCH_*.json as written by bench/main.exe:
+   {"pr":...,"scale":...,"instances":[{"experiment","instance","wall_s",
+   "iterations","conflicts"}...]} *)
+let metrics_of_bench j =
+  match Json.member "instances" j with
+  | Some (Json.List instances) ->
+      let row acc inst =
+        match acc with
+        | Error _ -> acc
+        | Ok rows -> (
+            let str k = Option.bind (Json.member k inst) Json.to_string_opt in
+            match (str "experiment", str "instance") with
+            | Some e, Some i ->
+                let base = e ^ "/" ^ i ^ "/" in
+                let num k =
+                  Option.bind (Json.member k inst) Json.to_float
+                  |> Option.map (fun v -> (base ^ k, v))
+                in
+                Ok
+                  (List.filter_map num [ "wall_s"; "iterations"; "conflicts" ]
+                  @ rows)
+            | _ -> Error "bench instance missing experiment/instance")
+      in
+      Result.map
+        (List.sort (fun (a, _) (b, _) -> String.compare a b))
+        (List.fold_left row (Ok []) instances)
+  | _ -> Error "not a bench file: no \"instances\" array"
+
+(* Auto-detect the file flavor: a single JSON object with an "instances"
+   array is a bench file, otherwise the content must parse as an NDJSON
+   trace. *)
+let metrics_of_string content =
+  let as_bench =
+    match Json.of_string (String.trim content) with
+    | j -> Some (metrics_of_bench j)
+    | exception Json.Parse_error _ -> None
+  in
+  match as_bench with
+  | Some (Ok rows) -> Ok (rows, Bench)
+  | _ -> (
+      match of_string content with
+      | Ok p -> Ok (metrics_of_trace p, Trace)
+      | Error e -> Error ("neither bench json nor ndjson trace: " ^ e))
+
+type delta = { key : string; va : float; vb : float; pct : float }
+
+type diff = {
+  shared : int;
+  only_a : int;
+  only_b : int;
+  regressions : delta list; (* pct > threshold, worst first *)
+  improvements : delta list; (* pct < -threshold, best first *)
+}
+
+let diff ~threshold a b =
+  let tbl_a = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl_a k v) a;
+  let shared = ref 0 and only_b = ref 0 in
+  let deltas =
+    List.filter_map
+      (fun (k, vb) ->
+        match Hashtbl.find_opt tbl_a k with
+        | None ->
+            incr only_b;
+            None
+        | Some va ->
+            incr shared;
+            Hashtbl.remove tbl_a k;
+            let pct =
+              if va = 0.0 && vb = 0.0 then 0.0
+              else if va = 0.0 then infinity
+              else (vb -. va) /. va *. 100.0
+            in
+            Some { key = k; va; vb; pct })
+      b
+  in
+  {
+    shared = !shared;
+    only_a = Hashtbl.length tbl_a;
+    only_b = !only_b;
+    regressions =
+      List.filter (fun d -> d.pct > threshold) deltas
+      |> List.sort (fun x y -> Float.compare y.pct x.pct);
+    improvements =
+      List.filter (fun d -> d.pct < -.threshold) deltas
+      |> List.sort (fun x y -> Float.compare x.pct y.pct);
+  }

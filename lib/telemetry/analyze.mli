@@ -1,0 +1,132 @@
+(** Offline analysis of NDJSON telemetry traces and bench baselines.
+
+    The write side ({!Telemetry}, {!Sink}) only emits; this module reads
+    traces back and answers the questions the paper's evaluation needs:
+    where does synthesis wall time go ({!report}), what does the span
+    tree look like as a flamegraph ({!flame}), and did a change regress a
+    metric beyond a threshold ({!diff}).  All entry points take file
+    {e content} strings, never paths. *)
+
+(** {1 Parsing} *)
+
+type parsed = {
+  events : Sink.event list;  (** in file order *)
+  truncated : bool;
+      (** the final line had no newline terminator and did not parse — an
+          interrupted write, tolerated by dropping it *)
+}
+
+(** [of_string content] parses one event per line.  A malformed
+    newline-terminated line is real corruption: [Error "line N: ..."]. *)
+val of_string : string -> (parsed, string) result
+
+val event_ts : Sink.event -> float
+val event_fields : Sink.event -> Sink.fields
+
+(** {1 Validation ([fecsynth trace check])} *)
+
+type check = {
+  total : int;
+  counts : ((string * string) * int) list;
+      (** per-[(kind, name)] event tallies, sorted *)
+  check_truncated : bool;
+  unbalanced_spans : int;
+      (** span ids opened but never closed, plus ends without a begin *)
+  out_of_order : int;
+      (** events whose timestamp regresses within their worker stream
+          beyond a small cross-domain reordering slack *)
+}
+
+val check : parsed -> check
+
+(** {1 Span tree} *)
+
+type span = {
+  id : int;
+  name : string;
+  parent : int option;
+  t0 : float;
+  dur : float;
+  self : float;  (** [dur] minus the summed durations of direct children *)
+  begin_fields : Sink.fields;
+  end_fields : Sink.fields;
+}
+
+(** Completed spans (both begin and end present) in completion order,
+    with self-times filled in. *)
+val spans : parsed -> span list
+
+(** {1 Per-phase wall-time attribution ([fecsynth trace report])} *)
+
+type phase = { phase : string; total_s : float; calls : int }
+
+type report = {
+  events : int;
+  wall_s : float;  (** last timestamp minus first *)
+  busy_s : float;
+      (** summed root-span durations; exceeds [wall_s] when portfolio
+          domains overlap *)
+  unattributed_s : float;  (** [max 0 (wall_s - busy_s)] *)
+  attributed_pct : float;
+  iterations : int;
+  phases : phase list;
+      (** named phases sorted by total self-time, descending.  SAT solver
+          self-time is split into [sat.propagate]/[sat.analyze]/
+          [sat.restart]/[sat.other] when the trace carries the solver's
+          inner-loop timing fields; [ctx.check] self-time appears as
+          [smtlite.encode], [cegis.iteration] driver overhead as
+          [cegis.loop], [portfolio.worker] self-time as
+          [portfolio.idle]. *)
+  sat_totals : (string * int) list;
+      (** decisions/propagations/conflicts/restarts summed over solver
+          calls *)
+  slowest : (int * float * (string * float) list) list;
+      (** the [top] slowest iterations: number, duration, direct children
+          merged by name (slowest first) *)
+}
+
+val report : ?top:int -> parsed -> report
+
+(** {1 Folded stacks ([fecsynth trace flame])} *)
+
+(** [(stack, self µs)] pairs, stack names joined with [';'], sorted by
+    stack — the folded format consumed by flamegraph.pl and speedscope. *)
+val flame : parsed -> (string * int) list
+
+val flame_to_string : parsed -> string
+
+(** {1 Metric diffing ([fecsynth trace diff])} *)
+
+type source = Trace | Bench
+
+val source_name : source -> string
+
+(** Scalar metrics of a trace: per-span-name total seconds and counts,
+    counter totals, point counts, and overall [wall_s]. *)
+val metrics_of_trace : parsed -> (string * float) list
+
+(** Scalar metrics of a parsed BENCH_*.json object:
+    [experiment/instance/{wall_s,iterations,conflicts}]. *)
+val metrics_of_bench : Json.t -> ((string * float) list, string) result
+
+(** Auto-detects the flavor: a JSON object with an ["instances"] array is
+    a bench file, anything else must parse as an NDJSON trace. *)
+val metrics_of_string :
+  string -> ((string * float) list * source, string) result
+
+type delta = { key : string; va : float; vb : float; pct : float }
+
+type diff = {
+  shared : int;
+  only_a : int;
+  only_b : int;
+  regressions : delta list;
+      (** shared metrics that grew by more than [threshold] percent from
+          [a] to [b] (a zero baseline growing counts as infinite),
+          worst first *)
+  improvements : delta list;  (** shrank by more than [threshold] percent *)
+}
+
+(** [diff ~threshold a b] compares metric lists; metrics present on only
+    one side are counted, not judged. *)
+val diff : threshold:float -> (string * float) list -> (string * float) list -> diff

@@ -1,0 +1,564 @@
+(* Typed metrics registry: counters, gauges and log-bucketed histograms,
+   guarded by the same single-atomic-load probe as the event layer
+   ([State.enabled]).  See metrics.mli for the contract. *)
+
+(* ---------- bucket geometry ----------
+
+   HDR-style log-linear buckets with [sub_bits] = 5: values in [0, 64)
+   get one exact bucket each; each power-of-two range [2^k, 2^(k+1)) for
+   k >= 6 is split into 32 equal sub-buckets, so the representative
+   (bucket lower bound) underestimates a value by at most a factor of
+   1/32.  Quantiles over small values (learnt clause sizes, iteration
+   counts) are therefore *exact*, and heavy tails stay within ~3%. *)
+
+let sub_bits = 5
+let sub_buckets = 1 lsl sub_bits (* 32 *)
+let linear_limit = 2 * sub_buckets (* 64: values below get exact buckets *)
+
+let floor_log2 v =
+  (* v >= 1 *)
+  let k = ref 0 and x = ref v in
+  while !x > 1 do
+    x := !x lsr 1;
+    incr k
+  done;
+  !k
+
+let index_of v =
+  let v = if v < 0 then 0 else v in
+  if v < linear_limit then v
+  else
+    let k = floor_log2 v in
+    linear_limit
+    + ((k - (sub_bits + 1)) * sub_buckets)
+    + ((v lsr (k - sub_bits)) - sub_buckets)
+
+let lower_bound idx =
+  if idx < linear_limit then idx
+  else
+    let off = idx - linear_limit in
+    let k = (off / sub_buckets) + sub_bits + 1 in
+    (sub_buckets + (off mod sub_buckets)) lsl (k - sub_bits)
+
+(* exclusive upper bound of bucket [idx]; lower_bound is monotonic across
+   power-of-two boundaries so this is just the next bucket's lower bound *)
+let upper_bound idx = if idx < linear_limit then idx + 1 else lower_bound (idx + 1)
+
+(* ---------- immutable histogram snapshots ---------- *)
+
+module Hist = struct
+  type t = {
+    counts : int array; (* trailing zeros trimmed: canonical, so (=) works *)
+    total : int;
+    sum : int;
+    vmin : int; (* max_int sentinel when empty *)
+    vmax : int; (* min_int sentinel when empty *)
+  }
+
+  let trim counts =
+    let n = ref (Array.length counts) in
+    while !n > 0 && counts.(!n - 1) = 0 do
+      decr n
+    done;
+    Array.sub counts 0 !n
+
+  let make ~counts ~total ~sum ~vmin ~vmax =
+    if total = 0 then
+      { counts = [||]; total = 0; sum = 0; vmin = max_int; vmax = min_int }
+    else { counts = trim counts; total; sum; vmin; vmax }
+
+  let zero = make ~counts:[||] ~total:0 ~sum:0 ~vmin:max_int ~vmax:min_int
+
+  let count h = h.total
+  let sum h = h.sum
+  let min_value h = if h.total = 0 then None else Some h.vmin
+  let max_value h = if h.total = 0 then None else Some h.vmax
+  let equal (a : t) b = a = b
+
+  let observe h v =
+    let v = if v < 0 then 0 else v in
+    let idx = index_of v in
+    let counts =
+      Array.init
+        (max (Array.length h.counts) (idx + 1))
+        (fun i ->
+          (if i < Array.length h.counts then h.counts.(i) else 0)
+          + if i = idx then 1 else 0)
+    in
+    make ~counts ~total:(h.total + 1) ~sum:(h.sum + v) ~vmin:(min h.vmin v)
+      ~vmax:(max h.vmax v)
+
+  let of_list vs = List.fold_left observe zero vs
+
+  let add a b =
+    let n = max (Array.length a.counts) (Array.length b.counts) in
+    let at c i = if i < Array.length c then c.(i) else 0 in
+    make
+      ~counts:(Array.init n (fun i -> at a.counts i + at b.counts i))
+      ~total:(a.total + b.total) ~sum:(a.sum + b.sum) ~vmin:(min a.vmin b.vmin)
+      ~vmax:(max a.vmax b.vmax)
+
+  (* [sub a b] is the per-bucket delta of two cumulative snapshots of the
+     same histogram (b taken earlier than a).  min/max are recomputed from
+     the surviving buckets (lower bounds), since the true extrema of the
+     delta window are not recoverable. *)
+  let sub a b =
+    let n = max (Array.length a.counts) (Array.length b.counts) in
+    let at c i = if i < Array.length c then c.(i) else 0 in
+    let counts = Array.init n (fun i -> max 0 (at a.counts i - at b.counts i)) in
+    let total = ref 0 and vmin = ref max_int and vmax = ref min_int in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          total := !total + c;
+          if lower_bound i < !vmin then vmin := lower_bound i;
+          if lower_bound i > !vmax then vmax := lower_bound i
+        end)
+      counts;
+    make ~counts ~total:!total
+      ~sum:(max 0 (a.sum - b.sum))
+      ~vmin:!vmin ~vmax:!vmax
+
+  (* nearest-rank quantile: rank = max 1 (ceil (q*N)); the result is the
+     lower bound of the bucket holding that rank, which for values below
+     [linear_limit] is the exact sorted-array answer *)
+  let quantile h q =
+    if h.total = 0 then None
+    else begin
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int h.total)) in
+        if r < 1 then 1 else if r > h.total then h.total else r
+      in
+      let res = ref None and cum = ref 0 and i = ref 0 in
+      while !res = None && !i < Array.length h.counts do
+        cum := !cum + h.counts.(!i);
+        if !cum >= rank then res := Some (lower_bound !i);
+        incr i
+      done;
+      !res
+    end
+
+  let buckets h =
+    let acc = ref [] in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then acc := (lower_bound i, upper_bound i, c) :: !acc)
+      h.counts;
+    List.rev !acc
+
+  (* non-zero buckets as "lower:count,..." — compact enough to ship as one
+     string field per solve event *)
+  let to_csv h =
+    let b = Buffer.create 32 in
+    List.iter
+      (fun (lo, _, c) ->
+        if Buffer.length b > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int lo);
+        Buffer.add_char b ':';
+        Buffer.add_string b (string_of_int c))
+      (buckets h);
+    Buffer.contents b
+
+  let to_json h =
+    let q p = match quantile h p with Some v -> Json.Int v | None -> Json.Null in
+    Json.Obj
+      [
+        ("count", Json.Int h.total);
+        ("sum", Json.Int h.sum);
+        ("min", (match min_value h with Some v -> Json.Int v | None -> Json.Null));
+        ("max", (match max_value h with Some v -> Json.Int v | None -> Json.Null));
+        ("p50", q 0.5);
+        ("p95", q 0.95);
+        ("p99", q 0.99);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (lo, _, c) -> Json.List [ Json.Int lo; Json.Int c ])
+               (buckets h)) );
+      ]
+
+  let pp fmt h =
+    match (min_value h, quantile h 0.5, quantile h 0.95, max_value h) with
+    | Some mn, Some p50, Some p95, Some mx ->
+        Format.fprintf fmt "n=%d min=%d p50=%d p95=%d max=%d" h.total mn p50
+          p95 mx
+    | _ -> Format.fprintf fmt "n=0"
+end
+
+(* ---------- mutable accumulator ---------- *)
+
+module Histogram = struct
+  type t = {
+    mutable counts : int array;
+    mutable total : int;
+    mutable sum : int;
+    mutable vmin : int;
+    mutable vmax : int;
+  }
+
+  let create () =
+    {
+      counts = Array.make linear_limit 0;
+      total = 0;
+      sum = 0;
+      vmin = max_int;
+      vmax = min_int;
+    }
+
+  let observe h v =
+    let v = if v < 0 then 0 else v in
+    let idx = index_of v in
+    if idx >= Array.length h.counts then begin
+      let counts = Array.make (idx + 16) 0 in
+      Array.blit h.counts 0 counts 0 (Array.length h.counts);
+      h.counts <- counts
+    end;
+    h.counts.(idx) <- h.counts.(idx) + 1;
+    h.total <- h.total + 1;
+    h.sum <- h.sum + v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+
+  let snapshot h =
+    Hist.make ~counts:(Array.copy h.counts) ~total:h.total ~sum:h.sum
+      ~vmin:h.vmin ~vmax:h.vmax
+
+  let reset h =
+    Array.fill h.counts 0 (Array.length h.counts) 0;
+    h.total <- 0;
+    h.sum <- 0;
+    h.vmin <- max_int;
+    h.vmax <- min_int
+end
+
+(* ---------- the named registry ---------- *)
+
+type counter = { c_value : int Atomic.t }
+type gauge = { g_value : float Atomic.t }
+type histogram = { h_acc : Histogram.t; h_mutex : Mutex.t }
+
+type entry =
+  | E_counter of counter
+  | E_gauge of gauge
+  | E_histogram of histogram
+
+type sample = Counter of int | Gauge of float | Histogram of Hist.t
+
+let registry : (string, string option * entry) Hashtbl.t = Hashtbl.create 32
+let reg_mutex = Mutex.create ()
+
+let register name help make_entry =
+  Mutex.protect reg_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (_, e) -> e
+      | None ->
+          let e = make_entry () in
+          Hashtbl.replace registry name (help, e);
+          e)
+
+let counter ?help name =
+  match register name help (fun () -> E_counter { c_value = Atomic.make 0 }) with
+  | E_counter c -> c
+  | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another type")
+
+let gauge ?help name =
+  match register name help (fun () -> E_gauge { g_value = Atomic.make 0.0 }) with
+  | E_gauge g -> g
+  | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another type")
+
+let histogram ?help name =
+  match
+    register name help (fun () ->
+        E_histogram { h_acc = Histogram.create (); h_mutex = Mutex.create () })
+  with
+  | E_histogram h -> h
+  | _ ->
+      invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another type")
+
+(* updates: one atomic load when disabled, nothing allocated *)
+
+let incr c n = if State.enabled () then ignore (Atomic.fetch_and_add c.c_value n)
+let set g v = if State.enabled () then Atomic.set g.g_value v
+
+let observe h v =
+  if State.enabled () then begin
+    Mutex.lock h.h_mutex;
+    Histogram.observe h.h_acc v;
+    Mutex.unlock h.h_mutex
+  end
+
+(* reads (never gated: inspection must work after the sink is gone) *)
+
+let counter_value c = Atomic.get c.c_value
+let gauge_value g = Atomic.get g.g_value
+
+let histogram_value h =
+  Mutex.protect h.h_mutex (fun () -> Histogram.snapshot h.h_acc)
+
+let sample_of = function
+  | E_counter c -> Counter (counter_value c)
+  | E_gauge g -> Gauge (gauge_value g)
+  | E_histogram h -> Histogram (histogram_value h)
+
+let dump () =
+  Mutex.protect reg_mutex (fun () ->
+      Hashtbl.fold (fun name (_, e) acc -> (name, sample_of e) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Mutex.protect reg_mutex (fun () ->
+      Hashtbl.iter
+        (fun _ (_, e) ->
+          match e with
+          | E_counter c -> Atomic.set c.c_value 0
+          | E_gauge g -> Atomic.set g.g_value 0.0
+          | E_histogram h ->
+              Mutex.protect h.h_mutex (fun () -> Histogram.reset h.h_acc))
+        registry)
+
+(* ---------- Prometheus text exposition ---------- *)
+
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char b c
+      | '0' .. '9' -> if i = 0 then Buffer.add_char b '_' else Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let float_repr v =
+  (* shortest representation that round-trips through float_of_string *)
+  let s = Printf.sprintf "%.12g" v in
+  let s = if float_of_string s = v then s else Printf.sprintf "%.17g" v in
+  (* keep the token float-shaped: the parser distinguishes counters from
+     gauges by whether the value parses as an int *)
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
+  else s ^ ".0"
+
+let expose_sample b name help sample =
+  let n = sanitize name in
+  (match help with
+  | Some h -> Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" n h)
+  | None -> ());
+  match sample with
+  | Counter v ->
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v)
+  | Gauge v ->
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (float_repr v))
+  | Histogram h ->
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      List.iter
+        (fun (_, up, c) ->
+          cum := !cum + c;
+          (* buckets hold integer values in [lo, up): the inclusive
+             Prometheus upper bound is up - 1 *)
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n (up - 1) !cum))
+        (Hist.buckets h);
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Hist.count h));
+      Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n (Hist.sum h));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (Hist.count h));
+      (match (Hist.min_value h, Hist.max_value h) with
+      | Some mn, Some mx ->
+          (* non-standard extension lines so exposition round-trips
+             losslessly back into a Hist.t *)
+          Buffer.add_string b (Printf.sprintf "%s_min %d\n" n mn);
+          Buffer.add_string b (Printf.sprintf "%s_max %d\n" n mx)
+      | _ -> ())
+
+let expose () =
+  let b = Buffer.create 1024 in
+  List.iter (fun (name, s) ->
+      let help =
+        Mutex.protect reg_mutex (fun () ->
+            Option.bind (Hashtbl.find_opt registry name) fst)
+      in
+      expose_sample b name help s)
+    (dump ());
+  Buffer.contents b
+
+(* ---------- exposition parser (tests, trace diff on metrics files) ---------- *)
+
+let parse_exposition text =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  (* histogram under construction *)
+  let hname = ref None in
+  let hbuckets = ref [] (* (le, cumulative) in order seen, reversed *) in
+  let hsum = ref 0 and hcount = ref 0 in
+  let hmin = ref None and hmax = ref None in
+  let out = ref [] in
+  let finish_hist () =
+    match !hname with
+    | None -> Ok ()
+    | Some n ->
+        let counts = Array.make 1 0 in
+        let counts = ref counts in
+        let prev = ref 0 in
+        let ok = ref (Ok ()) in
+        List.iter
+          (fun (le, cum) ->
+            let idx = index_of le in
+            if idx >= Array.length !counts then begin
+              let c = Array.make (idx + 1) 0 in
+              Array.blit !counts 0 c 0 (Array.length !counts);
+              counts := c
+            end;
+            if cum < !prev then ok := err "%s: non-monotonic buckets" n
+            else begin
+              !counts.(idx) <- cum - !prev;
+              prev := cum
+            end)
+          (List.rev !hbuckets);
+        (match !ok with
+        | Error _ as e -> e
+        | Ok () ->
+            let vmin = Option.value !hmin ~default:max_int in
+            let vmax = Option.value !hmax ~default:min_int in
+            out :=
+              ( n,
+                Histogram
+                  (Hist.make ~counts:!counts ~total:!hcount ~sum:!hsum ~vmin
+                     ~vmax) )
+              :: !out;
+            hname := None;
+            hbuckets := [];
+            hsum := 0;
+            hcount := 0;
+            hmin := None;
+            hmax := None;
+            Ok ())
+  in
+  let split_line l =
+    (* "name{labels} value" or "name value" *)
+    match String.index_opt l ' ' with
+    | None -> None
+    | Some sp ->
+        let head = String.sub l 0 sp in
+        let value = String.trim (String.sub l sp (String.length l - sp)) in
+        let name, label =
+          match String.index_opt head '{' with
+          | None -> (head, None)
+          | Some br ->
+              let name = String.sub head 0 br in
+              let rest = String.sub head br (String.length head - br) in
+              (name, Some rest)
+        in
+        Some (name, label, value)
+  in
+  let le_of_label lbl =
+    (* {le="42"} or {le="+Inf"} *)
+    let p = {|{le="|} in
+    if String.length lbl > String.length p + 2 && String.sub lbl 0 (String.length p) = p
+    then
+      let v = String.sub lbl (String.length p) (String.length lbl - String.length p - 2) in
+      if v = "+Inf" then Some None else Option.map Option.some (int_of_string_opt v)
+    else None
+  in
+  let strip_suffix s suf =
+    let ls = String.length s and lf = String.length suf in
+    if ls > lf && String.sub s (ls - lf) lf = suf then Some (String.sub s 0 (ls - lf))
+    else None
+  in
+  let rec go = function
+    | [] -> ( match finish_hist () with Ok () -> Ok () | Error _ as e -> e)
+    | l :: rest ->
+        let l = String.trim l in
+        if String.length l > 0 && l.[0] = '#' then begin
+          match String.split_on_char ' ' l with
+          | "#" :: "TYPE" :: name :: [ kind ] -> (
+              match finish_hist () with
+              | Error _ as e -> e
+              | Ok () ->
+                  if kind = "histogram" then hname := Some name;
+                  go rest)
+          | _ -> go rest (* HELP and comments *)
+        end
+        else
+          match split_line l with
+          | None -> err "unparseable line: %s" l
+          | Some (name, label, value) -> (
+              match !hname with
+              | Some hn when strip_suffix name "_bucket" = Some hn -> (
+                  match (Option.bind label le_of_label, int_of_string_opt value) with
+                  | Some (Some le), Some cum ->
+                      hbuckets := (le, cum) :: !hbuckets;
+                      go rest
+                  | Some None, Some _ -> go rest (* +Inf: redundant with _count *)
+                  | _ -> err "%s: bad bucket line: %s" hn l)
+              | Some hn when name = hn ^ "_sum" -> (
+                  match int_of_string_opt value with
+                  | Some v ->
+                      hsum := v;
+                      go rest
+                  | None -> err "%s: bad sum: %s" hn value)
+              | Some hn when name = hn ^ "_count" -> (
+                  match int_of_string_opt value with
+                  | Some v ->
+                      hcount := v;
+                      go rest
+                  | None -> err "%s: bad count: %s" hn value)
+              | Some hn when name = hn ^ "_min" -> (
+                  match int_of_string_opt value with
+                  | Some v ->
+                      hmin := Some v;
+                      go rest
+                  | None -> err "%s: bad min: %s" hn value)
+              | Some hn when name = hn ^ "_max" -> (
+                  match int_of_string_opt value with
+                  | Some v ->
+                      hmax := Some v;
+                      go rest
+                  | None -> err "%s: bad max: %s" hn value)
+              | _ -> (
+                  match finish_hist () with
+                  | Error _ as e -> e
+                  | Ok () -> (
+                      (* scalar: prefer int (counter), else float (gauge) *)
+                      match int_of_string_opt value with
+                      | Some v ->
+                          out := (name, Counter v) :: !out;
+                          go rest
+                      | None -> (
+                          match float_of_string_opt value with
+                          | Some v ->
+                              out := (name, Gauge v) :: !out;
+                              go rest
+                          | None -> err "%s: bad value: %s" name value))))
+  in
+  match go lines with
+  | Error _ as e -> e
+  | Ok () ->
+      Ok (List.sort (fun (a, _) (b, _) -> String.compare a b) (List.rev !out))
+
+(* ---------- periodic-flush sink ---------- *)
+
+let flush_sink ?(min_interval = 1.0) write =
+  let mutex = Mutex.create () in
+  let last = ref neg_infinity in
+  let flush_now () =
+    Mutex.protect mutex (fun () ->
+        last := State.now ();
+        write (expose ()))
+  in
+  {
+    Sink.emit =
+      (fun _ ->
+        (* racy fast check on purpose; the mutex re-check decides *)
+        if State.now () -. !last >= min_interval then
+          Mutex.protect mutex (fun () ->
+              if State.now () -. !last >= min_interval then begin
+                last := State.now ();
+                write (expose ())
+              end));
+    flush = flush_now;
+  }

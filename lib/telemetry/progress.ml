@@ -1,0 +1,145 @@
+(* A live single-line progress display implemented as a sink: it folds
+   the same event stream every other sink sees into a tiny state machine
+   and re-renders a carriage-return-terminated status line, throttled so
+   rendering cost stays negligible next to solving.  The CLI only
+   installs it when stderr is a TTY; composed with an NDJSON trace via
+   [Sink.tee]. *)
+
+type state = {
+  mutable started : float;
+  mutable iterations : int;
+  mutable cexes : int;
+  mutable best : int option; (* best candidate distance bound seen *)
+  mutable target : int option; (* the spec's min_distance *)
+  mutable pool : int option; (* shared-pool size (portfolio gauge) *)
+  mutable running : string list; (* workers with an open span *)
+  mutable workers_done : int;
+  mutable restarts : int; (* SAT restarts, summed over solve calls *)
+  mutable crashes : int;
+  mutable rounds : int;
+  mutable opt_step : string option; (* last optimize.step, rendered *)
+  mutable last_render : float;
+  mutable last_width : int;
+}
+
+let int_field fields key =
+  match List.assoc_opt key fields with
+  | Some (Sink.Int n) -> Some n
+  | _ -> None
+
+let str_field fields key =
+  match List.assoc_opt key fields with
+  | Some (Sink.Str s) -> Some s
+  | _ -> None
+
+let absorb st ev =
+  match ev with
+  | Sink.Point { name = "cegis.session"; fields; _ } ->
+      st.target <- int_field fields "min_distance"
+  | Sink.Span_end { name = "cegis.iteration"; _ } ->
+      st.iterations <- st.iterations + 1
+  | Sink.Span_end { name = "cegis.verify"; fields; _ } ->
+      if str_field fields "verdict" = Some "cex" then begin
+        st.cexes <- st.cexes + 1;
+        match int_field fields "cand_weight" with
+        | Some w when (match st.best with Some b -> w > b | None -> true) ->
+            st.best <- Some w
+        | _ -> ()
+      end
+  | Sink.Span_end { name = "sat.solve"; fields; _ } ->
+      st.restarts <- st.restarts + Option.value (int_field fields "restarts") ~default:0
+  | Sink.Gauge { name = "portfolio.pool_size"; value; _ } ->
+      st.pool <- Some (int_of_float value)
+  | Sink.Span_begin { name = "portfolio.worker"; fields; _ } -> (
+      match str_field fields "worker" with
+      | Some w -> st.running <- w :: List.filter (fun x -> x <> w) st.running
+      | None -> ())
+  | Sink.Span_end { name = "portfolio.worker"; fields; _ } -> (
+      st.workers_done <- st.workers_done + 1;
+      match str_field fields "worker" with
+      | Some w -> st.running <- List.filter (fun x -> x <> w) st.running
+      | None -> ())
+  | Sink.Point { name = "portfolio.round"; _ } -> st.rounds <- st.rounds + 1
+  | Sink.Point { name = "supervisor.crash"; _ } ->
+      st.crashes <- st.crashes + 1
+  | Sink.Point { name = "optimize.step"; fields; _ } ->
+      st.opt_step <-
+        Some
+          (Printf.sprintf "%s %s=%s"
+             (Option.value (str_field fields "outcome") ~default:"?")
+             (Option.value (str_field fields "walk") ~default:"step")
+             (match int_field fields "param" with
+             | Some p -> string_of_int p
+             | None -> "?"))
+  | _ -> ()
+
+let render st =
+  let elapsed = State.now () -. st.started in
+  let segs = ref [] in
+  let add s = segs := s :: !segs in
+  add
+    (Printf.sprintf "it %d (%.1f/s)" st.iterations
+       (if elapsed > 0.0 then float_of_int st.iterations /. elapsed else 0.0));
+  (match (st.pool, st.cexes) with
+  | Some p, _ -> add (Printf.sprintf "pool %d" p)
+  | None, c when c > 0 -> add (Printf.sprintf "cex %d" c)
+  | _ -> ());
+  (match (st.best, st.target) with
+  | Some b, Some t -> add (Printf.sprintf "best %d/%d" b t)
+  | Some b, None -> add (Printf.sprintf "best %d" b)
+  | None, _ -> ());
+  (match st.opt_step with Some s -> add s | None -> ());
+  if st.running <> [] || st.workers_done > 0 then
+    add
+      (Printf.sprintf "workers %d run/%d done" (List.length st.running)
+         st.workers_done);
+  if st.rounds > 0 then add (Printf.sprintf "round %d" st.rounds);
+  if st.restarts > 0 then add (Printf.sprintf "restarts %d" st.restarts);
+  if st.crashes > 0 then add (Printf.sprintf "crashes %d" st.crashes);
+  add (Printf.sprintf "%.1fs" elapsed);
+  Printf.sprintf "[%s]" (String.concat " | " (List.rev !segs))
+
+let sink ?(min_interval = 0.1) write =
+  let st =
+    {
+      started = State.now ();
+      iterations = 0;
+      cexes = 0;
+      best = None;
+      target = None;
+      pool = None;
+      running = [];
+      workers_done = 0;
+      restarts = 0;
+      crashes = 0;
+      rounds = 0;
+      opt_step = None;
+      last_render = neg_infinity;
+      last_width = 0;
+    }
+  in
+  let mutex = Mutex.create () in
+  let draw () =
+    let line = render st in
+    (* pad over the previous line's leftovers *)
+    let pad = max 0 (st.last_width - String.length line) in
+    st.last_width <- String.length line;
+    write ("\r" ^ line ^ String.make pad ' ')
+  in
+  {
+    Sink.emit =
+      (fun ev ->
+        Mutex.protect mutex (fun () ->
+            absorb st ev;
+            let now = State.now () in
+            if now -. st.last_render >= min_interval then begin
+              st.last_render <- now;
+              draw ()
+            end));
+    flush =
+      (fun () ->
+        Mutex.protect mutex (fun () ->
+            (* erase the line: final results go through normal output *)
+            if st.last_width > 0 then
+              write ("\r" ^ String.make st.last_width ' ' ^ "\r")));
+  }

@@ -1,0 +1,15 @@
+(** Live single-line progress rendering for interactive runs.
+
+    [sink ~min_interval write] is a {!Sink.t} that folds the event stream
+    into a compact status line — iteration count and rate,
+    counterexample-pool size, best candidate bound vs. the target
+    distance, portfolio worker states and rounds, SAT restart and crash
+    counts, elapsed time — and hands ["\r"]-prefixed renders to [write]
+    at most every [min_interval] seconds (default 0.1).
+
+    The sink draws nothing on [flush]; it erases its line instead, so the
+    subcommand's normal result output lands on a clean row.  Callers
+    should only install it when the output stream is a TTY, typically
+    [tee]-ed with an NDJSON trace sink. *)
+
+val sink : ?min_interval:float -> (string -> unit) -> Sink.t

@@ -58,6 +58,14 @@ let json_of_event ev =
 
 let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
 
+let tee = function
+  | [ s ] -> s
+  | sinks ->
+      {
+        emit = (fun ev -> List.iter (fun s -> s.emit ev) sinks);
+        flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+      }
+
 let ndjson_writer write =
   let mutex = Mutex.create () in
   {

@@ -52,6 +52,10 @@ val json_of_event : event -> Json.t
     installed: events are still constructed). *)
 val null : t
 
+(** [tee sinks] fans every event (and flush) out to each of [sinks] in
+    order — e.g. an NDJSON trace plus a live progress display. *)
+val tee : t list -> t
+
 (** [ndjson_writer write] serializes each event as one JSON line handed to
     [write] (line terminator included), under a mutex. *)
 val ndjson_writer : (string -> unit) -> t

@@ -1,0 +1,14 @@
+(* The process-global telemetry state, factored out of [Telemetry] so that
+   [Metrics] (re-exported *through* Telemetry) can share the same
+   single-atomic-load guard without a module cycle.  Nothing here is part
+   of the public surface; [Telemetry] re-exports what callers need. *)
+
+(* The telemetry epoch: all timestamps are offsets from process start, so
+   they are small, readable, and unaffected by wall-clock jumps between
+   runs (within a run, gettimeofday is monotonic for all practical
+   purposes on the hosts we target; there is no monotonic clock in the
+   stdlib without C stubs, and this library is dependency-free by design). *)
+let epoch = Unix.gettimeofday ()
+let now () = Unix.gettimeofday () -. epoch
+let state : Sink.t option Atomic.t = Atomic.make None
+let enabled () = Atomic.get state <> None

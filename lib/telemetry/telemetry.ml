@@ -1,18 +1,16 @@
 module Json = Json
 module Sink = Sink
+module Metrics = Metrics
+module Analyze = Analyze
+module Progress = Progress
 
-(* The telemetry epoch: all timestamps are offsets from process start, so
-   they are small, readable, and unaffected by wall-clock jumps between
-   runs (within a run, gettimeofday is monotonic for all practical
-   purposes on the hosts we target; there is no monotonic clock in the
-   stdlib without C stubs, and this library is dependency-free by design). *)
-let epoch = Unix.gettimeofday ()
-let now () = Unix.gettimeofday () -. epoch
-
-let state : Sink.t option Atomic.t = Atomic.make None
+(* The shared epoch/sink state lives in [State] so that [Metrics] can use
+   the same single-atomic-load guard without a module cycle. *)
+let now = State.now
+let state = State.state
 let set_sink s = Atomic.set state s
 let current_sink () = Atomic.get state
-let enabled () = Atomic.get state <> None
+let enabled = State.enabled
 
 let emit ev =
   match Atomic.get state with None -> () | Some s -> s.Sink.emit ev

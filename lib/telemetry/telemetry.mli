@@ -17,6 +17,17 @@
 module Json = Json
 module Sink = Sink
 
+(** Typed counters/gauges/histograms with Prometheus exposition; updates
+    are gated on the same {!enabled} probe. *)
+module Metrics = Metrics
+
+(** Offline NDJSON trace analytics: validation, per-phase wall-time
+    attribution, folded flamegraph stacks, and trace/bench diffing. *)
+module Analyze = Analyze
+
+(** Live single-line TTY progress rendering, fed by events. *)
+module Progress = Progress
+
 (** {1 Sink installation} *)
 
 (** [set_sink (Some s)] routes all subsequent events to [s];

@@ -1,0 +1,96 @@
+The fecsynth trace family: report (per-phase wall-time attribution),
+flame (folded stacks), diff (metric regression gate) and check (the old
+trace-check, now also a subcommand).
+
+  $ fecsynth synth --trace t.ndjson -p 'len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' > /dev/null
+
+trace report attributes wall time to named phases; the solver's
+inner-loop split and the CEGIS driver phases are always present on a
+synthesis trace:
+
+  $ fecsynth trace report t.ndjson | head -5 | sed 's/[0-9][0-9.]*/N/g'
+  events:      N
+  wall:        Ns
+  busy:        Ns
+  attributed:  N% (Ns unattributed)
+  iterations:  N
+  $ fecsynth trace report t.ndjson | awk 'NF==3 && $1 != "phase" {print $1}' | sort
+  cegis.loop
+  cegis.verify
+  sat.analyze
+  sat.other
+  sat.propagate
+  sat.restart
+  smtlite.encode
+  $ fecsynth trace report --stats json t.ndjson | cut -c1-34
+  {"command":"trace-report","events"
+
+trace flame folds the span tree into flamegraph.pl input — every line is
+"stack <self microseconds>", stacks rooted at cegis.iteration:
+
+  $ fecsynth trace flame t.ndjson | awk '{print $1}' | sort -u
+  cegis.iteration
+  cegis.iteration;cegis.verify
+  cegis.iteration;ctx.check
+  cegis.iteration;ctx.check;sat.solve
+  $ fecsynth trace flame t.ndjson | awk '$2 !~ /^[0-9]+$/ {bad=1} END {print (bad ? "BAD" : "ok")}'
+  ok
+
+trace check is the old trace-check under the family; both spellings
+agree byte for byte:
+
+  $ fecsynth trace check t.ndjson > a.out && fecsynth trace-check t.ndjson > b.out && cmp a.out b.out && echo same
+  same
+
+The validator flags unbalanced spans and out-of-order timestamps as
+warnings (and in the JSON object), without failing the parse:
+
+  $ printf '{"ts":0.1,"kind":"span_begin","id":1,"name":"a"}\n' > unbal.ndjson
+  $ fecsynth trace check unbal.ndjson
+  fecsynth: warning: 1 unbalanced span(s) (begin without end, or end without begin)
+  ok: 1 events
+  span_begin a                        1
+  $ printf '{"ts":5.0,"kind":"event","name":"a"}\n{"ts":0.1,"kind":"event","name":"b"}\n' > ooo.ndjson
+  $ fecsynth trace check --stats json ooo.ndjson 2>/dev/null | cut -c1-84
+  {"command":"trace-check","events":2,"truncated_tail":false,"unbalanced_spans":0,"out
+  $ fecsynth trace check ooo.ndjson 2>&1 >/dev/null
+  fecsynth: warning: 1 event(s) go back in time within their worker stream
+
+trace diff gates on metric regressions: exit 0 when within threshold,
+exit 1 (with the offending metrics) when something regressed, and
+--ignore drops noisy keys before judging:
+
+  $ cat > BENCH_a.json <<'EOF'
+  > {"pr":"a","scale":100,"instances":[
+  >  {"experiment":"t1","instance":"md=4","wall_s":1.0,"iterations":100,"conflicts":50},
+  >  {"experiment":"t1","instance":"md=5","wall_s":2.0,"iterations":200,"conflicts":80}]}
+  > EOF
+  $ cat > BENCH_b.json <<'EOF'
+  > {"pr":"b","scale":100,"instances":[
+  >  {"experiment":"t1","instance":"md=4","wall_s":1.05,"iterations":100,"conflicts":50},
+  >  {"experiment":"t1","instance":"md=5","wall_s":2.0,"iterations":260,"conflicts":80}]}
+  > EOF
+  $ fecsynth trace diff --threshold 10 BENCH_a.json BENCH_b.json
+  bench BENCH_a.json vs bench BENCH_b.json: 6 shared metrics (0 only in baseline, 0 only in candidate)
+  regression   t1/md=5/iterations                                200 -> 260          +30.0%
+  FAIL: 1 metric(s) regressed beyond 10.0%
+  [1]
+  $ fecsynth trace diff --threshold 50 BENCH_a.json BENCH_b.json
+  bench BENCH_a.json vs bench BENCH_b.json: 6 shared metrics (0 only in baseline, 0 only in candidate)
+  ok: no metric regressed beyond 50.0%
+  $ fecsynth trace diff --threshold 10 --ignore iterations BENCH_a.json BENCH_b.json
+  bench BENCH_a.json vs bench BENCH_b.json: 4 shared metrics (0 only in baseline, 0 only in candidate)
+  ok: no metric regressed beyond 10.0%
+
+Two traces diff too (the same trace never regresses against itself):
+
+  $ fecsynth trace diff --threshold 10 t.ndjson t.ndjson | tail -1
+  ok: no metric regressed beyond 10.0%
+
+--progress degrades to silence when stderr is not a TTY (as here), so
+piping output stays clean:
+
+  $ fecsynth synth --progress --stats json -p 'len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3' 2>err.log | tr '{,' '\n\n' | grep -o '"outcome":"synthesized"'
+  "outcome":"synthesized"
+  $ wc -c < err.log | tr -d ' '
+  0

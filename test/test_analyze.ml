@@ -1,0 +1,263 @@
+(* Tests for Telemetry.Analyze: NDJSON parsing (including the tolerated
+   truncated tail), trace validation (unbalanced spans, out-of-order
+   timestamps), span self-times, the folded-stack golden output, phase
+   attribution on a real synthesized trace, and metric diffing with the
+   regression-threshold semantics the bench gate relies on. *)
+
+module T = Telemetry
+module An = Telemetry.Analyze
+module Sink = Telemetry.Sink
+
+let parse_exn content =
+  match An.of_string content with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+(* ---------------------------------------------------------------- *)
+(* parsing                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let test_parse_basic () =
+  let p =
+    parse_exn
+      "{\"ts\":0.5,\"kind\":\"event\",\"name\":\"x\",\"extra\":3}\n\
+       {\"ts\":0.6,\"kind\":\"counter\",\"name\":\"c\",\"value\":2}\n"
+  in
+  Alcotest.(check int) "two events" 2 (List.length p.An.events);
+  Alcotest.(check bool) "not truncated" false p.An.truncated;
+  match p.An.events with
+  | [ Sink.Point { fields; _ }; Sink.Counter { value; _ } ] ->
+      Alcotest.(check bool) "custom field kept" true
+        (List.mem_assoc "extra" fields);
+      Alcotest.(check int) "counter value" 2 value
+  | _ -> Alcotest.fail "unexpected event shapes"
+
+let test_parse_truncated_tail () =
+  let p =
+    parse_exn
+      "{\"ts\":0.5,\"kind\":\"event\",\"name\":\"x\"}\n{\"ts\":0.6,\"ki"
+  in
+  Alcotest.(check int) "one surviving event" 1 (List.length p.An.events);
+  Alcotest.(check bool) "flagged truncated" true p.An.truncated
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_parse_rejects_midfile_garbage () =
+  match An.of_string "{\"ts\":0.5,\"kind\":\"event\",\"name\":\"x\"}\nnope\n" with
+  | Ok _ -> Alcotest.fail "midfile garbage accepted"
+  | Error msg ->
+      Alcotest.(check bool) "names line 2" true (contains ~sub:"line 2" msg)
+
+(* ---------------------------------------------------------------- *)
+(* validation                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let test_check_unbalanced () =
+  let p =
+    parse_exn
+      "{\"ts\":0.1,\"kind\":\"span_begin\",\"id\":1,\"name\":\"a\"}\n\
+       {\"ts\":0.2,\"kind\":\"span_end\",\"id\":7,\"name\":\"ghost\",\"dur\":0.1}\n"
+  in
+  let c = An.check p in
+  (* id 1 never closes, id 7 never opened *)
+  Alcotest.(check int) "unbalanced" 2 c.An.unbalanced_spans
+
+let test_check_out_of_order () =
+  let p =
+    parse_exn
+      "{\"ts\":1.0,\"kind\":\"event\",\"name\":\"a\"}\n\
+       {\"ts\":0.2,\"kind\":\"event\",\"name\":\"b\"}\n\
+       {\"ts\":0.99,\"kind\":\"event\",\"name\":\"c\"}\n"
+  in
+  let c = An.check p in
+  (* 1.0 -> 0.2 regresses beyond the slack; 0.2 -> 0.99 does not, but the
+     high-water mark stays 1.0 and 0.99 is within slack of it *)
+  Alcotest.(check int) "one regression" 1 c.An.out_of_order
+
+let test_check_workers_are_separate_streams () =
+  let p =
+    parse_exn
+      "{\"ts\":1.0,\"kind\":\"event\",\"name\":\"a\",\"worker\":1}\n\
+       {\"ts\":0.2,\"kind\":\"event\",\"name\":\"b\",\"worker\":2}\n"
+  in
+  Alcotest.(check int) "per-worker streams" 0 (An.check p).An.out_of_order
+
+let test_check_clean () =
+  let p =
+    parse_exn
+      "{\"ts\":0.1,\"kind\":\"span_begin\",\"id\":1,\"name\":\"a\"}\n\
+       {\"ts\":0.2,\"kind\":\"span_end\",\"id\":1,\"name\":\"a\",\"dur\":0.1}\n"
+  in
+  let c = An.check p in
+  Alcotest.(check int) "balanced" 0 c.An.unbalanced_spans;
+  Alcotest.(check int) "ordered" 0 c.An.out_of_order;
+  Alcotest.(check int) "total" 2 c.An.total
+
+(* ---------------------------------------------------------------- *)
+(* span self-times and the folded-stack golden output                *)
+(* ---------------------------------------------------------------- *)
+
+(* a: [0.0, 0.5] with one child b: [0.1, 0.3] — a's self-time is 0.3 s *)
+let nested_trace =
+  "{\"ts\":0.0,\"kind\":\"span_begin\",\"id\":1,\"name\":\"a\"}\n\
+   {\"ts\":0.1,\"kind\":\"span_begin\",\"id\":2,\"parent\":1,\"name\":\"b\"}\n\
+   {\"ts\":0.3,\"kind\":\"span_end\",\"id\":2,\"name\":\"b\",\"dur\":0.2}\n\
+   {\"ts\":0.5,\"kind\":\"span_end\",\"id\":1,\"name\":\"a\",\"dur\":0.5}\n"
+
+let test_span_self_times () =
+  match An.spans (parse_exn nested_trace) with
+  | [ b; a ] ->
+      Alcotest.(check string) "inner closes first" "b" b.An.name;
+      Alcotest.(check (float 1e-9)) "b self = dur" 0.2 b.An.self;
+      Alcotest.(check (float 1e-9)) "a self = dur - child" 0.3 a.An.self
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_flame_golden () =
+  Alcotest.(check string)
+    "folded stacks" "a 300000\na;b 200000\n"
+    (An.flame_to_string (parse_exn nested_trace))
+
+(* ---------------------------------------------------------------- *)
+(* phase attribution on a real in-memory synthesis trace             *)
+(* ---------------------------------------------------------------- *)
+
+let test_report_on_real_trace () =
+  let sink, events = Sink.memory () in
+  let outcome =
+    T.with_sink sink (fun () ->
+        Synth.Cegis.synthesize ~timeout:60.0
+          { Synth.Cegis.data_len = 4; check_len = 5; min_distance = 4;
+            extra = [] })
+  in
+  (match outcome with
+  | Synth.Cegis.Synthesized _ -> ()
+  | _ -> Alcotest.fail "instance should synthesize");
+  let p = { An.events = events (); truncated = false } in
+  let r = An.report p in
+  Alcotest.(check bool) "has iterations" true (r.An.iterations > 0);
+  Alcotest.(check bool) "wall positive" true (r.An.wall_s > 0.0);
+  let phase_names = List.map (fun ph -> ph.An.phase) r.An.phases in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " attributed") true
+        (List.mem expected phase_names))
+    [ "cegis.loop"; "smtlite.encode"; "cegis.verify"; "sat.propagate";
+      "sat.analyze"; "sat.restart"; "sat.other" ];
+  (* every named phase is span self-time, so their sum can never exceed
+     the busy time, and attribution covers most of the wall *)
+  let phase_sum =
+    List.fold_left (fun acc ph -> acc +. ph.An.total_s) 0.0 r.An.phases
+  in
+  Alcotest.(check bool) "phases within busy time" true
+    (phase_sum <= r.An.busy_s +. 1e-6);
+  Alcotest.(check bool)
+    (Printf.sprintf "attribution >= 80%% (got %.1f%%)" r.An.attributed_pct)
+    true
+    (r.An.attributed_pct >= 80.0);
+  (* the solver's inner-loop split must carry real time on this instance *)
+  let solver_time =
+    List.fold_left
+      (fun acc ph ->
+        if
+          List.mem ph.An.phase
+            [ "sat.propagate"; "sat.analyze"; "sat.restart"; "sat.other" ]
+        then acc +. ph.An.total_s
+        else acc)
+      0.0 r.An.phases
+  in
+  Alcotest.(check bool) "solver time present" true (solver_time > 0.0);
+  Alcotest.(check bool) "sat totals counted" true
+    (List.assoc "propagations" r.An.sat_totals > 0);
+  Alcotest.(check int) "slowest list bounded" 3
+    (min 3 (List.length r.An.slowest))
+
+(* ---------------------------------------------------------------- *)
+(* metric extraction and diffing                                     *)
+(* ---------------------------------------------------------------- *)
+
+let test_metrics_of_trace () =
+  let m = An.metrics_of_trace (parse_exn nested_trace) in
+  Alcotest.(check (option (float 1e-9))) "span total" (Some 0.5)
+    (List.assoc_opt "span.a.total_s" m);
+  Alcotest.(check (option (float 1e-9))) "span count" (Some 1.0)
+    (List.assoc_opt "span.a.count" m);
+  Alcotest.(check (option (float 1e-9))) "wall" (Some 0.5)
+    (List.assoc_opt "wall_s" m)
+
+let test_diff_threshold_semantics () =
+  let a = [ ("x", 100.0); ("y", 100.0); ("z", 0.0); ("only_a", 1.0) ] in
+  let b = [ ("x", 110.0); ("y", 111.0); ("z", 5.0); ("only_b", 1.0) ] in
+  let d = An.diff ~threshold:10.0 a b in
+  Alcotest.(check int) "shared" 3 d.An.shared;
+  Alcotest.(check int) "only_a" 1 d.An.only_a;
+  Alcotest.(check int) "only_b" 1 d.An.only_b;
+  (* +10.0% is not beyond the threshold; +11% is; 0 -> 5 is infinite *)
+  let keys = List.map (fun dl -> dl.An.key) d.An.regressions in
+  Alcotest.(check (list string)) "regressions" [ "z"; "y" ]
+    (List.sort compare keys |> List.rev);
+  Alcotest.(check int) "no improvements" 0 (List.length d.An.improvements)
+
+let test_diff_improvements () =
+  let d =
+    An.diff ~threshold:10.0 [ ("x", 100.0) ] [ ("x", 50.0) ]
+  in
+  Alcotest.(check int) "no regressions" 0 (List.length d.An.regressions);
+  (match d.An.improvements with
+  | [ dl ] -> Alcotest.(check (float 1e-9)) "pct" (-50.0) dl.An.pct
+  | _ -> Alcotest.fail "expected one improvement");
+  let d_eq = An.diff ~threshold:10.0 [ ("x", 100.0) ] [ ("x", 100.0) ] in
+  Alcotest.(check int) "identical clean" 0
+    (List.length d_eq.An.regressions + List.length d_eq.An.improvements)
+
+let test_metrics_of_string_detects_bench () =
+  let bench =
+    "{\"pr\":\"pr4\",\"scale\":100,\"instances\":[{\"experiment\":\"t\",\
+     \"instance\":\"i\",\"wall_s\":1.5,\"iterations\":7,\"conflicts\":3}]}\n"
+  in
+  match An.metrics_of_string bench with
+  | Error msg -> Alcotest.failf "bench rejected: %s" msg
+  | Ok (m, src) ->
+      Alcotest.(check string) "detected" "bench" (An.source_name src);
+      Alcotest.(check (option (float 1e-9))) "iterations" (Some 7.0)
+        (List.assoc_opt "t/i/iterations" m);
+      Alcotest.(check (option (float 1e-9))) "wall" (Some 1.5)
+        (List.assoc_opt "t/i/wall_s" m)
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "truncated tail" `Quick test_parse_truncated_tail;
+          Alcotest.test_case "midfile garbage" `Quick
+            test_parse_rejects_midfile_garbage;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "unbalanced" `Quick test_check_unbalanced;
+          Alcotest.test_case "out of order" `Quick test_check_out_of_order;
+          Alcotest.test_case "worker streams" `Quick
+            test_check_workers_are_separate_streams;
+          Alcotest.test_case "clean" `Quick test_check_clean;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "self times" `Quick test_span_self_times;
+          Alcotest.test_case "flame golden" `Quick test_flame_golden;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "real trace" `Quick test_report_on_real_trace ] );
+      ( "diff",
+        [
+          Alcotest.test_case "trace metrics" `Quick test_metrics_of_trace;
+          Alcotest.test_case "threshold semantics" `Quick
+            test_diff_threshold_semantics;
+          Alcotest.test_case "improvements" `Quick test_diff_improvements;
+          Alcotest.test_case "bench detection" `Quick
+            test_metrics_of_string_detects_bench;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* Tests for the Telemetry.Metrics registry: histogram bucket math and
+   quantiles against an exact sorted-array reference, the Hist merge
+   monoid, Prometheus exposition roundtripping, the registry's typing
+   discipline, and the disabled-path cost contract (no allocation per
+   update when no sink is installed). *)
+
+module T = Telemetry
+module M = Telemetry.Metrics
+module Hist = Telemetry.Metrics.Hist
+
+(* ---------------------------------------------------------------- *)
+(* quantiles vs an exact sorted-array reference                      *)
+(* ---------------------------------------------------------------- *)
+
+(* nearest-rank: rank ⌈q·N⌉ clamped to [1..N], 1-based into the sorted
+   sample — the definition Hist.quantile implements over buckets *)
+let reference_quantile samples q =
+  match List.sort compare samples with
+  | [] -> None
+  | sorted ->
+      let n = List.length sorted in
+      let rank =
+        max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n))))
+      in
+      Some (List.nth sorted (rank - 1))
+
+let quantiles = [ 0.01; 0.25; 0.5; 0.95; 0.99; 1.0 ]
+
+let check_against_reference ~exact samples =
+  let h = Hist.of_list samples in
+  List.for_all
+    (fun q ->
+      match (Hist.quantile h q, reference_quantile samples q) with
+      | None, None -> true
+      | Some got, Some ref_v ->
+          if exact then got = ref_v
+          else
+            (* bucketing returns the lower bound of the reference's
+               bucket: never above, within a 1/32 relative error *)
+            got <= ref_v
+            && float_of_int (ref_v - got) /. float_of_int (max 1 ref_v)
+               <= (1.0 /. 32.0) +. 1e-9
+      | _ -> false)
+    quantiles
+
+let test_quantile_small_exact =
+  QCheck.Test.make ~name:"quantile exact below 64" ~count:500
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_bound 63))
+    (fun samples -> check_against_reference ~exact:true samples)
+
+let test_quantile_heavy_tail =
+  QCheck.Test.make ~name:"quantile within 1/32 on heavy tails" ~count:500
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 40)
+        (* skewed: mostly small, occasionally huge *)
+        (QCheck.make
+           Gen.(
+             int_bound 9 >>= fun roll ->
+             if roll < 7 then int_bound 100 else int_bound 10_000_000)))
+    (fun samples -> check_against_reference ~exact:false samples)
+
+let test_quantile_single_sample () =
+  List.iter
+    (fun v ->
+      let h = Hist.of_list [ v ] in
+      List.iter
+        (fun q ->
+          match Hist.quantile h q with
+          | None -> Alcotest.failf "empty quantile for singleton %d" v
+          | Some got ->
+              if v < 64 then
+                Alcotest.(check int)
+                  (Printf.sprintf "singleton %d q=%g" v q)
+                  v got
+              else if
+                not
+                  (got <= v
+                  && float_of_int (v - got) /. float_of_int v <= 1.0 /. 32.0)
+              then
+                Alcotest.failf "singleton %d q=%g: got %d outside 1/32" v q got)
+        quantiles)
+    [ 0; 1; 63; 64; 65; 1000; 123_456_789 ]
+
+let test_quantile_empty () =
+  Alcotest.(check (option int)) "empty" None (Hist.quantile Hist.zero 0.5)
+
+(* ---------------------------------------------------------------- *)
+(* Hist merge monoid and snapshot delta                              *)
+(* ---------------------------------------------------------------- *)
+
+let hist_gen =
+  QCheck.Gen.(
+    map Hist.of_list
+      (list_size (int_bound 12)
+         (oneof [ int_bound 63; int_bound 100_000 ])))
+
+let hist_arb =
+  QCheck.make hist_gen ~print:(fun h -> Format.asprintf "%a" Hist.pp h)
+
+let test_hist_add_assoc =
+  QCheck.Test.make ~name:"Hist.add associative" ~count:300
+    (QCheck.triple hist_arb hist_arb hist_arb) (fun (a, b, c) ->
+      Hist.add (Hist.add a b) c = Hist.add a (Hist.add b c))
+
+let test_hist_add_comm =
+  QCheck.Test.make ~name:"Hist.add commutative" ~count:300
+    (QCheck.pair hist_arb hist_arb) (fun (a, b) ->
+      Hist.add a b = Hist.add b a)
+
+let test_hist_zero_identity =
+  QCheck.Test.make ~name:"Hist.zero identity" ~count:300 hist_arb (fun h ->
+      Hist.add Hist.zero h = h && Hist.add h Hist.zero = h)
+
+let test_hist_sub_inverts_add =
+  (* per-bucket counts (what attribution consumes) are recovered exactly;
+     min/max are only approximations, so compare via [buckets] *)
+  QCheck.Test.make ~name:"Hist.sub undoes add bucket-wise" ~count:300
+    (QCheck.pair hist_arb hist_arb) (fun (a, b) ->
+      Hist.buckets (Hist.sub (Hist.add a b) b) = Hist.buckets a)
+
+let test_hist_count_sum () =
+  let samples = [ 3; 3; 70; 1000; 0 ] in
+  let h = Hist.of_list samples in
+  Alcotest.(check int) "count" (List.length samples) (Hist.count h);
+  Alcotest.(check int) "sum exact" (List.fold_left ( + ) 0 samples) (Hist.sum h);
+  Alcotest.(check (option int)) "min" (Some 0) (Hist.min_value h);
+  Alcotest.(check (option int)) "max" (Some 1000) (Hist.max_value h)
+
+(* ---------------------------------------------------------------- *)
+(* registry typing and gating                                        *)
+(* ---------------------------------------------------------------- *)
+
+let test_registry_type_mismatch () =
+  let _ = M.counter "test.registry.c1" in
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument
+       "Metrics.gauge: test.registry.c1 registered with another type")
+    (fun () -> ignore (M.gauge "test.registry.c1"))
+
+let test_updates_gated_by_enabled () =
+  let c = M.counter "test.gating.c" in
+  let g = M.gauge "test.gating.g" in
+  let h = M.histogram "test.gating.h" in
+  let before = M.counter_value c in
+  M.incr c 5;
+  M.set g 9.5;
+  M.observe h 7;
+  Alcotest.(check int) "counter unchanged when disabled" before
+    (M.counter_value c);
+  Alcotest.(check (float 0.0)) "gauge unchanged when disabled" 0.0
+    (M.gauge_value g);
+  Alcotest.(check int) "histogram unchanged when disabled" 0
+    (Hist.count (M.histogram_value h));
+  T.with_sink Telemetry.Sink.null (fun () ->
+      M.incr c 5;
+      M.set g 9.5;
+      M.observe h 7);
+  Alcotest.(check int) "counter updated when enabled" (before + 5)
+    (M.counter_value c);
+  Alcotest.(check (float 0.0)) "gauge updated when enabled" 9.5
+    (M.gauge_value g);
+  Alcotest.(check int) "histogram updated when enabled" 1
+    (Hist.count (M.histogram_value h))
+
+(* The acceptance contract of the disabled path: one atomic load, no
+   allocation per update.  Run many updates with no sink installed and
+   require the minor heap to stay put (a generous fixed budget absorbs
+   any incidental boxing by the harness itself). *)
+let test_disabled_path_allocates_nothing () =
+  let c = M.counter "test.alloc.c" in
+  let g = M.gauge "test.alloc.g" in
+  let h = M.histogram "test.alloc.h" in
+  Alcotest.(check bool) "telemetry disabled" false (T.enabled ());
+  let level = 2.5 in
+  (* warm up: first calls may allocate closures/installs *)
+  M.incr c 1;
+  M.set g level;
+  M.observe h 1;
+  let rounds = 10_000 in
+  let before = Gc.minor_words () in
+  for i = 1 to rounds do
+    M.incr c i;
+    M.set g level;
+    M.observe h i
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 100.0 then
+    Alcotest.failf
+      "disabled-path updates allocated %.0f minor words over %d rounds"
+      delta rounds
+
+(* ---------------------------------------------------------------- *)
+(* Prometheus exposition roundtrip                                   *)
+(* ---------------------------------------------------------------- *)
+
+let sanitized_dump () =
+  List.sort compare
+    (List.map (fun (name, s) -> (M.sanitize name, s)) (M.dump ()))
+
+let samples_equal a b =
+  match (a, b) with
+  | M.Counter x, M.Counter y -> x = y
+  | M.Gauge x, M.Gauge y ->
+      Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.abs x)
+  | M.Histogram x, M.Histogram y -> Hist.equal x y
+  | _ -> false
+
+let test_exposition_roundtrip =
+  (* random updates into dedicated test metrics, then the global
+     exposition must parse back to exactly the registry dump *)
+  QCheck.Test.make ~name:"expose |> parse_exposition = dump" ~count:50
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_bound 8) (int_bound 1_000_000))
+        (list_of_size Gen.(int_bound 8) (float_bound_exclusive 1000.0))
+        (list_of_size Gen.(int_bound 8) (int_bound 1_000_000)))
+    (fun (incrs, levels, observations) ->
+      let c = M.counter "test.roundtrip.counter" in
+      let g = M.gauge "test.roundtrip.gauge" in
+      let h = M.histogram "test.roundtrip.hist" in
+      T.with_sink Telemetry.Sink.null (fun () ->
+          List.iter (M.incr c) incrs;
+          List.iter (M.set g) levels;
+          List.iter (M.observe h) observations);
+      match M.parse_exposition (M.expose ()) with
+      | Error msg -> QCheck.Test.fail_reportf "parse failed: %s" msg
+      | Ok parsed ->
+          let dumped = sanitized_dump () in
+          List.length parsed = List.length dumped
+          && List.for_all2
+               (fun (n1, s1) (n2, s2) -> n1 = n2 && samples_equal s1 s2)
+               parsed dumped)
+
+let test_sanitize () =
+  Alcotest.(check string) "dots" "sat_learnt_size" (M.sanitize "sat.learnt_size");
+  Alcotest.(check string) "leading digit" "_lives" (M.sanitize "9lives");
+  Alcotest.(check string) "odd chars" "a_b_c" (M.sanitize "a-b c")
+
+(* ---------------------------------------------------------------- *)
+(* periodic-flush sink                                               *)
+(* ---------------------------------------------------------------- *)
+
+let test_flush_sink_writes_parseable () =
+  let writes = ref [] in
+  let sink =
+    M.flush_sink ~min_interval:0.0 (fun s -> writes := s :: !writes)
+  in
+  T.with_sink sink (fun () ->
+      let c = M.counter "test.flushsink.c" in
+      M.incr c 3;
+      T.point "tick");
+  (match !writes with
+  | [] -> Alcotest.fail "flush_sink never wrote"
+  | last :: _ -> (
+      match M.parse_exposition last with
+      | Error msg -> Alcotest.failf "final exposition unparseable: %s" msg
+      | Ok parsed ->
+          let c =
+            List.assoc_opt (M.sanitize "test.flushsink.c") parsed
+          in
+          Alcotest.(check bool) "counter present with value" true
+            (match c with Some (M.Counter n) -> n >= 3 | _ -> false)))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "quantiles",
+        [
+          Alcotest.test_case "single sample" `Quick test_quantile_single_sample;
+          Alcotest.test_case "empty" `Quick test_quantile_empty;
+        ]
+        @ qsuite [ test_quantile_small_exact; test_quantile_heavy_tail ] );
+      ( "hist-monoid",
+        [ Alcotest.test_case "count/sum/min/max" `Quick test_hist_count_sum ]
+        @ qsuite
+            [
+              test_hist_add_assoc; test_hist_add_comm; test_hist_zero_identity;
+              test_hist_sub_inverts_add;
+            ] );
+      ( "registry",
+        [
+          Alcotest.test_case "type mismatch" `Quick test_registry_type_mismatch;
+          Alcotest.test_case "updates gated" `Quick test_updates_gated_by_enabled;
+          Alcotest.test_case "disabled path allocates nothing" `Quick
+            test_disabled_path_allocates_nothing;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "sanitize" `Quick test_sanitize;
+          Alcotest.test_case "flush sink" `Quick test_flush_sink_writes_parseable;
+        ]
+        @ qsuite [ test_exposition_roundtrip ] );
+    ]

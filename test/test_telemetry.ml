@@ -189,14 +189,16 @@ let test_ndjson_roundtrips_fields () =
 let stats_gen =
   QCheck.Gen.(
     map
-      (fun ((a, b, c, d, e), (f, g)) ->
+      (fun ((a, b, c, d, e), (f, g), samples) ->
         { Stats.iterations = a; verifier_calls = b; elapsed = float_of_int c;
           syn_conflicts = d; ver_conflicts = e; worker_crashes = f;
-          worker_restarts = g })
-      (pair
+          worker_restarts = g;
+          learnt_hist = Telemetry.Metrics.Hist.of_list samples })
+      (triple
          (tup5 (int_bound 10000) (int_bound 10000) (int_bound 10000)
             (int_bound 10000) (int_bound 10000))
-         (pair (int_bound 100) (int_bound 100))))
+         (pair (int_bound 100) (int_bound 100))
+         (list_size (int_bound 6) (int_bound 500))))
 
 let stats_arb =
   QCheck.make stats_gen ~print:(fun s -> Format.asprintf "%a" Stats.pp s)
