@@ -12,7 +12,9 @@ BENCH_OUT := BENCH_pr4.json
 BENCH_GATE_EXPERIMENTS := ablation-card ablation-cex multibit
 BENCH_GATE_THRESHOLD := 25
 
-.PHONY: all build test trace-smoke stress check bench bench-gate clean
+LEDGER_SMOKE_DIR := /tmp/fecsynth-ledger-smoke
+
+.PHONY: all build test trace-smoke ledger-smoke stress check bench bench-gate clean
 
 all: build
 
@@ -45,19 +47,37 @@ stress: build
 	done
 	@echo "stress: OK"
 
-check: build test trace-smoke stress bench-gate
+# End-to-end over the run ledger: record two real runs into a sandboxed
+# ledger, then require the whole runs family to read them back — list,
+# trend (threshold set far above noise so only plumbing can fail) and the
+# dashboard's structural validator.
+ledger-smoke: build
+	rm -rf $(LEDGER_SMOKE_DIR)
+	FEC_LEDGER_DIR=$(LEDGER_SMOKE_DIR) dune exec -- fecsynth synth -p '$(SMOKE_SPEC)' > /dev/null
+	FEC_LEDGER_DIR=$(LEDGER_SMOKE_DIR) dune exec -- fecsynth synth -p '$(SMOKE_SPEC)' > /dev/null
+	FEC_LEDGER_DIR=$(LEDGER_SMOKE_DIR) dune exec -- fecsynth runs list
+	FEC_LEDGER_DIR=$(LEDGER_SMOKE_DIR) dune exec -- fecsynth runs trend --metric wall_s --threshold 1000000
+	FEC_LEDGER_DIR=$(LEDGER_SMOKE_DIR) dune exec -- fecsynth runs html --check
+	@echo "ledger-smoke: OK"
+
+check: build test trace-smoke ledger-smoke stress bench-gate
 	@echo "check: OK"
 
 # Quick benchmark pass (shrunken workloads); writes $(BENCH_OUT).
 bench: build
 	FEC_BENCH_SCALE=100 dune exec bench/main.exe
 
-# Regression gate: rerun the deterministic bench subset, write
-# $(BENCH_OUT), and diff it against the newest *prior* committed
-# baseline.  Wall-clock metrics are excluded (sub-millisecond instances
-# make them pure noise); iteration and conflict counts must stay within
-# $(BENCH_GATE_THRESHOLD)%.  With no prior baseline the run itself
-# becomes the baseline and the gate passes.
+# Regression gate, two layers.  Layer 1 (pairwise): rerun the
+# deterministic bench subset, write $(BENCH_OUT), and diff it against the
+# newest *prior* committed baseline.  Wall-clock metrics are excluded
+# (sub-millisecond instances make them pure noise); iteration and
+# conflict counts must stay within $(BENCH_GATE_THRESHOLD)%.  With no
+# prior baseline the run itself becomes the baseline and the gate passes.
+# Layer 2 (trend): the bench run also records itself in the run ledger,
+# so the gate ends by asking the ledger whether the latest iteration and
+# conflict counts regressed against the median of all prior recorded
+# bench runs — a single noisy baseline can no longer mask (or fake) a
+# drift that pairwise diffing misses.
 bench-gate: build
 	@prev=$$(ls BENCH_*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -V | tail -1); \
 	FEC_BENCH_SCALE=100 FEC_BENCH_OUT=$(BENCH_OUT) \
@@ -65,10 +85,15 @@ bench-gate: build
 	if [ -n "$$prev" ]; then \
 	  echo "bench-gate: diffing $$prev -> $(BENCH_OUT)"; \
 	  dune exec -- fecsynth trace diff --threshold $(BENCH_GATE_THRESHOLD) \
-	    --ignore wall_s "$$prev" $(BENCH_OUT); \
+	    --ignore wall_s "$$prev" $(BENCH_OUT) || exit 1; \
 	else \
 	  echo "bench-gate: no prior BENCH_*.json; $(BENCH_OUT) is the new baseline"; \
-	fi
+	fi; \
+	echo "bench-gate: ledger trend verdict"; \
+	dune exec -- fecsynth runs trend --subcommand bench \
+	  --metric iterations --threshold $(BENCH_GATE_THRESHOLD) || exit 1; \
+	dune exec -- fecsynth runs trend --subcommand bench \
+	  --metric conflicts --threshold $(BENCH_GATE_THRESHOLD) || exit 1
 
 clean:
 	dune clean

@@ -783,11 +783,37 @@ let all_experiments =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_experiments
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
+  let no_ledger =
+    List.mem "--no-ledger" args || Sys.getenv_opt "FEC_NO_LEDGER" = Some "1"
+  in
+  let requested =
+    match List.filter (fun a -> a <> "--no-ledger") args with
+    | _ :: _ as names -> names
+    | [] -> List.map fst all_experiments
+  in
+  (* Record the whole bench run in the persistent ledger, like every
+     fecsynth subcommand: `make bench-gate` trends these records. *)
+  let pending =
+    if no_ledger then None
+    else
+      Some
+        (Telemetry.Ledger.start
+           ~ts:(Telemetry.Ledger.utc_timestamp ())
+           ~subcommand:"bench"
+           ~problem:(String.concat " " requested)
+           ~config:[ ("scale", string_of_int scale) ]
+           ~build:(Telemetry.Buildinfo.detect ())
+           ())
+  in
+  (match pending with
+  | Some p ->
+      (* idempotent: a normal finish below makes this crash hook a no-op *)
+      at_exit (fun () ->
+          Telemetry.Ledger.finish p ~outcome:"crash" ~exit_code:2)
+  | None -> ());
   Printf.printf "FEC synthesis benchmark harness (scale divisor: %d)\n" scale;
   List.iter
     (fun name ->
@@ -797,4 +823,22 @@ let () =
           Printf.printf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst all_experiments)))
     requested;
-  write_bench_json ()
+  write_bench_json ();
+  match pending with
+  | Some p ->
+      let metrics =
+        List.rev_map
+          (fun (experiment, instance, wall_s, iterations, conflicts) ->
+            let key suffix =
+              Printf.sprintf "%s/%s/%s" experiment instance suffix
+            in
+            [
+              (key "wall_s", wall_s);
+              (key "iterations", float_of_int iterations);
+              (key "conflicts", float_of_int conflicts);
+            ])
+          !bench_records
+        |> List.concat
+      in
+      Telemetry.Ledger.finish ~metrics p ~outcome:"ok" ~exit_code:0
+  | None -> ()

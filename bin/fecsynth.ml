@@ -131,9 +131,24 @@ let synth_cmd =
     Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"K" ~doc)
   in
   let run prop_spec timeout weights portfolio jobs checkpoint resume trace
-      metrics progress fmt =
+      metrics progress no_ledger fmt =
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
-    else
+    else begin
+    Output.ledger_start ~no_ledger ~subcommand:"synth" ~problem:prop_spec
+      ~config:
+        ([
+           ("timeout", string_of_float timeout);
+           ("portfolio", string_of_bool portfolio);
+           ("jobs", string_of_int jobs);
+         ]
+        @ (match weights with
+          | Some _ -> [ ("weights", "yes") ]
+          | None -> [])
+        @ (match checkpoint with
+          | Some p -> [ ("checkpoint", p) ]
+          | None -> [])
+        @ match resume with Some p -> [ ("resume", p) ] | None -> [])
+      ();
     let prop = load_prop prop_spec in
     let jobs_opt = if portfolio then Some jobs else None in
     (* checkpointing needs a single-generator task so the problem shape the
@@ -219,6 +234,10 @@ let synth_cmd =
     in
     match outcome with
     | Synth.Driver.Codes (codes, stats) ->
+        Output.ledger_finish
+          ~stats:(Synth.Report.Stats.to_json stats)
+          ~metrics:(Synth.Report.Stats.to_metrics stats)
+          ~outcome:"synthesized" ~exit_code:0 ();
         Output.result fmt
           ~text:(fun () ->
             List.iter
@@ -241,6 +260,14 @@ let synth_cmd =
             @ portfolio_json ());
         `Ok ()
     | Synth.Driver.Setbits_walk steps ->
+        let walk_totals =
+          Synth.Report.Stats.sum
+            (List.map (fun s -> s.Synth.Optimize.step_stats) steps)
+        in
+        Output.ledger_finish
+          ~stats:(Synth.Report.Stats.to_json walk_totals)
+          ~metrics:(Synth.Report.Stats.to_metrics walk_totals)
+          ~outcome:"synthesized" ~exit_code:0 ();
         Output.result fmt
           ~text:(fun () ->
             List.iter
@@ -285,6 +312,13 @@ let synth_cmd =
             @ portfolio_json ());
         `Ok ()
     | Synth.Driver.Weighted_result r ->
+        Output.ledger_finish
+          ~metrics:
+            [
+              ("stats.iterations", float_of_int r.Synth.Weighted.iterations);
+              ("stats.elapsed_s", r.Synth.Weighted.elapsed);
+            ]
+          ~outcome:"synthesized" ~exit_code:0 ();
         Output.result fmt
           ~text:(fun () ->
             let t0, t1 = r.Synth.Weighted.counts in
@@ -321,6 +355,16 @@ let synth_cmd =
         (* anytime result: the candidate is real but its distance target was
            never verified — recompute the achieved bound before reporting *)
         let achieved = Hamming.Distance.min_distance code in
+        let ledger_outcome =
+          if interrupted () then "interrupted" else "partial"
+        in
+        let ledger_exit =
+          if interrupted () then exit_interrupted else exit_partial
+        in
+        Output.ledger_finish
+          ~stats:(Synth.Report.Stats.to_json stats)
+          ~metrics:(Synth.Report.Stats.to_metrics stats)
+          ~outcome:ledger_outcome ~exit_code:ledger_exit ();
         (match writer with
         | Some w ->
             Synth.Checkpoint.Writer.record_best w code achieved;
@@ -348,6 +392,7 @@ let synth_cmd =
             @ portfolio_json ());
         exit (if interrupted () then exit_interrupted else exit_partial)
     | Synth.Driver.Unsat msg ->
+        Output.ledger_finish ~outcome:"unsat" ~exit_code:exit_unsat ();
         Output.result fmt
           ~text:(fun () -> Printf.printf "unsatisfiable: %s\n" msg)
           ~json:(fun () ->
@@ -359,6 +404,10 @@ let synth_cmd =
             @ portfolio_json ());
         exit exit_unsat
     | Synth.Driver.Timeout msg ->
+        Output.ledger_finish
+          ~outcome:(if interrupted () then "interrupted" else "timeout")
+          ~exit_code:(if interrupted () then exit_interrupted else exit_timeout)
+          ();
         Output.result fmt
           ~text:(fun () ->
             Printf.printf "%s: %s\n"
@@ -373,7 +422,10 @@ let synth_cmd =
             ]
             @ portfolio_json ());
         exit (if interrupted () then exit_interrupted else exit_timeout)
-    | Synth.Driver.No_solution msg -> `Error (false, "no solution: " ^ msg)
+    | Synth.Driver.No_solution msg ->
+        Output.ledger_finish ~outcome:"error" ~exit_code:124 ();
+        `Error (false, "no solution: " ^ msg)
+    end
     end
   in
   let doc = "Synthesize generators from a property specification (CEGIS)." in
@@ -382,7 +434,7 @@ let synth_cmd =
       ret
         (const run $ prop_arg $ timeout_arg $ weights $ portfolio $ jobs
        $ checkpoint_arg $ resume_arg $ Output.trace_arg $ Output.metrics_arg
-       $ Output.progress_arg $ Output.stats_arg))
+       $ Output.progress_arg $ Output.no_ledger_arg $ Output.stats_arg))
 
 (* ---------- optimize ---------- *)
 
@@ -405,11 +457,22 @@ let optimize_cmd =
     Arg.(value & opt int 16 & info [ "check-hi" ] ~docv:"C" ~doc)
   in
   let run data_len md check_lo check_hi timeout checkpoint resume trace metrics
-      progress fmt =
+      progress no_ledger fmt =
     if data_len < 1 || md < 1 || check_lo < 1 || check_hi < check_lo then
       `Error
         (false, "need data-len >= 1, min-distance >= 1, 1 <= check-lo <= check-hi")
     else begin
+      Output.ledger_start ~no_ledger ~subcommand:"optimize"
+        ~problem:
+          (Printf.sprintf "data_len=%d md=%d check=%d..%d" data_len md check_lo
+             check_hi)
+        ~config:
+          ([ ("timeout", string_of_float timeout) ]
+          @ (match checkpoint with
+            | Some p -> [ ("checkpoint", p) ]
+            | None -> [])
+          @ match resume with Some p -> [ ("resume", p) ] | None -> [])
+        ();
       install_sigint ();
       let initial, start_lo, resumed_iters =
         match resume with
@@ -483,6 +546,10 @@ let optimize_cmd =
       in
       match outcome with
       | Synth.Report.Synthesized (r, totals) ->
+          Output.ledger_finish
+            ~stats:(Synth.Report.Stats.to_json totals)
+            ~metrics:(Synth.Report.Stats.to_metrics totals)
+            ~outcome:"synthesized" ~exit_code:0 ();
           Output.result fmt
             ~text:(fun () ->
               let code = r.Synth.Optimize.code in
@@ -504,6 +571,10 @@ let optimize_cmd =
               @ stats_json totals);
           `Ok ()
       | Synth.Report.Unsat_config totals ->
+          Output.ledger_finish
+            ~stats:(Synth.Report.Stats.to_json totals)
+            ~metrics:(Synth.Report.Stats.to_metrics totals)
+            ~outcome:"unsat" ~exit_code:exit_unsat ();
           Output.result fmt
             ~text:(fun () ->
               Printf.printf
@@ -514,6 +585,13 @@ let optimize_cmd =
               @ stats_json totals);
           exit exit_unsat
       | Synth.Report.Timed_out totals ->
+          Output.ledger_finish
+            ~stats:(Synth.Report.Stats.to_json totals)
+            ~metrics:(Synth.Report.Stats.to_metrics totals)
+            ~outcome:(if interrupted () then "interrupted" else "timeout")
+            ~exit_code:
+              (if interrupted () then exit_interrupted else exit_timeout)
+            ();
           Output.result fmt
             ~text:(fun () ->
               Printf.printf "%s with no candidate to report\n"
@@ -529,6 +607,13 @@ let optimize_cmd =
       | Synth.Report.Partial (r, totals) ->
           let code = r.Synth.Optimize.code in
           let achieved = Hamming.Distance.min_distance code in
+          Output.ledger_finish
+            ~stats:(Synth.Report.Stats.to_json totals)
+            ~metrics:(Synth.Report.Stats.to_metrics totals)
+            ~outcome:(if interrupted () then "interrupted" else "partial")
+            ~exit_code:
+              (if interrupted () then exit_interrupted else exit_partial)
+            ();
           (match writer with
           | Some w ->
               Synth.Checkpoint.Writer.record_best w code achieved;
@@ -565,7 +650,7 @@ let optimize_cmd =
       ret
         (const run $ data_len_arg $ md_arg $ lo_arg $ hi_arg $ timeout_arg
        $ checkpoint_arg $ resume_arg $ Output.trace_arg $ Output.metrics_arg
-       $ Output.progress_arg $ Output.stats_arg))
+       $ Output.progress_arg $ Output.no_ledger_arg $ Output.stats_arg))
 
 (* ---------- verify ---------- *)
 
@@ -574,8 +659,13 @@ let verify_cmd =
     let doc = "Distance-checking method: sat (the paper's) or enum." in
     Arg.(value & opt (enum [ ("sat", `Sat); ("enum", `Enum) ]) `Sat & info [ "method" ] ~doc)
   in
-  let run code_spec prop_spec method_ timeout trace fmt =
+  let run code_spec prop_spec method_ timeout trace no_ledger fmt =
     ignore timeout;
+    Output.ledger_start ~no_ledger ~subcommand:"verify"
+      ~problem:(code_spec ^ " |= " ^ prop_spec)
+      ~config:
+        [ ("method", match method_ with `Sat -> "sat" | `Enum -> "enum") ]
+      ();
     let code = load_code code_spec in
     let prop = load_prop prop_spec in
     (* md claims go through the dedicated checker so the SAT path is used *)
@@ -591,6 +681,11 @@ let verify_cmd =
           | _ -> (Synth.Verify.property env prop).Synth.Verify.holds)
     in
     let elapsed = Unix.gettimeofday () -. start in
+    Output.ledger_finish
+      ~metrics:[ ("stats.elapsed_s", elapsed) ]
+      ~outcome:(if holds then "verified" else "refuted")
+      ~exit_code:(if holds then 0 else 1)
+      ();
     Output.result fmt
       ~text:(fun () ->
         Printf.printf "%s (%.2f s)\n" (if holds then "VERIFIED" else "REFUTED") elapsed)
@@ -607,12 +702,14 @@ let verify_cmd =
     Term.(
       ret
         (const run $ code_arg $ prop_arg $ method_arg $ timeout_arg
-       $ Output.trace_arg $ Output.stats_arg))
+       $ Output.trace_arg $ Output.no_ledger_arg $ Output.stats_arg))
 
 (* ---------- distance ---------- *)
 
 let distance_cmd =
-  let run code_spec trace fmt =
+  let run code_spec trace no_ledger fmt =
+    Output.ledger_start ~no_ledger ~subcommand:"distance" ~problem:code_spec
+      ~config:[] ();
     let code = load_code code_spec in
     let md, pu =
       Output.with_trace trace (fun () ->
@@ -634,11 +731,17 @@ let distance_cmd =
           ("set_bits", J.Int (Hamming.Code.set_bits code));
           ("p_undetected_at_0.1", J.Float pu);
         ]);
+    Output.ledger_finish
+      ~metrics:[ ("min_distance", float_of_int md) ]
+      ~outcome:"ok" ~exit_code:0 ();
     `Ok ()
   in
   let doc = "Compute the exact minimum distance of a generator." in
   Cmd.v (Cmd.info "distance" ~doc)
-    Term.(ret (const run $ code_arg $ Output.trace_arg $ Output.stats_arg))
+    Term.(
+      ret
+        (const run $ code_arg $ Output.trace_arg $ Output.no_ledger_arg
+       $ Output.stats_arg))
 
 (* ---------- analyze ---------- *)
 
@@ -651,7 +754,11 @@ let analyze_cmd =
     let doc = "Monte-Carlo samples for the float profile." in
     Arg.(value & opt int 100_000 & info [ "samples" ] ~doc)
   in
-  let run format samples trace fmt =
+  let run format samples trace no_ledger fmt =
+    Output.ledger_start ~no_ledger ~subcommand:"analyze"
+      ~problem:(match format with `F32 -> "float32" | `I32 -> "int32")
+      ~config:[ ("samples", string_of_int samples) ]
+      ();
     let profile =
       Output.with_trace trace (fun () ->
           match format with
@@ -698,6 +805,7 @@ let analyze_cmd =
                 J.List (Array.to_list (Array.map (fun v -> J.Int v) w)) );
             ]
         | None -> []);
+    Output.ledger_finish ~outcome:"ok" ~exit_code:0 ();
     `Ok ()
   in
   let doc = "Per-bit numeric-error profile of a data format (paper Figure 1)." in
@@ -705,7 +813,7 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ format_arg $ samples_arg $ Output.trace_arg
-       $ Output.stats_arg))
+       $ Output.no_ledger_arg $ Output.stats_arg))
 
 (* ---------- emit ---------- *)
 
@@ -718,7 +826,10 @@ let emit_cmd =
     let doc = "Output file (stdout if omitted)." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run code_spec lang out trace fmt =
+  let run code_spec lang out trace no_ledger fmt =
+    Output.ledger_start ~no_ledger ~subcommand:"emit" ~problem:code_spec
+      ~config:[ ("lang", match lang with `C -> "c" | `OCaml -> "ocaml") ]
+      ();
     let code = load_code code_spec in
     let source =
       Output.with_trace trace (fun () ->
@@ -747,6 +858,7 @@ let emit_cmd =
         @ (match out with
           | Some path -> [ ("output", J.Str path) ]
           | None -> [ ("source", J.Str source) ]));
+    Output.ledger_finish ~outcome:"ok" ~exit_code:0 ();
     `Ok ()
   in
   let doc = "Emit a specialized encode/check implementation for a generator." in
@@ -754,7 +866,7 @@ let emit_cmd =
     Term.(
       ret
         (const run $ code_arg $ lang_arg $ out_arg $ Output.trace_arg
-       $ Output.stats_arg))
+       $ Output.no_ledger_arg $ Output.stats_arg))
 
 (* ---------- smt ---------- *)
 
@@ -763,7 +875,9 @@ let smt_cmd =
     let doc = "SMT-LIB v2 script (Boolean fragment); '-' reads stdin." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file trace fmt =
+  let run file trace no_ledger fmt =
+    Output.ledger_start ~no_ledger ~subcommand:"smt" ~problem:file ~config:[]
+      ();
     let script =
       if file = "-" then In_channel.input_all stdin else read_file file
     in
@@ -780,12 +894,18 @@ let smt_cmd =
                      (fun l -> if l = "" then None else Some (J.Str l))
                      (String.split_on_char '\n' out)) );
             ]);
+        Output.ledger_finish ~outcome:"ok" ~exit_code:0 ();
         `Ok ()
-    | exception Smtlite.Smtlib.Error msg -> `Error (false, msg)
+    | exception Smtlite.Smtlib.Error msg ->
+        Output.ledger_finish ~outcome:"error" ~exit_code:124 ();
+        `Error (false, msg)
   in
   let doc = "Run an SMT-LIB v2 script on the built-in Boolean solver." in
   Cmd.v (Cmd.info "smt" ~doc)
-    Term.(ret (const run $ file_arg $ Output.trace_arg $ Output.stats_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ Output.trace_arg $ Output.no_ledger_arg
+       $ Output.stats_arg))
 
 (* ---------- certify ---------- *)
 
@@ -798,7 +918,10 @@ let certify_cmd =
     let doc = "Write the DRAT certificate to FILE." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run code_spec md out trace fmt =
+  let run code_spec md out trace no_ledger fmt =
+    Output.ledger_start ~no_ledger ~subcommand:"certify"
+      ~problem:(Printf.sprintf "%s md>=%d" code_spec md)
+      ~config:[] ();
     let code = load_code code_spec in
     let start = Unix.gettimeofday () in
     match
@@ -808,6 +931,10 @@ let certify_cmd =
     | `Certified proof ->
         let elapsed = Unix.gettimeofday () -. start in
         let steps = List.length (Sat.Drat.parse proof) in
+        Output.ledger_finish
+          ~metrics:
+            [ ("stats.elapsed_s", elapsed); ("proof_steps", float_of_int steps) ]
+          ~outcome:"certified" ~exit_code:0 ();
         (match out with
         | None -> ()
         | Some path ->
@@ -834,6 +961,7 @@ let certify_cmd =
             @ match out with Some p -> [ ("output", J.Str p) ] | None -> []);
         `Ok ()
     | `Refuted witness ->
+        Output.ledger_finish ~outcome:"refuted" ~exit_code:1 ();
         Output.result fmt
           ~text:(fun () ->
             Printf.printf
@@ -857,7 +985,7 @@ let certify_cmd =
     Term.(
       ret
         (const run $ code_arg $ md_arg $ out_arg $ Output.trace_arg
-       $ Output.stats_arg))
+       $ Output.no_ledger_arg $ Output.stats_arg))
 
 (* ---------- robustness ---------- *)
 
@@ -874,7 +1002,15 @@ let robustness_cmd =
     let doc = "PRNG seed." in
     Arg.(value & opt int 0xFEC & info [ "seed" ] ~doc)
   in
-  let run code_spec words p seed trace fmt =
+  let run code_spec words p seed trace no_ledger fmt =
+    Output.ledger_start ~no_ledger ~subcommand:"robustness" ~problem:code_spec
+      ~config:
+        [
+          ("words", string_of_int words);
+          ("error_prob", string_of_float p);
+          ("seed", string_of_int seed);
+        ]
+      ();
     let code = load_code code_spec in
     let md, r =
       Output.with_trace trace (fun () ->
@@ -902,6 +1038,13 @@ let robustness_cmd =
             J.Float r.Channel.Montecarlo.expected_flips_ge_md );
           ("undetected", J.Int r.Channel.Montecarlo.undetected);
         ]);
+    Output.ledger_finish
+      ~metrics:
+        [
+          ("undetected", float_of_int r.Channel.Montecarlo.undetected);
+          ("flips_ge_md", float_of_int r.Channel.Montecarlo.flips_ge_md);
+        ]
+      ~outcome:"ok" ~exit_code:0 ();
     `Ok ()
   in
   let doc = "Monte-Carlo robustness of a generator on a binary symmetric channel." in
@@ -909,7 +1052,7 @@ let robustness_cmd =
     Term.(
       ret
         (const run $ code_arg $ words_arg $ p_arg $ seed_arg $ Output.trace_arg
-       $ Output.stats_arg))
+       $ Output.no_ledger_arg $ Output.stats_arg))
 
 (* ---------- trace family: check / report / flame / diff ---------- *)
 
@@ -1093,6 +1236,76 @@ let trace_flame_cmd =
   in
   Cmd.v (Cmd.info "flame" ~doc) Term.(ret (const run $ trace_file_arg))
 
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let pct_str pct =
+  if Float.is_finite pct then Printf.sprintf "%+.1f%%" pct
+  else if pct > 0.0 then "+inf%"
+  else "-inf%"
+
+(* Shared result rendering for [trace diff] and [runs compare]: the two
+   commands judge different inputs but report identically.  Metrics
+   present on only one side are listed by name (added/removed), never
+   silently dropped — a metric that disappears can hide a regression.
+   Exits 1 on any regression (the CI gate contract). *)
+let print_metric_diff fmt ~threshold ~command ~label_a ~label_b ~extra_json
+    (d : An.diff) =
+  let delta_json (dl : An.delta) =
+    J.Obj
+      [
+        ("key", J.Str dl.An.key);
+        ("a", J.Float dl.An.va);
+        ("b", J.Float dl.An.vb);
+        ( "pct",
+          if Float.is_finite dl.An.pct then J.Float dl.An.pct
+          else J.Str (pct_str dl.An.pct) );
+      ]
+  in
+  Output.result fmt
+    ~text:(fun () ->
+      Printf.printf
+        "%s vs %s: %d shared metrics (%d only in baseline, %d only in \
+         candidate)\n"
+        label_a label_b d.An.shared d.An.only_a d.An.only_b;
+      List.iter
+        (fun k -> Printf.printf "removed      %s\n" k)
+        d.An.removed;
+      List.iter (fun k -> Printf.printf "added        %s\n" k) d.An.added;
+      List.iter
+        (fun (dl : An.delta) ->
+          Printf.printf "regression   %-40s %12g -> %-12g %s\n" dl.An.key
+            dl.An.va dl.An.vb (pct_str dl.An.pct))
+        d.An.regressions;
+      List.iter
+        (fun (dl : An.delta) ->
+          Printf.printf "improvement  %-40s %12g -> %-12g %s\n" dl.An.key
+            dl.An.va dl.An.vb (pct_str dl.An.pct))
+        d.An.improvements;
+      if d.An.regressions = [] then
+        Printf.printf "ok: no metric regressed beyond %.1f%%\n" threshold
+      else
+        Printf.printf "FAIL: %d metric(s) regressed beyond %.1f%%\n"
+          (List.length d.An.regressions)
+          threshold)
+    ~json:(fun () ->
+      [ ("command", J.Str command) ]
+      @ extra_json
+      @ [
+          ("threshold_pct", J.Float threshold);
+          ("shared", J.Int d.An.shared);
+          ("only_a", J.Int d.An.only_a);
+          ("only_b", J.Int d.An.only_b);
+          ("added", J.List (List.map (fun k -> J.Str k) d.An.added));
+          ("removed", J.List (List.map (fun k -> J.Str k) d.An.removed));
+          ("regressions", J.List (List.map delta_json d.An.regressions));
+          ("improvements", J.List (List.map delta_json d.An.improvements));
+        ]);
+  if d.An.regressions <> [] then exit 1;
+  `Ok ()
+
 let trace_diff_cmd =
   let a_arg =
     let doc = "Baseline: an NDJSON trace or a BENCH_*.json file." in
@@ -1116,16 +1329,6 @@ let trace_diff_cmd =
     in
     Arg.(value & opt_all string [] & info [ "ignore" ] ~docv:"SUBSTR" ~doc)
   in
-  let contains ~sub s =
-    let n = String.length sub and m = String.length s in
-    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-    n = 0 || go 0
-  in
-  let pct_str pct =
-    if Float.is_finite pct then Printf.sprintf "%+.1f%%" pct
-    else if pct > 0.0 then "+inf%"
-    else "-inf%"
-  in
   let run a b threshold ignored fmt =
     match
       (An.metrics_of_string (read_file a), An.metrics_of_string (read_file b))
@@ -1134,59 +1337,21 @@ let trace_diff_cmd =
     | _, Error msg -> `Error (false, Printf.sprintf "%s: %s" b msg)
     | Ok (ma, sa), Ok (mb, sb) ->
         let keep (key, _) =
-          not (List.exists (fun sub -> contains ~sub key) ignored)
+          not (List.exists (fun sub -> contains_sub ~sub key) ignored)
         in
         let ma = List.filter keep ma and mb = List.filter keep mb in
         let d = An.diff ~threshold ma mb in
-        let delta_json (dl : An.delta) =
-          J.Obj
+        print_metric_diff fmt ~threshold ~command:"trace-diff"
+          ~label_a:(An.source_name sa ^ " " ^ a)
+          ~label_b:(An.source_name sb ^ " " ^ b)
+          ~extra_json:
             [
-              ("key", J.Str dl.An.key);
-              ("a", J.Float dl.An.va);
-              ("b", J.Float dl.An.vb);
-              ( "pct",
-                if Float.is_finite dl.An.pct then J.Float dl.An.pct
-                else J.Str (pct_str dl.An.pct) );
-            ]
-        in
-        Output.result fmt
-          ~text:(fun () ->
-            Printf.printf "%s %s vs %s %s: %d shared metrics (%d only in \
-                           baseline, %d only in candidate)\n"
-              (An.source_name sa) a (An.source_name sb) b d.An.shared
-              d.An.only_a d.An.only_b;
-            List.iter
-              (fun (dl : An.delta) ->
-                Printf.printf "regression   %-40s %12g -> %-12g %s\n"
-                  dl.An.key dl.An.va dl.An.vb (pct_str dl.An.pct))
-              d.An.regressions;
-            List.iter
-              (fun (dl : An.delta) ->
-                Printf.printf "improvement  %-40s %12g -> %-12g %s\n"
-                  dl.An.key dl.An.va dl.An.vb (pct_str dl.An.pct))
-              d.An.improvements;
-            if d.An.regressions = [] then
-              Printf.printf "ok: no metric regressed beyond %.1f%%\n" threshold
-            else
-              Printf.printf "FAIL: %d metric(s) regressed beyond %.1f%%\n"
-                (List.length d.An.regressions)
-                threshold)
-          ~json:(fun () ->
-            [
-              ("command", J.Str "trace-diff");
               ("a", J.Str a);
               ("b", J.Str b);
               ("source_a", J.Str (An.source_name sa));
               ("source_b", J.Str (An.source_name sb));
-              ("threshold_pct", J.Float threshold);
-              ("shared", J.Int d.An.shared);
-              ("only_a", J.Int d.An.only_a);
-              ("only_b", J.Int d.An.only_b);
-              ("regressions", J.List (List.map delta_json d.An.regressions));
-              ("improvements", J.List (List.map delta_json d.An.improvements));
-            ]);
-        if d.An.regressions <> [] then exit 1;
-        `Ok ()
+            ]
+          d
   in
   let doc =
     "Compare two traces or two bench baselines metric by metric; exits 1 \
@@ -1208,25 +1373,479 @@ let trace_cmd =
   Cmd.group (Cmd.info "trace" ~doc)
     [ trace_check_sub; trace_report_cmd; trace_flame_cmd; trace_diff_cmd ]
 
+(* ---------- version ---------- *)
+
+let version_cmd =
+  let json_arg =
+    let doc = "Print the build identity as one JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run json =
+    let b = Telemetry.Buildinfo.detect () in
+    if json then Output.print_json (Telemetry.Buildinfo.to_json b)
+    else begin
+      Printf.printf "fecsynth %s\n" b.Telemetry.Buildinfo.code_version;
+      (match b.Telemetry.Buildinfo.git with
+      | Some g -> Printf.printf "git: %s\n" g
+      | None -> ());
+      Printf.printf "ocaml: %s\n" b.Telemetry.Buildinfo.ocaml;
+      Printf.printf "features: %s\n"
+        (String.concat " " b.Telemetry.Buildinfo.features)
+    end
+  in
+  let doc =
+    "Print the build identity: code version, git describe (when available), \
+     OCaml version and enabled features — the same record every run-ledger \
+     entry embeds."
+  in
+  Cmd.v (Cmd.info "version" ~doc) Term.(const run $ json_arg)
+
+(* ---------- runs: the persistent cross-run ledger ---------- *)
+
+module L = Telemetry.Ledger
+
+let ledger_dir_arg =
+  let doc =
+    "Ledger directory to read (default: $(b,FEC_LEDGER_DIR) when set, else \
+     .fecsynth/ledger)."
+  in
+  Arg.(value & opt (some string) None & info [ "ledger-dir" ] ~docv:"DIR" ~doc)
+
+let resolve_dir = function Some d -> d | None -> L.default_dir ()
+
+(* Reading mirrors [trace check]: a truncated tail and newer-format
+   records are tolerated with a warning, real corruption is an error. *)
+let load_entries dir =
+  match L.load ~dir with
+  | Error msg -> Error (Printf.sprintf "%s: %s" (L.file ~dir) msg)
+  | Ok l ->
+      if l.L.truncated then
+        Printf.eprintf
+          "fecsynth: warning: final ledger line is truncated (interrupted \
+           append); ignored\n%!";
+      if l.L.skipped_future > 0 then
+        Printf.eprintf
+          "fecsynth: warning: skipped %d record(s) written by a newer ledger \
+           format (this build reads v%d and older)\n%!"
+          l.L.skipped_future L.format_version;
+      Ok l.L.entries
+
+(* Ids are positional — 1-based from the oldest record, computed at read
+   time (never stored, so concurrent appenders can't race on them);
+   negative ids count back from the newest (-1 = latest). *)
+let resolve_id entries id =
+  let n = List.length entries in
+  let idx = if id < 0 then n + id else id - 1 in
+  if idx < 0 || idx >= n then
+    Error
+      (Printf.sprintf "run id %d out of range (the ledger holds %d run%s)" id
+         n
+         (if n = 1 then "" else "s"))
+  else Ok (idx + 1, List.nth entries idx)
+
+let entry_json ~id e =
+  match L.to_json e with
+  | J.Obj kvs -> J.Obj (("id", J.Int id) :: kvs)
+  | j -> j
+
+let runs_list_cmd =
+  let sub_arg =
+    let doc = "Only runs of this subcommand (synth, optimize, bench, ...)." in
+    Arg.(
+      value & opt (some string) None & info [ "subcommand" ] ~docv:"CMD" ~doc)
+  in
+  let problem_arg =
+    let doc = "Only runs whose problem contains $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "problem" ] ~docv:"SUBSTR" ~doc)
+  in
+  let outcome_arg =
+    let doc = "Only runs with this outcome (synthesized, timeout, crash, ...)." in
+    Arg.(
+      value & opt (some string) None & info [ "outcome" ] ~docv:"OUTCOME" ~doc)
+  in
+  let since_arg =
+    let doc =
+      "Only runs at or after this UTC timestamp (ISO-8601; prefixes work, \
+       e.g. 2026-08)."
+    in
+    Arg.(value & opt (some string) None & info [ "since" ] ~docv:"TS" ~doc)
+  in
+  let run dir sub problem outcome since fmt =
+    match load_entries (resolve_dir dir) with
+    | Error msg -> `Error (false, msg)
+    | Ok entries ->
+        let hits =
+          List.filteri
+            (fun _ ((_, e) : int * L.entry) ->
+              (match sub with Some c -> e.L.subcommand = c | None -> true)
+              && (match problem with
+                 | Some p -> contains_sub ~sub:p e.L.problem
+                 | None -> true)
+              && (match outcome with
+                 | Some o -> e.L.outcome = o
+                 | None -> true)
+              && match since with Some ts -> e.L.ts >= ts | None -> true)
+            (List.mapi (fun i e -> (i + 1, e)) entries)
+        in
+        Output.result fmt
+          ~text:(fun () ->
+            if hits = [] then print_endline "no recorded runs match"
+            else begin
+              Printf.printf "%-4s %-20s %-10s %-12s %4s %9s  %s\n" "id" "ts"
+                "cmd" "outcome" "exit" "wall_s" "problem";
+              List.iter
+                (fun ((id, e) : int * L.entry) ->
+                  Printf.printf "%-4d %-20s %-10s %-12s %4d %9.3f  %s\n" id
+                    e.L.ts e.L.subcommand e.L.outcome e.L.exit_code e.L.wall_s
+                    e.L.problem)
+                hits
+            end)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "runs-list");
+              ( "runs",
+                J.List (List.map (fun (id, e) -> entry_json ~id e) hits) );
+            ]);
+        `Ok ()
+  in
+  let doc = "List recorded runs, optionally filtered." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      ret
+        (const run $ ledger_dir_arg $ sub_arg $ problem_arg $ outcome_arg
+       $ since_arg $ Output.stats_arg))
+
+let run_id_arg ~at ~docv =
+  let doc =
+    "Run id from $(b,runs list); negative ids count back from the newest \
+     (-1 = latest)."
+  in
+  Arg.(required & pos at (some int) None & info [] ~docv ~doc)
+
+let runs_show_cmd =
+  let run dir id fmt =
+    match load_entries (resolve_dir dir) with
+    | Error msg -> `Error (false, msg)
+    | Ok entries -> (
+        match resolve_id entries id with
+        | Error msg -> `Error (false, msg)
+        | Ok (id, e) ->
+            Output.result fmt
+              ~text:(fun () ->
+                Printf.printf "run %d: %s at %s\n" id e.L.subcommand e.L.ts;
+                Printf.printf "outcome:  %s (exit %d)\n" e.L.outcome
+                  e.L.exit_code;
+                Printf.printf "wall:     %.3f s\n" e.L.wall_s;
+                Printf.printf "problem:  %s\n" e.L.problem;
+                Printf.printf "build:    fecsynth %s, ocaml %s%s\n"
+                  e.L.build.Telemetry.Buildinfo.code_version
+                  e.L.build.Telemetry.Buildinfo.ocaml
+                  (match e.L.build.Telemetry.Buildinfo.git with
+                  | Some g -> ", git " ^ g
+                  | None -> "");
+                if e.L.config <> [] then begin
+                  print_endline "config:";
+                  List.iter
+                    (fun (k, v) -> Printf.printf "  %s = %s\n" k v)
+                    e.L.config
+                end;
+                if e.L.metrics <> [] then begin
+                  print_endline "metrics:";
+                  List.iter
+                    (fun (k, v) -> Printf.printf "  %-28s %g\n" k v)
+                    e.L.metrics
+                end;
+                match e.L.stats with
+                | Some s ->
+                    Printf.printf "stats:    %s\n" (J.to_string s)
+                | None -> ())
+              ~json:(fun () ->
+                match entry_json ~id e with
+                | J.Obj kvs -> ("command", J.Str "runs-show") :: kvs
+                | j -> [ ("command", J.Str "runs-show"); ("run", j) ]);
+            `Ok ())
+  in
+  let doc = "Show one recorded run in full." in
+  Cmd.v (Cmd.info "show" ~doc)
+    Term.(
+      ret
+        (const run $ ledger_dir_arg
+        $ run_id_arg ~at:0 ~docv:"ID"
+        $ Output.stats_arg))
+
+let runs_compare_cmd =
+  let threshold_arg =
+    let doc =
+      "Flag shared metrics that changed by more than $(docv) percent."
+    in
+    Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let ignore_arg =
+    let doc =
+      "Drop metrics whose key contains $(docv) before comparing (repeatable; \
+       e.g. --ignore wall_s to skip wall-clock noise)."
+    in
+    Arg.(value & opt_all string [] & info [ "ignore" ] ~docv:"SUBSTR" ~doc)
+  in
+  let run dir a b threshold ignored fmt =
+    match load_entries (resolve_dir dir) with
+    | Error msg -> `Error (false, msg)
+    | Ok entries -> (
+        match (resolve_id entries a, resolve_id entries b) with
+        | Error msg, _ | _, Error msg -> `Error (false, msg)
+        | Ok (ida, ea), Ok (idb, eb) ->
+            let keep (key, _) =
+              not (List.exists (fun sub -> contains_sub ~sub key) ignored)
+            in
+            let ma = List.filter keep ea.L.metrics
+            and mb = List.filter keep eb.L.metrics in
+            let d = An.diff ~threshold ma mb in
+            print_metric_diff fmt ~threshold ~command:"runs-compare"
+              ~label_a:
+                (Printf.sprintf "run %d (%s %s)" ida ea.L.subcommand ea.L.ts)
+              ~label_b:
+                (Printf.sprintf "run %d (%s %s)" idb eb.L.subcommand eb.L.ts)
+              ~extra_json:[ ("a", J.Int ida); ("b", J.Int idb) ]
+              d)
+  in
+  let doc =
+    "Compare two recorded runs metric by metric (the $(b,trace diff) \
+     machinery over ledger records); exits 1 when any shared metric \
+     regressed beyond the threshold."
+  in
+  let exits =
+    Cmd.Exit.info 1 ~doc:"a shared metric regressed beyond the threshold."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "compare" ~doc ~exits)
+    Term.(
+      ret
+        (const run $ ledger_dir_arg
+        $ run_id_arg ~at:0 ~docv:"A"
+        $ run_id_arg ~at:1 ~docv:"B"
+        $ threshold_arg $ ignore_arg $ Output.stats_arg))
+
+let runs_trend_cmd =
+  let metric_arg =
+    let doc =
+      "Metric to trend (substring match on ledger metric keys, e.g. wall_s, \
+       stats.iterations, conflicts)."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "metric" ] ~docv:"METRIC" ~doc)
+  in
+  let sub_arg =
+    let doc = "Only runs of this subcommand." in
+    Arg.(
+      value & opt (some string) None & info [ "subcommand" ] ~docv:"CMD" ~doc)
+  in
+  let problem_arg =
+    let doc = "Only runs whose problem contains $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "problem" ] ~docv:"SUBSTR" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Flag a series whose latest point exceeds the median of its prior \
+       points by more than $(docv) percent (the $(b,trace diff) regression \
+       convention)."
+    in
+    Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let run dir sub problem metric threshold fmt =
+    match load_entries (resolve_dir dir) with
+    | Error msg -> `Error (false, msg)
+    | Ok entries ->
+        let ss = L.series ?subcommand:sub ?problem ~metric entries in
+        let trends = List.map (L.trend ~threshold) ss in
+        let regressed = List.filter (fun t -> t.L.regression) trends in
+        Output.result fmt
+          ~text:(fun () ->
+            if trends = [] then
+              Printf.printf "no recorded series match metric %s\n" metric
+            else begin
+              List.iter
+                (fun (t : L.trend) ->
+                  let s = t.L.t_series in
+                  Printf.printf
+                    "%-9s %-28s %-26s n=%-3d last=%-10g p50=%-10g p95=%-10g %s\n"
+                    s.L.s_cmd s.L.s_problem s.L.s_metric t.L.n t.L.last t.L.p50
+                    t.L.p95
+                    (match t.L.pct_vs_baseline with
+                    | None -> "baseline"
+                    | Some p ->
+                        if t.L.regression then
+                          Printf.sprintf "REGRESSION %s vs baseline"
+                            (pct_str p)
+                        else Printf.sprintf "%s vs baseline" (pct_str p)))
+                trends;
+              if regressed = [] then
+                Printf.printf "ok: no series regressed beyond %.1f%%\n"
+                  threshold
+              else
+                Printf.printf "FAIL: %d series regressed beyond %.1f%%\n"
+                  (List.length regressed) threshold
+            end)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "runs-trend");
+              ("metric", J.Str metric);
+              ("threshold_pct", J.Float threshold);
+              ( "series",
+                J.List
+                  (List.map
+                     (fun (t : L.trend) ->
+                       let s = t.L.t_series in
+                       J.Obj
+                         [
+                           ("cmd", J.Str s.L.s_cmd);
+                           ("problem", J.Str s.L.s_problem);
+                           ("metric", J.Str s.L.s_metric);
+                           ("n", J.Int t.L.n);
+                           ("last", J.Float t.L.last);
+                           ("p50", J.Float t.L.p50);
+                           ("p95", J.Float t.L.p95);
+                           ("min", J.Float t.L.lo);
+                           ("max", J.Float t.L.hi);
+                           ( "pct_vs_baseline",
+                             match t.L.pct_vs_baseline with
+                             | None -> J.Null
+                             | Some p ->
+                                 if Float.is_finite p then J.Float p
+                                 else J.Str (pct_str p) );
+                           ("regression", J.Bool t.L.regression);
+                           ( "points",
+                             J.List
+                               (List.map
+                                  (fun (ts, v) ->
+                                    J.Obj
+                                      [
+                                        ("ts", J.Str ts); ("value", J.Float v);
+                                      ])
+                                  s.L.points) );
+                         ])
+                     trends) );
+            ]);
+        if regressed <> [] then exit 1;
+        `Ok ()
+  in
+  let doc =
+    "Per-problem series of a metric across recorded runs, with nearest-rank \
+     quantiles and a latest-vs-median regression verdict; exits 1 on \
+     regression (the longitudinal bench gate)."
+  in
+  let exits =
+    Cmd.Exit.info 1 ~doc:"a series regressed beyond the threshold."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "trend" ~doc ~exits)
+    Term.(
+      ret
+        (const run $ ledger_dir_arg $ sub_arg $ problem_arg $ metric_arg
+       $ threshold_arg $ Output.stats_arg))
+
+let runs_html_cmd =
+  let out_arg =
+    let doc = "Output file for the dashboard." in
+    Arg.(
+      value & opt string "fecsynth-runs.html"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Render and validate the dashboard (balanced tags, zero external \
+       references) without writing anything — the CI mode."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run dir out check fmt =
+    match load_entries (resolve_dir dir) with
+    | Error msg -> `Error (false, msg)
+    | Ok entries -> (
+        let html = Telemetry.Html.render entries in
+        match Telemetry.Html.well_formed html with
+        | Error msg ->
+            `Error (false, "generated dashboard failed validation: " ^ msg)
+        | Ok () ->
+            let n = List.length entries in
+            if check then
+              Output.result fmt
+                ~text:(fun () ->
+                  Printf.printf "ok: dashboard well-formed (%d runs, %d bytes)\n"
+                    n (String.length html))
+                ~json:(fun () ->
+                  [
+                    ("command", J.Str "runs-html");
+                    ("checked", J.Bool true);
+                    ("runs", J.Int n);
+                    ("bytes", J.Int (String.length html));
+                  ])
+            else begin
+              (* a whole-file artifact: tmp+rename so a reader never sees
+                 a torn dashboard *)
+              let tmp = out ^ ".tmp" in
+              let oc = open_out tmp in
+              output_string oc html;
+              close_out oc;
+              Sys.rename tmp out;
+              Output.result fmt
+                ~text:(fun () ->
+                  Printf.printf "wrote %s (%d runs, %d bytes)\n" out n
+                    (String.length html))
+                ~json:(fun () ->
+                  [
+                    ("command", J.Str "runs-html");
+                    ("output", J.Str out);
+                    ("runs", J.Int n);
+                    ("bytes", J.Int (String.length html));
+                  ])
+            end;
+            `Ok ())
+  in
+  let doc =
+    "Render the run history as one self-contained HTML dashboard (inline \
+     SVG sparklines and bar charts, zero external assets): outcome mix, \
+     per-problem wall-time trends, solver-phase attribution."
+  in
+  Cmd.v (Cmd.info "html" ~doc)
+    Term.(
+      ret (const run $ ledger_dir_arg $ out_arg $ check_arg $ Output.stats_arg))
+
+let runs_cmd =
+  let doc =
+    "inspect the persistent run ledger: history, trends, HTML dashboard"
+  in
+  Cmd.group (Cmd.info "runs" ~doc)
+    [
+      runs_list_cmd; runs_show_cmd; runs_compare_cmd; runs_trend_cmd;
+      runs_html_cmd;
+    ]
+
 let () =
   let doc = "synthesis and verification of application-specific FEC codes" in
-  let info = Cmd.info "fecsynth" ~version:"1.0.0" ~doc in
+  let info =
+    Cmd.info "fecsynth" ~version:Telemetry.Buildinfo.code_version ~doc
+  in
   let group =
     Cmd.group info
       [
         synth_cmd; optimize_cmd; verify_cmd; certify_cmd; distance_cmd;
         analyze_cmd; emit_cmd; robustness_cmd; smt_cmd; trace_cmd;
-        trace_check_cmd;
+        trace_check_cmd; version_cmd; runs_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with
   | code -> exit code
   | exception Fec_core.Registry.Parse_error msg ->
+      Output.ledger_finish ~outcome:"error" ~exit_code:2 ();
       Printf.eprintf "fecsynth: bad code descriptor: %s\n" msg;
       exit 2
   | exception Spec.Parse.Error msg ->
+      Output.ledger_finish ~outcome:"error" ~exit_code:2 ();
       Printf.eprintf "fecsynth: bad property: %s\n" msg;
       exit 2
   | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+      Output.ledger_finish ~outcome:"error" ~exit_code:2 ();
       Printf.eprintf "fecsynth: error: %s\n" msg;
       exit 2

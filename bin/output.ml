@@ -33,9 +33,22 @@ let progress_arg =
   let doc =
     "Render a live one-line progress display on stderr: iteration rate, \
      counterexample pool size, best candidate bound, portfolio worker \
-     states, restart counts.  Silently disabled when stderr is not a TTY."
+     states, restart counts.  Silently disabled when stderr is not a TTY \
+     (set FEC_FORCE_TTY=1 to force rendering, e.g. under a test harness)."
   in
   Arg.(value & flag & info [ "progress" ] ~doc)
+
+let no_ledger_arg =
+  let doc =
+    "Do not record this run in the persistent run ledger (see $(b,fecsynth \
+     runs)).  FEC_NO_LEDGER=1 has the same effect."
+  in
+  Arg.(value & flag & info [ "no-ledger" ] ~doc)
+
+(* FEC_FORCE_TTY=1 makes --progress render without a real TTY so cram
+   tests can assert the line's shape; the sink then draws its final state
+   followed by a newline instead of erasing itself. *)
+let force_tty () = Sys.getenv_opt "FEC_FORCE_TTY" = Some "1"
 
 (* Run [f] with telemetry routed to the requested observers; no sink at
    all when none is requested, preserving the disabled fast path.  The
@@ -60,12 +73,13 @@ let with_observability ?(trace = None) ?(metrics = None) ?(progress = false) f =
       in
       sinks := Telemetry.Metrics.flush_sink write :: !sinks
   | None -> ());
-  if progress && Unix.isatty Unix.stderr then begin
+  if progress && (Unix.isatty Unix.stderr || force_tty ()) then begin
     let write s =
       output_string stderr s;
       flush stderr
     in
-    sinks := Telemetry.Progress.sink write :: !sinks
+    let final = force_tty () && not (Unix.isatty Unix.stderr) in
+    sinks := Telemetry.Progress.sink ~final write :: !sinks
   end;
   match List.rev !sinks with
   | [] -> f ()
@@ -75,6 +89,51 @@ let with_observability ?(trace = None) ?(metrics = None) ?(progress = false) f =
         (fun () -> Telemetry.with_sink (Telemetry.Sink.tee sinks) f)
 
 let with_trace path f = with_observability ~trace:path f
+
+(* ---------- run-ledger hooks ---------- *)
+
+(* One pending ledger record per process.  [ledger_start] is called once
+   by recording subcommands after argument parsing; [ledger_finish]
+   appends the record with the real outcome right before the command
+   returns or exits.  The [at_exit] hook (installed once) catches every
+   other way out — an uncaught exception, a library [exit] — and records
+   the run as a ["crash"], so failures are first-class ledger data. *)
+let ledger_pending : Telemetry.Ledger.pending option ref = ref None
+let ledger_hook_installed = ref false
+
+let ledger_start ?(no_ledger = false) ~subcommand ~problem ~config () =
+  let disabled =
+    no_ledger || Sys.getenv_opt "FEC_NO_LEDGER" = Some "1"
+  in
+  if not disabled then begin
+    let p =
+      Telemetry.Ledger.start
+        ~ts:(Telemetry.Ledger.utc_timestamp ())
+        ~subcommand ~problem ~config
+        ~build:(Telemetry.Buildinfo.detect ())
+        ()
+    in
+    ledger_pending := Some p;
+    if not !ledger_hook_installed then begin
+      ledger_hook_installed := true;
+      (* at_exit also runs after an uncaught exception; Ledger.finish is
+         idempotent, so a normally-finished run makes this a no-op.  The
+         true exit status is unknowable here — 2 matches the CLI's
+         uncaught-exception handlers. *)
+      at_exit (fun () ->
+          match !ledger_pending with
+          | Some p ->
+              Telemetry.Ledger.finish p ~outcome:"crash" ~exit_code:2
+          | None -> ())
+    end
+  end
+
+let ledger_finish ?stats ?metrics ~outcome ~exit_code () =
+  match !ledger_pending with
+  | Some p ->
+      ledger_pending := None;
+      Telemetry.Ledger.finish ?stats ?metrics p ~outcome ~exit_code
+  | None -> ()
 
 let print_json j = print_endline (Telemetry.Json.to_string j)
 

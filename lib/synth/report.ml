@@ -56,6 +56,30 @@ module Stats = struct
         ("worker_restarts", Telemetry.Json.Int t.worker_restarts);
         ("learnt_size_hist", Telemetry.Metrics.Hist.to_json t.learnt_hist);
       ]
+
+  (* Flat numeric view for the run ledger: stable [stats.*] keys so
+     [fecsynth runs trend --metric stats.iterations] works across
+     releases.  Histogram quantiles appear only when populated. *)
+  let to_metrics t =
+    [
+      ("stats.iterations", float_of_int t.iterations);
+      ("stats.verifier_calls", float_of_int t.verifier_calls);
+      ("stats.elapsed_s", t.elapsed);
+      ("stats.syn_conflicts", float_of_int t.syn_conflicts);
+      ("stats.ver_conflicts", float_of_int t.ver_conflicts);
+      ("stats.worker_crashes", float_of_int t.worker_crashes);
+      ("stats.worker_restarts", float_of_int t.worker_restarts);
+    ]
+    @ List.filter_map
+        (fun (name, q) ->
+          Option.map
+            (fun v -> (name, float_of_int v))
+            (Telemetry.Metrics.Hist.quantile t.learnt_hist q))
+        [
+          ("stats.learnt_size_p50", 0.5);
+          ("stats.learnt_size_p95", 0.95);
+          ("stats.learnt_size_p99", 0.99);
+        ]
 end
 
 type ('res, 'info) outcome =

@@ -43,6 +43,11 @@ module Stats : sig
 
   val pp : Format.formatter -> t -> unit
   val to_json : t -> Telemetry.Json.t
+
+  (** Flat numeric facts under stable [stats.*] keys (plus learnt-size
+      histogram quantiles when populated), the shape the run ledger
+      stores for [fecsynth runs trend]. *)
+  val to_metrics : t -> (string * float) list
 end
 
 (** The one outcome shape: ['res] is the synthesized artifact (a generator

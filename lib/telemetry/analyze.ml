@@ -488,6 +488,8 @@ type diff = {
   shared : int;
   only_a : int;
   only_b : int;
+  added : string list; (* present only in b, sorted *)
+  removed : string list; (* present only in a, sorted *)
   regressions : delta list; (* pct > threshold, worst first *)
   improvements : delta list; (* pct < -threshold, best first *)
 }
@@ -495,13 +497,13 @@ type diff = {
 let diff ~threshold a b =
   let tbl_a = Hashtbl.create 64 in
   List.iter (fun (k, v) -> Hashtbl.replace tbl_a k v) a;
-  let shared = ref 0 and only_b = ref 0 in
+  let shared = ref 0 and added = ref [] in
   let deltas =
     List.filter_map
       (fun (k, vb) ->
         match Hashtbl.find_opt tbl_a k with
         | None ->
-            incr only_b;
+            added := k :: !added;
             None
         | Some va ->
             incr shared;
@@ -514,10 +516,16 @@ let diff ~threshold a b =
             Some { key = k; va; vb; pct })
       b
   in
+  let removed =
+    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl_a [])
+  in
+  let added = List.sort String.compare !added in
   {
     shared = !shared;
-    only_a = Hashtbl.length tbl_a;
-    only_b = !only_b;
+    only_a = List.length removed;
+    only_b = List.length added;
+    added;
+    removed;
     regressions =
       List.filter (fun d -> d.pct > threshold) deltas
       |> List.sort (fun x y -> Float.compare y.pct x.pct);

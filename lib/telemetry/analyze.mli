@@ -118,8 +118,12 @@ type delta = { key : string; va : float; vb : float; pct : float }
 
 type diff = {
   shared : int;
-  only_a : int;
-  only_b : int;
+  only_a : int;  (** [List.length removed] *)
+  only_b : int;  (** [List.length added] *)
+  added : string list;
+      (** metric keys present only in [b] (the candidate), sorted *)
+  removed : string list;
+      (** metric keys present only in [a] (the baseline), sorted *)
   regressions : delta list;
       (** shared metrics that grew by more than [threshold] percent from
           [a] to [b] (a zero baseline growing counts as infinite),
@@ -128,5 +132,7 @@ type diff = {
 }
 
 (** [diff ~threshold a b] compares metric lists; metrics present on only
-    one side are counted, not judged. *)
+    one side are never judged against the threshold, but are reported by
+    name in [added]/[removed] so a disappearing metric can't hide a
+    regression silently. *)
 val diff : threshold:float -> (string * float) list -> (string * float) list -> diff

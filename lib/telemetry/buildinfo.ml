@@ -1,0 +1,64 @@
+(* Build identity: one record describing the code that produced a run.
+   [fecsynth version] prints it and every {!Ledger} entry embeds it, so a
+   trend that spans a code change can always be split by build. *)
+
+(* The single source of the version string: bin/fecsynth.ml's --version
+   and the ledger records both read this constant. *)
+let code_version = "1.0.0"
+
+type t = {
+  code_version : string;
+  git : string option;
+  ocaml : string;
+  features : string list;
+}
+
+(* Compiled-in capabilities, in a stable order.  A feature listed here is
+   a claim the test suite enforces, not an aspiration. *)
+let features =
+  [
+    "portfolio";
+    "telemetry";
+    "metrics";
+    "checkpoint";
+    "fault-injection";
+    "progress";
+    "ledger";
+  ]
+
+(* Best effort only: outside a work tree (or without git on PATH) the
+   field is simply absent.  Never raises. *)
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some s when s <> "" -> Some s
+    | _ -> None
+  with _ -> None
+
+let detect () =
+  { code_version; git = git_describe (); ocaml = Sys.ocaml_version; features }
+
+let to_json t =
+  Json.Obj
+    [
+      ("code_version", Json.Str t.code_version);
+      ("git", match t.git with Some g -> Json.Str g | None -> Json.Null);
+      ("ocaml", Json.Str t.ocaml);
+      ("features", Json.List (List.map (fun f -> Json.Str f) t.features));
+    ]
+
+let of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  {
+    code_version = Option.value (str "code_version") ~default:"?";
+    git = str "git";
+    ocaml = Option.value (str "ocaml") ~default:"?";
+    features =
+      (match Json.member "features" j with
+      | Some (Json.List l) -> List.filter_map Json.to_string_opt l
+      | _ -> []);
+  }

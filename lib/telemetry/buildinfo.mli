@@ -1,0 +1,29 @@
+(** Build identity shared by [fecsynth version] and every run-ledger
+    entry, so longitudinal comparisons can always be split by the code
+    that produced each data point. *)
+
+(** The code version string; [fecsynth --version] and ledger records both
+    read this single constant. *)
+val code_version : string
+
+type t = {
+  code_version : string;
+  git : string option;
+      (** [git describe --always --dirty] when available; absent outside a
+          work tree or without git on PATH *)
+  ocaml : string;  (** the compiler that built the binary *)
+  features : string list;  (** compiled-in capabilities, stable order *)
+}
+
+(** The feature list baked into this build. *)
+val features : string list
+
+(** Capture the current build's identity.  Never raises: the git probe is
+    best effort. *)
+val detect : unit -> t
+
+val to_json : t -> Json.t
+
+(** Lenient decode: missing fields become ["?"]/[None]/[[]], never an
+    exception — ledger readers must survive records from other builds. *)
+val of_json : Json.t -> t

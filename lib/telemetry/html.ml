@@ -1,0 +1,525 @@
+(* The self-contained HTML dashboard behind [fecsynth runs html]: one
+   file, hand-rolled like json.ml, zero external assets or URLs, inline
+   SVG sparklines and bar charts, light/dark via CSS custom properties.
+
+   Rendering discipline (so the output stays machine-checkable): every
+   element is explicitly closed except the void <meta>; '<', '>', '&'
+   and '"' in data are always escaped; attributes never contain a
+   literal '>'.  [well_formed] enforces exactly that contract plus the
+   no-external-reference rule, and `make check` runs it. *)
+
+(* ---------- escaping and small helpers ---------- *)
+
+let esc s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_secs s =
+  if s < 0.001 then Printf.sprintf "%.1fms" (s *. 1000.0)
+  else if s < 10.0 then Printf.sprintf "%.3fs" s
+  else Printf.sprintf "%.1fs" s
+
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+(* outcome -> status class, icon glyph (color never carries the state
+   alone: the icon + label pair always rides along) *)
+let outcome_status outcome =
+  match outcome with
+  | "synthesized" | "verified" | "certified" | "ok" -> ("good", "\xe2\x9c\x94")
+  | "partial" -> ("warning", "\xe2\x89\x88")
+  | "timeout" | "interrupted" -> ("serious", "!")
+  | "crash" | "error" | "refuted" -> ("critical", "\xe2\x9c\x96")
+  | _ -> ("neutral", "\xc2\xb7")
+
+(* ---------- the stylesheet (reference palette, light + dark) ---------- *)
+
+let style =
+  {css|
+.viz-root {
+  color-scheme: light;
+  --page:       #f9f9f7;
+  --surface-1:  #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --gridline:   #e1e0d9;
+  --baseline:   #c3c2b7;
+  --border:     rgba(11,11,11,0.10);
+  --series-1:   #2a78d6;
+  --series-2:   #eb6834;
+  --status-good:     #0ca30c;
+  --status-warning:  #fab219;
+  --status-serious:  #ec835a;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --page:       #0d0d0d;
+    --surface-1:  #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --gridline:   #2c2c2a;
+    --baseline:   #383835;
+    --border:     rgba(255,255,255,0.10);
+    --series-1:   #3987e5;
+    --series-2:   #d95926;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --page:       #0d0d0d;
+  --surface-1:  #1a1a19;
+  --text-primary:   #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted:     #898781;
+  --gridline:   #2c2c2a;
+  --baseline:   #383835;
+  --border:     rgba(255,255,255,0.10);
+  --series-1:   #3987e5;
+  --series-2:   #d95926;
+}
+.viz-root {
+  margin: 0; padding: 24px;
+  background: var(--page);
+  color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}
+h1 { font-size: 20px; margin: 0 0 4px 0; }
+h2 { font-size: 15px; margin: 28px 0 10px 0; color: var(--text-primary); }
+.sub { color: var(--text-secondary); margin: 0 0 20px 0; }
+.card {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px; padding: 14px 16px;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile { min-width: 130px; flex: 0 1 auto; }
+.tile .v { font-size: 26px; font-weight: 600; }
+.tile .l { color: var(--text-muted); font-size: 12px; }
+.grid { display: flex; flex-wrap: wrap; gap: 12px; }
+.trend { width: 252px; }
+.trend .name { color: var(--text-secondary); font-size: 12px;
+  overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+.trend .v { font-size: 16px; font-weight: 600; }
+.trend .range { color: var(--text-muted); font-size: 11px; }
+svg { display: block; }
+svg text { font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
+.line1 { fill: none; stroke: var(--series-1); stroke-width: 2; }
+.dot1 { fill: var(--series-1); stroke: var(--surface-1); stroke-width: 2; }
+.pt { fill: var(--series-1); }
+.axis { stroke: var(--baseline); stroke-width: 1; }
+.seg-series-1 { fill: var(--series-1); }
+.seg-series-2 { fill: var(--series-2); }
+.seg-good { fill: var(--status-good); }
+.seg-warning { fill: var(--status-warning); }
+.seg-serious { fill: var(--status-serious); }
+.seg-critical { fill: var(--status-critical); }
+.seg-neutral { fill: var(--text-muted); }
+.legend { list-style: none; display: flex; flex-wrap: wrap;
+  gap: 4px 18px; margin: 10px 0 0 0; padding: 0;
+  color: var(--text-secondary); font-size: 12px; }
+.legend .sw { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 6px; vertical-align: baseline; }
+.sw-series-1 { background: var(--series-1); }
+.sw-series-2 { background: var(--series-2); }
+.sw-good { background: var(--status-good); }
+.sw-warning { background: var(--status-warning); }
+.sw-serious { background: var(--status-serious); }
+.sw-critical { background: var(--status-critical); }
+.sw-neutral { background: var(--text-muted); }
+.bar-row { display: flex; align-items: center; gap: 10px; margin: 6px 0; }
+.bar-row .name { width: 260px; color: var(--text-secondary); font-size: 12px;
+  overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+.bar-row .val { color: var(--text-muted); font-size: 12px;
+  font-variant-numeric: tabular-nums; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th { text-align: left; color: var(--text-muted); font-weight: 500;
+  border-bottom: 1px solid var(--gridline); padding: 4px 10px 4px 0; }
+td { border-bottom: 1px solid var(--gridline); padding: 4px 10px 4px 0;
+  color: var(--text-secondary); vertical-align: top; }
+td.num { font-variant-numeric: tabular-nums; }
+td .ico { margin-right: 5px; }
+.note { color: var(--text-muted); font-size: 12px; margin-top: 8px; }
+|css}
+
+(* ---------- SVG pieces ---------- *)
+
+(* A single-series sparkline: 2px line, per-point hover targets with
+   native <title> tooltips, end dot with a 2px surface ring.  One series
+   per chart, so no legend (the card names it). *)
+let sparkline buf ~w ~h points =
+  let vals = List.map snd points in
+  let n = List.length vals in
+  let lo = List.fold_left Float.min infinity vals in
+  let hi = List.fold_left Float.max neg_infinity vals in
+  let span = if hi -. lo <= 0.0 then 1.0 else hi -. lo in
+  let fw = float_of_int w and fh = float_of_int h in
+  let pad = 7.0 in
+  let x i =
+    if n = 1 then fw /. 2.0
+    else pad +. ((fw -. (2.0 *. pad)) *. float_of_int i /. float_of_int (n - 1))
+  in
+  let y v = pad +. ((fh -. (2.0 *. pad)) *. (1.0 -. ((v -. lo) /. span))) in
+  Printf.bprintf buf
+    "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" role=\"img\" \
+     aria-label=\"wall-time trend\">"
+    w h w h;
+  Printf.bprintf buf
+    "<line class=\"axis\" x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\">\
+     </line>"
+    pad (fh -. 1.5) (fw -. pad) (fh -. 1.5);
+  if n > 1 then begin
+    let pts =
+      String.concat " "
+        (List.mapi
+           (fun i v -> Printf.sprintf "%.1f,%.1f" (x i) (y v))
+           vals)
+    in
+    Printf.bprintf buf "<polyline class=\"line1\" points=\"%s\"></polyline>"
+      pts
+  end;
+  List.iteri
+    (fun i (ts, v) ->
+      if i < n - 1 then
+        Printf.bprintf buf
+          "<circle class=\"pt\" cx=\"%.1f\" cy=\"%.1f\" r=\"3\"><title>%s \
+           &#183; %s</title></circle>"
+          (x i) (y v) (esc ts) (esc (fmt_secs v)))
+    points;
+  (match List.rev points with
+  | (ts, v) :: _ ->
+      Printf.bprintf buf
+        "<circle class=\"dot1\" cx=\"%.1f\" cy=\"%.1f\" r=\"4\"><title>%s \
+         &#183; %s</title></circle>"
+        (x (n - 1)) (y v) (esc ts) (esc (fmt_secs v))
+  | [] -> ());
+  Buffer.add_string buf "</svg>"
+
+(* A thin horizontal stacked bar with 2px surface gaps between segments
+   and rounded data ends; every segment carries a native tooltip. *)
+let stacked_bar buf ~w ~h segments =
+  let total = List.fold_left (fun acc (_, _, v) -> acc +. v) 0.0 segments in
+  Printf.bprintf buf
+    "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" role=\"img\" \
+     aria-label=\"distribution\">"
+    w h w h;
+  if total > 0.0 then begin
+    let live = List.filter (fun (_, _, v) -> v > 0.0) segments in
+    let gap = 2.0 in
+    let avail =
+      float_of_int w -. (gap *. float_of_int (max 0 (List.length live - 1)))
+    in
+    let x = ref 0.0 in
+    List.iter
+      (fun (cls, label, v) ->
+        let seg_w = Float.max 2.0 (avail *. v /. total) in
+        Printf.bprintf buf
+          "<rect class=\"seg-%s\" x=\"%.1f\" y=\"0\" width=\"%.1f\" \
+           height=\"%d\" rx=\"3\"><title>%s &#183; %s (%.0f%%)</title>\
+           </rect>"
+          cls !x seg_w h (esc label)
+          (esc (fmt_num v))
+          (100.0 *. v /. total);
+        x := !x +. seg_w +. gap)
+      live
+  end
+  else
+    Printf.bprintf buf
+      "<rect class=\"seg-neutral\" x=\"0\" y=\"0\" width=\"%d\" \
+       height=\"%d\" rx=\"3\" opacity=\"0.25\"></rect>"
+      w h;
+  Buffer.add_string buf "</svg>"
+
+(* ---------- dashboard assembly ---------- *)
+
+let group_by_problem entries =
+  let tbl : (string * string, Ledger.entry list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun (e : Ledger.entry) ->
+      let key = (e.Ledger.subcommand, e.Ledger.problem) in
+      if not (Hashtbl.mem tbl key) then order := key :: !order;
+      Hashtbl.replace tbl key
+        (e :: Option.value (Hashtbl.find_opt tbl key) ~default:[]))
+    entries;
+  List.rev_map (fun key -> (key, List.rev (Hashtbl.find tbl key))) !order
+
+let metric (e : Ledger.entry) key = List.assoc_opt key e.Ledger.metrics
+
+let render (entries : Ledger.entry list) =
+  let buf = Buffer.create 16384 in
+  let pf fmt = Printf.bprintf buf fmt in
+  let n = List.length entries in
+  pf "<!DOCTYPE html>";
+  pf "<html lang=\"en\"><head><meta charset=\"utf-8\">";
+  pf "<title>fecsynth run ledger</title>";
+  pf "<style>%s</style></head>" style;
+  pf "<body class=\"viz-root\">";
+  pf "<h1>fecsynth run ledger</h1>";
+  (match (entries, List.rev entries) with
+  | first :: _, last :: _ ->
+      pf "<p class=\"sub\">%d recorded run%s &#183; %s &#8594; %s</p>" n
+        (if n = 1 then "" else "s")
+        (esc first.Ledger.ts) (esc last.Ledger.ts)
+  | _ -> pf "<p class=\"sub\">no recorded runs yet</p>");
+
+  (* ---- stat tiles ---- *)
+  let groups = group_by_problem entries in
+  let good =
+    List.length
+      (List.filter
+         (fun e -> fst (outcome_status e.Ledger.outcome) = "good")
+         entries)
+  in
+  let total_wall =
+    List.fold_left (fun acc e -> acc +. e.Ledger.wall_s) 0.0 entries
+  in
+  pf "<div class=\"card tiles\">";
+  let tile v l = pf "<div class=\"tile\"><div class=\"v\">%s</div><div class=\"l\">%s</div></div>" v l in
+  tile (string_of_int n) "runs recorded";
+  tile (string_of_int (List.length groups)) "distinct problems";
+  tile
+    (if n = 0 then "&#8212;" else Printf.sprintf "%.0f%%" (100.0 *. float_of_int good /. float_of_int n))
+    "succeeded";
+  tile (esc (fmt_secs total_wall)) "total wall time";
+  pf "</div>";
+
+  (* ---- outcome mix ---- *)
+  let outcome_counts =
+    let tbl = Hashtbl.create 8 and order = ref [] in
+    List.iter
+      (fun e ->
+        let o = e.Ledger.outcome in
+        if not (Hashtbl.mem tbl o) then order := o :: !order;
+        Hashtbl.replace tbl o
+          (1 + Option.value (Hashtbl.find_opt tbl o) ~default:0))
+      entries;
+    List.rev_map (fun o -> (o, Hashtbl.find tbl o)) !order
+  in
+  pf "<h2>Outcome mix</h2><div class=\"card\">";
+  stacked_bar buf ~w:560 ~h:20
+    (List.map
+       (fun (o, c) ->
+         (fst (outcome_status o), o, float_of_int c))
+       outcome_counts);
+  pf "<ul class=\"legend\">";
+  List.iter
+    (fun (o, c) ->
+      let cls, icon = outcome_status o in
+      pf "<li><span class=\"sw sw-%s\"></span>%s %s &#8212; %d</li>" cls
+        (esc icon) (esc o) c)
+    outcome_counts;
+  pf "</ul></div>";
+
+  (* ---- per-problem wall-time trends ---- *)
+  let trend_cap = 18 in
+  pf "<h2>Wall-time trends</h2><div class=\"grid\">";
+  List.iteri
+    (fun i ((cmd, problem), es) ->
+      if i < trend_cap then begin
+        let points =
+          List.filter_map
+            (fun e ->
+              Option.map (fun v -> (e.Ledger.ts, v)) (metric e "wall_s"))
+            es
+        in
+        match points with
+        | [] -> ()
+        | _ ->
+            let vals = List.map snd points in
+            let lo = List.fold_left Float.min infinity vals in
+            let hi = List.fold_left Float.max neg_infinity vals in
+            let last = List.nth vals (List.length vals - 1) in
+            pf "<div class=\"card trend\">";
+            pf "<div class=\"name\" title=\"%s\">%s &#183; %s</div>"
+              (esc problem) (esc cmd) (esc problem);
+            pf "<div class=\"v\">%s</div>" (esc (fmt_secs last));
+            sparkline buf ~w:220 ~h:44 points;
+            pf "<div class=\"range\">%d run%s &#183; min %s &#183; max %s</div>"
+              (List.length points)
+              (if List.length points = 1 then "" else "s")
+              (esc (fmt_secs lo)) (esc (fmt_secs hi));
+            pf "</div>"
+      end)
+    groups;
+  pf "</div>";
+  if List.length groups > trend_cap then
+    pf "<p class=\"note\">+%d more problem%s not charted (see the table \
+        below for every run).</p>"
+      (List.length groups - trend_cap)
+      (if List.length groups - trend_cap = 1 then "" else "s");
+
+  (* ---- solver-phase attribution ---- *)
+  let effort =
+    List.filter_map
+      (fun ((cmd, problem), es) ->
+        let sum key =
+          List.fold_left
+            (fun acc e -> acc +. Option.value (metric e key) ~default:0.0)
+            0.0 es
+        in
+        let syn = sum "stats.syn_conflicts" and ver = sum "stats.ver_conflicts" in
+        if syn +. ver > 0.0 then Some (cmd, problem, syn, ver) else None)
+      groups
+  in
+  if effort <> [] then begin
+    pf "<h2>Solver effort: synthesis vs verification conflicts</h2>\
+        <div class=\"card\">";
+    List.iteri
+      (fun i (cmd, problem, syn, ver) ->
+        if i < trend_cap then begin
+          pf "<div class=\"bar-row\"><div class=\"name\" title=\"%s\">%s \
+              &#183; %s</div>"
+            (esc problem) (esc cmd) (esc problem);
+          stacked_bar buf ~w:260 ~h:14
+            [ ("series-1", "synthesis conflicts", syn);
+              ("series-2", "verification conflicts", ver) ];
+          pf "<div class=\"val\">%s / %s</div></div>" (esc (fmt_num syn))
+            (esc (fmt_num ver))
+        end)
+      effort;
+    pf "<ul class=\"legend\">\
+        <li><span class=\"sw sw-series-1\"></span>synthesis conflicts</li>\
+        <li><span class=\"sw sw-series-2\"></span>verification \
+        conflicts</li></ul>";
+    pf "</div>"
+  end;
+
+  (* ---- recent runs table (the table view of everything above) ---- *)
+  let table_cap = 50 in
+  let newest_first = List.rev entries in
+  pf "<h2>Recent runs</h2><div class=\"card\"><table>";
+  pf "<thead><tr><th>#</th><th>time (UTC)</th><th>command</th>\
+      <th>outcome</th><th>exit</th><th>wall</th><th>problem</th></tr>\
+      </thead><tbody>";
+  List.iteri
+    (fun i e ->
+      if i < table_cap then begin
+        let cls, icon = outcome_status e.Ledger.outcome in
+        pf "<tr><td class=\"num\">%d</td><td class=\"num\">%s</td>\
+            <td>%s</td><td><span class=\"ico sw sw-%s\"></span>%s %s</td>\
+            <td class=\"num\">%d</td><td class=\"num\">%s</td><td>%s</td>\
+            </tr>"
+          (n - i) (esc e.Ledger.ts) (esc e.Ledger.subcommand) cls (esc icon)
+          (esc e.Ledger.outcome) e.Ledger.exit_code
+          (esc (fmt_secs e.Ledger.wall_s))
+          (esc e.Ledger.problem)
+      end)
+    newest_first;
+  pf "</tbody></table>";
+  if n > table_cap then
+    pf "<p class=\"note\">showing the %d most recent of %d runs.</p>"
+      table_cap n;
+  pf "</div>";
+  pf "<p class=\"note\">generated by fecsynth runs html &#183; \
+      self-contained file, no external assets</p>";
+  pf "</body></html>";
+  Buffer.contents buf
+
+(* ---------- well-formedness checking ---------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let void_tags = [ "meta"; "br"; "hr"; "img"; "input"; "wbr"; "col" ]
+
+(* Balanced-tag and no-external-reference check over the subset of HTML
+   the renderer emits: explicit close tags, XML-style self-closing
+   allowed, <meta> and friends void, comments and the doctype skipped.
+   Attribute values must not contain a literal '>'; the renderer's
+   escaping guarantees that. *)
+let well_formed html =
+  if
+    List.exists
+      (fun sub -> contains ~sub html)
+      [ "http://"; "https://"; "src="; "url("; "@import" ]
+  then Error "external reference (http/https/src/url/@import) present"
+  else begin
+    let n = String.length html in
+    let stack = ref [] in
+    let err = ref None in
+    let fail msg = if !err = None then err := Some msg in
+    let i = ref 0 in
+    while !err = None && !i < n do
+      (if html.[!i] = '<' then
+         if !i + 3 < n && String.sub html !i 4 = "<!--" then begin
+           (* comment: skip to --> *)
+           let rec find j =
+             if j + 3 > n then None
+             else if String.sub html j 3 = "-->" then Some (j + 2)
+             else find (j + 1)
+           in
+           match find (!i + 4) with
+           | Some j -> i := j
+           | None -> fail "unterminated comment"
+         end
+         else if !i + 1 < n && html.[!i + 1] = '!' then begin
+           (* doctype *)
+           match String.index_from_opt html !i '>' with
+           | Some j -> i := j
+           | None -> fail "unterminated doctype"
+         end
+         else
+           match String.index_from_opt html !i '>' with
+           | None -> fail "unterminated tag"
+           | Some j ->
+               let inner = String.sub html (!i + 1) (j - !i - 1) in
+               let len = String.length inner in
+               if len = 0 then fail "empty tag"
+               else begin
+                 let closing = inner.[0] = '/' in
+                 let self_closing = inner.[len - 1] = '/' in
+                 let name_start = if closing then 1 else 0 in
+                 let name_end = ref name_start in
+                 while
+                   !name_end < len
+                   &&
+                   match inner.[!name_end] with
+                   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' -> true
+                   | _ -> false
+                 do
+                   incr name_end
+                 done;
+                 let name =
+                   String.lowercase_ascii
+                     (String.sub inner name_start (!name_end - name_start))
+                 in
+                 if name = "" then fail "tag with no name"
+                 else if closing then (
+                   match !stack with
+                   | top :: rest when top = name -> stack := rest
+                   | top :: _ ->
+                       fail
+                         (Printf.sprintf "mismatched </%s> (open: <%s>)" name
+                            top)
+                   | [] -> fail (Printf.sprintf "</%s> without opener" name))
+                 else if (not self_closing) && not (List.mem name void_tags)
+                 then stack := name :: !stack;
+                 i := j
+               end);
+      incr i
+    done;
+    match (!err, !stack) with
+    | Some msg, _ -> Error msg
+    | None, [] -> Ok ()
+    | None, top :: _ -> Error (Printf.sprintf "unclosed <%s>" top)
+  end

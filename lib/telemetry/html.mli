@@ -1,0 +1,15 @@
+(** The self-contained HTML dashboard behind [fecsynth runs html].
+
+    One hand-rolled file (in the spirit of {!Json}): inline CSS with
+    light/dark palettes, inline SVG sparklines and stacked bars, native
+    [<title>] tooltips — zero scripts, zero external assets, zero
+    network requests. *)
+
+(** Render the dashboard over the ledger entries (oldest first, as
+    {!Ledger.load} returns them). *)
+val render : Ledger.entry list -> string
+
+(** Structural check used by the test suite and [make check]: balanced
+    tags (modulo void elements and comments) and no external references
+    ([http://], [https://], [src=], [url(], [@import]). *)
+val well_formed : string -> (unit, string) result

@@ -99,7 +99,7 @@ let render st =
   add (Printf.sprintf "%.1fs" elapsed);
   Printf.sprintf "[%s]" (String.concat " | " (List.rev !segs))
 
-let sink ?(min_interval = 0.1) write =
+let sink ?(min_interval = 0.1) ?(final = false) write =
   let st =
     {
       started = State.now ();
@@ -139,7 +139,14 @@ let sink ?(min_interval = 0.1) write =
     flush =
       (fun () ->
         Mutex.protect mutex (fun () ->
-            (* erase the line: final results go through normal output *)
-            if st.last_width > 0 then
+            if final then begin
+              (* leave the final state on its own line — the mode used
+                 under FEC_FORCE_TTY so tests can assert its shape *)
+              draw ();
+              st.last_width <- 0;
+              write "\n"
+            end
+            else if st.last_width > 0 then
+              (* erase the line: final results go through normal output *)
               write ("\r" ^ String.make st.last_width ' ' ^ "\r")));
   }

@@ -8,8 +8,11 @@
     at most every [min_interval] seconds (default 0.1).
 
     The sink draws nothing on [flush]; it erases its line instead, so the
-    subcommand's normal result output lands on a clean row.  Callers
-    should only install it when the output stream is a TTY, typically
-    [tee]-ed with an NDJSON trace sink. *)
+    subcommand's normal result output lands on a clean row.  With
+    [~final:true] it instead draws the final state once more and ends the
+    line with ["\n"] — the mode the CLI uses under [FEC_FORCE_TTY=1] so
+    non-TTY test harnesses can assert the line's shape.  Callers should
+    only install it when the output stream is a TTY (or forced),
+    typically [tee]-ed with an NDJSON trace sink. *)
 
-val sink : ?min_interval:float -> (string -> unit) -> Sink.t
+val sink : ?min_interval:float -> ?final:bool -> (string -> unit) -> Sink.t

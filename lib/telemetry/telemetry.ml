@@ -3,6 +3,9 @@ module Sink = Sink
 module Metrics = Metrics
 module Analyze = Analyze
 module Progress = Progress
+module Buildinfo = Buildinfo
+module Ledger = Ledger
+module Html = Html
 
 (* The shared epoch/sink state lives in [State] so that [Metrics] can use
    the same single-atomic-load guard without a module cycle. *)

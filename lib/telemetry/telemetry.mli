@@ -28,6 +28,17 @@ module Analyze = Analyze
 (** Live single-line TTY progress rendering, fed by events. *)
 module Progress = Progress
 
+(** Build identity (version, git describe, compiler, features) shared by
+    [fecsynth version] and every run-ledger entry. *)
+module Buildinfo = Buildinfo
+
+(** Persistent cross-run history: the append-only NDJSON ledger behind
+    the [fecsynth runs] family, plus its trend analytics. *)
+module Ledger = Ledger
+
+(** The self-contained HTML dashboard over the run ledger. *)
+module Html = Html
+
 (** {1 Sink installation} *)
 
 (** [set_sink (Some s)] routes all subsequent events to [s];

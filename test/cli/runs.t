@@ -1,0 +1,124 @@
+The fecsynth run ledger: every synth/optimize/bench/analysis invocation
+appends one versioned NDJSON record to FEC_LEDGER_DIR (default
+.fecsynth/ledger), and the runs family reads the history back.
+
+  $ export FEC_LEDGER_DIR=$PWD/led
+  $ SPEC='len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3'
+  $ WIDE='len_G = 1 && len_d(G[0]) = 5 && len_c(G[0]) = 4 && md(G[0]) = 3'
+
+Opting out — by flag or by environment — leaves the ledger directory
+untouched:
+
+  $ fecsynth synth --no-ledger -p "$SPEC" > /dev/null
+  $ FEC_NO_LEDGER=1 fecsynth synth -p "$SPEC" > /dev/null
+  $ test ! -e led && echo untouched
+  untouched
+
+Three recorded runs: the same spec twice, then a different one:
+
+  $ fecsynth synth -p "$SPEC" > /dev/null
+  $ fecsynth synth -p "$SPEC" > /dev/null
+  $ fecsynth synth -p "$WIDE" > /dev/null
+
+runs list shows them oldest-first with positional ids; timestamps and
+wall times vary run to run, everything else is stable:
+
+  $ fecsynth runs list | awk 'NR>1 {print $1, $3, $4, $5}'
+  1 synth synthesized 0
+  2 synth synthesized 0
+  3 synth synthesized 0
+
+Filters: --problem matches by substring, --outcome and --subcommand
+exactly; JSON mode tags the object:
+
+  $ fecsynth runs list --problem 'len_c(G[0]) = 4' | awk 'NR>1 {print $1}'
+  3
+  $ fecsynth runs list --outcome timeout
+  no recorded runs match
+  $ fecsynth runs list --subcommand synth --stats json | grep -o '"command":"runs-list"'
+  "command":"runs-list"
+
+runs show resolves negative ids back from the newest record:
+
+  $ fecsynth runs show -- -1 | head -4 | sed -E 's/at .*/at TS/; s/wall: .*/wall: W/'
+  run 3: synth at TS
+  outcome:  synthesized (exit 0)
+  wall: W
+  problem:  len_G = 1 && len_d(G[0]) = 5 && len_c(G[0]) = 4 && md(G[0]) = 3
+
+  $ fecsynth runs show 99
+  fecsynth: run id 99 out of range (the ledger holds 3 runs)
+  [124]
+
+runs compare reuses the trace-diff machinery; two runs of the same spec
+agree on every deterministic metric, so only the clocks need ignoring:
+
+  $ fecsynth runs compare --ignore wall_s --ignore elapsed_s 1 2 | sed -E 's/\(synth [^)]*\)/(synth TS)/g'
+  run 1 (synth TS) vs run 2 (synth TS): 9 shared metrics (0 only in baseline, 0 only in candidate)
+  ok: no metric regressed beyond 10.0%
+
+runs trend groups points per (subcommand, problem, metric): the repeated
+spec yields a two-point series, the other a single baseline point:
+
+  $ fecsynth runs trend --metric wall_s --stats json | grep -o '"n":[0-9]*'
+  "n":2
+  "n":1
+  $ fecsynth runs trend --metric wall_s --threshold 100000 | tail -1
+  ok: no series regressed beyond 100000.0%
+
+runs html renders a self-contained dashboard — inline CSS and SVG, no
+external requests of any kind — and --check validates without writing:
+
+  $ fecsynth runs html -o dash.html | sed -E 's/[0-9]+ bytes/N bytes/'
+  wrote dash.html (3 runs, N bytes)
+  $ fecsynth runs html --check | sed -E 's/[0-9]+ bytes/N bytes/'
+  ok: dashboard well-formed (3 runs, N bytes)
+  $ ! grep -qE 'https?://|@import|url\(|src=' dash.html && echo self-contained
+  self-contained
+  $ test "$(grep -o '<svg' dash.html | wc -l)" -ge 2 && echo has-charts
+  has-charts
+
+Failures are first-class ledger data — a run that dies on a bad property
+still records an outcome:
+
+  $ fecsynth synth -p 'garbage!!!'
+  fecsynth: bad property: expected expression, found "garbage"
+  [2]
+  $ fecsynth runs list | awk 'END {print $1, $4, $5}'
+  4 error 2
+
+The version subcommand reports the same build identity the ledger embeds
+in every record (the git line only appears inside a checkout, so it is
+filtered here):
+
+  $ fecsynth version | grep -v '^git: '
+  fecsynth 1.0.0
+  ocaml: 5.1.1
+  features: portfolio telemetry metrics checkpoint fault-injection progress ledger
+  $ fecsynth version --json | grep -o '"code_version":"1.0.0"'
+  "code_version":"1.0.0"
+  $ fecsynth --version
+  1.0.0
+
+Durability: records written by a newer format version are skipped with a
+warning, and a torn final line (an interrupted append) is tolerated, not
+fatal — the whole records before it still read back:
+
+  $ echo '{"v":99,"ts":"2030-01-01T00:00:00Z","cmd":"synth","outcome":"future"}' >> led/runs.ndjson
+  $ printf '{"v":1,"ts":"torn' >> led/runs.ndjson
+  $ fecsynth runs list 2>&1 >/dev/null
+  fecsynth: warning: final ledger line is truncated (interrupted append); ignored
+  fecsynth: warning: skipped 1 record(s) written by a newer ledger format (this build reads v1 and older)
+  $ fecsynth runs list 2>/dev/null | awk 'NR>1 {print $1}' | tail -1
+  4
+
+--progress is observable under a test harness via FEC_FORCE_TTY=1: the
+sink draws carriage-return frames and finishes with a newline-terminated
+final line; without the override a non-TTY stderr stays silent:
+
+  $ FEC_NO_LEDGER=1 FEC_FORCE_TTY=1 fecsynth synth --progress -p "$SPEC" 2>prog.err >/dev/null
+  $ tr '\r' '\n' < prog.err | tail -1 | grep -Ec '^\[it [0-9]+ \([0-9.]+/s\) \| .*[0-9.]+s\]$'
+  1
+  $ FEC_NO_LEDGER=1 fecsynth synth --progress -p "$SPEC" 2>prog2.err >/dev/null
+  $ wc -c < prog2.err
+  0
