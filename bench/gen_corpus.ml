@@ -1,0 +1,24 @@
+(* Regenerate the committed DIMACS corpus from its generator definition.
+
+   Usage: dune exec bench/gen_corpus.exe [-- DIR]   (default bench/dimacs)
+
+   The corpus is deterministic (Sat.Gen seeds), so running this is
+   idempotent; test_sat.ml pins the files to Gen.default_corpus. *)
+
+let () =
+  let dir =
+    match Array.to_list Sys.argv with _ :: d :: _ -> d | _ -> "bench/dimacs"
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, cnf) ->
+      let path = Filename.concat dir (name ^ ".cnf")
+      and text = Sat.Dimacs.print cnf in
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "%-24s %6d vars %7d clauses -> %s\n" name
+        cnf.Sat.Dimacs.num_vars
+        (List.length cnf.Sat.Dimacs.clauses)
+        path)
+    (Sat.Gen.default_corpus ())

@@ -37,30 +37,35 @@ let time_it f =
    dumped as one JSON object at exit, so CI and EXPERIMENTS.md can diff
    runs without scraping the human tables ([fecsynth trace diff] consumes
    these files; `make bench-gate` turns that diff into a regression gate).
-   Default path BENCH_pr4.json; override with FEC_BENCH_OUT. *)
-let bench_records : (string * string * float * int * int) list ref = ref []
+   Default path BENCH_pr6.json; override with FEC_BENCH_OUT. *)
+let bench_records :
+    (string * string * float * int * int * (string * float) list) list ref =
+  ref []
 
-let record_instance ~experiment ~instance ~wall_s ~iterations ~conflicts =
+let record_instance ?(extra = []) ~experiment ~instance ~wall_s ~iterations
+    ~conflicts () =
   bench_records :=
-    (experiment, instance, wall_s, iterations, conflicts) :: !bench_records
+    (experiment, instance, wall_s, iterations, conflicts, extra)
+    :: !bench_records
 
 let write_bench_json () =
   let path =
-    Option.value (Sys.getenv_opt "FEC_BENCH_OUT") ~default:"BENCH_pr4.json"
+    Option.value (Sys.getenv_opt "FEC_BENCH_OUT") ~default:"BENCH_pr6.json"
   in
   let module J = Telemetry.Json in
   let rows =
     List.rev_map
-      (fun (experiment, instance, wall_s, iterations, conflicts) ->
+      (fun (experiment, instance, wall_s, iterations, conflicts, extra) ->
         J.Obj
-          [ ("experiment", J.Str experiment); ("instance", J.Str instance);
-            ("wall_s", J.Float wall_s); ("iterations", J.Int iterations);
-            ("conflicts", J.Int conflicts) ])
+          ([ ("experiment", J.Str experiment); ("instance", J.Str instance);
+             ("wall_s", J.Float wall_s); ("iterations", J.Int iterations);
+             ("conflicts", J.Int conflicts) ]
+          @ List.map (fun (k, v) -> (k, J.Float v)) extra))
       !bench_records
   in
   let j =
     J.Obj
-      [ ("pr", J.Str "pr4"); ("scale", J.Int scale); ("instances", J.List rows) ]
+      [ ("pr", J.Str "pr6"); ("scale", J.Int scale); ("instances", J.List rows) ]
   in
   let oc = open_out path in
   output_string oc (J.to_string j);
@@ -119,7 +124,7 @@ let table1 () =
             ~instance:(Printf.sprintf "md=%d" md)
             ~wall_s:st.Synth.Report.Stats.elapsed
             ~iterations:st.Synth.Report.Stats.iterations
-            ~conflicts:st.Synth.Report.Stats.syn_conflicts;
+            ~conflicts:st.Synth.Report.Stats.syn_conflicts ();
           Printf.printf "%-9d %-10d %-11d %-9.2f (%d, %d, %.2f)\n" md
             r.Synth.Optimize.check_len r.Synth.Optimize.stats.Synth.Cegis.iterations
             r.Synth.Optimize.stats.Synth.Cegis.elapsed pc pi pt
@@ -409,7 +414,7 @@ let multibit () =
         ~instance:(Printf.sprintf "distinguish=2 k=4 c=%d" checks)
         ~wall_s:stats.Synth.Report.Stats.elapsed
         ~iterations:stats.Synth.Report.Stats.iterations
-        ~conflicts:stats.Synth.Report.Stats.syn_conflicts;
+        ~conflicts:stats.Synth.Report.Stats.syn_conflicts ();
       Printf.printf
         "found: %d check bits (manual sec.6 matrix uses 11), md=%d, %d iterations, %.2f s\n"
         checks
@@ -434,7 +439,7 @@ let ablation_card () =
           record_instance ~experiment:"ablation-card" ~instance:name
             ~wall_s:stats.Synth.Report.Stats.elapsed
             ~iterations:stats.Synth.Report.Stats.iterations
-            ~conflicts:stats.Synth.Report.Stats.syn_conflicts;
+            ~conflicts:stats.Synth.Report.Stats.syn_conflicts ();
           Printf.printf "%-12s %-11d %-9.2f %-10d\n" name stats.Synth.Cegis.iterations
             stats.Synth.Cegis.elapsed stats.Synth.Cegis.syn_conflicts
       | Synth.Cegis.Unsat_config _ -> Printf.printf "%-12s UNSAT?!\n" name
@@ -460,7 +465,7 @@ let ablation_cex () =
           record_instance ~experiment:"ablation-cex" ~instance:name
             ~wall_s:stats.Synth.Report.Stats.elapsed
             ~iterations:stats.Synth.Report.Stats.iterations
-            ~conflicts:stats.Synth.Report.Stats.syn_conflicts;
+            ~conflicts:stats.Synth.Report.Stats.syn_conflicts ();
           Printf.printf "%-18s %-11d %-9.2f\n" name stats.Synth.Cegis.iterations
             stats.Synth.Cegis.elapsed
       | Synth.Cegis.Unsat_config _ -> Printf.printf "%-18s UNSAT?!\n" name
@@ -505,19 +510,19 @@ let portfolio_bench () =
             record_instance ~experiment:"portfolio-seq" ~instance
               ~wall_s:st.Synth.Report.Stats.elapsed
               ~iterations:st.Synth.Report.Stats.iterations
-              ~conflicts:st.Synth.Report.Stats.syn_conflicts;
+              ~conflicts:st.Synth.Report.Stats.syn_conflicts ();
             (st.Synth.Cegis.elapsed, Printf.sprintf "%.2f" st.Synth.Cegis.elapsed, true)
         | Synth.Cegis.Timed_out st ->
             record_instance ~experiment:"portfolio-seq" ~instance ~wall_s:budget
               ~iterations:st.Synth.Report.Stats.iterations
-              ~conflicts:st.Synth.Report.Stats.syn_conflicts;
+              ~conflicts:st.Synth.Report.Stats.syn_conflicts ();
             (budget, Printf.sprintf ">%.0f" budget, false)
         | Synth.Cegis.Unsat_config st ->
             (st.Synth.Cegis.elapsed, "unsat", true)
         | Synth.Cegis.Partial (_, st) ->
             record_instance ~experiment:"portfolio-seq" ~instance ~wall_s:budget
               ~iterations:st.Synth.Report.Stats.iterations
-              ~conflicts:st.Synth.Report.Stats.syn_conflicts;
+              ~conflicts:st.Synth.Report.Stats.syn_conflicts ();
             (budget, Printf.sprintf ">%.0f" budget, false)
       in
       match Synth.Portfolio.synthesize ~timeout:budget ~jobs:4 problem with
@@ -527,7 +532,7 @@ let portfolio_bench () =
             ~iterations:
               report.Synth.Portfolio.totals.Synth.Report.Stats.iterations
             ~conflicts:
-              report.Synth.Portfolio.totals.Synth.Report.Stats.syn_conflicts;
+              report.Synth.Portfolio.totals.Synth.Report.Stats.syn_conflicts ();
           let speedup = seq_time /. wall in
           Printf.printf "%-16s %-14s %-14.2f %s%-8.2f %s [%d round%s]\n"
             (Printf.sprintf "k=%d c=%d md=%d" k c m)
@@ -575,6 +580,90 @@ let portfolio_bench () =
   print_endline "single configuration dominates (>1.3x on the headline instance;";
   print_endline "pool-carrying restarts cut the heavy wall-clock tail); the";
   print_endline "verification race auto-selects the cheapest strategy per bound."
+
+(* ---------------------------------------------------------------- *)
+(* SAT: the CDCL core on the committed DIMACS corpus                 *)
+(* ---------------------------------------------------------------- *)
+
+(* Raw solver throughput, measured the way SAT competitions measure it:
+   a fixed corpus, per-instance wall clock, propagations/sec and
+   conflicts/sec.  The ledger gate trends ns_per_prop (lower is better,
+   matching the trend direction convention) so solver regressions are
+   caught exactly like synthesis regressions. *)
+
+let sat_timeout =
+  match Sys.getenv_opt "FEC_SAT_TIMEOUT" with
+  | Some s -> (try max 0.1 (float_of_string s) with _ -> 20.0)
+  | None -> 20.0
+
+let sat_corpus_dir =
+  Option.value (Sys.getenv_opt "FEC_SAT_CORPUS") ~default:"bench/dimacs"
+
+let sat_bench () =
+  section
+    (Printf.sprintf "SAT  CDCL core on the DIMACS corpus (%s, timeout %.0fs)"
+       sat_corpus_dir sat_timeout);
+  let files =
+    if Sys.file_exists sat_corpus_dir && Sys.is_directory sat_corpus_dir then
+      Sys.readdir sat_corpus_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".cnf")
+      |> List.sort compare
+    else []
+  in
+  if files = [] then
+    Printf.printf
+      "no corpus under %s (run `dune exec bench/gen_corpus.exe`)\n"
+      sat_corpus_dir
+  else begin
+    Printf.printf "%-22s %-7s %-9s %-10s %-12s %-12s %-10s\n" "instance" "answer"
+      "wall(s)" "conflicts" "props" "props/sec" "confl/sec";
+    let total_props = ref 0 and total_wall = ref 0.0 in
+    List.iter
+      (fun file ->
+        let name = Filename.chop_suffix file ".cnf" in
+        let text =
+          In_channel.with_open_text (Filename.concat sat_corpus_dir file)
+            In_channel.input_all
+        in
+        let cnf = Sat.Dimacs.parse text in
+        let s = Sat.Solver.create () in
+        Sat.Dimacs.load_into s cnf;
+        let t0 = Unix.gettimeofday () in
+        Sat.Solver.set_interrupt s
+          (Some (fun () -> Unix.gettimeofday () -. t0 > sat_timeout));
+        let answer =
+          match Sat.Solver.solve s with
+          | Sat.Solver.Sat -> "sat"
+          | Sat.Solver.Unsat -> "unsat"
+          | exception Sat.Solver.Interrupted -> "timeout"
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let st = Sat.Solver.stats s in
+        let props = st.Sat.Solver.propagations in
+        let props_per_sec = float_of_int props /. wall in
+        let confl_per_sec = float_of_int st.Sat.Solver.conflicts /. wall in
+        let ns_per_prop =
+          if props = 0 then 0.0 else wall *. 1e9 /. float_of_int props
+        in
+        total_props := !total_props + props;
+        total_wall := !total_wall +. wall;
+        record_instance ~experiment:"sat" ~instance:name ~wall_s:wall
+          ~iterations:props ~conflicts:st.Sat.Solver.conflicts
+          ~extra:
+            [
+              ("props_per_sec", props_per_sec);
+              ("confl_per_sec", confl_per_sec);
+              ("ns_per_prop", ns_per_prop);
+            ]
+          ();
+        Printf.printf "%-22s %-7s %-9.3f %-10d %-12d %-12.0f %-10.0f\n" name
+          answer wall st.Sat.Solver.conflicts props props_per_sec confl_per_sec)
+      files;
+    if !total_wall > 0.0 then
+      Printf.printf "\ncorpus aggregate: %.0f propagations/sec over %.2f s\n"
+        (float_of_int !total_props /. !total_wall)
+        !total_wall
+  end
 
 (* ---------------------------------------------------------------- *)
 (* micro: Bechamel benchmarks of the hot codec paths                 *)
@@ -776,6 +865,7 @@ let all_experiments =
     ("burst", burst);
     ("families", families);
     ("chase", chase);
+    ("sat", sat_bench);
     ("ablation-card", ablation_card);
     ("ablation-cex", ablation_cex);
     ("portfolio", portfolio_bench);
@@ -828,7 +918,7 @@ let () =
   | Some p ->
       let metrics =
         List.rev_map
-          (fun (experiment, instance, wall_s, iterations, conflicts) ->
+          (fun (experiment, instance, wall_s, iterations, conflicts, extra) ->
             let key suffix =
               Printf.sprintf "%s/%s/%s" experiment instance suffix
             in
@@ -836,7 +926,8 @@ let () =
               (key "wall_s", wall_s);
               (key "iterations", float_of_int iterations);
               (key "conflicts", float_of_int conflicts);
-            ])
+            ]
+            @ List.map (fun (k, v) -> (key k, v)) extra)
           !bench_records
         |> List.concat
       in

@@ -11,7 +11,15 @@ let parse s =
     | Some 0 ->
         clauses := List.rev !current :: !clauses;
         current := []
-    | Some i -> current := Lit.of_dimacs i :: !current
+    | Some i ->
+        if !num_vars < 0 then
+          failwith "Dimacs.parse: clause before problem line";
+        if abs i > !num_vars then
+          failwith
+            (Printf.sprintf
+               "Dimacs.parse: literal %d out of range (header declares %d vars)"
+               i !num_vars);
+        current := Lit.of_dimacs i :: !current
   in
   List.iter
     (fun line ->
@@ -19,8 +27,12 @@ let parse s =
       if String.length line = 0 then ()
       else if line.[0] = 'c' then ()
       else if line.[0] = 'p' then begin
+        if !num_vars >= 0 then failwith "Dimacs.parse: duplicate problem line";
         match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
-        | [ "p"; "cnf"; v; _c ] -> num_vars := int_of_string v
+        | [ "p"; "cnf"; v; c ] -> (
+            match (int_of_string_opt v, int_of_string_opt c) with
+            | Some nv, Some nc when nv >= 0 && nc >= 0 -> num_vars := nv
+            | _ -> failwith "Dimacs.parse: malformed problem line")
         | _ -> failwith "Dimacs.parse: malformed problem line"
       end
       else

@@ -4,7 +4,10 @@ type cnf = { num_vars : int; clauses : Lit.t list list }
 
 (** [parse s] parses DIMACS CNF text ([c] comment lines, a [p cnf V C]
     header, then zero-terminated clauses).
-    @raise Failure on malformed input. *)
+    @raise Failure on malformed input: bad tokens, a missing, duplicate
+    or malformed header, clauses appearing before the header, literals
+    outside the declared variable range, or an unterminated final
+    clause. *)
 val parse : string -> cnf
 
 (** [print cnf] renders a problem back to DIMACS text. *)

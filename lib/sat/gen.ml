@@ -1,0 +1,171 @@
+(* Seeded CNF problem generators for the DIMACS benchmark corpus and the
+   fuzz harness.
+
+   Everything here is deterministic in the given seed (SplitMix64, the
+   same stream used by Solver.set_seed and Channel.Prng), so the
+   committed corpus under bench/dimacs/ can be regenerated bit-for-bit
+   and a test can pin the files to their generator provenance. *)
+
+(* ---------- SplitMix64 ---------- *)
+
+type rng = { mutable state : int64 }
+
+let rng_create seed = { state = Int64.of_int seed }
+
+let rng_next r =
+  let st = Int64.add r.state 0x9E3779B97F4A7C15L in
+  r.state <- st;
+  let z =
+    Int64.mul (Int64.logxor st (Int64.shift_right_logical st 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rng_below r bound =
+  if bound <= 0 then invalid_arg "Gen.rng_below: non-positive bound";
+  Int64.to_int (Int64.rem (Int64.logand (rng_next r) Int64.max_int) (Int64.of_int bound))
+
+let rng_bool r = Int64.logand (rng_next r) 1L = 1L
+
+(* ---------- random k-CNF ---------- *)
+
+let random_ksat ~seed ~nvars ~ratio ?(k = 3) () =
+  if nvars < k then invalid_arg "Gen.random_ksat: nvars < k";
+  let r = rng_create seed in
+  let nclauses = int_of_float (Float.round (ratio *. float_of_int nvars)) in
+  let clause () =
+    (* k distinct variables, independent random signs *)
+    let vars = Array.make k (-1) in
+    for i = 0 to k - 1 do
+      let v = ref (rng_below r nvars) in
+      let fresh v = not (Array.exists (Int.equal v) (Array.sub vars 0 i)) in
+      while not (fresh !v) do
+        v := rng_below r nvars
+      done;
+      vars.(i) <- !v
+    done;
+    Array.to_list
+      (Array.map
+         (fun v ->
+           let l = Lit.make v in
+           if rng_bool r then Lit.neg l else l)
+         vars)
+  in
+  { Dimacs.num_vars = nvars; clauses = List.init nclauses (fun _ -> clause ()) }
+
+(* ---------- pigeonhole ---------- *)
+
+(* PHP(p, h): p pigeons into h holes; unsatisfiable iff p > h.  The
+   classic resolution-hard family: propagation-light, conflict-heavy. *)
+let pigeonhole ~pigeons ~holes =
+  if pigeons <= 0 || holes <= 0 then
+    invalid_arg "Gen.pigeonhole: non-positive size";
+  let var p h = (p * holes) + h in
+  let each_pigeon_somewhere =
+    List.init pigeons (fun p -> List.init holes (fun h -> Lit.make (var p h)))
+  in
+  let no_shared_hole =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p1 < p2 then
+                  Some
+                    [ Lit.neg (Lit.make (var p1 h)); Lit.neg (Lit.make (var p2 h)) ]
+                else None)
+              (List.init pigeons Fun.id))
+          (List.init pigeons Fun.id))
+      (List.init holes Fun.id)
+  in
+  {
+    Dimacs.num_vars = pigeons * holes;
+    clauses = each_pigeon_somewhere @ no_shared_hole;
+  }
+
+(* ---------- parity / XOR chains ---------- *)
+
+(* Tseitin-encode t = a xor b: four ternary clauses. *)
+let xor_clauses t a b =
+  [
+    [ Lit.neg t; a; b ];
+    [ Lit.neg t; Lit.neg a; Lit.neg b ];
+    [ t; Lit.neg a; b ];
+    [ t; a; Lit.neg b ];
+  ]
+
+(* One chain of fresh accumulators over inputs [xs], starting at [base]:
+   t_1 = x_0 xor x_1, t_i = t_{i-1} xor x_i; returns (clauses, t_last,
+   next_free_var). *)
+let chain ~base xs =
+  match xs with
+  | [] | [ _ ] -> invalid_arg "Gen.chain: need at least two inputs"
+  | x0 :: x1 :: rest ->
+      let next = ref base in
+      let fresh () =
+        let v = Lit.make !next in
+        incr next;
+        v
+      in
+      let t1 = fresh () in
+      let acc = ref (xor_clauses t1 x0 x1) in
+      let last =
+        List.fold_left
+          (fun prev x ->
+            let t = fresh () in
+            acc := xor_clauses t prev x @ !acc;
+            t)
+          t1 rest
+      in
+      (List.rev !acc, last, !next)
+
+(* Parity chain over [nvars] inputs.  Two accumulator chains run over a
+   random shuffle of the same inputs; asserting equal chain parities is
+   satisfiable, opposite parities unsatisfiable — and provably so only by
+   reasoning through both chains, which makes the family propagation-
+   bound (every decision triggers long implication runs through the
+   Tseitin clauses). *)
+let parity_chain ~seed ~nvars ~sat =
+  if nvars < 2 then invalid_arg "Gen.parity_chain: nvars < 2";
+  let r = rng_create seed in
+  let xs = List.init nvars Lit.make in
+  let shuffled =
+    let a = Array.of_list xs in
+    for i = Array.length a - 1 downto 1 do
+      let j = rng_below r (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+  in
+  let c1, t_last, next = chain ~base:nvars xs in
+  let c2, u_last, next = chain ~base:next shuffled in
+  let units =
+    if sat then [ [ t_last ]; [ u_last ] ]
+    else [ [ t_last ]; [ Lit.neg u_last ] ]
+  in
+  { Dimacs.num_vars = next; clauses = c1 @ c2 @ units }
+
+(* ---------- the committed benchmark corpus ---------- *)
+
+(* Kept at md-7 scale: instances sized so the whole suite solves in a few
+   seconds, the same propagation-per-conflict regime the CEGIS loop
+   lives in.  bench/dimacs/ holds exactly these files; the sat test
+   suite pins them to this list. *)
+let default_corpus () =
+  [
+    ("ksat_v150_r4.2_s1", random_ksat ~seed:101 ~nvars:150 ~ratio:4.2 ());
+    ("ksat_v170_r4.2_s2", random_ksat ~seed:202 ~nvars:170 ~ratio:4.2 ());
+    ("ksat_v200_r4.1_s3", random_ksat ~seed:303 ~nvars:200 ~ratio:4.1 ());
+    ("ksat_v120_r5.0_s4", random_ksat ~seed:404 ~nvars:120 ~ratio:5.0 ());
+    ("ksat_v140_r4.5_s5", random_ksat ~seed:505 ~nvars:140 ~ratio:4.5 ());
+    ("php_7_6", pigeonhole ~pigeons:7 ~holes:6);
+    ("php_8_7", pigeonhole ~pigeons:8 ~holes:7);
+    ("parity_24_unsat", parity_chain ~seed:606 ~nvars:24 ~sat:false);
+    ("parity_32_unsat", parity_chain ~seed:707 ~nvars:32 ~sat:false);
+    ("parity_40_sat", parity_chain ~seed:808 ~nvars:40 ~sat:true);
+  ]

@@ -1,0 +1,33 @@
+(** Seeded CNF problem generators.
+
+    Deterministic in their seeds (SplitMix64), so generated instances —
+    including the committed corpus under [bench/dimacs/] — are
+    reproducible bit-for-bit.  Used by the [bench sat] suite and the
+    fuzz harness. *)
+
+(** [random_ksat ~seed ~nvars ~ratio ()] is a uniform random k-CNF
+    ([k] defaults to 3) with [round (ratio *. nvars)] clauses, each over
+    [k] distinct variables with independent random signs.  Ratios near
+    4.26 (for k=3) sit at the satisfiability phase transition where
+    instances are hardest.
+    @raise Invalid_argument if [nvars < k]. *)
+val random_ksat :
+  seed:int -> nvars:int -> ratio:float -> ?k:int -> unit -> Dimacs.cnf
+
+(** [pigeonhole ~pigeons ~holes] is the PHP(p,h) principle: each pigeon
+    in some hole, no two pigeons sharing one.  Unsatisfiable iff
+    [pigeons > holes], with exponential resolution complexity — the
+    conflict-analysis stress test. *)
+val pigeonhole : pigeons:int -> holes:int -> Dimacs.cnf
+
+(** [parity_chain ~seed ~nvars ~sat] builds two Tseitin XOR chains over
+    the same [nvars] inputs (the second over a seeded shuffle) and
+    constrains their parities: equal when [sat], opposite (hence
+    unsatisfiable) otherwise.  Long implication runs through the chain
+    clauses make the family propagation-bound. *)
+val parity_chain : seed:int -> nvars:int -> sat:bool -> Dimacs.cnf
+
+(** [default_corpus ()] is the named instance list committed under
+    [bench/dimacs/]; the sat test suite pins the files to this
+    generator output. *)
+val default_corpus : unit -> (string * Dimacs.cnf) list

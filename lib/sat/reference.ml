@@ -3,7 +3,26 @@ let eval model clause =
 
 let eval_all model clauses = List.for_all (eval model) clauses
 
+(* Out-of-range variables must raise, exactly like Solver.add_clause:
+   the differential fuzz harness relies on both engines rejecting the
+   same inputs.  Without this check a variable equal to [num_vars] would
+   silently evaluate as a constant (never enumerated, pinned false by the
+   scratch model) and the cross-check would diverge. *)
+let check_vars ~num_vars clauses =
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l ->
+          if Lit.var l >= num_vars then
+            invalid_arg
+              (Printf.sprintf
+                 "Reference: variable %d not allocated (num_vars = %d)"
+                 (Lit.var l) num_vars))
+        clause)
+    clauses
+
 let solve ~num_vars clauses =
+  check_vars ~num_vars clauses;
   let model = Array.make (max num_vars 1) false in
   let rec go v =
     if v = num_vars then if eval_all model clauses then Some (Array.copy model) else None
@@ -19,6 +38,7 @@ let solve ~num_vars clauses =
   go 0
 
 let count_models ~num_vars clauses =
+  check_vars ~num_vars clauses;
   let model = Array.make (max num_vars 1) false in
   let rec go v acc =
     if v = num_vars then acc + if eval_all model clauses then 1 else 0

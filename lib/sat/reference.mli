@@ -3,11 +3,15 @@
     suitable for small variable counts. *)
 
 (** [solve ~num_vars clauses] is [Some model] for a satisfying assignment
-    (indexed by variable), or [None] if unsatisfiable. *)
+    (indexed by variable), or [None] if unsatisfiable.
+    @raise Invalid_argument if a clause mentions a variable [>= num_vars]
+    (mirroring [Solver.add_clause], so the differential harness can't
+    diverge on out-of-range inputs). *)
 val solve : num_vars:int -> Lit.t list list -> bool array option
 
 (** [count_models ~num_vars clauses] is the exact number of satisfying
-    assignments over the [num_vars] variables. *)
+    assignments over the [num_vars] variables.
+    @raise Invalid_argument if a clause mentions a variable [>= num_vars]. *)
 val count_models : num_vars:int -> Lit.t list list -> int
 
 (** [eval model clause] is the truth value of a clause under a model. *)

@@ -1,24 +1,40 @@
-(* A MiniSat-style CDCL solver.
+(* A CDCL solver engineered for raw propagation speed.
 
-   Conventions:
-   - literals are stored as their integer codes (see Lit);
-   - [assigns.(v)] is 0 when variable [v] is unassigned, 1 when true,
-     -1 when false;
-   - a clause's first two literals are its watched literals; the clause is
-     registered in the watch lists of their negations, so [propagate]
-     visits exactly the clauses that may have become unit or conflicting;
-   - [reason.(v)] is the clause that propagated [v] (if any), which must
-     never be deleted while it is a reason ("locked"). *)
+   The layout is MiniSat/Glucose-shaped but flattened:
+
+   - Clauses of size >= 3 live in one flat int arena (a Bigarray, so
+     loads are unboxed and bounds-unchecked on the hot path), addressed
+     by word offsets ("crefs").  Layout at cref:
+       [0] header = size lsl 2 | learnt lsl 1 | deleted
+       [1] LBD (learnt clauses; 0 for originals), doubles as the
+           forwarding slot during arena compaction
+       [2..2+size-1] literal codes
+   - Binary clauses never touch the arena: a dedicated implication
+     store maps each literal p to the array of literals directly
+     implied when p is assigned true.  Propagating a binary costs one
+     array read and one value lookup — no clause dereference at all.
+   - Watch lists are flat int arrays of (cref, blocker) pairs.  A
+     watcher whose blocking literal is already true is skipped without
+     touching the arena.
+   - [vals] is indexed by literal code (1 true / -1 false / 0 unset),
+     set pairwise on assignment, so literal valuation is one load.
+   - reasons are tagged ints: -1 none, even = cref lsl 1, odd =
+     (other_literal lsl 1) | 1 for binary propagation.
+   - cref 0 is a reserved 2-literal scratch clause used to materialize
+     binary conflicts for conflict analysis; real clauses start at 4.
+
+   Learnt clauses carry their LBD (number of distinct decision levels,
+   computed at learn time); database reduction is glue-aware: glue
+   clauses (LBD <= 2), locked clauses and binaries are never removed,
+   the worst half by (LBD, size) goes first.  Inprocessing (on-the-fly
+   backward subsumption + self-subsuming resolution) runs at restart
+   boundaries every [inprocess_interval] conflicts; every rewrite is
+   DRAT-logged (strengthened clause added before the fat one is
+   deleted, so the proof stays a valid RUP sequence).  The arena is
+   compacted when enough of it is dead. *)
 
 exception Budget_exhausted
 exception Interrupted
-
-type clause = {
-  mutable lits : int array;
-  learnt : bool;
-  mutable act : float;
-  mutable deleted : bool;
-}
 
 type result = Sat | Unsat
 
@@ -29,29 +45,54 @@ type stats = {
   restarts : int;
   learnt_literals : int;
   max_learnt_size : int;
+  reduces : int;
+  subsumed : int;
+  strengthened : int;
+  compactions : int;
 }
+
+type arena = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let ba_get : arena -> int -> int = Bigarray.Array1.unsafe_get
+let ba_set : arena -> int -> int -> unit = Bigarray.Array1.unsafe_set
 
 type t = {
   mutable nvars : int;
-  mutable clauses : clause Vec.t; (* problem clauses *)
-  mutable learnts : clause Vec.t;
-  mutable watches : clause Vec.t array; (* indexed by literal code *)
-  mutable assigns : int array; (* per var: 0 / 1 / -1 *)
+  (* clause arena *)
+  mutable arena : arena;
+  mutable arena_size : int; (* first free word *)
+  mutable arena_wasted : int; (* words owned by deleted clauses *)
+  clauses : int Vec.t; (* crefs of original size>=3 clauses *)
+  mutable learnts : int Vec.t; (* crefs of learnt size>=3 clauses *)
+  mutable n_live_orig : int; (* live stored originals, incl. binaries *)
+  (* watchers: per literal, flat (cref, blocker) pairs *)
+  mutable w_data : int array array;
+  mutable w_size : int array;
+  (* binary implication store: per literal, implied literals *)
+  mutable bin_data : int array array;
+  mutable bin_size : int array;
+  (* assignment *)
+  mutable vals : int array; (* per literal code: 0 / 1 / -1 *)
   mutable level : int array; (* per var *)
-  mutable reason : clause option array; (* per var *)
+  mutable reason : int array; (* per var: tagged, -1 = none *)
   mutable polarity : bool array; (* saved phases *)
   mutable activity : float array; (* VSIDS *)
   mutable heap : int array; (* binary max-heap of vars by activity *)
   mutable heap_pos : int array; (* var -> heap index, or -1 *)
   mutable heap_size : int;
-  trail : int Vec.t; (* literal codes, assignment order *)
+  mutable trail : int array; (* literal codes, assignment order *)
+  mutable trail_size : int;
   trail_lim : int Vec.t; (* trail size at each decision level *)
   mutable qhead : int;
   mutable okay : bool;
   mutable var_inc : float;
-  mutable cla_inc : float;
   mutable max_learnts : float;
+  mutable reduce_limit : int option; (* test knob: pin max_learnts *)
+  mutable inprocess_interval : int option; (* None = inprocessing off *)
+  mutable conflicts_at_inprocess : int;
   mutable seen : bool array; (* scratch for analyze *)
+  mutable level_stamp : int array; (* scratch for LBD *)
+  mutable stamp_ctr : int;
   mutable model_ : bool array;
   mutable model_valid : bool;
   mutable conflict_budget : int option;
@@ -66,6 +107,10 @@ type t = {
   mutable n_restarts : int;
   mutable n_learnt_literals : int;
   mutable max_learnt_size_ : int;
+  mutable n_reduces : int;
+  mutable n_subsumed : int;
+  mutable n_strengthened : int;
+  mutable n_compactions : int;
   learnt_hist : Telemetry.Metrics.Histogram.t; (* learnt clause sizes *)
   (* inner-loop phase timing, accumulated only while a trace is live
      ([timing]); shipped as per-solve deltas on the sat.solve span *)
@@ -76,15 +121,39 @@ type t = {
 }
 
 let var_decay = 1.0 /. 0.95
-let clause_decay = 1.0 /. 0.999
+
+(* ---------- arena primitives ---------- *)
+
+let cref_scratch = 0
+let arena_start = 4
+
+let header_make ~size ~learnt = (size lsl 2) lor (if learnt then 2 else 0)
+let header_size h = h lsr 2
+let header_learnt h = h land 2 <> 0
+let header_deleted h = h land 1 <> 0
+
+let make_arena cap : arena = Bigarray.Array1.create Bigarray.int Bigarray.c_layout cap
 
 let create () =
+  let arena = make_arena 1024 in
+  (* reserved scratch clause for materializing binary conflicts *)
+  ba_set arena cref_scratch (header_make ~size:2 ~learnt:false);
+  ba_set arena 1 0;
+  ba_set arena 2 0;
+  ba_set arena 3 0;
   {
     nvars = 0;
+    arena;
+    arena_size = arena_start;
+    arena_wasted = 0;
     clauses = Vec.create ();
     learnts = Vec.create ();
-    watches = [||];
-    assigns = [||];
+    n_live_orig = 0;
+    w_data = [||];
+    w_size = [||];
+    bin_data = [||];
+    bin_size = [||];
+    vals = [||];
     level = [||];
     reason = [||];
     polarity = [||];
@@ -92,14 +161,19 @@ let create () =
     heap = [||];
     heap_pos = [||];
     heap_size = 0;
-    trail = Vec.create ();
+    trail = [||];
+    trail_size = 0;
     trail_lim = Vec.create ();
     qhead = 0;
     okay = true;
     var_inc = 1.0;
-    cla_inc = 1.0;
     max_learnts = 0.0;
+    reduce_limit = None;
+    inprocess_interval = Some 8000;
+    conflicts_at_inprocess = 0;
     seen = [||];
+    level_stamp = [||];
+    stamp_ctr = 0;
     model_ = [||];
     model_valid = false;
     conflict_budget = None;
@@ -113,6 +187,10 @@ let create () =
     n_restarts = 0;
     n_learnt_literals = 0;
     max_learnt_size_ = 0;
+    n_reduces = 0;
+    n_subsumed = 0;
+    n_strengthened = 0;
+    n_compactions = 0;
     learnt_hist = Telemetry.Metrics.Histogram.create ();
     timing = false;
     t_propagate = 0.0;
@@ -121,8 +199,42 @@ let create () =
   }
 
 let nvars s = s.nvars
-let nclauses s = Vec.size s.clauses
+let nclauses s = s.n_live_orig
 let ok s = s.okay
+
+let arena_alloc s words =
+  let cap = Bigarray.Array1.dim s.arena in
+  if s.arena_size + words > cap then begin
+    let ncap = max (s.arena_size + words) (cap * 2) in
+    let na = make_arena ncap in
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub s.arena 0 s.arena_size)
+      (Bigarray.Array1.sub na 0 s.arena_size);
+    s.arena <- na
+  end;
+  let cr = s.arena_size in
+  s.arena_size <- s.arena_size + words;
+  cr
+
+(* Store a size>=3 clause in the arena; returns its cref. *)
+let alloc_clause s lits ~learnt ~lbd =
+  let size = Array.length lits in
+  let cr = arena_alloc s (2 + size) in
+  let a = s.arena in
+  ba_set a cr (header_make ~size ~learnt);
+  ba_set a (cr + 1) lbd;
+  for i = 0 to size - 1 do
+    ba_set a (cr + 2 + i) lits.(i)
+  done;
+  cr
+
+let mark_deleted s cr =
+  let a = s.arena in
+  let h = ba_get a cr in
+  if not (header_deleted h) then begin
+    ba_set a cr (h lor 1);
+    s.arena_wasted <- s.arena_wasted + 2 + header_size h
+  end
 
 (* ---------- seeded randomization (SplitMix64, as in Channel.Prng) ---------- *)
 
@@ -217,20 +329,21 @@ let grow_array a n default =
 let new_var s =
   let v = s.nvars in
   s.nvars <- v + 1;
-  s.assigns <- grow_array s.assigns s.nvars 0;
+  s.vals <- grow_array s.vals (2 * s.nvars) 0;
   s.level <- grow_array s.level s.nvars 0;
-  s.reason <- grow_array s.reason s.nvars None;
+  s.reason <- grow_array s.reason s.nvars (-1);
   s.polarity <- grow_array s.polarity s.nvars false;
   s.activity <- grow_array s.activity s.nvars 0.0;
   s.heap <- grow_array s.heap s.nvars 0;
   s.heap_pos <- grow_array s.heap_pos s.nvars (-1);
   s.seen <- grow_array s.seen s.nvars false;
-  (if Array.length s.watches < 2 * s.nvars then begin
-     let old = Array.length s.watches in
-     let cap = max (2 * s.nvars) (max 32 (old * 2)) in
-     let w = Array.init cap (fun i -> if i < old then s.watches.(i) else Vec.create ()) in
-     s.watches <- w
-   end);
+  s.level_stamp <- grow_array s.level_stamp (s.nvars + 1) 0;
+  s.trail <- grow_array s.trail s.nvars 0;
+  s.w_data <- grow_array s.w_data (2 * s.nvars) [||];
+  s.w_size <- grow_array s.w_size (2 * s.nvars) 0;
+  s.bin_data <- grow_array s.bin_data (2 * s.nvars) [||];
+  s.bin_size <- grow_array s.bin_size (2 * s.nvars) 0;
+  s.reason.(v) <- -1;
   s.heap_pos.(v) <- -1;
   (* a seeded solver explores a random initial polarity per variable, so
      differently-seeded portfolio workers search different orthants *)
@@ -246,36 +359,81 @@ let new_vars s n =
   done;
   first
 
+(* ---------- watcher / binary-store primitives ---------- *)
+
+let push2 data size_arr idx a b =
+  let d = data.(idx) in
+  let n = size_arr.(idx) in
+  let d =
+    if n + 2 > Array.length d then begin
+      let nd = Array.make (max 8 (2 * Array.length d)) 0 in
+      Array.blit d 0 nd 0 n;
+      data.(idx) <- nd;
+      nd
+    end
+    else d
+  in
+  Array.unsafe_set d n a;
+  Array.unsafe_set d (n + 1) b;
+  size_arr.(idx) <- n + 2
+
+let push1 data size_arr idx a =
+  let d = data.(idx) in
+  let n = size_arr.(idx) in
+  let d =
+    if n + 1 > Array.length d then begin
+      let nd = Array.make (max 4 (2 * Array.length d)) 0 in
+      Array.blit d 0 nd 0 n;
+      data.(idx) <- nd;
+      nd
+    end
+    else d
+  in
+  Array.unsafe_set d n a;
+  size_arr.(idx) <- n + 1
+
+(* Watch a stored clause via its first two literals (with each other as
+   blocking literal). *)
+let attach s cr =
+  let a = s.arena in
+  let l0 = ba_get a (cr + 2) and l1 = ba_get a (cr + 3) in
+  push2 s.w_data s.w_size (l0 lxor 1) cr l1;
+  push2 s.w_data s.w_size (l1 lxor 1) cr l0
+
+let attach_binary s a b =
+  push1 s.bin_data s.bin_size (Lit.code a lxor 1) (Lit.code b);
+  push1 s.bin_data s.bin_size (Lit.code b lxor 1) (Lit.code a)
+
 (* ---------- assignment primitives ---------- *)
 
-let lit_value s l =
-  let v = s.assigns.(l lsr 1) in
-  if v = 0 then 0 else if l land 1 = 0 then v else -v
-
+let lit_value s l = Array.unsafe_get s.vals l
 let decision_level s = Vec.size s.trail_lim
 
-(* Assign literal [l] to true with optional reason clause. *)
+(* Assign literal [l] true with a tagged reason (-1 = none). *)
 let enqueue s l reason =
   let v = l lsr 1 in
-  s.assigns.(v) <- (if l land 1 = 0 then 1 else -1);
+  Array.unsafe_set s.vals l 1;
+  Array.unsafe_set s.vals (l lxor 1) (-1);
   s.level.(v) <- decision_level s;
   s.reason.(v) <- reason;
-  Vec.push s.trail l
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
 
 let cancel_until s lvl =
   if decision_level s > lvl then begin
     let bound = Vec.get s.trail_lim lvl in
-    for i = Vec.size s.trail - 1 downto bound do
-      let l = Vec.get s.trail i in
+    for i = s.trail_size - 1 downto bound do
+      let l = s.trail.(i) in
       let v = l lsr 1 in
       s.polarity.(v) <- l land 1 = 0;
-      s.assigns.(v) <- 0;
-      s.reason.(v) <- None;
+      s.vals.(l) <- 0;
+      s.vals.(l lxor 1) <- 0;
+      s.reason.(v) <- -1;
       heap_insert s v
     done;
-    Vec.shrink s.trail bound;
+    s.trail_size <- bound;
     Vec.shrink s.trail_lim lvl;
-    s.qhead <- Vec.size s.trail
+    s.qhead <- s.trail_size
   end
 
 (* ---------- activities ---------- *)
@@ -291,24 +449,6 @@ let var_bump s v =
   heap_decrease s v
 
 let var_decay_activity s = s.var_inc <- s.var_inc *. var_decay
-
-let clause_bump s c =
-  c.act <- c.act +. s.cla_inc;
-  if c.act > 1e20 then begin
-    Vec.iter (fun c -> c.act <- c.act *. 1e-20) s.learnts;
-    s.cla_inc <- s.cla_inc *. 1e-20
-  end
-
-let clause_decay_activity s = s.cla_inc <- s.cla_inc *. clause_decay
-
-(* ---------- clause attachment ---------- *)
-
-let attach s c =
-  Vec.push s.watches.(Lit.code (Lit.neg (Lit.of_code c.lits.(0)))) c;
-  Vec.push s.watches.(Lit.code (Lit.neg (Lit.of_code c.lits.(1)))) c
-
-(* Deleted clauses are removed from watch lists lazily during propagation. *)
-let mark_deleted c = c.deleted <- true
 
 (* ---------- DRAT proof logging ---------- *)
 
@@ -328,88 +468,176 @@ let proof_add s lits = proof_line s "" lits
 let proof_delete s lits = proof_line s "d " lits
 let proof_empty s = proof_add s [||]
 
+let clause_lits s cr =
+  let a = s.arena in
+  let size = header_size (ba_get a cr) in
+  Array.init size (fun i -> ba_get a (cr + 2 + i))
+
+let proof_delete_clause s cr = proof_delete s (clause_lits s cr)
+
 (* ---------- propagation ---------- *)
 
-exception Conflict of clause
-
+(* Returns the cref of a conflicting clause, or -1.  Binary conflicts
+   are materialized in the reserved scratch clause at cref 0. *)
 let propagate s =
-  try
-    while s.qhead < Vec.size s.trail do
-      let p = Vec.get s.trail s.qhead in
-      s.qhead <- s.qhead + 1;
-      s.n_propagations <- s.n_propagations + 1;
-      let ws = s.watches.(p) in
-      let i = ref 0 in
-      let j = ref 0 in
-      let n = Vec.size ws in
-      (try
-         while !i < n do
-           let c = Vec.get ws !i in
-           incr i;
-           if c.deleted then () (* drop from watch list *)
-           else begin
-             let lits = c.lits in
-             (* ensure the false literal (neg p) is at position 1 *)
-             let np = p lxor 1 in
-             if lits.(0) = np then begin
-               lits.(0) <- lits.(1);
-               lits.(1) <- np
-             end;
-             if lit_value s lits.(0) = 1 then begin
-               (* clause already satisfied; keep watching *)
-               Vec.set ws !j c;
-               incr j
-             end
-             else begin
-               (* look for a new literal to watch *)
-               let len = Array.length lits in
-               let k = ref 2 in
-               let found = ref false in
-               while (not !found) && !k < len do
-                 if lit_value s lits.(!k) <> -1 then found := true else incr k
-               done;
-               if !found then begin
-                 lits.(1) <- lits.(!k);
-                 lits.(!k) <- np;
-                 Vec.push s.watches.(lits.(1) lxor 1) c
-                 (* not kept in this watch list *)
-               end
-               else begin
-                 (* clause is unit or conflicting *)
-                 Vec.set ws !j c;
-                 incr j;
-                 if lit_value s lits.(0) = -1 then begin
-                   (* conflict: copy remaining watchers and bail out *)
-                   while !i < n do
-                     Vec.set ws !j (Vec.get ws !i);
-                     incr i;
-                     incr j
-                   done;
-                   Vec.shrink ws !j;
-                   raise (Conflict c)
-                 end
-                 else enqueue s lits.(0) (Some c)
-               end
-             end
-           end
-         done;
-         Vec.shrink ws !j
-       with Conflict _ as e -> raise e)
+  let confl = ref (-1) in
+  let vals = s.vals in
+  while !confl < 0 && s.qhead < s.trail_size do
+    let p = Array.unsafe_get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    (* binary implications first: cheapest, and finding conflicts early
+       keeps the expensive watcher scan short *)
+    let bd = Array.unsafe_get s.bin_data p in
+    let bn = Array.unsafe_get s.bin_size p in
+    let i = ref 0 in
+    while !confl < 0 && !i < bn do
+      let q = Array.unsafe_get bd !i in
+      let v = Array.unsafe_get vals q in
+      if v < 0 then begin
+        (* conflict: scratch clause {q, ~p} *)
+        let a = s.arena in
+        ba_set a (cref_scratch + 2) q;
+        ba_set a (cref_scratch + 3) (p lxor 1);
+        confl := cref_scratch
+      end
+      else if v = 0 then enqueue s q (((p lxor 1) lsl 1) lor 1);
+      incr i
     done;
-    None
-  with Conflict c -> Some c
+    if !confl < 0 then begin
+      let wd = Array.unsafe_get s.w_data p in
+      let wn = Array.unsafe_get s.w_size p in
+      let a = s.arena in
+      let i = ref 0 and j = ref 0 in
+      while !i < wn do
+        let cr = Array.unsafe_get wd !i in
+        let blocker = Array.unsafe_get wd (!i + 1) in
+        if Array.unsafe_get vals blocker > 0 then begin
+          (* blocking literal satisfied: keep, no clause access *)
+          Array.unsafe_set wd !j cr;
+          Array.unsafe_set wd (!j + 1) blocker;
+          j := !j + 2;
+          i := !i + 2
+        end
+        else begin
+          let h = ba_get a cr in
+          if header_deleted h then i := !i + 2 (* drop lazily *)
+          else begin
+            (* ensure the false literal (neg p) is at position 1 *)
+            let np = p lxor 1 in
+            let l0 = ba_get a (cr + 2) in
+            let l1 = ba_get a (cr + 3) in
+            let first =
+              if l0 = np then begin
+                ba_set a (cr + 2) l1;
+                ba_set a (cr + 3) np;
+                l1
+              end
+              else l0
+            in
+            if first <> blocker && Array.unsafe_get vals first > 0 then begin
+              (* satisfied by the other watch: keep, better blocker *)
+              Array.unsafe_set wd !j cr;
+              Array.unsafe_set wd (!j + 1) first;
+              j := !j + 2;
+              i := !i + 2
+            end
+            else begin
+              (* look for a new literal to watch *)
+              let size = header_size h in
+              let k = ref 2 in
+              let found = ref (-1) in
+              while !found < 0 && !k < size do
+                let lk = ba_get a (cr + 2 + !k) in
+                if Array.unsafe_get vals lk >= 0 then found := !k else incr k
+              done;
+              if !found >= 0 then begin
+                let lk = ba_get a (cr + 2 + !found) in
+                ba_set a (cr + 3) lk;
+                ba_set a (cr + 2 + !found) np;
+                push2 s.w_data s.w_size (lk lxor 1) cr first;
+                i := !i + 2 (* moved to another list *)
+              end
+              else begin
+                (* clause is unit or conflicting: keep the watcher *)
+                Array.unsafe_set wd !j cr;
+                Array.unsafe_set wd (!j + 1) first;
+                j := !j + 2;
+                i := !i + 2;
+                if Array.unsafe_get vals first < 0 then begin
+                  (* conflict: copy remaining watchers and bail out *)
+                  while !i < wn do
+                    Array.unsafe_set wd !j (Array.unsafe_get wd !i);
+                    Array.unsafe_set wd (!j + 1) (Array.unsafe_get wd (!i + 1));
+                    i := !i + 2;
+                    j := !j + 2
+                  done;
+                  confl := cr
+                end
+                else enqueue s first (cr lsl 1)
+              end
+            end
+          end
+        end
+      done;
+      Array.unsafe_set s.w_size p !j
+    end
+  done;
+  !confl
 
 (* ---------- conflict analysis (first UIP) ---------- *)
+
+(* Iterate the literals of a tagged reason, skipping the propagated
+   literal itself (an arena reason clause has it at position 0). *)
+let reason_iter s r ~f =
+  if r land 1 = 1 then f (r lsr 1)
+  else begin
+    let cr = r lsr 1 in
+    let a = s.arena in
+    let size = header_size (ba_get a cr) in
+    for k = 1 to size - 1 do
+      f (ba_get a (cr + 2 + k))
+    done
+  end
 
 let litredundant s l =
   (* cheap clause minimization: l is redundant if its reason's other
      literals are all already seen or assigned at level 0 *)
-  match s.reason.(l lsr 1) with
-  | None -> false
-  | Some c ->
-      Array.for_all
-        (fun q -> q = (l lxor 1) || s.seen.(q lsr 1) || s.level.(q lsr 1) = 0)
-        c.lits
+  let r = s.reason.(l lsr 1) in
+  if r < 0 then false
+  else if r land 1 = 1 then begin
+    let q = r lsr 1 in
+    q = l lxor 1 || s.seen.(q lsr 1) || s.level.(q lsr 1) = 0
+  end
+  else begin
+    let cr = r lsr 1 in
+    let a = s.arena in
+    let size = header_size (ba_get a cr) in
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < size do
+      let q = ba_get a (cr + 2 + !k) in
+      if not (q = l lxor 1 || s.seen.(q lsr 1) || s.level.(q lsr 1) = 0) then
+        ok := false;
+      incr k
+    done;
+    !ok
+  end
+
+(* LBD: number of distinct decision levels among [lits]. *)
+let compute_lbd s lits =
+  s.stamp_ctr <- s.stamp_ctr + 1;
+  let stamp = s.stamp_ctr in
+  let lbd = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = s.level.(l lsr 1) in
+      if s.level_stamp.(lv) <> stamp then begin
+        s.level_stamp.(lv) <- stamp;
+        incr lbd
+      end)
+    lits;
+  !lbd
 
 let analyze s conflict =
   let out = Vec.create () in
@@ -417,45 +645,43 @@ let analyze s conflict =
   (* slot for the asserting literal *)
   let path = ref 0 in
   let p = ref (-1) in
-  let index = ref (Vec.size s.trail - 1) in
-  let c = ref conflict in
+  let index = ref (s.trail_size - 1) in
   let continue_loop = ref true in
+  let expand q =
+    let v = q lsr 1 in
+    if (not s.seen.(v)) && s.level.(v) > 0 then begin
+      s.seen.(v) <- true;
+      var_bump s v;
+      if s.level.(v) >= decision_level s then incr path else Vec.push out q
+    end
+  in
+  (* the conflict clause contributes all its literals *)
+  let a = s.arena in
+  let csize = header_size (ba_get a conflict) in
+  for k = 0 to csize - 1 do
+    expand (ba_get a (conflict + 2 + k))
+  done;
   while !continue_loop do
-    if !c.learnt then clause_bump s !c;
-    let lits = !c.lits in
-    (* a reason clause has its propagated literal at position 0: skip it *)
-    let start = if !p = -1 then 0 else 1 in
-    for k = start to Array.length lits - 1 do
-      let q = lits.(k) in
-      let v = q lsr 1 in
-      if (not s.seen.(v)) && s.level.(v) > 0 then begin
-        s.seen.(v) <- true;
-        var_bump s v;
-        if s.level.(v) >= decision_level s then incr path
-        else Vec.push out q
-      end
-    done;
     (* find next literal on the trail to expand *)
-    while not s.seen.((Vec.get s.trail !index) lsr 1) do
+    while not s.seen.(s.trail.(!index) lsr 1) do
       decr index
     done;
-    p := Vec.get s.trail !index;
+    p := s.trail.(!index);
     decr index;
     s.seen.(!p lsr 1) <- false;
     decr path;
     if !path <= 0 then continue_loop := false
-    else
-      c :=
-        (match s.reason.(!p lsr 1) with
-        | Some r -> r
-        | None -> assert false)
+    else begin
+      let r = s.reason.(!p lsr 1) in
+      reason_iter s r ~f:expand
+    end
   done;
   Vec.set out 0 (!p lxor 1);
   (* minimize: drop redundant non-asserting literals *)
   let kept = Vec.create () in
   Vec.push kept (Vec.get out 0);
   for i = 1 to Vec.size out - 1 do
-    let l = Vec.get out i in
+    let l = Vec.unsafe_get out i in
     if not (litredundant s l) then Vec.push kept l
   done;
   (* clear seen flags *)
@@ -466,40 +692,157 @@ let analyze s conflict =
   if nlits > 1 then begin
     let max_i = ref 1 in
     for i = 2 to nlits - 1 do
-      if s.level.((Vec.get kept i) lsr 1) > s.level.((Vec.get kept !max_i) lsr 1)
+      if
+        s.level.(Vec.unsafe_get kept i lsr 1)
+        > s.level.(Vec.unsafe_get kept !max_i lsr 1)
       then max_i := i
     done;
     let tmp = Vec.get kept 1 in
-    Vec.set kept 1 (Vec.get kept !max_i);
-    Vec.set kept !max_i tmp;
-    back_level := s.level.((Vec.get kept 1) lsr 1)
+    Vec.unsafe_set kept 1 (Vec.unsafe_get kept !max_i);
+    Vec.unsafe_set kept !max_i tmp;
+    back_level := s.level.(Vec.get kept 1 lsr 1)
   end;
   (Array.of_list (Vec.to_list kept), !back_level)
 
 (* ---------- learnt clause DB reduction ---------- *)
 
-let locked s c =
-  Array.length c.lits > 0
-  &&
-  match s.reason.(c.lits.(0) lsr 1) with Some r -> r == c | None -> false
+let locked s cr =
+  let l0 = ba_get s.arena (cr + 2) in
+  lit_value s l0 = 1 && s.reason.(l0 lsr 1) = cr lsl 1
 
+(* Glue-aware reduction: sort learnts by (LBD, size) and delete the worst
+   half, sparing glue clauses (LBD <= 2), locked clauses and anything
+   still propagating.  Binaries live in the implication store and are
+   never deleted. *)
 let reduce_db s =
-  Vec.sort (fun a b -> Float.compare a.act b.act) s.learnts;
+  s.n_reduces <- s.n_reduces + 1;
+  let a = s.arena in
   let n = Vec.size s.learnts in
+  let crs = Array.init n (fun i -> Vec.get s.learnts i) in
+  let key cr =
+    let h = ba_get a cr in
+    (ba_get a (cr + 1) lsl 32) lor header_size h
+  in
+  Array.sort (fun c1 c2 -> compare (key c1) (key c2)) crs;
   let keep = Vec.create () in
+  let limit = n / 2 in
   let removed = ref 0 in
-  for i = 0 to n - 1 do
-    let c = Vec.get s.learnts i in
-    if i < n / 2 && Array.length c.lits > 2 && not (locked s c) then begin
-      proof_delete s c.lits;
-      mark_deleted c;
-      incr removed
-    end
-    else Vec.push keep c
-  done;
+  Array.iteri
+    (fun i cr ->
+      let h = ba_get a cr in
+      if header_deleted h then () (* already gone; drop from the list *)
+      else if
+        i >= n - limit && ba_get a (cr + 1) > 2 && not (locked s cr)
+      then begin
+        proof_delete_clause s cr;
+        mark_deleted s cr;
+        incr removed
+      end
+      else Vec.push keep cr)
+    crs;
   s.learnts <- keep
 
+(* ---------- arena compaction ---------- *)
+
+(* Copy live clauses into a fresh arena and remap every cref holder
+   (clause lists, watch lists, trail reasons).  Watcher order, blockers
+   and watched positions are preserved, so this is safe at any decision
+   level.  Old headers are overwritten with forwarding markers
+   (-2 - newref). *)
+let compact s =
+  let live = s.arena_size - s.arena_wasted in
+  let na = make_arena (max 1024 (live * 2)) in
+  (* recreate the scratch slot *)
+  Bigarray.Array1.blit
+    (Bigarray.Array1.sub s.arena 0 arena_start)
+    (Bigarray.Array1.sub na 0 arena_start);
+  let next = ref arena_start in
+  let a = s.arena in
+  let relocate cr =
+    let h = ba_get a cr in
+    if h < 0 then -2 - h (* already moved *)
+    else begin
+      let words = 2 + header_size h in
+      let ncr = !next in
+      for k = 0 to words - 1 do
+        ba_set na (ncr + k) (ba_get a (cr + k))
+      done;
+      next := !next + words;
+      ba_set a cr (-2 - ncr);
+      ncr
+    end
+  in
+  let remap_vec v =
+    let keep = Vec.create () in
+    Vec.iter
+      (fun cr ->
+        let h = ba_get a cr in
+        if h >= 0 && header_deleted h then () (* dead: drop *)
+        else Vec.push keep (relocate cr))
+      v;
+    keep
+  in
+  let clauses' = remap_vec s.clauses in
+  Vec.clear s.clauses;
+  Vec.iter (fun cr -> Vec.push s.clauses cr) clauses';
+  s.learnts <- remap_vec s.learnts;
+  (* watch lists: drop dead entries, remap live ones in place *)
+  for p = 0 to (2 * s.nvars) - 1 do
+    let wd = s.w_data.(p) in
+    let wn = s.w_size.(p) in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < wn do
+      let cr = wd.(!i) in
+      let h = ba_get a cr in
+      if h >= 0 && header_deleted h then ()
+      else begin
+        wd.(!j) <- (if h < 0 then -2 - h else relocate cr);
+        wd.(!j + 1) <- wd.(!i + 1);
+        j := !j + 2
+      end;
+      i := !i + 2
+    done;
+    s.w_size.(p) <- !j
+  done;
+  (* reasons on the trail *)
+  for i = 0 to s.trail_size - 1 do
+    let v = s.trail.(i) lsr 1 in
+    let r = s.reason.(v) in
+    if r >= 0 && r land 1 = 0 then begin
+      let cr = r lsr 1 in
+      let h = ba_get a cr in
+      (* locked clauses are never deleted, so they have been moved *)
+      let ncr = if h < 0 then -2 - h else relocate cr in
+      s.reason.(v) <- ncr lsl 1
+    end
+  done;
+  s.arena <- na;
+  s.arena_size <- !next;
+  s.arena_wasted <- 0;
+  s.n_compactions <- s.n_compactions + 1
+
+let maybe_compact s =
+  if s.arena_size > 4096 && s.arena_wasted * 3 > s.arena_size then compact s
+
 (* ---------- clause addition ---------- *)
+
+let store_clause s lits ~learnt ~lbd =
+  match Array.length lits with
+  | 2 ->
+      attach_binary s (Lit.of_code lits.(0)) (Lit.of_code lits.(1));
+      if not learnt then s.n_live_orig <- s.n_live_orig + 1;
+      -1
+  | n when n >= 3 ->
+      let cr = alloc_clause s lits ~learnt ~lbd in
+      attach s cr;
+      if learnt then Vec.push s.learnts cr
+      else begin
+        Vec.push s.clauses cr;
+        s.n_live_orig <- s.n_live_orig + 1
+      end;
+      cr
+  | _ -> invalid_arg "Solver.store_clause: clause too short"
 
 let add_clause s lits =
   List.iter
@@ -524,21 +867,311 @@ let add_clause s lits =
           proof_empty s;
           s.okay <- false
       | [ l ] ->
-          enqueue s l None;
-          if propagate s <> None then begin
+          enqueue s l (-1);
+          if propagate s >= 0 then begin
             proof_empty s;
             s.okay <- false
           end
-      | l0 :: l1 :: _ ->
-          ignore l0;
-          ignore l1;
-          let c =
-            { lits = Array.of_list lits; learnt = false; act = 0.0; deleted = false }
-          in
-          Vec.push s.clauses c;
-          attach s c
+      | _ ->
+          ignore (store_clause s (Array.of_list lits) ~learnt:false ~lbd:0)
     end
   end
+
+(* ---------- inprocessing: subsumption + self-subsuming resolution ---------- *)
+
+(* 64-bit clause signature: bit (var mod 64) per literal.  sig(D) not
+   subset of sig(C) proves D cannot subsume C. *)
+let clause_sig s cr =
+  let a = s.arena in
+  let size = header_size (ba_get a cr) in
+  let g = ref 0 in
+  for k = 0 to size - 1 do
+    g := !g lor (1 lsl (ba_get a (cr + 2 + k) lsr 1 land 63))
+  done;
+  !g
+
+(* Does the arena clause at [cr] contain literal [l]?  Linear scan;
+   clauses here are short. *)
+let clause_mem s cr l =
+  let a = s.arena in
+  let size = header_size (ba_get a cr) in
+  let k = ref 0 in
+  let found = ref false in
+  while (not !found) && !k < size do
+    if ba_get a (cr + 2 + !k) = l then found := true;
+    incr k
+  done;
+  !found
+
+(* Check [d_lits] against arena clause [cr]: [`Subsumes] when every
+   literal appears in [cr]; [`Strengthen l] when exactly one appears
+   negated (so [cr] can drop [l lxor 1]... i.e. drop the negation);
+   [`No] otherwise. *)
+let subsume_check s d_lits cr =
+  let misses = ref 0 in
+  let flipped = ref (-1) in
+  let n = Array.length d_lits in
+  let k = ref 0 in
+  while !misses <= 1 && !k < n do
+    let d = d_lits.(!k) in
+    if clause_mem s cr d then ()
+    else if !flipped < 0 && clause_mem s cr (d lxor 1) then begin
+      flipped := d lxor 1;
+      incr misses
+    end
+    else misses := 2;
+    incr k
+  done;
+  if !misses = 0 then `Subsumes
+  else if !misses = 1 then `Strengthen !flipped
+  else `No
+
+(* Remove literal [l] from the clause at [cr] in place (level 0 only).
+   Returns the new size. *)
+let shrink_clause s cr l =
+  let a = s.arena in
+  let h = ba_get a cr in
+  let size = header_size h in
+  let j = ref 0 in
+  for k = 0 to size - 1 do
+    let q = ba_get a (cr + 2 + k) in
+    if q <> l then begin
+      ba_set a (cr + 2 + !j) q;
+      incr j
+    end
+  done;
+  ba_set a cr (header_make ~size:!j ~learnt:(header_learnt h));
+  s.arena_wasted <- s.arena_wasted + (size - !j);
+  !j
+
+(* Rebuild every watch list from the live arena clauses.  Run at
+   decision level 0, after inprocessing has rewritten clauses in place
+   (which invalidates watched positions).  The two best literals of each
+   clause (true > unassigned > false) are moved to the watch positions;
+   clauses reduced to a single non-false literal are reported as units,
+   fully falsified clauses as a conflict.  Returns [Error ()] on
+   conflict, else [Ok units]. *)
+let rebuild_watches s =
+  let a = s.arena in
+  for p = 0 to (2 * s.nvars) - 1 do
+    s.w_size.(p) <- 0
+  done;
+  let units = Vec.create () in
+  let conflict = ref false in
+  let rank l = match lit_value s l with 1 -> 2 | 0 -> 1 | _ -> 0 in
+  let order_clause cr size =
+    (* move the best literal to 0, second best to 1 *)
+    let best = ref 0 in
+    for k = 1 to size - 1 do
+      if rank (ba_get a (cr + 2 + k)) > rank (ba_get a (cr + 2 + !best)) then
+        best := k
+    done;
+    let t = ba_get a (cr + 2) in
+    ba_set a (cr + 2) (ba_get a (cr + 2 + !best));
+    ba_set a (cr + 2 + !best) t;
+    let best2 = ref 1 in
+    for k = 2 to size - 1 do
+      if rank (ba_get a (cr + 2 + k)) > rank (ba_get a (cr + 2 + !best2)) then
+        best2 := k
+    done;
+    let t = ba_get a (cr + 3) in
+    ba_set a (cr + 3) (ba_get a (cr + 2 + !best2));
+    ba_set a (cr + 2 + !best2) t
+  in
+  let visit cr =
+    let h = ba_get a cr in
+    if not (header_deleted h) then begin
+      order_clause cr (header_size h);
+      let v0 = lit_value s (ba_get a (cr + 2)) in
+      let v1 = lit_value s (ba_get a (cr + 3)) in
+      if v0 = -1 then conflict := true
+      else begin
+        if v0 = 0 && v1 = -1 then Vec.push units (ba_get a (cr + 2));
+        attach s cr
+      end
+    end
+  in
+  Vec.iter visit s.clauses;
+  Vec.iter visit s.learnts;
+  if !conflict then Error () else Ok units
+
+(* One backward-subsumption pass over the stored clauses, binaries
+   included as subsumers.  Runs at decision level 0 with propagation at
+   fixpoint.  Every deletion/strengthening is DRAT-logged (strengthened
+   clause added before its fat version is deleted, so the proof stays a
+   valid RUP sequence).  Watch lists are rebuilt wholesale afterwards —
+   in-place strengthening invalidates watched positions — and derived
+   units are then propagated.  Returns false if the pass derived
+   unsatisfiability. *)
+let subsumption_pass s =
+  let a = s.arena in
+  (* Level-0 reasons are never dereferenced (conflict analysis skips
+     level-0 variables), so dropping them unlocks every clause for
+     strengthening and keeps compaction's reason remap trivial. *)
+  for i = 0 to s.trail_size - 1 do
+    s.reason.(s.trail.(i) lsr 1) <- -1
+  done;
+  (* occurrence lists over live arena clauses *)
+  let occ_data = Array.make (2 * s.nvars) [||] in
+  let occ_size = Array.make (2 * s.nvars) 0 in
+  let live = Vec.create () in
+  let scan v =
+    Vec.iter
+      (fun cr ->
+        let h = ba_get a cr in
+        if not (header_deleted h) then begin
+          Vec.push live cr;
+          let size = header_size h in
+          for k = 0 to size - 1 do
+            push1 occ_data occ_size (ba_get a (cr + 2 + k)) cr
+          done
+        end)
+      v
+  in
+  scan s.clauses;
+  scan s.learnts;
+  let sigs = Hashtbl.create 256 in
+  Vec.iter (fun cr -> Hashtbl.replace sigs cr (clause_sig s cr)) live;
+  let unsat = ref false in
+  let unit_queue = Vec.create () in
+  (* try to subsume/strengthen with subsumer literals [d_lits]; [self]
+     is the cref of the subsumer when it lives in the arena (-1 for
+     binaries) so it is not matched against itself *)
+  let apply_subsumer d_lits ~self ~dsig =
+    if not !unsat then begin
+      (* scan the occurrence list of the rarest literal *)
+      let best = ref d_lits.(0) in
+      Array.iter (fun l -> if occ_size.(l) < occ_size.(!best) then best := l) d_lits;
+      let cand = occ_data.(!best) and cn = occ_size.(!best) in
+      for ci = 0 to cn - 1 do
+        let cr = cand.(ci) in
+        if not !unsat then begin
+          let h = ba_get a cr in
+          if
+            cr <> self
+            && (not (header_deleted h))
+            && header_size h >= Array.length d_lits
+            && dsig land lnot (Hashtbl.find sigs cr) = 0
+          then
+            match subsume_check s d_lits cr with
+            | `No -> ()
+            | `Subsumes ->
+                proof_delete_clause s cr;
+                mark_deleted s cr;
+                if not (header_learnt h) then
+                  s.n_live_orig <- s.n_live_orig - 1;
+                s.n_subsumed <- s.n_subsumed + 1
+            | `Strengthen l -> (
+                (* resolvent (cr \ {l}) is implied: log it, then drop
+                   the fat clause *)
+                let old = clause_lits s cr in
+                let kept =
+                  Array.of_list (List.filter (fun q -> q <> l) (Array.to_list old))
+                in
+                proof_add s kept;
+                proof_delete s old;
+                s.n_strengthened <- s.n_strengthened + 1;
+                match Array.length kept with
+                | 0 ->
+                    proof_empty s;
+                    unsat := true
+                | 1 ->
+                    mark_deleted s cr;
+                    if not (header_learnt h) then
+                      s.n_live_orig <- s.n_live_orig - 1;
+                    Vec.push unit_queue kept.(0)
+                | 2 ->
+                    (* moves to the binary store; an original stays an
+                       original there, so the live count is unchanged *)
+                    mark_deleted s cr;
+                    attach_binary s (Lit.of_code kept.(0)) (Lit.of_code kept.(1))
+                | _ ->
+                    ignore (shrink_clause s cr l);
+                    Hashtbl.replace sigs cr (clause_sig s cr))
+        end
+      done
+    end
+  in
+  (* binaries as subsumers *)
+  for p = 0 to (2 * s.nvars) - 1 do
+    let bd = s.bin_data.(p) and bn = s.bin_size.(p) in
+    for i = 0 to bn - 1 do
+      let q = bd.(i) in
+      let l = p lxor 1 in
+      (* clause {l, q}; visit each once *)
+      if l < q then begin
+        let d_lits = [| l; q |] in
+        let dsig = (1 lsl (l lsr 1 land 63)) lor (1 lsl (q lsr 1 land 63)) in
+        apply_subsumer d_lits ~self:(-1) ~dsig
+      end
+    done
+  done;
+  (* arena clauses as subsumers, smallest first *)
+  let by_size = Array.init (Vec.size live) (fun i -> Vec.get live i) in
+  Array.sort
+    (fun c1 c2 ->
+      compare (header_size (ba_get a c1)) (header_size (ba_get a c2)))
+    by_size;
+  Array.iter
+    (fun cr ->
+      let h = ba_get a cr in
+      if not (header_deleted h) then
+        apply_subsumer (clause_lits s cr) ~self:cr ~dsig:(Hashtbl.find sigs cr))
+    by_size;
+  (* drop dead crefs from the clause lists *)
+  let prune v =
+    let keep = Vec.create () in
+    Vec.iter
+      (fun cr -> if not (header_deleted (ba_get a cr)) then Vec.push keep cr)
+      v;
+    keep
+  in
+  let clauses' = prune s.clauses in
+  Vec.clear s.clauses;
+  Vec.iter (fun cr -> Vec.push s.clauses cr) clauses';
+  s.learnts <- prune s.learnts;
+  (* restore watch consistency, then flush derived units *)
+  if not !unsat then begin
+    match rebuild_watches s with
+    | Error () ->
+        proof_empty s;
+        unsat := true
+    | Ok more_units ->
+        Vec.iter (fun l -> Vec.push unit_queue l) more_units;
+        Vec.iter
+          (fun l ->
+            if not !unsat then
+              match lit_value s l with
+              | 1 -> ()
+              | -1 ->
+                  proof_empty s;
+                  unsat := true
+              | _ ->
+                  enqueue s l (-1);
+                  if propagate s >= 0 then begin
+                    proof_empty s;
+                    unsat := true
+                  end)
+          unit_queue
+  end;
+  if !unsat then begin
+    s.okay <- false;
+    false
+  end
+  else begin
+    maybe_compact s;
+    true
+  end
+
+let maybe_inprocess s =
+  match s.inprocess_interval with
+  | None -> true
+  | Some interval ->
+      if s.n_conflicts - s.conflicts_at_inprocess >= interval then begin
+        s.conflicts_at_inprocess <- s.n_conflicts;
+        subsumption_pass s
+      end
+      else true
 
 (* ---------- search ---------- *)
 
@@ -565,7 +1198,7 @@ let pick_branch_var s =
   let random_pick =
     if s.rng <> None && s.heap_size > 0 && rng_below s 50 = 0 then begin
       let v = s.heap.(rng_below s s.heap_size) in
-      if s.assigns.(v) = 0 then Some v else None
+      if s.vals.(2 * v) = 0 then Some v else None
     end
     else None
   in
@@ -576,7 +1209,7 @@ let pick_branch_var s =
         if s.heap_size = 0 then -1
         else
           let v = heap_remove_min s in
-          if s.assigns.(v) = 0 then v else go ()
+          if s.vals.(2 * v) = 0 then v else go ()
       in
       go ()
 
@@ -598,15 +1231,17 @@ let record_learnt s lits back_level =
     s.max_learnt_size_ <- Array.length lits;
   Telemetry.Metrics.Histogram.observe s.learnt_hist (Array.length lits);
   Telemetry.Metrics.observe m_learnt_size (Array.length lits);
+  (* LBD must be read off the pre-backtrack levels *)
+  let lbd = if Array.length lits >= 3 then compute_lbd s lits else 0 in
   cancel_until s back_level;
-  if Array.length lits = 1 then enqueue s lits.(0) None
-  else begin
-    let c = { lits; learnt = true; act = 0.0; deleted = false } in
-    Vec.push s.learnts c;
-    attach s c;
-    clause_bump s c;
-    enqueue s lits.(0) (Some c)
-  end
+  match Array.length lits with
+  | 1 -> enqueue s lits.(0) (-1)
+  | 2 ->
+      attach_binary s (Lit.of_code lits.(0)) (Lit.of_code lits.(1));
+      enqueue s lits.(0) ((lits.(1) lsl 1) lor 1)
+  | _ ->
+      let cr = store_clause s lits ~learnt:true ~lbd in
+      enqueue s lits.(0) (cr lsl 1)
 
 let search s ~assumptions ~conflict_limit =
   let conflicts = ref 0 in
@@ -615,15 +1250,15 @@ let search s ~assumptions ~conflict_limit =
     match
       (* [timing] is only set while a trace is live, so the two clock
          reads per propagation stay off the default path *)
-      if not s.timing then propagate s
-      else begin
-        let t0 = Telemetry.now () in
-        let r = propagate s in
-        s.t_propagate <- s.t_propagate +. (Telemetry.now () -. t0);
-        r
-      end
+      (if not s.timing then propagate s
+       else begin
+         let t0 = Telemetry.now () in
+         let r = propagate s in
+         s.t_propagate <- s.t_propagate +. (Telemetry.now () -. t0);
+         r
+       end)
     with
-    | Some confl ->
+    | confl when confl >= 0 ->
         s.n_conflicts <- s.n_conflicts + 1;
         incr conflicts;
         if s.n_conflicts land 63 = 0 then check_interrupt s;
@@ -646,14 +1281,16 @@ let search s ~assumptions ~conflict_limit =
             end
           in
           record_learnt s lits back_level;
-          var_decay_activity s;
-          clause_decay_activity s
+          var_decay_activity s
         end
-    | None ->
+    | _ ->
         if float_of_int (Vec.size s.learnts) >= s.max_learnts then begin
           let t0 = if s.timing then Telemetry.now () else 0.0 in
           reduce_db s;
-          s.max_learnts <- s.max_learnts *. 1.1;
+          maybe_compact s;
+          (match s.reduce_limit with
+          | Some _ -> () (* pinned by the test knob *)
+          | None -> s.max_learnts <- s.max_learnts *. 1.1);
           if s.timing then s.t_restart <- s.t_restart +. (Telemetry.now () -. t0)
         end;
         if conflict_limit >= 0 && !conflicts >= conflict_limit then begin
@@ -687,14 +1324,13 @@ let search s ~assumptions ~conflict_limit =
           in
           match next_lit with
           | `All_assigned -> outcome := Some Out_sat
-          | `Conflict_assumption ->
-              outcome := Some Out_unsat
-          | `Dummy -> Vec.push s.trail_lim (Vec.size s.trail)
+          | `Conflict_assumption -> outcome := Some Out_unsat
+          | `Dummy -> Vec.push s.trail_lim s.trail_size
           | `Decide l ->
               s.n_decisions <- s.n_decisions + 1;
               if s.n_decisions land 1023 = 0 then check_interrupt s;
-              Vec.push s.trail_lim (Vec.size s.trail);
-              enqueue s l None
+              Vec.push s.trail_lim s.trail_size;
+              enqueue s l (-1)
         end
   done;
   match !outcome with Some o -> o | None -> assert false
@@ -715,20 +1351,27 @@ let solve_body ?(assumptions = []) s =
   if not s.okay then Unsat
   else begin
     cancel_until s 0;
-    s.max_learnts <- max 1000.0 (float_of_int (Vec.size s.clauses) *. 0.5);
+    (match s.reduce_limit with
+    | Some n -> s.max_learnts <- float_of_int n
+    | None ->
+        s.max_learnts <-
+          max 1000.0 (float_of_int (Vec.size s.clauses) *. 0.5));
     let result = ref None in
     let restart_i = ref 0 in
     (try
        while !result = None do
-         let limit = int_of_float (luby 2.0 !restart_i *. 100.0) in
-         incr restart_i;
-         match search s ~assumptions ~conflict_limit:limit with
-         | Out_sat ->
-             s.model_ <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
-             s.model_valid <- true;
-             result := Some Sat
-         | Out_unsat -> result := Some Unsat
-         | Out_restart -> ()
+         if not (maybe_inprocess s) then result := Some Unsat
+         else begin
+           let limit = int_of_float (luby 2.0 !restart_i *. 100.0) in
+           incr restart_i;
+           match search s ~assumptions ~conflict_limit:limit with
+           | Out_sat ->
+               s.model_ <- Array.init s.nvars (fun v -> s.vals.(2 * v) = 1);
+               s.model_valid <- true;
+               result := Some Sat
+           | Out_unsat -> result := Some Unsat
+           | Out_restart -> ()
+         end
        done
      with
     | Budget_exhausted ->
@@ -749,6 +1392,10 @@ let stats s =
     restarts = s.n_restarts;
     learnt_literals = s.n_learnt_literals;
     max_learnt_size = s.max_learnt_size_;
+    reduces = s.n_reduces;
+    subsumed = s.n_subsumed;
+    strengthened = s.n_strengthened;
+    compactions = s.n_compactions;
   }
 
 let learnt_size_histogram s = Telemetry.Metrics.Histogram.snapshot s.learnt_hist
@@ -772,7 +1419,7 @@ let solve ?assumptions s =
         ~fields:
           [
             ("vars", Telemetry.int s.nvars);
-            ("clauses", Telemetry.int (Vec.size s.clauses));
+            ("clauses", Telemetry.int (nclauses s));
           ]
     in
     let finish result =
@@ -833,19 +1480,150 @@ let model s =
 
 let set_conflict_budget s b = s.conflict_budget <- b
 let set_interrupt s f = s.interrupt <- f
+let set_reduce_limit s n = s.reduce_limit <- n
+let set_inprocess_interval s i = s.inprocess_interval <- i
 
 let set_seed s seed =
   s.rng <- Some (Int64.of_int seed);
   (* scramble the saved phases of already-allocated variables so the first
      descent differs from the unseeded solver's all-false default *)
   for v = 0 to s.nvars - 1 do
-    if s.assigns.(v) = 0 then s.polarity.(v) <- rng_bool s
+    if s.vals.(2 * v) = 0 then s.polarity.(v) <- rng_bool s
   done
 
 let enable_proof s =
-  if Vec.size s.clauses > 0 || Vec.size s.trail > 0 then
+  if Vec.size s.clauses > 0 || s.n_live_orig > 0 || s.trail_size > 0 then
     invalid_arg "Solver.enable_proof: must be called before adding clauses";
   s.proof_log <- Some (Buffer.create 4096)
 
 let proof s = Option.map Buffer.contents s.proof_log
 let original_clauses s = List.rev s.originals
+
+(* ---------- introspection (tests) ---------- *)
+
+let iter_clauses s f =
+  (* binaries: each stored twice; emit once *)
+  for p = 0 to (2 * s.nvars) - 1 do
+    let bd = s.bin_data.(p) and bn = s.bin_size.(p) in
+    for i = 0 to bn - 1 do
+      let q = bd.(i) in
+      let l = p lxor 1 in
+      if l < q then f [ Lit.of_code l; Lit.of_code q ]
+    done
+  done;
+  let emit v =
+    Vec.iter
+      (fun cr ->
+        if not (header_deleted (ba_get s.arena cr)) then
+          f (Array.to_list (Array.map Lit.of_code (clause_lits s cr))))
+      v
+  in
+  emit s.clauses;
+  emit s.learnts
+
+let self_check s =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let a = s.arena in
+  (* structural: every live arena clause is watched exactly once in each
+     of the watch lists of the negations of its first two literals, and
+     watch lists reference only live clauses from those positions *)
+  let watch_count = Hashtbl.create 256 in
+  let bad = ref None in
+  for p = 0 to (2 * s.nvars) - 1 do
+    let wd = s.w_data.(p) and wn = s.w_size.(p) in
+    let i = ref 0 in
+    while !i < wn do
+      let cr = wd.(!i) in
+      let h = ba_get a cr in
+      if not (header_deleted h) then begin
+        let l0 = ba_get a (cr + 2) and l1 = ba_get a (cr + 3) in
+        if p <> l0 lxor 1 && p <> l1 lxor 1 then
+          bad :=
+            Some
+              (Printf.sprintf
+                 "clause %d watched under literal %d but watches are %d/%d" cr p
+                 l0 l1);
+        Hashtbl.replace watch_count (cr, p)
+          (1 + Option.value (Hashtbl.find_opt watch_count (cr, p)) ~default:0)
+      end;
+      i := !i + 2
+    done
+  done;
+  match !bad with
+  | Some m -> Error m
+  | None -> (
+      let check_clause cr =
+        let h = ba_get a cr in
+        if header_deleted h then Ok ()
+        else begin
+          let l0 = ba_get a (cr + 2) and l1 = ba_get a (cr + 3) in
+          let c0 =
+            Option.value (Hashtbl.find_opt watch_count (cr, l0 lxor 1)) ~default:0
+          in
+          let c1 =
+            Option.value (Hashtbl.find_opt watch_count (cr, l1 lxor 1)) ~default:0
+          in
+          if c0 <> 1 || c1 <> 1 then
+            fail "clause %d watch counts %d/%d (want 1/1)" cr c0 c1
+          else if not (s.okay && s.qhead = s.trail_size) then Ok ()
+          else begin
+            (* semantic: at a propagation fixpoint a false watch forces
+               the other watch true (otherwise a unit/conflict was
+               missed).  Only meaningful while the solver is still
+               consistent — a level-0 conflict legitimately abandons
+               propagation mid-queue. *)
+            let v0 = lit_value s l0 and v1 = lit_value s l1 in
+            if v0 = -1 && v1 <> 1 then
+              fail "clause %d: watch %d false but %d not true" cr l0 l1
+            else if v1 = -1 && v0 <> 1 then
+              fail "clause %d: watch %d false but %d not true" cr l1 l0
+            else Ok ()
+          end
+        end
+      in
+      let check_vec v =
+        let r = ref (Ok ()) in
+        Vec.iter
+          (fun cr -> match !r with Error _ -> () | Ok () -> r := check_clause cr)
+          v;
+        !r
+      in
+      match check_vec s.clauses with
+      | Error m -> Error m
+      | Ok () -> (
+          match check_vec s.learnts with
+          | Error m -> Error m
+          | Ok () -> (
+              (* binary store symmetry: {l, q} present both ways *)
+              let sym = ref (Ok ()) in
+              for p = 0 to (2 * s.nvars) - 1 do
+                let bd = s.bin_data.(p) and bn = s.bin_size.(p) in
+                for i = 0 to bn - 1 do
+                  match !sym with
+                  | Error _ -> ()
+                  | Ok () ->
+                      let q = bd.(i) in
+                      let l = p lxor 1 in
+                      (* expect l in bin_data.(q lxor 1) *)
+                      let od = s.bin_data.(q lxor 1)
+                      and on = s.bin_size.(q lxor 1) in
+                      let found = ref false in
+                      for k = 0 to on - 1 do
+                        if od.(k) = l then found := true
+                      done;
+                      if not !found then
+                        sym :=
+                          fail "binary {%d,%d} missing its mirror entry" l q
+                done
+              done;
+              match !sym with
+              | Error m -> Error m
+              | Ok () ->
+                  (* value array consistency *)
+                  let rec vals_ok v =
+                    if v >= s.nvars then Ok ()
+                    else if s.vals.(2 * v) <> -s.vals.((2 * v) + 1) then
+                      fail "var %d: inconsistent literal values" v
+                    else vals_ok (v + 1)
+                  in
+                  vals_ok 0)))

@@ -1,9 +1,13 @@
 (** A CDCL (conflict-driven clause learning) SAT solver.
 
-    Features: two-watched-literal propagation, first-UIP conflict analysis
-    with clause minimization, VSIDS variable activity with phase saving,
-    Luby restarts, activity-based learnt-clause database reduction, and
-    incremental solving under assumptions.
+    Features: a flat int-arena clause store, two-watched-literal
+    propagation with blocking literals, a dedicated binary-clause
+    implication store, first-UIP conflict analysis with clause
+    minimization, VSIDS variable activity with phase saving, Luby
+    restarts, LBD (glue)-aware learnt-clause database reduction, arena
+    compaction, inprocessing (backward subsumption and self-subsuming
+    resolution, DRAT-logged), and incremental solving under assumptions.
+    See DESIGN.md "Solver internals" for the data layout.
 
     Typical use: create a solver, allocate variables with {!new_var}, add
     clauses with {!add_clause}, then call {!solve} (possibly many times,
@@ -13,7 +17,9 @@ type t
 
 type result = Sat | Unsat
 
-(** Cumulative search statistics. *)
+(** Cumulative search statistics.  [reduces] counts learnt-database
+    reductions, [subsumed]/[strengthened] count clauses removed/shrunk
+    by inprocessing, [compactions] counts arena garbage collections. *)
 type stats = {
   decisions : int;
   propagations : int;
@@ -21,6 +27,10 @@ type stats = {
   restarts : int;
   learnt_literals : int;
   max_learnt_size : int;
+  reduces : int;
+  subsumed : int;
+  strengthened : int;
+  compactions : int;
 }
 
 (** [create ()] is a fresh solver with no variables or clauses. *)
@@ -131,3 +141,40 @@ val proof : t -> string option
 (** [original_clauses s] is every clause asserted since {!enable_proof},
     in order — the formula a recorded proof refutes. *)
 val original_clauses : t -> Lit.t list list
+
+(** {2 Tuning and introspection}
+
+    Test and benchmark knobs.  Production callers never need these: the
+    defaults (geometric learnt-limit growth, inprocessing every 8000
+    conflicts) are the tuned configuration. *)
+
+(** [set_reduce_limit s (Some n)] pins the learnt-clause limit to [n]: a
+    database reduction runs whenever more than [n] learnt clauses are
+    live, and the limit does not grow.  Lets tests force reduction (and
+    hence arena churn) aggressively.  [None] restores the default
+    adaptive limit. *)
+val set_reduce_limit : t -> int option -> unit
+
+(** [set_inprocess_interval s (Some n)] runs the inprocessing pass
+    (backward subsumption + self-subsuming resolution, at level 0) every
+    [n] conflicts; [None] disables inprocessing entirely. *)
+val set_inprocess_interval : t -> int option -> unit
+
+(** [compact s] forces an arena compaction: live clauses are copied into
+    a fresh arena and every watcher and reason is remapped.  Safe at any
+    decision level; a no-op semantically.  Compaction also runs
+    automatically when enough of the arena is garbage. *)
+val compact : t -> unit
+
+(** [iter_clauses s f] applies [f] to every live stored clause (problem
+    and learnt, binaries included), in no particular order.  For tests
+    comparing solver state before/after {!compact}. *)
+val iter_clauses : t -> (Lit.t list -> unit) -> unit
+
+(** [self_check s] verifies internal invariants: every live clause is
+    watched exactly once under each of its first two literals, a
+    falsified watch implies the other watch true (valid at propagation
+    fixpoints, e.g. after [solve] returns), binary-store symmetry, and
+    literal-value consistency.  [Error msg] describes the first
+    violation found. *)
+val self_check : t -> (unit, string) Stdlib.result

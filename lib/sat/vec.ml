@@ -16,6 +16,9 @@ let set v i x =
   check v i "set";
   v.data.(i) <- x
 
+let unsafe_get v i = Array.unsafe_get v.data i
+let unsafe_set v i x = Array.unsafe_set v.data i x
+
 let grow v x =
   let cap = Array.length v.data in
   let ncap = if cap = 0 then 16 else cap * 2 in

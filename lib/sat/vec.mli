@@ -16,6 +16,13 @@ val get : 'a t -> int -> 'a
 
 val set : 'a t -> int -> 'a -> unit
 
+(** [unsafe_get v i] / [unsafe_set v i x] skip the bounds check — solver
+    inner loops only, where the index is already known to be in
+    [\[0, size)].  Out-of-range access is undefined behaviour. *)
+val unsafe_get : 'a t -> int -> 'a
+
+val unsafe_set : 'a t -> int -> 'a -> unit
+
 (** [push v x] appends [x]. *)
 val push : 'a t -> 'a -> unit
 

@@ -19,7 +19,7 @@ open Sat
    exception contract, stalls must not change any answer *)
 let () = Synth.Fault.init_from_env ()
 
-let default_iters = 600
+let default_iters = 2000
 
 let iters =
   match Sys.getenv_opt "FEC_FUZZ_ITERS" with
@@ -44,13 +44,35 @@ let gen_cnf rng =
   in
   (n, clauses)
 
-let solve_with ?seed ~proof n clauses =
+let solve_with ?seed ?configure ~proof n clauses =
   let s = Solver.create () in
   if proof then Solver.enable_proof s;
   (match seed with Some x -> Solver.set_seed s x | None -> ());
+  (match configure with Some f -> f s | None -> ());
   ignore (Solver.new_vars s n);
   List.iter (Solver.add_clause s) clauses;
   (s, Solver.solve s)
+
+(* Forces the hostile regime: the learnt database is capped at two
+   clauses (so reduction and arena churn run constantly) and the
+   subsumption/strengthening pass fires at every restart. *)
+let aggressive s =
+  Solver.set_reduce_limit s (Some 2);
+  Solver.set_inprocess_interval s (Some 1)
+
+let check_drat ~iteration s =
+  match Solver.proof s with
+  | None -> Alcotest.fail "proof recording was enabled but no proof"
+  | Some proof -> (
+      match Drat.check ~formula:(Solver.original_clauses s) proof with
+      | Drat.Valid -> ()
+      | Drat.Invalid msg ->
+          Alcotest.failf "iteration %d: DRAT proof rejected: %s" iteration msg)
+
+let check_invariants ~iteration s =
+  match Solver.self_check s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "iteration %d: self_check: %s" iteration msg
 
 let test_cnf_cross_check () =
   let rng = Channel.Prng.create 0xF00D in
@@ -71,24 +93,72 @@ let test_cnf_cross_check () =
             if not (Reference.eval model c) then
               Alcotest.failf "iteration %d: model falsifies clause %d" i j)
           clauses
-    | Solver.Unsat, None -> (
+    | Solver.Unsat, None ->
         incr unsat;
-        match Solver.proof s with
-        | None -> Alcotest.fail "proof recording was enabled but no proof"
-        | Some proof -> (
-            match Drat.check ~formula:(Solver.original_clauses s) proof with
-            | Drat.Valid -> ()
-            | Drat.Invalid msg ->
-                Alcotest.failf "iteration %d: DRAT proof rejected: %s" i msg)));
+        check_drat ~iteration:i s);
+    check_invariants ~iteration:i s;
     (* a diversification seed must never change the answer *)
     let _, seeded_answer =
       solve_with ~seed:(i * 2654435761) ~proof:false n clauses
     in
     if seeded_answer <> answer then
-      Alcotest.failf "iteration %d: seeded solver changed the answer" i
+      Alcotest.failf "iteration %d: seeded solver changed the answer" i;
+    (* constant clause-DB reduction + per-restart inprocessing must not
+       change the answer, and the DRAT proof must stay valid through the
+       subsumption/strengthening rewrites *)
+    let s2, hostile_answer = solve_with ~configure:aggressive ~proof:true n clauses in
+    if hostile_answer <> answer then
+      Alcotest.failf
+        "iteration %d: aggressive reduction/inprocessing changed the answer" i;
+    check_invariants ~iteration:i s2;
+    if hostile_answer = Solver.Unsat then check_drat ~iteration:i s2
   done;
   if !sat = 0 || !unsat = 0 then
     Alcotest.failf "degenerate fuzz distribution: %d sat / %d unsat" !sat !unsat
+
+(* Inprocessing on/off differential: disabling the pass entirely and
+   firing it at every restart must agree with the default configuration
+   and the reference on the same instances, incrementally re-solved so
+   subsumed state carries across solve calls. *)
+let test_inprocessing_on_off () =
+  let rng = Channel.Prng.create 0x1A7E5 in
+  let rounds = max 50 (iters / 4) in
+  for i = 1 to rounds do
+    let n, clauses = gen_cnf rng in
+    let configs =
+      [
+        ("off", fun s -> Solver.set_inprocess_interval s None);
+        ("every-restart", fun s -> Solver.set_inprocess_interval s (Some 1));
+        ("default", fun (_ : Solver.t) -> ());
+      ]
+    in
+    let expected =
+      match Reference.solve ~num_vars:n clauses with
+      | Some _ -> Solver.Sat
+      | None -> Solver.Unsat
+    in
+    List.iter
+      (fun (name, configure) ->
+        let s, answer = solve_with ~configure ~proof:true n clauses in
+        if answer <> expected then
+          Alcotest.failf "iteration %d: inprocessing=%s disagrees with reference"
+            i name;
+        check_invariants ~iteration:i s;
+        if answer = Solver.Unsat then check_drat ~iteration:i s;
+        (* the solver must stay usable after an inprocessing pass:
+           re-solve under a random assumption and cross-check *)
+        let a = lit rng n in
+        let under_assumption = Solver.solve ~assumptions:[ a ] s in
+        let expected' =
+          match Reference.solve ~num_vars:n ([ a ] :: clauses) with
+          | Some _ -> Solver.Sat
+          | None -> Solver.Unsat
+        in
+        if under_assumption <> expected' then
+          Alcotest.failf
+            "iteration %d: inprocessing=%s wrong under assumption" i name)
+      configs
+  done
 
 (* ---------- cardinality-encoding agreement ---------- *)
 
@@ -187,6 +257,8 @@ let () =
           Alcotest.test_case
             (Printf.sprintf "random CNF x%d: cdcl vs reference vs drat" iters)
             `Slow test_cnf_cross_check;
+          Alcotest.test_case "inprocessing on/off agrees with reference" `Slow
+            test_inprocessing_on_off;
         ] );
       ( "cardinality",
         [

@@ -180,6 +180,56 @@ let test_dimacs_load () =
   Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
   Alcotest.(check bool) "x2" true (Solver.value s (lit 1))
 
+let test_dimacs_rejects_malformed () =
+  let rejected name text =
+    match Dimacs.parse text with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "%s: malformed input accepted" name
+  in
+  rejected "missing header" "1 2 0\n";
+  rejected "clause before header" "1 0\np cnf 2 1\n";
+  rejected "duplicate header" "p cnf 2 1\np cnf 2 1\n1 0\n";
+  rejected "bad token" "p cnf 2 1\n1 x 0\n";
+  rejected "non-numeric var count" "p cnf two 1\n1 0\n";
+  rejected "negative var count" "p cnf -2 1\n1 0\n";
+  rejected "truncated header" "p cnf 2\n1 0\n";
+  rejected "literal above declared count" "p cnf 2 1\n1 3 0\n";
+  rejected "negative literal above count" "p cnf 2 1\n-3 0\n";
+  rejected "unterminated clause" "p cnf 2 1\n1 2\n"
+
+let test_dimacs_corpus_roundtrip () =
+  (* the generated corpus (committed under bench/dimacs/) must survive
+     print-then-parse bit-for-bit *)
+  List.iter
+    (fun (name, cnf) ->
+      let cnf2 = Dimacs.parse (Dimacs.print cnf) in
+      Alcotest.(check bool) (name ^ " round trip") true (cnf = cnf2))
+    (Gen.default_corpus ())
+
+let test_gen_corpus_pinned () =
+  (* bench/dimacs/*.cnf is generated output: pin the generator so the
+     committed files cannot silently drift (regenerate with
+     `dune exec bench/gen_corpus.exe` if this is changed on purpose) *)
+  let buf = Buffer.create (1 lsl 16) in
+  List.iter
+    (fun (name, cnf) ->
+      Buffer.add_string buf name;
+      Buffer.add_string buf (Dimacs.print cnf))
+    (Gen.default_corpus ());
+  Alcotest.(check string)
+    "corpus digest" "74a06108614f725a6f935de6ef85e3b6"
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
+(* ---------- reference procedure ---------- *)
+
+let test_reference_rejects_out_of_range () =
+  Alcotest.check_raises "solve"
+    (Invalid_argument "Reference: variable 5 not allocated (num_vars = 2)")
+    (fun () -> ignore (Reference.solve ~num_vars:2 [ [ lit 0 ]; [ lit 5 ] ]));
+  Alcotest.check_raises "count_models"
+    (Invalid_argument "Reference: variable 0 not allocated (num_vars = 0)")
+    (fun () -> ignore (Reference.count_models ~num_vars:0 [ [ nlit 0 ] ]))
+
 (* ---------- DRAT proofs ---------- *)
 
 let test_drat_simple_unsat_proof () =
@@ -324,6 +374,138 @@ let prop_assumptions_consistent =
       in
       r1 = r2)
 
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~name:"Dimacs.parse ∘ print is the identity" ~count:300 arb_cnf
+    (fun (n, clauses) ->
+      let cnf = { Dimacs.num_vars = n; clauses } in
+      Dimacs.parse (Dimacs.print cnf) = cnf)
+
+(* Structural invariant of the two-watched-literal scheme, checked by the
+   solver's own auditor at the propagation fixpoint [solve] leaves behind:
+   every live clause is watched exactly once under each of its first two
+   literals, and a falsified watch forces the other watch true. *)
+let prop_watcher_invariant =
+  QCheck.Test.make ~name:"watcher invariant holds after solve" ~count:300
+    arb_cnf
+    (fun (n, clauses) ->
+      let s, _ = solve_clauses n clauses in
+      match Solver.self_check s with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let sorted_clauses s =
+  let acc = ref [] in
+  Solver.iter_clauses s (fun c ->
+      acc := List.sort compare (List.map Lit.code c) :: !acc);
+  List.sort compare !acc
+
+(* Arena compaction is semantically a no-op: the stored clauses are
+   unchanged (as a multiset), invariants still hold, and subsequent
+   solves — including under assumptions, exercising the remapped
+   watchers — agree with the exhaustive reference. *)
+let prop_compaction_preserves_models =
+  QCheck.Test.make ~name:"arena compaction preserves model equivalence"
+    ~count:300
+    (QCheck.pair arb_cnf QCheck.small_int)
+    (fun ((n, clauses), seed) ->
+      let s, r1 = solve_clauses n clauses in
+      let before = sorted_clauses s in
+      Solver.compact s;
+      let after = sorted_clauses s in
+      if before <> after then QCheck.Test.fail_report "clause store changed";
+      (match Solver.self_check s with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_report msg);
+      let r2 = Solver.solve s in
+      if r1 <> r2 then QCheck.Test.fail_report "answer changed after compaction";
+      let st = Random.State.make [| seed |] in
+      let a =
+        let v = Random.State.int st n in
+        if Random.State.bool st then lit v else nlit v
+      in
+      let got = Solver.solve ~assumptions:[ a ] s in
+      let expected =
+        match Reference.solve ~num_vars:n ([ a ] :: clauses) with
+        | Some _ -> Solver.Sat
+        | None -> Solver.Unsat
+      in
+      got = expected)
+
+(* The tuning knobs must not change answers: pinning the learnt limit to
+   almost nothing (constant reduction + arena churn) and running
+   inprocessing at every restart still agrees with the reference, and
+   stats record the work. *)
+let prop_aggressive_knobs_agree =
+  QCheck.Test.make ~name:"aggressive reduction/inprocessing agrees" ~count:200
+    arb_cnf
+    (fun (n, clauses) ->
+      let s = Solver.create () in
+      Solver.set_reduce_limit s (Some 2);
+      Solver.set_inprocess_interval s (Some 1);
+      ignore (Solver.new_vars s n);
+      List.iter (Solver.add_clause s) clauses;
+      let r = Solver.solve s in
+      (match Solver.self_check s with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_report msg);
+      let expected =
+        match Reference.solve ~num_vars:n clauses with
+        | Some _ -> Solver.Sat
+        | None -> Solver.Unsat
+      in
+      r = expected)
+
+let test_reduce_db_runs () =
+  (* php(7,6) generates far more than 2 learnt clauses: with the limit
+     pinned the database must be reduced (and the answer unaffected) *)
+  let cnf = Gen.pigeonhole ~pigeons:7 ~holes:6 in
+  let s = Solver.create () in
+  Solver.set_reduce_limit s (Some 2);
+  Dimacs.load_into s cnf;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "reductions happened" true (st.Solver.reduces > 0)
+
+let test_inprocessing_subsumes () =
+  (* a strict superset clause must be removed by the subsumption pass *)
+  let s = Solver.create () in
+  Solver.set_inprocess_interval s (Some 1);
+  ignore (Solver.new_vars s 6);
+  Solver.add_clause s [ lit 0; lit 1 ];
+  Solver.add_clause s [ lit 0; lit 1; lit 2 ];
+  Solver.add_clause s [ lit 3; lit 4; lit 5 ];
+  Alcotest.(check int) "three clauses stored" 3 (Solver.nclauses s);
+  (* force enough conflicts that at least one restart (and hence a pass)
+     actually runs — php(7,6) needs several hundred *)
+  let cnf = Gen.pigeonhole ~pigeons:7 ~holes:6 in
+  let base = Solver.new_vars s cnf.Dimacs.num_vars in
+  List.iter
+    (fun c ->
+      Solver.add_clause s
+        (List.map
+           (fun l ->
+             let l' = Lit.make (base + Lit.var l) in
+             if Lit.sign l then l' else Lit.neg l')
+           c))
+    cnf.Dimacs.clauses;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "subsumption happened" true (st.Solver.subsumed > 0)
+
+let test_compaction_under_churn () =
+  (* a tiny learnt limit deletes clauses constantly; the arena must be
+     garbage-collected rather than grow without bound *)
+  let cnf = Gen.random_ksat ~seed:99 ~nvars:120 ~ratio:4.6 () in
+  let s = Solver.create () in
+  Solver.set_reduce_limit s (Some 8);
+  Dimacs.load_into s cnf;
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "compactions happened" true (st.Solver.compactions > 0);
+  match Solver.self_check s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
 let prop_incremental_matches_monolithic =
   QCheck.Test.make ~name:"incremental clause addition matches from-scratch" ~count:200
     arb_cnf
@@ -371,6 +553,24 @@ let () =
           Alcotest.test_case "round trip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "multiline clause" `Quick test_dimacs_multiline_clause;
           Alcotest.test_case "load into solver" `Quick test_dimacs_load;
+          Alcotest.test_case "rejects malformed input" `Quick test_dimacs_rejects_malformed;
+          Alcotest.test_case "corpus round trip" `Quick test_dimacs_corpus_roundtrip;
+          Alcotest.test_case "corpus generator pinned" `Quick test_gen_corpus_pinned;
+          qtest prop_dimacs_roundtrip;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "rejects out-of-range vars" `Quick
+            test_reference_rejects_out_of_range;
+        ] );
+      ( "solver-internals",
+        [
+          Alcotest.test_case "reduce_db runs under pinned limit" `Quick test_reduce_db_runs;
+          Alcotest.test_case "inprocessing subsumes" `Quick test_inprocessing_subsumes;
+          Alcotest.test_case "compaction under churn" `Quick test_compaction_under_churn;
+          qtest prop_watcher_invariant;
+          qtest prop_compaction_preserves_models;
+          qtest prop_aggressive_knobs_agree;
         ] );
       ( "drat",
         [
