@@ -27,7 +27,17 @@ BENCH_GATE_WAIVED := ablation-card/adder/conflicts
 
 LEDGER_SMOKE_DIR := /tmp/fecsynth-ledger-smoke
 
-.PHONY: all build test trace-smoke ledger-smoke stress check bench bench-gate sat-bench clean
+SERVE_SMOKE_DIR := /tmp/fecsynth-serve-smoke
+# Heavier than SMOKE_SPEC on purpose: the cold CEGIS run must dwarf the
+# cache hit's fixed cost (re-verification + one socket round trip) so
+# the >= 10x speedup assertion is load-tolerant.
+SERVE_SMOKE_SPEC := len_G = 1 && len_d(G[0]) = 11 && len_c(G[0]) = 5 && md(G[0]) = 4
+# The daemon runs in the background while clients talk to it, so the
+# smoke drives the built binary directly instead of letting concurrent
+# `dune exec` invocations fight over the build lock.
+FECSYNTH := _build/install/default/bin/fecsynth
+
+.PHONY: all build test trace-smoke ledger-smoke serve-smoke stress check bench bench-gate sat-bench clean
 
 all: build
 
@@ -73,7 +83,40 @@ ledger-smoke: build
 	FEC_LEDGER_DIR=$(LEDGER_SMOKE_DIR) dune exec -- fecsynth runs html --check
 	@echo "ledger-smoke: OK"
 
-check: build test trace-smoke ledger-smoke stress bench-gate
+# End-to-end over the daemon: serve on a sandboxed socket/cache/ledger,
+# submit one spec twice, require the second answer to be a cache hit at
+# least 10x faster than the cold run (wall_s as the session measured
+# it), then SIGTERM and require a drained, clean exit with both runs in
+# the ledger.
+serve-smoke: build
+	@set -e; \
+	rm -rf $(SERVE_SMOKE_DIR); mkdir -p $(SERVE_SMOKE_DIR); \
+	FEC_LEDGER_DIR=$(SERVE_SMOKE_DIR)/ledger FEC_CACHE_DIR=$(SERVE_SMOKE_DIR)/cache \
+	  $(FECSYNTH) serve --socket $(SERVE_SMOKE_DIR)/serve.sock \
+	  2> $(SERVE_SMOKE_DIR)/serve.log & \
+	pid=$$!; \
+	for i in $$(seq 50); do \
+	  test -S $(SERVE_SMOKE_DIR)/serve.sock && break; sleep 0.1; \
+	done; \
+	$(FECSYNTH) submit --socket $(SERVE_SMOKE_DIR)/serve.sock \
+	  -p '$(SERVE_SMOKE_SPEC)' > $(SERVE_SMOKE_DIR)/first.json; \
+	$(FECSYNTH) submit --socket $(SERVE_SMOKE_DIR)/serve.sock \
+	  -p '$(SERVE_SMOKE_SPEC)' > $(SERVE_SMOKE_DIR)/second.json; \
+	grep -q '"cache_hit":false' $(SERVE_SMOKE_DIR)/first.json; \
+	grep -q '"cache_hit":true' $(SERVE_SMOKE_DIR)/second.json; \
+	kill -TERM $$pid; wait $$pid; \
+	grep -q 'drained' $(SERVE_SMOKE_DIR)/serve.log; \
+	test $$(FEC_LEDGER_DIR=$(SERVE_SMOKE_DIR)/ledger \
+	  $(FECSYNTH) runs list --cache-hits | awk 'NR>1' | wc -l) -eq 1; \
+	cold=$$(grep -o '"wall_s":[0-9.e+-]*' $(SERVE_SMOKE_DIR)/first.json | cut -d: -f2); \
+	hit=$$(grep -o '"wall_s":[0-9.e+-]*' $(SERVE_SMOKE_DIR)/second.json | cut -d: -f2); \
+	awk -v c="$$cold" -v h="$$hit" 'BEGIN { \
+	  r = c / h; \
+	  printf "serve-smoke: cold %.6fs, cached %.6fs (%.1fx)\n", c, h, r; \
+	  exit !(r >= 10) }'
+	@echo "serve-smoke: OK"
+
+check: build test trace-smoke ledger-smoke serve-smoke stress bench-gate
 	@echo "check: OK"
 
 # Quick benchmark pass (shrunken workloads); writes $(BENCH_OUT).

@@ -126,8 +126,8 @@ let table1 () =
             ~iterations:st.Synth.Report.Stats.iterations
             ~conflicts:st.Synth.Report.Stats.syn_conflicts ();
           Printf.printf "%-9d %-10d %-11d %-9.2f (%d, %d, %.2f)\n" md
-            r.Synth.Optimize.check_len r.Synth.Optimize.stats.Synth.Cegis.iterations
-            r.Synth.Optimize.stats.Synth.Cegis.elapsed pc pi pt
+            r.Synth.Optimize.check_len r.Synth.Optimize.stats.Synth.Report.Stats.iterations
+            r.Synth.Optimize.stats.Synth.Report.Stats.elapsed pc pi pt
       | Synth.Report.Unsat_config _ | Synth.Report.Timed_out _
       | Synth.Report.Partial _ ->
           Printf.printf "%-9d TIMEOUT/UNSAT within c<=14\n" md)
@@ -275,9 +275,9 @@ let setbit_family =
            { Synth.Cegis.data_len = 32; check_len = 17; min_distance = 3; extra = [ pin ] }
          in
          match Synth.Cegis.synthesize ~timeout:60.0 problem with
-         | Synth.Cegis.Synthesized (code, _) -> Some (target, code)
-         | Synth.Cegis.Unsat_config _ | Synth.Cegis.Timed_out _
-         | Synth.Cegis.Partial _ -> None)
+         | Synth.Report.Synthesized (code, _) -> Some (target, code)
+         | Synth.Report.Unsat_config _ | Synth.Report.Timed_out _
+         | Synth.Report.Partial _ -> None)
        targets)
 
 let fig5 () =
@@ -419,7 +419,7 @@ let multibit () =
         "found: %d check bits (manual sec.6 matrix uses 11), md=%d, %d iterations, %.2f s\n"
         checks
         (Hamming.Distance.min_distance code)
-        stats.Synth.Cegis.iterations stats.Synth.Cegis.elapsed
+        stats.Synth.Report.Stats.iterations stats.Synth.Report.Stats.elapsed
   | None -> print_endline "no 2-distinguishing code found (unexpected)"
 
 (* ---------------------------------------------------------------- *)
@@ -435,15 +435,15 @@ let ablation_card () =
         { Synth.Cegis.data_len = 4; check_len = 7; min_distance = 5; extra = [] }
       in
       match Synth.Cegis.synthesize ~timeout:120.0 ~encoding:enc problem with
-      | Synth.Cegis.Synthesized (_, stats) ->
+      | Synth.Report.Synthesized (_, stats) ->
           record_instance ~experiment:"ablation-card" ~instance:name
             ~wall_s:stats.Synth.Report.Stats.elapsed
             ~iterations:stats.Synth.Report.Stats.iterations
             ~conflicts:stats.Synth.Report.Stats.syn_conflicts ();
-          Printf.printf "%-12s %-11d %-9.2f %-10d\n" name stats.Synth.Cegis.iterations
-            stats.Synth.Cegis.elapsed stats.Synth.Cegis.syn_conflicts
-      | Synth.Cegis.Unsat_config _ -> Printf.printf "%-12s UNSAT?!\n" name
-      | Synth.Cegis.Timed_out _ | Synth.Cegis.Partial _ ->
+          Printf.printf "%-12s %-11d %-9.2f %-10d\n" name stats.Synth.Report.Stats.iterations
+            stats.Synth.Report.Stats.elapsed stats.Synth.Report.Stats.syn_conflicts
+      | Synth.Report.Unsat_config _ -> Printf.printf "%-12s UNSAT?!\n" name
+      | Synth.Report.Timed_out _ | Synth.Report.Partial _ ->
           Printf.printf "%-12s timeout\n" name)
     [ ("sequential", Smtlite.Card.Sequential); ("totalizer", Smtlite.Card.Totalizer);
       ("adder", Smtlite.Card.Adder) ]
@@ -461,15 +461,15 @@ let ablation_cex () =
         { Synth.Cegis.data_len = 4; check_len = 5; min_distance = 4; extra = [] }
       in
       match Synth.Cegis.synthesize ~timeout:120.0 ~cex_mode:mode problem with
-      | Synth.Cegis.Synthesized (_, stats) ->
+      | Synth.Report.Synthesized (_, stats) ->
           record_instance ~experiment:"ablation-cex" ~instance:name
             ~wall_s:stats.Synth.Report.Stats.elapsed
             ~iterations:stats.Synth.Report.Stats.iterations
             ~conflicts:stats.Synth.Report.Stats.syn_conflicts ();
-          Printf.printf "%-18s %-11d %-9.2f\n" name stats.Synth.Cegis.iterations
-            stats.Synth.Cegis.elapsed
-      | Synth.Cegis.Unsat_config _ -> Printf.printf "%-18s UNSAT?!\n" name
-      | Synth.Cegis.Timed_out _ | Synth.Cegis.Partial _ ->
+          Printf.printf "%-18s %-11d %-9.2f\n" name stats.Synth.Report.Stats.iterations
+            stats.Synth.Report.Stats.elapsed
+      | Synth.Report.Unsat_config _ -> Printf.printf "%-18s UNSAT?!\n" name
+      | Synth.Report.Timed_out _ | Synth.Report.Partial _ ->
           Printf.printf "%-18s timeout\n" name)
     [ ("data-word (ours)", Synth.Cegis.Data_word);
       ("whole-candidate", Synth.Cegis.Whole_candidate) ]
@@ -506,27 +506,27 @@ let portfolio_bench () =
       let instance = Printf.sprintf "k=%d c=%d md=%d" k c m in
       let seq_time, seq_label, seq_finished =
         match Synth.Cegis.synthesize ~timeout:budget problem with
-        | Synth.Cegis.Synthesized (_, st) ->
+        | Synth.Report.Synthesized (_, st) ->
             record_instance ~experiment:"portfolio-seq" ~instance
               ~wall_s:st.Synth.Report.Stats.elapsed
               ~iterations:st.Synth.Report.Stats.iterations
               ~conflicts:st.Synth.Report.Stats.syn_conflicts ();
-            (st.Synth.Cegis.elapsed, Printf.sprintf "%.2f" st.Synth.Cegis.elapsed, true)
-        | Synth.Cegis.Timed_out st ->
+            (st.Synth.Report.Stats.elapsed, Printf.sprintf "%.2f" st.Synth.Report.Stats.elapsed, true)
+        | Synth.Report.Timed_out st ->
             record_instance ~experiment:"portfolio-seq" ~instance ~wall_s:budget
               ~iterations:st.Synth.Report.Stats.iterations
               ~conflicts:st.Synth.Report.Stats.syn_conflicts ();
             (budget, Printf.sprintf ">%.0f" budget, false)
-        | Synth.Cegis.Unsat_config st ->
-            (st.Synth.Cegis.elapsed, "unsat", true)
-        | Synth.Cegis.Partial (_, st) ->
+        | Synth.Report.Unsat_config st ->
+            (st.Synth.Report.Stats.elapsed, "unsat", true)
+        | Synth.Report.Partial (_, st) ->
             record_instance ~experiment:"portfolio-seq" ~instance ~wall_s:budget
               ~iterations:st.Synth.Report.Stats.iterations
               ~conflicts:st.Synth.Report.Stats.syn_conflicts ();
             (budget, Printf.sprintf ">%.0f" budget, false)
       in
       match Synth.Portfolio.synthesize ~timeout:budget ~jobs:4 problem with
-      | Synth.Portfolio.Synthesized (code, report) ->
+      | Synth.Report.Synthesized (code, report) ->
           let wall = report.Synth.Portfolio.wall_clock in
           record_instance ~experiment:"portfolio" ~instance ~wall_s:wall
             ~iterations:
@@ -545,10 +545,10 @@ let portfolio_bench () =
             report.Synth.Portfolio.rounds
             (if report.Synth.Portfolio.rounds = 1 then "" else "s");
           assert (Hamming.Distance.counterexample code m = None)
-      | Synth.Portfolio.Unsat_config _ ->
+      | Synth.Report.Unsat_config _ ->
           Printf.printf "%-16s %-14s UNSAT?!\n"
             (Printf.sprintf "k=%d c=%d md=%d" k c m) seq_label
-      | Synth.Portfolio.Timed_out _ | Synth.Portfolio.Partial _ ->
+      | Synth.Report.Timed_out _ | Synth.Report.Partial _ ->
           Printf.printf "%-16s %-14s >%-13.0f -\n"
             (Printf.sprintf "k=%d c=%d md=%d" k c m) seq_label budget)
     instances;

@@ -26,19 +26,10 @@ let load_prop spec =
 
 (* ---------- interrupt handling and exit codes ---------- *)
 
-(* The first Ctrl-C requests a cooperative wind-down: the solvers poll the
-   flag, the run returns its partial outcome, traces and checkpoints are
-   flushed, and the process exits 130.  A second Ctrl-C aborts at once. *)
-let sigint_requested = Atomic.make false
-
-let install_sigint () =
-  Sys.set_signal Sys.sigint
-    (Sys.Signal_handle
-       (fun _ ->
-         if Atomic.get sigint_requested then exit 130
-         else Atomic.set sigint_requested true))
-
-let interrupted () = Atomic.get sigint_requested
+(* SIGINT handling (first Ctrl-C winds down cooperatively, the second
+   aborts) lives in the session layer, shared with everything else the
+   synth/optimize runs need. *)
+module Session = Fec_session.Session
 
 let exit_unsat = 3
 let exit_timeout = 4
@@ -117,6 +108,26 @@ let weights_conv =
       Format.pp_print_string fmt
         (String.concat "," (Array.to_list (Array.map string_of_int w))))
 
+let cache_arg =
+  let doc =
+    "Consult and populate the content-addressed result cache: a \
+     semantically identical specification synthesized before is answered \
+     instantly with the same proven generator, and counterexample pools \
+     from compatible cached runs warm-start fresh searches."
+  in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Result cache directory (default: .fecsynth/cache, or FEC_CACHE_DIR)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let portfolio_json report =
+  match report with
+  | None -> []
+  | Some r -> [ ("portfolio", Synth.Portfolio.report_to_json r) ]
+
 let synth_cmd =
   let weights =
     let doc = "Per-bit criticality weights for weighted (sum_w) synthesis." in
@@ -130,114 +141,43 @@ let synth_cmd =
     let doc = "Number of portfolio workers (implies --portfolio for K > 1)." in
     Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"K" ~doc)
   in
-  let run prop_spec timeout weights portfolio jobs checkpoint resume trace
-      metrics progress no_ledger fmt =
+  let run prop_spec timeout weights portfolio jobs checkpoint resume cache
+      cache_dir trace metrics progress no_ledger fmt =
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else begin
-    Output.ledger_start ~no_ledger ~subcommand:"synth" ~problem:prop_spec
-      ~config:
-        ([
-           ("timeout", string_of_float timeout);
-           ("portfolio", string_of_bool portfolio);
-           ("jobs", string_of_int jobs);
-         ]
-        @ (match weights with
-          | Some _ -> [ ("weights", "yes") ]
-          | None -> [])
-        @ (match checkpoint with
-          | Some p -> [ ("checkpoint", p) ]
-          | None -> [])
-        @ match resume with Some p -> [ ("resume", p) ] | None -> [])
-      ();
-    let prop = load_prop prop_spec in
-    let jobs_opt = if portfolio then Some jobs else None in
-    (* checkpointing needs a single-generator task so the problem shape the
-       pool belongs to is known up front *)
-    let single =
-      match Synth.Driver.analyze prop with
-      | Ok (Synth.Driver.Fixed s) | Ok (Synth.Driver.Min_check_len s) -> Some s
-      | Ok _ | Error _ -> None
-    in
-    if (checkpoint <> None || resume <> None) && single = None then
-      `Error
-        (false, "--checkpoint/--resume support single-generator tasks only")
-    else begin
-    install_sigint ();
-    let initial, resumed_iters =
-      match resume with
-      | None -> ([], 0)
-      | Some path -> (
-          match Synth.Checkpoint.load ~path with
-          | Error e ->
-              failwith ("cannot resume: " ^ Synth.Checkpoint.error_to_string e)
-          | Ok t ->
-              let s = Option.get single in
-              if
-                t.Synth.Checkpoint.data_len <> s.Synth.Driver.data_len
-                || t.Synth.Checkpoint.min_distance <> s.Synth.Driver.md
-              then
-                failwith
-                  (Printf.sprintf
-                     "cannot resume: checkpoint is for data_len %d md %d but \
-                      the specification wants data_len %d md %d"
-                     t.Synth.Checkpoint.data_len
-                     t.Synth.Checkpoint.min_distance s.Synth.Driver.data_len
-                     s.Synth.Driver.md);
-              (t.Synth.Checkpoint.cexes, t.Synth.Checkpoint.iterations))
-    in
-    let writer =
-      match (checkpoint, single) with
-      | Some path, Some s ->
-          let w =
-            Synth.Checkpoint.Writer.create ~path
-              ~data_len:s.Synth.Driver.data_len
-              ~check_len:s.Synth.Driver.check_lo
-              ~min_distance:s.Synth.Driver.md ()
-          in
-          (* carry resumed state forward so the refreshed file supersedes
-             the one we resumed from *)
-          List.iter (Synth.Checkpoint.Writer.record_cex w) initial;
-          Synth.Checkpoint.Writer.record_iterations w resumed_iters;
-          Some w
-      | _ -> None
-    in
-    let iters = Atomic.make resumed_iters in
-    let on_cex cex =
-      match writer with
-      | None -> ()
-      | Some w ->
-          Synth.Checkpoint.Writer.record_cex w cex;
-          Synth.Checkpoint.Writer.record_iterations w
-            (1 + Atomic.fetch_and_add iters 1)
-    in
-    let last_report = ref None in
+    Session.install_sigint ();
     let on_report report =
-      last_report := Some report;
       if fmt = Output.Text then
         Format.printf "%a" Synth.Portfolio.pp_report report
     in
-    let outcome =
-      Output.with_observability ~trace ~metrics ~progress (fun () ->
-          Synth.Driver.run ~timeout ?weights ?jobs:jobs_opt ~on_report
-            ~interrupt:interrupted ~initial ~on_cex prop)
+    let request =
+      {
+        (Session.default_request
+           (Session.Synth { prop = prop_spec; weights; portfolio; jobs }))
+        with
+        Session.timeout;
+        checkpoint;
+        resume;
+        cache;
+        cache_dir;
+        no_ledger;
+        trace;
+        metrics;
+        progress;
+      }
     in
-    (match writer with
-    | Some w -> Synth.Checkpoint.Writer.flush w
-    | None -> ());
-    if resume <> None && fmt = Output.Text then
-      Printf.printf "resumed from checkpoint: %d counterexamples, %d prior iterations\n"
-        (List.length initial) resumed_iters;
-    let portfolio_json () =
-      match !last_report with
-      | None -> []
-      | Some r -> [ ("portfolio", Synth.Portfolio.report_to_json r) ]
-    in
-    match outcome with
-    | Synth.Driver.Codes (codes, stats) ->
-        Output.ledger_finish
-          ~stats:(Synth.Report.Stats.to_json stats)
-          ~metrics:(Synth.Report.Stats.to_metrics stats)
-          ~outcome:"synthesized" ~exit_code:0 ();
+    match Session.run_sync ~on_report request with
+    | exception Session.Invalid_request msg -> `Error (false, msg)
+    | result ->
+    (match (result.Session.resumed, fmt) with
+    | Some r, Output.Text ->
+        Printf.printf
+          "resumed from checkpoint: %d counterexamples, %d prior iterations\n"
+          r.Session.cex_count r.Session.prior_iterations
+    | _ -> ());
+    let intr = result.Session.interrupted in
+    match result.Session.outcome with
+    | Session.Codes (codes, stats) ->
         Output.result fmt
           ~text:(fun () ->
             List.iter
@@ -249,33 +189,26 @@ let synth_cmd =
                 Printf.printf "descriptor: %s\n" (Fec_core.Registry.describe_code code))
               codes;
             Printf.printf "iterations: %d, time: %.2f s\n"
-              stats.Synth.Cegis.iterations stats.Synth.Cegis.elapsed)
+              stats.Synth.Report.Stats.iterations stats.Synth.Report.Stats.elapsed)
           ~json:(fun () ->
             [
               ("command", J.Str "synth");
               ("outcome", J.Str "synthesized");
+              ("cache_hit", J.Bool result.Session.cache_hit);
               ("codes", J.List (List.map code_json codes));
               ("stats", Synth.Report.Stats.to_json stats);
             ]
-            @ portfolio_json ());
+            @ portfolio_json result.Session.report);
         `Ok ()
-    | Synth.Driver.Setbits_walk steps ->
-        let walk_totals =
-          Synth.Report.Stats.sum
-            (List.map (fun s -> s.Synth.Optimize.step_stats) steps)
-        in
-        Output.ledger_finish
-          ~stats:(Synth.Report.Stats.to_json walk_totals)
-          ~metrics:(Synth.Report.Stats.to_metrics walk_totals)
-          ~outcome:"synthesized" ~exit_code:0 ();
+    | Session.Setbits steps ->
         Output.result fmt
           ~text:(fun () ->
             List.iter
               (fun s ->
                 Printf.printf "bound %d -> achieved %d (%d iterations, %.2f s)\n"
                   s.Synth.Optimize.bound s.Synth.Optimize.achieved
-                  s.Synth.Optimize.step_stats.Synth.Cegis.iterations
-                  s.Synth.Optimize.step_stats.Synth.Cegis.elapsed)
+                  s.Synth.Optimize.step_stats.Synth.Report.Stats.iterations
+                  s.Synth.Optimize.step_stats.Synth.Report.Stats.elapsed)
               steps;
             match List.rev steps with
             | best :: _ ->
@@ -309,16 +242,9 @@ let synth_cmd =
                   (Synth.Report.Stats.sum
                      (List.map (fun s -> s.Synth.Optimize.step_stats) steps)) );
             ]
-            @ portfolio_json ());
+            @ portfolio_json result.Session.report);
         `Ok ()
-    | Synth.Driver.Weighted_result r ->
-        Output.ledger_finish
-          ~metrics:
-            [
-              ("stats.iterations", float_of_int r.Synth.Weighted.iterations);
-              ("stats.elapsed_s", r.Synth.Weighted.elapsed);
-            ]
-          ~outcome:"synthesized" ~exit_code:0 ();
+    | Session.Weighted r ->
         Output.result fmt
           ~text:(fun () ->
             let t0, t1 = r.Synth.Weighted.counts in
@@ -351,81 +277,57 @@ let synth_cmd =
               ("codes", J.List [ code_json c0; code_json c1 ]);
             ]);
         `Ok ()
-    | Synth.Driver.Partial_code (code, stats) ->
-        (* anytime result: the candidate is real but its distance target was
-           never verified — recompute the achieved bound before reporting *)
-        let achieved = Hamming.Distance.min_distance code in
-        let ledger_outcome =
-          if interrupted () then "interrupted" else "partial"
-        in
-        let ledger_exit =
-          if interrupted () then exit_interrupted else exit_partial
-        in
-        Output.ledger_finish
-          ~stats:(Synth.Report.Stats.to_json stats)
-          ~metrics:(Synth.Report.Stats.to_metrics stats)
-          ~outcome:ledger_outcome ~exit_code:ledger_exit ();
-        (match writer with
-        | Some w ->
-            Synth.Checkpoint.Writer.record_best w code achieved;
-            Synth.Checkpoint.Writer.flush w
-        | None -> ());
+    | Session.Partial { code; achieved; check_len = _; stats } ->
         Output.result fmt
           ~text:(fun () ->
             Printf.printf "partial: %s before verification finished\n"
-              (if interrupted () then "interrupted" else "budget expired");
+              (if intr then "interrupted" else "budget expired");
             Printf.printf
               "best candidate so far: (%d,%d) generator, achieved md %d:\n%s\n"
               (Hamming.Code.block_len code) (Hamming.Code.data_len code)
               achieved (Hamming.Code.to_string code);
             Printf.printf "iterations: %d, time: %.2f s\n"
-              stats.Synth.Cegis.iterations stats.Synth.Cegis.elapsed)
+              stats.Synth.Report.Stats.iterations stats.Synth.Report.Stats.elapsed)
           ~json:(fun () ->
             [
               ("command", J.Str "synth");
               ("outcome", J.Str "partial");
-              ("interrupted", J.Bool (interrupted ()));
+              ("interrupted", J.Bool intr);
               ("achieved_md", J.Int achieved);
               ("codes", J.List [ code_json code ]);
               ("stats", Synth.Report.Stats.to_json stats);
             ]
-            @ portfolio_json ());
-        exit (if interrupted () then exit_interrupted else exit_partial)
-    | Synth.Driver.Unsat msg ->
-        Output.ledger_finish ~outcome:"unsat" ~exit_code:exit_unsat ();
+            @ portfolio_json result.Session.report);
+        exit result.Session.exit_code
+    | Session.Unsat { reason; stats = _ } ->
         Output.result fmt
-          ~text:(fun () -> Printf.printf "unsatisfiable: %s\n" msg)
+          ~text:(fun () -> Printf.printf "unsatisfiable: %s\n" reason)
           ~json:(fun () ->
             [
               ("command", J.Str "synth");
               ("outcome", J.Str "unsat");
-              ("reason", J.Str msg);
+              ("reason", J.Str reason);
             ]
-            @ portfolio_json ());
-        exit exit_unsat
-    | Synth.Driver.Timeout msg ->
-        Output.ledger_finish
-          ~outcome:(if interrupted () then "interrupted" else "timeout")
-          ~exit_code:(if interrupted () then exit_interrupted else exit_timeout)
-          ();
+            @ portfolio_json result.Session.report);
+        exit result.Session.exit_code
+    | Session.Timeout { reason; stats = _ } ->
         Output.result fmt
           ~text:(fun () ->
             Printf.printf "%s: %s\n"
-              (if interrupted () then "interrupted" else "timeout")
-              msg)
+              (if intr then "interrupted" else "timeout")
+              reason)
           ~json:(fun () ->
             [
               ("command", J.Str "synth");
               ( "outcome",
-                J.Str (if interrupted () then "interrupted" else "timeout") );
-              ("reason", J.Str msg);
+                J.Str (if intr then "interrupted" else "timeout") );
+              ("reason", J.Str reason);
             ]
-            @ portfolio_json ());
-        exit (if interrupted () then exit_interrupted else exit_timeout)
-    | Synth.Driver.No_solution msg ->
-        Output.ledger_finish ~outcome:"error" ~exit_code:124 ();
-        `Error (false, "no solution: " ^ msg)
-    end
+            @ portfolio_json result.Session.report);
+        exit result.Session.exit_code
+    | Session.Optimized _ ->
+        (* a synth job never yields an optimize outcome *)
+        assert false
     end
   in
   let doc = "Synthesize generators from a property specification (CEGIS)." in
@@ -433,8 +335,9 @@ let synth_cmd =
     Term.(
       ret
         (const run $ prop_arg $ timeout_arg $ weights $ portfolio $ jobs
-       $ checkpoint_arg $ resume_arg $ Output.trace_arg $ Output.metrics_arg
-       $ Output.progress_arg $ Output.no_ledger_arg $ Output.stats_arg))
+       $ checkpoint_arg $ resume_arg $ cache_arg $ cache_dir_arg
+       $ Output.trace_arg $ Output.metrics_arg $ Output.progress_arg
+       $ Output.no_ledger_arg $ Output.stats_arg))
 
 (* ---------- optimize ---------- *)
 
@@ -456,100 +359,45 @@ let optimize_cmd =
     let doc = "Largest check length to try." in
     Arg.(value & opt int 16 & info [ "check-hi" ] ~docv:"C" ~doc)
   in
-  let run data_len md check_lo check_hi timeout checkpoint resume trace metrics
-      progress no_ledger fmt =
+  let run data_len md check_lo check_hi timeout checkpoint resume cache
+      cache_dir trace metrics progress no_ledger fmt =
     if data_len < 1 || md < 1 || check_lo < 1 || check_hi < check_lo then
       `Error
         (false, "need data-len >= 1, min-distance >= 1, 1 <= check-lo <= check-hi")
     else begin
-      Output.ledger_start ~no_ledger ~subcommand:"optimize"
-        ~problem:
-          (Printf.sprintf "data_len=%d md=%d check=%d..%d" data_len md check_lo
-             check_hi)
-        ~config:
-          ([ ("timeout", string_of_float timeout) ]
-          @ (match checkpoint with
-            | Some p -> [ ("checkpoint", p) ]
-            | None -> [])
-          @ match resume with Some p -> [ ("resume", p) ] | None -> [])
-        ();
-      install_sigint ();
-      let initial, start_lo, resumed_iters =
-        match resume with
-        | None -> ([], check_lo, 0)
-        | Some path -> (
-            match Synth.Checkpoint.load ~path with
-            | Error e ->
-                failwith
-                  ("cannot resume: " ^ Synth.Checkpoint.error_to_string e)
-            | Ok t ->
-                if
-                  t.Synth.Checkpoint.data_len <> data_len
-                  || t.Synth.Checkpoint.min_distance <> md
-                then
-                  failwith
-                    (Printf.sprintf
-                       "cannot resume: checkpoint is for data_len %d md %d but \
-                        the command line wants data_len %d md %d"
-                       t.Synth.Checkpoint.data_len
-                       t.Synth.Checkpoint.min_distance data_len md);
-                let lo =
-                  match t.Synth.Checkpoint.opt_bound with
-                  | Some b -> max check_lo b
-                  | None -> check_lo
-                in
-                (t.Synth.Checkpoint.cexes, lo, t.Synth.Checkpoint.iterations))
+      Session.install_sigint ();
+      let request =
+        {
+          (Session.default_request
+             (Session.Optimize { data_len; md; check_lo; check_hi }))
+          with
+          Session.timeout;
+          checkpoint;
+          resume;
+          cache;
+          cache_dir;
+          no_ledger;
+          trace;
+          metrics;
+          progress;
+        }
       in
-      let writer =
-        match checkpoint with
-        | Some path ->
-            let w =
-              Synth.Checkpoint.Writer.create ~path ~data_len
-                ~check_len:check_lo ~min_distance:md ()
-            in
-            List.iter (Synth.Checkpoint.Writer.record_cex w) initial;
-            Synth.Checkpoint.Writer.record_iterations w resumed_iters;
-            Synth.Checkpoint.Writer.record_bound w start_lo;
-            Some w
-        | None -> None
-      in
-      let iters = Atomic.make resumed_iters in
-      let on_cex cex =
-        match writer with
-        | None -> ()
-        | Some w ->
-            Synth.Checkpoint.Writer.record_cex w cex;
-            Synth.Checkpoint.Writer.record_iterations w
-              (1 + Atomic.fetch_and_add iters 1)
-      in
-      let on_round c =
-        match writer with
-        | None -> ()
-        | Some w -> Synth.Checkpoint.Writer.record_bound w c
-      in
-      let outcome =
-        Output.with_observability ~trace ~metrics ~progress (fun () ->
-            Synth.Optimize.minimize_check_len ~timeout ~interrupt:interrupted
-              ~initial ~on_round ~on_cex ~data_len ~md ~check_lo:start_lo
-              ~check_hi ())
-      in
-      (match writer with
-      | Some w -> Synth.Checkpoint.Writer.flush w
-      | None -> ());
-      if resume <> None && fmt = Output.Text then
-        Printf.printf
-          "resumed from checkpoint: %d counterexamples, %d prior iterations, \
-           starting at check length %d\n"
-          (List.length initial) resumed_iters start_lo;
+      match Session.run_sync request with
+      | exception Session.Invalid_request msg -> `Error (false, msg)
+      | result ->
+      (match (result.Session.resumed, fmt) with
+      | Some r, Output.Text ->
+          Printf.printf
+            "resumed from checkpoint: %d counterexamples, %d prior iterations, \
+             starting at check length %d\n"
+            r.Session.cex_count r.Session.prior_iterations r.Session.start_check
+      | _ -> ());
+      let intr = result.Session.interrupted in
       let stats_json totals =
         [ ("stats", Synth.Report.Stats.to_json totals) ]
       in
-      match outcome with
-      | Synth.Report.Synthesized (r, totals) ->
-          Output.ledger_finish
-            ~stats:(Synth.Report.Stats.to_json totals)
-            ~metrics:(Synth.Report.Stats.to_metrics totals)
-            ~outcome:"synthesized" ~exit_code:0 ();
+      match result.Session.outcome with
+      | Session.Optimized (r, totals) ->
           Output.result fmt
             ~text:(fun () ->
               let code = r.Synth.Optimize.code in
@@ -559,71 +407,44 @@ let optimize_cmd =
                 (Hamming.Code.data_len code)
                 (Hamming.Distance.min_distance code)
                 (Hamming.Code.to_string code);
-              Printf.printf "iterations: %d, time: %.2f s\n" totals.Synth.Cegis.iterations
-                totals.Synth.Cegis.elapsed)
+              Printf.printf "iterations: %d, time: %.2f s\n" totals.Synth.Report.Stats.iterations
+                totals.Synth.Report.Stats.elapsed)
             ~json:(fun () ->
               [
                 ("command", J.Str "optimize");
                 ("outcome", J.Str "synthesized");
+                ("cache_hit", J.Bool result.Session.cache_hit);
                 ("check_len", J.Int r.Synth.Optimize.check_len);
                 ("codes", J.List [ code_json r.Synth.Optimize.code ]);
               ]
               @ stats_json totals);
           `Ok ()
-      | Synth.Report.Unsat_config totals ->
-          Output.ledger_finish
-            ~stats:(Synth.Report.Stats.to_json totals)
-            ~metrics:(Synth.Report.Stats.to_metrics totals)
-            ~outcome:"unsat" ~exit_code:exit_unsat ();
+      | Session.Unsat { reason; stats } ->
           Output.result fmt
-            ~text:(fun () ->
-              Printf.printf
-                "unsatisfiable: no check length in %d..%d reaches md %d\n"
-                start_lo check_hi md)
+            ~text:(fun () -> Printf.printf "unsatisfiable: %s\n" reason)
             ~json:(fun () ->
               [ ("command", J.Str "optimize"); ("outcome", J.Str "unsat") ]
-              @ stats_json totals);
-          exit exit_unsat
-      | Synth.Report.Timed_out totals ->
-          Output.ledger_finish
-            ~stats:(Synth.Report.Stats.to_json totals)
-            ~metrics:(Synth.Report.Stats.to_metrics totals)
-            ~outcome:(if interrupted () then "interrupted" else "timeout")
-            ~exit_code:
-              (if interrupted () then exit_interrupted else exit_timeout)
-            ();
+              @ match stats with Some s -> stats_json s | None -> []);
+          exit result.Session.exit_code
+      | Session.Timeout { reason = _; stats } ->
           Output.result fmt
             ~text:(fun () ->
               Printf.printf "%s with no candidate to report\n"
-                (if interrupted () then "interrupted" else "timeout"))
+                (if intr then "interrupted" else "timeout"))
             ~json:(fun () ->
               [
                 ("command", J.Str "optimize");
                 ( "outcome",
-                  J.Str (if interrupted () then "interrupted" else "timeout") );
+                  J.Str (if intr then "interrupted" else "timeout") );
               ]
-              @ stats_json totals);
-          exit (if interrupted () then exit_interrupted else exit_timeout)
-      | Synth.Report.Partial (r, totals) ->
-          let code = r.Synth.Optimize.code in
-          let achieved = Hamming.Distance.min_distance code in
-          Output.ledger_finish
-            ~stats:(Synth.Report.Stats.to_json totals)
-            ~metrics:(Synth.Report.Stats.to_metrics totals)
-            ~outcome:(if interrupted () then "interrupted" else "partial")
-            ~exit_code:
-              (if interrupted () then exit_interrupted else exit_partial)
-            ();
-          (match writer with
-          | Some w ->
-              Synth.Checkpoint.Writer.record_best w code achieved;
-              Synth.Checkpoint.Writer.flush w
-          | None -> ());
+              @ match stats with Some s -> stats_json s | None -> []);
+          exit result.Session.exit_code
+      | Session.Partial { code; achieved; check_len; stats } ->
           Output.result fmt
             ~text:(fun () ->
               Printf.printf "partial: %s at check length %d\n"
-                (if interrupted () then "interrupted" else "budget expired")
-                r.Synth.Optimize.check_len;
+                (if intr then "interrupted" else "budget expired")
+                (Option.value check_len ~default:0);
               Printf.printf
                 "best candidate so far: (%d,%d) generator, achieved md %d:\n%s\n"
                 (Hamming.Code.block_len code) (Hamming.Code.data_len code)
@@ -632,13 +453,16 @@ let optimize_cmd =
               [
                 ("command", J.Str "optimize");
                 ("outcome", J.Str "partial");
-                ("interrupted", J.Bool (interrupted ()));
-                ("check_len", J.Int r.Synth.Optimize.check_len);
+                ("interrupted", J.Bool intr);
+                ("check_len", J.Int (Option.value check_len ~default:0));
                 ("achieved_md", J.Int achieved);
                 ("codes", J.List [ code_json code ]);
               ]
-              @ stats_json totals);
-          exit (if interrupted () then exit_interrupted else exit_partial)
+              @ stats_json stats);
+          exit result.Session.exit_code
+      | Session.Codes _ | Session.Setbits _ | Session.Weighted _ ->
+          (* an optimize job never yields a synth outcome *)
+          assert false
     end
   in
   let doc =
@@ -649,8 +473,142 @@ let optimize_cmd =
     Term.(
       ret
         (const run $ data_len_arg $ md_arg $ lo_arg $ hi_arg $ timeout_arg
-       $ checkpoint_arg $ resume_arg $ Output.trace_arg $ Output.metrics_arg
-       $ Output.progress_arg $ Output.no_ledger_arg $ Output.stats_arg))
+       $ checkpoint_arg $ resume_arg $ cache_arg $ cache_dir_arg
+       $ Output.trace_arg $ Output.metrics_arg $ Output.progress_arg
+       $ Output.no_ledger_arg $ Output.stats_arg))
+
+(* ---------- serve / submit / call ---------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the synthesis daemon." in
+  Arg.(
+    value
+    & opt string (Filename.concat ".fecsynth" "serve.sock")
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Worker domains executing sessions concurrently." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Bounded admission queue: submits beyond $(docv) queued sessions are \
+       refused with a backpressure error."
+    in
+    Arg.(value & opt int 16 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let no_cache_arg =
+    let doc =
+      "Disable the content-addressed result cache (served requests may \
+       still opt in individually with the wire cache flag)."
+    in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let run socket workers max_queue no_cache cache_dir metrics no_ledger =
+    if workers < 1 || max_queue < 1 then
+      `Error (false, "need --workers >= 1 and --max-queue >= 1")
+    else begin
+      let config =
+        {
+          (Fec_session.Server.default_config ~socket) with
+          Fec_session.Server.workers;
+          max_queue;
+          cache = not no_cache;
+          cache_dir;
+          no_ledger;
+          metrics;
+        }
+      in
+      Fec_session.Server.run config;
+      `Ok ()
+    end
+  in
+  let doc =
+    "Run a long-lived synthesis daemon: newline-delimited JSON requests \
+     over a Unix socket, multiplexed across worker domains, answered from \
+     the result cache when possible, every request recorded in the run \
+     ledger.  SIGTERM drains: in-flight sessions finish, then the daemon \
+     exits."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ socket_arg $ workers_arg $ max_queue_arg $ no_cache_arg
+       $ cache_dir_arg $ Output.metrics_arg $ Output.no_ledger_arg))
+
+let submit_cmd =
+  let no_wait_arg =
+    let doc = "Return the session id immediately instead of awaiting the result." in
+    Arg.(value & flag & info [ "no-wait" ] ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Ask the daemon to bypass the result cache for this request." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let portfolio_arg =
+    let doc = "Race a portfolio of differently-configured CEGIS workers." in
+    Arg.(value & flag & info [ "portfolio" ] ~doc)
+  in
+  let jobs_arg =
+    let doc = "Number of portfolio workers." in
+    Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"K" ~doc)
+  in
+  let run socket prop_spec timeout portfolio jobs no_cache no_wait =
+    let request =
+      J.Obj
+        [
+          ("op", J.Str "submit");
+          ("spec", J.Str prop_spec);
+          ("timeout", J.Float timeout);
+          ("portfolio", J.Bool portfolio);
+          ("jobs", J.Int jobs);
+          ("cache", J.Bool (not no_cache));
+          ("await", J.Bool (not no_wait));
+        ]
+    in
+    let t = Fec_session.Client.connect socket in
+    let response = Fec_session.Client.rpc t request in
+    Fec_session.Client.close t;
+    print_endline (J.to_string response);
+    match J.member "ok" response with
+    | Some (J.Bool true) -> `Ok ()
+    | _ -> exit 1
+  in
+  let doc =
+    "Submit one specification to a running $(b,fecsynth serve) daemon and \
+     print the JSON response (by default, awaiting the result).  An @FILE \
+     spec is resolved by the daemon against its working directory."
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      ret
+        (const run $ socket_arg $ prop_arg $ timeout_arg $ portfolio_arg
+       $ jobs_arg $ no_cache_arg $ no_wait_arg))
+
+let call_cmd =
+  let request_arg =
+    let doc = "One JSON request object (e.g. '{\"op\":\"ping\"}')." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JSON" ~doc)
+  in
+  let run socket request =
+    match J.of_string request with
+    | exception J.Parse_error msg -> `Error (false, "bad request: " ^ msg)
+    | j ->
+        let t = Fec_session.Client.connect socket in
+        let response = Fec_session.Client.rpc t j in
+        Fec_session.Client.close t;
+        print_endline (J.to_string response);
+        (match J.member "ok" response with
+        | Some (J.Bool true) -> `Ok ()
+        | _ -> exit 1)
+  in
+  let doc =
+    "Send one raw wire-protocol request to a running $(b,fecsynth serve) \
+     daemon and print the JSON response (ping, status, await, cancel, \
+     stats, shutdown)."
+  in
+  Cmd.v (Cmd.info "call" ~doc) Term.(ret (const run $ socket_arg $ request_arg))
 
 (* ---------- verify ---------- *)
 
@@ -1471,7 +1429,11 @@ let runs_list_cmd =
     in
     Arg.(value & opt (some string) None & info [ "since" ] ~docv:"TS" ~doc)
   in
-  let run dir sub problem outcome since fmt =
+  let cache_hits_arg =
+    let doc = "Only runs answered from the result cache." in
+    Arg.(value & flag & info [ "cache-hits" ] ~doc)
+  in
+  let run dir sub problem outcome since cache_hits fmt =
     match load_entries (resolve_dir dir) with
     | Error msg -> `Error (false, msg)
     | Ok entries ->
@@ -1485,6 +1447,7 @@ let runs_list_cmd =
               && (match outcome with
                  | Some o -> e.L.outcome = o
                  | None -> true)
+              && ((not cache_hits) || e.L.cache_hit)
               && match since with Some ts -> e.L.ts >= ts | None -> true)
             (List.mapi (fun i e -> (i + 1, e)) entries)
         in
@@ -1514,7 +1477,7 @@ let runs_list_cmd =
     Term.(
       ret
         (const run $ ledger_dir_arg $ sub_arg $ problem_arg $ outcome_arg
-       $ since_arg $ Output.stats_arg))
+       $ since_arg $ cache_hits_arg $ Output.stats_arg))
 
 let run_id_arg ~at ~docv =
   let doc =
@@ -1536,6 +1499,7 @@ let runs_show_cmd =
                 Printf.printf "run %d: %s at %s\n" id e.L.subcommand e.L.ts;
                 Printf.printf "outcome:  %s (exit %d)\n" e.L.outcome
                   e.L.exit_code;
+                if e.L.cache_hit then print_endline "cache:    hit";
                 Printf.printf "wall:     %.3f s\n" e.L.wall_s;
                 Printf.printf "problem:  %s\n" e.L.problem;
                 Printf.printf "build:    fecsynth %s, ocaml %s%s\n"
@@ -1830,9 +1794,9 @@ let () =
   let group =
     Cmd.group info
       [
-        synth_cmd; optimize_cmd; verify_cmd; certify_cmd; distance_cmd;
-        analyze_cmd; emit_cmd; robustness_cmd; smt_cmd; trace_cmd;
-        trace_check_cmd; version_cmd; runs_cmd;
+        synth_cmd; optimize_cmd; serve_cmd; submit_cmd; call_cmd; verify_cmd;
+        certify_cmd; distance_cmd; analyze_cmd; emit_cmd; robustness_cmd;
+        smt_cmd; trace_cmd; trace_check_cmd; version_cmd; runs_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

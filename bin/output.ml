@@ -45,94 +45,29 @@ let no_ledger_arg =
   in
   Arg.(value & flag & info [ "no-ledger" ] ~doc)
 
-(* FEC_FORCE_TTY=1 makes --progress render without a real TTY so cram
-   tests can assert the line's shape; the sink then draws its final state
-   followed by a newline instead of erasing itself. *)
-let force_tty () = Sys.getenv_opt "FEC_FORCE_TTY" = Some "1"
-
-(* Run [f] with telemetry routed to the requested observers; no sink at
-   all when none is requested, preserving the disabled fast path.  The
-   trace file is created eagerly so even an aborted run leaves a
-   parseable (possibly empty) trace; the metrics file is rewritten whole
-   on each periodic flush so readers always see a complete exposition. *)
-let with_observability ?(trace = None) ?(metrics = None) ?(progress = false) f =
-  let cleanups = ref [] in
-  let sinks = ref [] in
-  (match trace with
-  | Some path ->
-      let oc = open_out path in
-      cleanups := (fun () -> close_out oc) :: !cleanups;
-      sinks := Telemetry.Sink.ndjson oc :: !sinks
-  | None -> ());
-  (match metrics with
-  | Some path ->
-      let write text =
-        let oc = open_out path in
-        output_string oc text;
-        close_out oc
-      in
-      sinks := Telemetry.Metrics.flush_sink write :: !sinks
-  | None -> ());
-  if progress && (Unix.isatty Unix.stderr || force_tty ()) then begin
-    let write s =
-      output_string stderr s;
-      flush stderr
-    in
-    let final = force_tty () && not (Unix.isatty Unix.stderr) in
-    sinks := Telemetry.Progress.sink ~final write :: !sinks
-  end;
-  match List.rev !sinks with
-  | [] -> f ()
-  | sinks ->
-      Fun.protect
-        ~finally:(fun () -> List.iter (fun c -> c ()) !cleanups)
-        (fun () -> Telemetry.with_sink (Telemetry.Sink.tee sinks) f)
-
+let force_tty = Fec_session.Observe.force_tty
+let with_observability = Fec_session.Observe.with_observability
 let with_trace path f = with_observability ~trace:path f
 
 (* ---------- run-ledger hooks ---------- *)
 
-(* One pending ledger record per process.  [ledger_start] is called once
-   by recording subcommands after argument parsing; [ledger_finish]
-   appends the record with the real outcome right before the command
-   returns or exits.  The [at_exit] hook (installed once) catches every
-   other way out — an uncaught exception, a library [exit] — and records
-   the run as a ["crash"], so failures are first-class ledger data. *)
-let ledger_pending : Telemetry.Ledger.pending option ref = ref None
-let ledger_hook_installed = ref false
+(* One pending ledger record per CLI invocation, owned by the session
+   layer's recorder: opted-out runs (--no-ledger / FEC_NO_LEDGER=1) get
+   an inert token and can never touch the ledger directory, and the
+   recorder's at_exit hook records any still-pending run as a ["crash"].
+   The synth/optimize subcommands do not use these — Session.run_sync
+   records its own runs — but every other recording subcommand does. *)
+let ledger_token : Fec_session.Recorder.token option ref = ref None
 
-let ledger_start ?(no_ledger = false) ~subcommand ~problem ~config () =
-  let disabled =
-    no_ledger || Sys.getenv_opt "FEC_NO_LEDGER" = Some "1"
-  in
-  if not disabled then begin
-    let p =
-      Telemetry.Ledger.start
-        ~ts:(Telemetry.Ledger.utc_timestamp ())
-        ~subcommand ~problem ~config
-        ~build:(Telemetry.Buildinfo.detect ())
-        ()
-    in
-    ledger_pending := Some p;
-    if not !ledger_hook_installed then begin
-      ledger_hook_installed := true;
-      (* at_exit also runs after an uncaught exception; Ledger.finish is
-         idempotent, so a normally-finished run makes this a no-op.  The
-         true exit status is unknowable here — 2 matches the CLI's
-         uncaught-exception handlers. *)
-      at_exit (fun () ->
-          match !ledger_pending with
-          | Some p ->
-              Telemetry.Ledger.finish p ~outcome:"crash" ~exit_code:2
-          | None -> ())
-    end
-  end
+let ledger_start ?no_ledger ~subcommand ~problem ~config () =
+  ledger_token :=
+    Some (Fec_session.Recorder.start ?no_ledger ~subcommand ~problem ~config ())
 
 let ledger_finish ?stats ?metrics ~outcome ~exit_code () =
-  match !ledger_pending with
-  | Some p ->
-      ledger_pending := None;
-      Telemetry.Ledger.finish ?stats ?metrics p ~outcome ~exit_code
+  match !ledger_token with
+  | Some token ->
+      ledger_token := None;
+      Fec_session.Recorder.finish ?stats ?metrics token ~outcome ~exit_code ()
   | None -> ()
 
 let print_json j = print_endline (Telemetry.Json.to_string j)

@@ -46,7 +46,7 @@ let () =
   with
   | Synth.Report.Synthesized (r, _) ->
       Format.printf "found one with %d check bits after %d CEGIS iterations:@.%a@."
-        r.Synth.Optimize.check_len r.Synth.Optimize.stats.Synth.Cegis.iterations
+        r.Synth.Optimize.check_len r.Synth.Optimize.stats.Synth.Report.Stats.iterations
         Hamming.Code.pp r.Synth.Optimize.code
   | Synth.Report.Unsat_config _ | Synth.Report.Timed_out _
   | Synth.Report.Partial _ -> print_endline "synthesis failed (unexpected)"

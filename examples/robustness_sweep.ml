@@ -30,7 +30,7 @@ let () =
               (Channel.Montecarlo.uniform_data codec)
           in
           Printf.printf "%-4d %-6d %-11d %-12d %-12.0f %-14d\n" md
-            r.Synth.Optimize.check_len r.Synth.Optimize.stats.Synth.Cegis.iterations
+            r.Synth.Optimize.check_len r.Synth.Optimize.stats.Synth.Report.Stats.iterations
             mc.Channel.Montecarlo.flips_ge_md mc.Channel.Montecarlo.expected_flips_ge_md
             mc.Channel.Montecarlo.undetected)
     [ 2; 3; 4; 5; 6 ];

@@ -1,0 +1,24 @@
+type t = { ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     failwith
+       (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e)));
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let rpc t request =
+  output_string t.oc (Telemetry.Json.to_string request);
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | exception End_of_file -> failwith "connection closed by server"
+  | line -> (
+      match Telemetry.Json.of_string line with
+      | exception Telemetry.Json.Parse_error msg ->
+          failwith ("malformed server reply: " ^ msg)
+      | j -> j)
+
+let close t = try close_in t.ic with Sys_error _ -> ()

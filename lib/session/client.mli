@@ -1,0 +1,13 @@
+(** Minimal blocking client for the serve wire protocol. *)
+
+type t
+
+(** [connect path] opens the Unix-domain socket at [path].
+    @raise Failure when the daemon is not reachable. *)
+val connect : string -> t
+
+(** [rpc t request] sends one request line and blocks for one response
+    line.  @raise Failure on a closed connection or malformed reply. *)
+val rpc : t -> Telemetry.Json.t -> Telemetry.Json.t
+
+val close : t -> unit

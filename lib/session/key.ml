@@ -1,0 +1,48 @@
+(* Canonical cache keys: the task record is already the analyzer's
+   normal form, so the remaining work is making the rendering itself
+   deterministic (sorted fixed bits, stable field order) and collapsing
+   the one remaining semantic alias — a minimization walk over a
+   single-point interval is just a fixed synthesis. *)
+
+let render_single buf tag (s : Synth.Driver.single) =
+  let fb = List.sort_uniq compare s.Synth.Driver.fixed_bits in
+  Printf.bprintf buf "%s k=%d c=%d..%d md=%d len1=%s fb=%s" tag
+    s.Synth.Driver.data_len s.Synth.Driver.check_lo s.Synth.Driver.check_hi
+    s.Synth.Driver.md
+    (match s.Synth.Driver.len1_max with
+    | None -> "-"
+    | Some n -> string_of_int n)
+    (String.concat ";"
+       (List.map
+          (fun (r, c, v) -> Printf.sprintf "%d,%d,%d" r c (Bool.to_int v))
+          fb))
+
+let canonical ?weights ?p task =
+  let b = Buffer.create 128 in
+  (match task with
+  | Synth.Driver.Fixed s -> render_single b "fixed" s
+  | Synth.Driver.Min_check_len s
+    when s.Synth.Driver.check_lo = s.Synth.Driver.check_hi ->
+      (* minimal(len_c) over a one-point interval is a fixed synthesis *)
+      render_single b "fixed" s
+  | Synth.Driver.Min_check_len s -> render_single b "min_c" s
+  | Synth.Driver.Min_set_bits (s, bound) ->
+      render_single b "min_1" s;
+      Printf.bprintf b " bound=%d" bound
+  | Synth.Driver.Max_distance s -> render_single b "max_md" s
+  | Synth.Driver.Weighted_mapping (g0, g1) ->
+      Printf.bprintf b "weighted g0=%d,%d g1=%d,%d"
+        g0.Synth.Weighted.check_len g0.Synth.Weighted.min_distance
+        g1.Synth.Weighted.check_len g1.Synth.Weighted.min_distance);
+  (match weights with
+  | None -> ()
+  | Some w ->
+      Printf.bprintf b " w=%s"
+        (String.concat "," (List.map string_of_int (Array.to_list w))));
+  (match p with None -> () | Some p -> Printf.bprintf b " p=%h" p);
+  Buffer.contents b
+
+let digest canonical = Digest.to_hex (Digest.string canonical)
+let of_task ?weights ?p task =
+  let c = canonical ?weights ?p task in
+  (c, digest c)

@@ -1,0 +1,33 @@
+(** Content-addressed cache keys for synthesis requests.
+
+    A key is a canonical, human-readable rendering of the {e normalized}
+    synthesis task — data length, check-length interval, distance target,
+    set-bit bound, pinned coefficient bits, optional weights and channel
+    probability — such that semantically identical specifications render
+    to the same string (and therefore the same digest) no matter how they
+    were spelled:
+
+    - the property analyzer ({!Synth.Driver.analyze}) already folds
+      arithmetic, merges interval constraints and normalizes [md >= k]
+      against [md = k], so two spellings of one task arrive here as equal
+      records;
+    - [fixed_bits] are sorted and deduplicated, so permuted conjunct
+      order cannot change the key;
+    - a [minimal(len_c)] walk over a single-point interval is the same
+      task as a fixed synthesis at that check length, and keys as such.
+
+    The digest is an MD5 of the canonical string.  The canonical string
+    itself is stored alongside every cache entry and compared on lookup,
+    so even a digest collision can never serve a wrong result. *)
+
+(** [canonical ?weights ?p task] renders the normalized task as a stable
+    one-line string. *)
+val canonical : ?weights:int array -> ?p:float -> Synth.Driver.task -> string
+
+(** [digest canonical] is the lowercase-hex MD5 of the canonical string —
+    the cache's file-name key. *)
+val digest : string -> string
+
+(** [of_task ?weights ?p task] is [(canonical, digest canonical)]. *)
+val of_task :
+  ?weights:int array -> ?p:float -> Synth.Driver.task -> string * string

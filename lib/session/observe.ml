@@ -1,0 +1,37 @@
+(* FEC_FORCE_TTY=1 makes --progress render without a real TTY so cram
+   tests can assert the line's shape; the sink then draws its final state
+   followed by a newline instead of erasing itself. *)
+let force_tty () = Sys.getenv_opt "FEC_FORCE_TTY" = Some "1"
+
+let with_observability ?(trace = None) ?(metrics = None) ?(progress = false) f =
+  let cleanups = ref [] in
+  let sinks = ref [] in
+  (match trace with
+  | Some path ->
+      let oc = open_out path in
+      cleanups := (fun () -> close_out oc) :: !cleanups;
+      sinks := Telemetry.Sink.ndjson oc :: !sinks
+  | None -> ());
+  (match metrics with
+  | Some path ->
+      let write text =
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      in
+      sinks := Telemetry.Metrics.flush_sink write :: !sinks
+  | None -> ());
+  if progress && (Unix.isatty Unix.stderr || force_tty ()) then begin
+    let write s =
+      output_string stderr s;
+      flush stderr
+    in
+    let final = force_tty () && not (Unix.isatty Unix.stderr) in
+    sinks := Telemetry.Progress.sink ~final write :: !sinks
+  end;
+  match List.rev !sinks with
+  | [] -> f ()
+  | sinks ->
+      Fun.protect
+        ~finally:(fun () -> List.iter (fun c -> c ()) !cleanups)
+        (fun () -> Telemetry.with_sink (Telemetry.Sink.tee sinks) f)

@@ -1,0 +1,20 @@
+(** Per-run observability: compose the NDJSON trace sink, the periodic
+    Prometheus metrics exposition and the live progress display around a
+    session run.  With nothing requested, [f] runs with no sink at all,
+    preserving the telemetry disabled fast path. *)
+
+(** [FEC_FORCE_TTY=1] — render progress without a real TTY (cram). *)
+val force_tty : unit -> bool
+
+(** [with_observability ?trace ?metrics ?progress f] runs [f] with
+    telemetry routed to the requested observers.  The trace file is
+    created eagerly so even an aborted run leaves a parseable (possibly
+    empty) trace; the metrics file is rewritten whole on each periodic
+    flush so readers always see a complete exposition; progress renders
+    on stderr only when it is a TTY (or forced). *)
+val with_observability :
+  ?trace:string option ->
+  ?metrics:string option ->
+  ?progress:bool ->
+  (unit -> 'a) ->
+  'a

@@ -1,0 +1,294 @@
+(* The serve event loop.  One thread owns all socket I/O: a select with a
+   short tick multiplexes the listener and every client line buffer, and
+   [await] waiters are answered from the tick by polling the manager —
+   the loop never blocks on a session.  Synthesis itself runs on the
+   manager's worker domains. *)
+
+module J = Telemetry.Json
+
+type config = {
+  socket : string;
+  workers : int;
+  max_queue : int;
+  cache : bool;
+  cache_dir : string option;
+  no_ledger : bool;
+  ledger_dir : string option;
+  metrics : string option;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    workers = 2;
+    max_queue = 16;
+    cache = true;
+    cache_dir = None;
+    no_ledger = false;
+    ledger_dir = None;
+    metrics = None;
+  }
+
+let tick = 0.05
+
+type client = { fd : Unix.file_descr; buf : Buffer.t }
+
+type state = {
+  config : config;
+  manager : Session.Manager.t;
+  defaults : Session.request;
+  mutable listen_fd : Unix.file_descr option;
+  mutable clients : client list;
+  mutable waiters : (Unix.file_descr * Session.Manager.id) list;
+  mutable submitted : Session.Manager.id list;
+  mutable draining : bool;
+}
+
+let log fmt = Printf.eprintf ("fecsynth serve: " ^^ fmt ^^ "\n%!")
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* A dead client is dropped silently — its sessions keep running and
+   their results stay queryable by id from any other connection. *)
+let drop_client st c =
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  st.clients <- List.filter (fun c' -> c'.fd != c.fd) st.clients;
+  st.waiters <- List.filter (fun (fd, _) -> fd <> c.fd) st.waiters
+
+let send st c line =
+  try
+    let b = Bytes.of_string line in
+    let n = Unix.write c.fd b 0 (Bytes.length b) in
+    if n <> Bytes.length b then drop_client st c
+  with Unix.Unix_error _ -> drop_client st c
+
+let settled = function
+  | Session.Manager.Done _ | Session.Manager.Failed _
+  | Session.Manager.Cancelled ->
+      true
+  | Session.Manager.Queued | Session.Manager.Running -> false
+
+let status_response id status =
+  Wire.ok [ ("id", J.Int id); ("session", Wire.status_to_json status) ]
+
+let handle_command st c = function
+  | Wire.Ping -> send st c (Wire.ok [ ("pong", J.Bool true) ])
+  | Wire.Stats ->
+      send st c
+        (Wire.ok
+           [
+             ("queue_depth", J.Int (Session.Manager.queue_depth st.manager));
+             ("sessions", J.Int (List.length st.submitted));
+             ("draining", J.Bool st.draining);
+           ])
+  | Wire.Shutdown ->
+      send st c (Wire.ok [ ("draining", J.Bool true) ]);
+      st.draining <- true
+  | Wire.Submit { request; await } -> (
+      if st.draining then send st c (Wire.error "draining")
+      else
+        match Session.Manager.submit st.manager request with
+        | Error `Backpressure -> send st c (Wire.error "queue full")
+        | Ok id ->
+            st.submitted <- id :: st.submitted;
+            if await then st.waiters <- (c.fd, id) :: st.waiters
+            else send st c (Wire.ok [ ("id", J.Int id) ]))
+  | Wire.Status id -> (
+      match Session.Manager.status st.manager id with
+      | None -> send st c (Wire.error "unknown id")
+      | Some status -> send st c (status_response id status))
+  | Wire.Cancel id ->
+      send st c
+        (Wire.ok [ ("cancelled", J.Bool (Session.Manager.cancel st.manager id)) ])
+  | Wire.Await id -> (
+      match Session.Manager.status st.manager id with
+      | None -> send st c (Wire.error "unknown id")
+      | Some status ->
+          if settled status then send st c (status_response id status)
+          else st.waiters <- (c.fd, id) :: st.waiters)
+
+let handle_line st c line =
+  if String.trim line <> "" then
+    match J.of_string line with
+    | exception J.Parse_error msg -> send st c (Wire.error ("bad json: " ^ msg))
+    | j -> (
+        match Wire.command_of_json ~defaults:st.defaults j with
+        | Error msg -> send st c (Wire.error msg)
+        | Ok cmd -> handle_command st c cmd)
+
+(* drain complete lines from the client's buffer *)
+let rec process_buffer st c =
+  let s = Buffer.contents c.buf in
+  match String.index_opt s '\n' with
+  | None -> ()
+  | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear c.buf;
+      Buffer.add_substring c.buf s (i + 1) (String.length s - i - 1);
+      handle_line st c line;
+      if List.exists (fun c' -> c'.fd == c.fd) st.clients then
+        process_buffer st c
+
+let read_client st c =
+  let bytes = Bytes.create 4096 in
+  match Unix.read c.fd bytes 0 4096 with
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      drop_client st c
+  | 0 -> drop_client st c
+  | n ->
+      Buffer.add_subbytes c.buf bytes 0 n;
+      process_buffer st c
+
+let answer_waiters st =
+  let ready, waiting =
+    List.partition
+      (fun (_, id) ->
+        match Session.Manager.status st.manager id with
+        | Some status -> settled status
+        | None -> true)
+      st.waiters
+  in
+  st.waiters <- waiting;
+  List.iter
+    (fun (fd, id) ->
+      match List.find_opt (fun c -> c.fd == fd) st.clients with
+      | None -> ()
+      | Some c -> (
+          match Session.Manager.status st.manager id with
+          | None -> send st c (Wire.error "unknown id")
+          | Some status -> send st c (status_response id status)))
+    ready
+
+let busy st =
+  List.exists
+    (fun id ->
+      match Session.Manager.status st.manager id with
+      | Some status -> not (settled status)
+      | None -> false)
+    st.submitted
+
+let accept_clients st =
+  match st.listen_fd with
+  | None -> ()
+  | Some lfd -> (
+      match Unix.accept lfd with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          st.clients <- { fd; buf = Buffer.create 256 } :: st.clients)
+
+let stop_accepting st =
+  match st.listen_fd with
+  | None -> ()
+  | Some lfd ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      st.listen_fd <- None
+
+let loop st =
+  let stop = Atomic.make false in
+  let on_signal _ = Atomic.set stop true in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int)
+    (fun () ->
+      let rec go () =
+        if Atomic.get stop then st.draining <- true;
+        if st.draining then stop_accepting st;
+        let fds =
+          (match st.listen_fd with Some fd -> [ fd ] | None -> [])
+          @ List.map (fun c -> c.fd) st.clients
+        in
+        let readable =
+          match Unix.select fds [] [] tick with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            if Some fd = st.listen_fd then accept_clients st
+            else
+              match List.find_opt (fun c -> c.fd == fd) st.clients with
+              | Some c -> read_client st c
+              | None -> ())
+          readable;
+        answer_waiters st;
+        if st.draining && (not (busy st)) && st.waiters = [] then ()
+        else go ()
+      in
+      go ())
+
+let run config =
+  mkdir_p (Filename.dirname config.socket);
+  if Sys.file_exists config.socket then Unix.unlink config.socket;
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind lfd (Unix.ADDR_UNIX config.socket)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close lfd with Unix.Unix_error _ -> ());
+     failwith
+       (Printf.sprintf "cannot bind %s: %s" config.socket
+          (Unix.error_message e)));
+  Unix.listen lfd 16;
+  Unix.set_nonblock lfd;
+  let defaults =
+    {
+      (Session.default_request
+         (Session.Synth
+            { prop = ""; weights = None; portfolio = false; jobs = 4 }))
+      with
+      Session.cache = config.cache;
+      cache_dir = config.cache_dir;
+      no_ledger = config.no_ledger;
+      ledger_dir = config.ledger_dir;
+      subcommand = "serve";
+    }
+  in
+  let manager =
+    Session.Manager.create ~workers:config.workers ~max_queue:config.max_queue
+      ()
+  in
+  let st =
+    {
+      config;
+      manager;
+      defaults;
+      listen_fd = Some lfd;
+      clients = [];
+      waiters = [];
+      submitted = [];
+      draining = false;
+    }
+  in
+  let serve () =
+    log "listening on %s (%d workers, queue %d)" config.socket config.workers
+      config.max_queue;
+    Fun.protect
+      ~finally:(fun () ->
+        stop_accepting st;
+        List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+          st.clients;
+        st.clients <- [];
+        Session.Manager.drain manager;
+        if Sys.file_exists config.socket then Unix.unlink config.socket;
+        log "drained")
+      (fun () -> loop st)
+  in
+  match config.metrics with
+  | None -> serve ()
+  | Some path ->
+      (* one exposition file for the daemon's lifetime; per-request
+         observability is off for serve requests, so the global sink is
+         never displaced *)
+      let write text =
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      in
+      Telemetry.with_sink (Telemetry.Metrics.flush_sink write) serve

@@ -1,0 +1,31 @@
+(** The [fecsynth serve] daemon: a long-lived process multiplexing
+    concurrent synthesis sessions over a Unix-domain socket.
+
+    One single-threaded event loop owns the socket (accept, per-client
+    line buffering, response writing); the actual synthesis runs on
+    {!Session.Manager} worker domains with a bounded admission queue.
+    Every request is recorded in the run ledger (subcommand ["serve"])
+    and answered from the content-addressed result cache when possible.
+
+    Shutdown is a drain: SIGTERM, SIGINT or a [shutdown] request stop
+    admission, let in-flight sessions finish (answering their waiters),
+    then exit cleanly. *)
+
+type config = {
+  socket : string;
+  workers : int;  (** session worker domains *)
+  max_queue : int;  (** admission bound; beyond it, submits are refused *)
+  cache : bool;  (** default cache policy for requests (they can opt out) *)
+  cache_dir : string option;
+  no_ledger : bool;
+  ledger_dir : string option;
+  metrics : string option;
+      (** Prometheus exposition file, refreshed for the daemon's whole
+          lifetime (covers [session.cache_*] and [serve.queue_depth]) *)
+}
+
+val default_config : socket:string -> config
+
+(** [run config] serves until drained.  Raises [Failure] when the socket
+    cannot be bound. *)
+val run : config -> unit

@@ -1,0 +1,828 @@
+(* The session layer: everything one synthesis run needs, behind a typed
+   request/response API.  The CLI and the serve daemon are both thin
+   clients of [run_sync]; the behavioral contract (ledger outcome
+   strings, exit codes, checkpoint discipline, resume validation
+   messages) lives here and nowhere else. *)
+
+module Report = Synth.Report
+
+type job =
+  | Synth of {
+      prop : string;
+      weights : int array option;
+      portfolio : bool;
+      jobs : int;
+    }
+  | Optimize of { data_len : int; md : int; check_lo : int; check_hi : int }
+
+type request = {
+  job : job;
+  timeout : float;
+  checkpoint : string option;
+  resume : string option;
+  cache : bool;
+  cache_dir : string option;
+  no_ledger : bool;
+  ledger_dir : string option;
+  subcommand : string;
+  trace : string option;
+  metrics : string option;
+  progress : bool;
+}
+
+let default_request job =
+  {
+    job;
+    timeout = 120.0;
+    checkpoint = None;
+    resume = None;
+    cache = false;
+    cache_dir = None;
+    no_ledger = false;
+    ledger_dir = None;
+    subcommand = (match job with Synth _ -> "synth" | Optimize _ -> "optimize");
+    trace = None;
+    metrics = None;
+    progress = false;
+  }
+
+type resumed = { cex_count : int; prior_iterations : int; start_check : int }
+
+type outcome =
+  | Codes of Hamming.Code.t list * Report.Stats.t
+  | Optimized of Synth.Optimize.check_result * Report.Stats.t
+  | Setbits of Synth.Optimize.setbits_step list
+  | Weighted of Synth.Weighted.result
+  | Partial of {
+      code : Hamming.Code.t;
+      achieved : int;
+      check_len : int option;
+      stats : Report.Stats.t;
+    }
+  | Unsat of { reason : string; stats : Report.Stats.t option }
+  | Timeout of { reason : string; stats : Report.Stats.t option }
+
+type result = {
+  outcome : outcome;
+  cache_hit : bool;
+  interrupted : bool;
+  resumed : resumed option;
+  report : Synth.Portfolio.report option;
+  wall_s : float;
+  exit_code : int;
+}
+
+exception Invalid_request of string
+
+(* ---------- exit-code contract ---------- *)
+
+let exit_unsat = 3
+let exit_timeout = 4
+let exit_partial = 5
+let exit_interrupted = 130
+
+(* ---------- interrupts ---------- *)
+
+(* The first Ctrl-C requests a cooperative wind-down: the solvers poll
+   the flag, the run returns its partial outcome, traces and checkpoints
+   are flushed, and the process exits 130.  A second Ctrl-C aborts at
+   once. *)
+let sigint_requested = Atomic.make false
+
+let install_sigint () =
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         if Atomic.get sigint_requested then exit 130
+         else Atomic.set sigint_requested true))
+
+let interrupted () = Atomic.get sigint_requested
+
+(* ---------- helpers ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_prop spec =
+  if String.length spec > 0 && spec.[0] = '@' then
+    Spec.Parse.prop_file (read_file (String.sub spec 1 (String.length spec - 1)))
+  else Spec.Parse.prop spec
+
+(* Expected failures (parse errors, missing files, corrupt checkpoints)
+   settle the ledger record as error/2 — matching the CLI's top-level
+   handlers, which render the message — then re-raise.  Anything
+   unexpected propagates with the record pending, and the at_exit hook
+   records it as a crash. *)
+let guarded token f =
+  try f ()
+  with (Failure _ | Sys_error _ | Spec.Parse.Error _ | Invalid_argument _) as e
+  ->
+    Recorder.finish token ~outcome:"error" ~exit_code:2 ();
+    raise e
+
+let invalid token msg =
+  Recorder.finish token ~outcome:"error" ~exit_code:124 ();
+  raise (Invalid_request msg)
+
+let hit_stats (e : Cache.entry) =
+  { Report.Stats.zero with iterations = e.iterations; elapsed = e.elapsed }
+
+(* A checkpoint writer carrying resumed state forward, feeding every
+   newly learned counterexample and the running iteration count. *)
+let make_writer ~checkpoint ~data_len ~check_len ~md ~initial ~resumed_iters =
+  match checkpoint with
+  | None -> None
+  | Some path ->
+      let w =
+        Synth.Checkpoint.Writer.create ~path ~data_len ~check_len
+          ~min_distance:md ()
+      in
+      List.iter (Synth.Checkpoint.Writer.record_cex w) initial;
+      Synth.Checkpoint.Writer.record_iterations w resumed_iters;
+      Some w
+
+let writer_on_cex writer iters =
+  match writer with
+  | None -> fun _ -> ()
+  | Some w ->
+      fun cex ->
+        Synth.Checkpoint.Writer.record_cex w cex;
+        Synth.Checkpoint.Writer.record_iterations w
+          (1 + Atomic.fetch_and_add iters 1)
+
+let flush_writer = function
+  | Some w -> Synth.Checkpoint.Writer.flush w
+  | None -> ()
+
+(* ---------- cache plumbing ---------- *)
+
+(* Cache participation is limited to what an entry can faithfully
+   answer: a fresh (non-resumed) run of a task with exactly one proven
+   generator.  Everything else runs cold but may still donate its
+   counterexample pool for warm starts. *)
+type cache_ctx = {
+  c_dir : string;
+  c_key : string;
+  c_digest : string;
+}
+
+let cache_ctx request task ~weights =
+  match (request.cache, request.resume) with
+  | false, _ | _, Some _ -> None
+  | true, None -> (
+      match task with
+      | Synth.Driver.Fixed _ | Synth.Driver.Min_check_len _ ->
+          let key, digest = Key.of_task ?weights task in
+          let c_dir =
+            match request.cache_dir with
+            | Some d -> d
+            | None -> Cache.default_dir ()
+          in
+          Some { c_dir; c_key = key; c_digest = digest }
+      | _ -> None)
+
+let cache_lookup ctx =
+  match ctx with
+  | None -> None
+  | Some c -> Cache.lookup ~dir:c.c_dir ~digest:c.c_digest ~key:c.c_key
+
+let cache_store ctx ~code ~md ~iterations ~elapsed =
+  match ctx with
+  | None -> ()
+  | Some c ->
+      Cache.store ~dir:c.c_dir ~digest:c.c_digest
+        {
+          Cache.key = c.c_key;
+          created = Telemetry.Ledger.utc_timestamp ();
+          code;
+          check_len = Hamming.Code.block_len code - Hamming.Code.data_len code;
+          md;
+          verified_md = Hamming.Distance.min_distance code;
+          iterations;
+          elapsed;
+        }
+
+let cache_save_pool ctx ~data_len ~check_len ~md cexes =
+  match ctx with
+  | None -> ()
+  | Some c ->
+      Cache.save_pool ~dir:c.c_dir ~digest:c.c_digest ~data_len ~check_len ~md
+        cexes
+
+(* when the cache is in play, hit/miss becomes a ledger trend metric *)
+let cache_metric ctx hit metrics =
+  match ctx with
+  | None -> metrics
+  | Some _ -> metrics @ [ ("cache_hit", if hit then 1.0 else 0.0) ]
+
+(* ---------- the synth job ---------- *)
+
+let run_synth ?on_report ~intr ~t0 request ~prop_spec ~weights ~portfolio ~jobs
+    =
+  let token =
+    Recorder.start ~no_ledger:request.no_ledger ?dir:request.ledger_dir
+      ~subcommand:request.subcommand ~problem:prop_spec
+      ~config:
+        ([
+           ("timeout", string_of_float request.timeout);
+           ("portfolio", string_of_bool portfolio);
+           ("jobs", string_of_int jobs);
+         ]
+        @ (match weights with Some _ -> [ ("weights", "yes") ] | None -> [])
+        @ (match request.checkpoint with
+          | Some p -> [ ("checkpoint", p) ]
+          | None -> [])
+        @ match request.resume with Some p -> [ ("resume", p) ] | None -> [])
+      ()
+  in
+  guarded token @@ fun () ->
+  let prop = load_prop prop_spec in
+  let jobs_opt = if portfolio then Some jobs else None in
+  (* checkpointing and caching need a single-generator task so the
+     problem shape the pool belongs to is known up front *)
+  let task = Synth.Driver.analyze prop in
+  let single =
+    match task with
+    | Ok (Synth.Driver.Fixed s) | Ok (Synth.Driver.Min_check_len s) -> Some s
+    | Ok _ | Error _ -> None
+  in
+  if (request.checkpoint <> None || request.resume <> None) && single = None
+  then invalid token "--checkpoint/--resume support single-generator tasks only";
+  let ctx =
+    match task with
+    | Ok t when single <> None -> cache_ctx request t ~weights
+    | _ -> None
+  in
+  match cache_lookup ctx with
+  | Some entry ->
+      let stats = hit_stats entry in
+      Recorder.finish token
+        ~stats:(Report.Stats.to_json stats)
+        ~metrics:(cache_metric ctx true [])
+        ~cache_hit:true ~outcome:"synthesized" ~exit_code:0 ();
+      {
+        outcome = Codes ([ entry.Cache.code ], stats);
+        cache_hit = true;
+        interrupted = false;
+        resumed = None;
+        report = None;
+        wall_s = Unix.gettimeofday () -. t0;
+        exit_code = 0;
+      }
+  | None ->
+      let initial, resumed_iters =
+        match request.resume with
+        | None -> ([], 0)
+        | Some path -> (
+            match Synth.Checkpoint.load ~path with
+            | Error e ->
+                failwith
+                  ("cannot resume: " ^ Synth.Checkpoint.error_to_string e)
+            | Ok t ->
+                let s = Option.get single in
+                if
+                  t.Synth.Checkpoint.data_len <> s.Synth.Driver.data_len
+                  || t.Synth.Checkpoint.min_distance <> s.Synth.Driver.md
+                then
+                  failwith
+                    (Printf.sprintf
+                       "cannot resume: checkpoint is for data_len %d md %d \
+                        but the specification wants data_len %d md %d"
+                       t.Synth.Checkpoint.data_len
+                       t.Synth.Checkpoint.min_distance s.Synth.Driver.data_len
+                       s.Synth.Driver.md);
+                (t.Synth.Checkpoint.cexes, t.Synth.Checkpoint.iterations))
+      in
+      let resumed =
+        match request.resume with
+        | None -> None
+        | Some _ ->
+            Some
+              {
+                cex_count = List.length initial;
+                prior_iterations = resumed_iters;
+                start_check =
+                  (match single with
+                  | Some s -> s.Synth.Driver.check_lo
+                  | None -> 0);
+              }
+      in
+      (* warm-start counterexamples from compatible cached pools ride
+         along with the resumed ones but are invisible to the resume
+         banner and the checkpoint being written *)
+      let warm =
+        match (ctx, single) with
+        | Some c, Some s ->
+            Cache.warm_start ~dir:c.c_dir ~data_len:s.Synth.Driver.data_len
+              ~md:s.Synth.Driver.md
+        | _ -> []
+      in
+      let writer =
+        match single with
+        | Some s ->
+            make_writer ~checkpoint:request.checkpoint
+              ~data_len:s.Synth.Driver.data_len
+              ~check_len:s.Synth.Driver.check_lo ~md:s.Synth.Driver.md
+              ~initial ~resumed_iters
+        | None -> None
+      in
+      let iters = Atomic.make resumed_iters in
+      let learned = ref [] in
+      let record_cex = writer_on_cex writer iters in
+      let on_cex cex =
+        learned := cex :: !learned;
+        record_cex cex
+      in
+      let last_report = ref None in
+      let on_report r =
+        last_report := Some r;
+        match on_report with Some f -> f r | None -> ()
+      in
+      let outcome =
+        Observe.with_observability ~trace:request.trace
+          ~metrics:request.metrics ~progress:request.progress (fun () ->
+            Synth.Driver.run ~timeout:request.timeout ?weights ?jobs:jobs_opt
+              ~on_report ~interrupt:intr ~initial:(initial @ warm) ~on_cex prop)
+      in
+      flush_writer writer;
+      (match single with
+      | Some s ->
+          cache_save_pool ctx ~data_len:s.Synth.Driver.data_len
+            ~check_len:s.Synth.Driver.check_lo ~md:s.Synth.Driver.md
+            (initial @ List.rev !learned)
+      | None -> ());
+      let finish ?stats ?(metrics = []) ~outcome:o ~exit_code () =
+        Recorder.finish token ?stats ~metrics:(cache_metric ctx false metrics)
+          ~outcome:o ~exit_code ()
+      in
+      let mk outcome ~exit_code =
+        {
+          outcome;
+          cache_hit = false;
+          interrupted = intr ();
+          resumed;
+          report = !last_report;
+          wall_s = Unix.gettimeofday () -. t0;
+          exit_code;
+        }
+      in
+      (match outcome with
+      | Synth.Driver.Codes (codes, stats) ->
+          finish
+            ~stats:(Report.Stats.to_json stats)
+            ~metrics:(Report.Stats.to_metrics stats)
+            ~outcome:"synthesized" ~exit_code:0 ();
+          (match (codes, single) with
+          | [ code ], Some s ->
+              cache_store ctx ~code ~md:s.Synth.Driver.md
+                ~iterations:stats.Report.Stats.iterations
+                ~elapsed:stats.Report.Stats.elapsed
+          | _ -> ());
+          mk (Codes (codes, stats)) ~exit_code:0
+      | Synth.Driver.Setbits_walk steps ->
+          let walk_totals =
+            Report.Stats.sum
+              (List.map (fun s -> s.Synth.Optimize.step_stats) steps)
+          in
+          finish
+            ~stats:(Report.Stats.to_json walk_totals)
+            ~metrics:(Report.Stats.to_metrics walk_totals)
+            ~outcome:"synthesized" ~exit_code:0 ();
+          mk (Setbits steps) ~exit_code:0
+      | Synth.Driver.Weighted_result r ->
+          finish
+            ~metrics:
+              [
+                ("stats.iterations", float_of_int r.Synth.Weighted.iterations);
+                ("stats.elapsed_s", r.Synth.Weighted.elapsed);
+              ]
+            ~outcome:"synthesized" ~exit_code:0 ();
+          mk (Weighted r) ~exit_code:0
+      | Synth.Driver.Partial_code (code, stats) ->
+          (* anytime result: the candidate is real but its distance
+             target was never verified — recompute the achieved bound
+             before reporting *)
+          let achieved = Hamming.Distance.min_distance code in
+          let exit_code = if intr () then exit_interrupted else exit_partial in
+          finish
+            ~stats:(Report.Stats.to_json stats)
+            ~metrics:(Report.Stats.to_metrics stats)
+            ~outcome:(if intr () then "interrupted" else "partial")
+            ~exit_code ();
+          (match writer with
+          | Some w ->
+              Synth.Checkpoint.Writer.record_best w code achieved;
+              Synth.Checkpoint.Writer.flush w
+          | None -> ());
+          mk (Partial { code; achieved; check_len = None; stats }) ~exit_code
+      | Synth.Driver.Unsat msg ->
+          finish ~outcome:"unsat" ~exit_code:exit_unsat ();
+          mk (Unsat { reason = msg; stats = None }) ~exit_code:exit_unsat
+      | Synth.Driver.Timeout msg ->
+          let exit_code = if intr () then exit_interrupted else exit_timeout in
+          finish
+            ~outcome:(if intr () then "interrupted" else "timeout")
+            ~exit_code ();
+          mk (Timeout { reason = msg; stats = None }) ~exit_code
+      | Synth.Driver.No_solution msg ->
+          invalid token ("no solution: " ^ msg))
+
+(* ---------- the optimize job ---------- *)
+
+let run_optimize ~intr ~t0 request ~data_len ~md ~check_lo ~check_hi =
+  let token =
+    Recorder.start ~no_ledger:request.no_ledger ?dir:request.ledger_dir
+      ~subcommand:request.subcommand
+      ~problem:
+        (Printf.sprintf "data_len=%d md=%d check=%d..%d" data_len md check_lo
+           check_hi)
+      ~config:
+        ([ ("timeout", string_of_float request.timeout) ]
+        @ (match request.checkpoint with
+          | Some p -> [ ("checkpoint", p) ]
+          | None -> [])
+        @ match request.resume with Some p -> [ ("resume", p) ] | None -> [])
+      ()
+  in
+  guarded token @@ fun () ->
+  let task =
+    Synth.Driver.Min_check_len
+      {
+        Synth.Driver.data_len;
+        check_lo;
+        check_hi;
+        md;
+        len1_max = None;
+        fixed_bits = [];
+      }
+  in
+  let ctx = cache_ctx request task ~weights:None in
+  match cache_lookup ctx with
+  | Some entry ->
+      let stats = hit_stats entry in
+      Recorder.finish token
+        ~stats:(Report.Stats.to_json stats)
+        ~metrics:(cache_metric ctx true [])
+        ~cache_hit:true ~outcome:"synthesized" ~exit_code:0 ();
+      {
+        outcome =
+          Optimized
+            ( {
+                Synth.Optimize.code = entry.Cache.code;
+                check_len = entry.Cache.check_len;
+                stats;
+              },
+              stats );
+        cache_hit = true;
+        interrupted = false;
+        resumed = None;
+        report = None;
+        wall_s = Unix.gettimeofday () -. t0;
+        exit_code = 0;
+      }
+  | None ->
+      let initial, start_lo, resumed_iters =
+        match request.resume with
+        | None -> ([], check_lo, 0)
+        | Some path -> (
+            match Synth.Checkpoint.load ~path with
+            | Error e ->
+                failwith
+                  ("cannot resume: " ^ Synth.Checkpoint.error_to_string e)
+            | Ok t ->
+                if
+                  t.Synth.Checkpoint.data_len <> data_len
+                  || t.Synth.Checkpoint.min_distance <> md
+                then
+                  failwith
+                    (Printf.sprintf
+                       "cannot resume: checkpoint is for data_len %d md %d \
+                        but the command line wants data_len %d md %d"
+                       t.Synth.Checkpoint.data_len
+                       t.Synth.Checkpoint.min_distance data_len md);
+                let lo =
+                  match t.Synth.Checkpoint.opt_bound with
+                  | Some b -> max check_lo b
+                  | None -> check_lo
+                in
+                (t.Synth.Checkpoint.cexes, lo, t.Synth.Checkpoint.iterations))
+      in
+      let resumed =
+        match request.resume with
+        | None -> None
+        | Some _ ->
+            Some
+              {
+                cex_count = List.length initial;
+                prior_iterations = resumed_iters;
+                start_check = start_lo;
+              }
+      in
+      let warm =
+        match ctx with
+        | Some c -> Cache.warm_start ~dir:c.c_dir ~data_len ~md
+        | None -> []
+      in
+      let writer =
+        make_writer ~checkpoint:request.checkpoint ~data_len
+          ~check_len:check_lo ~md ~initial ~resumed_iters
+      in
+      (match writer with
+      | Some w -> Synth.Checkpoint.Writer.record_bound w start_lo
+      | None -> ());
+      let iters = Atomic.make resumed_iters in
+      let learned = ref [] in
+      let record_cex = writer_on_cex writer iters in
+      let on_cex cex =
+        learned := cex :: !learned;
+        record_cex cex
+      in
+      let on_round c =
+        match writer with
+        | None -> ()
+        | Some w -> Synth.Checkpoint.Writer.record_bound w c
+      in
+      let outcome =
+        Observe.with_observability ~trace:request.trace
+          ~metrics:request.metrics ~progress:request.progress (fun () ->
+            Synth.Optimize.minimize_check_len ~timeout:request.timeout
+              ~interrupt:intr ~initial:(initial @ warm) ~on_round ~on_cex
+              ~data_len ~md ~check_lo:start_lo ~check_hi ())
+      in
+      flush_writer writer;
+      cache_save_pool ctx ~data_len ~check_len:check_lo ~md
+        (initial @ List.rev !learned);
+      let finish ?stats ?(metrics = []) ~outcome:o ~exit_code () =
+        Recorder.finish token ?stats ~metrics:(cache_metric ctx false metrics)
+          ~outcome:o ~exit_code ()
+      in
+      let mk outcome ~exit_code =
+        {
+          outcome;
+          cache_hit = false;
+          interrupted = intr ();
+          resumed;
+          report = None;
+          wall_s = Unix.gettimeofday () -. t0;
+          exit_code;
+        }
+      in
+      (match outcome with
+      | Report.Synthesized (r, totals) ->
+          finish
+            ~stats:(Report.Stats.to_json totals)
+            ~metrics:(Report.Stats.to_metrics totals)
+            ~outcome:"synthesized" ~exit_code:0 ();
+          cache_store ctx ~code:r.Synth.Optimize.code ~md
+            ~iterations:totals.Report.Stats.iterations
+            ~elapsed:totals.Report.Stats.elapsed;
+          mk (Optimized (r, totals)) ~exit_code:0
+      | Report.Unsat_config totals ->
+          finish
+            ~stats:(Report.Stats.to_json totals)
+            ~metrics:(Report.Stats.to_metrics totals)
+            ~outcome:"unsat" ~exit_code:exit_unsat ();
+          mk
+            (Unsat
+               {
+                 reason =
+                   Printf.sprintf "no check length in %d..%d reaches md %d"
+                     start_lo check_hi md;
+                 stats = Some totals;
+               })
+            ~exit_code:exit_unsat
+      | Report.Timed_out totals ->
+          let exit_code = if intr () then exit_interrupted else exit_timeout in
+          finish
+            ~stats:(Report.Stats.to_json totals)
+            ~metrics:(Report.Stats.to_metrics totals)
+            ~outcome:(if intr () then "interrupted" else "timeout")
+            ~exit_code ();
+          mk (Timeout { reason = ""; stats = Some totals }) ~exit_code
+      | Report.Partial (r, totals) ->
+          let code = r.Synth.Optimize.code in
+          let achieved = Hamming.Distance.min_distance code in
+          let exit_code = if intr () then exit_interrupted else exit_partial in
+          finish
+            ~stats:(Report.Stats.to_json totals)
+            ~metrics:(Report.Stats.to_metrics totals)
+            ~outcome:(if intr () then "interrupted" else "partial")
+            ~exit_code ();
+          (match writer with
+          | Some w ->
+              Synth.Checkpoint.Writer.record_best w code achieved;
+              Synth.Checkpoint.Writer.flush w
+          | None -> ());
+          mk
+            (Partial
+               {
+                 code;
+                 achieved;
+                 check_len = Some r.Synth.Optimize.check_len;
+                 stats = totals;
+               })
+            ~exit_code)
+
+(* ---------- the public entry point ---------- *)
+
+let run_sync ?on_report ?cancel request =
+  let t0 = Unix.gettimeofday () in
+  let intr () =
+    Atomic.get sigint_requested
+    || match cancel with Some c -> Atomic.get c | None -> false
+  in
+  match request.job with
+  | Synth { prop; weights; portfolio; jobs } ->
+      run_synth ?on_report ~intr ~t0 request ~prop_spec:prop ~weights
+        ~portfolio ~jobs
+  | Optimize { data_len; md; check_lo; check_hi } ->
+      run_optimize ~intr ~t0 request ~data_len ~md ~check_lo ~check_hi
+
+(* ---------- the concurrent session manager ---------- *)
+
+module Manager = struct
+  type id = int
+
+  type status =
+    | Queued
+    | Running
+    | Done of result
+    | Failed of string
+    | Cancelled
+
+  type jobrec = {
+    jr_request : request;
+    jr_cancel : bool Atomic.t;
+    mutable jr_status : status;
+  }
+
+  type t = {
+    lock : Mutex.t;
+    work : Condition.t;  (* queue gained an item, or stopping *)
+    settled : Condition.t;  (* some session reached a final status *)
+    queue : id Queue.t;
+    sessions : (id, jobrec) Hashtbl.t;
+    mutable next : id;
+    mutable stopping : bool;
+    max_queue : int;
+    mutable domains : unit Domain.t list;
+  }
+
+  let g_depth = Telemetry.Metrics.gauge "serve.queue_depth"
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let set_depth t = Telemetry.Metrics.set g_depth (float_of_int (Queue.length t.queue))
+
+  (* A failed run renders the same message the CLI's top-level handlers
+     would print, so the wire client sees familiar errors. *)
+  let failure_message = function
+    | Invalid_request msg -> msg
+    | Spec.Parse.Error msg -> "bad property: " ^ msg
+    | Invalid_argument msg | Failure msg | Sys_error msg -> msg
+    | e -> Printexc.to_string e
+
+  let worker t () =
+    let rec next_job () =
+      Mutex.lock t.lock;
+      let rec wait () =
+        if Queue.is_empty t.queue && not t.stopping then begin
+          Condition.wait t.work t.lock;
+          wait ()
+        end
+      in
+      wait ();
+      if Queue.is_empty t.queue then begin
+        Mutex.unlock t.lock;
+        None
+      end
+      else begin
+        let id = Queue.pop t.queue in
+        set_depth t;
+        match Hashtbl.find_opt t.sessions id with
+        | Some jr when jr.jr_status = Queued ->
+            jr.jr_status <- Running;
+            Mutex.unlock t.lock;
+            Some jr
+        | _ ->
+            (* cancelled while queued; skip it *)
+            Mutex.unlock t.lock;
+            next_job ()
+      end
+    in
+    let rec loop () =
+      match next_job () with
+      | None -> ()
+      | Some jr ->
+          let status =
+            match run_sync ~cancel:jr.jr_cancel jr.jr_request with
+            | r -> Done r
+            | exception e -> Failed (failure_message e)
+          in
+          locked t (fun () ->
+              jr.jr_status <- status;
+              Condition.broadcast t.settled);
+          loop ()
+    in
+    loop ()
+
+  let create ~workers ~max_queue () =
+    let t =
+      {
+        lock = Mutex.create ();
+        work = Condition.create ();
+        settled = Condition.create ();
+        queue = Queue.create ();
+        sessions = Hashtbl.create 16;
+        next = 1;
+        stopping = false;
+        max_queue;
+        domains = [];
+      }
+    in
+    t.domains <-
+      List.init (max 1 workers) (fun _ -> Domain.spawn (worker t));
+    t
+
+  let submit t request =
+    locked t (fun () ->
+        if t.stopping || Queue.length t.queue >= t.max_queue then
+          Error `Backpressure
+        else begin
+          let id = t.next in
+          t.next <- id + 1;
+          Hashtbl.replace t.sessions id
+            { jr_request = request; jr_cancel = Atomic.make false;
+              jr_status = Queued };
+          Queue.push id t.queue;
+          set_depth t;
+          Condition.signal t.work;
+          Ok id
+        end)
+
+  let status t id =
+    locked t (fun () ->
+        Option.map (fun jr -> jr.jr_status) (Hashtbl.find_opt t.sessions id))
+
+  let await t id =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        let rec wait () =
+          match Hashtbl.find_opt t.sessions id with
+          | None -> None
+          | Some jr -> (
+              match jr.jr_status with
+              | Done _ | Failed _ | Cancelled -> Some jr.jr_status
+              | Queued | Running ->
+                  Condition.wait t.settled t.lock;
+                  wait ())
+        in
+        wait ())
+
+  let cancel t id =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.sessions id with
+        | None -> false
+        | Some jr -> (
+            Atomic.set jr.jr_cancel true;
+            match jr.jr_status with
+            | Queued ->
+                jr.jr_status <- Cancelled;
+                Condition.broadcast t.settled;
+                true
+            | Running -> true
+            | Done _ | Failed _ | Cancelled -> false))
+
+  let queue_depth t = locked t (fun () -> Queue.length t.queue)
+
+  let drain t =
+    locked t (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.work);
+    let rec wait_idle () =
+      let busy =
+        locked t (fun () ->
+            Queue.length t.queue > 0
+            || Hashtbl.fold
+                 (fun _ jr acc ->
+                   acc || jr.jr_status = Running || jr.jr_status = Queued)
+                 t.sessions false)
+      in
+      if busy then begin
+        Unix.sleepf 0.02;
+        wait_idle ()
+      end
+    in
+    wait_idle ();
+    locked t (fun () -> Condition.broadcast t.work);
+    List.iter Domain.join t.domains;
+    t.domains <- []
+end

@@ -1,0 +1,147 @@
+(** The synthesis session layer: one typed request/response API over
+    everything a run needs — spec analysis, portfolio setup, checkpoint
+    writing, result caching, warm starts, ledger recording, telemetry
+    routing, interrupt handling.
+
+    {!run_sync} executes one request in the calling thread; {!Manager}
+    multiplexes many concurrent requests over worker domains with a
+    bounded admission queue (the [fecsynth serve] engine).  The CLI
+    [synth]/[optimize] subcommands are thin clients of {!run_sync}:
+    argument parsing and rendering stay in the binary, everything
+    behavioral lives here. *)
+
+(** {1 Requests} *)
+
+type job =
+  | Synth of {
+      prop : string;  (** property text, or [@file] *)
+      weights : int array option;
+      portfolio : bool;
+      jobs : int;
+    }
+  | Optimize of { data_len : int; md : int; check_lo : int; check_hi : int }
+
+type request = {
+  job : job;
+  timeout : float;
+  checkpoint : string option;  (** write a resumable checkpoint here *)
+  resume : string option;  (** resume from this checkpoint *)
+  cache : bool;  (** consult/populate the content-addressed result cache *)
+  cache_dir : string option;  (** default: {!Cache.default_dir} *)
+  no_ledger : bool;
+  ledger_dir : string option;  (** default: [Ledger.default_dir] *)
+  subcommand : string;  (** ledger [cmd] field: ["synth"], ["serve"], … *)
+  trace : string option;
+  metrics : string option;
+  progress : bool;
+}
+
+(** A request with everything but the job defaulted: 120 s timeout, no
+    checkpointing, cache off, ledger on, no observers; [subcommand] is
+    ["synth"] or ["optimize"] per the job. *)
+val default_request : job -> request
+
+(** {1 Results} *)
+
+(** What a resumed run started from (for the CLI's resume banner). *)
+type resumed = { cex_count : int; prior_iterations : int; start_check : int }
+
+type outcome =
+  | Codes of Hamming.Code.t list * Synth.Report.Stats.t
+      (** verified generators (synth); a cache hit carries the original
+          run's stats *)
+  | Optimized of Synth.Optimize.check_result * Synth.Report.Stats.t
+      (** minimal check length found (optimize) *)
+  | Setbits of Synth.Optimize.setbits_step list
+  | Weighted of Synth.Weighted.result
+  | Partial of {
+      code : Hamming.Code.t;
+      achieved : int;  (** recomputed true minimum distance *)
+      check_len : int option;  (** the length the optimize walk died at *)
+      stats : Synth.Report.Stats.t;
+    }
+  | Unsat of { reason : string; stats : Synth.Report.Stats.t option }
+  | Timeout of { reason : string; stats : Synth.Report.Stats.t option }
+
+type result = {
+  outcome : outcome;
+  cache_hit : bool;
+  interrupted : bool;  (** SIGINT or {!run_sync}'s [cancel] fired *)
+  resumed : resumed option;
+  report : Synth.Portfolio.report option;  (** last portfolio report *)
+  wall_s : float;
+  exit_code : int;  (** the CLI exit-code contract: 0/3/4/5/130 *)
+}
+
+(** The request is structurally invalid (checkpointing a multi-generator
+    task, a spec outside the supported fragment, …).  The run's ledger
+    record is finished as [error]/124 before this is raised. *)
+exception Invalid_request of string
+
+(** {1 Interrupts} *)
+
+(** Install the CLI SIGINT protocol: first Ctrl-C requests a cooperative
+    wind-down, the second aborts at once (exit 130).  Servers do {e not}
+    install this — they get their own drain handling. *)
+val install_sigint : unit -> unit
+
+(** The process-wide wind-down flag set by the first SIGINT. *)
+val interrupted : unit -> bool
+
+(** {1 Running} *)
+
+(** [run_sync ?on_report ?cancel request] executes the request to
+    completion in the calling thread, owning the ledger record, the
+    checkpoint writer, cache lookup/population and telemetry routing.
+    [cancel] is a per-request cooperative stop composed with the global
+    SIGINT flag.  Parse and I/O failures finish the ledger record as
+    [error]/2 and re-raise for the caller's error rendering. *)
+val run_sync :
+  ?on_report:(Synth.Portfolio.report -> unit) ->
+  ?cancel:bool Atomic.t ->
+  request ->
+  result
+
+(** {1 Concurrent sessions} *)
+
+module Manager : sig
+  (** A bounded pool of worker domains executing sessions concurrently —
+      the multiplexing core of [fecsynth serve]. *)
+
+  type t
+  type id = int
+
+  type status =
+    | Queued
+    | Running
+    | Done of result
+    | Failed of string  (** the run raised; message is the rendering *)
+    | Cancelled  (** cancelled while still queued *)
+
+  (** [create ~workers ~max_queue ()] starts [workers] domains.  At most
+      [max_queue] requests may be queued (excluding running ones);
+      admission beyond that is refused. *)
+  val create : workers:int -> max_queue:int -> unit -> t
+
+  (** [submit t request] enqueues and returns the session id, or
+      [Error `Backpressure] when the admission queue is full.  Updates
+      the [serve.queue_depth] gauge. *)
+  val submit : t -> request -> (id, [ `Backpressure ]) Stdlib.result
+
+  val status : t -> id -> status option
+
+  (** [await t id] blocks until the session settles ([Done]/[Failed]/
+      [Cancelled]). *)
+  val await : t -> id -> status option
+
+  (** [cancel t id] requests a cooperative stop: a queued session is
+      dropped, a running one winds down as interrupted. *)
+  val cancel : t -> id -> bool
+
+  (** Number of sessions queued but not yet running. *)
+  val queue_depth : t -> int
+
+  (** [drain t] stops admission, waits for every queued and running
+      session to settle, and joins the workers. *)
+  val drain : t -> unit
+end

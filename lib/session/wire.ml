@@ -1,0 +1,188 @@
+module J = Telemetry.Json
+
+type command =
+  | Ping
+  | Submit of { request : Session.request; await : bool }
+  | Status of int
+  | Await of int
+  | Cancel of int
+  | Stats
+  | Shutdown
+
+(* ---------- responses ---------- *)
+
+let ok fields = J.to_string (J.Obj (("ok", J.Bool true) :: fields)) ^ "\n"
+
+let error msg =
+  J.to_string (J.Obj [ ("ok", J.Bool false); ("error", J.Str msg) ]) ^ "\n"
+
+let code_json code =
+  J.Obj
+    [
+      ("block_len", J.Int (Hamming.Code.block_len code));
+      ("data_len", J.Int (Hamming.Code.data_len code));
+      ("matrix", J.Str (Hamming.Code.to_string code));
+    ]
+
+let stats_field stats = [ ("stats", Synth.Report.Stats.to_json stats) ]
+
+let outcome_fields = function
+  | Session.Codes (codes, stats) ->
+      [
+        ("outcome", J.Str "synthesized");
+        ("codes", J.List (List.map code_json codes));
+      ]
+      @ stats_field stats
+  | Session.Optimized (r, stats) ->
+      [
+        ("outcome", J.Str "synthesized");
+        ("check_len", J.Int r.Synth.Optimize.check_len);
+        ("codes", J.List [ code_json r.Synth.Optimize.code ]);
+      ]
+      @ stats_field stats
+  | Session.Setbits steps ->
+      [
+        ("outcome", J.Str "setbits_walk");
+        ( "steps",
+          J.List
+            (List.map
+               (fun s ->
+                 J.Obj
+                   [
+                     ("bound", J.Int s.Synth.Optimize.bound);
+                     ("achieved", J.Int s.Synth.Optimize.achieved);
+                     ("code", code_json s.Synth.Optimize.generator);
+                   ])
+               steps) );
+      ]
+  | Session.Weighted r ->
+      [
+        ("outcome", J.Str "weighted");
+        ( "mapping",
+          J.Str
+            (String.concat ""
+               (Array.to_list
+                  (Array.map string_of_int r.Synth.Weighted.mapping))) );
+        ("sum_w", J.Float r.Synth.Weighted.sum_w);
+        ("optimal", J.Bool r.Synth.Weighted.optimal);
+      ]
+  | Session.Partial { code; achieved; check_len; stats } ->
+      [
+        ("outcome", J.Str "partial");
+        ("achieved_md", J.Int achieved);
+        ("codes", J.List [ code_json code ]);
+      ]
+      @ (match check_len with
+        | Some c -> [ ("check_len", J.Int c) ]
+        | None -> [])
+      @ stats_field stats
+  | Session.Unsat { reason; stats } ->
+      [ ("outcome", J.Str "unsat"); ("reason", J.Str reason) ]
+      @ (match stats with Some s -> stats_field s | None -> [])
+  | Session.Timeout { reason; stats } ->
+      [ ("outcome", J.Str "timeout"); ("reason", J.Str reason) ]
+      @ (match stats with Some s -> stats_field s | None -> [])
+
+let result_to_json (r : Session.result) =
+  J.Obj
+    (outcome_fields r.Session.outcome
+    @ [
+        ("cache_hit", J.Bool r.Session.cache_hit);
+        ("interrupted", J.Bool r.Session.interrupted);
+        ("exit_code", J.Int r.Session.exit_code);
+        ("wall_s", J.Float r.Session.wall_s);
+      ])
+
+let status_to_json = function
+  | Session.Manager.Queued -> J.Obj [ ("state", J.Str "queued") ]
+  | Session.Manager.Running -> J.Obj [ ("state", J.Str "running") ]
+  | Session.Manager.Cancelled -> J.Obj [ ("state", J.Str "cancelled") ]
+  | Session.Manager.Failed msg ->
+      J.Obj [ ("state", J.Str "failed"); ("error", J.Str msg) ]
+  | Session.Manager.Done r ->
+      J.Obj [ ("state", J.Str "done"); ("result", result_to_json r) ]
+
+(* ---------- requests ---------- *)
+
+let member_int k j = Option.bind (J.member k j) J.to_int
+let member_str k j = Option.bind (J.member k j) J.to_string_opt
+
+let member_bool k j =
+  match J.member k j with Some (J.Bool b) -> Some b | _ -> None
+
+let member_float k j = Option.bind (J.member k j) J.to_float
+
+let id_of j =
+  match member_int "id" j with
+  | Some id -> Ok id
+  | None -> Error "missing id"
+
+let job_of j =
+  match (member_str "spec" j, J.member "optimize" j) with
+  | Some _, Some _ -> Error "give either spec or optimize, not both"
+  | Some prop, None ->
+      let weights =
+        match J.member "weights" j with
+        | Some (J.List ws) ->
+            let ints = List.filter_map J.to_int ws in
+            if List.length ints = List.length ws then
+              Some (Array.of_list ints)
+            else None
+        | _ -> None
+      in
+      let jobs = Option.value (member_int "jobs" j) ~default:4 in
+      let portfolio =
+        Option.value (member_bool "portfolio" j) ~default:false
+      in
+      if jobs < 1 then Error "jobs must be >= 1"
+      else Ok (Session.Synth { prop; weights; portfolio; jobs })
+  | None, Some o -> (
+      match
+        ( member_int "data_len" o,
+          member_int "md" o,
+          member_int "check_lo" o,
+          member_int "check_hi" o )
+      with
+      | Some data_len, Some md, lo, hi ->
+          let check_lo = Option.value lo ~default:1 in
+          let check_hi = Option.value hi ~default:16 in
+          if data_len < 1 || md < 1 || check_lo < 1 || check_hi < check_lo
+          then
+            Error
+              "need data_len >= 1, md >= 1, 1 <= check_lo <= check_hi"
+          else Ok (Session.Optimize { data_len; md; check_lo; check_hi })
+      | _ -> Error "optimize needs data_len and md")
+  | None, None -> Error "submit needs spec or optimize"
+
+let submit_of ~(defaults : Session.request) j =
+  match job_of j with
+  | Error _ as e -> e
+  | Ok job ->
+      Ok
+        (Submit
+           {
+             request =
+               {
+                 defaults with
+                 Session.job;
+                 timeout =
+                   Option.value (member_float "timeout" j)
+                     ~default:defaults.Session.timeout;
+                 cache =
+                   Option.value (member_bool "cache" j)
+                     ~default:defaults.Session.cache;
+               };
+             await = Option.value (member_bool "await" j) ~default:false;
+           })
+
+let command_of_json ~defaults j =
+  match member_str "op" j with
+  | None -> Error "missing op"
+  | Some "ping" -> Ok Ping
+  | Some "submit" -> submit_of ~defaults j
+  | Some "status" -> Stdlib.Result.map (fun id -> Status id) (id_of j)
+  | Some "await" -> Stdlib.Result.map (fun id -> Await id) (id_of j)
+  | Some "cancel" -> Stdlib.Result.map (fun id -> Cancel id) (id_of j)
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)

@@ -1,0 +1,47 @@
+(** The serve wire protocol: newline-delimited JSON over a Unix socket.
+
+    Each client line is one request object selected by its ["op"] field;
+    each response is one object with ["ok"] first.  Local file paths
+    (checkpoints, traces) are deliberately not exposed over the wire —
+    the daemon's own configuration decides where cache, ledger and
+    metrics live.
+
+    Requests:
+    - [{"op":"ping"}]
+    - [{"op":"submit","spec":PROP,...}] or
+      [{"op":"submit","optimize":{"data_len":K,"md":D,"check_lo":A,"check_hi":B},...}]
+      with optional [timeout], [weights], [portfolio], [jobs], [cache]
+      and [await] (submit-and-wait in one round trip)
+    - [{"op":"status","id":N}] / [{"op":"await","id":N}] /
+      [{"op":"cancel","id":N}]
+    - [{"op":"stats"}]
+    - [{"op":"shutdown"}] — drain and exit *)
+
+type command =
+  | Ping
+  | Submit of { request : Session.request; await : bool }
+  | Status of int
+  | Await of int
+  | Cancel of int
+  | Stats
+  | Shutdown
+
+(** [command_of_json ~defaults j] decodes one request line; [defaults]
+    is the server's request template (cache policy, ledger/cache
+    directories, subcommand) that submit fields override. *)
+val command_of_json :
+  defaults:Session.request ->
+  Telemetry.Json.t ->
+  (command, string) Stdlib.result
+
+(** The result object shared by [submit --await], [status] and [await]
+    responses. *)
+val result_to_json : Session.result -> Telemetry.Json.t
+
+val status_to_json : Session.Manager.status -> Telemetry.Json.t
+
+(** One response line (with trailing newline): [ok fields] has
+    ["ok":true] first, [error msg] is [{"ok":false,"error":msg}]. *)
+val ok : (string * Telemetry.Json.t) list -> string
+
+val error : string -> string

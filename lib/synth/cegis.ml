@@ -10,26 +10,6 @@ let cex_mode_name = function
 
 let verifier_name = function Combinatorial -> "comb" | Sat -> "sat"
 
-(* deprecated aliases: the one definition lives in Report *)
-type stats = Report.Stats.t = {
-  iterations : int;
-  verifier_calls : int;
-  elapsed : float;
-  syn_conflicts : int;
-  ver_conflicts : int;
-  worker_crashes : int;
-  worker_restarts : int;
-  learnt_hist : Telemetry.Metrics.Hist.t;
-}
-
-type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
-  | Synthesized of 'res * 'info
-  | Unsat_config of 'info
-  | Timed_out of 'info
-  | Partial of 'res * 'info
-
-type outcome = (Hamming.Code.t, Report.Stats.t) report_outcome
-
 type problem = {
   data_len : int;
   check_len : int;
@@ -183,7 +163,7 @@ let create_session ?(cex_mode = Data_word) ?(verifier = Combinatorial)
 
 let matrix_vars s = s.vars
 
-let session_stats s =
+let session_stats s : Report.Stats.t =
   {
     iterations = s.iterations;
     verifier_calls = s.verifier_calls;
@@ -279,8 +259,8 @@ let synthesize ?(timeout = 120.0) ?(cex_mode = Data_word)
   (* the anytime outcome when a budget or interrupt cuts the run short *)
   let out_of_budget () =
     match s.best with
-    | Some (code, _) -> Partial (code, session_stats s)
-    | None -> Timed_out (session_stats s)
+    | Some (code, _) -> Report.Partial (code, session_stats s)
+    | None -> Report.Timed_out (session_stats s)
   in
   (* [Interrupted] with no genuinely-firing interrupt installed is spurious
      (fault injection, or a stale solver hook): the solver state is intact,
@@ -295,8 +275,8 @@ let synthesize ?(timeout = 120.0) ?(cex_mode = Data_word)
       out_of_budget ()
     else
       match step ~deadline s with
-      | Exhausted -> Unsat_config (session_stats s)
-      | Done code -> Synthesized (code, session_stats s)
+      | Exhausted -> Report.Unsat_config (session_stats s)
+      | Done code -> Report.Synthesized (code, session_stats s)
       | Progress cex ->
           (match on_progress with Some f -> f s cex | None -> ());
           loop ()

@@ -26,35 +26,6 @@ val cex_mode_name : cex_mode -> string
 
 val verifier_name : verifier_mode -> string
 
-(** Deprecated alias of {!Report.Stats.t} — the one definition now lives in
-    {!Report}; this re-export keeps existing field accesses compiling and
-    will be removed in a future release. *)
-type stats = Report.Stats.t = {
-  iterations : int;  (** synthesizer checkSat calls *)
-  verifier_calls : int;
-  elapsed : float;  (** seconds *)
-  syn_conflicts : int;
-  ver_conflicts : int;
-  worker_crashes : int;
-  worker_restarts : int;
-  learnt_hist : Telemetry.Metrics.Hist.t;
-}
-
-(** Constructor re-export of {!Report.outcome}, so legacy qualified uses
-    ([Cegis.Synthesized] etc.) keep compiling and remain interchangeable
-    with {!Report}'s constructors. *)
-type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
-  | Synthesized of 'res * 'info
-  | Unsat_config of 'info  (** no coefficient matrix satisfies the spec *)
-  | Timed_out of 'info
-  | Partial of 'res * 'info
-      (** best refuted candidate when the budget expired (see
-          {!session_best} for its verified distance bound) *)
-
-(** Deprecated alias of {!Report.outcome} specialized to a single code and
-    {!Report.Stats.t}; will be removed in a future release. *)
-type outcome = (Hamming.Code.t, Report.Stats.t) report_outcome
-
 (** Extra synthesizer-side constraints over the symbolic coefficient
     matrix: [entry ~row ~col] is the P-matrix bit variable. *)
 type problem = {
@@ -130,7 +101,7 @@ val step : ?deadline:float -> session -> step_result
 val learn : session -> cex -> unit
 
 (** Statistics of the session so far. *)
-val session_stats : session -> stats
+val session_stats : session -> Report.Stats.t
 
 (** [session_best session] is the best refuted candidate so far together
     with its verified distance bound: the refuting witness's codeword
@@ -161,4 +132,4 @@ val synthesize :
   ?initial:cex list ->
   ?on_progress:(session -> cex -> unit) ->
   problem ->
-  outcome
+  (Hamming.Code.t, Report.Stats.t) Report.outcome

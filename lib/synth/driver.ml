@@ -17,10 +17,10 @@ and single = {
 }
 
 type outcome =
-  | Codes of Hamming.Code.t list * Cegis.stats
+  | Codes of Hamming.Code.t list * Report.Stats.t
   | Weighted_result of Weighted.result
   | Setbits_walk of Optimize.setbits_step list
-  | Partial_code of Hamming.Code.t * Cegis.stats
+  | Partial_code of Hamming.Code.t * Report.Stats.t
   | Unsat of string
   | Timeout of string
   | No_solution of string
@@ -250,14 +250,14 @@ let run_single ?timeout ?jobs ?on_report ?(interrupt = fun () -> false)
            Portfolio.synthesize ?timeout ~jobs ~interrupt ~initial ~on_cex
              problem
          with
-        | Portfolio.Synthesized (code, report) ->
-            collapse report (Cegis.Synthesized (code, stats_of report))
-        | Portfolio.Unsat_config report ->
-            collapse report (Cegis.Unsat_config (stats_of report))
-        | Portfolio.Timed_out report ->
-            collapse report (Cegis.Timed_out (stats_of report))
-        | Portfolio.Partial (code, report) ->
-            collapse report (Cegis.Partial (code, stats_of report)))
+        | Report.Synthesized (code, report) ->
+            collapse report (Report.Synthesized (code, stats_of report))
+        | Report.Unsat_config report ->
+            collapse report (Report.Unsat_config (stats_of report))
+        | Report.Timed_out report ->
+            collapse report (Report.Timed_out (stats_of report))
+        | Report.Partial (code, report) ->
+            collapse report (Report.Partial (code, stats_of report)))
   in
   (* resumed counterexamples must fit the configuration they are replayed
      into: raw data witnesses transfer to any check length, blocked
@@ -279,10 +279,10 @@ let run_single ?timeout ?jobs ?on_report ?(interrupt = fun () -> false)
         { Cegis.data_len = s.data_len; check_len = c; min_distance = s.md; extra }
       in
       match synthesize ~initial:(List.filter (fits c) initial) problem with
-      | Cegis.Synthesized (code, stats) -> Codes ([ code ], stats)
-      | Cegis.Unsat_config _ -> go (c + 1)
-      | Cegis.Timed_out _ -> Timeout "synthesis budget exhausted"
-      | Cegis.Partial (code, stats) ->
+      | Report.Synthesized (code, stats) -> Codes ([ code ], stats)
+      | Report.Unsat_config _ -> go (c + 1)
+      | Report.Timed_out _ -> Timeout "synthesis budget exhausted"
+      | Report.Partial (code, stats) ->
           (* budget or interrupt fired with a refuted-but-best candidate in
              hand: surface it instead of discarding the work *)
           Partial_code (code, stats)
@@ -311,8 +311,8 @@ let run ?timeout ?weights ?p ?jobs ?on_report ?interrupt ?initial ?on_cex prop
             }
           in
           match Cegis.synthesize ?timeout ?interrupt problem with
-          | Cegis.Synthesized (code, stats) -> grow (md + 1) (Some (code, stats))
-          | Cegis.Unsat_config _ | Cegis.Timed_out _ | Cegis.Partial _ -> best
+          | Report.Synthesized (code, stats) -> grow (md + 1) (Some (code, stats))
+          | Report.Unsat_config _ | Report.Timed_out _ | Report.Partial _ -> best
         in
         match grow s.md None with
         | Some (code, stats) -> Codes ([ code ], stats)

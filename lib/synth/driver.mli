@@ -36,11 +36,11 @@ and single = {
 val analyze : Spec.Ast.prop -> (task, string) Stdlib.result
 
 type outcome =
-  | Codes of Hamming.Code.t list * Cegis.stats
+  | Codes of Hamming.Code.t list * Report.Stats.t
       (** fully verified generators meeting the specification *)
   | Weighted_result of Weighted.result
   | Setbits_walk of Optimize.setbits_step list
-  | Partial_code of Hamming.Code.t * Cegis.stats
+  | Partial_code of Hamming.Code.t * Report.Stats.t
       (** anytime result: the budget (deadline, interrupt) expired before a
           verified generator was found, but at least one candidate had been
           synthesized — this is the best of them by refuting-witness

@@ -7,15 +7,6 @@
    errors at data length 4 needs only 7 check bits, not the hand-crafted
    matrix's 11). *)
 
-(* deprecated aliases: the one definition lives in Report *)
-type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
-  | Synthesized of 'res * 'info
-  | Unsat_config of 'info
-  | Timed_out of 'info
-  | Partial of 'res * 'info
-
-type outcome = (Hamming.Code.t, Report.Stats.t) report_outcome
-
 let target_md distinguish =
   if distinguish < 1 then
     invalid_arg "Multibit_synth.synthesize: distinguish must be >= 1";
@@ -27,16 +18,16 @@ let synthesize ?timeout ~data_len ~check_len ~distinguish () =
     Cegis.synthesize ?timeout
       { Cegis.data_len; check_len; min_distance = md; extra = [] }
   with
-  | Cegis.Synthesized (code, stats) ->
+  | Report.Synthesized (code, stats) ->
       (* cross-check the actual multi-bit property, not just the distance *)
       assert (Hamming.Multibit.distinguishes_up_to code distinguish);
-      Synthesized (code, stats)
-  | Cegis.Unsat_config stats -> Unsat_config stats
-  | Cegis.Timed_out stats -> Timed_out stats
-  | Cegis.Partial (code, stats) ->
+      Report.Synthesized (code, stats)
+  | Report.Unsat_config stats -> Report.Unsat_config stats
+  | Report.Timed_out stats -> Report.Timed_out stats
+  | Report.Partial (code, stats) ->
       (* anytime candidate: the multi-bit property is not verified for it,
          so no cross-check here — callers must treat it as unproven *)
-      Partial (code, stats)
+      Report.Partial (code, stats)
 
 let minimize_check_len ?timeout ~data_len ~distinguish ~check_lo ~check_hi () =
   let md = target_md distinguish in

@@ -10,24 +10,17 @@
     syndromes (or one with a zero syndrome); the counterexample constraint
     forces the symbolic check matrix to separate them. *)
 
-(** Constructor re-export of {!Report.outcome}, so legacy qualified uses
-    ([Multibit_synth.Synthesized] etc.) keep compiling. *)
-type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
-  | Synthesized of 'res * 'info
-  | Unsat_config of 'info
-  | Timed_out of 'info
-  | Partial of 'res * 'info
-
-(** Deprecated alias of {!Report.outcome} specialized to a single code and
-    {!Report.Stats.t}; will be removed in a future release. *)
-type outcome = (Hamming.Code.t, Report.Stats.t) report_outcome
-
 (** [synthesize ?timeout ~data_len ~check_len ~distinguish ()] searches for
     a coefficient matrix whose code distinguishes all error patterns of
     weight up to [distinguish].
     @raise Invalid_argument if [distinguish < 1]. *)
 val synthesize :
-  ?timeout:float -> data_len:int -> check_len:int -> distinguish:int -> unit -> outcome
+  ?timeout:float ->
+  data_len:int ->
+  check_len:int ->
+  distinguish:int ->
+  unit ->
+  (Hamming.Code.t, Report.Stats.t) Report.outcome
 
 (** [minimize_check_len ?timeout ~data_len ~distinguish ~check_lo ~check_hi ()]
     walks check lengths upward and returns the first synthesizable one —
@@ -39,4 +32,4 @@ val minimize_check_len :
   check_lo:int ->
   check_hi:int ->
   unit ->
-  (Hamming.Code.t * int * Cegis.stats) option
+  (Hamming.Code.t * int * Report.Stats.t) option

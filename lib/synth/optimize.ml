@@ -1,7 +1,7 @@
 type check_result = {
   code : Hamming.Code.t;
   check_len : int;
-  stats : Cegis.stats;
+  stats : Report.Stats.t;
 }
 
 (* One configuration attempt of an optimization walk, as a telemetry event. *)
@@ -43,12 +43,12 @@ let minimize_check_len ?timeout ?cex_mode ?verifier ?encoding ?interrupt
       in
       step_point ~walk:"check_len" ~param:c outcome;
       match outcome with
-      | Cegis.Synthesized (code, stats) ->
+      | Report.Synthesized (code, stats) ->
           let acc = Report.Stats.add acc stats in
           Report.Synthesized ({ code; check_len = c; stats = acc }, acc)
-      | Cegis.Unsat_config stats -> go (c + 1) (Report.Stats.add acc stats)
-      | Cegis.Timed_out stats -> Report.Timed_out (Report.Stats.add acc stats)
-      | Cegis.Partial (code, stats) ->
+      | Report.Unsat_config stats -> go (c + 1) (Report.Stats.add acc stats)
+      | Report.Timed_out stats -> Report.Timed_out (Report.Stats.add acc stats)
+      | Report.Partial (code, stats) ->
           (* the walk's budget died at check length [c], but its session
              saw a near-miss candidate: surface it as the anytime result *)
           let acc = Report.Stats.add acc stats in
@@ -61,7 +61,7 @@ type setbits_step = {
   bound : int;
   achieved : int;
   generator : Hamming.Code.t;
-  step_stats : Cegis.stats;
+  step_stats : Report.Stats.t;
 }
 
 let minimize_set_bits ?timeout ?cex_mode ?verifier ?encoding ?interrupt
@@ -92,12 +92,12 @@ let minimize_set_bits ?timeout ?cex_mode ?verifier ?encoding ?interrupt
       in
       step_point ~walk:"set_bits" ~param:bound outcome;
       match outcome with
-      | Cegis.Synthesized (code, stats) ->
+      | Report.Synthesized (code, stats) ->
           let achieved = Hamming.Code.set_bits code in
           let step = { bound; achieved; generator = code; step_stats = stats } in
           (* tighten strictly below what was achieved *)
           go (achieved - 1) (step :: acc)
-      | Cegis.Unsat_config _ | Cegis.Timed_out _ | Cegis.Partial _ ->
+      | Report.Unsat_config _ | Report.Timed_out _ | Report.Partial _ ->
           (* the steps already collected are the anytime result of this
              walk: every intermediate generator is returned *)
           List.rev acc

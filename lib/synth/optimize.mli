@@ -6,7 +6,7 @@
 type check_result = {
   code : Hamming.Code.t;
   check_len : int;
-  stats : Cegis.stats;  (** totals across all configurations tried *)
+  stats : Report.Stats.t;  (** totals across all configurations tried *)
 }
 
 (** [minimize_check_len ?timeout ?cex_mode ?verifier ~data_len ~md
@@ -50,7 +50,7 @@ type setbits_step = {
   bound : int;  (** the bound that was in force ([len_1 <= bound]) *)
   achieved : int;  (** set bits of the synthesized generator *)
   generator : Hamming.Code.t;
-  step_stats : Cegis.stats;
+  step_stats : Report.Stats.t;
 }
 
 (** [minimize_set_bits ?timeout ... ~data_len ~check_len ~md ~start_bound

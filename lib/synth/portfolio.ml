@@ -11,7 +11,7 @@ type config = {
 
 type worker_stats = {
   config : config;
-  stats : Cegis.stats;
+  stats : Report.Stats.t;
   shared_out : int;
   shared_in : int;
   finished : bool;
@@ -24,15 +24,6 @@ type report = {
   rounds : int;
   totals : Report.Stats.t;
 }
-
-(* deprecated aliases: the one definition lives in Report *)
-type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
-  | Synthesized of 'res * 'info
-  | Unsat_config of 'info
-  | Timed_out of 'info
-  | Partial of 'res * 'info
-
-type outcome = (Hamming.Code.t, report) report_outcome
 
 let config_to_string c =
   let seed = match c.seed with None -> "-" | Some s -> string_of_int s in
@@ -165,7 +156,7 @@ type decision =
   | Proved_unsat of int
 
 type worker_outcome = {
-  w_stats : Cegis.stats;
+  w_stats : Report.Stats.t;
   w_out : int;
   w_in : int;
   w_finished : bool;
@@ -664,12 +655,12 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
   in
   match Atomic.get decision with
   | Some (Winner (i, code)) ->
-      finish (Synthesized (code, report (winner_config i)))
-  | Some (Proved_unsat i) -> finish (Unsat_config (report (winner_config i)))
+      finish (Report.Synthesized (code, report (winner_config i)))
+  | Some (Proved_unsat i) -> finish (Report.Unsat_config (report (winner_config i)))
   | None -> (
       match best_get best with
-      | Some (code, _) -> finish (Partial (code, report None))
-      | None -> finish (Timed_out (report None)))
+      | Some (code, _) -> finish (Report.Partial (code, report None))
+      | None -> finish (Report.Timed_out (report None)))
 
 (* ---------- verification race ---------- *)
 
@@ -744,9 +735,9 @@ let pp_report fmt r =
     (fun w ->
       Format.fprintf fmt
         "  %-40s iters=%-4d vcalls=%-4d syn_cf=%-6d ver_cf=%-6d out=%-3d in=%-3d%s%s@."
-        (config_to_string w.config) w.stats.Cegis.iterations
-        w.stats.Cegis.verifier_calls w.stats.Cegis.syn_conflicts
-        w.stats.Cegis.ver_conflicts w.shared_out w.shared_in
+        (config_to_string w.config) w.stats.Report.Stats.iterations
+        w.stats.Report.Stats.verifier_calls w.stats.Report.Stats.syn_conflicts
+        w.stats.Report.Stats.ver_conflicts w.shared_out w.shared_in
         (if w.stats.Report.Stats.worker_crashes > 0 then
            Printf.sprintf " crashes=%d restarts=%d"
              w.stats.Report.Stats.worker_crashes

@@ -38,7 +38,7 @@ type config = {
 
 type worker_stats = {
   config : config;
-  stats : Cegis.stats;
+  stats : Report.Stats.t;
   shared_out : int;  (** distinct counterexamples this worker contributed *)
   shared_in : int;  (** foreign counterexamples it imported *)
   finished : bool;  (** this worker decided the race *)
@@ -55,18 +55,6 @@ type report = {
       (** {!Report.Stats.sum} over workers and rounds; its [elapsed] is
           summed per-worker solver time, not wall clock *)
 }
-
-(** Constructor re-export of {!Report.outcome}, so legacy qualified uses
-    ([Portfolio.Synthesized] etc.) keep compiling. *)
-type ('res, 'info) report_outcome = ('res, 'info) Report.outcome =
-  | Synthesized of 'res * 'info
-  | Unsat_config of 'info
-  | Timed_out of 'info
-  | Partial of 'res * 'info
-
-(** Deprecated alias of {!Report.outcome} specialized to a single code and
-    {!report}; will be removed in a future release. *)
-type outcome = (Hamming.Code.t, report) report_outcome
 
 (** [default_configs jobs] is the built-in portfolio: worker 0 is exactly
     the sequential default (so [jobs = 1] reproduces {!Cegis.synthesize}
@@ -128,7 +116,7 @@ val synthesize :
   ?initial:Cegis.cex list ->
   ?on_cex:(Cegis.cex -> unit) ->
   Cegis.problem ->
-  outcome
+  (Hamming.Code.t, report) Report.outcome
 
 (** Outcome of a verification race. *)
 type verify_outcome =

@@ -124,10 +124,10 @@ let optimize ?(timeout = 360.0) ?(p = 0.1) ?(initial_bound = 1000.0) ~weights g0
           }
         in
         match Cegis.synthesize ~timeout problem with
-        | Cegis.Synthesized (code, stats) ->
-            iterations := !iterations + stats.Cegis.iterations;
+        | Report.Synthesized (code, stats) ->
+            iterations := !iterations + stats.Report.Stats.iterations;
             code
-        | Cegis.Unsat_config _ | Cegis.Timed_out _ | Cegis.Partial _ ->
+        | Report.Unsat_config _ | Report.Timed_out _ | Report.Partial _ ->
             (* fall back to a catalog construction of the same shape
                (a partial candidate is unverified, so it does not count) *)
             if shape.min_distance <= 2 then Hamming.Catalog.parity data_len

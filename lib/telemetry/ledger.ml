@@ -24,6 +24,7 @@ type entry = {
   problem : string;
   outcome : string;
   exit_code : int;
+  cache_hit : bool;  (* answered from the result cache, not a fresh run *)
   wall_s : float;
   build : Buildinfo.t;
   config : (string * string) list;
@@ -51,6 +52,11 @@ let to_json e =
        ("problem", Json.Str e.problem);
        ("outcome", Json.Str e.outcome);
        ("exit", Json.Int e.exit_code);
+     ]
+    (* only emitted when true, so pre-cache records stay byte-identical
+       and pre-cache readers (which ignore unknown keys) stay compatible *)
+    @ (if e.cache_hit then [ ("cache_hit", Json.Bool true) ] else [])
+    @ [
        ("wall_s", Json.Float e.wall_s);
        ("build", Buildinfo.to_json e.build);
        ("config", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.config));
@@ -81,6 +87,10 @@ let of_json j : (entry, reject) result =
                 Option.value
                   (Option.bind (Json.member "exit" j) Json.to_int)
                   ~default:0;
+              cache_hit =
+                (match Json.member "cache_hit" j with
+                | Some (Json.Bool b) -> b
+                | _ -> false);
               wall_s = Option.value (num "wall_s") ~default:0.0;
               build =
                 (match Json.member "build" j with
@@ -225,7 +235,7 @@ let start ?dir ~ts ~subcommand ~problem ~config ~build () =
 
 (* Idempotent, and never lets a ledger failure break the command it is
    recording: the history is diagnostics, not the result. *)
-let finish ?stats ?(metrics = []) p ~outcome ~exit_code =
+let finish ?stats ?(metrics = []) ?(cache_hit = false) p ~outcome ~exit_code =
   if not p.p_recorded then begin
     p.p_recorded <- true;
     let wall = Unix.gettimeofday () -. p.p_t0 in
@@ -237,6 +247,7 @@ let finish ?stats ?(metrics = []) p ~outcome ~exit_code =
         problem = p.p_problem;
         outcome;
         exit_code;
+        cache_hit;
         wall_s = wall;
         build = p.p_build;
         config = p.p_config;

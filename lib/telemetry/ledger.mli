@@ -26,6 +26,10 @@ type entry = {
           ["interrupted"], ["verified"], ["refuted"], ["ok"], ["error"],
           ["crash"], ... — failures are first-class data *)
   exit_code : int;
+  cache_hit : bool;
+      (** the run was answered from the session result cache; serialized
+          only when [true], so pre-cache records and readers round-trip
+          unchanged *)
   wall_s : float;
   build : Buildinfo.t;
   config : (string * string) list;
@@ -102,6 +106,7 @@ val start :
 val finish :
   ?stats:Json.t ->
   ?metrics:(string * float) list ->
+  ?cache_hit:bool ->
   pending ->
   outcome:string ->
   exit_code:int ->

@@ -14,6 +14,16 @@ untouched:
   $ test ! -e led && echo untouched
   untouched
 
+The opt-out also disarms the at_exit crash recorder: even a run that
+dies before finishing must not create the ledger directory:
+
+  $ fecsynth synth --no-ledger -p @/nonexistent/spec 2> /dev/null
+  [2]
+  $ FEC_NO_LEDGER=1 fecsynth synth -p @/nonexistent/spec 2> /dev/null
+  [2]
+  $ test ! -e led && echo untouched
+  untouched
+
 Three recorded runs: the same spec twice, then a different one:
 
   $ fecsynth synth -p "$SPEC" > /dev/null

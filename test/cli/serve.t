@@ -1,0 +1,71 @@
+The synthesis daemon: newline-delimited JSON over a Unix socket, worker
+domains behind a bounded admission queue, results answered from the
+content-addressed cache when possible, every request recorded in the
+run ledger, SIGTERM drains in-flight sessions before exit.
+
+  $ export FEC_LEDGER_DIR=$PWD/led
+  $ export FEC_CACHE_DIR=$PWD/cache
+  $ SPEC='len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3'
+
+Start the daemon on a socket in the test directory and wait for it to
+come up (the socket appears once the listener is bound):
+
+  $ fecsynth serve --socket serve.sock 2> serve.log &
+  $ SERVE_PID=$!
+  $ for i in 1 2 3 4 5 6 7 8 9 10; do test -S serve.sock && break; sleep 0.2; done
+  $ test -S serve.sock && echo up
+  up
+
+Ping answers without touching any worker:
+
+  $ fecsynth call --socket serve.sock '{"op":"ping"}'
+  {"ok":true,"pong":true}
+
+The first submission of a spec is a cold run — a cache miss:
+
+  $ fecsynth submit --socket serve.sock -p "$SPEC" > first.json
+  $ grep -o '"outcome":"synthesized"' first.json
+  "outcome":"synthesized"
+  $ grep -o '"cache_hit":false' first.json
+  "cache_hit":false
+
+The identical spec resubmitted is answered from the cache — same
+outcome, bit-identical generator, no fresh search:
+
+  $ fecsynth submit --socket serve.sock -p "$SPEC" > second.json
+  $ grep -o '"cache_hit":true' second.json
+  "cache_hit":true
+  $ grep -o '"matrix":"[^"]*"' first.json > m1
+  $ grep -o '"matrix":"[^"]*"' second.json > m2
+  $ cmp -s m1 m2 && echo identical
+  identical
+
+A malformed request is an error reply, not a dead daemon:
+
+  $ fecsynth call --socket serve.sock '{"op":"submit"}'
+  {"ok":false,"error":"submit needs spec or optimize"}
+  [1]
+
+The stats op reports admission state:
+
+  $ fecsynth call --socket serve.sock '{"op":"stats"}'
+  {"ok":true,"queue_depth":0,"sessions":2,"draining":false}
+
+SIGTERM drains and exits cleanly:
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ sed -e "s,$PWD,TESTDIR,g" serve.log
+  fecsynth serve: listening on serve.sock (2 workers, queue 16)
+  fecsynth serve: drained
+
+Both served runs are in the ledger under the serve subcommand, and the
+cache hit is a first-class, filterable fact:
+
+  $ fecsynth runs list --subcommand serve | awk 'NR>1 {print $1, $3, $4, $5}'
+  1 serve synthesized 0
+  2 serve synthesized 0
+  $ fecsynth runs list --cache-hits | awk 'NR>1 {print $1}'
+  2
+  $ fecsynth runs show -- -1 | grep '^cache:'
+  cache:    hit

@@ -133,7 +133,7 @@ let test_report_on_real_trace () =
             extra = [] })
   in
   (match outcome with
-  | Synth.Cegis.Synthesized _ -> ()
+  | Synth.Report.Synthesized _ -> ()
   | _ -> Alcotest.fail "instance should synthesize");
   let p = { An.events = events (); truncated = false } in
   let r = An.report p in

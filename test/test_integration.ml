@@ -13,7 +13,7 @@ let test_synthesize_verify_simulate () =
     Synth.Cegis.synthesize ~timeout:60.0
       { Synth.Cegis.data_len = 8; check_len = 5; min_distance = 3; extra = [] }
   with
-  | Synth.Cegis.Synthesized (code, _) ->
+  | Synth.Report.Synthesized (code, _) ->
       (* verify on both paths *)
       Alcotest.(check bool) "SAT verify" true
         (Hamming.Distance.sat_has_min_distance_at_least code 3);

@@ -19,7 +19,8 @@ let build =
 let entry ?(ts = "2026-08-07T00:00:00Z") ?(cmd = "synth")
     ?(problem = "md(G[0]) = 3") ?(outcome = "synthesized") ?(exit_code = 0)
     ?(wall = 0.25) ?(config = [ ("timeout", "120.") ])
-    ?(metrics = [ ("wall_s", 0.25); ("stats.iterations", 7.0) ]) ?stats () =
+    ?(metrics = [ ("wall_s", 0.25); ("stats.iterations", 7.0) ])
+    ?(cache_hit = false) ?stats () =
   {
     L.version = L.format_version;
     ts;
@@ -27,6 +28,7 @@ let entry ?(ts = "2026-08-07T00:00:00Z") ?(cmd = "synth")
     problem;
     outcome;
     exit_code;
+    cache_hit;
     wall_s = wall;
     build;
     config;

@@ -11,6 +11,7 @@ module Supervisor = Synth.Supervisor
 module Checkpoint = Synth.Checkpoint
 module Cegis = Synth.Cegis
 module Portfolio = Synth.Portfolio
+module Report = Synth.Report
 
 let with_fault_spec text f =
   match Fault.parse text with
@@ -262,19 +263,19 @@ let test_checkpoint_writer_accumulates () =
 
 let test_zero_timeout_returns_cleanly () =
   match Cegis.synthesize ~timeout:0.0 md3_problem with
-  | Cegis.Timed_out _ -> ()
-  | Cegis.Partial _ -> ()
-  | Cegis.Synthesized _ -> Alcotest.fail "no time budget, yet synthesized?"
-  | Cegis.Unsat_config _ -> Alcotest.fail "no time budget, yet refuted?"
+  | Report.Timed_out _ -> ()
+  | Report.Partial _ -> ()
+  | Report.Synthesized _ -> Alcotest.fail "no time budget, yet synthesized?"
+  | Report.Unsat_config _ -> Alcotest.fail "no time budget, yet refuted?"
 
 let test_negative_timeout_returns_cleanly () =
   match Cegis.synthesize ~timeout:(-5.0) md3_problem with
-  | Cegis.Timed_out _ | Cegis.Partial _ -> ()
+  | Report.Timed_out _ | Report.Partial _ -> ()
   | _ -> Alcotest.fail "deadline in the past must yield Timed_out/Partial"
 
 let test_immediate_interrupt_returns_cleanly () =
   match Cegis.synthesize ~interrupt:(fun () -> true) md3_problem with
-  | Cegis.Timed_out _ | Cegis.Partial _ -> ()
+  | Report.Timed_out _ | Report.Partial _ -> ()
   | _ -> Alcotest.fail "immediate interrupt must yield Timed_out/Partial"
 
 let test_interrupt_after_first_cex_is_partial () =
@@ -287,11 +288,11 @@ let test_interrupt_after_first_cex_is_partial () =
       ~on_progress:(fun _ _ -> stop := true)
       md3_problem
   with
-  | Cegis.Partial (code, _) ->
+  | Report.Partial (code, _) ->
       (* an anytime candidate is a real generator, just not at target md *)
       Alcotest.(check int) "data_len" 4 (Hamming.Code.data_len code);
       Alcotest.(check int) "check_len" 3 (Hamming.Code.check_len code)
-  | Cegis.Synthesized _ ->
+  | Report.Synthesized _ ->
       Alcotest.fail "interrupt after the first refutation must not decide"
   | _ -> Alcotest.fail "a refuted candidate exists: outcome must be Partial"
 
@@ -312,7 +313,7 @@ let test_interrupt_at_any_poll_boundary () =
       match Cegis.synthesize ~interrupt md4_problem with
       | outcome -> (
           match (outcome, n <= 3) with
-          | (Cegis.Timed_out _ | Cegis.Partial _), _ -> ()
+          | (Report.Timed_out _ | Report.Partial _), _ -> ()
           | _, false -> () (* larger budgets may legitimately decide *)
           | _, true ->
               Alcotest.failf "poll budget %d should not reach a decision" n)
@@ -334,7 +335,7 @@ let test_portfolio_immediate_interrupt () =
       ~interrupt:(fun () -> true)
       md3_problem
   with
-  | Portfolio.Timed_out _ | Portfolio.Partial _ -> ()
+  | Report.Timed_out _ | Report.Partial _ -> ()
   | _ -> Alcotest.fail "interrupted race must yield Timed_out/Partial"
 
 (* ---------------------------------------------------------------- *)
@@ -349,16 +350,16 @@ let test_resume_uses_fewer_iterations () =
   in
   let cold_iters =
     match cold with
-    | Cegis.Synthesized (_, stats) -> stats.Cegis.iterations
+    | Report.Synthesized (_, stats) -> stats.Report.Stats.iterations
     | _ -> Alcotest.fail "md-4 instance must synthesize cold"
   in
   if cold_iters < 2 then
     Alcotest.fail "instance too easy to demonstrate a warm start";
   match Cegis.synthesize ~initial:(List.rev !pool) md4_problem with
-  | Cegis.Synthesized (_, stats) ->
-      if stats.Cegis.iterations >= cold_iters then
+  | Report.Synthesized (_, stats) ->
+      if stats.Report.Stats.iterations >= cold_iters then
         Alcotest.failf "resumed run used %d iterations, cold used %d"
-          stats.Cegis.iterations cold_iters
+          stats.Report.Stats.iterations cold_iters
   | _ -> Alcotest.fail "resumed run must still synthesize"
 
 (* ---------------------------------------------------------------- *)
@@ -376,10 +377,10 @@ let test_worker_crash_still_decides () =
       match
         Portfolio.synthesize ~jobs:3 ~scheduler:`Interleaved md3_problem
       with
-      | Portfolio.Synthesized (code, report) ->
+      | Report.Synthesized (code, report) ->
           Alcotest.(check bool) "generator meets md 3" true
             (Hamming.Distance.min_distance code >= 3);
-          if report.Portfolio.totals.Cegis.worker_crashes < 1 then
+          if report.Portfolio.totals.Report.Stats.worker_crashes < 1 then
             Alcotest.fail "the injected crash must be counted"
       | _ -> Alcotest.fail "portfolio with one crashed worker must decide")
 
@@ -388,7 +389,7 @@ let test_spurious_interrupts_are_retried () =
      re-checks the genuine condition and retries the step *)
   with_fault_spec "seed=3,ctx.check.interrupt=0.2:max=5" (fun () ->
       match Cegis.synthesize md3_problem with
-      | Cegis.Synthesized (code, _) ->
+      | Report.Synthesized (code, _) ->
           Alcotest.(check bool) "generator meets md 3" true
             (Hamming.Distance.min_distance code >= 3)
       | _ -> Alcotest.fail "spurious interrupts must not change the answer")
@@ -398,7 +399,7 @@ let test_fault_trials_never_change_answer () =
      every one must reach the same decision as the fault-free run with a
      generator that verifies *)
   (match Portfolio.synthesize ~jobs:3 ~scheduler:`Interleaved md4_problem with
-  | Portfolio.Synthesized (code, _) -> check_md4 code
+  | Report.Synthesized (code, _) -> check_md4 code
   | _ -> Alcotest.fail "fault-free baseline must synthesize");
   for seed = 1 to 20 do
     let spec =
@@ -410,7 +411,7 @@ let test_fault_trials_never_change_answer () =
         match
           Portfolio.synthesize ~jobs:3 ~scheduler:`Interleaved md4_problem
         with
-        | Portfolio.Synthesized (code, _) -> check_md4 code
+        | Report.Synthesized (code, _) -> check_md4 code
         | _ -> Alcotest.failf "trial seed=%d changed the decision" seed)
   done
 

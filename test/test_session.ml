@@ -1,0 +1,303 @@
+(* The session layer's cache: canonical keys must be injective on
+   semantically distinct tasks (and only those), and the on-disk entry
+   envelope must serve bit-identical results on a hit while treating any
+   corruption, collision or stale certificate as a recoverable miss. *)
+
+module D = Synth.Driver
+module Key = Fec_session.Key
+module Cache = Fec_session.Cache
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let single ?(fixed_bits = []) ?len1_max ~data_len ~check_lo ~check_hi ~md () =
+  { D.data_len; check_lo; check_hi; md; len1_max; fixed_bits }
+
+(* ---------- canonicalization ---------- *)
+
+let test_fixed_bits_order () =
+  let fb = [ (0, 4, true); (1, 5, false); (3, 6, true) ] in
+  let permuted = [ (3, 6, true); (0, 4, true); (1, 5, false) ] in
+  let duplicated = fb @ [ (0, 4, true); (3, 6, true) ] in
+  let mk fixed_bits =
+    Key.canonical
+      (D.Fixed (single ~fixed_bits ~data_len:4 ~check_lo:3 ~check_hi:3 ~md:3 ()))
+  in
+  Alcotest.(check string) "permuted conjuncts" (mk fb) (mk permuted);
+  Alcotest.(check string) "duplicated conjuncts" (mk fb) (mk duplicated)
+
+let test_one_point_walk_is_fixed () =
+  let s = single ~data_len:4 ~check_lo:3 ~check_hi:3 ~md:3 () in
+  Alcotest.(check string) "minimal(len_c) over one point"
+    (Key.canonical (D.Fixed s))
+    (Key.canonical (D.Min_check_len s));
+  let interval = single ~data_len:4 ~check_lo:1 ~check_hi:8 ~md:3 () in
+  Alcotest.(check bool) "real interval stays a walk" false
+    (Key.canonical (D.Fixed interval)
+    = Key.canonical (D.Min_check_len interval))
+
+let test_out_of_band_inputs () =
+  let t = D.Fixed (single ~data_len:4 ~check_lo:3 ~check_hi:3 ~md:3 ()) in
+  let base = Key.canonical t in
+  Alcotest.(check bool) "weights change the key" false
+    (base = Key.canonical ~weights:[| 1; 2; 3; 4 |] t);
+  Alcotest.(check bool) "channel p changes the key" false
+    (base = Key.canonical ~p:0.1 t);
+  Alcotest.(check bool) "distinct p distinct keys" false
+    (Key.canonical ~p:0.1 t = Key.canonical ~p:0.2 t)
+
+(* ---------- qcheck: keys collide exactly on semantic identity ---------- *)
+
+(* The test's independent normal form: what [Key.canonical] promises to
+   quotient by — fixed-bit order/duplicates and the one-point-walk alias —
+   and nothing else. *)
+let norm (task, weights, p) =
+  let norm_single (s : D.single) =
+    { s with D.fixed_bits = List.sort_uniq compare s.D.fixed_bits }
+  in
+  let t =
+    match task with
+    | D.Fixed s -> D.Fixed (norm_single s)
+    | D.Min_check_len s when s.D.check_lo = s.D.check_hi ->
+        D.Fixed (norm_single s)
+    | D.Min_check_len s -> D.Min_check_len (norm_single s)
+    | D.Min_set_bits (s, b) -> D.Min_set_bits (norm_single s, b)
+    | D.Max_distance s -> D.Max_distance (norm_single s)
+    | D.Weighted_mapping _ -> task
+  in
+  (t, Option.map Array.to_list weights, p)
+
+let canonical_of (task, weights, p) = Key.canonical ?weights ?p task
+
+let gen_task =
+  QCheck.Gen.(
+    let gen_single =
+      int_range 1 16 >>= fun data_len ->
+      int_range 1 12 >>= fun check_lo ->
+      int_range 0 4 >>= fun span ->
+      int_range 1 8 >>= fun md ->
+      opt (int_range 1 24) >>= fun len1_max ->
+      list_size (int_range 0 4)
+        (triple (int_range 0 15) (int_range 0 27) bool)
+      >>= fun fixed_bits ->
+      return
+        (single ~fixed_bits ?len1_max ~data_len ~check_lo
+           ~check_hi:(check_lo + span) ~md ())
+    in
+    gen_single >>= fun s ->
+    oneof
+      [
+        return (D.Fixed s);
+        return (D.Min_check_len s);
+        (int_range 1 32 >>= fun b -> return (D.Min_set_bits (s, b)));
+        return (D.Max_distance s);
+      ]
+    >>= fun task ->
+    opt (array_size (int_range 1 4) (int_range 0 9)) >>= fun weights ->
+    opt (oneofl [ 0.001; 0.01; 0.1; 0.25; 0.5 ]) >>= fun p ->
+    return (task, weights, p))
+
+(* Half the pairs are independent draws (the no-collision direction), half
+   are semantic aliases of one draw (the must-collide direction): the same
+   task with shuffled/duplicated fixed bits, or the one-point walk spelled
+   as either constructor. *)
+let gen_pair =
+  QCheck.Gen.(
+    gen_task >>= fun a ->
+    bool >>= fun alias ->
+    if not alias then gen_task >>= fun b -> return (a, b)
+    else
+      let task, weights, p = a in
+      let respell s =
+        shuffle_l s.D.fixed_bits >>= fun shuffled ->
+        bool >>= fun dup ->
+        let fb =
+          if dup && shuffled <> [] then List.hd shuffled :: shuffled
+          else shuffled
+        in
+        return { s with D.fixed_bits = fb }
+      in
+      (match task with
+      | D.Fixed s when s.D.check_lo = s.D.check_hi ->
+          respell s >>= fun s ->
+          oneofl [ D.Fixed s; D.Min_check_len s ]
+      | D.Fixed s -> respell s >>= fun s -> return (D.Fixed s)
+      | D.Min_check_len s when s.D.check_lo = s.D.check_hi ->
+          respell s >>= fun s ->
+          oneofl [ D.Fixed s; D.Min_check_len s ]
+      | D.Min_check_len s -> respell s >>= fun s -> return (D.Min_check_len s)
+      | D.Min_set_bits (s, b) ->
+          respell s >>= fun s -> return (D.Min_set_bits (s, b))
+      | D.Max_distance s -> respell s >>= fun s -> return (D.Max_distance s)
+      | D.Weighted_mapping _ -> return task)
+      >>= fun task -> return (a, (task, weights, p)))
+
+let arb_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "%s  |  %s" (canonical_of a) (canonical_of b))
+    gen_pair
+
+let qcheck_no_collision =
+  QCheck.Test.make
+    ~name:"canonical keys collide exactly on semantically identical specs"
+    ~count:10_000 arb_pair (fun (a, b) ->
+      (canonical_of a = canonical_of b) = (norm a = norm b))
+
+(* ---------- cache entries ---------- *)
+
+let tmpdir () =
+  let d = Filename.temp_file "fecsynth-session" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let hamming74 = "1000101\n0100011\n0010110\n0001111"
+
+let entry ~key ?(md = 3) () =
+  {
+    Cache.key;
+    created = "2026-08-08T00:00:00Z";
+    code = Hamming.Code.of_string hamming74;
+    check_len = 3;
+    md;
+    verified_md = 3;
+    iterations = 11;
+    elapsed = 0.5;
+  }
+
+let task74 = D.Fixed (single ~data_len:4 ~check_lo:3 ~check_hi:3 ~md:3 ())
+
+let test_roundtrip_bit_identical () =
+  let dir = tmpdir () in
+  let key, digest = Key.of_task task74 in
+  let e = entry ~key () in
+  Cache.store ~dir ~digest e;
+  match Cache.lookup ~dir ~digest ~key with
+  | None -> Alcotest.fail "stored entry did not hit"
+  | Some got ->
+      Alcotest.(check string) "generator bit-identical" hamming74
+        (Hamming.Code.to_string got.Cache.code);
+      Alcotest.(check string) "key preserved" key got.Cache.key;
+      Alcotest.(check int) "iterations" 11 got.Cache.iterations;
+      Alcotest.(check (float 1e-9)) "elapsed" 0.5 got.Cache.elapsed;
+      Alcotest.(check int) "md" 3 got.Cache.md
+
+let test_collision_guard () =
+  let dir = tmpdir () in
+  let key, digest = Key.of_task task74 in
+  Cache.store ~dir ~digest (entry ~key ());
+  (* same digest file, different canonical key: must be a miss, never a
+     wrong answer *)
+  Alcotest.(check bool) "foreign key misses" true
+    (Cache.lookup ~dir ~digest ~key:(key ^ " p=0x1p-1") = None)
+
+let test_corrupt_entry_recovered () =
+  let dir = tmpdir () in
+  let key, digest = Key.of_task task74 in
+  Cache.store ~dir ~digest (entry ~key ());
+  let path = Filename.concat dir (digest ^ ".entry") in
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let flip = Bytes.of_string raw in
+  (* flip one payload bit without touching the CRC trailer *)
+  let i = String.length raw / 2 in
+  Bytes.set flip i (Char.chr (Char.code (Bytes.get flip i) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc flip;
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry is a miss" true
+    (Cache.lookup ~dir ~digest ~key = None);
+  (* the recompute path: a fresh store overwrites the corpse and hits *)
+  Cache.store ~dir ~digest (entry ~key ());
+  Alcotest.(check bool) "recomputed entry hits" true
+    (Cache.lookup ~dir ~digest ~key <> None)
+
+let test_truncated_entry_is_miss () =
+  let dir = tmpdir () in
+  let key, digest = Key.of_task task74 in
+  Cache.store ~dir ~digest (entry ~key ());
+  let path = Filename.concat dir (digest ^ ".entry") in
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (String.sub raw 0 (String.length raw / 2));
+  close_out oc;
+  Alcotest.(check bool) "truncated entry is a miss" true
+    (Cache.lookup ~dir ~digest ~key = None)
+
+let test_stale_certificate_rejected () =
+  let dir = tmpdir () in
+  (* claim md 4 for a code whose true minimum distance is 3: the CRC is
+     fine but the hit-side re-verification must refuse to serve it *)
+  let task = D.Fixed (single ~data_len:4 ~check_lo:3 ~check_hi:3 ~md:4 ()) in
+  let key, digest = Key.of_task task in
+  Cache.store ~dir ~digest (entry ~key ~md:4 ());
+  Alcotest.(check bool) "overclaimed distance is a miss" true
+    (Cache.lookup ~dir ~digest ~key = None)
+
+let test_missing_dir_misses () =
+  let key, digest = Key.of_task task74 in
+  Alcotest.(check bool) "no cache dir is a miss" true
+    (Cache.lookup ~dir:"/nonexistent/fecsynth-cache" ~digest ~key = None)
+
+(* ---------- warm-start pools ---------- *)
+
+let test_warm_start_pools () =
+  let dir = tmpdir () in
+  let cex_data =
+    Synth.Cegis.Cex_data (Gf2.Bitvec.init 4 (fun i -> i mod 2 = 0))
+  in
+  let cex_cand =
+    Synth.Cegis.Cex_candidate (Hamming.Code.of_string hamming74)
+  in
+  Cache.save_pool ~dir ~digest:"aa" ~data_len:4 ~check_len:3 ~md:3
+    [ cex_data; cex_cand ];
+  Cache.save_pool ~dir ~digest:"bb" ~data_len:5 ~check_len:4 ~md:3
+    [ cex_data ];
+  Alcotest.(check int) "matching pool replayed" 2
+    (List.length (Cache.warm_start ~dir ~data_len:4 ~md:3));
+  Alcotest.(check int) "mismatched dimensions filtered" 0
+    (List.length (Cache.warm_start ~dir ~data_len:6 ~md:3));
+  (* a corrupt pool is skipped, not fatal *)
+  let oc = open_out_bin (Filename.concat dir "aa.pool") in
+  output_string oc "not a checkpoint";
+  close_out oc;
+  Alcotest.(check int) "corrupt pool skipped" 0
+    (List.length (Cache.warm_start ~dir ~data_len:4 ~md:3))
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "key",
+        [
+          Alcotest.test_case "fixed-bit order and duplicates" `Quick
+            test_fixed_bits_order;
+          Alcotest.test_case "one-point walk aliases fixed" `Quick
+            test_one_point_walk_is_fixed;
+          Alcotest.test_case "weights and p are part of the key" `Quick
+            test_out_of_band_inputs;
+          qtest qcheck_no_collision;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit is bit-identical" `Quick
+            test_roundtrip_bit_identical;
+          Alcotest.test_case "digest collision degrades to miss" `Quick
+            test_collision_guard;
+          Alcotest.test_case "corrupt entry rejected then recomputed" `Quick
+            test_corrupt_entry_recovered;
+          Alcotest.test_case "truncated entry is a miss" `Quick
+            test_truncated_entry_is_miss;
+          Alcotest.test_case "stale certificate rejected" `Quick
+            test_stale_certificate_rejected;
+          Alcotest.test_case "missing directory is a miss" `Quick
+            test_missing_dir_misses;
+        ] );
+      ( "pools",
+        [
+          Alcotest.test_case "warm starts filter on problem shape" `Quick
+            test_warm_start_pools;
+        ] );
+    ]

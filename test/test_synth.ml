@@ -15,21 +15,21 @@ let synthesize_simple ?(timeout = 60.0) ?cex_mode ~k ~c ~m () =
 
 let test_synthesize_hamming74 () =
   match synthesize_simple ~k:4 ~c:3 ~m:3 () with
-  | Cegis.Synthesized (code, stats) ->
+  | Report.Synthesized (code, stats) ->
       Alcotest.(check int) "md" 3 (md code);
-      Alcotest.(check bool) "iterations > 0" true (stats.Cegis.iterations > 0)
+      Alcotest.(check bool) "iterations > 0" true (stats.Report.Stats.iterations > 0)
   | _ -> Alcotest.fail "expected success"
 
 let test_synthesize_md4 () =
   (* paper §4.2: md 4 achievable with 5 check bits at k = 4 *)
   match synthesize_simple ~k:4 ~c:5 ~m:4 () with
-  | Cegis.Synthesized (code, _) -> Alcotest.(check bool) "md >= 4" true (md code >= 4)
+  | Report.Synthesized (code, _) -> Alcotest.(check bool) "md >= 4" true (md code >= 4)
   | _ -> Alcotest.fail "expected success"
 
 let test_synthesize_parity () =
   (* paper §4.3: c=1, md 2 must produce exactly the even-parity code *)
   match synthesize_simple ~k:16 ~c:1 ~m:2 () with
-  | Cegis.Synthesized (code, _) ->
+  | Report.Synthesized (code, _) ->
       Alcotest.(check bool) "equals parity code" true
         (Hamming.Code.equal code (Hamming.Catalog.parity 16))
   | _ -> Alcotest.fail "expected success"
@@ -37,22 +37,22 @@ let test_synthesize_parity () =
 let test_unsat_config () =
   (* md 3 with 2 check bits at k = 4 is impossible (needs >= 3) *)
   match synthesize_simple ~k:4 ~c:2 ~m:3 () with
-  | Cegis.Unsat_config _ -> ()
-  | Cegis.Synthesized (code, _) ->
+  | Report.Unsat_config _ -> ()
+  | Report.Synthesized (code, _) ->
       Alcotest.failf "impossible generator synthesized with md %d" (md code)
-  | Cegis.Timed_out _ -> Alcotest.fail "unexpected timeout"
-  | Cegis.Partial _ -> Alcotest.fail "unexpected partial result"
+  | Report.Timed_out _ -> Alcotest.fail "unexpected timeout"
+  | Report.Partial _ -> Alcotest.fail "unexpected partial result"
 
 let test_singleton_check_md2 () =
   (* smallest possible: k=1, c=1, md 2 is the repetition (2,1) code *)
   match synthesize_simple ~k:1 ~c:1 ~m:2 () with
-  | Cegis.Synthesized (code, _) -> Alcotest.(check int) "md" 2 (md code)
+  | Report.Synthesized (code, _) -> Alcotest.(check int) "md" 2 (md code)
   | _ -> Alcotest.fail "expected success"
 
 let test_whole_candidate_mode_agrees () =
   (* the paper's blocking mode finds an answer too (just more slowly) *)
   match synthesize_simple ~cex_mode:Cegis.Whole_candidate ~k:4 ~c:3 ~m:3 () with
-  | Cegis.Synthesized (code, _) -> Alcotest.(check int) "md" 3 (md code)
+  | Report.Synthesized (code, _) -> Alcotest.(check int) "md" 3 (md code)
   | _ -> Alcotest.fail "expected success"
 
 let test_sat_verifier_mode () =
@@ -60,7 +60,7 @@ let test_sat_verifier_mode () =
     Cegis.synthesize ~timeout:60.0 ~verifier:Cegis.Sat
       { Cegis.data_len = 4; check_len = 4; min_distance = 3; extra = [] }
   with
-  | Cegis.Synthesized (code, _) -> Alcotest.(check bool) "md >= 3" true (md code >= 3)
+  | Report.Synthesized (code, _) -> Alcotest.(check bool) "md >= 3" true (md code >= 3)
   | _ -> Alcotest.fail "expected success"
 
 let test_extra_constraints_respected () =
@@ -70,7 +70,7 @@ let test_extra_constraints_respected () =
     Cegis.synthesize ~timeout:60.0
       { Cegis.data_len = 4; check_len = 4; min_distance = 3; extra = [ pin ] }
   with
-  | Cegis.Synthesized (code, _) ->
+  | Report.Synthesized (code, _) ->
       Alcotest.(check bool) "pinned bit" true
         (Gf2.Matrix.get (Hamming.Code.coefficient_matrix code) 0 0)
   | _ -> Alcotest.fail "expected success"
@@ -80,13 +80,13 @@ let test_sweep_configurations () =
   List.iter
     (fun (k, c, m) ->
       match synthesize_simple ~k ~c ~m () with
-      | Cegis.Synthesized (code, _) ->
+      | Report.Synthesized (code, _) ->
           Alcotest.(check bool)
             (Printf.sprintf "k=%d c=%d m=%d" k c m)
             true
             (Hamming.Distance.has_min_distance_at_least code m)
-      | Cegis.Unsat_config _ -> ()
-      | Cegis.Timed_out _ | Cegis.Partial _ -> Alcotest.fail "timeout in sweep")
+      | Report.Unsat_config _ -> ()
+      | Report.Timed_out _ | Report.Partial _ -> Alcotest.fail "timeout in sweep")
     [ (2, 2, 2); (3, 3, 3); (4, 4, 3); (5, 4, 3); (8, 4, 3); (6, 5, 4); (4, 7, 5) ]
 
 (* ---------- optimization: minimal check length (Table 1) ---------- *)
@@ -204,7 +204,7 @@ let test_multibit_synthesis () =
   match
     Multibit_synth.synthesize ~timeout:60.0 ~data_len:4 ~check_len:7 ~distinguish:2 ()
   with
-  | Multibit_synth.Synthesized (code, _) ->
+  | Report.Synthesized (code, _) ->
       Alcotest.(check bool) "distinguishes 2" true
         (Hamming.Multibit.distinguishes_up_to code 2);
       Alcotest.(check bool) "md >= 5" true
@@ -245,15 +245,15 @@ let test_ver_conflicts_reported () =
     Cegis.synthesize ~timeout:60.0 ~verifier:Cegis.Sat
       { Cegis.data_len = 6; check_len = 5; min_distance = 4; extra = [] }
   with
-  | Cegis.Synthesized (code, stats) ->
+  | Report.Synthesized (code, stats) ->
       Alcotest.(check bool) "md >= 4" true
         (Hamming.Distance.has_min_distance_at_least code 4);
       Alcotest.(check bool) "verifier found counterexamples" true
-        (stats.Cegis.verifier_calls > 1);
+        (stats.Report.Stats.verifier_calls > 1);
       Alcotest.(check bool)
-        (Printf.sprintf "ver_conflicts > 0 (got %d)" stats.Cegis.ver_conflicts)
+        (Printf.sprintf "ver_conflicts > 0 (got %d)" stats.Report.Stats.ver_conflicts)
         true
-        (stats.Cegis.ver_conflicts > 0)
+        (stats.Report.Stats.ver_conflicts > 0)
   | _ -> Alcotest.fail "expected success"
 
 (* ---------- portfolio ---------- *)
@@ -267,12 +267,12 @@ let test_portfolio_jobs1_matches_sequential () =
   let problem = simple_problem ~k:6 ~c:5 ~m:4 in
   match (Cegis.synthesize ~timeout:60.0 problem,
          Portfolio.synthesize ~timeout:60.0 ~jobs:1 problem) with
-  | Cegis.Synthesized (seq_code, seq_stats),
-    Portfolio.Synthesized (par_code, report) ->
+  | Report.Synthesized (seq_code, seq_stats),
+    Report.Synthesized (par_code, report) ->
       Alcotest.(check bool) "identical generator" true
         (Hamming.Code.equal seq_code par_code);
       Alcotest.(check int) "identical iteration count"
-        seq_stats.Cegis.iterations
+        seq_stats.Report.Stats.iterations
         report.Portfolio.totals.Synth.Report.Stats.iterations;
       (match report.Portfolio.winner with
       | Some c -> Alcotest.(check string) "winner is worker 0" "w0" c.Portfolio.label
@@ -289,7 +289,7 @@ let test_portfolio_jobs4_no_torn_results () =
         Portfolio.synthesize ~timeout:60.0 ~jobs:4 ~scheduler:`Domains
           (simple_problem ~k ~c ~m)
       with
-      | Portfolio.Synthesized (code, report) ->
+      | Report.Synthesized (code, report) ->
           Alcotest.(check int) "4 workers" 4 (List.length report.Portfolio.workers);
           Alcotest.(check bool) "winner recorded" true
             (report.Portfolio.winner <> None);
@@ -297,19 +297,19 @@ let test_portfolio_jobs4_no_torn_results () =
             (Printf.sprintf "k=%d c=%d m=%d verifies" k c m)
             true
             (Hamming.Distance.counterexample code m = None)
-      | Portfolio.Unsat_config _ -> Alcotest.fail "unexpectedly unsat"
-      | Portfolio.Timed_out _ | Portfolio.Partial _ ->
+      | Report.Unsat_config _ -> Alcotest.fail "unexpectedly unsat"
+      | Report.Timed_out _ | Report.Partial _ ->
           Alcotest.fail "unexpected timeout")
     [ (4, 4, 3); (6, 5, 4); (8, 4, 3) ]
 
 let test_portfolio_unsat_is_shared () =
   (* any single worker proving unsat decides for the whole portfolio *)
   match Portfolio.synthesize ~timeout:60.0 ~jobs:4 (simple_problem ~k:4 ~c:2 ~m:3) with
-  | Portfolio.Unsat_config report ->
+  | Report.Unsat_config report ->
       Alcotest.(check bool) "winner recorded" true (report.Portfolio.winner <> None)
-  | Portfolio.Synthesized (code, _) ->
+  | Report.Synthesized (code, _) ->
       Alcotest.failf "impossible generator synthesized with md %d" (md code)
-  | Portfolio.Timed_out _ | Portfolio.Partial _ ->
+  | Report.Timed_out _ | Report.Partial _ ->
       Alcotest.fail "unexpected timeout"
 
 let test_portfolio_encodings_agree_on_distance () =
@@ -326,7 +326,7 @@ let test_portfolio_encodings_agree_on_distance () =
           Portfolio.synthesize ~timeout:60.0 ~jobs:1 ~configs:[ config ]
             (simple_problem ~k:4 ~c:3 ~m:3)
         with
-        | Portfolio.Synthesized (code, _) -> md code
+        | Report.Synthesized (code, _) -> md code
         | _ -> Alcotest.fail "expected success")
       [ Smtlite.Card.Sequential; Smtlite.Card.Totalizer; Smtlite.Card.Adder;
         Smtlite.Card.Pairwise ]
@@ -342,7 +342,7 @@ let test_portfolio_restart_rounds () =
     Portfolio.synthesize ~timeout:60.0 ~jobs:4 ~restart_interval:0.01
       (simple_problem ~k:9 ~c:10 ~m:5)
   with
-  | Portfolio.Synthesized (code, report) ->
+  | Report.Synthesized (code, report) ->
       Alcotest.(check bool) "restarted at least once" true
         (report.Portfolio.rounds >= 2);
       Alcotest.(check int) "one stats entry per worker per round"
@@ -355,8 +355,8 @@ let test_portfolio_restart_rounds () =
            report.Portfolio.workers);
       Alcotest.(check bool) "result verifies" true
         (Hamming.Distance.counterexample code 5 = None)
-  | Portfolio.Unsat_config _ -> Alcotest.fail "unexpectedly unsat"
-  | Portfolio.Timed_out _ | Portfolio.Partial _ ->
+  | Report.Unsat_config _ -> Alcotest.fail "unexpectedly unsat"
+  | Report.Timed_out _ | Report.Partial _ ->
       Alcotest.fail "unexpected timeout"
 
 let test_portfolio_verification_race () =

@@ -231,7 +231,7 @@ let test_cegis_event_kinds () =
             extra = [] })
   in
   (match outcome with
-  | Synth.Cegis.Synthesized _ -> ()
+  | Synth.Report.Synthesized _ -> ()
   | _ -> Alcotest.fail "expected (7,4)-style instance to synthesize");
   let names =
     List.sort_uniq compare (List.map Sink.event_name (events ()))
