@@ -37,7 +37,12 @@ SERVE_SMOKE_SPEC := len_G = 1 && len_d(G[0]) = 11 && len_c(G[0]) = 5 && md(G[0])
 # `dune exec` invocations fight over the build lock.
 FECSYNTH := _build/install/default/bin/fecsynth
 
-.PHONY: all build test trace-smoke ledger-smoke serve-smoke stress check bench bench-gate sat-bench clean
+# Chaos matrix budget: seeded SIGKILL-under-fault-injection trials
+# against the serve daemon (see test/chaos.sh).  20 trials run in
+# ~15 s; CI can shrink the matrix with FEC_CHAOS_ITERS.
+FEC_CHAOS_ITERS ?= 20
+
+.PHONY: all build test trace-smoke ledger-smoke serve-smoke stress chaos check bench bench-gate sat-bench clean
 
 all: build
 
@@ -116,7 +121,17 @@ serve-smoke: build
 	  exit !(r >= 10) }'
 	@echo "serve-smoke: OK"
 
-check: build test trace-smoke ledger-smoke serve-smoke stress bench-gate
+# Fault-tolerance gate for the daemon: SIGKILL it at seeded random
+# phases while FEC_FAULT_SPEC tears at the wire/cache/worker layers,
+# then require a clean takeover restart every time — no stale-socket or
+# pidfile lockout, zero corrupt cache entries, orphaned tmp files
+# scavenged, the ledger parseable with the killed run recovered as a
+# "crash" record — plus a deadline-carrying request against a stalled
+# worker answered "timeout" on the wire instead of hanging.
+chaos: build
+	FEC_CHAOS_ITERS=$(FEC_CHAOS_ITERS) FECSYNTH=$(FECSYNTH) sh test/chaos.sh
+
+check: build test trace-smoke ledger-smoke serve-smoke stress chaos bench-gate
 	@echo "check: OK"
 
 # Quick benchmark pass (shrunken workloads); writes $(BENCH_OUT).

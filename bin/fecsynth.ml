@@ -505,15 +505,35 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
-  let run socket workers max_queue no_cache cache_dir metrics no_ledger =
+  let grace_arg =
+    let doc =
+      "Post-deadline wind-down slack in seconds: a session past its \
+       deadline is first cancelled cooperatively, and past the grace its \
+       worker is reaped and replaced."
+    in
+    Arg.(value & opt float 1.0 & info [ "grace" ] ~docv:"SECS" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc =
+      "Reap connections idle for more than $(docv) seconds (0 disables; \
+       clients awaiting a session are exempt)."
+    in
+    Arg.(value & opt float 300.0 & info [ "idle-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let run socket workers max_queue grace idle_timeout no_cache cache_dir
+      metrics no_ledger =
     if workers < 1 || max_queue < 1 then
       `Error (false, "need --workers >= 1 and --max-queue >= 1")
+    else if grace < 0.0 || idle_timeout < 0.0 then
+      `Error (false, "need --grace >= 0 and --idle-timeout >= 0")
     else begin
       let config =
         {
           (Fec_session.Server.default_config ~socket) with
           Fec_session.Server.workers;
           max_queue;
+          grace;
+          idle_timeout;
           cache = not no_cache;
           cache_dir;
           no_ledger;
@@ -528,19 +548,45 @@ let serve_cmd =
     "Run a long-lived synthesis daemon: newline-delimited JSON requests \
      over a Unix socket, multiplexed across worker domains, answered from \
      the result cache when possible, every request recorded in the run \
-     ledger.  SIGTERM drains: in-flight sessions finish, then the daemon \
-     exits."
+     ledger.  Startup is crash-safe (stale-socket takeover, orphaned \
+     cache/ledger recovery); request deadlines are enforced by reaping \
+     stuck workers.  SIGTERM drains: in-flight sessions finish, then the \
+     daemon exits."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       ret
-        (const run $ socket_arg $ workers_arg $ max_queue_arg $ no_cache_arg
-       $ cache_dir_arg $ Output.metrics_arg $ Output.no_ledger_arg))
+        (const run $ socket_arg $ workers_arg $ max_queue_arg $ grace_arg
+       $ idle_timeout_arg $ no_cache_arg $ cache_dir_arg $ Output.metrics_arg
+       $ Output.no_ledger_arg))
+
+let retries_arg =
+  let doc =
+    "Retry the whole exchange up to $(docv) more times after a connection \
+     failure, with jittered exponential backoff.  Sound because \
+     resubmission is content-addressed: a retry after a lost reply lands \
+     on the result cache."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let connect_timeout_arg =
+  let doc = "Bound each connection attempt to $(docv) seconds." in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "connect-timeout" ] ~docv:"SECS" ~doc)
 
 let submit_cmd =
   let no_wait_arg =
     let doc = "Return the session id immediately instead of awaiting the result." in
     Arg.(value & flag & info [ "no-wait" ] ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Server-side deadline in milliseconds: past it the daemon answers \
+       state \"timeout\" and reaps the worker if it will not wind down."
+    in
+    Arg.(value & opt (some int) None & info [ "deadline" ] ~docv:"MS" ~doc)
   in
   let no_cache_arg =
     let doc = "Ask the daemon to bypass the result cache for this request." in
@@ -554,22 +600,28 @@ let submit_cmd =
     let doc = "Number of portfolio workers." in
     Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"K" ~doc)
   in
-  let run socket prop_spec timeout portfolio jobs no_cache no_wait =
+  let run socket prop_spec timeout portfolio jobs no_cache no_wait deadline
+      retries connect_timeout =
     let request =
       J.Obj
-        [
-          ("op", J.Str "submit");
-          ("spec", J.Str prop_spec);
-          ("timeout", J.Float timeout);
-          ("portfolio", J.Bool portfolio);
-          ("jobs", J.Int jobs);
-          ("cache", J.Bool (not no_cache));
-          ("await", J.Bool (not no_wait));
-        ]
+        ([
+           ("op", J.Str "submit");
+           ("spec", J.Str prop_spec);
+           ("timeout", J.Float timeout);
+           ("portfolio", J.Bool portfolio);
+           ("jobs", J.Int jobs);
+           ("cache", J.Bool (not no_cache));
+           ("await", J.Bool (not no_wait));
+         ]
+        @
+        match deadline with
+        | Some ms -> [ ("deadline_ms", J.Int ms) ]
+        | None -> [])
     in
-    let t = Fec_session.Client.connect socket in
-    let response = Fec_session.Client.rpc t request in
-    Fec_session.Client.close t;
+    let response =
+      Fec_session.Client.with_retries ~retries ?connect_timeout ~socket
+        (fun t -> Fec_session.Client.rpc t request)
+    in
     print_endline (J.to_string response);
     match J.member "ok" response with
     | Some (J.Bool true) -> `Ok ()
@@ -584,20 +636,22 @@ let submit_cmd =
     Term.(
       ret
         (const run $ socket_arg $ prop_arg $ timeout_arg $ portfolio_arg
-       $ jobs_arg $ no_cache_arg $ no_wait_arg))
+       $ jobs_arg $ no_cache_arg $ no_wait_arg $ deadline_arg $ retries_arg
+       $ connect_timeout_arg))
 
 let call_cmd =
   let request_arg =
     let doc = "One JSON request object (e.g. '{\"op\":\"ping\"}')." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"JSON" ~doc)
   in
-  let run socket request =
+  let run socket request retries connect_timeout =
     match J.of_string request with
     | exception J.Parse_error msg -> `Error (false, "bad request: " ^ msg)
     | j ->
-        let t = Fec_session.Client.connect socket in
-        let response = Fec_session.Client.rpc t j in
-        Fec_session.Client.close t;
+        let response =
+          Fec_session.Client.with_retries ~retries ?connect_timeout ~socket
+            (fun t -> Fec_session.Client.rpc t j)
+        in
         print_endline (J.to_string response);
         (match J.member "ok" response with
         | Some (J.Bool true) -> `Ok ()
@@ -608,7 +662,57 @@ let call_cmd =
      daemon and print the JSON response (ping, status, await, cancel, \
      stats, shutdown)."
   in
-  Cmd.v (Cmd.info "call" ~doc) Term.(ret (const run $ socket_arg $ request_arg))
+  Cmd.v (Cmd.info "call" ~doc)
+    Term.(
+      ret
+        (const run $ socket_arg $ request_arg $ retries_arg
+       $ connect_timeout_arg))
+
+(* ---------- cache maintenance ---------- *)
+
+let cache_cmd =
+  let dir_of cache_dir =
+    match cache_dir with
+    | Some d -> d
+    | None -> Fec_session.Cache.default_dir ()
+  in
+  let cache_verify_cmd =
+    let run cache_dir =
+      let dir = dir_of cache_dir in
+      let v = Fec_session.Cache.verify ~dir in
+      List.iter
+        (fun name -> Printf.printf "corrupt:  %s\n" name)
+        v.Fec_session.Cache.corrupt;
+      List.iter
+        (fun name -> Printf.printf "orphan:   %s\n" name)
+        v.Fec_session.Cache.orphan_tmp;
+      Printf.printf "verified: %d entries ok, %d corrupt, %d orphaned tmp\n"
+        v.Fec_session.Cache.ok_entries
+        (List.length v.Fec_session.Cache.corrupt)
+        (List.length v.Fec_session.Cache.orphan_tmp);
+      if v.Fec_session.Cache.corrupt = [] then `Ok () else exit 1
+    in
+    let doc =
+      "Audit every cache entry (structure + CRC) and list orphaned temp \
+       files; exits 1 when any entry is corrupt."
+    in
+    Cmd.v (Cmd.info "verify" ~doc) Term.(ret (const run $ cache_dir_arg))
+  in
+  let cache_scavenge_cmd =
+    let run cache_dir =
+      let dir = dir_of cache_dir in
+      let n = Fec_session.Cache.scavenge ~dir in
+      Printf.printf "scavenged: %d orphaned file(s)\n" n;
+      `Ok ()
+    in
+    let doc =
+      "Sweep orphaned temp files left by crashed writers (files whose \
+       writing pid is dead); live writes are left alone."
+    in
+    Cmd.v (Cmd.info "scavenge" ~doc) Term.(ret (const run $ cache_dir_arg))
+  in
+  let doc = "inspect and repair the content-addressed result cache" in
+  Cmd.group (Cmd.info "cache" ~doc) [ cache_verify_cmd; cache_scavenge_cmd ]
 
 (* ---------- verify ---------- *)
 
@@ -1794,9 +1898,10 @@ let () =
   let group =
     Cmd.group info
       [
-        synth_cmd; optimize_cmd; serve_cmd; submit_cmd; call_cmd; verify_cmd;
-        certify_cmd; distance_cmd; analyze_cmd; emit_cmd; robustness_cmd;
-        smt_cmd; trace_cmd; trace_check_cmd; version_cmd; runs_cmd;
+        synth_cmd; optimize_cmd; serve_cmd; submit_cmd; call_cmd; cache_cmd;
+        verify_cmd; certify_cmd; distance_cmd; analyze_cmd; emit_cmd;
+        robustness_cmd; smt_cmd; trace_cmd; trace_check_cmd; version_cmd;
+        runs_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

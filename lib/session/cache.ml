@@ -30,6 +30,7 @@ let default_dir () =
 
 let m_hit = Telemetry.Metrics.counter "session.cache_hit"
 let m_miss = Telemetry.Metrics.counter "session.cache_miss"
+let m_scavenged = Telemetry.Metrics.counter "session.cache_scavenged"
 
 (* one-line code rendering, same convention as Checkpoint *)
 let code_to_line code =
@@ -96,12 +97,23 @@ let rec mkdir_p dir =
 let entry_file ~dir ~digest = Filename.concat dir (digest ^ ".entry")
 let pool_file ~dir ~digest = Filename.concat dir (digest ^ ".pool")
 
+(* A torn-write injection models a crash between writing the temp file
+   and renaming it into place: half the payload lands in the tmp file,
+   the rename never happens, and the orphan is left for {!scavenge}.
+   The destination entry is untouched either way — that is the whole
+   point of the tmp+rename discipline. *)
 let atomic_write path text =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  let oc = open_out_bin tmp in
-  output_string oc text;
-  close_out oc;
-  Sys.rename tmp path
+  match Synth.Fault.probe_write "cache.write" with
+  | `Torn ->
+      let oc = open_out_bin tmp in
+      output_string oc (String.sub text 0 (String.length text / 2));
+      close_out oc
+  | `Full ->
+      let oc = open_out_bin tmp in
+      output_string oc text;
+      close_out oc;
+      Sys.rename tmp path
 
 let store ~dir ~digest e =
   try
@@ -141,6 +153,7 @@ let parse content =
 let reverify_limit = 14
 
 let lookup ~dir ~digest ~key =
+  Synth.Fault.probe "cache.read";
   let path = entry_file ~dir ~digest in
   let found =
     if not (Sys.file_exists path) then None
@@ -158,6 +171,83 @@ let lookup ~dir ~digest ~key =
   | Some _ -> Telemetry.Metrics.incr m_hit 1
   | None -> Telemetry.Metrics.incr m_miss 1);
   found
+
+(* ---------- crash recovery ---------- *)
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error _ -> true
+
+(* [name] is an orphaned temp file iff it carries a ".tmp.<pid>" suffix
+   whose writer is dead — a live pid means the write is in flight right
+   now, so leave it alone. *)
+let orphan_tmp name =
+  let infix = ".tmp." in
+  let nl = String.length name and il = String.length infix in
+  let rec find i =
+    if i + il > nl then None
+    else if String.sub name i il = infix then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some i -> (
+      match int_of_string_opt (String.sub name (i + il) (nl - i - il)) with
+      | Some pid -> not (pid_alive pid)
+      | None -> false)
+
+let scavenge ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      let removed = ref 0 in
+      Array.iter
+        (fun name ->
+          if orphan_tmp name then begin
+            (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ());
+            incr removed
+          end)
+        names;
+      if !removed > 0 then Telemetry.Metrics.incr m_scavenged !removed;
+      !removed
+
+let scavenged_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
+let scavenge_lock = Mutex.create ()
+
+let scavenge_once ~dir =
+  let fresh =
+    Mutex.lock scavenge_lock;
+    let f = not (Hashtbl.mem scavenged_dirs dir) in
+    if f then Hashtbl.replace scavenged_dirs dir ();
+    Mutex.unlock scavenge_lock;
+    f
+  in
+  if fresh then scavenge ~dir else 0
+
+type verdict = {
+  ok_entries : int;
+  corrupt : string list;  (** .entry files failing CRC/structure *)
+  orphan_tmp : string list;  (** dead-writer temp files awaiting sweep *)
+}
+
+let verify ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> { ok_entries = 0; corrupt = []; orphan_tmp = [] }
+  | names ->
+      Array.sort compare names;
+      let ok = ref 0 and bad = ref [] and tmp = ref [] in
+      Array.iter
+        (fun name ->
+          if orphan_tmp name then tmp := name :: !tmp
+          else if Filename.check_suffix name ".entry" then
+            match parse (read_file (Filename.concat dir name)) with
+            | exception Sys_error _ -> bad := name :: !bad
+            | Some _ -> incr ok
+            | None -> bad := name :: !bad)
+        names;
+      { ok_entries = !ok; corrupt = List.rev !bad; orphan_tmp = List.rev !tmp }
 
 (* ---------- warm-start pools (Checkpoint format) ---------- *)
 

@@ -45,8 +45,36 @@ val store : dir:string -> digest:string -> entry -> unit
 (** [lookup ~dir ~digest ~key] returns the entry iff the file exists,
     passes its CRC, stores exactly [key], and its generator re-verifies.
     Any failure is a miss.  Bumps the [session.cache_hit] /
-    [session.cache_miss] metrics. *)
+    [session.cache_miss] metrics.  Probes the ["cache.read"] fault site. *)
 val lookup : dir:string -> digest:string -> key:string -> entry option
+
+(** {1 Crash recovery}
+
+    A crash (or an injected ["cache.write"] torn write) between temp-file
+    write and rename leaves an orphaned [*.tmp.<pid>] file; the
+    destination entry is never affected.  [scavenge] sweeps orphans whose
+    writing pid is dead — live pids mark writes in flight and are left
+    alone — and bumps the [session.cache_scavenged] metric.  Returns the
+    number removed; a missing directory sweeps nothing. *)
+
+val scavenge : dir:string -> int
+
+(** [scavenge_once ~dir] runs {!scavenge} the first time each directory
+    is seen in this process and is a no-op afterwards — the open-time
+    hook used by the session layer and the serve daemon. *)
+val scavenge_once : dir:string -> int
+
+type verdict = {
+  ok_entries : int;  (** entries that parse and pass their CRC *)
+  corrupt : string list;  (** entry files failing CRC/structure *)
+  orphan_tmp : string list;  (** dead-writer temp files awaiting sweep *)
+}
+
+(** [verify ~dir] audits every [.entry] file (full CRC + structural
+    parse, no re-verification of the generator) and lists scavengeable
+    temp files; the chaos harness asserts both lists empty after a
+    kill/restart cycle. *)
+val verify : dir:string -> verdict
 
 (** [save_pool ~dir ~digest ~data_len ~check_len ~md cexes] persists a
     counterexample pool for warm starts (atomic, best-effort). *)

@@ -1,24 +1,109 @@
-type t = { ic : in_channel; oc : out_channel }
+(* The wire client.  Descriptor-based rather than channel-based so every
+   blocking point — connect, reply — can carry a deadline: a daemon that
+   accepts and then stalls must not hang the caller forever. *)
 
-let connect path =
+type t = { fd : Unix.file_descr; mutable rbuf : string }
+
+let conn_fail path e =
+  failwith
+    (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+let connect ?timeout path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with Unix.Unix_error (e, _, _) ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     failwith
-       (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e)));
-  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  let cleanup_fail e =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    conn_fail path e
+  in
+  (match timeout with
+  | None -> (
+      try Unix.connect fd (Unix.ADDR_UNIX path)
+      with Unix.Unix_error (e, _, _) -> cleanup_fail e)
+  | Some s -> (
+      Unix.set_nonblock fd;
+      (match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> ()
+      | exception
+          Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+        -> (
+          match Unix.select [] [ fd ] [] s with
+          | [], [], [] -> cleanup_fail Unix.ETIMEDOUT
+          | _ -> (
+              match Unix.getsockopt_error fd with
+              | Some e -> cleanup_fail e
+              | None -> ()))
+      | exception Unix.Unix_error (e, _, _) -> cleanup_fail e);
+      Unix.clear_nonblock fd));
+  { fd; rbuf = "" }
 
-let rpc t request =
-  output_string t.oc (Telemetry.Json.to_string request);
-  output_char t.oc '\n';
-  flush t.oc;
-  match input_line t.ic with
-  | exception End_of_file -> failwith "connection closed by server"
-  | line -> (
-      match Telemetry.Json.of_string line with
-      | exception Telemetry.Json.Parse_error msg ->
-          failwith ("malformed server reply: " ^ msg)
-      | j -> j)
+let rpc ?timeout t request =
+  let line = Telemetry.Json.to_string request ^ "\n" in
+  (try
+     let len = String.length line in
+     let n = Unix.write_substring t.fd line 0 len in
+     if n <> len then failwith "connection closed by server"
+   with Unix.Unix_error _ -> failwith "connection closed by server");
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  let buf = Bytes.create 4096 in
+  let rec read_line () =
+    match String.index_opt t.rbuf '\n' with
+    | Some i ->
+        let reply = String.sub t.rbuf 0 i in
+        t.rbuf <-
+          String.sub t.rbuf (i + 1) (String.length t.rbuf - i - 1);
+        reply
+    | None ->
+        (match deadline with
+        | None -> ()
+        | Some dl -> (
+            let left = dl -. Unix.gettimeofday () in
+            if left <= 0.0 then failwith "timed out waiting for server reply"
+            else
+              match Unix.select [ t.fd ] [] [] left with
+              | [], _, _ -> failwith "timed out waiting for server reply"
+              | _ -> ()));
+        (match Unix.read t.fd buf 0 4096 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ ->
+            failwith "connection closed by server"
+        | 0 -> failwith "connection closed by server"
+        | n -> t.rbuf <- t.rbuf ^ Bytes.sub_string buf 0 n);
+        read_line ()
+  in
+  let reply = read_line () in
+  match Telemetry.Json.of_string reply with
+  | exception Telemetry.Json.Parse_error msg ->
+      failwith ("malformed server reply: " ^ msg)
+  | j -> j
 
-let close t = try close_in t.ic with Sys_error _ -> ()
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Jittered-exponential retry around a whole connect-and-talk exchange.
+   Safe for the protocol's idempotent operations: ping/stats/status are
+   pure reads, and a resubmitted job is content-addressed through
+   Session.Key, so the worst case of a reply lost in flight is a cheap
+   cache hit on the retry, never a divergent duplicate result. *)
+let with_retries ?(retries = 0) ?connect_timeout ?(seed = 0) ~socket f =
+  let policy =
+    {
+      Synth.Supervisor.default_policy with
+      seed;
+      backoff_base = 0.05;
+      backoff_max = 1.0;
+    }
+  in
+  let rec go attempt =
+    match
+      let t = connect ?timeout:connect_timeout socket in
+      Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+    with
+    | v -> v
+    | exception Failure msg ->
+        if attempt >= retries then failwith msg
+        else begin
+          Unix.sleepf
+            (Synth.Supervisor.backoff_delay policy ~label:"client"
+               ~attempt:(attempt + 1));
+          go (attempt + 1)
+        end
+  in
+  go 0

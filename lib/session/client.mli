@@ -1,13 +1,35 @@
-(** Minimal blocking client for the serve wire protocol. *)
+(** Blocking client for the serve wire protocol, with deadlines and
+    supervised retries — callers never hang on a stalled or half-dead
+    daemon. *)
 
 type t
 
-(** [connect path] opens the Unix-domain socket at [path].
-    @raise Failure when the daemon is not reachable. *)
-val connect : string -> t
+(** [connect ?timeout path] opens the Unix-domain socket at [path];
+    [timeout] bounds the connection attempt in seconds.
+    @raise Failure when the daemon is not reachable (or not in time). *)
+val connect : ?timeout:float -> string -> t
 
-(** [rpc t request] sends one request line and blocks for one response
-    line.  @raise Failure on a closed connection or malformed reply. *)
-val rpc : t -> Telemetry.Json.t -> Telemetry.Json.t
+(** [rpc ?timeout t request] sends one request line and blocks for one
+    response line; [timeout] bounds the wait for the reply.
+    @raise Failure on a closed connection, malformed reply, or expired
+    deadline. *)
+val rpc : ?timeout:float -> t -> Telemetry.Json.t -> Telemetry.Json.t
 
 val close : t -> unit
+
+(** [with_retries ?retries ?connect_timeout ?seed ~socket f] runs
+    [f client] over a fresh connection, retrying the whole exchange up
+    to [retries] more times (default 0) after a [Failure], with the
+    {!Synth.Supervisor} jittered-exponential backoff (label ["client"],
+    deterministic in [seed]).  Retrying is sound for the protocol's
+    idempotent operations: reads are pure, and resubmission is
+    content-addressed through [Session.Key], so a retry after a lost
+    reply lands on the cache rather than computing a divergent
+    duplicate. *)
+val with_retries :
+  ?retries:int ->
+  ?connect_timeout:float ->
+  ?seed:int ->
+  socket:string ->
+  (t -> 'a) ->
+  'a

@@ -1,8 +1,11 @@
 (* The serve event loop.  One thread owns all socket I/O: a select with a
-   short tick multiplexes the listener and every client line buffer, and
-   [await] waiters are answered from the tick by polling the manager —
-   the loop never blocks on a session.  Synthesis itself runs on the
-   manager's worker domains. *)
+   short tick multiplexes the listener and every client, and [await]
+   waiters are answered from the tick by polling the manager — the loop
+   never blocks on a session, and never blocks on a peer either: reads
+   are non-blocking, responses go through bounded per-connection output
+   buffers flushed when select reports the socket writable.  Synthesis
+   itself runs on the manager's worker domains; the tick also drives
+   {!Session.Manager.tend} for deadline enforcement. *)
 
 module J = Telemetry.Json
 
@@ -10,6 +13,10 @@ type config = {
   socket : string;
   workers : int;
   max_queue : int;
+  grace : float;
+  idle_timeout : float;
+  max_frame : int;
+  max_out : int;
   cache : bool;
   cache_dir : string option;
   no_ledger : bool;
@@ -22,6 +29,10 @@ let default_config ~socket =
     socket;
     workers = 2;
     max_queue = 16;
+    grace = 1.0;
+    idle_timeout = 300.0;
+    max_frame = 1 lsl 20;
+    max_out = 4 lsl 20;
     cache = true;
     cache_dir = None;
     no_ledger = false;
@@ -31,7 +42,13 @@ let default_config ~socket =
 
 let tick = 0.05
 
-type client = { fd : Unix.file_descr; buf : Buffer.t }
+type client = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* unconsumed request bytes *)
+  out : Buffer.t;  (* unflushed response bytes *)
+  mutable close_after_flush : bool;
+  mutable last_active : float;
+}
 
 type state = {
   config : config;
@@ -59,16 +76,52 @@ let drop_client st c =
   st.clients <- List.filter (fun c' -> c'.fd != c.fd) st.clients;
   st.waiters <- List.filter (fun (fd, _) -> fd <> c.fd) st.waiters
 
+(* Queue the response; a peer that stops reading while we keep producing
+   overflows its bound and is dropped — one slow consumer must not pin
+   the daemon's memory. *)
 let send st c line =
-  try
-    let b = Bytes.of_string line in
-    let n = Unix.write c.fd b 0 (Bytes.length b) in
-    if n <> Bytes.length b then drop_client st c
-  with Unix.Unix_error _ -> drop_client st c
+  if Buffer.length c.out + String.length line > st.config.max_out then
+    drop_client st c
+  else Buffer.add_string c.out line
+
+(* Flush as much pending output as the socket accepts right now.  An
+   injected wire.write crash models a peer falling over mid-response; a
+   torn variant flushes half a frame then kills the connection — the
+   retrying client sees an unparseable tail exactly as it would after a
+   real mid-write crash. *)
+let flush_client st c =
+  let pending = Buffer.contents c.out in
+  let len = String.length pending in
+  if len > 0 then
+    match Synth.Fault.probe_write "wire.write" with
+    | exception Synth.Fault.Injected _ -> drop_client st c
+    | `Torn ->
+        (try ignore (Unix.write_substring c.fd pending 0 (len / 2))
+         with Unix.Unix_error _ -> ());
+        drop_client st c
+    | `Full -> (
+        match Unix.write_substring c.fd pending 0 len with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+        | exception Unix.Unix_error _ -> drop_client st c
+        | n ->
+            Buffer.clear c.out;
+            if n < len then
+              Buffer.add_substring c.out pending n (len - n)
+            else if c.close_after_flush then drop_client st c;
+            c.last_active <- Unix.gettimeofday ())
+
+(* Typed protocol error, then hang up once it is flushed: a peer that
+   sends garbage, oversized or torn frames gets one diagnostic and no
+   further service. *)
+let reject st c ~kind msg =
+  send st c (Wire.error ~kind msg);
+  if List.exists (fun c' -> c'.fd == c.fd) st.clients then
+    c.close_after_flush <- true
 
 let settled = function
   | Session.Manager.Done _ | Session.Manager.Failed _
-  | Session.Manager.Cancelled ->
+  | Session.Manager.Cancelled | Session.Manager.Timed_out ->
       true
   | Session.Manager.Queued | Session.Manager.Running -> false
 
@@ -83,30 +136,44 @@ let handle_command st c = function
            [
              ("queue_depth", J.Int (Session.Manager.queue_depth st.manager));
              ("sessions", J.Int (List.length st.submitted));
+             ("reaped", J.Int (Session.Manager.reaped st.manager));
              ("draining", J.Bool st.draining);
            ])
   | Wire.Shutdown ->
       send st c (Wire.ok [ ("draining", J.Bool true) ]);
       st.draining <- true
-  | Wire.Submit { request; await } -> (
-      if st.draining then send st c (Wire.error "draining")
+  | Wire.Submit { request; await; deadline_s } -> (
+      if st.draining then send st c (Wire.error ~kind:"draining" "draining")
       else
-        match Session.Manager.submit st.manager request with
-        | Error `Backpressure -> send st c (Wire.error "queue full")
+        (* the admission-time queue depth rides into the run's ledger
+           record, so the dashboard can plot load against outcomes *)
+        let request =
+          {
+            request with
+            Session.extra_metrics =
+              [
+                ( "serve.queue_depth",
+                  float_of_int (Session.Manager.queue_depth st.manager) );
+              ];
+          }
+        in
+        match Session.Manager.submit ?deadline_s st.manager request with
+        | Error `Backpressure ->
+            send st c (Wire.error ~kind:"backpressure" "queue full")
         | Ok id ->
             st.submitted <- id :: st.submitted;
             if await then st.waiters <- (c.fd, id) :: st.waiters
             else send st c (Wire.ok [ ("id", J.Int id) ]))
   | Wire.Status id -> (
       match Session.Manager.status st.manager id with
-      | None -> send st c (Wire.error "unknown id")
+      | None -> send st c (Wire.error ~kind:"unknown_id" "unknown id")
       | Some status -> send st c (status_response id status))
   | Wire.Cancel id ->
       send st c
         (Wire.ok [ ("cancelled", J.Bool (Session.Manager.cancel st.manager id)) ])
   | Wire.Await id -> (
       match Session.Manager.status st.manager id with
-      | None -> send st c (Wire.error "unknown id")
+      | None -> send st c (Wire.error ~kind:"unknown_id" "unknown id")
       | Some status ->
           if settled status then send st c (status_response id status)
           else st.waiters <- (c.fd, id) :: st.waiters)
@@ -114,7 +181,8 @@ let handle_command st c = function
 let handle_line st c line =
   if String.trim line <> "" then
     match J.of_string line with
-    | exception J.Parse_error msg -> send st c (Wire.error ("bad json: " ^ msg))
+    | exception J.Parse_error msg ->
+        reject st c ~kind:"bad_frame" ("bad json: " ^ msg)
     | j -> (
         match Wire.command_of_json ~defaults:st.defaults j with
         | Error msg -> send st c (Wire.error msg)
@@ -129,19 +197,46 @@ let rec process_buffer st c =
       let line = String.sub s 0 i in
       Buffer.clear c.buf;
       Buffer.add_substring c.buf s (i + 1) (String.length s - i - 1);
-      handle_line st c line;
-      if List.exists (fun c' -> c'.fd == c.fd) st.clients then
-        process_buffer st c
+      if String.length line > st.config.max_frame then
+        reject st c ~kind:"oversized"
+          (Printf.sprintf "frame exceeds %d bytes" st.config.max_frame)
+      else handle_line st c line;
+      if
+        List.exists (fun c' -> c'.fd == c.fd) st.clients
+        && not c.close_after_flush
+      then process_buffer st c
 
 let read_client st c =
   let bytes = Bytes.create 4096 in
-  match Unix.read c.fd bytes 0 4096 with
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-      drop_client st c
-  | 0 -> drop_client st c
+  match
+    Synth.Fault.probe "wire.read";
+    Unix.read c.fd bytes 0 4096
+  with
+  | exception Synth.Fault.Injected _ -> drop_client st c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* spurious wakeup on a non-blocking fd; not a reason to hang up *)
+      ()
+  | exception Unix.Unix_error _ -> drop_client st c
+  | 0 ->
+      (* EOF: half-open with a partial frame buffered means the peer
+         died mid-request — diagnose it on the still-open write side *)
+      if Buffer.length c.buf > 0 then begin
+        Buffer.clear c.buf;
+        reject st c ~kind:"torn_frame" "eof inside a frame"
+      end
+      else drop_client st c
   | n ->
+      c.last_active <- Unix.gettimeofday ();
       Buffer.add_subbytes c.buf bytes 0 n;
-      process_buffer st c
+      if
+        Buffer.length c.buf > st.config.max_frame
+        && not (String.contains (Buffer.contents c.buf) '\n')
+      then begin
+        Buffer.clear c.buf;
+        reject st c ~kind:"oversized"
+          (Printf.sprintf "frame exceeds %d bytes" st.config.max_frame)
+      end
+      else process_buffer st c
 
 let answer_waiters st =
   let ready, waiting =
@@ -159,9 +254,25 @@ let answer_waiters st =
       | None -> ()
       | Some c -> (
           match Session.Manager.status st.manager id with
-          | None -> send st c (Wire.error "unknown id")
+          | None -> send st c (Wire.error ~kind:"unknown_id" "unknown id")
           | Some status -> send st c (status_response id status)))
     ready
+
+(* Idle and half-open connections are reaped so abandoned peers cannot
+   accumulate; a client with a registered waiter is legitimately silent
+   (its session is still running) and exempt. *)
+let reap_idle st =
+  if st.config.idle_timeout > 0.0 then begin
+    let now = Unix.gettimeofday () in
+    let stale =
+      List.filter
+        (fun c ->
+          now -. c.last_active > st.config.idle_timeout
+          && not (List.exists (fun (fd, _) -> fd == c.fd) st.waiters))
+        st.clients
+    in
+    List.iter (drop_client st) stale
+  end
 
 let busy st =
   List.exists
@@ -180,7 +291,15 @@ let accept_clients st =
           ()
       | fd, _ ->
           Unix.set_nonblock fd;
-          st.clients <- { fd; buf = Buffer.create 256 } :: st.clients)
+          st.clients <-
+            {
+              fd;
+              buf = Buffer.create 256;
+              out = Buffer.create 256;
+              close_after_flush = false;
+              last_active = Unix.gettimeofday ();
+            }
+            :: st.clients)
 
 let stop_accepting st =
   match st.listen_fd with
@@ -202,14 +321,19 @@ let loop st =
       let rec go () =
         if Atomic.get stop then st.draining <- true;
         if st.draining then stop_accepting st;
-        let fds =
+        let rfds =
           (match st.listen_fd with Some fd -> [ fd ] | None -> [])
           @ List.map (fun c -> c.fd) st.clients
         in
-        let readable =
-          match Unix.select fds [] [] tick with
-          | r, _, _ -> r
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        let wfds =
+          List.filter_map
+            (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+            st.clients
+        in
+        let readable, writable =
+          match Unix.select rfds wfds [] tick with
+          | r, w, _ -> (r, w)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
         in
         List.iter
           (fun fd ->
@@ -219,15 +343,109 @@ let loop st =
               | Some c -> read_client st c
               | None -> ())
           readable;
+        Session.Manager.tend st.manager;
         answer_waiters st;
-        if st.draining && (not (busy st)) && st.waiters = [] then ()
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun c -> c.fd == fd) st.clients with
+            | Some c -> flush_client st c
+            | None -> ())
+          writable;
+        (* answers produced this tick flush opportunistically, without
+           waiting for the next select round *)
+        List.iter
+          (fun c -> if Buffer.length c.out > 0 then flush_client st c)
+          st.clients;
+        reap_idle st;
+        if
+          st.draining
+          && (not (busy st))
+          && st.waiters = []
+          && List.for_all (fun c -> Buffer.length c.out = 0) st.clients
+        then ()
         else go ()
       in
       go ())
 
+(* ---------- crash-safe startup ---------- *)
+
+let pidfile config = config.socket ^ ".pid"
+
+(* Probe an existing socket with a short-deadline ping.  Answering means
+   a live daemon owns it — refuse to start.  Connection refused or a
+   silent peer means the socket is a leftover from a killed process and
+   is safe to take over. *)
+let socket_alive path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | exception Unix.Unix_error _ -> false
+      | () -> (
+          match
+            ignore (Unix.write_substring fd "{\"op\":\"ping\"}\n" 0 14);
+            Unix.select [ fd ] [] [] 1.0
+          with
+          | exception Unix.Unix_error _ -> false
+          | [], _, _ -> false
+          | _ -> (
+              let b = Bytes.create 256 in
+              match Unix.read fd b 0 256 with
+              | exception Unix.Unix_error _ -> false
+              | 0 -> false
+              | _ -> true)))
+
+let take_over_socket config =
+  if Sys.file_exists config.socket then
+    if socket_alive config.socket then
+      failwith
+        (Printf.sprintf "%s: a serve daemon is already listening"
+           config.socket)
+    else begin
+      log "removing stale socket %s" config.socket;
+      (try Unix.unlink config.socket with Unix.Unix_error _ -> ())
+    end;
+  if Sys.file_exists (pidfile config) then
+    try Unix.unlink (pidfile config) with Unix.Unix_error _ -> ()
+
+(* Recover what a killed predecessor left behind: orphaned cache temp
+   files, a torn ledger tail, and in-flight journal entries that become
+   first-class "crash" records.  Quiet when there is nothing to do. *)
+let scavenge_state config =
+  if config.cache then begin
+    let dir =
+      match config.cache_dir with Some d -> d | None -> Cache.default_dir ()
+    in
+    let swept = Cache.scavenge_once ~dir in
+    if swept > 0 then log "scavenged %d orphaned cache file(s)" swept
+  end;
+  if not config.no_ledger then begin
+    let dir =
+      match config.ledger_dir with
+      | Some d -> d
+      | None -> Telemetry.Ledger.default_dir ()
+    in
+    match Telemetry.Ledger.scavenge ~dir with
+    | recovered, repaired ->
+        if repaired then log "repaired torn ledger tail";
+        if recovered > 0 then
+          log "recorded %d in-flight run(s) from a crashed daemon" recovered
+    | exception (Sys_error _ | Unix.Unix_error _) -> ()
+  end
+
+let write_pidfile config =
+  try
+    let oc = open_out (pidfile config) in
+    output_string oc (string_of_int (Unix.getpid ()));
+    close_out oc
+  with Sys_error _ -> ()
+
 let run config =
+  Synth.Fault.init_from_env ();
   mkdir_p (Filename.dirname config.socket);
-  if Sys.file_exists config.socket then Unix.unlink config.socket;
+  take_over_socket config;
+  scavenge_state config;
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.bind lfd (Unix.ADDR_UNIX config.socket)
    with Unix.Unix_error (e, _, _) ->
@@ -237,6 +455,7 @@ let run config =
           (Unix.error_message e)));
   Unix.listen lfd 16;
   Unix.set_nonblock lfd;
+  write_pidfile config;
   let defaults =
     {
       (Session.default_request
@@ -252,7 +471,7 @@ let run config =
   in
   let manager =
     Session.Manager.create ~workers:config.workers ~max_queue:config.max_queue
-      ()
+      ~grace:config.grace ()
   in
   let st =
     {
@@ -277,6 +496,7 @@ let run config =
         st.clients <- [];
         Session.Manager.drain manager;
         if Sys.file_exists config.socket then Unix.unlink config.socket;
+        (try Unix.unlink (pidfile config) with Unix.Unix_error _ | Sys_error _ -> ());
         log "drained")
       (fun () -> loop st)
   in

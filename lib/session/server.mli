@@ -2,30 +2,59 @@
     concurrent synthesis sessions over a Unix-domain socket.
 
     One single-threaded event loop owns the socket (accept, per-client
-    line buffering, response writing); the actual synthesis runs on
-    {!Session.Manager} worker domains with a bounded admission queue.
-    Every request is recorded in the run ledger (subcommand ["serve"])
+    frame buffering, buffered non-blocking response writing); the actual
+    synthesis runs on {!Session.Manager} worker domains with a bounded
+    admission queue.  Every request is recorded in the run ledger
+    (subcommand ["serve"], stamped with the admission-time queue depth)
     and answered from the content-addressed result cache when possible.
+
+    Fault tolerance:
+    - the loop never blocks on a peer — slow readers overflow a bounded
+      output buffer and are dropped, idle and half-open connections are
+      reaped, malformed/oversized/torn frames get one typed error and
+      the connection is closed;
+    - per-request deadlines are enforced from the tick via
+      {!Session.Manager.tend}: cooperative cancel at the deadline, and
+      past [grace] the stuck worker is reaped and replaced, so the wire
+      answers [timeout] instead of hanging;
+    - startup is crash-safe: a stale socket left by a killed daemon is
+      probed with a ping and taken over iff dead, orphaned cache temp
+      files are swept, the ledger's torn tail is repaired and its
+      in-flight journal becomes ["crash"] records; a [<socket>.pid]
+      pidfile is maintained for operators.
 
     Shutdown is a drain: SIGTERM, SIGINT or a [shutdown] request stop
     admission, let in-flight sessions finish (answering their waiters),
-    then exit cleanly. *)
+    then exit cleanly.  The [FEC_FAULT_SPEC] probe sites ["wire.read"],
+    ["wire.write"], ["cache.read"], ["cache.write"] and
+    ["manager.worker"] are honoured for resilience testing; injected
+    wire faults cost the affected connection, never the daemon. *)
 
 type config = {
   socket : string;
   workers : int;  (** session worker domains *)
   max_queue : int;  (** admission bound; beyond it, submits are refused *)
+  grace : float;
+      (** post-deadline wind-down slack before a worker is reaped
+          (default 1 s) *)
+  idle_timeout : float;
+      (** idle-connection reap threshold in seconds; [0] disables
+          (default 300 s; clients awaiting a session are exempt) *)
+  max_frame : int;  (** request frame byte limit (default 1 MiB) *)
+  max_out : int;
+      (** per-connection output buffer bound (default 4 MiB) *)
   cache : bool;  (** default cache policy for requests (they can opt out) *)
   cache_dir : string option;
   no_ledger : bool;
   ledger_dir : string option;
   metrics : string option;
       (** Prometheus exposition file, refreshed for the daemon's whole
-          lifetime (covers [session.cache_*] and [serve.queue_depth]) *)
+          lifetime (covers [session.cache_*], [serve.queue_depth] and
+          [serve.worker_reaped]) *)
 }
 
 val default_config : socket:string -> config
 
 (** [run config] serves until drained.  Raises [Failure] when the socket
-    cannot be bound. *)
+    cannot be bound or a live daemon already owns it. *)
 val run : config -> unit

@@ -28,6 +28,7 @@ type request = {
   trace : string option;
   metrics : string option;
   progress : bool;
+  extra_metrics : (string * float) list;
 }
 
 let default_request job =
@@ -44,6 +45,7 @@ let default_request job =
     trace = None;
     metrics = None;
     progress = false;
+    extra_metrics = [];
   }
 
 type resumed = { cex_count : int; prior_iterations : int; start_check : int }
@@ -182,6 +184,7 @@ let cache_ctx request task ~weights =
             | Some d -> d
             | None -> Cache.default_dir ()
           in
+          ignore (Cache.scavenge_once ~dir:c_dir);
           Some { c_dir; c_key = key; c_digest = digest }
       | _ -> None)
 
@@ -213,8 +216,12 @@ let cache_save_pool ctx ~data_len ~check_len ~md cexes =
       Cache.save_pool ~dir:c.c_dir ~digest:c.c_digest ~data_len ~check_len ~md
         cexes
 
-(* when the cache is in play, hit/miss becomes a ledger trend metric *)
-let cache_metric ctx hit metrics =
+(* when the cache is in play, hit/miss becomes a ledger trend metric;
+   caller-stamped facts (the serve daemon's admission-time queue depth)
+   ride along on every finish path, cache hits included *)
+let cache_metric request ctx hit metrics =
+  request.extra_metrics
+  @
   match ctx with
   | None -> metrics
   | Some _ -> metrics @ [ ("cache_hit", if hit then 1.0 else 0.0) ]
@@ -262,7 +269,7 @@ let run_synth ?on_report ~intr ~t0 request ~prop_spec ~weights ~portfolio ~jobs
       let stats = hit_stats entry in
       Recorder.finish token
         ~stats:(Report.Stats.to_json stats)
-        ~metrics:(cache_metric ctx true [])
+        ~metrics:(cache_metric request ctx true [])
         ~cache_hit:true ~outcome:"synthesized" ~exit_code:0 ();
       {
         outcome = Codes ([ entry.Cache.code ], stats);
@@ -356,7 +363,8 @@ let run_synth ?on_report ~intr ~t0 request ~prop_spec ~weights ~portfolio ~jobs
             (initial @ List.rev !learned)
       | None -> ());
       let finish ?stats ?(metrics = []) ~outcome:o ~exit_code () =
-        Recorder.finish token ?stats ~metrics:(cache_metric ctx false metrics)
+        Recorder.finish token ?stats
+          ~metrics:(cache_metric request ctx false metrics)
           ~outcome:o ~exit_code ()
       in
       let mk outcome ~exit_code =
@@ -466,7 +474,7 @@ let run_optimize ~intr ~t0 request ~data_len ~md ~check_lo ~check_hi =
       let stats = hit_stats entry in
       Recorder.finish token
         ~stats:(Report.Stats.to_json stats)
-        ~metrics:(cache_metric ctx true [])
+        ~metrics:(cache_metric request ctx true [])
         ~cache_hit:true ~outcome:"synthesized" ~exit_code:0 ();
       {
         outcome =
@@ -557,7 +565,8 @@ let run_optimize ~intr ~t0 request ~data_len ~md ~check_lo ~check_hi =
       cache_save_pool ctx ~data_len ~check_len:check_lo ~md
         (initial @ List.rev !learned);
       let finish ?stats ?(metrics = []) ~outcome:o ~exit_code () =
-        Recorder.finish token ?stats ~metrics:(cache_metric ctx false metrics)
+        Recorder.finish token ?stats
+          ~metrics:(cache_metric request ctx false metrics)
           ~outcome:o ~exit_code ()
       in
       let mk outcome ~exit_code =
@@ -653,11 +662,14 @@ module Manager = struct
     | Done of result
     | Failed of string
     | Cancelled
+    | Timed_out
 
   type jobrec = {
     jr_request : request;
     jr_cancel : bool Atomic.t;
+    jr_deadline : float option;  (* absolute, Unix.gettimeofday clock *)
     mutable jr_status : status;
+    mutable jr_worker : int;  (* worker id running it; -1 when none *)
   }
 
   type t = {
@@ -669,10 +681,16 @@ module Manager = struct
     mutable next : id;
     mutable stopping : bool;
     max_queue : int;
-    mutable domains : unit Domain.t list;
+    grace : float;  (* post-deadline slack before a worker is reaped *)
+    policy : Synth.Supervisor.policy;  (* crash restarts + reap backoff *)
+    mutable domains : (int * unit Domain.t) list;  (* worker id, domain *)
+    condemned : (int, unit) Hashtbl.t;  (* reaped workers, never joined *)
+    mutable next_worker : int;
+    mutable reap_count : int;
   }
 
   let g_depth = Telemetry.Metrics.gauge "serve.queue_depth"
+  let m_reaped = Telemetry.Metrics.counter "serve.worker_reaped"
 
   let locked t f =
     Mutex.lock t.lock;
@@ -688,17 +706,23 @@ module Manager = struct
     | Invalid_argument msg | Failure msg | Sys_error msg -> msg
     | e -> Printexc.to_string e
 
-  let worker t () =
+  let deadline_passed jr now =
+    match jr.jr_deadline with None -> false | Some dl -> now >= dl
+
+  let worker_loop t w =
     let rec next_job () =
       Mutex.lock t.lock;
       let rec wait () =
-        if Queue.is_empty t.queue && not t.stopping then begin
+        if
+          Queue.is_empty t.queue && (not t.stopping)
+          && not (Hashtbl.mem t.condemned w)
+        then begin
           Condition.wait t.work t.lock;
           wait ()
         end
       in
       wait ();
-      if Queue.is_empty t.queue then begin
+      if Queue.is_empty t.queue || Hashtbl.mem t.condemned w then begin
         Mutex.unlock t.lock;
         None
       end
@@ -707,9 +731,20 @@ module Manager = struct
         set_depth t;
         match Hashtbl.find_opt t.sessions id with
         | Some jr when jr.jr_status = Queued ->
-            jr.jr_status <- Running;
-            Mutex.unlock t.lock;
-            Some jr
+            if deadline_passed jr (Unix.gettimeofday ()) then begin
+              (* expired while waiting in the queue: answer timeout
+                 without burning a worker on it *)
+              jr.jr_status <- Timed_out;
+              Condition.broadcast t.settled;
+              Mutex.unlock t.lock;
+              next_job ()
+            end
+            else begin
+              jr.jr_status <- Running;
+              jr.jr_worker <- w;
+              Mutex.unlock t.lock;
+              Some jr
+            end
         | _ ->
             (* cancelled while queued; skip it *)
             Mutex.unlock t.lock;
@@ -717,6 +752,7 @@ module Manager = struct
       end
     in
     let rec loop () =
+      Synth.Fault.probe "manager.worker";
       match next_job () with
       | None -> ()
       | Some jr ->
@@ -726,13 +762,48 @@ module Manager = struct
             | exception e -> Failed (failure_message e)
           in
           locked t (fun () ->
-              jr.jr_status <- status;
-              Condition.broadcast t.settled);
-          loop ()
+              (match jr.jr_status with
+              | Running ->
+                  jr.jr_status <- status;
+                  jr.jr_worker <- -1;
+                  Condition.broadcast t.settled
+              | _ ->
+                  (* reaped meanwhile; the Timed_out verdict stands and
+                     this condemned worker exits below *)
+                  ()));
+          if not (Hashtbl.mem t.condemned w) then loop ()
     in
     loop ()
 
-  let create ~workers ~max_queue () =
+  (* A worker crash — an injected ["manager.worker"] fault or a logic
+     bug escaping [run_sync]'s per-job handler — restarts the loop under
+     supervision instead of silently shrinking the pool. *)
+  let worker t w () =
+    ignore
+      (Synth.Supervisor.run ~policy:t.policy ~label:"manager.worker"
+         ~is_cancellation:(fun _ -> false)
+         (fun ~attempt:_ -> worker_loop t w))
+
+  (* must be called with [t.lock] held *)
+  let spawn t ~backoff_attempt =
+    let w = t.next_worker in
+    t.next_worker <- w + 1;
+    let d =
+      Domain.spawn (fun () ->
+          if backoff_attempt > 0 then
+            Unix.sleepf
+              (Synth.Supervisor.backoff_delay t.policy ~label:"manager.worker"
+                 ~attempt:backoff_attempt);
+          worker t w ())
+    in
+    t.domains <- (w, d) :: t.domains
+
+  let create ~workers ~max_queue ?(grace = 1.0) ?policy () =
+    let policy =
+      match policy with
+      | Some p -> p
+      | None -> { Synth.Supervisor.default_policy with max_restarts = 100 }
+    in
     let t =
       {
         lock = Mutex.create ();
@@ -743,14 +814,21 @@ module Manager = struct
         next = 1;
         stopping = false;
         max_queue;
+        grace;
+        policy;
         domains = [];
+        condemned = Hashtbl.create 4;
+        next_worker = 0;
+        reap_count = 0;
       }
     in
-    t.domains <-
-      List.init (max 1 workers) (fun _ -> Domain.spawn (worker t));
+    locked t (fun () ->
+        for _ = 1 to max 1 workers do
+          spawn t ~backoff_attempt:0
+        done);
     t
 
-  let submit t request =
+  let submit ?deadline_s t request =
     locked t (fun () ->
         if t.stopping || Queue.length t.queue >= t.max_queue then
           Error `Backpressure
@@ -758,13 +836,60 @@ module Manager = struct
           let id = t.next in
           t.next <- id + 1;
           Hashtbl.replace t.sessions id
-            { jr_request = request; jr_cancel = Atomic.make false;
-              jr_status = Queued };
+            {
+              jr_request = request;
+              jr_cancel = Atomic.make false;
+              jr_deadline =
+                Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
+              jr_status = Queued;
+              jr_worker = -1;
+            };
           Queue.push id t.queue;
           set_depth t;
           Condition.signal t.work;
           Ok id
         end)
+
+  (* Deadline enforcement, driven from the serve event loop's tick.  A
+     queued session past its deadline settles immediately.  A running
+     one first gets a cooperative cancel (the solvers poll it); past
+     deadline + grace its worker is condemned — OCaml domains cannot be
+     killed, so the stuck domain is abandoned (never joined; it exits
+     on its own if the run ever returns) and a supervised replacement
+     is spawned with jittered backoff.  The session answers Timed_out
+     either way: the wire never hangs on a stuck job. *)
+  let tend t =
+    let now = Unix.gettimeofday () in
+    locked t (fun () ->
+        Hashtbl.iter
+          (fun _id jr ->
+            if deadline_passed jr now then
+              match jr.jr_status with
+              | Queued ->
+                  jr.jr_status <- Timed_out;
+                  Condition.broadcast t.settled
+              | Running ->
+                  Atomic.set jr.jr_cancel true;
+                  if
+                    now >= Option.get jr.jr_deadline +. t.grace
+                    && jr.jr_worker >= 0
+                    && not (Hashtbl.mem t.condemned jr.jr_worker)
+                  then begin
+                    Hashtbl.replace t.condemned jr.jr_worker ();
+                    t.reap_count <- t.reap_count + 1;
+                    Telemetry.Metrics.incr m_reaped 1;
+                    if Telemetry.enabled () then
+                      Telemetry.point "manager.reap"
+                        ~fields:
+                          [ ("worker", Telemetry.str (string_of_int jr.jr_worker)) ];
+                    jr.jr_status <- Timed_out;
+                    jr.jr_worker <- -1;
+                    Condition.broadcast t.settled;
+                    if not t.stopping then
+                      spawn t ~backoff_attempt:t.reap_count
+                  end
+              | _ -> ())
+          t.sessions)
 
   let status t id =
     locked t (fun () ->
@@ -780,7 +905,7 @@ module Manager = struct
           | None -> None
           | Some jr -> (
               match jr.jr_status with
-              | Done _ | Failed _ | Cancelled -> Some jr.jr_status
+              | Done _ | Failed _ | Cancelled | Timed_out -> Some jr.jr_status
               | Queued | Running ->
                   Condition.wait t.settled t.lock;
                   wait ())
@@ -799,9 +924,10 @@ module Manager = struct
                 Condition.broadcast t.settled;
                 true
             | Running -> true
-            | Done _ | Failed _ | Cancelled -> false))
+            | Done _ | Failed _ | Cancelled | Timed_out -> false))
 
   let queue_depth t = locked t (fun () -> Queue.length t.queue)
+  let reaped t = locked t (fun () -> t.reap_count)
 
   let drain t =
     locked t (fun () ->
@@ -817,12 +943,17 @@ module Manager = struct
                  t.sessions false)
       in
       if busy then begin
+        tend t;
         Unix.sleepf 0.02;
         wait_idle ()
       end
     in
     wait_idle ();
     locked t (fun () -> Condition.broadcast t.work);
-    List.iter Domain.join t.domains;
+    (* condemned workers may be stuck in a stalled run forever; they are
+       zombies by design and must not block shutdown *)
+    List.iter
+      (fun (w, d) -> if not (Hashtbl.mem t.condemned w) then Domain.join d)
+      t.domains;
     t.domains <- []
 end

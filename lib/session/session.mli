@@ -34,6 +34,10 @@ type request = {
   trace : string option;
   metrics : string option;
   progress : bool;
+  extra_metrics : (string * float) list;
+      (** caller-stamped facts appended to the run's ledger metrics on
+          every finish path (cache hits included) — the serve daemon
+          records its admission-time [serve.queue_depth] here *)
 }
 
 (** A request with everything but the job defaulted: 120 s timeout, no
@@ -117,21 +121,45 @@ module Manager : sig
     | Done of result
     | Failed of string  (** the run raised; message is the rendering *)
     | Cancelled  (** cancelled while still queued *)
+    | Timed_out  (** its deadline passed; see {!tend} *)
 
-  (** [create ~workers ~max_queue ()] starts [workers] domains.  At most
-      [max_queue] requests may be queued (excluding running ones);
-      admission beyond that is refused. *)
-  val create : workers:int -> max_queue:int -> unit -> t
+  (** [create ~workers ~max_queue ?grace ?policy ()] starts [workers]
+      domains.  At most [max_queue] requests may be queued (excluding
+      running ones); admission beyond that is refused.  [grace] (default
+      1 s) is the post-deadline slack a running session gets to wind
+      down cooperatively before its worker is reaped.  [policy] governs
+      both worker crash supervision and reap/replacement backoff
+      (default: {!Synth.Supervisor.default_policy} with generous
+      restarts, suited to a long-running daemon). *)
+  val create :
+    workers:int ->
+    max_queue:int ->
+    ?grace:float ->
+    ?policy:Synth.Supervisor.policy ->
+    unit ->
+    t
 
-  (** [submit t request] enqueues and returns the session id, or
-      [Error `Backpressure] when the admission queue is full.  Updates
+  (** [submit ?deadline_s t request] enqueues and returns the session
+      id, or [Error `Backpressure] when the admission queue is full.
+      [deadline_s] is a relative deadline; {!tend} enforces it.  Updates
       the [serve.queue_depth] gauge. *)
-  val submit : t -> request -> (id, [ `Backpressure ]) Stdlib.result
+  val submit :
+    ?deadline_s:float -> t -> request -> (id, [ `Backpressure ]) Stdlib.result
+
+  (** [tend t] enforces deadlines; the serve loop calls it every tick.
+      A queued session past its deadline settles as [Timed_out].  A
+      running one is cancelled cooperatively at the deadline; past
+      deadline + grace its worker domain is {e reaped} — condemned,
+      abandoned (domains cannot be killed; a stuck one becomes a
+      zombie that never blocks shutdown) and replaced by a fresh
+      supervised worker after a jittered backoff — and the session
+      settles as [Timed_out].  Bumps [serve.worker_reaped]. *)
+  val tend : t -> unit
 
   val status : t -> id -> status option
 
   (** [await t id] blocks until the session settles ([Done]/[Failed]/
-      [Cancelled]). *)
+      [Cancelled]/[Timed_out]). *)
   val await : t -> id -> status option
 
   (** [cancel t id] requests a cooperative stop: a queued session is
@@ -140,6 +168,9 @@ module Manager : sig
 
   (** Number of sessions queued but not yet running. *)
   val queue_depth : t -> int
+
+  (** Workers reaped (condemned and replaced) since creation. *)
+  val reaped : t -> int
 
   (** [drain t] stops admission, waits for every queued and running
       session to settle, and joins the workers. *)

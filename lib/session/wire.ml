@@ -2,7 +2,11 @@ module J = Telemetry.Json
 
 type command =
   | Ping
-  | Submit of { request : Session.request; await : bool }
+  | Submit of {
+      request : Session.request;
+      await : bool;
+      deadline_s : float option;
+    }
   | Status of int
   | Await of int
   | Cancel of int
@@ -13,8 +17,13 @@ type command =
 
 let ok fields = J.to_string (J.Obj (("ok", J.Bool true) :: fields)) ^ "\n"
 
-let error msg =
-  J.to_string (J.Obj [ ("ok", J.Bool false); ("error", J.Str msg) ]) ^ "\n"
+let error ?kind msg =
+  J.to_string
+    (J.Obj
+       (("ok", J.Bool false)
+       :: ((match kind with Some k -> [ ("kind", J.Str k) ] | None -> [])
+          @ [ ("error", J.Str msg) ])))
+  ^ "\n"
 
 let code_json code =
   J.Obj
@@ -101,6 +110,7 @@ let status_to_json = function
       J.Obj [ ("state", J.Str "failed"); ("error", J.Str msg) ]
   | Session.Manager.Done r ->
       J.Obj [ ("state", J.Str "done"); ("result", result_to_json r) ]
+  | Session.Manager.Timed_out -> J.Obj [ ("state", J.Str "timeout") ]
 
 (* ---------- requests ---------- *)
 
@@ -157,23 +167,33 @@ let job_of j =
 let submit_of ~(defaults : Session.request) j =
   match job_of j with
   | Error _ as e -> e
-  | Ok job ->
-      Ok
-        (Submit
-           {
-             request =
+  | Ok job -> (
+      let deadline =
+        match member_int "deadline_ms" j with
+        | Some ms when ms > 0 -> Ok (Some (float_of_int ms /. 1000.0))
+        | Some _ -> Error "deadline_ms must be a positive integer"
+        | None -> Ok None
+      in
+      match deadline with
+      | Error _ as e -> e
+      | Ok deadline_s ->
+          Ok
+            (Submit
                {
-                 defaults with
-                 Session.job;
-                 timeout =
-                   Option.value (member_float "timeout" j)
-                     ~default:defaults.Session.timeout;
-                 cache =
-                   Option.value (member_bool "cache" j)
-                     ~default:defaults.Session.cache;
-               };
-             await = Option.value (member_bool "await" j) ~default:false;
-           })
+                 request =
+                   {
+                     defaults with
+                     Session.job;
+                     timeout =
+                       Option.value (member_float "timeout" j)
+                         ~default:defaults.Session.timeout;
+                     cache =
+                       Option.value (member_bool "cache" j)
+                         ~default:defaults.Session.cache;
+                   };
+                 await = Option.value (member_bool "await" j) ~default:false;
+                 deadline_s;
+               }))
 
 let command_of_json ~defaults j =
   match member_str "op" j with

@@ -10,16 +10,30 @@
     - [{"op":"ping"}]
     - [{"op":"submit","spec":PROP,...}] or
       [{"op":"submit","optimize":{"data_len":K,"md":D,"check_lo":A,"check_hi":B},...}]
-      with optional [timeout], [weights], [portfolio], [jobs], [cache]
-      and [await] (submit-and-wait in one round trip)
+      with optional [timeout], [weights], [portfolio], [jobs], [cache],
+      [await] (submit-and-wait in one round trip) and [deadline_ms] (the
+      manager answers [{"state":"timeout"}] once it passes)
     - [{"op":"status","id":N}] / [{"op":"await","id":N}] /
       [{"op":"cancel","id":N}]
     - [{"op":"stats"}]
-    - [{"op":"shutdown"}] — drain and exit *)
+    - [{"op":"shutdown"}] — drain and exit
+
+    Error responses may carry a machine-readable ["kind"] alongside the
+    human ["error"] text: [bad_frame] (unparseable JSON; the server
+    closes the connection), [oversized] (frame longer than the server
+    limit; closed), [torn_frame] (EOF splitting a frame; closed),
+    [backpressure] (admission queue full), [draining] (shutdown in
+    progress), [unknown_id].  A well-formed frame carrying a bad request
+    object (e.g. a submit with neither spec nor optimize) is answered
+    without a kind and the connection stays open. *)
 
 type command =
   | Ping
-  | Submit of { request : Session.request; await : bool }
+  | Submit of {
+      request : Session.request;
+      await : bool;
+      deadline_s : float option;
+    }
   | Status of int
   | Await of int
   | Cancel of int
@@ -41,7 +55,8 @@ val result_to_json : Session.result -> Telemetry.Json.t
 val status_to_json : Session.Manager.status -> Telemetry.Json.t
 
 (** One response line (with trailing newline): [ok fields] has
-    ["ok":true] first, [error msg] is [{"ok":false,"error":msg}]. *)
+    ["ok":true] first, [error msg] is [{"ok":false,"error":msg}], with
+    ["kind"] included when given. *)
 val ok : (string * Telemetry.Json.t) list -> string
 
-val error : string -> string
+val error : ?kind:string -> string -> string

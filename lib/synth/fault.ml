@@ -10,17 +10,19 @@
    interleave.  Disabled (the default) the probes cost one load and a
    branch inside Sat.Solver.probe. *)
 
-type action = Crash | Stall | Interrupt
+type action = Crash | Stall | Interrupt | Torn_write
 
 let action_name = function
   | Crash -> "crash"
   | Stall -> "stall"
   | Interrupt -> "interrupt"
+  | Torn_write -> "torn_write"
 
 let action_of_name = function
   | "crash" -> Some Crash
   | "stall" -> Some Stall
   | "interrupt" -> Some Interrupt
+  | "torn_write" -> Some Torn_write
   | _ -> None
 
 type directive = {
@@ -153,37 +155,55 @@ let parse text =
 
 let active : spec option ref = ref None
 
+(* Torn-write injections can't be expressed as an exception or a sleep:
+   the *caller* must truncate its payload mid-write.  [dispatch] runs
+   every directive for a site and reports whether a torn_write fired;
+   [probe] (the common entry point) ignores that bit, [probe_write]
+   returns it to write sites that know how to tear themselves. *)
+let dispatch spec ~torn_ok site =
+  let torn = ref false in
+  List.iter
+    (fun d ->
+      if String.equal d.site site then begin
+        let i = Atomic.fetch_and_add d.draws 1 in
+        let under_max =
+          match d.max_injections with
+          | None -> true
+          | Some m -> Atomic.get d.injected < m
+        in
+        if
+          under_max
+          && (torn_ok || d.action <> Torn_write)
+          && draw ~base:(directive_base spec.seed d) i < d.probability
+        then begin
+          Atomic.incr d.injected;
+          if Telemetry.enabled () then
+            Telemetry.point "fault.inject"
+              ~fields:
+                [
+                  ("site", Telemetry.str site);
+                  ("action", Telemetry.str (action_name d.action));
+                ];
+          match d.action with
+          | Crash ->
+              raise (Injected (site ^ "." ^ action_name d.action))
+          | Stall -> if spec.stall_s > 0.0 then Unix.sleepf spec.stall_s
+          | Interrupt -> raise Sat.Solver.Interrupted
+          | Torn_write -> torn := true
+        end
+      end)
+    spec.directives;
+  !torn
+
 let probe site =
   match !active with
   | None -> ()
-  | Some spec ->
-      List.iter
-        (fun d ->
-          if String.equal d.site site then begin
-            let i = Atomic.fetch_and_add d.draws 1 in
-            let under_max =
-              match d.max_injections with
-              | None -> true
-              | Some m -> Atomic.get d.injected < m
-            in
-            if under_max && draw ~base:(directive_base spec.seed d) i < d.probability
-            then begin
-              Atomic.incr d.injected;
-              if Telemetry.enabled () then
-                Telemetry.point "fault.inject"
-                  ~fields:
-                    [
-                      ("site", Telemetry.str site);
-                      ("action", Telemetry.str (action_name d.action));
-                    ];
-              match d.action with
-              | Crash ->
-                  raise (Injected (site ^ "." ^ action_name d.action))
-              | Stall -> if spec.stall_s > 0.0 then Unix.sleepf spec.stall_s
-              | Interrupt -> raise Sat.Solver.Interrupted
-            end
-          end)
-        spec.directives
+  | Some spec -> ignore (dispatch spec ~torn_ok:false site)
+
+let probe_write site =
+  match !active with
+  | None -> `Full
+  | Some spec -> if dispatch spec ~torn_ok:true site then `Torn else `Full
 
 let set_spec spec =
   active := spec;

@@ -7,11 +7,19 @@
     - ["sat.solve"]: entry of every {!Sat.Solver.solve} call;
     - ["ctx.check"]: entry of every {!Smtlite.Ctx.check};
     - ["worker.start"]: portfolio worker (re)start, before its session is
-      built.
+      built;
+    - ["manager.worker"]: session-manager worker loop, once per job
+      pickup (the serve daemon's worker domains);
+    - ["wire.read"] / ["wire.write"]: the serve event loop, before
+      reading from / flushing to a client socket;
+    - ["cache.read"] / ["cache.write"]: result-cache lookup and store.
 
     Actions: [crash] raises {!Injected}; [stall] sleeps [stall_ms];
     [interrupt] raises {!Sat.Solver.Interrupted} spuriously (the resilient
-    layers detect that no genuine interrupt fired and retry).
+    layers detect that no genuine interrupt fired and retry);
+    [torn_write] asks the {e write site} to truncate its payload mid-write
+    (simulating a crash between write and rename/flush) — it only fires
+    through {!probe_write}, plain {!probe} ignores it.
 
     Injection decisions are deterministic: each (site, action) directive
     draws from its own splitmix64 stream keyed on the spec seed, indexed by
@@ -26,7 +34,7 @@
 
     {[FEC_FAULT_SPEC="seed=42,sat.solve.crash=0.02,worker.start.crash=1.0:max=1"]} *)
 
-type action = Crash | Stall | Interrupt
+type action = Crash | Stall | Interrupt | Torn_write
 
 type directive = {
   site : string;
@@ -62,8 +70,15 @@ val spec : unit -> spec option
 
 (** [probe site] runs the active spec's directives for [site] — the entry
     point for probe sites outside the solver (e.g. ["worker.start"]).
+    [torn_write] directives are skipped (their stream still advances).
     No-op when injection is inactive. *)
 val probe : string -> unit
+
+(** [probe_write site] is {!probe} for write sites: crash/stall/interrupt
+    directives behave as usual, and a firing [torn_write] directive is
+    reported as [`Torn] — the caller must then truncate its payload and
+    treat the write as lost. *)
+val probe_write : string -> [ `Full | `Torn ]
 
 (** Total injections performed by the active spec so far. *)
 val injection_count : unit -> int

@@ -24,6 +24,13 @@ type policy = {
 
 val default_policy : policy
 
+(** [backoff_delay policy ~label ~attempt] is the jittered exponential
+    delay before restart [attempt] — deterministic in
+    [(policy.seed, label, attempt)].  Exposed so other supervision layers
+    (the session manager's worker reaping, retrying wire clients) share
+    one backoff discipline. *)
+val backoff_delay : policy -> label:string -> attempt:int -> float
+
 (** Outcome of a supervised run: the body's value (or, after giving up,
     the last captured exception) plus crash/restart totals — these feed
     {!Report.Stats.worker_crashes} / [worker_restarts]. *)

@@ -161,8 +161,10 @@ td .ico { margin-right: 5px; }
 
 (* A single-series sparkline: 2px line, per-point hover targets with
    native <title> tooltips, end dot with a 2px surface ring.  One series
-   per chart, so no legend (the card names it). *)
-let sparkline buf ~w ~h points =
+   per chart, so no legend (the card names it).  [label] is the
+   accessible name; [fmt] renders tooltip values (wall-time by
+   default). *)
+let sparkline ?(label = "wall-time trend") ?(fmt = fmt_secs) buf ~w ~h points =
   let vals = List.map snd points in
   let n = List.length vals in
   let lo = List.fold_left Float.min infinity vals in
@@ -177,8 +179,8 @@ let sparkline buf ~w ~h points =
   let y v = pad +. ((fh -. (2.0 *. pad)) *. (1.0 -. ((v -. lo) /. span))) in
   Printf.bprintf buf
     "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" role=\"img\" \
-     aria-label=\"wall-time trend\">"
-    w h w h;
+     aria-label=\"%s\">"
+    w h w h (esc label);
   Printf.bprintf buf
     "<line class=\"axis\" x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\">\
      </line>"
@@ -199,14 +201,14 @@ let sparkline buf ~w ~h points =
         Printf.bprintf buf
           "<circle class=\"pt\" cx=\"%.1f\" cy=\"%.1f\" r=\"3\"><title>%s \
            &#183; %s</title></circle>"
-          (x i) (y v) (esc ts) (esc (fmt_secs v)))
+          (x i) (y v) (esc ts) (esc (fmt v)))
     points;
   (match List.rev points with
   | (ts, v) :: _ ->
       Printf.bprintf buf
         "<circle class=\"dot1\" cx=\"%.1f\" cy=\"%.1f\" r=\"4\"><title>%s \
          &#183; %s</title></circle>"
-        (x (n - 1)) (y v) (esc ts) (esc (fmt_secs v))
+        (x (n - 1)) (y v) (esc ts) (esc (fmt v))
   | [] -> ());
   Buffer.add_string buf "</svg>"
 
@@ -365,6 +367,68 @@ let render (entries : Ledger.entry list) =
         below for every run).</p>"
       (List.length groups - trend_cap)
       (if List.length groups - trend_cap = 1 then "" else "s");
+
+  (* ---- serve ops: daemon load and cache effectiveness ---- *)
+  let serve_entries =
+    List.filter (fun e -> e.Ledger.subcommand = "serve") entries
+  in
+  if serve_entries <> [] then begin
+    let depth_points =
+      List.filter_map
+        (fun e ->
+          Option.map
+            (fun v -> (e.Ledger.ts, v))
+            (metric e "serve.queue_depth"))
+        serve_entries
+    in
+    (* cumulative hit rate over the served runs where the cache was in
+       play, so the curve shows the cache earning its keep over time *)
+    let hit_rate_points =
+      let hits = ref 0 and seen = ref 0 in
+      List.filter_map
+        (fun e ->
+          match metric e "cache_hit" with
+          | None -> None
+          | Some v ->
+              incr seen;
+              if v > 0.0 then incr hits;
+              Some
+                ( e.Ledger.ts,
+                  100.0 *. float_of_int !hits /. float_of_int !seen ))
+        serve_entries
+    in
+    pf "<h2>Serve ops</h2><div class=\"grid\">";
+    (match depth_points with
+    | [] -> ()
+    | _ ->
+        let last = snd (List.nth depth_points (List.length depth_points - 1)) in
+        pf "<div class=\"card trend\">";
+        pf "<div class=\"name\">admission queue depth</div>";
+        pf "<div class=\"v\">%s</div>" (esc (fmt_num last));
+        sparkline ~label:"admission queue depth" ~fmt:fmt_num buf ~w:220 ~h:44
+          depth_points;
+        pf "<div class=\"range\">%d served run%s</div>"
+          (List.length depth_points)
+          (if List.length depth_points = 1 then "" else "s");
+        pf "</div>");
+    (match hit_rate_points with
+    | [] -> ()
+    | _ ->
+        let pct v = Printf.sprintf "%.0f%%" v in
+        let last =
+          snd (List.nth hit_rate_points (List.length hit_rate_points - 1))
+        in
+        pf "<div class=\"card trend\">";
+        pf "<div class=\"name\">cache hit rate (cumulative)</div>";
+        pf "<div class=\"v\">%s</div>" (esc (pct last));
+        sparkline ~label:"cache hit rate" ~fmt:pct buf ~w:220 ~h:44
+          hit_rate_points;
+        pf "<div class=\"range\">%d cached lookup%s</div>"
+          (List.length hit_rate_points)
+          (if List.length hit_rate_points = 1 then "" else "s");
+        pf "</div>");
+    pf "</div>"
+  end;
 
   (* ---- solver-phase attribution ---- *)
   let effort =

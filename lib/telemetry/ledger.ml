@@ -208,6 +208,33 @@ let load ~dir =
     Ok { entries = []; truncated = false; skipped_future = 0 }
   else of_string (read_file path)
 
+(* A SIGKILL mid-append leaves the file without a final newline.  The
+   reader tolerates that, but the *next* append would glue its record to
+   the torn tail and turn a tolerated truncation into mid-file garbage —
+   so crash-safe restart truncates back to the last complete line
+   first. *)
+let repair_tail ~dir =
+  let path = file ~dir in
+  if not (Sys.file_exists path) then false
+  else
+    match read_file path with
+    | exception Sys_error _ -> false
+    | content ->
+        let n = String.length content in
+        if n = 0 || content.[n - 1] = '\n' then false
+        else begin
+          let keep =
+            match String.rindex_opt content '\n' with
+            | Some i -> i + 1
+            | None -> 0
+          in
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () -> Unix.ftruncate fd keep);
+          true
+        end
+
 (* ---------- pending records (start / finish) ---------- *)
 
 type pending = {
@@ -219,25 +246,130 @@ type pending = {
   p_config : (string * string) list;
   p_build : Buildinfo.t;
   mutable p_recorded : bool;
+  mutable p_journal : string option;  (* in-flight crash journal file *)
 }
 
-let start ?dir ~ts ~subcommand ~problem ~config ~build () =
+(* ---------- the in-flight journal ----------
+
+   The at_exit crash hook covers uncaught exceptions, but a SIGKILL (or
+   power loss) gives no exit path at all.  So every pending record also
+   writes one small journal file — a complete would-be "crash" ledger
+   line — under <dir>/inflight/, named <pid>.<seq>; finishing the record
+   removes it.  {!scavenge}, run at daemon startup, appends any journal
+   whose owning pid is dead to the ledger and deletes it: in-flight work
+   of a killed process becomes first-class crash history on next start. *)
+
+let journal_dir dir = Filename.concat dir "inflight"
+let journal_seq = Atomic.make 0
+
+let crash_entry p =
   {
-    p_dir = (match dir with Some d -> d | None -> default_dir ());
-    p_t0 = Unix.gettimeofday ();
-    p_ts = ts;
-    p_cmd = subcommand;
-    p_problem = problem;
-    p_config = config;
-    p_build = build;
-    p_recorded = false;
+    version = format_version;
+    ts = p.p_ts;
+    subcommand = p.p_cmd;
+    problem = p.p_problem;
+    outcome = "crash";
+    exit_code = 2;
+    cache_hit = false;
+    wall_s = 0.0;
+    build = p.p_build;
+    config = p.p_config;
+    metrics = [];
+    stats = None;
   }
+
+let journal_start p =
+  try
+    let dir = journal_dir p.p_dir in
+    mkdir_p dir;
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "%d.%d" (Unix.getpid ())
+           (Atomic.fetch_and_add journal_seq 1))
+    in
+    let oc = open_out_bin path in
+    output_string oc (render (crash_entry p) ^ "\n");
+    close_out oc;
+    p.p_journal <- Some path
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let journal_finish p =
+  match p.p_journal with
+  | None -> ()
+  | Some path ->
+      p.p_journal <- None;
+      (try Sys.remove path with Sys_error _ -> ())
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) ->
+      (* EPERM etc.: the pid exists but isn't ours *)
+      true
+
+let scavenge ~dir =
+  let repaired = repair_tail ~dir in
+  let jdir = journal_dir dir in
+  let recovered = ref 0 in
+  (match Sys.readdir jdir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.sort compare names;
+      Array.iter
+        (fun name ->
+          let path = Filename.concat jdir name in
+          let pid =
+            match String.index_opt name '.' with
+            | Some i -> int_of_string_opt (String.sub name 0 i)
+            | None -> None
+          in
+          match pid with
+          | None -> ()
+          | Some pid when pid_alive pid -> ()
+          | Some _ -> (
+              (* dead owner: its in-flight record becomes crash history;
+                 a torn journal (killed mid-journal-write) is just
+                 deleted — its run never got far enough to matter *)
+              match
+                String.trim (read_file path) |> fun line ->
+                of_json (Json.of_string line)
+              with
+              | exception (Sys_error _ | Json.Parse_error _) ->
+                  (try Sys.remove path with Sys_error _ -> ())
+              | Error _ -> (try Sys.remove path with Sys_error _ -> ())
+              | Ok e ->
+                  (try
+                     append ~dir e;
+                     incr recovered
+                   with _ -> ());
+                  (try Sys.remove path with Sys_error _ -> ())))
+        names);
+  (!recovered, repaired)
+
+let start ?dir ~ts ~subcommand ~problem ~config ~build () =
+  let p =
+    {
+      p_dir = (match dir with Some d -> d | None -> default_dir ());
+      p_t0 = Unix.gettimeofday ();
+      p_ts = ts;
+      p_cmd = subcommand;
+      p_problem = problem;
+      p_config = config;
+      p_build = build;
+      p_recorded = false;
+      p_journal = None;
+    }
+  in
+  journal_start p;
+  p
 
 (* Idempotent, and never lets a ledger failure break the command it is
    recording: the history is diagnostics, not the result. *)
 let finish ?stats ?(metrics = []) ?(cache_hit = false) p ~outcome ~exit_code =
   if not p.p_recorded then begin
     p.p_recorded <- true;
+    journal_finish p;
     let wall = Unix.gettimeofday () -. p.p_t0 in
     let e =
       {

@@ -83,6 +83,21 @@ val file : dir:string -> string
     @raise Failure (or a [Unix.Unix_error]) on I/O failure. *)
 val append : dir:string -> entry -> unit
 
+(** [repair_tail ~dir] truncates a torn (non-newline-terminated) final
+    line left by a crash mid-append, so the next append cannot glue a
+    fresh record onto it and corrupt the file.  Returns [true] iff
+    something was truncated.  A missing file is a no-op. *)
+val repair_tail : dir:string -> bool
+
+(** [scavenge ~dir] is the crash-safe-restart sweep: repairs the torn
+    tail, then recovers the in-flight journal — every {!start} writes a
+    would-be ["crash"] record under [<dir>/inflight/] and {!finish}
+    removes it, so a journal file whose owning pid is dead marks a run
+    killed mid-flight (SIGKILL, power loss).  Each such record is
+    appended to the ledger as a first-class ["crash"] entry and its
+    journal deleted.  Returns [(recovered, tail_repaired)]. *)
+val scavenge : dir:string -> int * bool
+
 (** A run being recorded: {!start} captures the wall clock and identity
     up front, {!finish} appends exactly one record.  The CLI keeps one
     pending record per process and finishes it with ["crash"] from an

@@ -1,0 +1,183 @@
+#!/bin/sh
+# Chaos matrix for `fecsynth serve`: SIGKILL the daemon at a random
+# phase while deterministic fault injection (FEC_FAULT_SPEC) is tearing
+# at the wire, cache and worker layers, then assert that restart always
+# succeeds and recovers every piece of crash state:
+#
+#   - no stale-socket / pidfile lockout (the new daemon probes the dead
+#     socket with a ping and takes it over);
+#   - the result cache verifies clean: zero corrupt entries, orphaned
+#     *.tmp files from torn writes scavenged at startup;
+#   - the run ledger still parses (torn tail repaired);
+#   - a run killed in flight is recovered as a first-class "crash"
+#     ledger record from the inflight journal;
+#   - a deadline-carrying request against a stalled worker is answered
+#     "timeout" on the wire within deadline + grace instead of hanging.
+#
+# Trials are seeded (FEC_FAULT_SPEC seed = trial index, kill phase
+# rotates deterministically), so a failing trial replays exactly.
+# FEC_CHAOS_ITERS bounds the matrix for CI.
+
+set -u
+
+FECSYNTH=${FECSYNTH:-_build/install/default/bin/fecsynth}
+ITERS=${FEC_CHAOS_ITERS:-20}
+ROOT=${FEC_CHAOS_DIR:-/tmp/fecsynth-chaos}
+
+SPEC1='len_G = 1 && len_d(G[0]) = 8 && len_c(G[0]) = 4 && md(G[0]) = 3'
+SPEC2='len_G = 1 && len_d(G[0]) = 8 && len_c(G[0]) = 5 && md(G[0]) = 4'
+
+trial=setup
+dir=$ROOT
+
+fail() {
+  echo "chaos: FAIL ($trial): $*" >&2
+  for log in "$dir"/serve.log "$dir"/serve2.log; do
+    [ -f "$log" ] && sed "s|^|  $log: |" "$log" >&2
+  done
+  exit 1
+}
+
+# Ping until the daemon answers; each try is a fresh connection, so
+# injected wire faults costing one connection are ridden out.
+wait_ping() {
+  n=0
+  while [ "$n" -lt 100 ]; do
+    "$FECSYNTH" call --socket "$1" '{"op":"ping"}' >/dev/null 2>&1 && return 0
+    sleep 0.1
+    n=$((n + 1))
+  done
+  return 1
+}
+
+rm -rf "$ROOT"
+mkdir -p "$ROOT"
+
+# ---------------------------------------------------------------- trials
+
+i=1
+while [ "$i" -le "$ITERS" ]; do
+  trial="trial $i"
+  dir=$ROOT/trial-$i
+  mkdir -p "$dir"
+  sock=$dir/serve.sock
+
+  case $((i % 4)) in
+    0) faults="seed=$i,stall_ms=40,cache.write.torn_write=0.6,manager.worker.stall=0.3" ;;
+    1) faults="seed=$i,stall_ms=30,wire.read.stall=0.3,wire.write.crash=0.1" ;;
+    2) faults="seed=$i,stall_ms=60,cache.read.stall=0.5,sat.solve.stall=0.4,cache.write.torn_write=0.3" ;;
+    3) faults="seed=$i,manager.worker.crash=0.6:max=2,sat.solve.crash=0.3:max=2,cache.write.torn_write=0.5" ;;
+  esac
+  case $(((i * 3) % 4)) in
+    0) phase=0.05 ;;
+    1) phase=0.15 ;;
+    2) phase=0.3 ;;
+    3) phase=0.5 ;;
+  esac
+
+  env FEC_LEDGER_DIR="$dir/ledger" FEC_CACHE_DIR="$dir/cache" \
+    FEC_FAULT_SPEC="$faults" \
+    "$FECSYNTH" serve --socket "$sock" --workers 2 2> "$dir/serve.log" &
+  pid=$!
+  wait_ping "$sock" || fail "daemon did not come up under faults ($faults)"
+
+  # Traffic while the faults bite.  Clients may legitimately lose their
+  # connection to an injected wire fault; that must never fail the trial.
+  "$FECSYNTH" submit --socket "$sock" --no-wait --retries 2 \
+    -p "$SPEC1" >/dev/null 2>&1 || true
+  "$FECSYNTH" submit --socket "$sock" --no-wait --retries 2 \
+    -p "$SPEC2" >/dev/null 2>&1 || true
+
+  sleep "$phase"
+  kill -9 "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+
+  # Restart (fault-free) on the same state: must take over the stale
+  # socket, scavenge the cache and recover the ledger — quickly.
+  env FEC_LEDGER_DIR="$dir/ledger" FEC_CACHE_DIR="$dir/cache" \
+    "$FECSYNTH" serve --socket "$sock" --workers 2 2> "$dir/serve2.log" &
+  pid=$!
+  wait_ping "$sock" || fail "restart after SIGKILL did not come up (stale-state lockout?)"
+
+  out=$("$FECSYNTH" cache verify --cache-dir "$dir/cache") \
+    || fail "cache corrupt after kill/restart: $out"
+  case $out in
+    *" 0 corrupt, 0 orphaned tmp"*) ;;
+    *) fail "cache not clean after restart scavenge: $out" ;;
+  esac
+
+  FEC_LEDGER_DIR=$dir/ledger "$FECSYNTH" runs list >/dev/null 2>&1 \
+    || fail "ledger unreadable after kill/restart"
+
+  kill -TERM "$pid"
+  wait "$pid" || fail "restarted daemon did not drain to exit 0"
+  grep -q drained "$dir/serve2.log" || fail "no drain log line on SIGTERM"
+  [ -e "$sock" ] && fail "socket left behind after drain"
+  [ -e "$sock.pid" ] && fail "pidfile left behind after drain"
+
+  echo "chaos: trial $i ok (phase ${phase}s, $faults)"
+  i=$((i + 1))
+done
+
+# ------------------------------------- in-flight run -> crash record
+
+# A worker stalled inside sat.solve is guaranteed to be mid-run when the
+# SIGKILL lands; its inflight journal entry must surface as a
+# first-class "crash" ledger record on the next start.
+trial="inflight crash recovery"
+dir=$ROOT/inflight
+mkdir -p "$dir"
+sock=$dir/serve.sock
+
+env FEC_LEDGER_DIR="$dir/ledger" FEC_CACHE_DIR="$dir/cache" \
+  FEC_FAULT_SPEC="seed=1,stall_ms=30000,sat.solve.stall=1.0" \
+  "$FECSYNTH" serve --socket "$sock" --workers 1 2> "$dir/serve.log" &
+pid=$!
+wait_ping "$sock" || fail "daemon did not come up"
+"$FECSYNTH" submit --socket "$sock" --no-wait -p "$SPEC1" >/dev/null \
+  || fail "submit refused"
+sleep 0.6
+kill -9 "$pid" 2>/dev/null
+wait "$pid" 2>/dev/null
+
+env FEC_LEDGER_DIR="$dir/ledger" FEC_CACHE_DIR="$dir/cache" \
+  "$FECSYNTH" serve --socket "$sock" --workers 1 2> "$dir/serve2.log" &
+pid=$!
+wait_ping "$sock" || fail "restart did not come up"
+grep -q "in-flight run" "$dir/serve2.log" \
+  || fail "restart did not report recovering the in-flight run"
+FEC_LEDGER_DIR=$dir/ledger "$FECSYNTH" runs list --outcome crash \
+  | grep -q ' crash ' \
+  || fail "killed in-flight run not recorded as a crash outcome"
+kill -TERM "$pid"
+wait "$pid" || fail "daemon did not drain"
+
+# ------------------------------------------- deadline vs stalled worker
+
+# Every sat.solve stalls for 30 s; a 400 ms deadline with 0.5 s grace
+# must still answer state=timeout on the wire in seconds, not minutes.
+trial="deadline under stall"
+dir=$ROOT/deadline
+mkdir -p "$dir"
+sock=$dir/serve.sock
+
+env FEC_LEDGER_DIR="$dir/ledger" FEC_CACHE_DIR="$dir/cache" \
+  FEC_FAULT_SPEC="seed=2,stall_ms=30000,sat.solve.stall=1.0" \
+  "$FECSYNTH" serve --socket "$sock" --workers 1 --grace 0.5 \
+  2> "$dir/serve.log" &
+pid=$!
+wait_ping "$sock" || fail "daemon did not come up"
+t0=$(date +%s)
+out=$(timeout 20 "$FECSYNTH" submit --socket "$sock" --deadline 400 \
+  -p "$SPEC1") || fail "deadline submit failed or hung: $out"
+t1=$(date +%s)
+case $out in
+  *'"state":"timeout"'*) ;;
+  *) fail "expected state=timeout, got: $out" ;;
+esac
+[ $((t1 - t0)) -le 6 ] \
+  || fail "timeout reply took $((t1 - t0))s — deadline + grace not enforced"
+kill -TERM "$pid"
+wait "$pid" || fail "daemon with a condemned worker did not drain cleanly"
+
+echo "chaos: OK ($ITERS kill/restart trials + crash recovery + deadline)"

@@ -49,7 +49,18 @@ A malformed request is an error reply, not a dead daemon:
 The stats op reports admission state:
 
   $ fecsynth call --socket serve.sock '{"op":"stats"}'
-  {"ok":true,"queue_depth":0,"sessions":2,"draining":false}
+  {"ok":true,"queue_depth":0,"sessions":2,"reaped":0,"draining":false}
+
+While the daemon is alive it owns the socket: a second daemon probes it,
+finds it live, and refuses to start:
+
+  $ fecsynth serve --socket serve.sock 2>&1 | head -1
+  fecsynth: error: serve.sock: a serve daemon is already listening
+
+The daemon maintains a pidfile next to the socket:
+
+  $ test -f serve.sock.pid && echo pidfile
+  pidfile
 
 SIGTERM drains and exits cleanly:
 
@@ -69,3 +80,39 @@ cache hit is a first-class, filterable fact:
   2
   $ fecsynth runs show -- -1 | grep '^cache:'
   cache:    hit
+
+A SIGKILLed daemon leaves a stale socket and pidfile behind; the next
+start probes the socket with a ping, finds it dead, and takes over
+instead of refusing forever:
+
+  $ fecsynth serve --socket serve.sock 2> serve2.log &
+  $ SERVE_PID=$!
+  $ for i in 1 2 3 4 5 6 7 8 9 10; do test -S serve.sock && break; sleep 0.2; done
+  $ kill -9 $SERVE_PID
+  $ wait $SERVE_PID 2> /dev/null
+  [137]
+  $ test -S serve.sock && echo stale socket left behind
+  stale socket left behind
+  $ fecsynth serve --socket serve.sock 2> serve3.log &
+  $ SERVE_PID=$!
+  $ for i in 1 2 3 4 5 6 7 8 9 10; do fecsynth call --socket serve.sock '{"op":"ping"}' > /dev/null 2>&1 && break; sleep 0.2; done
+  $ fecsynth call --socket serve.sock '{"op":"ping"}'
+  {"ok":true,"pong":true}
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ grep -o 'removing stale socket serve.sock' serve3.log
+  removing stale socket serve.sock
+  $ test -e serve.sock || echo socket cleaned up
+  socket cleaned up
+  $ test -e serve.sock.pid || echo pidfile cleaned up
+  pidfile cleaned up
+
+A client with retries rides out a daemon that is still coming up:
+
+  $ (sleep 0.6; exec fecsynth serve --socket retry.sock 2> retry.log) &
+  $ SERVE_PID=$!
+  $ fecsynth call --socket retry.sock --retries 8 --connect-timeout 2 '{"op":"ping"}'
+  {"ok":true,"pong":true}
+  $ fecsynth call --socket retry.sock '{"op":"shutdown"}'
+  {"ok":true,"draining":true}
+  $ wait $SERVE_PID

@@ -304,6 +304,84 @@ let test_buildinfo_lenient () =
   Alcotest.(check bool) "git null round-trips" true
     (b'.Telemetry.Buildinfo.git = None)
 
+(* ---------- crash-safe recovery: tail repair, in-flight journal ---------- *)
+
+let tmpdir () =
+  let d = Filename.temp_file "fec-ledger" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+(* past any realistic pid_max: liveness probes answer ESRCH *)
+let dead_pid = 99_999_999
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let test_repair_tail () =
+  let dir = tmpdir () in
+  L.append ~dir (entry ());
+  (* a crash mid-append leaves a torn half-record with no newline *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 (L.file ~dir) in
+  output_string oc {|{"v":1,"ts":"2026-|};
+  close_out oc;
+  (match L.load ~dir with
+  | Ok l -> Alcotest.(check bool) "torn tail detected" true l.L.truncated
+  | Error m -> Alcotest.failf "load: %s" m);
+  Alcotest.(check bool) "tail repaired" true (L.repair_tail ~dir);
+  (match L.load ~dir with
+  | Ok l ->
+      Alcotest.(check bool) "clean after repair" false l.L.truncated;
+      Alcotest.(check int) "whole record kept" 1 (List.length l.L.entries)
+  | Error m -> Alcotest.failf "load after repair: %s" m);
+  Alcotest.(check bool) "repair is idempotent" false (L.repair_tail ~dir)
+
+let test_journal_lifecycle () =
+  let dir = tmpdir () in
+  let jdir = Filename.concat dir "inflight" in
+  let p =
+    L.start ~dir ~ts:"2026-08-08T00:00:00Z" ~subcommand:"serve"
+      ~problem:"md(G[0]) = 3" ~config:[] ~build ()
+  in
+  Alcotest.(check int) "start writes one journal" 1
+    (Array.length (Sys.readdir jdir));
+  L.finish p ~outcome:"ok" ~exit_code:0;
+  Alcotest.(check int) "finish removes it" 0
+    (Array.length (Sys.readdir jdir))
+
+let test_scavenge_recovers_crash () =
+  let dir = tmpdir () in
+  let jdir = Filename.concat dir "inflight" in
+  Unix.mkdir jdir 0o755;
+  let crash_line =
+    L.render (entry ~cmd:"serve" ~outcome:"crash" ~exit_code:2 ()) ^ "\n"
+  in
+  let dead = Filename.concat jdir (Printf.sprintf "%d.0" dead_pid) in
+  let live = Filename.concat jdir (Printf.sprintf "%d.0" (Unix.getpid ())) in
+  let torn = Filename.concat jdir (Printf.sprintf "%d.1" dead_pid) in
+  write_file dead crash_line;
+  write_file live crash_line;
+  (* killed mid-journal-write: unparseable, must be dropped silently *)
+  write_file torn {|{"v":1,"ts|};
+  let recovered, repaired = L.scavenge ~dir in
+  Alcotest.(check int) "one in-flight run recovered" 1 recovered;
+  Alcotest.(check bool) "no tail to repair" false repaired;
+  (match L.load ~dir with
+  | Ok l -> (
+      Alcotest.(check int) "crash record appended" 1
+        (List.length l.L.entries);
+      match l.L.entries with
+      | [ e ] -> Alcotest.(check string) "outcome" "crash" e.L.outcome
+      | _ -> Alcotest.fail "expected exactly one entry")
+  | Error m -> Alcotest.failf "load after scavenge: %s" m);
+  Alcotest.(check bool) "dead journal removed" false (Sys.file_exists dead);
+  Alcotest.(check bool) "torn journal removed" false (Sys.file_exists torn);
+  Alcotest.(check bool) "live journal kept" true (Sys.file_exists live);
+  let recovered2, _ = L.scavenge ~dir in
+  Alcotest.(check int) "second scavenge finds nothing" 0 recovered2
+
 let () =
   Alcotest.run "ledger"
     [
@@ -321,6 +399,14 @@ let () =
           Alcotest.test_case "missing file empty" `Quick
             test_missing_file_is_empty;
           Alcotest.test_case "concurrent append" `Quick test_concurrent_append;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "torn tail repaired" `Quick test_repair_tail;
+          Alcotest.test_case "in-flight journal lifecycle" `Quick
+            test_journal_lifecycle;
+          Alcotest.test_case "scavenge turns dead journals into crash \
+                              records" `Quick test_scavenge_recovers_crash;
         ] );
       ( "trend",
         [
