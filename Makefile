@@ -42,7 +42,7 @@ FECSYNTH := _build/install/default/bin/fecsynth
 # ~15 s; CI can shrink the matrix with FEC_CHAOS_ITERS.
 FEC_CHAOS_ITERS ?= 20
 
-.PHONY: all build test trace-smoke ledger-smoke serve-smoke stress chaos check bench bench-gate sat-bench clean
+.PHONY: all build test trace-smoke ledger-smoke serve-smoke obs-smoke stress chaos check bench bench-gate sat-bench clean
 
 all: build
 
@@ -131,7 +131,15 @@ serve-smoke: build
 chaos: build
 	FEC_CHAOS_ITERS=$(FEC_CHAOS_ITERS) FECSYNTH=$(FECSYNTH) sh test/chaos.sh
 
-check: build test trace-smoke ledger-smoke serve-smoke stress chaos bench-gate
+# Observability gate for the daemon: /metrics scrape monotone, /healthz
+# flips to draining on SIGTERM, a stalled-then-reaped worker leaves a
+# parseable postmortem carrying its request id, and `trace report
+# --request` attributes >= 90% of the reaped request's wall time (see
+# test/obs_smoke.sh).
+obs-smoke: build
+	FECSYNTH=$(FECSYNTH) sh test/obs_smoke.sh
+
+check: build test trace-smoke ledger-smoke serve-smoke obs-smoke stress chaos bench-gate
 	@echo "check: OK"
 
 # Quick benchmark pass (shrunken workloads); writes $(BENCH_OUT).

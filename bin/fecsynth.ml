@@ -520,12 +520,47 @@ let serve_cmd =
     in
     Arg.(value & opt float 300.0 & info [ "idle-timeout" ] ~docv:"SECS" ~doc)
   in
+  let metrics_port_arg =
+    let doc =
+      "Serve live observability over HTTP on 127.0.0.1:$(docv), from the \
+       daemon's own event loop: GET /metrics returns the Prometheus text \
+       exposition (with per-worker labeled gauges), GET /healthz a JSON \
+       health summary that flips to \"draining\" during shutdown."
+    in
+    Arg.(value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+  in
+  let serve_trace_arg =
+    let doc =
+      "Write an NDJSON telemetry trace of the daemon's whole lifetime to \
+       $(docv); every served run's events are stamped with its request id \
+       (slice with $(b,fecsynth trace report --request))."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let flight_dir_arg =
+    let doc =
+      "Directory for flight-recorder postmortems (default: the socket's \
+       directory).  When a stuck worker is reaped or the daemon crashes, \
+       the most recent telemetry events are dumped there as \
+       postmortem-<pid>-<seq>.ndjson."
+    in
+    Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR" ~doc)
+  in
+  let flight_capacity_arg =
+    let doc = "Flight-recorder ring capacity per worker domain, in events." in
+    Arg.(value & opt int 512 & info [ "flight-capacity" ] ~docv:"N" ~doc)
+  in
   let run socket workers max_queue grace idle_timeout no_cache cache_dir
-      metrics no_ledger =
+      metrics no_ledger metrics_port trace flight_dir flight_capacity =
     if workers < 1 || max_queue < 1 then
       `Error (false, "need --workers >= 1 and --max-queue >= 1")
     else if grace < 0.0 || idle_timeout < 0.0 then
       `Error (false, "need --grace >= 0 and --idle-timeout >= 0")
+    else if
+      match metrics_port with Some p -> p < 1 || p > 65535 | None -> false
+    then `Error (false, "need 1 <= --metrics-port <= 65535")
+    else if flight_capacity < 1 then
+      `Error (false, "need --flight-capacity >= 1")
     else begin
       let config =
         {
@@ -538,6 +573,10 @@ let serve_cmd =
           cache_dir;
           no_ledger;
           metrics;
+          metrics_port;
+          trace;
+          flight_dir;
+          flight_capacity;
         }
       in
       Fec_session.Server.run config;
@@ -558,7 +597,8 @@ let serve_cmd =
       ret
         (const run $ socket_arg $ workers_arg $ max_queue_arg $ grace_arg
        $ idle_timeout_arg $ no_cache_arg $ cache_dir_arg $ Output.metrics_arg
-       $ Output.no_ledger_arg))
+       $ Output.no_ledger_arg $ metrics_port_arg $ serve_trace_arg
+       $ flight_dir_arg $ flight_capacity_arg))
 
 let retries_arg =
   let doc =
@@ -667,6 +707,157 @@ let call_cmd =
       ret
         (const run $ socket_arg $ request_arg $ retries_arg
        $ connect_timeout_arg))
+
+(* ---------- top: live daemon view ---------- *)
+
+let top_cmd =
+  let interval_arg =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECS" ~doc)
+  in
+  let once_arg =
+    let doc = "Poll once, print one snapshot, exit." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one JSON object per poll instead of the TTY view." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let get_int k j =
+    match Option.bind (J.member k j) J.to_int with Some v -> v | None -> 0
+  in
+  let get_float k j =
+    match Option.bind (J.member k j) J.to_float with Some v -> v | None -> 0.0
+  in
+  let get_bool k j =
+    match J.member k j with Some (J.Bool b) -> b | _ -> false
+  in
+  let get_str k j = Option.bind (J.member k j) J.to_string_opt in
+  let counters j =
+    match Option.bind (J.member "exposition" j) J.to_string_opt with
+    | None -> []
+    | Some text -> (
+        match Telemetry.Metrics.parse_exposition text with
+        | Ok kvs -> kvs
+        | Error _ -> [])
+  in
+  let counter_of kvs name =
+    match List.assoc_opt name kvs with
+    | Some (Telemetry.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let rate now prev dt = if dt <= 0.0 then 0.0 else float_of_int (now - prev) /. dt in
+  let si v =
+    if v >= 1e6 then Printf.sprintf "%.1fM" (v /. 1e6)
+    else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+    else Printf.sprintf "%.0f" v
+  in
+  (* one poll rendered as text lines; rates come from the previous poll *)
+  let render ~socket j kvs ~props_s ~iters_s =
+    let hits = counter_of kvs "session_cache_hit" in
+    let misses = counter_of kvs "session_cache_miss" in
+    let hit_rate =
+      if hits + misses = 0 then "-"
+      else
+        Printf.sprintf "%.0f%% (%d/%d)"
+          (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+          hits (hits + misses)
+    in
+    let head =
+      [
+        Printf.sprintf "fecsynth top — %s" socket;
+        Printf.sprintf "queue %-4d sessions %-5d reaped %-3d draining %s"
+          (get_int "queue_depth" j) (get_int "sessions" j)
+          (get_int "reaped" j)
+          (if get_bool "draining" j then "yes" else "no");
+        Printf.sprintf "cache hits %-14s props/s %-8s iters/s %s" hit_rate
+          (si props_s) (si iters_s);
+        "";
+        Printf.sprintf "%-7s %-10s %9s  %s" "worker" "state" "age_s" "request";
+      ]
+    in
+    let workers =
+      match J.member "workers" j with
+      | Some (J.List ws) ->
+          List.map
+            (fun w ->
+              Printf.sprintf "%-7d %-10s %9.1f  %s" (get_int "worker" w)
+                (Option.value (get_str "state" w) ~default:"?")
+                (get_float "since_s" w)
+                (Option.value (get_str "request" w) ~default:"-"))
+            ws
+      | _ -> []
+    in
+    head @ workers
+  in
+  let run socket interval once json retries connect_timeout =
+    if interval <= 0.0 then `Error (false, "need --interval > 0")
+    else begin
+      let poll () =
+        Fec_session.Client.with_retries ~retries ?connect_timeout ~socket
+          (fun t ->
+            Fec_session.Client.rpc t (J.Obj [ ("op", J.Str "metrics") ]))
+      in
+      let tty =
+        (not json) && (Unix.isatty Unix.stdout || Sys.getenv_opt "FEC_FORCE_TTY" = Some "1")
+      in
+      let prev = ref None in  (* (time, props, iters) of the last poll *)
+      let last_height = ref 0 in
+      let frame () =
+        let j = poll () in
+        match J.member "ok" j with
+        | Some (J.Bool true) ->
+            let kvs = counters j in
+            let now = Unix.gettimeofday () in
+            let props = counter_of kvs "sat_propagations" in
+            let iters = counter_of kvs "cegis_iterations" in
+            let props_s, iters_s =
+              match !prev with
+              | None -> (0.0, 0.0)
+              | Some (t0, p0, i0) ->
+                  (rate props p0 (now -. t0), rate iters i0 (now -. t0))
+            in
+            prev := Some (now, props, iters);
+            if json then print_endline (J.to_string j)
+            else begin
+              let lines = render ~socket j kvs ~props_s ~iters_s in
+              if tty && !last_height > 0 then
+                Printf.printf "\027[%dA\027[J" !last_height;
+              List.iter print_endline lines;
+              last_height := List.length lines;
+              flush stdout
+            end;
+            true
+        | _ ->
+            Printf.eprintf "fecsynth top: %s\n%!"
+              (match get_str "error" j with
+              | Some e -> e
+              | None -> "daemon answered without ok");
+            false
+      in
+      let ok = frame () in
+      if once then if ok then `Ok () else `Error (false, "poll failed")
+      else begin
+        let rec go () =
+          Unix.sleepf interval;
+          if frame () then go () else `Error (false, "daemon went away")
+        in
+        if ok then go () else `Error (false, "poll failed")
+      end
+    end
+  in
+  let doc =
+    "Live view of a running $(b,fecsynth serve) daemon, polled over the \
+     wire $(b,metrics) op: queue depth, per-worker state/age/request, \
+     cache hit rate, propagations and iterations per second.  On a TTY \
+     the view redraws in place; $(b,--once) prints a single snapshot, \
+     $(b,--json) machine-readable polls."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      ret
+        (const run $ socket_arg $ interval_arg $ once_arg $ json_arg
+       $ retries_arg $ connect_timeout_arg))
 
 (* ---------- cache maintenance ---------- *)
 
@@ -1151,6 +1342,14 @@ let trace_check_run file fmt =
           "fecsynth: warning: %d event(s) go back in time within their \
            worker stream\n%!"
           c.An.out_of_order;
+      (* unknown fields are a vocabulary mismatch (a trace from a newer
+         fecsynth), not corruption: warn, keep the payload, never fail *)
+      if c.An.unknown_fields > 0 then
+        Printf.eprintf
+          "fecsynth: warning: %d event(s) carry field(s) unknown to this \
+           build (%s); tolerated\n%!"
+          c.An.unknown_fields
+          (String.concat ", " c.An.unknown_field_names);
       Output.result fmt
         ~text:(fun () ->
           Printf.printf "ok: %d events\n" c.An.total;
@@ -1165,6 +1364,9 @@ let trace_check_run file fmt =
             ("truncated_tail", J.Bool c.An.check_truncated);
             ("unbalanced_spans", J.Int c.An.unbalanced_spans);
             ("out_of_order", J.Int c.An.out_of_order);
+            ("unknown_fields", J.Int c.An.unknown_fields);
+            ( "unknown_field_names",
+              J.List (List.map (fun s -> J.Str s) c.An.unknown_field_names) );
             ( "counts",
               J.List
                 (List.map
@@ -1197,10 +1399,81 @@ let trace_report_cmd =
     let doc = "Detail the $(docv) slowest CEGIS iterations." in
     Arg.(value & opt int 3 & info [ "top" ] ~docv:"N" ~doc)
   in
-  let run file top fmt =
+  let request_arg =
+    let doc =
+      "Slice a serve-daemon trace down to the one request stamped with \
+       id $(docv) and attribute its wall time end to end: queue wait, \
+       then per-phase span self-times.  Spans still open at the end of \
+       the slice (a reaped stall) are attributed to the phase they were \
+       stuck in."
+    in
+    Arg.(value & opt (some string) None & info [ "request" ] ~docv:"ID" ~doc)
+  in
+  let run_request p rid fmt =
+    match An.request_report ~request:rid p with
+    | None ->
+        let known = An.request_ids p in
+        `Error
+          ( false,
+            Printf.sprintf "request %S not in trace%s" rid
+              (match known with
+              | [] -> " (no request-stamped events at all)"
+              | ids ->
+                  Printf.sprintf " (has: %s)"
+                    (String.concat ", "
+                       (List.map fst
+                          (List.filteri (fun i _ -> i < 8) ids)))) )
+    | Some r ->
+        Output.result fmt
+          ~text:(fun () ->
+            Printf.printf "request:     %s\n" r.An.rq_id;
+            Printf.printf "events:      %d\n" r.An.rq_events;
+            Printf.printf "wall:        %.3fs\n" r.An.rq_wall_s;
+            Printf.printf "queue wait:  %.3fs\n" r.An.rq_queue_wait_s;
+            Printf.printf "attributed:  %.1f%% (%.3fs)\n" r.An.rq_attributed_pct
+              r.An.rq_attributed_s;
+            if r.An.rq_open_spans > 0 then
+              Printf.printf "open spans:  %d (still running or reaped)\n"
+                r.An.rq_open_spans;
+            if r.An.rq_phases <> [] then begin
+              Printf.printf "\n%-24s %12s %8s\n" "phase" "total_s" "calls";
+              List.iter
+                (fun ph ->
+                  Printf.printf "%-24s %12.4f %8d\n" ph.An.rq_phase
+                    ph.An.rq_total_s ph.An.rq_calls)
+                r.An.rq_phases
+            end)
+          ~json:(fun () ->
+            [
+              ("command", J.Str "trace-report");
+              ("request", J.Str r.An.rq_id);
+              ("events", J.Int r.An.rq_events);
+              ("wall_s", J.Float r.An.rq_wall_s);
+              ("queue_wait_s", J.Float r.An.rq_queue_wait_s);
+              ("open_spans", J.Int r.An.rq_open_spans);
+              ("attributed_s", J.Float r.An.rq_attributed_s);
+              ("attributed_pct", J.Float r.An.rq_attributed_pct);
+              ( "phases",
+                J.List
+                  (List.map
+                     (fun ph ->
+                       J.Obj
+                         [
+                           ("phase", J.Str ph.An.rq_phase);
+                           ("total_s", J.Float ph.An.rq_total_s);
+                           ("calls", J.Int ph.An.rq_calls);
+                         ])
+                     r.An.rq_phases) );
+            ]);
+        `Ok ()
+  in
+  let run file top request fmt =
     match load_parsed file with
     | Error msg -> `Error (false, msg)
-    | Ok p ->
+    | Ok p -> (
+        match request with
+        | Some rid -> run_request p rid fmt
+        | None ->
         let r = An.report ~top p in
         Output.result fmt
           ~text:(fun () ->
@@ -1274,15 +1547,17 @@ let trace_report_cmd =
                          ])
                      r.An.slowest) );
             ]);
-        `Ok ()
+        `Ok ())
   in
   let doc =
     "Per-phase wall-time attribution of a synthesis trace: where the run \
      spent its time (SAT propagate/analyze/restart, Smtlite encoding, CEGIS \
-     verification, portfolio idle), per iteration and in total."
+     verification, portfolio idle), per iteration and in total.  With \
+     $(b,--request), slice a serve-daemon trace down to one request."
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(ret (const run $ trace_file_arg $ top_arg $ Output.stats_arg))
+    Term.(
+      ret (const run $ trace_file_arg $ top_arg $ request_arg $ Output.stats_arg))
 
 let trace_flame_cmd =
   let run file =
@@ -1898,7 +2173,8 @@ let () =
   let group =
     Cmd.group info
       [
-        synth_cmd; optimize_cmd; serve_cmd; submit_cmd; call_cmd; cache_cmd;
+        synth_cmd; optimize_cmd; serve_cmd; submit_cmd; call_cmd; top_cmd;
+        cache_cmd;
         verify_cmd; certify_cmd; distance_cmd; analyze_cmd; emit_cmd;
         robustness_cmd; smt_cmd; trace_cmd; trace_check_cmd; version_cmd;
         runs_cmd;

@@ -40,10 +40,17 @@ let install_hook () =
                 Hashtbl.reset registry;
                 ps)
           in
-          List.iter
-            (fun p ->
-              Telemetry.Ledger.finish p ~outcome:"crash" ~exit_code:2)
-            remaining)
+          match remaining with
+          | [] -> ()
+          | remaining ->
+              List.iter
+                (fun p ->
+                  Telemetry.Ledger.finish p ~outcome:"crash" ~exit_code:2)
+                remaining;
+              (* runs died mid-flight: preserve the last telemetry events
+                 alongside the crash records (no-op when the flight
+                 recorder is disabled) *)
+              ignore (Telemetry.Flight.dump ~reason:"crash" ()))
   end
 
 let start ?no_ledger ?dir ~subcommand ~problem ~config () =

@@ -22,6 +22,10 @@ type config = {
   no_ledger : bool;
   ledger_dir : string option;
   metrics : string option;
+  metrics_port : int option;
+  trace : string option;
+  flight_dir : string option;
+  flight_capacity : int;
 }
 
 let default_config ~socket =
@@ -38,12 +42,19 @@ let default_config ~socket =
     no_ledger = false;
     ledger_dir = None;
     metrics = None;
+    metrics_port = None;
+    trace = None;
+    flight_dir = None;
+    flight_capacity = 512;
   }
 
 let tick = 0.05
 
+type proto = Jsonl | Http
+
 type client = {
   fd : Unix.file_descr;
+  proto : proto;  (* NDJSON control socket, or the HTTP scrape port *)
   buf : Buffer.t;  (* unconsumed request bytes *)
   out : Buffer.t;  (* unflushed response bytes *)
   mutable close_after_flush : bool;
@@ -55,9 +66,15 @@ type state = {
   manager : Session.Manager.t;
   defaults : Session.request;
   mutable listen_fd : Unix.file_descr option;
+  mutable http_fd : Unix.file_descr option;
+      (* optional TCP scrape listener; stays open during drain so
+         /healthz can report the drain in progress *)
   mutable clients : client list;
   mutable waiters : (Unix.file_descr * Session.Manager.id) list;
   mutable submitted : Session.Manager.id list;
+  rids : (Session.Manager.id, string) Hashtbl.t;
+      (* session id -> wire request id, for status/await responses *)
+  mutable rid_seq : int;
   mutable draining : bool;
 }
 
@@ -125,36 +142,95 @@ let settled = function
       true
   | Session.Manager.Queued | Session.Manager.Running -> false
 
-let status_response id status =
-  Wire.ok [ ("id", J.Int id); ("session", Wire.status_to_json status) ]
+let status_response st id status =
+  Wire.ok
+    (("id", J.Int id)
+    :: (match Hashtbl.find_opt st.rids id with
+       | Some rid -> [ ("request", J.Str rid) ]
+       | None -> [])
+    @ [ ("session", Wire.status_to_json status) ])
+
+let worker_json (w : Session.Manager.worker_info) =
+  J.Obj
+    ([
+       ("worker", J.Int w.Session.Manager.wi_worker);
+       ( "state",
+         J.Str
+           (match w.Session.Manager.wi_state with
+           | `Idle -> "idle"
+           | `Running -> "running"
+           | `Condemned -> "condemned") );
+       ("since_s", J.Float w.Session.Manager.wi_since_s);
+     ]
+    @ (match w.Session.Manager.wi_request with
+      | Some r -> [ ("request", J.Str r) ]
+      | None -> [])
+    @
+    match w.Session.Manager.wi_session with
+    | Some s -> [ ("session", J.Int s) ]
+    | None -> [])
+
+let m_admitted = Telemetry.Metrics.counter "serve.admitted"
+let m_scrapes = Telemetry.Metrics.counter "serve.metrics_scrapes"
+let g_draining = Telemetry.Metrics.gauge "serve.draining"
+
+(* Refresh the per-worker labeled gauge series just before a scrape, so
+   the exposition carries live worker detail without per-tick updates. *)
+let update_worker_metrics st =
+  Telemetry.Metrics.incr m_scrapes 1;
+  Telemetry.Metrics.set g_draining (if st.draining then 1.0 else 0.0);
+  List.iter
+    (fun (w : Session.Manager.worker_info) ->
+      let labels =
+        [ ("worker", string_of_int w.Session.Manager.wi_worker) ]
+      in
+      Telemetry.Metrics.set
+        (Telemetry.Metrics.gauge ~labels "serve.worker_busy")
+        (match w.Session.Manager.wi_state with
+        | `Running -> 1.0
+        | `Idle | `Condemned -> 0.0);
+      Telemetry.Metrics.set
+        (Telemetry.Metrics.gauge ~labels "serve.worker_state_age_s")
+        w.Session.Manager.wi_since_s)
+    (Session.Manager.workers st.manager)
+
+let stats_fields st =
+  [
+    ("queue_depth", J.Int (Session.Manager.queue_depth st.manager));
+    ("sessions", J.Int (List.length st.submitted));
+    ("reaped", J.Int (Session.Manager.reaped st.manager));
+    ("draining", J.Bool st.draining);
+    ( "workers",
+      J.List (List.map worker_json (Session.Manager.workers st.manager)) );
+  ]
 
 let handle_command st c = function
   | Wire.Ping -> send st c (Wire.ok [ ("pong", J.Bool true) ])
-  | Wire.Stats ->
+  | Wire.Stats -> send st c (Wire.ok (stats_fields st))
+  | Wire.Metrics ->
+      update_worker_metrics st;
       send st c
         (Wire.ok
-           [
-             ("queue_depth", J.Int (Session.Manager.queue_depth st.manager));
-             ("sessions", J.Int (List.length st.submitted));
-             ("reaped", J.Int (Session.Manager.reaped st.manager));
-             ("draining", J.Bool st.draining);
-           ])
+           (stats_fields st
+           @ [ ("exposition", J.Str (Telemetry.Metrics.expose ())) ]))
   | Wire.Shutdown ->
       send st c (Wire.ok [ ("draining", J.Bool true) ]);
       st.draining <- true
   | Wire.Submit { request; await; deadline_s } -> (
       if st.draining then send st c (Wire.error ~kind:"draining" "draining")
       else
+        let depth = Session.Manager.queue_depth st.manager in
+        (* request id minted at admission: every telemetry event, ledger
+           record and wire response of this run carries it *)
+        let rid = Printf.sprintf "r%d-%d" (Unix.getpid ()) st.rid_seq in
+        st.rid_seq <- st.rid_seq + 1;
         (* the admission-time queue depth rides into the run's ledger
            record, so the dashboard can plot load against outcomes *)
         let request =
           {
             request with
-            Session.extra_metrics =
-              [
-                ( "serve.queue_depth",
-                  float_of_int (Session.Manager.queue_depth st.manager) );
-              ];
+            Session.request_id = Some rid;
+            extra_metrics = [ ("serve.queue_depth", float_of_int depth) ];
           }
         in
         match Session.Manager.submit ?deadline_s st.manager request with
@@ -162,12 +238,26 @@ let handle_command st c = function
             send st c (Wire.error ~kind:"backpressure" "queue full")
         | Ok id ->
             st.submitted <- id :: st.submitted;
+            Hashtbl.replace st.rids id rid;
+            Telemetry.Metrics.incr m_admitted 1;
+            (* the admission point anchors the request's queue-wait
+               interval in the daemon trace *)
+            if Telemetry.enabled () then
+              Telemetry.point "serve.admit"
+                ~fields:
+                  [
+                    ("request", Telemetry.str rid);
+                    ("session", Telemetry.str (string_of_int id));
+                    ("queue_depth", Telemetry.str (string_of_int depth));
+                  ];
             if await then st.waiters <- (c.fd, id) :: st.waiters
-            else send st c (Wire.ok [ ("id", J.Int id) ]))
+            else
+              send st c
+                (Wire.ok [ ("id", J.Int id); ("request", J.Str rid) ]))
   | Wire.Status id -> (
       match Session.Manager.status st.manager id with
       | None -> send st c (Wire.error ~kind:"unknown_id" "unknown id")
-      | Some status -> send st c (status_response id status))
+      | Some status -> send st c (status_response st id status))
   | Wire.Cancel id ->
       send st c
         (Wire.ok [ ("cancelled", J.Bool (Session.Manager.cancel st.manager id)) ])
@@ -175,7 +265,7 @@ let handle_command st c = function
       match Session.Manager.status st.manager id with
       | None -> send st c (Wire.error ~kind:"unknown_id" "unknown id")
       | Some status ->
-          if settled status then send st c (status_response id status)
+          if settled status then send st c (status_response st id status)
           else st.waiters <- (c.fd, id) :: st.waiters)
 
 let handle_line st c line =
@@ -188,6 +278,50 @@ let handle_line st c line =
         | Error msg -> send st c (Wire.error msg)
         | Ok cmd -> handle_command st c cmd)
 
+(* ---------- the HTTP scrape endpoint ---------- *)
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let healthz_json st =
+  J.Obj
+    [
+      ("status", J.Str (if st.draining then "draining" else "ok"));
+      ("queue_depth", J.Int (Session.Manager.queue_depth st.manager));
+      ("reaped", J.Int (Session.Manager.reaped st.manager));
+      ( "workers",
+        J.List (List.map worker_json (Session.Manager.workers st.manager)) );
+    ]
+
+(* One request per connection: answer the request line, flush, hang up.
+   Headers after the first line are irrelevant to a scrape and ignored. *)
+let handle_http st c line =
+  let resp =
+    match String.split_on_char ' ' (String.trim line) with
+    | "GET" :: path :: _ -> (
+        match path with
+        | "/metrics" ->
+            update_worker_metrics st;
+            http_response ~status:"200 OK"
+              ~content_type:"text/plain; version=0.0.4"
+              (Telemetry.Metrics.expose ())
+        | "/healthz" ->
+            http_response ~status:"200 OK" ~content_type:"application/json"
+              (J.to_string (healthz_json st) ^ "\n")
+        | _ ->
+            http_response ~status:"404 Not Found" ~content_type:"text/plain"
+              "not found\n")
+    | _ ->
+        http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+          "bad request\n"
+  in
+  send st c resp;
+  if List.exists (fun c' -> c'.fd == c.fd) st.clients then
+    c.close_after_flush <- true
+
 (* drain complete lines from the client's buffer *)
 let rec process_buffer st c =
   let s = Buffer.contents c.buf in
@@ -197,10 +331,16 @@ let rec process_buffer st c =
       let line = String.sub s 0 i in
       Buffer.clear c.buf;
       Buffer.add_substring c.buf s (i + 1) (String.length s - i - 1);
-      if String.length line > st.config.max_frame then
-        reject st c ~kind:"oversized"
-          (Printf.sprintf "frame exceeds %d bytes" st.config.max_frame)
-      else handle_line st c line;
+      (match c.proto with
+      | Http ->
+          (* the request line is all a scrape needs; the response marks
+             the connection close-after-flush, ending processing here *)
+          if not c.close_after_flush then handle_http st c line
+      | Jsonl ->
+          if String.length line > st.config.max_frame then
+            reject st c ~kind:"oversized"
+              (Printf.sprintf "frame exceeds %d bytes" st.config.max_frame)
+          else handle_line st c line);
       if
         List.exists (fun c' -> c'.fd == c.fd) st.clients
         && not c.close_after_flush
@@ -255,7 +395,7 @@ let answer_waiters st =
       | Some c -> (
           match Session.Manager.status st.manager id with
           | None -> send st c (Wire.error ~kind:"unknown_id" "unknown id")
-          | Some status -> send st c (status_response id status)))
+          | Some status -> send st c (status_response st id status)))
     ready
 
 (* Idle and half-open connections are reaped so abandoned peers cannot
@@ -282,31 +422,37 @@ let busy st =
       | None -> false)
     st.submitted
 
-let accept_clients st =
-  match st.listen_fd with
-  | None -> ()
-  | Some lfd -> (
-      match Unix.accept lfd with
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          ()
-      | fd, _ ->
-          Unix.set_nonblock fd;
-          st.clients <-
-            {
-              fd;
-              buf = Buffer.create 256;
-              out = Buffer.create 256;
-              close_after_flush = false;
-              last_active = Unix.gettimeofday ();
-            }
-            :: st.clients)
+let accept_clients st ~proto lfd =
+  match Unix.accept lfd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      st.clients <-
+        {
+          fd;
+          proto;
+          buf = Buffer.create 256;
+          out = Buffer.create 256;
+          close_after_flush = false;
+          last_active = Unix.gettimeofday ();
+        }
+        :: st.clients
 
+(* Stops control-socket admission only; the HTTP scrape listener keeps
+   answering during the drain so operators can watch it finish. *)
 let stop_accepting st =
   match st.listen_fd with
   | None -> ()
   | Some lfd ->
       (try Unix.close lfd with Unix.Unix_error _ -> ());
       st.listen_fd <- None
+
+let stop_http st =
+  match st.http_fd with
+  | None -> ()
+  | Some hfd ->
+      (try Unix.close hfd with Unix.Unix_error _ -> ());
+      st.http_fd <- None
 
 let loop st =
   let stop = Atomic.make false in
@@ -323,6 +469,7 @@ let loop st =
         if st.draining then stop_accepting st;
         let rfds =
           (match st.listen_fd with Some fd -> [ fd ] | None -> [])
+          @ (match st.http_fd with Some fd -> [ fd ] | None -> [])
           @ List.map (fun c -> c.fd) st.clients
         in
         let wfds =
@@ -337,7 +484,8 @@ let loop st =
         in
         List.iter
           (fun fd ->
-            if Some fd = st.listen_fd then accept_clients st
+            if Some fd = st.listen_fd then accept_clients st ~proto:Jsonl fd
+            else if Some fd = st.http_fd then accept_clients st ~proto:Http fd
             else
               match List.find_opt (fun c -> c.fd == fd) st.clients with
               | Some c -> read_client st c
@@ -469,9 +617,51 @@ let run config =
       subcommand = "serve";
     }
   in
+  (* the flight recorder is always armed in serve mode: rings are cheap,
+     and a reaped worker's postmortem is only useful if the events were
+     being kept before the stall *)
+  let flight_dir =
+    match config.flight_dir with
+    | Some d -> d
+    | None ->
+        let d = Filename.dirname config.socket in
+        if d = "" then "." else d
+  in
+  Telemetry.Flight.enable ~capacity:config.flight_capacity ~dir:flight_dir ();
   let manager =
     Session.Manager.create ~workers:config.workers ~max_queue:config.max_queue
-      ~grace:config.grace ()
+      ~grace:config.grace
+      ~on_reap:(fun ~worker ~request_id ->
+        let fields =
+          ("worker", Telemetry.str (string_of_int worker))
+          ::
+          (match request_id with
+          | Some r -> [ ("request", Telemetry.str r) ]
+          | None -> [])
+        in
+        match Telemetry.Flight.dump ~fields ~reason:"reap" () with
+        | Some path -> log "worker %d reaped; postmortem %s" worker path
+        | None -> ())
+      ()
+  in
+  let http_lfd =
+    match config.metrics_port with
+    | None -> None
+    | Some port ->
+        let hfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt hfd Unix.SO_REUSEADDR true;
+        (try
+           Unix.bind hfd
+             (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+         with Unix.Unix_error (e, _, _) ->
+           (try Unix.close hfd with Unix.Unix_error _ -> ());
+           (try Unix.unlink config.socket with Unix.Unix_error _ -> ());
+           failwith
+             (Printf.sprintf "cannot bind 127.0.0.1:%d: %s" port
+                (Unix.error_message e)));
+        Unix.listen hfd 16;
+        Unix.set_nonblock hfd;
+        Some hfd
   in
   let st =
     {
@@ -479,36 +669,62 @@ let run config =
       manager;
       defaults;
       listen_fd = Some lfd;
+      http_fd = http_lfd;
       clients = [];
       waiters = [];
       submitted = [];
+      rids = Hashtbl.create 16;
+      rid_seq = 0;
       draining = false;
     }
   in
   let serve () =
     log "listening on %s (%d workers, queue %d)" config.socket config.workers
       config.max_queue;
+    (match config.metrics_port with
+    | Some port -> log "metrics on http://127.0.0.1:%d/metrics" port
+    | None -> ());
     Fun.protect
       ~finally:(fun () ->
         stop_accepting st;
+        stop_http st;
         List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
           st.clients;
         st.clients <- [];
         Session.Manager.drain manager;
+        Telemetry.Flight.disable ();
         if Sys.file_exists config.socket then Unix.unlink config.socket;
         (try Unix.unlink (pidfile config) with Unix.Unix_error _ | Sys_error _ -> ());
         log "drained")
       (fun () -> loop st)
   in
-  match config.metrics with
-  | None -> serve ()
-  | Some path ->
-      (* one exposition file for the daemon's lifetime; per-request
-         observability is off for serve requests, so the global sink is
-         never displaced *)
-      let write text =
-        let oc = open_out path in
-        output_string oc text;
-        close_out oc
-      in
-      Telemetry.with_sink (Telemetry.Metrics.flush_sink write) serve
+  (* The daemon's telemetry sink is a tee assembled once for its
+     lifetime: the flight recorder ring, an optional NDJSON trace of
+     everything (requests stamped with their ids), and the optional
+     periodic metrics exposition file.  Per-request observability is off
+     for serve requests, so the global sink is never displaced. *)
+  let trace_oc =
+    match config.trace with
+    | None -> None
+    | Some path -> Some (open_out path)
+  in
+  let sinks =
+    [ Telemetry.Flight.sink () ]
+    @ (match trace_oc with
+      | Some oc -> [ Telemetry.Sink.ndjson oc ]
+      | None -> [])
+    @
+    match config.metrics with
+    | None -> []
+    | Some path ->
+        let write text =
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc
+        in
+        [ Telemetry.Metrics.flush_sink write ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match trace_oc with Some oc -> close_out oc | None -> ())
+    (fun () -> Telemetry.with_sink (Telemetry.Sink.tee sinks) serve)

@@ -51,6 +51,23 @@ type config = {
       (** Prometheus exposition file, refreshed for the daemon's whole
           lifetime (covers [session.cache_*], [serve.queue_depth] and
           [serve.worker_reaped]) *)
+  metrics_port : int option;
+      (** when set, an HTTP listener on [127.0.0.1:port] served from the
+          same select loop: [GET /metrics] returns the live Prometheus
+          exposition (with per-worker labeled gauges refreshed at scrape
+          time), [GET /healthz] a JSON health summary whose [status]
+          flips to ["draining"] during shutdown.  The listener stays
+          open through the drain. *)
+  trace : string option;
+      (** NDJSON telemetry trace of the daemon's entire lifetime; every
+          event of a served run is stamped with its [request] id, so
+          [fecsynth trace report --request] can slice one submit back
+          out *)
+  flight_dir : string option;
+      (** where reap/crash postmortems land (default: the socket's
+          directory) *)
+  flight_capacity : int;
+      (** per-domain flight-recorder ring size (default 512 events) *)
 }
 
 val default_config : socket:string -> config

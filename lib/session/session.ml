@@ -29,6 +29,7 @@ type request = {
   metrics : string option;
   progress : bool;
   extra_metrics : (string * float) list;
+  request_id : string option;  (* wire correlation id, minted at admission *)
 }
 
 let default_request job =
@@ -46,6 +47,7 @@ let default_request job =
     metrics = None;
     progress = false;
     extra_metrics = [];
+    request_id = None;
   }
 
 type resumed = { cex_count : int; prior_iterations : int; start_check : int }
@@ -243,7 +245,11 @@ let run_synth ?on_report ~intr ~t0 request ~prop_spec ~weights ~portfolio ~jobs
         @ (match request.checkpoint with
           | Some p -> [ ("checkpoint", p) ]
           | None -> [])
-        @ match request.resume with Some p -> [ ("resume", p) ] | None -> [])
+        @ (match request.resume with Some p -> [ ("resume", p) ] | None -> [])
+        @
+        match request.request_id with
+        | Some r -> [ ("request", r) ]
+        | None -> [])
       ()
   in
   guarded token @@ fun () ->
@@ -453,7 +459,11 @@ let run_optimize ~intr ~t0 request ~data_len ~md ~check_lo ~check_hi =
         @ (match request.checkpoint with
           | Some p -> [ ("checkpoint", p) ]
           | None -> [])
-        @ match request.resume with Some p -> [ ("resume", p) ] | None -> [])
+        @ (match request.resume with Some p -> [ ("resume", p) ] | None -> [])
+        @
+        match request.request_id with
+        | Some r -> [ ("request", r) ]
+        | None -> [])
       ()
   in
   guarded token @@ fun () ->
@@ -665,11 +675,29 @@ module Manager = struct
     | Timed_out
 
   type jobrec = {
+    jr_id : id;
     jr_request : request;
     jr_cancel : bool Atomic.t;
     jr_deadline : float option;  (* absolute, Unix.gettimeofday clock *)
+    jr_submitted : float;  (* admission time, for queue-wait attribution *)
     mutable jr_status : status;
     mutable jr_worker : int;  (* worker id running it; -1 when none *)
+  }
+
+  type worker_info = {
+    wi_worker : int;
+    wi_state : [ `Idle | `Running | `Condemned ];
+    wi_since_s : float;  (* seconds spent in the current state *)
+    wi_request : string option;  (* request id being served, if any *)
+    wi_session : id option;
+  }
+
+  (* mutable mirror of [worker_info], updated under [t.lock] *)
+  type wstate = {
+    mutable ws_state : [ `Idle | `Running | `Condemned ];
+    mutable ws_since : float;
+    mutable ws_request : string option;
+    mutable ws_session : id option;
   }
 
   type t = {
@@ -685,18 +713,40 @@ module Manager = struct
     policy : Synth.Supervisor.policy;  (* crash restarts + reap backoff *)
     mutable domains : (int * unit Domain.t) list;  (* worker id, domain *)
     condemned : (int, unit) Hashtbl.t;  (* reaped workers, never joined *)
+    workers_tbl : (int, wstate) Hashtbl.t;
     mutable next_worker : int;
     mutable reap_count : int;
+    on_reap : (worker:int -> request_id:string option -> unit) option;
+        (* fired outside [lock] after a worker is condemned — the serve
+           daemon dumps the flight recorder here *)
   }
 
   let g_depth = Telemetry.Metrics.gauge "serve.queue_depth"
   let m_reaped = Telemetry.Metrics.counter "serve.worker_reaped"
+
+  let h_queue_wait =
+    Telemetry.Metrics.histogram "serve.queue_wait_ms"
+      ~help:"milliseconds a request spent queued before a worker picked it up"
 
   let locked t f =
     Mutex.lock t.lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
   let set_depth t = Telemetry.Metrics.set g_depth (float_of_int (Queue.length t.queue))
+
+  (* must be called with [t.lock] held *)
+  let mark_worker t w state ~request ~session =
+    let now = Unix.gettimeofday () in
+    match Hashtbl.find_opt t.workers_tbl w with
+    | Some ws ->
+        ws.ws_state <- state;
+        ws.ws_since <- now;
+        ws.ws_request <- request;
+        ws.ws_session <- session
+    | None ->
+        Hashtbl.replace t.workers_tbl w
+          { ws_state = state; ws_since = now; ws_request = request;
+            ws_session = session }
 
   (* A failed run renders the same message the CLI's top-level handlers
      would print, so the wire client sees familiar errors. *)
@@ -742,6 +792,8 @@ module Manager = struct
             else begin
               jr.jr_status <- Running;
               jr.jr_worker <- w;
+              mark_worker t w `Running ~request:jr.jr_request.request_id
+                ~session:(Some id);
               Mutex.unlock t.lock;
               Some jr
             end
@@ -756,10 +808,41 @@ module Manager = struct
       match next_job () with
       | None -> ()
       | Some jr ->
-          let status =
-            match run_sync ~cancel:jr.jr_cancel jr.jr_request with
+          let wait_s = Unix.gettimeofday () -. jr.jr_submitted in
+          Telemetry.Metrics.observe h_queue_wait
+            (int_of_float (wait_s *. 1000.));
+          (* the queue-wait lands in the ledger's extra metrics so
+             [runs html] can split serve latency into wait vs run *)
+          let request =
+            { jr.jr_request with
+              extra_metrics =
+                ("serve.queue_wait_s", wait_s) :: jr.jr_request.extra_metrics;
+            }
+          in
+          let run () =
+            match run_sync ~cancel:jr.jr_cancel request with
             | r -> Done r
             | exception e -> Failed (failure_message e)
+          in
+          let status =
+            match request.request_id with
+            | None -> run ()
+            | Some rid ->
+                (* every event the run emits — including from portfolio
+                   worker domains, which re-install the context — carries
+                   the request id, so [trace report --request] can slice
+                   this run back out of the daemon's interleaved trace *)
+                Telemetry.with_context
+                  [ ("request", Telemetry.str rid) ]
+                  (fun () ->
+                    Telemetry.span "serve.request"
+                      ~fields:
+                        [
+                          ("worker", Telemetry.str (string_of_int w));
+                          ( "queue_wait_s",
+                            Telemetry.str (Printf.sprintf "%.3f" wait_s) );
+                        ]
+                      run)
           in
           locked t (fun () ->
               (match jr.jr_status with
@@ -770,7 +853,9 @@ module Manager = struct
               | _ ->
                   (* reaped meanwhile; the Timed_out verdict stands and
                      this condemned worker exits below *)
-                  ()));
+                  ());
+              if not (Hashtbl.mem t.condemned w) then
+                mark_worker t w `Idle ~request:None ~session:None);
           if not (Hashtbl.mem t.condemned w) then loop ()
     in
     loop ()
@@ -788,6 +873,7 @@ module Manager = struct
   let spawn t ~backoff_attempt =
     let w = t.next_worker in
     t.next_worker <- w + 1;
+    mark_worker t w `Idle ~request:None ~session:None;
     let d =
       Domain.spawn (fun () ->
           if backoff_attempt > 0 then
@@ -798,7 +884,7 @@ module Manager = struct
     in
     t.domains <- (w, d) :: t.domains
 
-  let create ~workers ~max_queue ?(grace = 1.0) ?policy () =
+  let create ~workers ~max_queue ?(grace = 1.0) ?policy ?on_reap () =
     let policy =
       match policy with
       | Some p -> p
@@ -818,8 +904,10 @@ module Manager = struct
         policy;
         domains = [];
         condemned = Hashtbl.create 4;
+        workers_tbl = Hashtbl.create 8;
         next_worker = 0;
         reap_count = 0;
+        on_reap;
       }
     in
     locked t (fun () ->
@@ -835,12 +923,14 @@ module Manager = struct
         else begin
           let id = t.next in
           t.next <- id + 1;
+          let now = Unix.gettimeofday () in
           Hashtbl.replace t.sessions id
             {
+              jr_id = id;
               jr_request = request;
               jr_cancel = Atomic.make false;
-              jr_deadline =
-                Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
+              jr_deadline = Option.map (fun s -> now +. s) deadline_s;
+              jr_submitted = now;
               jr_status = Queued;
               jr_worker = -1;
             };
@@ -860,36 +950,55 @@ module Manager = struct
      either way: the wire never hangs on a stuck job. *)
   let tend t =
     let now = Unix.gettimeofday () in
-    locked t (fun () ->
-        Hashtbl.iter
-          (fun _id jr ->
-            if deadline_passed jr now then
-              match jr.jr_status with
-              | Queued ->
-                  jr.jr_status <- Timed_out;
-                  Condition.broadcast t.settled
-              | Running ->
-                  Atomic.set jr.jr_cancel true;
-                  if
-                    now >= Option.get jr.jr_deadline +. t.grace
-                    && jr.jr_worker >= 0
-                    && not (Hashtbl.mem t.condemned jr.jr_worker)
-                  then begin
-                    Hashtbl.replace t.condemned jr.jr_worker ();
-                    t.reap_count <- t.reap_count + 1;
-                    Telemetry.Metrics.incr m_reaped 1;
-                    if Telemetry.enabled () then
-                      Telemetry.point "manager.reap"
-                        ~fields:
-                          [ ("worker", Telemetry.str (string_of_int jr.jr_worker)) ];
+    let reaps =
+      locked t (fun () ->
+          let reaps = ref [] in
+          Hashtbl.iter
+            (fun _id jr ->
+              if deadline_passed jr now then
+                match jr.jr_status with
+                | Queued ->
                     jr.jr_status <- Timed_out;
-                    jr.jr_worker <- -1;
-                    Condition.broadcast t.settled;
-                    if not t.stopping then
-                      spawn t ~backoff_attempt:t.reap_count
-                  end
-              | _ -> ())
-          t.sessions)
+                    Condition.broadcast t.settled
+                | Running ->
+                    Atomic.set jr.jr_cancel true;
+                    if
+                      now >= Option.get jr.jr_deadline +. t.grace
+                      && jr.jr_worker >= 0
+                      && not (Hashtbl.mem t.condemned jr.jr_worker)
+                    then begin
+                      let w = jr.jr_worker in
+                      let rid = jr.jr_request.request_id in
+                      Hashtbl.replace t.condemned w ();
+                      t.reap_count <- t.reap_count + 1;
+                      Telemetry.Metrics.incr m_reaped 1;
+                      if Telemetry.enabled () then
+                        Telemetry.point "manager.reap"
+                          ~fields:
+                            (("worker", Telemetry.str (string_of_int w))
+                            ::
+                            (match rid with
+                            | None -> []
+                            | Some r -> [ ("request", Telemetry.str r) ]));
+                      mark_worker t w `Condemned ~request:rid
+                        ~session:(Some jr.jr_id);
+                      jr.jr_status <- Timed_out;
+                      jr.jr_worker <- -1;
+                      Condition.broadcast t.settled;
+                      reaps := (w, rid) :: !reaps;
+                      if not t.stopping then
+                        spawn t ~backoff_attempt:t.reap_count
+                    end
+                | _ -> ())
+            t.sessions;
+          !reaps)
+    in
+    (* outside the lock: the hook dumps the flight recorder, which takes
+       its own mutex and touches the filesystem *)
+    match t.on_reap with
+    | None -> ()
+    | Some f ->
+        List.iter (fun (w, rid) -> f ~worker:w ~request_id:rid) reaps
 
   let status t id =
     locked t (fun () ->
@@ -928,6 +1037,22 @@ module Manager = struct
 
   let queue_depth t = locked t (fun () -> Queue.length t.queue)
   let reaped t = locked t (fun () -> t.reap_count)
+
+  let workers t =
+    let now = Unix.gettimeofday () in
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun w ws acc ->
+            {
+              wi_worker = w;
+              wi_state = ws.ws_state;
+              wi_since_s = now -. ws.ws_since;
+              wi_request = ws.ws_request;
+              wi_session = ws.ws_session;
+            }
+            :: acc)
+          t.workers_tbl []
+        |> List.sort (fun a b -> compare a.wi_worker b.wi_worker))
 
   let drain t =
     locked t (fun () ->

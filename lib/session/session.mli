@@ -38,6 +38,12 @@ type request = {
       (** caller-stamped facts appended to the run's ledger metrics on
           every finish path (cache hits included) — the serve daemon
           records its admission-time [serve.queue_depth] here *)
+  request_id : string option;
+      (** wire correlation id minted at admission by the serve daemon.
+          When present, the worker installs it as ambient span context
+          ({!Telemetry.with_context}) so every telemetry event of the
+          run carries a [request] field, and the ledger record keeps it
+          in its config block. *)
 }
 
 (** A request with everything but the job defaulted: 120 s timeout, no
@@ -123,19 +129,32 @@ module Manager : sig
     | Cancelled  (** cancelled while still queued *)
     | Timed_out  (** its deadline passed; see {!tend} *)
 
-  (** [create ~workers ~max_queue ?grace ?policy ()] starts [workers]
-      domains.  At most [max_queue] requests may be queued (excluding
-      running ones); admission beyond that is refused.  [grace] (default
-      1 s) is the post-deadline slack a running session gets to wind
-      down cooperatively before its worker is reaped.  [policy] governs
-      both worker crash supervision and reap/replacement backoff
-      (default: {!Synth.Supervisor.default_policy} with generous
-      restarts, suited to a long-running daemon). *)
+  (** Live per-worker detail for the [stats]/[metrics] wire ops and
+      [fecsynth top]. *)
+  type worker_info = {
+    wi_worker : int;
+    wi_state : [ `Idle | `Running | `Condemned ];
+    wi_since_s : float;  (** seconds spent in the current state *)
+    wi_request : string option;  (** request id being served, if any *)
+    wi_session : id option;
+  }
+
+  (** [create ~workers ~max_queue ?grace ?policy ?on_reap ()] starts
+      [workers] domains.  At most [max_queue] requests may be queued
+      (excluding running ones); admission beyond that is refused.
+      [grace] (default 1 s) is the post-deadline slack a running session
+      gets to wind down cooperatively before its worker is reaped.
+      [policy] governs both worker crash supervision and reap/
+      replacement backoff (default: {!Synth.Supervisor.default_policy}
+      with generous restarts, suited to a long-running daemon).
+      [on_reap] fires outside the manager lock after each worker is
+      condemned — the serve daemon dumps the flight recorder there. *)
   val create :
     workers:int ->
     max_queue:int ->
     ?grace:float ->
     ?policy:Synth.Supervisor.policy ->
+    ?on_reap:(worker:int -> request_id:string option -> unit) ->
     unit ->
     t
 
@@ -171,6 +190,10 @@ module Manager : sig
 
   (** Workers reaped (condemned and replaced) since creation. *)
   val reaped : t -> int
+
+  (** Snapshot of every worker ever spawned (condemned ones included),
+      sorted by worker id. *)
+  val workers : t -> worker_info list
 
   (** [drain t] stops admission, waits for every queued and running
       session to settle, and joins the workers. *)

@@ -11,6 +11,7 @@ type command =
   | Await of int
   | Cancel of int
   | Stats
+  | Metrics
   | Shutdown
 
 (* ---------- responses ---------- *)
@@ -204,5 +205,6 @@ let command_of_json ~defaults j =
   | Some "await" -> Stdlib.Result.map (fun id -> Await id) (id_of j)
   | Some "cancel" -> Stdlib.Result.map (fun id -> Cancel id) (id_of j)
   | Some "stats" -> Ok Stats
+  | Some "metrics" -> Ok Metrics
   | Some "shutdown" -> Ok Shutdown
   | Some op -> Error (Printf.sprintf "unknown op %S" op)

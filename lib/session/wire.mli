@@ -15,7 +15,11 @@
       manager answers [{"state":"timeout"}] once it passes)
     - [{"op":"status","id":N}] / [{"op":"await","id":N}] /
       [{"op":"cancel","id":N}]
-    - [{"op":"stats"}]
+    - [{"op":"stats"}] — queue depth, drain status and per-worker
+      detail (state, seconds in state, request id being served)
+    - [{"op":"metrics"}] — the same live snapshot plus the full
+      Prometheus text exposition under ["exposition"] (what the HTTP
+      [/metrics] endpoint serves); [fecsynth top] polls this
     - [{"op":"shutdown"}] — drain and exit
 
     Error responses may carry a machine-readable ["kind"] alongside the
@@ -38,6 +42,7 @@ type command =
   | Await of int
   | Cancel of int
   | Stats
+  | Metrics
   | Shutdown
 
 (** [command_of_json ~defaults j] decodes one request line; [defaults]

@@ -594,9 +594,15 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
             ~pool ~best ~origin_counter ~ext_interrupt:interrupt ~on_cex
             round_configs
       | _ ->
+          (* ambient span context (the serve request id) is per-domain
+             state: capture it here and re-install in each worker so the
+             spawned solvers' events stay correlated to the request *)
+          let ctx = Telemetry.current_context () in
           let domains =
             List.mapi
-              (fun i c -> Domain.spawn (fun () -> run i c))
+              (fun i c ->
+                Domain.spawn (fun () ->
+                    Telemetry.with_context ctx (fun () -> run i c)))
               round_configs
           in
           List.map Domain.join domains
@@ -710,8 +716,13 @@ let verify_min_distance ?(timeout = 120.0) ?(jobs = 4) code m =
   (match strategies with
   | [ only ] -> run only
   | _ ->
+      let ctx = Telemetry.current_context () in
       let domains =
-        List.map (fun s -> Domain.spawn (fun () -> run s)) strategies
+        List.map
+          (fun s ->
+            Domain.spawn (fun () ->
+                Telemetry.with_context ctx (fun () -> run s)))
+          strategies
       in
       List.iter Domain.join domains);
   let wall_clock = Unix.gettimeofday () -. start in

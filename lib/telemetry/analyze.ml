@@ -106,7 +106,39 @@ type check = {
   check_truncated : bool;
   unbalanced_spans : int;
   out_of_order : int;
+  unknown_fields : int;
+  unknown_field_names : string list;
 }
+
+(* Every custom field key the current writers emit and the analyzers
+   understand.  Keys outside this set come from a newer writer (the way
+   "request" did when span context was introduced): they are kept as
+   custom fields and surfaced by [check] as a warning count, never an
+   error — forward compatibility is part of the trace format contract. *)
+let known_fields =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun k -> Hashtbl.replace tbl k ())
+    [
+      "action"; "analyze_s"; "attempt"; "backoff_attempt"; "budget_s";
+      "cand_weight"; "cex_mode"; "cex_weight"; "cexes"; "check_len";
+      "clauses"; "config"; "conflicts"; "consumed"; "crashes"; "data_len";
+      "decisions"; "delay_s"; "encoding"; "error_prob"; "exn";
+      "extra_constraints"; "finished"; "flips_ge_md"; "id"; "iter";
+      "iterations"; "jobs"; "k"; "learnt_size_hist"; "level"; "min_distance";
+      "n"; "new_clauses"; "new_vars"; "op"; "outcome"; "param"; "portfolio";
+      "proof_steps"; "propagate_s"; "propagations"; "published";
+      "queue_depth"; "queue_wait_s"; "reason"; "request";
+      "restart_interval_s"; "restart_s"; "restarts"; "result";
+      "resumed_cexes"; "round"; "rounds"; "samples"; "scale"; "scheduler";
+      "seed"; "session"; "set_bits"; "site"; "stats.elapsed_s";
+      "stats.iterations"; "stats.learnt_size_p50"; "stats.learnt_size_p95";
+      "stats.learnt_size_p99"; "stats.syn_conflicts"; "stats.ver_conflicts";
+      "stats.verifier_calls"; "stats.worker_crashes"; "stats.worker_restarts";
+      "timeout"; "timeout_s"; "undetected"; "vars"; "verdict"; "verifier";
+      "walk"; "wall_s"; "winner"; "words"; "worker";
+    ];
+  tbl
 
 (* Cross-domain events funnel through one sink mutex, so a later-captured
    timestamp can legitimately be written slightly before an earlier one
@@ -139,10 +171,23 @@ let check (p : parsed) =
   let counts : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
   let open_spans : (int, unit) Hashtbl.t = Hashtbl.create 32 in
   let last_ts : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let unknown : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let unbalanced = ref 0 and out_of_order = ref 0 and total = ref 0 in
+  let unknown_events = ref 0 in
   List.iter
     (fun ev ->
       incr total;
+      let strange =
+        List.fold_left
+          (fun acc (k, _) ->
+            if Hashtbl.mem known_fields k then acc
+            else begin
+              Hashtbl.replace unknown k ();
+              true
+            end)
+          false (event_fields ev)
+      in
+      if strange then incr unknown_events;
       let key = (Sink.event_kind ev, Sink.event_name ev) in
       Hashtbl.replace counts key
         (1 + Option.value (Hashtbl.find_opt counts key) ~default:0);
@@ -168,6 +213,10 @@ let check (p : parsed) =
     check_truncated = p.truncated;
     unbalanced_spans = !unbalanced + Hashtbl.length open_spans;
     out_of_order = !out_of_order;
+    unknown_fields = !unknown_events;
+    unknown_field_names =
+      List.sort String.compare
+        (Hashtbl.fold (fun k () acc -> k :: acc) unknown []);
   }
 
 (* ---------- span tree and phase attribution ---------- *)
@@ -493,6 +542,207 @@ type diff = {
   regressions : delta list; (* pct > threshold, worst first *)
   improvements : delta list; (* pct < -threshold, best first *)
 }
+
+(* ---------- request slicing (daemon traces) ---------- *)
+
+(* A daemon trace interleaves many requests across worker domains; the
+   ambient span context stamps each event with its request id, so one
+   submit can be sliced back out and its wall time attributed end to end:
+   queue wait (admission point to first span), then per-phase span
+   self-times.  Spans still open at the end of the slice — a stalled
+   sat.solve in a flight-recorder postmortem — are extended to the
+   slice's last timestamp, so a reaped request's stall is attributed to
+   the phase it was stuck in rather than vanishing. *)
+
+type request_phase = { rq_phase : string; rq_total_s : float; rq_calls : int }
+
+type request_report = {
+  rq_id : string;
+  rq_events : int;
+  rq_wall_s : float;
+  rq_queue_wait_s : float;
+  rq_open_spans : int;
+  rq_phases : request_phase list; (* sorted by total_s, descending *)
+  rq_attributed_s : float;
+  rq_attributed_pct : float;
+}
+
+let request_of_fields fields =
+  match List.assoc_opt "request" fields with
+  | Some (Sink.Str id) -> Some id
+  | _ -> None
+
+(* request ids present in the trace, busiest first *)
+let request_ids (p : parsed) =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match request_of_fields (event_fields ev) with
+      | Some id ->
+          Hashtbl.replace tbl id
+            (1 + Option.value (Hashtbl.find_opt tbl id) ~default:0)
+      | None -> ())
+    p.events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, ca) (b, cb) ->
+         match compare cb ca with 0 -> String.compare a b | c -> c)
+
+let request_report ~request (p : parsed) =
+  let evs =
+    List.filter
+      (fun ev -> request_of_fields (event_fields ev) = Some request)
+      p.events
+  in
+  match evs with
+  | [] -> None
+  | _ ->
+      let ts_list = List.map event_ts evs in
+      let t0 = List.fold_left Float.min infinity ts_list in
+      let t_end = List.fold_left Float.max neg_infinity ts_list in
+      let wall = Float.max 0.0 (t_end -. t0) in
+      (* spans within the slice; unmatched begins stay open *)
+      let begins = Hashtbl.create 32 in
+      let completed = ref [] in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Sink.Span_begin { ts; id; parent; name; fields } ->
+              Hashtbl.replace begins id (ts, parent, name, fields)
+          | Sink.Span_end { id; dur; fields; _ } -> (
+              match Hashtbl.find_opt begins id with
+              | None -> ()
+              | Some (bts, parent, name, begin_fields) ->
+                  Hashtbl.remove begins id;
+                  completed :=
+                    {
+                      id;
+                      name;
+                      parent;
+                      t0 = bts;
+                      dur;
+                      self = 0.0;
+                      begin_fields;
+                      end_fields = fields;
+                    }
+                    :: !completed)
+          | _ -> ())
+        evs;
+      let open_spans =
+        Hashtbl.fold
+          (fun id (bts, parent, name, begin_fields) acc ->
+            {
+              id;
+              name;
+              parent;
+              t0 = bts;
+              dur = Float.max 0.0 (t_end -. bts);
+              self = 0.0;
+              begin_fields;
+              end_fields = [];
+            }
+            :: acc)
+          begins []
+      in
+      let all = List.rev !completed @ open_spans in
+      let child_time : (int, float) Hashtbl.t = Hashtbl.create 32 in
+      List.iter
+        (fun sp ->
+          match sp.parent with
+          | Some pid ->
+              Hashtbl.replace child_time pid
+                (sp.dur
+                +. Option.value (Hashtbl.find_opt child_time pid) ~default:0.0)
+          | None -> ())
+        all;
+      let all =
+        List.map
+          (fun sp ->
+            {
+              sp with
+              self =
+                Float.max 0.0
+                  (sp.dur
+                  -. Option.value (Hashtbl.find_opt child_time sp.id)
+                       ~default:0.0);
+            })
+          all
+      in
+      let first_span_t0 =
+        List.fold_left (fun acc sp -> Float.min acc sp.t0) infinity all
+      in
+      let queue_wait =
+        if all = [] then 0.0 else Float.max 0.0 (first_span_t0 -. t0)
+      in
+      let phase_tbl : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
+      let add_phase name s count =
+        let t, c =
+          Option.value (Hashtbl.find_opt phase_tbl name) ~default:(0.0, 0)
+        in
+        Hashtbl.replace phase_tbl name (t +. s, c + count)
+      in
+      List.iter
+        (fun sp ->
+          match phases_of_span sp with
+          | [ (name, s) ] -> add_phase name s 1
+          | parts -> List.iter (fun (name, s) -> add_phase name s 0) parts)
+        all;
+      if queue_wait > 0.0 then add_phase "queue.wait" queue_wait 1;
+      (* attribution = fraction of the slice's wall covered by queue wait
+         plus root spans, as an interval union: per-phase self-times can
+         legitimately overlap across concurrent worker domains (roots on
+         different domains have no parent edge), so summing them would
+         overcount *)
+      let ids = Hashtbl.create 32 in
+      List.iter (fun sp -> Hashtbl.replace ids sp.id ()) all;
+      let intervals =
+        (if queue_wait > 0.0 then [ (t0, first_span_t0) ] else [])
+        @ List.filter_map
+            (fun sp ->
+              let root =
+                match sp.parent with
+                | None -> true
+                | Some pid -> not (Hashtbl.mem ids pid)
+              in
+              if root then Some (sp.t0, sp.t0 +. sp.dur) else None)
+            all
+      in
+      let covered =
+        let sorted =
+          List.sort (fun (a, _) (b, _) -> Float.compare a b) intervals
+        in
+        let rec go acc cur = function
+          | [] -> (
+              match cur with None -> acc | Some (s, e) -> acc +. (e -. s))
+          | (s, e) :: rest -> (
+              match cur with
+              | None -> go acc (Some (s, e)) rest
+              | Some (cs, ce) ->
+                  if s <= ce then go acc (Some (cs, Float.max ce e)) rest
+                  else go (acc +. (ce -. cs)) (Some (s, e)) rest)
+        in
+        go 0.0 None sorted
+      in
+      let attributed = Float.min wall covered in
+      Some
+        {
+          rq_id = request;
+          rq_events = List.length evs;
+          rq_wall_s = wall;
+          rq_queue_wait_s = queue_wait;
+          rq_open_spans = List.length open_spans;
+          rq_phases =
+            Hashtbl.fold
+              (fun name (t, c) acc ->
+                { rq_phase = name; rq_total_s = t; rq_calls = c } :: acc)
+              phase_tbl []
+            |> List.sort (fun a b ->
+                   match Float.compare b.rq_total_s a.rq_total_s with
+                   | 0 -> String.compare a.rq_phase b.rq_phase
+                   | c -> c);
+          rq_attributed_s = attributed;
+          rq_attributed_pct =
+            (if wall <= 0.0 then 100.0 else 100.0 *. attributed /. wall);
+        }
 
 let diff ~threshold a b =
   let tbl_a = Hashtbl.create 64 in

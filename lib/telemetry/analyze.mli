@@ -35,6 +35,11 @@ type check = {
   out_of_order : int;
       (** events whose timestamp regresses within their worker stream
           beyond a small cross-domain reordering slack *)
+  unknown_fields : int;
+      (** events carrying a custom field this build does not recognize —
+          written by a newer fecsynth.  Tolerated (the payload is kept),
+          surfaced as a warning by [trace check], never an error. *)
+  unknown_field_names : string list;  (** the unrecognized keys, sorted *)
 }
 
 val check : parsed -> check
@@ -86,6 +91,43 @@ type report = {
 }
 
 val report : ?top:int -> parsed -> report
+
+(** {1 Request slicing ([fecsynth trace report --request])}
+
+    Daemon traces interleave many requests across worker domains; the
+    ambient span context ({!Telemetry.with_context}) stamps every event
+    with its request id, so one submit can be sliced back out and
+    attributed end to end: queue wait (admission point to first span),
+    then per-phase span self-times.  Spans still open at the end of the
+    slice — the stalled solve in a flight-recorder postmortem — are
+    extended to the slice's last timestamp so a reaped request's stall
+    is attributed to the phase it was stuck in. *)
+
+type request_phase = { rq_phase : string; rq_total_s : float; rq_calls : int }
+
+type request_report = {
+  rq_id : string;
+  rq_events : int;
+  rq_wall_s : float;  (** last slice timestamp minus first *)
+  rq_queue_wait_s : float;
+  rq_open_spans : int;
+  rq_phases : request_phase list;
+      (** named phases (same mapping as {!report}, plus [queue.wait]),
+          sorted by total self-time descending; totals can overlap when
+          worker domains run concurrently *)
+  rq_attributed_s : float;
+      (** wall time covered by queue wait plus root spans, as an interval
+          union (never exceeds [rq_wall_s]) *)
+  rq_attributed_pct : float;
+}
+
+(** Request ids present in the trace with their event counts, busiest
+    first. *)
+val request_ids : parsed -> (string * int) list
+
+(** [request_report ~request p] slices [p] to the events stamped with
+    [request]; [None] when the id never appears. *)
+val request_report : request:string -> parsed -> request_report option
 
 (** {1 Folded stacks ([fecsynth trace flame])} *)
 

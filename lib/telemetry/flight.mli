@@ -1,0 +1,37 @@
+(** In-memory flight recorder: bounded per-domain rings of the most
+    recent telemetry events, dumped to a postmortem NDJSON file when a
+    stuck worker is reaped or a crash record is journaled.
+
+    Disabled (the default) costs one atomic load per {!record} and
+    allocates nothing — the same guard discipline as the telemetry
+    sink.  Enabled, each domain records into its own preallocated ring
+    (single writer, no locks on the hot path); {!dump} reads the rings
+    racily, which can blur which events made the cut but never tears an
+    event. *)
+
+(** [enable ~capacity ~dir ()] turns recording on: each domain keeps its
+    last [capacity] events (default 512), and postmortems are written
+    into [dir] as [postmortem-<pid>-<seq>.ndjson]. *)
+val enable : ?capacity:int -> dir:string -> unit -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [record ev] appends [ev] to the calling domain's ring; no-op when
+    disabled. *)
+val record : Sink.event -> unit
+
+(** [sink ()] wraps {!record} as a sink, for inclusion in a tee. *)
+val sink : unit -> Sink.t
+
+(** [snapshot ()] is the current contents of every ring, merged and
+    sorted by timestamp; [[]] when disabled. *)
+val snapshot : unit -> Sink.event list
+
+(** [dump ~reason ?fields ()] writes the snapshot plus a trailing
+    [flight.dump] point (carrying [reason] and [fields], e.g. the
+    reaped request id) as an NDJSON postmortem, tmp+rename atomic.
+    Returns the path, or [None] when disabled or the write failed —
+    postmortems are best-effort diagnostics and must never take the
+    daemon down. *)
+val dump : ?fields:Sink.fields -> reason:string -> unit -> string option

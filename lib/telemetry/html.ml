@@ -427,6 +427,41 @@ let render (entries : Ledger.entry list) =
           (List.length hit_rate_points)
           (if List.length hit_rate_points = 1 then "" else "s");
         pf "</div>");
+    (* serve latency split: the worker stamps each run's queue wait as
+       serve.queue_wait_s, and wall_s is the run time proper — together
+       they show whether served latency is load (waiting) or work *)
+    let latency =
+      List.filter_map
+        (fun e ->
+          Option.map
+            (fun w -> (e.Ledger.ts, w, e.Ledger.wall_s))
+            (metric e "serve.queue_wait_s"))
+        serve_entries
+    in
+    (match latency with
+    | [] -> ()
+    | _ ->
+        let total_wait =
+          List.fold_left (fun acc (_, w, _) -> acc +. w) 0.0 latency
+        in
+        let total_run =
+          List.fold_left (fun acc (_, _, r) -> acc +. r) 0.0 latency
+        in
+        let wait_points = List.map (fun (ts, w, _) -> (ts, w)) latency in
+        let last = snd (List.nth wait_points (List.length wait_points - 1)) in
+        pf "<div class=\"card trend\">";
+        pf "<div class=\"name\">serve latency: queue wait vs run time</div>";
+        pf "<div class=\"v\">%s</div>" (esc (fmt_secs last));
+        sparkline ~label:"per-run queue wait" buf ~w:220 ~h:44 wait_points;
+        stacked_bar buf ~w:220 ~h:10
+          [
+            ("series-2", "queue wait (s)", total_wait);
+            ("series-1", "run time (s)", total_run);
+          ];
+        pf "<div class=\"range\">%s waiting &#183; %s running</div>"
+          (esc (fmt_secs total_wait))
+          (esc (fmt_secs total_run));
+        pf "</div>");
     pf "</div>"
   end;
 

@@ -231,6 +231,63 @@ module Histogram = struct
     h.vmax <- min_int
 end
 
+(* ---------- metric names and series labels ----------
+
+   A registry key is the full series name: a base metric name plus an
+   optional canonical label block, e.g. [serve.worker.busy{worker="0"}].
+   The block is canonical at registration time — keys sanitized like
+   metric names, pairs sorted, values escaped — so the same labels in
+   any order alias the same series and exposition needs no re-sorting. *)
+
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char b c
+      | '0' .. '9' -> if i = 0 then Buffer.add_char b '_' else Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      let labels =
+        List.map (fun (k, v) -> (sanitize k, v)) labels
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let series_key ?(labels = []) name = name ^ render_labels labels
+
+let split_key key =
+  match String.index_opt key '{' with
+  | None -> (key, "")
+  | Some i -> (String.sub key 0 i, String.sub key i (String.length key - i))
+
+(* sanitize only the base name; the label block is already canonical *)
+let sanitize_key key =
+  let base, labels = split_key key in
+  sanitize base ^ labels
+
 (* ---------- the named registry ---------- *)
 
 type counter = { c_value : int Atomic.t }
@@ -256,24 +313,27 @@ let register name help make_entry =
           Hashtbl.replace registry name (help, e);
           e)
 
-let counter ?help name =
-  match register name help (fun () -> E_counter { c_value = Atomic.make 0 }) with
+let counter ?help ?labels name =
+  let key = series_key ?labels name in
+  match register key help (fun () -> E_counter { c_value = Atomic.make 0 }) with
   | E_counter c -> c
-  | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another type")
+  | _ -> invalid_arg ("Metrics.counter: " ^ key ^ " registered with another type")
 
-let gauge ?help name =
-  match register name help (fun () -> E_gauge { g_value = Atomic.make 0.0 }) with
+let gauge ?help ?labels name =
+  let key = series_key ?labels name in
+  match register key help (fun () -> E_gauge { g_value = Atomic.make 0.0 }) with
   | E_gauge g -> g
-  | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another type")
+  | _ -> invalid_arg ("Metrics.gauge: " ^ key ^ " registered with another type")
 
-let histogram ?help name =
+let histogram ?help ?labels name =
+  let key = series_key ?labels name in
   match
-    register name help (fun () ->
+    register key help (fun () ->
         E_histogram { h_acc = Histogram.create (); h_mutex = Mutex.create () })
   with
   | E_histogram h -> h
   | _ ->
-      invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another type")
+      invalid_arg ("Metrics.histogram: " ^ key ^ " registered with another type")
 
 (* updates: one atomic load when disabled, nothing allocated *)
 
@@ -318,17 +378,6 @@ let reset () =
 
 (* ---------- Prometheus text exposition ---------- *)
 
-let sanitize name =
-  let b = Buffer.create (String.length name) in
-  String.iteri
-    (fun i c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char b c
-      | '0' .. '9' -> if i = 0 then Buffer.add_char b '_' else Buffer.add_char b c
-      | _ -> Buffer.add_char b '_')
-    name;
-  Buffer.contents b
-
 let float_repr v =
   (* shortest representation that round-trips through float_of_string *)
   let s = Printf.sprintf "%.12g" v in
@@ -338,19 +387,34 @@ let float_repr v =
   if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
   else s ^ ".0"
 
-let expose_sample b name help sample =
+(* merge a canonical label block with an extra le pair for bucket lines *)
+let with_le lbl le =
+  if lbl = "" then Printf.sprintf "{le=\"%s\"}" le
+  else
+    String.sub lbl 0 (String.length lbl - 1) ^ Printf.sprintf ",le=\"%s\"}" le
+
+(* [header] is true on the first series of a family: labeled series share
+   one # HELP/# TYPE block under the sanitized base name *)
+let expose_sample b ~header name lbl help sample =
   let n = sanitize name in
-  (match help with
-  | Some h -> Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" n h)
-  | None -> ());
+  if header then
+    match help with
+    | Some h -> Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" n h)
+    | None -> ()
+  else ();
+  (match sample with
+  | Counter _ when header ->
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n)
+  | Gauge _ when header ->
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n)
+  | Histogram _ when header ->
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n)
+  | _ -> ());
   match sample with
-  | Counter v ->
-      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v)
+  | Counter v -> Buffer.add_string b (Printf.sprintf "%s%s %d\n" n lbl v)
   | Gauge v ->
-      Buffer.add_string b
-        (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (float_repr v))
+      Buffer.add_string b (Printf.sprintf "%s%s %s\n" n lbl (float_repr v))
   | Histogram h ->
-      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
       let cum = ref 0 in
       List.iter
         (fun (_, up, c) ->
@@ -358,32 +422,97 @@ let expose_sample b name help sample =
           (* buckets hold integer values in [lo, up): the inclusive
              Prometheus upper bound is up - 1 *)
           Buffer.add_string b
-            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n (up - 1) !cum))
+            (Printf.sprintf "%s_bucket%s %d\n" n
+               (with_le lbl (string_of_int (up - 1)))
+               !cum))
         (Hist.buckets h);
       Buffer.add_string b
-        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Hist.count h));
-      Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n (Hist.sum h));
-      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (Hist.count h));
+        (Printf.sprintf "%s_bucket%s %d\n" n (with_le lbl "+Inf") (Hist.count h));
+      Buffer.add_string b (Printf.sprintf "%s_sum%s %d\n" n lbl (Hist.sum h));
+      Buffer.add_string b
+        (Printf.sprintf "%s_count%s %d\n" n lbl (Hist.count h));
       (match (Hist.min_value h, Hist.max_value h) with
       | Some mn, Some mx ->
           (* non-standard extension lines so exposition round-trips
              losslessly back into a Hist.t *)
-          Buffer.add_string b (Printf.sprintf "%s_min %d\n" n mn);
-          Buffer.add_string b (Printf.sprintf "%s_max %d\n" n mx)
+          Buffer.add_string b (Printf.sprintf "%s_min%s %d\n" n lbl mn);
+          Buffer.add_string b (Printf.sprintf "%s_max%s %d\n" n lbl mx)
       | _ -> ())
 
 let expose () =
   let b = Buffer.create 1024 in
-  List.iter (fun (name, s) ->
+  let entries =
+    (* family order: sanitized base name, then label block — same-base
+       series stay adjacent even when an unrelated name sorts between
+       their raw keys (e.g. [foo_bar] between [foo] and [foo{...}]) *)
+    dump ()
+    |> List.map (fun (key, s) ->
+           let base, lbl = split_key key in
+           (key, base, lbl, s))
+    |> List.sort (fun (_, b1, l1, _) (_, b2, l2, _) ->
+           match String.compare (sanitize b1) (sanitize b2) with
+           | 0 -> String.compare l1 l2
+           | c -> c)
+  in
+  let last_family = ref None in
+  List.iter
+    (fun (key, base, lbl, s) ->
       let help =
         Mutex.protect reg_mutex (fun () ->
-            Option.bind (Hashtbl.find_opt registry name) fst)
+            Option.bind (Hashtbl.find_opt registry key) fst)
       in
-      expose_sample b name help s)
-    (dump ());
+      let family = sanitize base in
+      let header = !last_family <> Some family in
+      last_family := Some family;
+      expose_sample b ~header base lbl help s)
+    entries;
   Buffer.contents b
 
 (* ---------- exposition parser (tests, trace diff on metrics files) ---------- *)
+
+(* [parse_labels] reads a text-format label block ([{k="v",...}],
+   backslash/quote/newline escapes in values) and returns the pairs in
+   order of appearance; callers re-canonicalize via [render_labels]. *)
+let parse_labels s =
+  let n = String.length s in
+  if n < 2 || s.[0] <> '{' || s.[n - 1] <> '}' then None
+  else if n = 2 then Some []
+  else begin
+    let pos = ref 1 and out = ref [] and ok = ref true in
+    (try
+       while !pos < n - 1 do
+         let start = !pos in
+         while !pos < n && s.[!pos] <> '=' do
+           pos := !pos + 1
+         done;
+         if !pos >= n - 1 then raise Exit;
+         let k = String.sub s start (!pos - start) in
+         pos := !pos + 1;
+         if !pos >= n || s.[!pos] <> '"' then raise Exit;
+         pos := !pos + 1;
+         let b = Buffer.create 8 in
+         let closed = ref false in
+         while not !closed do
+           if !pos >= n then raise Exit;
+           (match s.[!pos] with
+           | '"' -> closed := true
+           | '\\' ->
+               if !pos + 1 >= n then raise Exit;
+               (match s.[!pos + 1] with
+               | 'n' -> Buffer.add_char b '\n'
+               | c -> Buffer.add_char b c);
+               pos := !pos + 1
+           | c -> Buffer.add_char b c);
+           pos := !pos + 1
+         done;
+         out := (k, Buffer.contents b) :: !out;
+         if !pos < n - 1 then
+           if s.[!pos] = ',' then pos := !pos + 1 else raise Exit
+         else if !pos <> n - 1 then raise Exit
+       done
+     with Exit -> ok := false);
+    if !ok then Some (List.rev !out) else None
+  end
 
 let parse_exposition text =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
@@ -391,78 +520,118 @@ let parse_exposition text =
     String.split_on_char '\n' text
     |> List.filter (fun l -> String.trim l <> "")
   in
-  (* histogram under construction *)
+  (* histogram family under construction: one series per label set *)
+  let module S = struct
+    type st = {
+      mutable buckets : (int * int) list; (* (le, cumulative), reversed *)
+      mutable sum : int;
+      mutable count : int;
+      mutable vmin : int option;
+      mutable vmax : int option;
+    }
+  end in
   let hname = ref None in
-  let hbuckets = ref [] (* (le, cumulative) in order seen, reversed *) in
-  let hsum = ref 0 and hcount = ref 0 in
-  let hmin = ref None and hmax = ref None in
+  let hseries : (string, S.st) Hashtbl.t = Hashtbl.create 4 in
+  let horder = ref [] (* label blocks in order of first appearance *) in
+  let hget lbl =
+    match Hashtbl.find_opt hseries lbl with
+    | Some st -> st
+    | None ->
+        let st =
+          { S.buckets = []; sum = 0; count = 0; vmin = None; vmax = None }
+        in
+        Hashtbl.replace hseries lbl st;
+        horder := lbl :: !horder;
+        st
+  in
   let out = ref [] in
   let finish_hist () =
     match !hname with
     | None -> Ok ()
     | Some n ->
-        let counts = Array.make 1 0 in
-        let counts = ref counts in
-        let prev = ref 0 in
         let ok = ref (Ok ()) in
         List.iter
-          (fun (le, cum) ->
-            let idx = index_of le in
-            if idx >= Array.length !counts then begin
-              let c = Array.make (idx + 1) 0 in
-              Array.blit !counts 0 c 0 (Array.length !counts);
-              counts := c
-            end;
-            if cum < !prev then ok := err "%s: non-monotonic buckets" n
-            else begin
-              !counts.(idx) <- cum - !prev;
-              prev := cum
-            end)
-          (List.rev !hbuckets);
-        (match !ok with
-        | Error _ as e -> e
-        | Ok () ->
-            let vmin = Option.value !hmin ~default:max_int in
-            let vmax = Option.value !hmax ~default:min_int in
-            out :=
-              ( n,
-                Histogram
-                  (Hist.make ~counts:!counts ~total:!hcount ~sum:!hsum ~vmin
-                     ~vmax) )
-              :: !out;
-            hname := None;
-            hbuckets := [];
-            hsum := 0;
-            hcount := 0;
-            hmin := None;
-            hmax := None;
-            Ok ())
+          (fun lbl ->
+            let st = Hashtbl.find hseries lbl in
+            let counts = ref (Array.make 1 0) in
+            let prev = ref 0 in
+            List.iter
+              (fun (le, cum) ->
+                let idx = index_of le in
+                if idx >= Array.length !counts then begin
+                  let c = Array.make (idx + 1) 0 in
+                  Array.blit !counts 0 c 0 (Array.length !counts);
+                  counts := c
+                end;
+                if cum < !prev then ok := err "%s: non-monotonic buckets" n
+                else begin
+                  !counts.(idx) <- cum - !prev;
+                  prev := cum
+                end)
+              (List.rev st.S.buckets);
+            match !ok with
+            | Error _ -> ()
+            | Ok () ->
+                let vmin = Option.value st.S.vmin ~default:max_int in
+                let vmax = Option.value st.S.vmax ~default:min_int in
+                out :=
+                  ( n ^ lbl,
+                    Histogram
+                      (Hist.make ~counts:!counts ~total:st.S.count
+                         ~sum:st.S.sum ~vmin ~vmax) )
+                  :: !out)
+          (List.rev !horder);
+        let res = !ok in
+        hname := None;
+        Hashtbl.reset hseries;
+        horder := [];
+        res
   in
   let split_line l =
-    (* "name{labels} value" or "name value" *)
-    match String.index_opt l ' ' with
-    | None -> None
-    | Some sp ->
-        let head = String.sub l 0 sp in
-        let value = String.trim (String.sub l sp (String.length l - sp)) in
-        let name, label =
-          match String.index_opt head '{' with
-          | None -> (head, None)
-          | Some br ->
-              let name = String.sub head 0 br in
-              let rest = String.sub head br (String.length head - br) in
-              (name, Some rest)
-        in
-        Some (name, label, value)
+    (* "name{labels} value" or "name value".  The label block cannot be
+       cut at the first space: quoted label values may legally contain
+       spaces, commas and braces, so the block end is found by walking
+       it quote-aware (backslash escapes honoured). *)
+    let n = String.length l in
+    let brace =
+      match (String.index_opt l '{', String.index_opt l ' ') with
+      | Some br, Some sp when sp < br -> None (* '{' is inside the value *)
+      | br, _ -> br
+    in
+    match brace with
+    | None -> (
+        match String.index_opt l ' ' with
+        | None -> None
+        | Some sp ->
+            let name = String.sub l 0 sp in
+            let value = String.trim (String.sub l sp (n - sp)) in
+            Some (name, None, value))
+    | Some br ->
+        let pos = ref (br + 1) and in_q = ref false and close = ref None in
+        while !close = None && !pos < n do
+          (match l.[!pos] with
+          | '"' -> in_q := not !in_q
+          | '\\' when !in_q -> pos := !pos + 1
+          | '}' when not !in_q -> close := Some !pos
+          | _ -> ());
+          pos := !pos + 1
+        done;
+        (match !close with
+        | None -> None
+        | Some e ->
+            let value = String.trim (String.sub l (e + 1) (n - e - 1)) in
+            if value = "" then None
+            else
+              Some
+                ( String.sub l 0 br,
+                  Some (String.sub l br (e + 1 - br)),
+                  value ))
   in
-  let le_of_label lbl =
-    (* {le="42"} or {le="+Inf"} *)
-    let p = {|{le="|} in
-    if String.length lbl > String.length p + 2 && String.sub lbl 0 (String.length p) = p
-    then
-      let v = String.sub lbl (String.length p) (String.length lbl - String.length p - 2) in
-      if v = "+Inf" then Some None else Option.map Option.some (int_of_string_opt v)
-    else None
+  (* parsed labels, canonically re-rendered; "" when absent *)
+  let canonical_labels label =
+    match label with
+    | None -> Some []
+    | Some lbl -> parse_labels lbl
   in
   let strip_suffix s suf =
     let ls = String.length s and lf = String.length suf in
@@ -487,53 +656,71 @@ let parse_exposition text =
           match split_line l with
           | None -> err "unparseable line: %s" l
           | Some (name, label, value) -> (
+              let int_member st field =
+                match int_of_string_opt value with
+                | Some v ->
+                    (match field with
+                    | `Sum -> st.S.sum <- v
+                    | `Count -> st.S.count <- v
+                    | `Min -> st.S.vmin <- Some v
+                    | `Max -> st.S.vmax <- Some v);
+                    go rest
+                | None -> err "%s: bad value: %s" name value
+              in
               match !hname with
               | Some hn when strip_suffix name "_bucket" = Some hn -> (
-                  match (Option.bind label le_of_label, int_of_string_opt value) with
-                  | Some (Some le), Some cum ->
-                      hbuckets := (le, cum) :: !hbuckets;
-                      go rest
-                  | Some None, Some _ -> go rest (* +Inf: redundant with _count *)
+                  match (canonical_labels label, int_of_string_opt value) with
+                  | Some pairs, Some cum -> (
+                      let le, others =
+                        List.partition (fun (k, _) -> k = "le") pairs
+                      in
+                      let lbl = render_labels others in
+                      match le with
+                      | [ (_, "+Inf") ] -> go rest (* redundant with _count *)
+                      | [ (_, le) ] -> (
+                          match int_of_string_opt le with
+                          | Some le ->
+                              let st = hget lbl in
+                              st.S.buckets <- (le, cum) :: st.S.buckets;
+                              go rest
+                          | None -> err "%s: bad bucket line: %s" hn l)
+                      | _ -> err "%s: bad bucket line: %s" hn l)
                   | _ -> err "%s: bad bucket line: %s" hn l)
               | Some hn when name = hn ^ "_sum" -> (
-                  match int_of_string_opt value with
-                  | Some v ->
-                      hsum := v;
-                      go rest
-                  | None -> err "%s: bad sum: %s" hn value)
+                  match canonical_labels label with
+                  | Some pairs -> int_member (hget (render_labels pairs)) `Sum
+                  | None -> err "%s: bad labels: %s" hn l)
               | Some hn when name = hn ^ "_count" -> (
-                  match int_of_string_opt value with
-                  | Some v ->
-                      hcount := v;
-                      go rest
-                  | None -> err "%s: bad count: %s" hn value)
+                  match canonical_labels label with
+                  | Some pairs -> int_member (hget (render_labels pairs)) `Count
+                  | None -> err "%s: bad labels: %s" hn l)
               | Some hn when name = hn ^ "_min" -> (
-                  match int_of_string_opt value with
-                  | Some v ->
-                      hmin := Some v;
-                      go rest
-                  | None -> err "%s: bad min: %s" hn value)
+                  match canonical_labels label with
+                  | Some pairs -> int_member (hget (render_labels pairs)) `Min
+                  | None -> err "%s: bad labels: %s" hn l)
               | Some hn when name = hn ^ "_max" -> (
-                  match int_of_string_opt value with
-                  | Some v ->
-                      hmax := Some v;
-                      go rest
-                  | None -> err "%s: bad max: %s" hn value)
+                  match canonical_labels label with
+                  | Some pairs -> int_member (hget (render_labels pairs)) `Max
+                  | None -> err "%s: bad labels: %s" hn l)
               | _ -> (
                   match finish_hist () with
                   | Error _ as e -> e
                   | Ok () -> (
-                      (* scalar: prefer int (counter), else float (gauge) *)
-                      match int_of_string_opt value with
-                      | Some v ->
-                          out := (name, Counter v) :: !out;
-                          go rest
-                      | None -> (
-                          match float_of_string_opt value with
+                      match canonical_labels label with
+                      | None -> err "%s: bad labels: %s" name l
+                      | Some pairs -> (
+                          let key = name ^ render_labels pairs in
+                          (* scalar: prefer int (counter), else float (gauge) *)
+                          match int_of_string_opt value with
                           | Some v ->
-                              out := (name, Gauge v) :: !out;
+                              out := (key, Counter v) :: !out;
                               go rest
-                          | None -> err "%s: bad value: %s" name value))))
+                          | None -> (
+                              match float_of_string_opt value with
+                              | Some v ->
+                                  out := (key, Gauge v) :: !out;
+                                  go rest
+                              | None -> err "%s: bad value: %s" name value)))))
   in
   match go lines with
   | Error _ as e -> e

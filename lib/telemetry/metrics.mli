@@ -87,13 +87,19 @@ type counter
 type gauge
 type histogram
 
-(** Find-or-create; [help] is kept for exposition.  Raises
-    [Invalid_argument] if [name] is already registered with a different
-    type. *)
-val counter : ?help:string -> string -> counter
+(** Find-or-create; [help] is kept for exposition.  [labels] name one
+    series within the metric family (e.g. [("worker", "0")] for
+    per-worker gauges): the same base name with different label sets
+    yields independent values sharing one [# TYPE] block in {!expose}.
+    Label order is canonicalized, so the same pairs in any order alias
+    the same series.  Raises [Invalid_argument] if the series is already
+    registered with a different type. *)
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
 
-val gauge : ?help:string -> string -> gauge
-val histogram : ?help:string -> string -> histogram
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  ?help:string -> ?labels:(string * string) list -> string -> histogram
 
 (** [incr c n] adds [n] when telemetry is enabled; a single atomic load
     and nothing else when disabled. *)
@@ -124,6 +130,15 @@ val reset : unit -> unit
     underscores). *)
 val sanitize : string -> string
 
+(** [series_key ?labels name] is the registry key for one series: the
+    base name plus the canonical label block ([name{k="v",...}], pairs
+    sorted, values escaped) — the shape {!dump} reports. *)
+val series_key : ?labels:(string * string) list -> string -> string
+
+(** Like {!sanitize} for full series keys: sanitizes the base name and
+    leaves the (already canonical) label block intact. *)
+val sanitize_key : string -> string
+
 (** [expose ()] renders the registry in Prometheus text format:
     [# TYPE] lines, cumulative [_bucket{le="..."}] / [_sum] / [_count]
     series for histograms, plus non-standard [_min]/[_max] lines so the
@@ -131,8 +146,9 @@ val sanitize : string -> string
 val expose : unit -> string
 
 (** [parse_exposition s] parses {!expose}-format text back into
-    [(sanitized_name, sample)] pairs sorted by name.  Inverse of
-    {!expose} up to name sanitization. *)
+    [(sanitized_series_key, sample)] pairs sorted by key — labeled
+    series come back as [name{k="v",...}] with the label block
+    re-canonicalized.  Inverse of {!expose} up to name sanitization. *)
 val parse_exposition : string -> ((string * sample) list, string) result
 
 (** {1 Periodic-flush sink}

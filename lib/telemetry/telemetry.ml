@@ -1,6 +1,7 @@
 module Json = Json
 module Sink = Sink
 module Metrics = Metrics
+module Flight = Flight
 module Analyze = Analyze
 module Progress = Progress
 module Buildinfo = Buildinfo
@@ -32,6 +33,31 @@ let float f = Sink.Float f
 let str s = Sink.Str s
 let bool b = Sink.Bool b
 
+(* ---------- ambient span context ---------- *)
+
+(* Per-domain ambient fields (request correlation in the serve daemon)
+   stamped onto every event emitted while installed.  The cell lives in
+   domain-local storage and is only read on the enabled path, so the
+   disabled fast path stays a single atomic load with no allocation.
+   Context does not cross [Domain.spawn] by itself: spawn sites capture
+   [current_context] in the parent and reinstall it in the child. *)
+let context_key : Sink.fields ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let current_context () = !(Domain.DLS.get context_key)
+
+let with_context fields f =
+  let cell = Domain.DLS.get context_key in
+  let prev = !cell in
+  cell := fields @ prev;
+  Fun.protect ~finally:(fun () -> cell := prev) f
+
+(* explicit fields first, so they win [List.assoc] lookups downstream *)
+let stamp fields =
+  match !(Domain.DLS.get context_key) with
+  | [] -> fields
+  | ctx -> fields @ ctx
+
 (* ---------- spans ---------- *)
 
 type span = { id : int; name : string; start : float; live : bool }
@@ -51,7 +77,7 @@ let begin_span ?(fields = []) name =
     let parent = match !stack with [] -> None | p :: _ -> Some p in
     stack := id :: !stack;
     let ts = now () in
-    emit (Sink.Span_begin { ts; id; parent; name; fields });
+    emit (Sink.Span_begin { ts; id; parent; name; fields = stamp fields });
     { id; name; start = ts; live = true }
   end
 
@@ -65,7 +91,10 @@ let end_span ?(fields = []) sp =
     | x :: rest when x = sp.id -> stack := rest
     | xs -> stack := List.filter (fun x -> x <> sp.id) xs);
     let ts = now () in
-    emit (Sink.Span_end { ts; id = sp.id; name = sp.name; dur = ts -. sp.start; fields })
+    emit
+      (Sink.Span_end
+         { ts; id = sp.id; name = sp.name; dur = ts -. sp.start;
+           fields = stamp fields })
   end
 
 let span ?fields name f =
@@ -78,10 +107,13 @@ let span ?fields name f =
 (* ---------- scalar events ---------- *)
 
 let counter ?(fields = []) name value =
-  if enabled () then emit (Sink.Counter { ts = now (); name; value; fields })
+  if enabled () then
+    emit (Sink.Counter { ts = now (); name; value; fields = stamp fields })
 
 let gauge ?(fields = []) name value =
-  if enabled () then emit (Sink.Gauge { ts = now (); name; value; fields })
+  if enabled () then
+    emit (Sink.Gauge { ts = now (); name; value; fields = stamp fields })
 
 let point ?(fields = []) name =
-  if enabled () then emit (Sink.Point { ts = now (); name; fields })
+  if enabled () then
+    emit (Sink.Point { ts = now (); name; fields = stamp fields })

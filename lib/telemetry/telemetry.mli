@@ -21,6 +21,11 @@ module Sink = Sink
     are gated on the same {!enabled} probe. *)
 module Metrics = Metrics
 
+(** In-memory flight recorder: bounded per-domain rings of recent events,
+    dumped as a postmortem NDJSON tail when a worker is reaped or a crash
+    record is journaled.  Same single-atomic-load guard when disabled. *)
+module Flight = Flight
+
 (** Offline NDJSON trace analytics: validation, per-phase wall-time
     attribution, folded flamegraph stacks, and trace/bench diffing. *)
 module Analyze = Analyze
@@ -94,3 +99,24 @@ val gauge : ?fields:Sink.fields -> string -> float -> unit
 
 (** [point ?fields name] emits an instantaneous event. *)
 val point : ?fields:Sink.fields -> string -> unit
+
+(** {1 Ambient span context}
+
+    Request-scoped correlation for the serve daemon: fields installed
+    with {!with_context} are stamped onto every event this domain emits
+    (spans, counters, gauges, points), after the event's own fields so
+    explicit fields win association lookups.  The context is
+    domain-local and does {e not} cross [Domain.spawn] by itself —
+    spawn sites capture {!current_context} in the parent and reinstall
+    it inside the child (see [Synth.Portfolio]).  The disabled fast
+    path is untouched: context is only consulted after {!enabled}. *)
+
+(** [with_context fields f] runs [f ()] with [fields] prepended to this
+    domain's ambient context, restoring the previous context on any
+    exit. *)
+val with_context : Sink.fields -> (unit -> 'a) -> 'a
+
+(** [current_context ()] is this domain's ambient context, innermost
+    first — capture it before [Domain.spawn] and reinstall it in the
+    child. *)
+val current_context : unit -> Sink.fields

@@ -46,10 +46,22 @@ A malformed request is an error reply, not a dead daemon:
   {"ok":false,"error":"submit needs spec or optimize"}
   [1]
 
-The stats op reports admission state:
+The stats op reports admission state plus per-worker detail (worker
+state ages are wall-clock, normalized here):
 
-  $ fecsynth call --socket serve.sock '{"op":"stats"}'
-  {"ok":true,"queue_depth":0,"sessions":2,"reaped":0,"draining":false}
+  $ fecsynth call --socket serve.sock '{"op":"stats"}' \
+  >   | sed -E 's/"since_s":[0-9.e+-]+/"since_s":_/g'
+  {"ok":true,"queue_depth":0,"sessions":2,"reaped":0,"draining":false,"workers":[{"worker":0,"state":"idle","since_s":_},{"worker":1,"state":"idle","since_s":_}]}
+
+The metrics op wraps the same snapshot plus a Prometheus exposition;
+admitted requests and worker series are visible:
+
+  $ fecsynth call --socket serve.sock '{"op":"metrics"}' \
+  >   | grep -c 'serve_admitted 2'
+  1
+  $ fecsynth call --socket serve.sock '{"op":"metrics"}' \
+  >   | grep -c 'serve_worker_busy'
+  1
 
 While the daemon is alive it owns the socket: a second daemon probes it,
 finds it live, and refuses to start:

@@ -1,0 +1,119 @@
+#!/bin/sh
+# Observability smoke for `fecsynth serve`: one daemon run must prove
+# the whole live-diagnosis loop end to end:
+#
+#   - /metrics (HTTP scrape) serves a Prometheus exposition from the
+#     select loop, and its counters are monotone across scrapes;
+#   - /healthz reports "ok" while serving and flips to "draining" after
+#     SIGTERM (the HTTP listener stays open during drain exactly so an
+#     operator can watch the drain);
+#   - a worker stalled by fault injection past its request deadline is
+#     reaped and leaves a parseable flight-recorder postmortem stamped
+#     with the reaped request's id;
+#   - `trace report --request <id>` on the daemon trace attributes at
+#     least 90% of that request's wall time to named phases (the stalled
+#     solve is an open span, extended to the slice end).
+#
+# Deterministic: the fault spec is seeded and the stall fires on the
+# first two sat.solve calls only (max=2), one per submitted request.
+
+set -u
+
+FECSYNTH=${FECSYNTH:-_build/install/default/bin/fecsynth}
+DIR=${FEC_OBS_DIR:-/tmp/fecsynth-obs-smoke}
+PORT=${FEC_OBS_PORT:-$((9200 + $$ % 800))}
+
+SPEC='len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && md(G[0]) = 3'
+
+fail() {
+  echo "obs-smoke: FAIL: $*" >&2
+  [ -f "$DIR/serve.log" ] && sed 's|^|  serve.log: |' "$DIR/serve.log" >&2
+  kill "$pid" 2>/dev/null
+  exit 1
+}
+
+scrape_counter() { # file name -> value (0 when absent)
+  v=$(awk -v n="$2" '$1 == n { print $2 }' "$1")
+  echo "${v:-0}"
+}
+
+rm -rf "$DIR"
+mkdir -p "$DIR/flight"
+sock=$DIR/serve.sock
+pid=
+
+env FEC_LEDGER_DIR="$DIR/ledger" FEC_CACHE_DIR="$DIR/cache" \
+  FEC_FAULT_SPEC="seed=2,stall_ms=30000,sat.solve.stall=1.0:max=2" \
+  "$FECSYNTH" serve --socket "$sock" --workers 1 --grace 0.5 \
+  --metrics-port "$PORT" --flight-dir "$DIR/flight" \
+  --trace "$DIR/trace.ndjson" 2> "$DIR/serve.log" &
+pid=$!
+
+n=0
+while [ "$n" -lt 100 ]; do
+  "$FECSYNTH" call --socket "$sock" '{"op":"ping"}' >/dev/null 2>&1 && break
+  sleep 0.1
+  n=$((n + 1))
+done
+[ "$n" -lt 100 ] || fail "daemon did not come up"
+
+# ------------------------------------------------ healthy scrape
+curl -fsS "http://127.0.0.1:$PORT/healthz" > "$DIR/healthz1.json" 2>/dev/null \
+  || fail "/healthz unreachable"
+grep -q '"status":"ok"' "$DIR/healthz1.json" || fail "/healthz not ok: $(cat "$DIR/healthz1.json")"
+curl -fsS "http://127.0.0.1:$PORT/metrics" > "$DIR/m1.txt" 2>/dev/null \
+  || fail "/metrics unreachable"
+s1=$(scrape_counter "$DIR/m1.txt" serve_metrics_scrapes)
+[ "$s1" -ge 1 ] || fail "first scrape missing serve_metrics_scrapes"
+
+# ------------------------------------------------ stall, deadline, reap
+reply=$("$FECSYNTH" call --socket "$sock" \
+  "{\"op\":\"submit\",\"await\":true,\"deadline_ms\":300,\"jobs\":1,\"spec\":\"$SPEC\"}") \
+  || fail "awaited submit errored"
+echo "$reply" | grep -q '"state":"timeout"' || fail "stalled submit not timed out: $reply"
+rid=$(echo "$reply" | sed -n 's/.*"request":"\([^"]*\)".*/\1/p')
+[ -n "$rid" ] || fail "no request id on the wire: $reply"
+
+# reap fires past deadline + grace; give it a moment to dump the flight
+sleep 1.5
+
+curl -fsS "http://127.0.0.1:$PORT/metrics" > "$DIR/m2.txt" 2>/dev/null \
+  || fail "second scrape unreachable"
+s2=$(scrape_counter "$DIR/m2.txt" serve_metrics_scrapes)
+[ "$s2" -gt "$s1" ] || fail "scrape counter not monotone: $s1 then $s2"
+adm=$(scrape_counter "$DIR/m2.txt" serve_admitted)
+[ "$adm" -ge 1 ] || fail "serve_admitted did not count the submit"
+grep -q '^serve_worker_busy{worker="' "$DIR/m2.txt" \
+  || fail "no per-worker labeled series in the exposition"
+
+post=$(ls "$DIR"/flight/postmortem-*.ndjson 2>/dev/null | head -1)
+[ -n "$post" ] || fail "reap left no postmortem in $DIR/flight"
+grep -q "\"request\":\"$rid\"" "$post" \
+  || fail "postmortem does not carry the reaped request id $rid"
+# parseable: the analyzer must accept every line (flame tolerates the
+# open stalled span; a torn or garbage line is a hard parse error)
+"$FECSYNTH" trace flame "$post" > /dev/null || fail "postmortem unparseable"
+
+# ------------------------------------------------ drain visibility
+# second stalled request keeps the worker busy through the SIGTERM
+"$FECSYNTH" call --socket "$sock" \
+  "{\"op\":\"submit\",\"deadline_ms\":2000,\"jobs\":1,\"spec\":\"$SPEC\"}" \
+  > /dev/null || fail "second submit errored"
+kill -TERM "$pid"
+sleep 0.3
+curl -fsS "http://127.0.0.1:$PORT/healthz" > "$DIR/healthz2.json" 2>/dev/null \
+  || fail "/healthz gone during drain"
+grep -q '"status":"draining"' "$DIR/healthz2.json" \
+  || fail "/healthz did not flip to draining: $(cat "$DIR/healthz2.json")"
+wait "$pid" || fail "daemon exited uncleanly"
+grep -q 'drained' "$DIR/serve.log" || fail "no drained notice in serve.log"
+
+# ------------------------------------------------ request attribution
+"$FECSYNTH" trace report --request "$rid" --stats json "$DIR/trace.ndjson" \
+  > "$DIR/report.json" || fail "trace report --request failed"
+pct=$(sed -n 's/.*"attributed_pct":\([0-9.]*\).*/\1/p' "$DIR/report.json")
+[ -n "$pct" ] || fail "no attributed_pct in report: $(cat "$DIR/report.json")"
+awk -v p="$pct" 'BEGIN { exit !(p >= 90.0) }' \
+  || fail "only $pct% of the reaped request's wall attributed"
+
+echo "obs-smoke: OK (request $rid, ${pct}% attributed, postmortem $(basename "$post"))"

@@ -96,6 +96,86 @@ let test_check_clean () =
   Alcotest.(check int) "ordered" 0 c.An.out_of_order;
   Alcotest.(check int) "total" 2 c.An.total
 
+let test_check_unknown_fields () =
+  let p =
+    parse_exn
+      "{\"ts\":0.1,\"kind\":\"event\",\"name\":\"x\",\"frobnicate\":1}\n\
+       {\"ts\":0.2,\"kind\":\"event\",\"name\":\"y\",\"request\":\"r1-0\",\"worker\":2}\n\
+       {\"ts\":0.3,\"kind\":\"event\",\"name\":\"z\",\"frobnicate\":2,\"zorp\":true}\n"
+  in
+  let c = An.check p in
+  Alcotest.(check int) "two events carry unknown fields" 2 c.An.unknown_fields;
+  Alcotest.(check (list string))
+    "names deduped and sorted" [ "frobnicate"; "zorp" ]
+    c.An.unknown_field_names
+
+let test_check_known_fields_silent () =
+  (* the fields this build's own emitters stamp must never warn *)
+  let p =
+    parse_exn
+      "{\"ts\":0.1,\"kind\":\"event\",\"name\":\"serve.admit\",\"request\":\"r1-0\",\"session\":3,\"queue_depth\":0}\n\
+       {\"ts\":0.2,\"kind\":\"span_begin\",\"id\":1,\"name\":\"serve.request\",\"request\":\"r1-0\",\"worker\":\"0\",\"queue_wait_s\":\"0.010\"}\n\
+       {\"ts\":0.4,\"kind\":\"span_end\",\"id\":1,\"name\":\"serve.request\",\"dur\":0.2,\"request\":\"r1-0\"}\n"
+  in
+  let c = An.check p in
+  Alcotest.(check int) "no unknown fields" 0 c.An.unknown_fields
+
+(* ---------------------------------------------------------------- *)
+(* request slicing                                                   *)
+(* ---------------------------------------------------------------- *)
+
+(* an admission point, then the full request span with a nested solve;
+   an unrelated request's event interleaves *)
+let request_trace =
+  "{\"ts\":0.0,\"kind\":\"event\",\"name\":\"serve.admit\",\"request\":\"r1-0\"}\n\
+   {\"ts\":0.5,\"kind\":\"span_begin\",\"id\":1,\"name\":\"serve.request\",\"request\":\"r1-0\"}\n\
+   {\"ts\":0.6,\"kind\":\"span_begin\",\"id\":2,\"parent\":1,\"name\":\"sat.solve\",\"request\":\"r1-0\"}\n\
+   {\"ts\":1.4,\"kind\":\"span_end\",\"id\":2,\"name\":\"sat.solve\",\"dur\":0.8,\"request\":\"r1-0\"}\n\
+   {\"ts\":1.5,\"kind\":\"span_end\",\"id\":1,\"name\":\"serve.request\",\"dur\":1.0,\"request\":\"r1-0\"}\n\
+   {\"ts\":2.0,\"kind\":\"event\",\"name\":\"serve.admit\",\"request\":\"r2-0\"}\n"
+
+let test_request_report_slices () =
+  let p = parse_exn request_trace in
+  (match An.request_ids p with
+  | (busiest, n) :: _ ->
+      Alcotest.(check string) "busiest request" "r1-0" busiest;
+      Alcotest.(check int) "its event count" 5 n
+  | [] -> Alcotest.fail "no request ids found");
+  match An.request_report ~request:"r1-0" p with
+  | None -> Alcotest.fail "slice not found"
+  | Some r ->
+      Alcotest.(check int) "events in slice" 5 r.An.rq_events;
+      Alcotest.(check (float 1e-9)) "wall" 1.5 r.An.rq_wall_s;
+      Alcotest.(check (float 1e-9)) "queue wait" 0.5 r.An.rq_queue_wait_s;
+      Alcotest.(check int) "no open spans" 0 r.An.rq_open_spans;
+      (* queue wait [0, 0.5] plus the root span [0.5, 1.5] tile the wall *)
+      Alcotest.(check (float 1e-9)) "fully attributed" 1.5 r.An.rq_attributed_s;
+      Alcotest.(check (float 1e-6)) "pct" 100.0 r.An.rq_attributed_pct;
+      if r.An.rq_phases = [] then Alcotest.fail "no phases attributed"
+
+let test_request_report_extends_open_spans () =
+  (* a reaped request: the solve never ends.  The open span must be
+     extended to the slice end so the stall is attributed. *)
+  let p =
+    parse_exn
+      "{\"ts\":0.0,\"kind\":\"event\",\"name\":\"serve.admit\",\"request\":\"r1-1\"}\n\
+       {\"ts\":0.2,\"kind\":\"span_begin\",\"id\":5,\"name\":\"serve.request\",\"request\":\"r1-1\"}\n\
+       {\"ts\":3.0,\"kind\":\"event\",\"name\":\"manager.reap\",\"request\":\"r1-1\",\"worker\":0}\n"
+  in
+  match An.request_report ~request:"r1-1" p with
+  | None -> Alcotest.fail "slice not found"
+  | Some r ->
+      Alcotest.(check int) "one open span" 1 r.An.rq_open_spans;
+      Alcotest.(check (float 1e-9)) "wall" 3.0 r.An.rq_wall_s;
+      if r.An.rq_attributed_pct < 90.0 then
+        Alcotest.failf "stalled request underattributed: %.1f%%"
+          r.An.rq_attributed_pct
+
+let test_request_report_missing_id () =
+  match An.request_report ~request:"nope" (parse_exn request_trace) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "made up a slice for an absent request"
+
 (* ---------------------------------------------------------------- *)
 (* span self-times and the folded-stack golden output                *)
 (* ---------------------------------------------------------------- *)
@@ -243,6 +323,10 @@ let () =
           Alcotest.test_case "worker streams" `Quick
             test_check_workers_are_separate_streams;
           Alcotest.test_case "clean" `Quick test_check_clean;
+          Alcotest.test_case "unknown fields warn" `Quick
+            test_check_unknown_fields;
+          Alcotest.test_case "known fields silent" `Quick
+            test_check_known_fields_silent;
         ] );
       ( "spans",
         [
@@ -251,6 +335,14 @@ let () =
         ] );
       ( "report",
         [ Alcotest.test_case "real trace" `Quick test_report_on_real_trace ] );
+      ( "request",
+        [
+          Alcotest.test_case "slices one request" `Quick
+            test_request_report_slices;
+          Alcotest.test_case "extends open spans" `Quick
+            test_request_report_extends_open_spans;
+          Alcotest.test_case "missing id" `Quick test_request_report_missing_id;
+        ] );
       ( "diff",
         [
           Alcotest.test_case "trace metrics" `Quick test_metrics_of_trace;

@@ -196,7 +196,7 @@ let test_disabled_path_allocates_nothing () =
 
 let sanitized_dump () =
   List.sort compare
-    (List.map (fun (name, s) -> (M.sanitize name, s)) (M.dump ()))
+    (List.map (fun (name, s) -> (M.sanitize_key name, s)) (M.dump ()))
 
 let samples_equal a b =
   match (a, b) with
@@ -236,6 +236,64 @@ let test_sanitize () =
   Alcotest.(check string) "dots" "sat_learnt_size" (M.sanitize "sat.learnt_size");
   Alcotest.(check string) "leading digit" "_lives" (M.sanitize "9lives");
   Alcotest.(check string) "odd chars" "a_b_c" (M.sanitize "a-b c")
+
+(* ---------------------------------------------------------------- *)
+(* labeled series                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let test_labels_canonical () =
+  Alcotest.(check string)
+    "label order canonicalized"
+    (M.series_key ~labels:[ ("a", "1"); ("b", "2") ] "m")
+    (M.series_key ~labels:[ ("b", "2"); ("a", "1") ] "m");
+  Alcotest.(check string)
+    "no labels is the bare name" "m" (M.series_key "m");
+  (* the same pairs in any order must alias one registry slot *)
+  let c1 = M.counter ~labels:[ ("x", "u"); ("y", "v") ] "test.canon.c" in
+  let c2 = M.counter ~labels:[ ("y", "v"); ("x", "u") ] "test.canon.c" in
+  T.with_sink Telemetry.Sink.null (fun () ->
+      M.incr c1 2;
+      M.incr c2 3);
+  Alcotest.(check int) "aliased series share the value" 5 (M.counter_value c1)
+
+(* Label values exercising every escape in the text format: quotes,
+   backslashes, newlines, plus the block-delimiter characters. *)
+let gnarly_value =
+  QCheck.make
+    QCheck.Gen.(
+      string_size (int_range 0 10)
+        ~gen:
+          (oneofl
+             [ 'a'; 'z'; '"'; '\\'; '\n'; ' '; '{'; '}'; ','; '='; '0' ]))
+    ~print:String.escaped
+
+let test_labeled_roundtrip =
+  (* labeled counter/gauge/histogram series — with hostile label values —
+     must survive expose |> parse_exposition exactly like bare ones; the
+     registry accumulates fresh label sets across iterations, so the
+     family grouping is stressed too *)
+  QCheck.Test.make ~name:"labeled expose |> parse_exposition = dump"
+    ~count:50
+    QCheck.(
+      triple (int_bound 3) gnarly_value
+        (list_of_size Gen.(int_bound 8) (int_bound 1_000_000)))
+    (fun (w, v, observations) ->
+      let labels = [ ("worker", string_of_int w); ("weird", v) ] in
+      let c = M.counter ~labels "test.labeled.counter" in
+      let g = M.gauge ~labels "test.labeled.gauge" in
+      let h = M.histogram ~labels "test.labeled.hist" in
+      T.with_sink Telemetry.Sink.null (fun () ->
+          List.iter (M.incr c) observations;
+          M.set g (float_of_int w);
+          List.iter (M.observe h) observations);
+      match M.parse_exposition (M.expose ()) with
+      | Error msg -> QCheck.Test.fail_reportf "parse failed: %s" msg
+      | Ok parsed ->
+          let dumped = sanitized_dump () in
+          List.length parsed = List.length dumped
+          && List.for_all2
+               (fun (n1, s1) (n2, s2) -> n1 = n2 && samples_equal s1 s2)
+               parsed dumped)
 
 (* ---------------------------------------------------------------- *)
 (* periodic-flush sink                                               *)
@@ -290,7 +348,8 @@ let () =
       ( "exposition",
         [
           Alcotest.test_case "sanitize" `Quick test_sanitize;
+          Alcotest.test_case "labels canonical" `Quick test_labels_canonical;
           Alcotest.test_case "flush sink" `Quick test_flush_sink_writes_parseable;
         ]
-        @ qsuite [ test_exposition_roundtrip ] );
+        @ qsuite [ test_exposition_roundtrip; test_labeled_roundtrip ] );
     ]

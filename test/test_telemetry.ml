@@ -181,6 +181,187 @@ let test_ndjson_roundtrips_fields () =
   | _ -> Alcotest.fail "expected exactly one line"
 
 (* ---------------------------------------------------------------- *)
+(* ambient span context                                              *)
+(* ---------------------------------------------------------------- *)
+
+let point_fields name evs =
+  match
+    List.find_map
+      (function
+        | Sink.Point p when p.name = name -> Some p.fields | _ -> None)
+      evs
+  with
+  | Some fs -> fs
+  | None -> Alcotest.failf "no point %S in trace" name
+
+let test_context_stamps_events () =
+  let sink, events = Sink.memory () in
+  T.with_sink sink (fun () ->
+      T.with_context [ ("request", T.str "r1") ] (fun () ->
+          T.point "inside" ~fields:[ ("k", T.int 1) ];
+          T.with_context [ ("worker", T.str "3") ] (fun () ->
+              T.point "nested");
+          T.point "after"));
+  let evs = events () in
+  let inside = point_fields "inside" evs in
+  Alcotest.(check bool) "explicit field kept" true
+    (List.mem_assoc "k" inside);
+  Alcotest.(check bool) "context stamped" true
+    (List.mem_assoc "request" inside);
+  let nested = point_fields "nested" evs in
+  Alcotest.(check bool) "inner context stamped" true
+    (List.mem_assoc "worker" nested);
+  Alcotest.(check bool) "outer context survives nesting" true
+    (List.mem_assoc "request" nested);
+  let after = point_fields "after" evs in
+  Alcotest.(check bool) "inner context popped" false
+    (List.mem_assoc "worker" after);
+  Alcotest.(check bool) "outer context still present" true
+    (List.mem_assoc "request" after);
+  Alcotest.(check int) "context empty outside scope" 0
+    (List.length (T.current_context ()))
+
+let test_context_explicit_wins () =
+  let sink, events = Sink.memory () in
+  T.with_sink sink (fun () ->
+      T.with_context [ ("request", T.str "ambient") ] (fun () ->
+          T.point "p" ~fields:[ ("request", T.str "explicit") ]));
+  match List.assoc_opt "request" (point_fields "p" (events ())) with
+  | Some (Sink.Str "explicit") -> ()
+  | _ -> Alcotest.fail "explicit field must shadow the ambient context"
+
+let test_context_restored_on_exn () =
+  (try T.with_context [ ("a", T.int 1) ] (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "context restored after exception" 0
+    (List.length (T.current_context ()))
+
+let test_context_crosses_spawn_when_reinstalled () =
+  (* context is per-domain; the documented pattern is to capture it in
+     the parent and reinstall in the child (as the portfolio does) *)
+  T.with_context [ ("request", T.str "r9") ] (fun () ->
+      let ctx = T.current_context () in
+      let child =
+        Domain.spawn (fun () ->
+            let bare = T.current_context () in
+            let installed =
+              T.with_context ctx (fun () -> T.current_context ())
+            in
+            (bare, installed))
+      in
+      let bare, installed = Domain.join child in
+      Alcotest.(check int) "fresh domain starts with empty context" 0
+        (List.length bare);
+      Alcotest.(check bool) "reinstalled context visible in child" true
+        (List.mem_assoc "request" installed))
+
+(* ---------------------------------------------------------------- *)
+(* flight recorder                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "fec_flight" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> Sys.remove (Filename.concat dir n))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_flight_roundtrip () =
+  with_tmpdir (fun dir ->
+      T.Flight.enable ~capacity:4 ~dir ();
+      Fun.protect ~finally:T.Flight.disable (fun () ->
+          Alcotest.(check bool) "enabled" true (T.Flight.enabled ());
+          T.with_sink
+            (Sink.tee [ T.Flight.sink () ])
+            (fun () ->
+              for i = 1 to 10 do
+                T.point "tick" ~fields:[ ("i", T.int i) ]
+              done);
+          let snap = T.Flight.snapshot () in
+          Alcotest.(check int) "ring keeps last capacity events" 4
+            (List.length snap);
+          let is_ =
+            List.filter_map
+              (function
+                | Sink.Point p -> (
+                    match List.assoc_opt "i" p.fields with
+                    | Some (Sink.Int i) -> Some i
+                    | _ -> None)
+                | _ -> None)
+              snap
+          in
+          Alcotest.(check (list int))
+            "most recent events survive" [ 7; 8; 9; 10 ] is_;
+          match
+            T.Flight.dump ~reason:"test"
+              ~fields:[ ("request", T.str "r1") ]
+              ()
+          with
+          | None -> Alcotest.fail "dump returned no path while enabled"
+          | Some path ->
+              Alcotest.(check bool) "postmortem filename" true
+                (Filename.check_suffix path ".ndjson");
+              let lines = read_lines path in
+              Alcotest.(check int) "snapshot + trailing dump point" 5
+                (List.length lines);
+              List.iteri
+                (fun i l ->
+                  try ignore (J.of_string l)
+                  with J.Parse_error m ->
+                    Alcotest.failf "postmortem line %d unparseable: %s" i m)
+                lines;
+              let last = J.of_string (List.nth lines 4) in
+              Alcotest.(check (option string))
+                "trailing point name" (Some "flight.dump")
+                (Option.bind (J.member "name" last) J.to_string_opt);
+              Alcotest.(check (option string))
+                "reason stamped" (Some "test")
+                (Option.bind (J.member "reason" last) J.to_string_opt);
+              Alcotest.(check (option string))
+                "caller fields stamped" (Some "r1")
+                (Option.bind (J.member "request" last) J.to_string_opt)))
+
+let test_flight_disabled_noop () =
+  Alcotest.(check bool) "disabled by default" false (T.Flight.enabled ());
+  T.Flight.record (Sink.Point { ts = 0.0; name = "p"; fields = [] });
+  Alcotest.(check int) "snapshot empty when disabled" 0
+    (List.length (T.Flight.snapshot ()));
+  Alcotest.(check bool) "dump refuses when disabled" true
+    (T.Flight.dump ~reason:"x" () = None)
+
+let test_flight_disabled_allocates_nothing () =
+  let ev = Sink.Point { ts = 0.0; name = "p"; fields = [] } in
+  T.Flight.record ev;
+  (* warm-up *)
+  let rounds = 10_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to rounds do
+    T.Flight.record ev
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 100.0 then
+    Alcotest.failf
+      "disabled flight recorder allocated %.0f minor words over %d records"
+      delta rounds
+
+(* ---------------------------------------------------------------- *)
 (* Report.Stats merge monoid (property tests)                        *)
 (* ---------------------------------------------------------------- *)
 
@@ -283,6 +464,25 @@ let () =
             test_ndjson_every_line_parses;
           Alcotest.test_case "fields roundtrip" `Quick
             test_ndjson_roundtrips_fields;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "stamps events" `Quick test_context_stamps_events;
+          Alcotest.test_case "explicit fields win" `Quick
+            test_context_explicit_wins;
+          Alcotest.test_case "restored on exception" `Quick
+            test_context_restored_on_exn;
+          Alcotest.test_case "crosses spawn when reinstalled" `Quick
+            test_context_crosses_spawn_when_reinstalled;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "record/snapshot/dump roundtrip" `Quick
+            test_flight_roundtrip;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_flight_disabled_noop;
+          Alcotest.test_case "disabled allocates nothing" `Quick
+            test_flight_disabled_allocates_nothing;
         ] );
       ( "stats",
         [ qt test_stats_add_assoc; qt test_stats_zero_identity;

@@ -204,6 +204,106 @@ let test_deadline_timeout () =
                reaping"
               wall))
 
+(* ---------- observability ops ---------- *)
+
+let test_stats_worker_detail () =
+  (* the stats op must expose per-worker state detail, and submit must
+     mint a request id returned on the wire *)
+  with_server (fun socket ->
+      let t = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close t)
+        (fun () ->
+          let reply =
+            Client.rpc ~timeout:60.0 t
+              (J.Obj
+                 [
+                   ("op", J.Str "submit"); ("await", J.Bool true);
+                   ("jobs", J.Int 1);
+                   ( "spec",
+                     J.Str
+                       "len_G = 1 && len_d(G[0]) = 4 && len_c(G[0]) = 3 && \
+                        md(G[0]) = 3" );
+                 ])
+          in
+          (match Option.bind (J.member "request" reply) J.to_string_opt with
+          | Some rid when String.length rid > 1 && rid.[0] = 'r' -> ()
+          | _ ->
+              Alcotest.failf "awaited submit carries no request id: %s"
+                (J.to_string reply));
+          let stats =
+            Client.rpc ~timeout:5.0 t (J.Obj [ ("op", J.Str "stats") ])
+          in
+          (match J.member "queue_depth" stats with
+          | Some (J.Int _) -> ()
+          | _ -> Alcotest.fail "stats: missing queue_depth");
+          match J.member "workers" stats with
+          | Some (J.List (w :: _)) ->
+              (match Option.bind (J.member "worker" w) J.to_int with
+              | Some _ -> ()
+              | None -> Alcotest.fail "worker row: missing index");
+              (match Option.bind (J.member "state" w) J.to_string_opt with
+              | Some ("idle" | "running" | "condemned") -> ()
+              | s ->
+                  Alcotest.failf "worker row: bad state %s"
+                    (Option.value s ~default:"<none>"));
+              (match Option.bind (J.member "since_s" w) J.to_float with
+              | Some a when a >= 0.0 -> ()
+              | _ -> Alcotest.fail "worker row: missing since_s")
+          | _ -> Alcotest.failf "stats: no workers: %s" (J.to_string stats)))
+
+let test_metrics_op_exposition () =
+  (* the metrics op returns a Prometheus exposition that parses back and
+     carries the per-worker labeled series *)
+  with_server (fun socket ->
+      let t = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close t)
+        (fun () ->
+          let m =
+            Client.rpc ~timeout:5.0 t (J.Obj [ ("op", J.Str "metrics") ])
+          in
+          let expo =
+            match Option.bind (J.member "exposition" m) J.to_string_opt with
+            | Some e -> e
+            | None -> Alcotest.fail "metrics: no exposition"
+          in
+          let kvs =
+            match Telemetry.Metrics.parse_exposition expo with
+            | Ok kvs -> kvs
+            | Error e -> Alcotest.failf "exposition does not parse: %s" e
+          in
+          (match List.assoc_opt "serve_metrics_scrapes" kvs with
+          | Some (Telemetry.Metrics.Counter n) when n >= 1 -> ()
+          | _ -> Alcotest.fail "serve_metrics_scrapes counter missing");
+          let has_worker_series =
+            List.exists
+              (fun (k, _) ->
+                contains k "serve_worker_busy{" && contains k "worker=")
+              kvs
+          in
+          if not has_worker_series then
+            Alcotest.fail "no serve_worker_busy{worker=...} series";
+          (* a second scrape must be monotone on the scrape counter *)
+          let m2 =
+            Client.rpc ~timeout:5.0 t (J.Obj [ ("op", J.Str "metrics") ])
+          in
+          let expo2 =
+            Option.get
+              (Option.bind (J.member "exposition" m2) J.to_string_opt)
+          in
+          match
+            ( List.assoc_opt "serve_metrics_scrapes" kvs,
+              Result.to_option (Telemetry.Metrics.parse_exposition expo2)
+              |> Option.map (List.assoc_opt "serve_metrics_scrapes")
+              |> Option.join )
+          with
+          | ( Some (Telemetry.Metrics.Counter a),
+              Some (Telemetry.Metrics.Counter b) ) ->
+              if b <= a then
+                Alcotest.failf "scrape counter not monotone: %d then %d" a b
+          | _ -> Alcotest.fail "scrape counter missing on second scrape"))
+
 (* ---------- retrying client ---------- *)
 
 let test_client_retry () =
@@ -240,6 +340,13 @@ let () =
       ( "deadlines",
         [ Alcotest.test_case "stalled worker times out" `Quick
             test_deadline_timeout ] );
+      ( "observability",
+        [
+          Alcotest.test_case "stats carries per-worker detail" `Quick
+            test_stats_worker_detail;
+          Alcotest.test_case "metrics op exposition roundtrips" `Quick
+            test_metrics_op_exposition;
+        ] );
       ( "client",
         [ Alcotest.test_case "retries ride out late bind" `Quick
             test_client_retry ] );
