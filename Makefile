@@ -134,8 +134,11 @@ chaos: build
 # Observability gate for the daemon: /metrics scrape monotone, /healthz
 # flips to draining on SIGTERM, a stalled-then-reaped worker leaves a
 # parseable postmortem carrying its request id, and `trace report
-# --request` attributes >= 90% of the reaped request's wall time (see
-# test/obs_smoke.sh).
+# --request` attributes >= 90% of the reaped request's wall time; the
+# runtime lens must land gc_* series + fec_build_info in the
+# exposition, a "runtime" section in the daemon's trace report, and
+# >= 95% wall coverage on a one-shot --runtime-lens run, with the
+# disabled path allocating nothing (see test/obs_smoke.sh).
 obs-smoke: build
 	FECSYNTH=$(FECSYNTH) sh test/obs_smoke.sh
 

@@ -15,6 +15,11 @@ let scale =
   | Some s -> (try max 1 (int_of_string s) with _ -> 20)
   | None -> 20
 
+(* FEC_RUNTIME_LENS=1 runs the whole harness under the Runtime_events
+   lens and appends gc.* metrics to the bench ledger record; off by
+   default so the headline numbers never carry the (small) lens cost —
+   EXPERIMENTS.md measures that cost on the md-7 knee. *)
+let runtime_lens = Sys.getenv_opt "FEC_RUNTIME_LENS" = Some "1"
 let mc_words = 10_000_000 / scale
 let sweep_words = 204_522_253 / scale
 let channel_p = 0.1
@@ -904,7 +909,9 @@ let () =
       at_exit (fun () ->
           Telemetry.Ledger.finish p ~outcome:"crash" ~exit_code:2)
   | None -> ());
-  Printf.printf "FEC synthesis benchmark harness (scale divisor: %d)\n" scale;
+  if runtime_lens then Telemetry.Runtime.start ();
+  Printf.printf "FEC synthesis benchmark harness (scale divisor: %d%s)\n" scale
+    (if runtime_lens then ", runtime lens on" else "");
   List.iter
     (fun name ->
       match List.assoc_opt name all_experiments with
@@ -914,6 +921,36 @@ let () =
             (String.concat ", " (List.map fst all_experiments)))
     requested;
   write_bench_json ();
+  (* gc.* ledger metrics from the lens (never into the BENCH json — the
+     bench gate diffs those records pairwise and the lens is optional) *)
+  let gc_metrics =
+    if not runtime_lens then []
+    else begin
+      Telemetry.Runtime.poll ~force:true ();
+      let m =
+        match Telemetry.Runtime.snapshot () with
+        | None -> []
+        | Some s ->
+            let q h p =
+              match Telemetry.Metrics.Hist.quantile h p with
+              | Some us -> float_of_int us /. 1e6
+              | None -> 0.0
+            in
+            [
+              ("gc.minor_pause_p99", q s.Telemetry.Runtime.minor_pauses_us 0.99);
+              ("gc.major_pause_p99", q s.Telemetry.Runtime.major_pauses_us 0.99);
+              ( "gc.pause_s_total",
+                s.Telemetry.Runtime.minor_s +. s.Telemetry.Runtime.major_s );
+              ( "gc.allocated_mwords",
+                float_of_int s.Telemetry.Runtime.alloc_words /. 1e6 );
+              ( "gc.major_collections",
+                float_of_int s.Telemetry.Runtime.major_n );
+            ]
+      in
+      Telemetry.Runtime.stop ();
+      m
+    end
+  in
   match pending with
   | Some p ->
       let metrics =
@@ -931,5 +968,6 @@ let () =
           !bench_records
         |> List.concat
       in
-      Telemetry.Ledger.finish ~metrics p ~outcome:"ok" ~exit_code:0
+      Telemetry.Ledger.finish ~metrics:(metrics @ gc_metrics) p ~outcome:"ok"
+        ~exit_code:0
   | None -> ()

@@ -142,7 +142,7 @@ let synth_cmd =
     Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"K" ~doc)
   in
   let run prop_spec timeout weights portfolio jobs checkpoint resume cache
-      cache_dir trace metrics progress no_ledger fmt =
+      cache_dir trace metrics progress runtime_lens no_ledger fmt =
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else begin
     Session.install_sigint ();
@@ -164,6 +164,7 @@ let synth_cmd =
         trace;
         metrics;
         progress;
+        runtime_lens;
       }
     in
     match Session.run_sync ~on_report request with
@@ -337,7 +338,7 @@ let synth_cmd =
         (const run $ prop_arg $ timeout_arg $ weights $ portfolio $ jobs
        $ checkpoint_arg $ resume_arg $ cache_arg $ cache_dir_arg
        $ Output.trace_arg $ Output.metrics_arg $ Output.progress_arg
-       $ Output.no_ledger_arg $ Output.stats_arg))
+       $ Output.runtime_lens_arg $ Output.no_ledger_arg $ Output.stats_arg))
 
 (* ---------- optimize ---------- *)
 
@@ -360,7 +361,7 @@ let optimize_cmd =
     Arg.(value & opt int 16 & info [ "check-hi" ] ~docv:"C" ~doc)
   in
   let run data_len md check_lo check_hi timeout checkpoint resume cache
-      cache_dir trace metrics progress no_ledger fmt =
+      cache_dir trace metrics progress runtime_lens no_ledger fmt =
     if data_len < 1 || md < 1 || check_lo < 1 || check_hi < check_lo then
       `Error
         (false, "need data-len >= 1, min-distance >= 1, 1 <= check-lo <= check-hi")
@@ -380,6 +381,7 @@ let optimize_cmd =
           trace;
           metrics;
           progress;
+          runtime_lens;
         }
       in
       match Session.run_sync request with
@@ -475,7 +477,7 @@ let optimize_cmd =
         (const run $ data_len_arg $ md_arg $ lo_arg $ hi_arg $ timeout_arg
        $ checkpoint_arg $ resume_arg $ cache_arg $ cache_dir_arg
        $ Output.trace_arg $ Output.metrics_arg $ Output.progress_arg
-       $ Output.no_ledger_arg $ Output.stats_arg))
+       $ Output.runtime_lens_arg $ Output.no_ledger_arg $ Output.stats_arg))
 
 (* ---------- serve / submit / call ---------- *)
 
@@ -550,8 +552,17 @@ let serve_cmd =
     let doc = "Flight-recorder ring capacity per worker domain, in events." in
     Arg.(value & opt int 512 & info [ "flight-capacity" ] ~docv:"N" ~doc)
   in
+  let no_runtime_lens_arg =
+    let doc =
+      "Disable the Runtime_events lens (on by default in serve mode): \
+       without it /metrics loses the gc_* and domain_util series and the \
+       trace its runtime.* events."
+    in
+    Arg.(value & flag & info [ "no-runtime-lens" ] ~doc)
+  in
   let run socket workers max_queue grace idle_timeout no_cache cache_dir
-      metrics no_ledger metrics_port trace flight_dir flight_capacity =
+      metrics no_ledger metrics_port trace flight_dir flight_capacity
+      no_runtime_lens =
     if workers < 1 || max_queue < 1 then
       `Error (false, "need --workers >= 1 and --max-queue >= 1")
     else if grace < 0.0 || idle_timeout < 0.0 then
@@ -577,6 +588,7 @@ let serve_cmd =
           trace;
           flight_dir;
           flight_capacity;
+          runtime_lens = not no_runtime_lens;
         }
       in
       Fec_session.Server.run config;
@@ -598,7 +610,7 @@ let serve_cmd =
         (const run $ socket_arg $ workers_arg $ max_queue_arg $ grace_arg
        $ idle_timeout_arg $ no_cache_arg $ cache_dir_arg $ Output.metrics_arg
        $ Output.no_ledger_arg $ metrics_port_arg $ serve_trace_arg
-       $ flight_dir_arg $ flight_capacity_arg))
+       $ flight_dir_arg $ flight_capacity_arg $ no_runtime_lens_arg))
 
 let retries_arg =
   let doc =
@@ -746,6 +758,11 @@ let top_cmd =
     | Some (Telemetry.Metrics.Counter n) -> n
     | _ -> 0
   in
+  let gauge_of kvs name =
+    match List.assoc_opt name kvs with
+    | Some (Telemetry.Metrics.Gauge v) -> v
+    | _ -> 0.0
+  in
   let rate now prev dt = if dt <= 0.0 then 0.0 else float_of_int (now - prev) /. dt in
   let si v =
     if v >= 1e6 then Printf.sprintf "%.1fM" (v /. 1e6)
@@ -753,7 +770,7 @@ let top_cmd =
     else Printf.sprintf "%.0f" v
   in
   (* one poll rendered as text lines; rates come from the previous poll *)
-  let render ~socket j kvs ~props_s ~iters_s =
+  let render ~socket j kvs ~props_s ~iters_s ~gc =
     let hits = counter_of kvs "session_cache_hit" in
     let misses = counter_of kvs "session_cache_miss" in
     let hit_rate =
@@ -772,6 +789,14 @@ let top_cmd =
           (if get_bool "draining" j then "yes" else "no");
         Printf.sprintf "cache hits %-14s props/s %-8s iters/s %s" hit_rate
           (si props_s) (si iters_s);
+        (* runtime-lens GC line: dashes when the daemon runs --no-runtime-lens *)
+        (match gc with
+        | None -> "gc alloc/s -          %gc -      last major -"
+        | Some (alloc_s, gc_pct, last_major_s) ->
+            Printf.sprintf "gc alloc/s %-10s %%gc %-6s last major %.2fms"
+              (si alloc_s)
+              (Printf.sprintf "%.1f%%" gc_pct)
+              (last_major_s *. 1e3));
         "";
         Printf.sprintf "%-7s %-10s %9s  %s" "worker" "state" "age_s" "request";
       ]
@@ -801,7 +826,8 @@ let top_cmd =
       let tty =
         (not json) && (Unix.isatty Unix.stdout || Sys.getenv_opt "FEC_FORCE_TTY" = Some "1")
       in
-      let prev = ref None in  (* (time, props, iters) of the last poll *)
+      let prev = ref None in
+      (* (time, props, iters, alloc_words, gc_pause_us) of the last poll *)
       let last_height = ref 0 in
       let frame () =
         let j = poll () in
@@ -811,16 +837,49 @@ let top_cmd =
             let now = Unix.gettimeofday () in
             let props = counter_of kvs "sat_propagations" in
             let iters = counter_of kvs "cegis_iterations" in
-            let props_s, iters_s =
+            let have_gc = List.mem_assoc "gc_allocated_words_total" kvs in
+            let alloc = counter_of kvs "gc_allocated_words_total" in
+            let pause_us = counter_of kvs "gc_pause_us_total" in
+            let last_major = gauge_of kvs "gc_last_major_pause_s" in
+            let props_s, iters_s, alloc_s, gc_pct =
               match !prev with
-              | None -> (0.0, 0.0)
-              | Some (t0, p0, i0) ->
-                  (rate props p0 (now -. t0), rate iters i0 (now -. t0))
+              | None -> (0.0, 0.0, 0.0, 0.0)
+              | Some (t0, p0, i0, a0, pu0) ->
+                  let dt = now -. t0 in
+                  ( rate props p0 dt,
+                    rate iters i0 dt,
+                    rate alloc a0 dt,
+                    if dt <= 0.0 then 0.0
+                    else float_of_int (pause_us - pu0) /. 1e4 /. dt )
             in
-            prev := Some (now, props, iters);
-            if json then print_endline (J.to_string j)
+            prev := Some (now, props, iters, alloc, pause_us);
+            let gc =
+              if have_gc then Some (alloc_s, gc_pct, last_major) else None
+            in
+            if json then begin
+              let jout =
+                match j with
+                | J.Obj fields ->
+                    J.Obj
+                      (fields
+                      @ [
+                          ( "gc",
+                            J.Obj
+                              [
+                                ("present", J.Bool have_gc);
+                                ("alloc_words_total", J.Int alloc);
+                                ("pause_us_total", J.Int pause_us);
+                                ("last_major_pause_s", J.Float last_major);
+                                ("alloc_words_per_s", J.Float alloc_s);
+                                ("gc_pct", J.Float gc_pct);
+                              ] );
+                        ])
+                | other -> other
+              in
+              print_endline (J.to_string jout)
+            end
             else begin
-              let lines = render ~socket j kvs ~props_s ~iters_s in
+              let lines = render ~socket j kvs ~props_s ~iters_s ~gc in
               if tty && !last_height > 0 then
                 Printf.printf "\027[%dA\027[J" !last_height;
               List.iter print_endline lines;
@@ -849,9 +908,11 @@ let top_cmd =
   let doc =
     "Live view of a running $(b,fecsynth serve) daemon, polled over the \
      wire $(b,metrics) op: queue depth, per-worker state/age/request, \
-     cache hit rate, propagations and iterations per second.  On a TTY \
-     the view redraws in place; $(b,--once) prints a single snapshot, \
-     $(b,--json) machine-readable polls."
+     cache hit rate, propagations and iterations per second, plus a GC \
+     line from the runtime lens (allocation rate, %gc of wall, last \
+     major pause; dashes under $(b,--no-runtime-lens)).  On a TTY the \
+     view redraws in place; $(b,--once) prints a single snapshot, \
+     $(b,--json) machine-readable polls (with a parsed $(b,gc) object)."
   in
   Cmd.v (Cmd.info "top" ~doc)
     Term.(
@@ -1409,6 +1470,58 @@ let trace_report_cmd =
     in
     Arg.(value & opt (some string) None & info [ "request" ] ~docv:"ID" ~doc)
   in
+  (* the "runtime" section (mutator vs GC split from the runtime lens),
+     shared by the whole-trace and per-request reports; absent when the
+     trace carries no lens data *)
+  let runtime_text rt =
+    Printf.printf "\nruntime:     %.1f%% of wall observed by the GC lens\n"
+      rt.An.rt_covered_pct;
+    Printf.printf "  mutator:   %.3fs\n" rt.An.rt_total_mutator_s;
+    Printf.printf "  gc:        %.3fs (%d pause event%s, max %.2fms)\n"
+      rt.An.rt_gc_s rt.An.rt_pauses
+      (if rt.An.rt_pauses = 1 then "" else "s")
+      (rt.An.rt_max_pause_s *. 1e3);
+    Printf.printf "  wait:      %.3fs\n" rt.An.rt_total_wait_s;
+    Printf.printf "\n%-8s %10s %10s %10s %10s %10s %8s %8s %12s\n" "domain"
+      "covered_s" "mutator_s" "minor_s" "major_s" "wait_s" "minors" "majors"
+      "alloc_words";
+    List.iter
+      (fun d ->
+        Printf.printf "%-8d %10.3f %10.3f %10.3f %10.3f %10.3f %8d %8d %12d\n"
+          d.An.rt_domain d.An.rt_covered_s d.An.rt_mutator_s d.An.rt_minor_s
+          d.An.rt_major_s d.An.rt_wait_s d.An.rt_minor_n d.An.rt_major_n
+          d.An.rt_alloc_words)
+      rt.An.rt_domains
+  in
+  let runtime_json rt =
+    ( "runtime",
+      J.Obj
+        [
+          ("covered_pct", J.Float rt.An.rt_covered_pct);
+          ("mutator_s", J.Float rt.An.rt_total_mutator_s);
+          ("gc_s", J.Float rt.An.rt_gc_s);
+          ("wait_s", J.Float rt.An.rt_total_wait_s);
+          ("pauses", J.Int rt.An.rt_pauses);
+          ("max_pause_s", J.Float rt.An.rt_max_pause_s);
+          ( "domains",
+            J.List
+              (List.map
+                 (fun d ->
+                   J.Obj
+                     [
+                       ("domain", J.Int d.An.rt_domain);
+                       ("covered_s", J.Float d.An.rt_covered_s);
+                       ("mutator_s", J.Float d.An.rt_mutator_s);
+                       ("minor_s", J.Float d.An.rt_minor_s);
+                       ("major_s", J.Float d.An.rt_major_s);
+                       ("wait_s", J.Float d.An.rt_wait_s);
+                       ("minor_n", J.Int d.An.rt_minor_n);
+                       ("major_n", J.Int d.An.rt_major_n);
+                       ("alloc_words", J.Int d.An.rt_alloc_words);
+                     ])
+                 rt.An.rt_domains) );
+        ] )
+  in
   let run_request p rid fmt =
     match An.request_report ~request:rid p with
     | None ->
@@ -1424,6 +1537,7 @@ let trace_report_cmd =
                        (List.map fst
                           (List.filteri (fun i _ -> i < 8) ids)))) )
     | Some r ->
+        let rt = An.runtime ~request:rid p in
         Output.result fmt
           ~text:(fun () ->
             Printf.printf "request:     %s\n" r.An.rq_id;
@@ -1442,9 +1556,11 @@ let trace_report_cmd =
                   Printf.printf "%-24s %12.4f %8d\n" ph.An.rq_phase
                     ph.An.rq_total_s ph.An.rq_calls)
                 r.An.rq_phases
-            end)
+            end;
+            Option.iter runtime_text rt)
           ~json:(fun () ->
-            [
+            (match rt with Some s -> [ runtime_json s ] | None -> [])
+            @ [
               ("command", J.Str "trace-report");
               ("request", J.Str r.An.rq_id);
               ("events", J.Int r.An.rq_events);
@@ -1475,6 +1591,7 @@ let trace_report_cmd =
         | Some rid -> run_request p rid fmt
         | None ->
         let r = An.report ~top p in
+        let rt = An.runtime p in
         Output.result fmt
           ~text:(fun () ->
             Printf.printf "events:      %d\n" r.An.events;
@@ -1491,6 +1608,7 @@ let trace_report_cmd =
                     ph.An.calls)
                 r.An.phases
             end;
+            Option.iter runtime_text rt;
             (match r.An.sat_totals with
             | [] -> ()
             | totals ->
@@ -1510,7 +1628,8 @@ let trace_report_cmd =
                     print_newline ())
                   slow)
           ~json:(fun () ->
-            [
+            (match rt with Some s -> [ runtime_json s ] | None -> [])
+            @ [
               ("command", J.Str "trace-report");
               ("events", J.Int r.An.events);
               ("wall_s", J.Float r.An.wall_s);

@@ -38,6 +38,17 @@ let progress_arg =
   in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
+let runtime_lens_arg =
+  let doc =
+    "Start the OCaml Runtime_events lens for this run: GC pause \
+     histograms, allocation counters and per-domain utilization land in \
+     $(b,--metrics), runtime.* interval and pause events in \
+     $(b,--trace) (surfaced by $(b,fecsynth trace report)'s runtime \
+     section), and gc.* trend metrics in the run ledger (see \
+     $(b,fecsynth runs trend))."
+  in
+  Arg.(value & flag & info [ "runtime-lens" ] ~doc)
+
 let no_ledger_arg =
   let doc =
     "Do not record this run in the persistent run ledger (see $(b,fecsynth \

@@ -29,6 +29,23 @@ let with_observability ?(trace = None) ?(metrics = None) ?(progress = false) f =
     let final = force_tty () && not (Unix.isatty Unix.stderr) in
     sinks := Telemetry.Progress.sink ~final write :: !sinks
   end;
+  (* When the runtime lens is live, let its poller ride on this run's
+     event traffic, and force a final drain while the tee is still
+     installed so the closing [runtime.gc] intervals land in the trace.
+     The tick-driver sink is only added when this run installs sinks of
+     its own: with none, the ambient sink (a daemon's trace tee, whose
+     select loop already ticks the lens) must stay installed — teeing
+     over it here would replace it and swallow the run's events. *)
+  let f =
+    if Telemetry.Runtime.active () then begin
+      if !sinks <> [] then sinks := Telemetry.Runtime.sink () :: !sinks;
+      fun () ->
+        Fun.protect
+          ~finally:(fun () -> Telemetry.Runtime.poll ~force:true ())
+          f
+    end
+    else f
+  in
   match List.rev !sinks with
   | [] -> f ()
   | sinks ->

@@ -11,7 +11,10 @@ val force_tty : unit -> bool
     created eagerly so even an aborted run leaves a parseable (possibly
     empty) trace; the metrics file is rewritten whole on each periodic
     flush so readers always see a complete exposition; progress renders
-    on stderr only when it is a TTY (or forced). *)
+    on stderr only when it is a TTY (or forced).  If the
+    {!Telemetry.Runtime} lens is active, its poller is composed into the
+    tee and force-drained when [f] returns, so runtime GC intervals
+    cover the run end to end. *)
 val with_observability :
   ?trace:string option ->
   ?metrics:string option ->

@@ -26,6 +26,9 @@ type config = {
   trace : string option;
   flight_dir : string option;
   flight_capacity : int;
+  runtime_lens : bool;
+      (* process-wide Runtime_events lens: GC/domain telemetry on
+         /metrics, runtime.* points in the daemon trace *)
 }
 
 let default_config ~socket =
@@ -46,6 +49,7 @@ let default_config ~socket =
     trace = None;
     flight_dir = None;
     flight_capacity = 512;
+    runtime_lens = true;
   }
 
 let tick = 0.05
@@ -175,10 +179,27 @@ let m_scrapes = Telemetry.Metrics.counter "serve.metrics_scrapes"
 let g_draining = Telemetry.Metrics.gauge "serve.draining"
 
 (* Refresh the per-worker labeled gauge series just before a scrape, so
-   the exposition carries live worker detail without per-tick updates. *)
+   the exposition carries live worker detail without per-tick updates.
+   Build identity rides along as the conventional constant-1 info gauge
+   ([fec_build_info{version=...,git=...,ocaml=...} 1]), and a forced
+   lens poll makes the gc_* series current as of this scrape. *)
 let update_worker_metrics st =
   Telemetry.Metrics.incr m_scrapes 1;
   Telemetry.Metrics.set g_draining (if st.draining then 1.0 else 0.0);
+  Telemetry.Runtime.poll ~force:false ();
+  (let b = Telemetry.Buildinfo.current () in
+   Telemetry.Metrics.set
+     (Telemetry.Metrics.gauge
+        ~help:"Build identity of the serving binary (constant 1)"
+        ~labels:
+          [
+            ("version", b.Telemetry.Buildinfo.code_version);
+            ( "git",
+              match b.Telemetry.Buildinfo.git with Some g -> g | None -> "-" );
+            ("ocaml", b.Telemetry.Buildinfo.ocaml);
+          ]
+        "fec.build_info")
+     1.0);
   List.iter
     (fun (w : Session.Manager.worker_info) ->
       let labels =
@@ -287,11 +308,23 @@ let http_response ~status ~content_type body =
     status content_type (String.length body) body
 
 let healthz_json st =
+  let b = Telemetry.Buildinfo.current () in
   J.Obj
     [
       ("status", J.Str (if st.draining then "draining" else "ok"));
       ("queue_depth", J.Int (Session.Manager.queue_depth st.manager));
       ("reaped", J.Int (Session.Manager.reaped st.manager));
+      ( "build",
+        J.Obj
+          [
+            ("version", J.Str b.Telemetry.Buildinfo.code_version);
+            ( "git",
+              match b.Telemetry.Buildinfo.git with
+              | Some g -> J.Str g
+              | None -> J.Null );
+            ("ocaml", J.Str b.Telemetry.Buildinfo.ocaml);
+            ("runtime_lens", J.Bool (Telemetry.Runtime.active ()));
+          ] );
       ( "workers",
         J.List (List.map worker_json (Session.Manager.workers st.manager)) );
     ]
@@ -492,6 +525,9 @@ let loop st =
               | None -> ())
           readable;
         Session.Manager.tend st.manager;
+        (* throttled runtime-lens poll: keeps GC/domain telemetry flowing
+           even when no request traffic is driving the tee *)
+        Telemetry.Runtime.tick ();
         answer_waiters st;
         List.iter
           (fun fd ->
@@ -628,6 +664,10 @@ let run config =
         if d = "" then "." else d
   in
   Telemetry.Flight.enable ~capacity:config.flight_capacity ~dir:flight_dir ();
+  (* the runtime lens is process-wide for the daemon's lifetime: gc_* and
+     domain_util series on /metrics, runtime.* points in the trace and
+     the flight ring, request-correlated via worker ring beacons *)
+  if config.runtime_lens then Telemetry.Runtime.start ();
   let manager =
     Session.Manager.create ~workers:config.workers ~max_queue:config.max_queue
       ~grace:config.grace
@@ -639,6 +679,9 @@ let run config =
           | Some r -> [ ("request", Telemetry.str r) ]
           | None -> [])
         in
+        (* drain the runtime ring first so the postmortem tail carries
+           the GC story leading up to the stall, not just app events *)
+        Telemetry.Runtime.poll ~force:true ();
         match Telemetry.Flight.dump ~fields ~reason:"reap" () with
         | Some path -> log "worker %d reaped; postmortem %s" worker path
         | None -> ())
@@ -692,6 +735,10 @@ let run config =
           st.clients;
         st.clients <- [];
         Session.Manager.drain manager;
+        (* final lens drain runs while the daemon tee is still installed,
+           then the lens is released with the listener *)
+        Telemetry.Runtime.poll ~force:true ();
+        Telemetry.Runtime.stop ();
         Telemetry.Flight.disable ();
         if Sys.file_exists config.socket then Unix.unlink config.socket;
         (try Unix.unlink (pidfile config) with Unix.Unix_error _ | Sys_error _ -> ());

@@ -68,6 +68,11 @@ type config = {
           directory) *)
   flight_capacity : int;
       (** per-domain flight-recorder ring size (default 512 events) *)
+  runtime_lens : bool;
+      (** start the {!Telemetry.Runtime} lens for the daemon's lifetime
+          (default on): [gc_*] and [domain_util] series on [/metrics],
+          [runtime.*] points — request-correlated via worker ring
+          beacons — in the trace and the flight ring *)
 }
 
 val default_config : socket:string -> config

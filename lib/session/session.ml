@@ -28,6 +28,7 @@ type request = {
   trace : string option;
   metrics : string option;
   progress : bool;
+  runtime_lens : bool;  (* start the Runtime_events lens for this run *)
   extra_metrics : (string * float) list;
   request_id : string option;  (* wire correlation id, minted at admission *)
 }
@@ -46,6 +47,7 @@ let default_request job =
     trace = None;
     metrics = None;
     progress = false;
+    runtime_lens = false;
     extra_metrics = [];
     request_id = None;
   }
@@ -218,11 +220,41 @@ let cache_save_pool ctx ~data_len ~check_len ~md cexes =
       Cache.save_pool ~dir:c.c_dir ~digest:c.c_digest ~data_len ~check_len ~md
         cexes
 
+(* When this run asked for the runtime lens (--runtime-lens), its GC
+   story lands in the ledger as trend metrics — [runs trend --metric
+   gc.major_pause_p99] works across runs.  Only the lens-owning one-shot
+   path reports: in the daemon the lens is process-wide and accumulates
+   across requests, so per-request GC attribution belongs to the
+   request-stamped trace points, not the ledger. *)
+let runtime_ledger_metrics request =
+  if not request.runtime_lens then []
+  else begin
+    Telemetry.Runtime.poll ~force:true ();
+    match Telemetry.Runtime.snapshot () with
+    | None -> []
+    | Some s ->
+        let q h p =
+          match Telemetry.Metrics.Hist.quantile h p with
+          | Some us -> float_of_int us /. 1e6
+          | None -> 0.0
+        in
+        [
+          ("gc.minor_pause_p99", q s.Telemetry.Runtime.minor_pauses_us 0.99);
+          ("gc.major_pause_p99", q s.Telemetry.Runtime.major_pauses_us 0.99);
+          ( "gc.pause_s_total",
+            s.Telemetry.Runtime.minor_s +. s.Telemetry.Runtime.major_s );
+          ( "gc.allocated_mwords",
+            float_of_int s.Telemetry.Runtime.alloc_words /. 1e6 );
+          ("gc.major_collections", float_of_int s.Telemetry.Runtime.major_n);
+        ]
+  end
+
 (* when the cache is in play, hit/miss becomes a ledger trend metric;
    caller-stamped facts (the serve daemon's admission-time queue depth)
    ride along on every finish path, cache hits included *)
 let cache_metric request ctx hit metrics =
   request.extra_metrics
+  @ runtime_ledger_metrics request
   @
   match ctx with
   | None -> metrics
@@ -654,12 +686,26 @@ let run_sync ?on_report ?cancel request =
     Atomic.get sigint_requested
     || match cancel with Some c -> Atomic.get c | None -> false
   in
-  match request.job with
-  | Synth { prop; weights; portfolio; jobs } ->
-      run_synth ?on_report ~intr ~t0 request ~prop_spec:prop ~weights
-        ~portfolio ~jobs
-  | Optimize { data_len; md; check_lo; check_hi } ->
-      run_optimize ~intr ~t0 request ~data_len ~md ~check_lo ~check_hi
+  (* a one-shot run that asked for the lens owns it: started before the
+     job so [Observe] composes the poller into the tee, stopped after
+     the ledger record (which snapshots it) has settled.  Under a daemon
+     the lens is already live process-wide and is left alone. *)
+  let owned_lens =
+    request.runtime_lens
+    && (not (Telemetry.Runtime.active ()))
+    &&
+    (Telemetry.Runtime.start ();
+     Telemetry.Runtime.active ())
+  in
+  Fun.protect
+    ~finally:(fun () -> if owned_lens then Telemetry.Runtime.stop ())
+    (fun () ->
+      match request.job with
+      | Synth { prop; weights; portfolio; jobs } ->
+          run_synth ?on_report ~intr ~t0 request ~prop_spec:prop ~weights
+            ~portfolio ~jobs
+      | Optimize { data_len; md; check_lo; check_hi } ->
+          run_optimize ~intr ~t0 request ~data_len ~md ~check_lo ~check_hi)
 
 (* ---------- the concurrent session manager ---------- *)
 
@@ -831,18 +877,24 @@ module Manager = struct
                 (* every event the run emits — including from portfolio
                    worker domains, which re-install the context — carries
                    the request id, so [trace report --request] can slice
-                   this run back out of the daemon's interleaved trace *)
-                Telemetry.with_context
-                  [ ("request", Telemetry.str rid) ]
+                   this run back out of the daemon's interleaved trace.
+                   The runtime lens gets the same id via a ring beacon,
+                   so GC intervals on this domain are attributed too. *)
+                Telemetry.Runtime.set_request (Some rid);
+                Fun.protect
+                  ~finally:(fun () -> Telemetry.Runtime.set_request None)
                   (fun () ->
-                    Telemetry.span "serve.request"
-                      ~fields:
-                        [
-                          ("worker", Telemetry.str (string_of_int w));
-                          ( "queue_wait_s",
-                            Telemetry.str (Printf.sprintf "%.3f" wait_s) );
-                        ]
-                      run)
+                    Telemetry.with_context
+                      [ ("request", Telemetry.str rid) ]
+                      (fun () ->
+                        Telemetry.span "serve.request"
+                          ~fields:
+                            [
+                              ("worker", Telemetry.str (string_of_int w));
+                              ( "queue_wait_s",
+                                Telemetry.str (Printf.sprintf "%.3f" wait_s) );
+                            ]
+                          run))
           in
           locked t (fun () ->
               (match jr.jr_status with

@@ -34,6 +34,13 @@ type request = {
   trace : string option;
   metrics : string option;
   progress : bool;
+  runtime_lens : bool;
+      (** start the {!Telemetry.Runtime} lens for this run (one-shot CLI
+          [--runtime-lens]): {!run_sync} owns start/stop when no lens is
+          already live, the ledger record gains [gc.*] trend metrics
+          (pause p99s, total pause seconds, allocated megawords), and
+          the trace carries [runtime.*] points.  Under a daemon the
+          process-wide lens is left alone. *)
   extra_metrics : (string * float) list;
       (** caller-stamped facts appended to the run's ledger metrics on
           every finish path (cache hits included) — the serve daemon

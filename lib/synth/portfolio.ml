@@ -25,6 +25,17 @@ type report = {
   totals : Report.Stats.t;
 }
 
+(* Spawned worker domains re-install the ambient span context (the serve
+   request id); the runtime lens needs the same id as a ring beacon so
+   GC intervals on the new domain's ring are attributed to the request.
+   No-op when the lens is not live. *)
+let with_runtime_request ctx f =
+  match List.assoc_opt "request" ctx with
+  | Some (Telemetry.Sink.Str rid) when Telemetry.Runtime.active () ->
+      Telemetry.Runtime.set_request (Some rid);
+      Fun.protect ~finally:(fun () -> Telemetry.Runtime.set_request None) f
+  | _ -> f ()
+
 let config_to_string c =
   let seed = match c.seed with None -> "-" | Some s -> string_of_int s in
   Printf.sprintf "%s(cex=%s ver=%s enc=%s seed=%s)" c.label
@@ -602,7 +613,8 @@ let synthesize ?(timeout = 120.0) ?(jobs = 4) ?(restart_interval = 20.0)
             List.mapi
               (fun i c ->
                 Domain.spawn (fun () ->
-                    Telemetry.with_context ctx (fun () -> run i c)))
+                    with_runtime_request ctx (fun () ->
+                        Telemetry.with_context ctx (fun () -> run i c))))
               round_configs
           in
           List.map Domain.join domains
@@ -721,7 +733,8 @@ let verify_min_distance ?(timeout = 120.0) ?(jobs = 4) code m =
         List.map
           (fun s ->
             Domain.spawn (fun () ->
-                Telemetry.with_context ctx (fun () -> run s)))
+                with_runtime_request ctx (fun () ->
+                    Telemetry.with_context ctx (fun () -> run s))))
           strategies
       in
       List.iter Domain.join domains);

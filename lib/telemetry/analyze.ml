@@ -120,12 +120,14 @@ let known_fields =
   List.iter
     (fun k -> Hashtbl.replace tbl k ())
     [
-      "action"; "analyze_s"; "attempt"; "backoff_attempt"; "budget_s";
-      "cand_weight"; "cex_mode"; "cex_weight"; "cexes"; "check_len";
-      "clauses"; "config"; "conflicts"; "consumed"; "crashes"; "data_len";
-      "decisions"; "delay_s"; "encoding"; "error_prob"; "exn";
-      "extra_constraints"; "finished"; "flips_ge_md"; "id"; "iter";
-      "iterations"; "jobs"; "k"; "learnt_size_hist"; "level"; "min_distance";
+      "action"; "alloc_words"; "analyze_s"; "attempt"; "backoff_attempt";
+      "budget_s"; "cand_weight"; "cex_mode"; "cex_weight"; "cexes";
+      "check_len"; "clauses"; "config"; "conflicts"; "consumed"; "crashes";
+      "data_len"; "decisions"; "delay_s"; "domain"; "dur_s"; "encoding";
+      "error_prob"; "exn"; "extra_constraints"; "finished"; "flips_ge_md";
+      "id"; "interval_s"; "iter";
+      "iterations"; "jobs"; "k"; "learnt_size_hist"; "level"; "major_n";
+      "major_s"; "min_distance"; "minor_n"; "minor_s";
       "n"; "new_clauses"; "new_vars"; "op"; "outcome"; "param"; "portfolio";
       "proof_steps"; "propagate_s"; "propagations"; "published";
       "queue_depth"; "queue_wait_s"; "reason"; "request";
@@ -136,7 +138,7 @@ let known_fields =
       "stats.learnt_size_p99"; "stats.syn_conflicts"; "stats.ver_conflicts";
       "stats.verifier_calls"; "stats.worker_crashes"; "stats.worker_restarts";
       "timeout"; "timeout_s"; "undetected"; "vars"; "verdict"; "verifier";
-      "walk"; "wall_s"; "winner"; "words"; "worker";
+      "wait_s"; "walk"; "wall_s"; "winner"; "words"; "worker";
     ];
   tbl
 
@@ -431,7 +433,14 @@ let report ?(top = 3) (p : parsed) =
 
 (* One line per distinct span-name stack, "root;child;leaf <self µs>",
    the folded-stack format consumed by flamegraph.pl and speedscope.
-   Output is sorted by stack for determinism. *)
+   Output is sorted by stack for determinism.
+
+   Runtime-lens GC pause points ([runtime.gc.minor]/[runtime.gc.major],
+   each carrying [dur_s]) fold in as leaf frames under the innermost
+   span covering their timestamp, with the pause microseconds moved out
+   of that span's self-time — so a GC-bound phase shows its GC share as
+   a distinct frame instead of inflating the phase itself.  Pauses
+   landing outside any span become root-level GC frames. *)
 let flame (p : parsed) =
   let sps = spans p in
   let by_id = Hashtbl.create 64 in
@@ -443,12 +452,50 @@ let flame (p : parsed) =
     | _ -> sp.name
   in
   let folded : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let add key us =
+    Hashtbl.replace folded key
+      (us + Option.value (Hashtbl.find_opt folded key) ~default:0)
+  in
+  (* µs of GC pause charged to each span, to deduct from its self-time *)
+  let gc_in_span : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Sink.Point
+          { ts; name = ("runtime.gc.minor" | "runtime.gc.major") as name;
+            fields } -> (
+          let dur = Option.value (float_field fields "dur_s") ~default:0.0 in
+          let us = int_of_float ((dur *. 1e6) +. 0.5) in
+          if us > 0 then
+            let innermost =
+              List.fold_left
+                (fun acc sp ->
+                  if sp.t0 <= ts && ts <= sp.t0 +. sp.dur then
+                    match acc with
+                    | None -> Some sp
+                    | Some best ->
+                        if
+                          sp.t0 > best.t0
+                          || (sp.t0 = best.t0 && sp.dur < best.dur)
+                        then Some sp
+                        else acc
+                  else acc)
+                None sps
+            in
+            match innermost with
+            | Some sp ->
+                add (stack sp ^ ";" ^ name) us;
+                Hashtbl.replace gc_in_span sp.id
+                  (us
+                  + Option.value (Hashtbl.find_opt gc_in_span sp.id) ~default:0)
+            | None -> add name us)
+      | _ -> ())
+    p.events;
   List.iter
     (fun sp ->
       let us = int_of_float ((sp.self *. 1e6) +. 0.5) in
-      let key = stack sp in
-      Hashtbl.replace folded key
-        (us + Option.value (Hashtbl.find_opt folded key) ~default:0))
+      let gc = Option.value (Hashtbl.find_opt gc_in_span sp.id) ~default:0 in
+      add (stack sp) (max 0 (us - gc)))
     sps;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) folded []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -743,6 +790,129 @@ let request_report ~request (p : parsed) =
           rq_attributed_pct =
             (if wall <= 0.0 then 100.0 else 100.0 *. attributed /. wall);
         }
+
+(* ---------- runtime lens section (trace report) ---------- *)
+
+(* Aggregate the runtime lens's [runtime.gc] interval points into a
+   per-domain mutator/GC/wait split.  Each point covers the interval
+   since the previous one on its domain ([interval_s]), so summing them
+   tiles that domain's observed wall time; mutator time is the
+   remainder after GC and condition-wait.  With [request], only points
+   tagged with that id count — the per-request view of a daemon trace. *)
+
+type runtime_domain = {
+  rt_domain : int;
+  rt_covered_s : float;  (* summed interval_s: observed wall on this domain *)
+  rt_minor_s : float;
+  rt_major_s : float;
+  rt_wait_s : float;
+  rt_mutator_s : float;  (* covered minus GC minus wait *)
+  rt_minor_n : int;
+  rt_major_n : int;
+  rt_alloc_words : int;
+}
+
+type runtime_section = {
+  rt_domains : runtime_domain list;  (* sorted by domain index *)
+  rt_gc_s : float;  (* minor + major over all domains *)
+  rt_total_mutator_s : float;
+  rt_total_wait_s : float;
+  rt_pauses : int;  (* over-threshold pause points in the slice *)
+  rt_max_pause_s : float;
+  rt_covered_pct : float;
+      (* best per-domain coverage against the slice's wall clock: how
+         much of the run the lens actually observed and attributed *)
+}
+
+let runtime ?request (p : parsed) =
+  let keep ev =
+    match request with
+    | None -> true
+    | Some r -> request_of_fields (event_fields ev) = Some r
+  in
+  let evs = List.filter keep p.events in
+  let wall =
+    match evs with
+    | [] -> 0.0
+    | _ ->
+        let ts = List.map event_ts evs in
+        Float.max 0.0
+          (List.fold_left Float.max neg_infinity ts
+          -. List.fold_left Float.min infinity ts)
+  in
+  let tbl : (int, runtime_domain) Hashtbl.t = Hashtbl.create 8 in
+  let pauses = ref 0 in
+  let max_pause = ref 0.0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Sink.Point { name = "runtime.gc"; fields; _ } ->
+          let f k = Option.value (float_field fields k) ~default:0.0 in
+          let i k = Option.value (int_field fields k) ~default:0 in
+          let d = i "domain" in
+          let prev =
+            Option.value (Hashtbl.find_opt tbl d)
+              ~default:
+                {
+                  rt_domain = d;
+                  rt_covered_s = 0.0;
+                  rt_minor_s = 0.0;
+                  rt_major_s = 0.0;
+                  rt_wait_s = 0.0;
+                  rt_mutator_s = 0.0;
+                  rt_minor_n = 0;
+                  rt_major_n = 0;
+                  rt_alloc_words = 0;
+                }
+          in
+          Hashtbl.replace tbl d
+            {
+              prev with
+              rt_covered_s = prev.rt_covered_s +. f "interval_s";
+              rt_minor_s = prev.rt_minor_s +. f "minor_s";
+              rt_major_s = prev.rt_major_s +. f "major_s";
+              rt_wait_s = prev.rt_wait_s +. f "wait_s";
+              rt_minor_n = prev.rt_minor_n + i "minor_n";
+              rt_major_n = prev.rt_major_n + i "major_n";
+              rt_alloc_words = prev.rt_alloc_words + i "alloc_words";
+            }
+      | Sink.Point
+          { name = "runtime.gc.minor" | "runtime.gc.major"; fields; _ } ->
+          incr pauses;
+          let d = Option.value (float_field fields "dur_s") ~default:0.0 in
+          if d > !max_pause then max_pause := d
+      | _ -> ())
+    evs;
+  if Hashtbl.length tbl = 0 && !pauses = 0 then None
+  else
+    let domains =
+      Hashtbl.fold (fun _ rd acc -> rd :: acc) tbl []
+      |> List.map (fun rd ->
+             {
+               rd with
+               rt_mutator_s =
+                 Float.max 0.0
+                   (rd.rt_covered_s -. rd.rt_minor_s -. rd.rt_major_s
+                  -. rd.rt_wait_s);
+             })
+      |> List.sort (fun a b -> compare a.rt_domain b.rt_domain)
+    in
+    let sum f = List.fold_left (fun acc rd -> acc +. f rd) 0.0 domains in
+    let best_covered =
+      List.fold_left (fun acc rd -> Float.max acc rd.rt_covered_s) 0.0 domains
+    in
+    Some
+      {
+        rt_domains = domains;
+        rt_gc_s = sum (fun rd -> rd.rt_minor_s +. rd.rt_major_s);
+        rt_total_mutator_s = sum (fun rd -> rd.rt_mutator_s);
+        rt_total_wait_s = sum (fun rd -> rd.rt_wait_s);
+        rt_pauses = !pauses;
+        rt_max_pause_s = !max_pause;
+        rt_covered_pct =
+          (if wall <= 0.0 then 100.0
+           else Float.min 100.0 (100.0 *. best_covered /. wall));
+      }
 
 let diff ~threshold a b =
   let tbl_a = Hashtbl.create 64 in

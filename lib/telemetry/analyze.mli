@@ -129,10 +129,48 @@ val request_ids : parsed -> (string * int) list
     [request]; [None] when the id never appears. *)
 val request_report : request:string -> parsed -> request_report option
 
+(** {1 Runtime lens ([fecsynth trace report] "runtime" section)} *)
+
+(** Per-domain mutator/GC/wait split recovered from the runtime lens's
+    [runtime.gc] interval points (see {!Telemetry.Runtime}). *)
+type runtime_domain = {
+  rt_domain : int;
+  rt_covered_s : float;
+      (** summed interval seconds: wall time the lens observed on this
+          domain *)
+  rt_minor_s : float;
+  rt_major_s : float;
+  rt_wait_s : float;  (** condition-wait (idle) seconds *)
+  rt_mutator_s : float;  (** covered minus GC minus wait *)
+  rt_minor_n : int;
+  rt_major_n : int;
+  rt_alloc_words : int;
+}
+
+type runtime_section = {
+  rt_domains : runtime_domain list;  (** sorted by domain index *)
+  rt_gc_s : float;  (** minor + major seconds over all domains *)
+  rt_total_mutator_s : float;
+  rt_total_wait_s : float;
+  rt_pauses : int;  (** over-threshold pause points in the slice *)
+  rt_max_pause_s : float;
+  rt_covered_pct : float;
+      (** best per-domain coverage against the slice's wall clock *)
+}
+
+(** [runtime ?request p] aggregates the lens's interval points — sliced
+    to one request when [request] is given — into the report's
+    "runtime" section; [None] when the trace carries no runtime lens
+    data (the lens was off). *)
+val runtime : ?request:string -> parsed -> runtime_section option
+
 (** {1 Folded stacks ([fecsynth trace flame])} *)
 
 (** [(stack, self µs)] pairs, stack names joined with [';'], sorted by
-    stack — the folded format consumed by flamegraph.pl and speedscope. *)
+    stack — the folded format consumed by flamegraph.pl and speedscope.
+    Runtime-lens GC pause points fold in as leaf frames under the
+    innermost covering span (their µs deducted from that span's self),
+    or as root frames when no span covers them. *)
 val flame : parsed -> (string * int) list
 
 val flame_to_string : parsed -> string

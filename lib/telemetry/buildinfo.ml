@@ -24,6 +24,7 @@ let features =
     "fault-injection";
     "progress";
     "ledger";
+    "runtime-lens";
   ]
 
 (* Best effort only: outside a work tree (or without git on PATH) the
@@ -41,6 +42,12 @@ let git_describe () =
 
 let detect () =
   { code_version; git = git_describe (); ocaml = Sys.ocaml_version; features }
+
+(* The daemon stamps build identity on every /metrics scrape and healthz
+   answer; one git subprocess per process lifetime is enough. *)
+let current =
+  let id = lazy (detect ()) in
+  fun () -> Lazy.force id
 
 let to_json t =
   Json.Obj

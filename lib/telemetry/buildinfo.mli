@@ -22,6 +22,10 @@ val features : string list
     best effort. *)
 val detect : unit -> t
 
+(** {!detect}, computed once per process and cached — for callers that
+    stamp build identity repeatedly (metrics scrapes, healthz). *)
+val current : unit -> t
+
 val to_json : t -> Json.t
 
 (** Lenient decode: missing fields become ["?"]/[None]/[[]], never an

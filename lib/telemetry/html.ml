@@ -465,6 +465,58 @@ let render (entries : Ledger.entry list) =
     pf "</div>"
   end;
 
+  (* ---- runtime lens: GC pressure across instrumented runs ---- *)
+  (* runs recorded with the runtime lens on carry gc.* ledger metrics;
+     the card trends the worst-case pause and splits wall time into
+     mutator vs GC, so "is this run GC-bound?" is answered at a glance *)
+  let gc_entries =
+    List.filter (fun e -> metric e "gc.pause_s_total" <> None) entries
+  in
+  if gc_entries <> [] then begin
+    let pause_points =
+      List.filter_map
+        (fun e ->
+          match
+            (metric e "gc.major_pause_p99", metric e "gc.minor_pause_p99")
+          with
+          | Some v, _ when v > 0.0 -> Some (e.Ledger.ts, v)
+          | _, Some v -> Some (e.Ledger.ts, v)
+          | _ -> None)
+        gc_entries
+    in
+    let gc_total =
+      List.fold_left
+        (fun acc e -> acc +. Option.value (metric e "gc.pause_s_total") ~default:0.0)
+        0.0 gc_entries
+    in
+    let mutator_total =
+      List.fold_left
+        (fun acc e ->
+          let gc = Option.value (metric e "gc.pause_s_total") ~default:0.0 in
+          acc +. Float.max 0.0 (e.Ledger.wall_s -. gc))
+        0.0 gc_entries
+    in
+    pf "<h2>Runtime (GC lens)</h2><div class=\"grid\">";
+    pf "<div class=\"card trend\">";
+    pf "<div class=\"name\">gc pause p99 &#183; mutator vs gc</div>";
+    (match List.rev pause_points with
+    | (_, last) :: _ -> pf "<div class=\"v\">%s</div>" (esc (fmt_secs last))
+    | [] -> pf "<div class=\"v\">&#8212;</div>");
+    if pause_points <> [] then
+      sparkline ~label:"gc pause p99 trend" buf ~w:220 ~h:44 pause_points;
+    stacked_bar buf ~w:220 ~h:10
+      [
+        ("series-1", "mutator (s)", mutator_total);
+        ("series-2", "gc pauses (s)", gc_total);
+      ];
+    pf "<div class=\"range\">%s mutator &#183; %s in gc over %d run%s</div>"
+      (esc (fmt_secs mutator_total))
+      (esc (fmt_secs gc_total))
+      (List.length gc_entries)
+      (if List.length gc_entries = 1 then "" else "s");
+    pf "</div></div>"
+  end;
+
   (* ---- solver-phase attribution ---- *)
   let effort =
     List.filter_map

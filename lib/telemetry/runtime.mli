@@ -1,0 +1,87 @@
+(** Runtime-observability lens over OCaml 5's [Runtime_events] ring.
+
+    When started, a per-process consumer cursor turns raw runtime events
+    (GC phase begin/end, allocation counters, domain lifecycle) into the
+    three observability surfaces the rest of the stack already speaks:
+
+    - {b registry metrics} — [gc_minor_pause_us]/[gc_major_pause_us]
+      histograms, [gc_allocated_words_total], [gc_minor_collections_total],
+      [gc_major_collections_total], a [gc_pause_us_total] counter and
+      last-pause gauges, plus a per-domain [domain_util{domain=N}] gauge
+      (mutator fraction of the last poll interval, waits and GC excluded);
+    - {b trace events} — per-domain [runtime.gc] aggregate points whose
+      [interval_s]/[minor_s]/[major_s]/[wait_s] fields tile the run (so
+      [Analyze] can attribute wall time to mutator vs GC), individual
+      [runtime.gc.minor]/[runtime.gc.major] pause points above a
+      threshold, and [runtime.domain.spawn]/[runtime.domain.terminate]
+      lifecycle points — all emitted through the installed telemetry
+      sink, so they land in NDJSON traces and flight-recorder rings
+      alongside application events;
+    - {b request correlation} — [set_request], called from a worker
+      domain, writes a user event into that domain's own ring; the
+      consumer replays it in event order and stamps subsequent GC
+      activity on that ring with the request id, flushing pending
+      deltas at each boundary so per-request GC attribution is exact.
+
+    Discipline matches the rest of [Telemetry]: when the lens is not
+    started, [tick]/[poll]/[set_request] cost one atomic load and
+    allocate nothing. The consumer itself is polled — from the serve
+    select loop via [tick], and from [Session]'s observability tee via
+    [sink] — never from a signal or a background thread. *)
+
+val start : ?min_interval:float -> ?pause_threshold_us:int -> unit -> unit
+(** Start the lens: enable runtime event collection for this process
+    (ring files go to [OCAML_RUNTIME_EVENTS_DIR], defaulted to the
+    temp directory), create a self cursor and register the gc metric
+    instruments. Idempotent. [min_interval] (default 0.25s) throttles
+    [tick]/[sink] polling; [pause_threshold_us] (default 500) is the
+    minimum individual pause emitted as its own trace point. Never
+    raises: if the runtime refuses to start event collection the lens
+    just stays inactive. *)
+
+val stop : unit -> unit
+(** Drop the cursor and pause runtime event collection. Totals are
+    discarded; a later [start] begins fresh. *)
+
+val active : unit -> bool
+
+val tick : unit -> unit
+(** Poll the ring if the lens is active and [min_interval] has elapsed
+    since the last poll. One atomic load when inactive. *)
+
+val poll : ?force:bool -> unit -> unit
+(** Drain the ring now (if active). With [~force:true], every domain's
+    pending deltas are flushed as [runtime.gc] points even if nothing
+    happened — call this once at the end of a traced run so the
+    aggregate intervals cover the full wall time. *)
+
+val sink : unit -> Sink.t
+(** A piggyback poller for observability tees: [emit] is [tick] (so
+    polling rides on event traffic, like [Metrics.flush_sink]), [flush]
+    is [poll ~force:true]. Reentrancy-safe: events emitted by a poll
+    re-entering the tee are ignored by the in-flight poll. *)
+
+val set_request : string option -> unit
+(** Tag the calling domain's ring with a request id (or clear it with
+    [None]). Subsequent GC activity on this domain is attributed to the
+    request in trace points; deltas pending at the boundary are flushed
+    against the previous tag first. No-op when the lens is inactive. *)
+
+type totals = {
+  domains : int;  (** rings that showed any activity *)
+  minor_s : float;  (** total seconds in minor collections *)
+  major_s : float;  (** total seconds in major work (slices, STW) *)
+  wait_s : float;  (** total seconds domains sat in condition waits *)
+  minor_n : int;
+  major_n : int;  (** completed major cycles *)
+  alloc_words : int;  (** minor-heap words allocated *)
+  promoted_words : int;
+  minor_pauses_us : Metrics.Hist.t;
+  major_pauses_us : Metrics.Hist.t;
+  lost_events : int;
+}
+
+val snapshot : unit -> totals option
+(** Aggregated totals since [start], across all domains. [None] when
+    the lens is inactive. Does not poll; call [poll] first for fresh
+    numbers. *)

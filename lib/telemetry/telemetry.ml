@@ -2,6 +2,7 @@ module Json = Json
 module Sink = Sink
 module Metrics = Metrics
 module Flight = Flight
+module Runtime = Runtime
 module Analyze = Analyze
 module Progress = Progress
 module Buildinfo = Buildinfo

@@ -26,6 +26,13 @@ module Metrics = Metrics
     record is journaled.  Same single-atomic-load guard when disabled. *)
 module Flight = Flight
 
+(** Runtime-observability lens over OCaml's [Runtime_events] ring:
+    GC-pause histograms, allocation counters and per-domain utilization
+    gauges in the metrics registry, plus [runtime.*] trace points (with
+    request correlation) through the installed sink.  Same
+    single-atomic-load guard when the lens is not started. *)
+module Runtime = Runtime
+
 (** Offline NDJSON trace analytics: validation, per-phase wall-time
     attribution, folded flamegraph stacks, and trace/bench diffing. *)
 module Analyze = Analyze

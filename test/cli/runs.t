@@ -104,7 +104,7 @@ filtered here):
   $ fecsynth version | grep -v '^git: '
   fecsynth 1.0.0
   ocaml: 5.1.1
-  features: portfolio telemetry metrics checkpoint fault-injection progress ledger
+  features: portfolio telemetry metrics checkpoint fault-injection progress ledger runtime-lens
   $ fecsynth version --json | grep -o '"code_version":"1.0.0"'
   "code_version":"1.0.0"
   $ fecsynth --version

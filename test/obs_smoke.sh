@@ -12,7 +12,12 @@
 #     with the reaped request's id;
 #   - `trace report --request <id>` on the daemon trace attributes at
 #     least 90% of that request's wall time to named phases (the stalled
-#     solve is an open span, extended to the slice end).
+#     solve is an open span, extended to the slice end);
+#   - the runtime lens (default on) lands gc_* series and the
+#     fec_build_info gauge in the exposition, a "runtime" section in
+#     `trace report` on the daemon trace, and a >= 95%-coverage runtime
+#     section on a one-shot `synth --runtime-lens` trace; with the lens
+#     off, its polling hooks allocate nothing (unit test re-run here).
 #
 # Deterministic: the fault spec is seeded and the stall fires on the
 # first two sat.solve calls only (max=2), one per submitted request.
@@ -85,6 +90,12 @@ adm=$(scrape_counter "$DIR/m2.txt" serve_admitted)
 [ "$adm" -ge 1 ] || fail "serve_admitted did not count the submit"
 grep -q '^serve_worker_busy{worker="' "$DIR/m2.txt" \
   || fail "no per-worker labeled series in the exposition"
+grep -q '^gc_allocated_words_total' "$DIR/m2.txt" \
+  || fail "runtime lens gc_* series missing from the exposition"
+grep -q '^fec_build_info{' "$DIR/m2.txt" \
+  || fail "fec_build_info gauge missing from the exposition"
+grep -q '"build":{' "$DIR/healthz1.json" \
+  || fail "/healthz carries no build identity"
 
 post=$(ls "$DIR"/flight/postmortem-*.ndjson 2>/dev/null | head -1)
 [ -n "$post" ] || fail "reap left no postmortem in $DIR/flight"
@@ -116,4 +127,39 @@ pct=$(sed -n 's/.*"attributed_pct":\([0-9.]*\).*/\1/p' "$DIR/report.json")
 awk -v p="$pct" 'BEGIN { exit !(p >= 90.0) }' \
   || fail "only $pct% of the reaped request's wall attributed"
 
-echo "obs-smoke: OK (request $rid, ${pct}% attributed, postmortem $(basename "$post"))"
+# ------------------------------------------------ runtime lens
+# the daemon ran with the lens on (default): the whole-trace report
+# carries a runtime section
+"$FECSYNTH" trace report --stats json "$DIR/trace.ndjson" \
+  > "$DIR/daemon-report.json" || fail "whole-trace report failed"
+grep -q '"runtime":{' "$DIR/daemon-report.json" \
+  || fail "daemon trace report has no runtime section"
+
+# a one-shot run under --runtime-lens must attribute >= 95% of its wall
+# time across mutator + GC + wait in the report's runtime section; the
+# md-7 knee instance runs ~1.5s, long enough for real GC activity to
+# land (small instances finish in single-digit ms without a single
+# minor collection, so the lens would correctly report nothing)
+"$FECSYNTH" synth --runtime-lens --no-ledger --trace "$DIR/lens.ndjson" \
+  -p 'len_G = 1 && len_d(G[0]) = 13 && len_c(G[0]) = 15 && md(G[0]) = 7' \
+  > /dev/null || fail "synth --runtime-lens errored"
+"$FECSYNTH" trace report --stats json "$DIR/lens.ndjson" \
+  > "$DIR/lens-report.json" || fail "lens trace report failed"
+grep -q '"runtime":{' "$DIR/lens-report.json" \
+  || fail "--runtime-lens trace report has no runtime section"
+cov=$(sed -n 's/.*"covered_pct":\([0-9.]*\).*/\1/p' "$DIR/lens-report.json")
+[ -n "$cov" ] || fail "no covered_pct in lens report"
+awk -v c="$cov" 'BEGIN { exit !(c >= 95.0) }' \
+  || fail "runtime lens observed only $cov% of the one-shot run"
+
+# lens off (the default for one-shot runs): the polling hooks must not
+# allocate — re-run the unit test that asserts it via Gc.minor_words
+TESTBIN=${FEC_TEST_TELEMETRY:-_build/default/test/test_telemetry.exe}
+if [ -x "$TESTBIN" ]; then
+  "$TESTBIN" test runtime 0 > /dev/null 2>&1 \
+    || fail "disabled runtime lens allocates (unit test 'runtime 0')"
+else
+  echo "obs-smoke: note: $TESTBIN not built, zero-alloc check skipped" >&2
+fi
+
+echo "obs-smoke: OK (request $rid, ${pct}% attributed, lens ${cov}% covered, postmortem $(basename "$post"))"

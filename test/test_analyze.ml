@@ -200,6 +200,77 @@ let test_flame_golden () =
     "folded stacks" "a 300000\na;b 200000\n"
     (An.flame_to_string (parse_exn nested_trace))
 
+(* the nested trace with runtime-lens pauses: one inside b, one outside
+   any span — the covered pause folds under a;b as a GC leaf frame and
+   its µs leave b's self-time; the uncovered one becomes a root frame *)
+let gc_folding_trace =
+  "{\"ts\":0.0,\"kind\":\"span_begin\",\"id\":1,\"name\":\"a\"}\n\
+   {\"ts\":0.1,\"kind\":\"span_begin\",\"id\":2,\"parent\":1,\"name\":\"b\"}\n\
+   {\"ts\":0.2,\"kind\":\"event\",\"name\":\"runtime.gc.minor\",\"domain\":0,\"dur_s\":0.05}\n\
+   {\"ts\":0.3,\"kind\":\"span_end\",\"id\":2,\"name\":\"b\",\"dur\":0.2}\n\
+   {\"ts\":0.5,\"kind\":\"span_end\",\"id\":1,\"name\":\"a\",\"dur\":0.5}\n\
+   {\"ts\":0.9,\"kind\":\"event\",\"name\":\"runtime.gc.major\",\"domain\":0,\"dur_s\":0.01}\n"
+
+let test_flame_gc_folding () =
+  Alcotest.(check string)
+    "gc pauses fold under the covering span"
+    "a 300000\na;b 150000\na;b;runtime.gc.minor 50000\nruntime.gc.major \
+     10000\n"
+    (An.flame_to_string (parse_exn gc_folding_trace))
+
+(* ---------------------------------------------------------------- *)
+(* the runtime section (trace report's GC lens view)                 *)
+(* ---------------------------------------------------------------- *)
+
+(* domain 0 tiles [0,2] with two interval points (0.2s minor, 0.1s
+   major, 0.1s wait -> 1.6s mutator); domain 1 contributes one
+   r1-tagged interval; one over-threshold pause point rides along *)
+let runtime_trace =
+  "{\"ts\":0.0,\"kind\":\"span_begin\",\"id\":1,\"name\":\"a\"}\n\
+   {\"ts\":1.0,\"kind\":\"event\",\"name\":\"runtime.gc\",\"domain\":0,\"interval_s\":1.0,\"minor_s\":0.1,\"major_s\":0.0,\"wait_s\":0.0,\"minor_n\":3,\"major_n\":0,\"alloc_words\":1000}\n\
+   {\"ts\":1.2,\"kind\":\"event\",\"name\":\"runtime.gc.minor\",\"domain\":0,\"dur_s\":0.05}\n\
+   {\"ts\":1.5,\"kind\":\"event\",\"name\":\"runtime.gc\",\"domain\":1,\"interval_s\":0.5,\"minor_s\":0.05,\"major_s\":0.0,\"wait_s\":0.0,\"minor_n\":1,\"major_n\":0,\"alloc_words\":200,\"request\":\"r1\"}\n\
+   {\"ts\":2.0,\"kind\":\"event\",\"name\":\"runtime.gc\",\"domain\":0,\"interval_s\":1.0,\"minor_s\":0.1,\"major_s\":0.1,\"wait_s\":0.1,\"minor_n\":2,\"major_n\":1,\"alloc_words\":500}\n\
+   {\"ts\":2.0,\"kind\":\"span_end\",\"id\":1,\"name\":\"a\",\"dur\":2.0}\n"
+
+let test_runtime_section () =
+  match An.runtime (parse_exn runtime_trace) with
+  | None -> Alcotest.fail "runtime data present but section is None"
+  | Some rt ->
+      Alcotest.(check int) "two domains" 2 (List.length rt.An.rt_domains);
+      let d0 = List.hd rt.An.rt_domains in
+      Alcotest.(check int) "domain index" 0 d0.An.rt_domain;
+      Alcotest.(check (float 1e-9)) "covered tiles the run" 2.0
+        d0.An.rt_covered_s;
+      Alcotest.(check (float 1e-9)) "minor summed" 0.2 d0.An.rt_minor_s;
+      Alcotest.(check (float 1e-9)) "major summed" 0.1 d0.An.rt_major_s;
+      Alcotest.(check (float 1e-9)) "wait summed" 0.1 d0.An.rt_wait_s;
+      Alcotest.(check (float 1e-9)) "mutator is the remainder" 1.6
+        d0.An.rt_mutator_s;
+      Alcotest.(check int) "minor collections" 5 d0.An.rt_minor_n;
+      Alcotest.(check int) "major cycles" 1 d0.An.rt_major_n;
+      Alcotest.(check int) "alloc words" 1500 d0.An.rt_alloc_words;
+      Alcotest.(check int) "pause points counted" 1 rt.An.rt_pauses;
+      Alcotest.(check (float 1e-9)) "max pause" 0.05 rt.An.rt_max_pause_s;
+      (* domain 0 covers the full 2 s wall: the >=95% attribution gate *)
+      Alcotest.(check (float 1e-6)) "coverage" 100.0 rt.An.rt_covered_pct
+
+let test_runtime_section_request_slice () =
+  match An.runtime ~request:"r1" (parse_exn runtime_trace) with
+  | None -> Alcotest.fail "r1 runtime data present but section is None"
+  | Some rt -> (
+      Alcotest.(check int) "pauses outside r1 excluded" 0 rt.An.rt_pauses;
+      match rt.An.rt_domains with
+      | [ d1 ] ->
+          Alcotest.(check int) "only domain 1" 1 d1.An.rt_domain;
+          Alcotest.(check (float 1e-9)) "r1 interval" 0.5 d1.An.rt_covered_s;
+          Alcotest.(check int) "r1 alloc" 200 d1.An.rt_alloc_words
+      | ds -> Alcotest.failf "expected 1 domain, got %d" (List.length ds))
+
+let test_runtime_section_absent () =
+  Alcotest.(check bool) "lens-off trace has no section" true
+    (An.runtime (parse_exn nested_trace) = None)
+
 (* ---------------------------------------------------------------- *)
 (* phase attribution on a real in-memory synthesis trace             *)
 (* ---------------------------------------------------------------- *)
@@ -332,6 +403,17 @@ let () =
         [
           Alcotest.test_case "self times" `Quick test_span_self_times;
           Alcotest.test_case "flame golden" `Quick test_flame_golden;
+          Alcotest.test_case "flame folds gc pauses" `Quick
+            test_flame_gc_folding;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "aggregates interval points" `Quick
+            test_runtime_section;
+          Alcotest.test_case "request slice" `Quick
+            test_runtime_section_request_slice;
+          Alcotest.test_case "absent without lens data" `Quick
+            test_runtime_section_absent;
         ] );
       ( "report",
         [ Alcotest.test_case "real trace" `Quick test_report_on_real_trace ] );

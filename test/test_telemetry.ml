@@ -361,6 +361,111 @@ let test_flight_disabled_allocates_nothing () =
       "disabled flight recorder allocated %.0f minor words over %d records"
       delta rounds
 
+(* two domains dumping at the same instant must land in two distinct,
+   individually parseable postmortem files (the sequence number is
+   mutex-guarded; the ring reads are racy by design but each line must
+   still parse) *)
+let test_flight_concurrent_dumps () =
+  with_tmpdir (fun dir ->
+      T.Flight.enable ~capacity:8 ~dir ();
+      Fun.protect ~finally:T.Flight.disable (fun () ->
+          T.with_sink
+            (Sink.tee [ T.Flight.sink () ])
+            (fun () ->
+              for i = 1 to 5 do
+                T.point "tick" ~fields:[ ("i", T.int i) ]
+              done);
+          let barrier = Atomic.make 0 in
+          let dump tag () =
+            Atomic.incr barrier;
+            while Atomic.get barrier < 2 do
+              Domain.cpu_relax ()
+            done;
+            T.Flight.dump ~reason:tag ()
+          in
+          let d1 = Domain.spawn (dump "d1") in
+          let d2 = Domain.spawn (dump "d2") in
+          match (Domain.join d1, Domain.join d2) with
+          | Some a, Some b ->
+              Alcotest.(check bool) "two distinct postmortem files" true
+                (a <> b);
+              List.iter
+                (fun path ->
+                  let lines = read_lines path in
+                  Alcotest.(check bool)
+                    (path ^ " non-empty") true (lines <> []);
+                  List.iteri
+                    (fun i l ->
+                      try ignore (J.of_string l)
+                      with J.Parse_error m ->
+                        Alcotest.failf "%s line %d unparseable: %s" path i m)
+                    lines)
+                [ a; b ]
+          | _ -> Alcotest.fail "a concurrent dump returned no path"))
+
+(* ---------------------------------------------------------------- *)
+(* runtime lens                                                      *)
+(* ---------------------------------------------------------------- *)
+
+(* the lens-off fast path is one atomic load: polled from the serve
+   select loop and the observability tee, it must never allocate *)
+let test_runtime_disabled_allocates_nothing () =
+  Alcotest.(check bool) "inactive by default" false (T.Runtime.active ());
+  T.Runtime.tick ();
+  (* warm-up *)
+  let rounds = 10_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to rounds do
+    T.Runtime.tick ();
+    T.Runtime.poll ();
+    T.Runtime.set_request None
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 100.0 then
+    Alcotest.failf
+      "disabled runtime lens allocated %.0f minor words over %d ticks" delta
+      rounds;
+  Alcotest.(check bool) "snapshot refuses when inactive" true
+    (T.Runtime.snapshot () = None)
+
+(* live smoke: start the lens, churn the minor heap, force a poll and
+   check that collections were observed and a runtime.gc interval point
+   reached the sink *)
+let test_runtime_lens_smoke () =
+  let sink, events = Sink.memory () in
+  T.Runtime.start ~min_interval:0.0 ~pause_threshold_us:0 ();
+  if not (T.Runtime.active ()) then
+    (* Runtime_events unavailable in this environment: start is
+       specified to degrade to inactive, which is itself the contract *)
+    ()
+  else
+    Fun.protect ~finally:T.Runtime.stop (fun () ->
+        let snap =
+          T.with_sink sink (fun () ->
+              let keep = ref [] in
+              for i = 1 to 300_000 do
+                keep := (i, string_of_int i) :: !keep;
+                if i mod 50_000 = 0 then keep := []
+              done;
+              Gc.minor ();
+              T.Runtime.poll ~force:true ();
+              T.Runtime.snapshot ())
+        in
+        match snap with
+        | None -> Alcotest.fail "snapshot None while active"
+        | Some s ->
+            Alcotest.(check bool) "observed at least one domain" true
+              (s.T.Runtime.domains >= 1);
+            Alcotest.(check bool) "observed minor collections" true
+              (s.T.Runtime.minor_n > 0);
+            Alcotest.(check bool) "observed allocation" true
+              (s.T.Runtime.alloc_words > 0);
+            let names =
+              List.sort_uniq compare (List.map Sink.event_name (events ()))
+            in
+            Alcotest.(check bool) "runtime.gc interval point emitted" true
+              (List.mem "runtime.gc" names))
+
 (* ---------------------------------------------------------------- *)
 (* Report.Stats merge monoid (property tests)                        *)
 (* ---------------------------------------------------------------- *)
@@ -483,6 +588,14 @@ let () =
             test_flight_disabled_noop;
           Alcotest.test_case "disabled allocates nothing" `Quick
             test_flight_disabled_allocates_nothing;
+          Alcotest.test_case "concurrent dumps get distinct files" `Quick
+            test_flight_concurrent_dumps;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "disabled allocates nothing" `Quick
+            test_runtime_disabled_allocates_nothing;
+          Alcotest.test_case "live lens smoke" `Quick test_runtime_lens_smoke;
         ] );
       ( "stats",
         [ qt test_stats_add_assoc; qt test_stats_zero_identity;
